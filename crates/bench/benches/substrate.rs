@@ -1,0 +1,132 @@
+//! Criterion microbenches for the substrates: hash index, lock manager,
+//! DAG(T) timestamps, tree construction and the serializability checker.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use repl_copygraph::{BackEdgeSet, CopyGraph, PropagationTree};
+use repl_core::history::History;
+use repl_core::timestamp::Timestamp;
+use repl_storage::hash_index::HashIndex;
+use repl_storage::{LockManager, LockMode};
+use repl_types::{GlobalTxnId, ItemId, SiteId, TxnId};
+
+fn bench_hash_index(c: &mut Criterion) {
+    c.bench_function("substrate/hash_index_insert_get_1k", |b| {
+        b.iter(|| {
+            let mut idx = HashIndex::new();
+            for i in 0..1000u32 {
+                idx.insert(ItemId(i), i as u64);
+            }
+            let mut acc = 0u64;
+            for i in 0..1000u32 {
+                acc += *idx.get(ItemId(i)).unwrap();
+            }
+            acc
+        })
+    });
+}
+
+fn bench_lock_manager(c: &mut Criterion) {
+    c.bench_function("substrate/lock_grant_release_1k", |b| {
+        b.iter(|| {
+            let mut lm = LockManager::new();
+            for t in 0..100u64 {
+                for i in 0..10u32 {
+                    lm.request(TxnId(t), ItemId(i + (t as u32 % 7) * 10), LockMode::Shared);
+                }
+            }
+            for t in 0..100u64 {
+                lm.release_all(TxnId(t));
+            }
+        })
+    });
+    c.bench_function("substrate/deadlock_detection_50_waiters", |b| {
+        b.iter_batched(
+            || {
+                let mut lm = LockManager::new();
+                for t in 0..50u64 {
+                    lm.request(TxnId(t), ItemId(t as u32), LockMode::Exclusive);
+                }
+                for t in 0..50u64 {
+                    lm.request(TxnId(t), ItemId(((t + 1) % 50) as u32), LockMode::Exclusive);
+                }
+                lm
+            },
+            |lm| lm.find_deadlock().is_some(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_timestamps(c: &mut Criterion) {
+    let mut a = Timestamp::initial(SiteId(0));
+    for s in 1..8u32 {
+        a = a.concat_site(SiteId(s), s as u64, 0);
+    }
+    let mut b = a.clone();
+    b.bump_local(SiteId(7));
+    c.bench_function("substrate/timestamp_compare_8_tuples", |bch| {
+        bch.iter(|| a.cmp(&b))
+    });
+    c.bench_function("substrate/timestamp_concat", |bch| {
+        bch.iter(|| a.concat_site(SiteId(8), 3, 1))
+    });
+}
+
+fn bench_copygraph(c: &mut Criterion) {
+    // A dense-ish 15-site graph with cycles.
+    let mut g = CopyGraph::empty(15);
+    for i in 0..15u32 {
+        for j in 0..15u32 {
+            if i != j && (i * 7 + j * 3) % 4 == 0 {
+                g.add_edge(SiteId(i), SiteId(j), ((i + j) % 5 + 1) as u64);
+            }
+        }
+    }
+    c.bench_function("substrate/greedy_fas_15_sites", |b| {
+        b.iter(|| BackEdgeSet::greedy_fas(&g))
+    });
+    let bset = BackEdgeSet::greedy_fas(&g);
+    let dag = bset.dag_of(&g);
+    c.bench_function("substrate/general_tree_15_sites", |b| {
+        b.iter(|| PropagationTree::general(&dag).unwrap())
+    });
+}
+
+fn bench_checker(c: &mut Criterion) {
+    c.bench_function("substrate/serializability_check_5k_txns", |b| {
+        b.iter_batched(
+            || {
+                let mut h = History::new();
+                for i in 0..5000u64 {
+                    let gid = GlobalTxnId::new(SiteId((i % 9) as u32), i);
+                    let reads = (0..3)
+                        .map(|k| {
+                            let item = ItemId(((i + k) % 200) as u32);
+                            let w = if i > 10 {
+                                Some(GlobalTxnId::new(SiteId(((i - 1) % 9) as u32), i - 1))
+                            } else {
+                                None
+                            };
+                            // Only reference writers that actually wrote the item.
+                            match w {
+                                Some(_) => (item, None),
+                                None => (item, None),
+                            }
+                        })
+                        .collect();
+                    h.record_commit(gid, reads, vec![ItemId((i % 200) as u32)]);
+                }
+                h
+            },
+            |h| h.check_serializability().is_ok(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hash_index, bench_lock_manager, bench_timestamps, bench_copygraph, bench_checker
+}
+criterion_main!(benches);

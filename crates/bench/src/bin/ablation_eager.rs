@@ -1,0 +1,32 @@
+//! Ablation: eager read-one-write-all vs the lazy protocols — the §1
+//! motivation ("eager protocols are unlikely to scale beyond a small
+//! number of sites"; transaction size grows with the degree of
+//! replication, and deadlock probability with its fourth power).
+
+use repl_bench::{default_table, env_seeds, run_averaged};
+use repl_core::config::ProtocolKind;
+
+fn main() {
+    println!("\n=== Ablation: Eager vs BackEdge vs PSL across replication ===");
+    println!(
+        "{:>6} | {:>10} {:>8} | {:>10} {:>8} | {:>10} {:>8}",
+        "r", "Eager", "ab%", "BackEdge", "ab%", "PSL", "ab%"
+    );
+    for r in [0.1, 0.3, 0.5, 0.8] {
+        let mut t = default_table();
+        t.replication_prob = r;
+        let eager = run_averaged(&t, ProtocolKind::Eager, env_seeds());
+        let be = run_averaged(&t, ProtocolKind::BackEdge, env_seeds());
+        let psl = run_averaged(&t, ProtocolKind::Psl, env_seeds());
+        println!(
+            "{:>6.1} | {:>10.1} {:>8.1} | {:>10.1} {:>8.1} | {:>10.1} {:>8.1}",
+            r,
+            eager.throughput_per_site,
+            eager.abort_rate_pct,
+            be.throughput_per_site,
+            be.abort_rate_pct,
+            psl.throughput_per_site,
+            psl.abort_rate_pct
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Ablation: DAG(T) epoch-period sensitivity (§3.3 progress machinery).
+//!
+//! Short epochs/heartbeats percolate progress information quickly (fresh
+//! replicas) at the cost of dummy-message traffic.
+
+use repl_bench::{default_table, env_seeds, run_averaged_with};
+use repl_core::config::{ProtocolKind, SimParams};
+use repl_sim::SimDuration;
+
+fn main() {
+    println!("\n=== Ablation: DAG(T) epoch period (heartbeat = period/2) ===");
+    println!("(capped at 300 txns/thread; a 5 ms period saturates site CPUs with dummy");
+    println!(" traffic and the run never drains — the flood edge of the §3.3 tradeoff)");
+    println!(
+        "{:>10} | {:>12} {:>12} {:>12}",
+        "period ms", "thr", "prop ms", "messages"
+    );
+    for ms in [10u64, 20, 50, 100, 200] {
+        let mut t = default_table();
+        t.txns_per_thread = t.txns_per_thread.min(300);
+        t.backedge_prob = 0.0;
+        let base = SimParams {
+            protocol: ProtocolKind::DagT,
+            epoch_period: SimDuration::millis(ms),
+            heartbeat_period: SimDuration::millis((ms / 2).max(1)),
+            ..Default::default()
+        };
+        let s = run_averaged_with(&t, &base, env_seeds());
+        println!(
+            "{:>10} | {:>12.1} {:>12.1} {:>12}",
+            ms, s.throughput_per_site, s.mean_propagation_ms, s.messages
+        );
+    }
+}

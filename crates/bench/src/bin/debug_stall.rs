@@ -1,0 +1,41 @@
+//! Developer tool: reproduce and localize a stalled run.
+
+use repl_core::config::{ProtocolKind, SimParams};
+use repl_core::engine::Engine;
+use repl_core::scenario::generate_programs;
+use repl_sim::SimDuration;
+use repl_workload::{build_placement, TableOneParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let b: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let txns: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(150);
+
+    let table = TableOneParams { backedge_prob: b, txns_per_thread: txns, ..Default::default() };
+    let placement = build_placement(&table, seed);
+    let mut base = SimParams::default();
+    base.protocol = ProtocolKind::BackEdge;
+    base.max_virtual_time = SimDuration::secs(120);
+    let params = table.sim_params(&base);
+    let programs = generate_programs(
+        &placement,
+        &table.mix(),
+        params.threads_per_site,
+        params.txns_per_thread,
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+    );
+    let mut engine = Engine::new(&placement, &params, programs).unwrap();
+    let report = engine.run();
+    println!(
+        "b={b} seed={seed}: stalled={} commits={} aborts={} unprop={} virt={:?}",
+        report.stalled,
+        report.summary.commits,
+        report.summary.aborts,
+        report.summary.incomplete_propagations,
+        report.summary.virtual_duration
+    );
+    if report.stalled {
+        engine.dump_stall_state();
+    }
+}

@@ -1,0 +1,20 @@
+//! Figure 2(a): average throughput vs backedge probability `b`
+//! (defaults otherwise; BackEdge vs PSL).
+//!
+//! Paper shape: BackEdge best at b=0 ("almost thrice the throughput"),
+//! declining as backedge subtransactions hold locks longer; PSL roughly
+//! flat with a slight decline; BackEdge still ahead at b=1.
+
+use repl_bench::{default_table, print_figure, sweep};
+use repl_core::config::ProtocolKind;
+
+fn main() {
+    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let rows = sweep(
+        &default_table(),
+        &xs,
+        &[ProtocolKind::BackEdge, ProtocolKind::Psl],
+        |t, b| t.backedge_prob = b,
+    );
+    print_figure("Figure 2(a): Throughput vs Backedge Probability", "b", &rows);
+}

@@ -1,0 +1,19 @@
+//! Figure 2(b): average throughput vs replication probability `r`.
+//!
+//! Paper shape: identical throughput at r=0 (no replicas — every
+//! transaction is local under both protocols), a sharp drop from r=0 to
+//! r=0.1, and both declining as the replica count grows.
+
+use repl_bench::{default_table, print_figure, sweep};
+use repl_core::config::ProtocolKind;
+
+fn main() {
+    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let rows = sweep(
+        &default_table(),
+        &xs,
+        &[ProtocolKind::BackEdge, ProtocolKind::Psl],
+        |t, r| t.replication_prob = r,
+    );
+    print_figure("Figure 2(b): Throughput vs Replication Probability", "r", &rows);
+}

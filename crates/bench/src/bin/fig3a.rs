@@ -1,0 +1,30 @@
+//! Figure 3(a): extreme setting b=0 — throughput vs read operation
+//! probability (r=0.5, read-transaction probability 0).
+//!
+//! Paper shape: at read-op 0 (pure updates) PSL wins — it does no remote
+//! work at all while BackEdge pays for propagation. BackEdge rises
+//! monotonically with the read fraction; PSL *dips* until about 0.5
+//! (remote reads grow faster than contention falls) then recovers.
+//! At 0.5 the paper reports BackEdge > 5x PSL.
+
+use repl_bench::{default_table, print_figure, sweep};
+use repl_core::config::ProtocolKind;
+
+fn main() {
+    let mut base = default_table();
+    base.backedge_prob = 0.0;
+    base.replication_prob = 0.5;
+    base.read_txn_prob = 0.0;
+    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let rows = sweep(
+        &base,
+        &xs,
+        &[ProtocolKind::BackEdge, ProtocolKind::Psl],
+        |t, p| t.read_op_prob = p,
+    );
+    print_figure(
+        "Figure 3(a): b = 0 — Throughput vs Read Operation Probability",
+        "read-op prob",
+        &rows,
+    );
+}

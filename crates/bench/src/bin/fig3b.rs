@@ -1,0 +1,29 @@
+//! Figure 3(b): extreme setting b=1 — throughput vs read operation
+//! probability (r=0.5, read-transaction probability 0).
+//!
+//! Paper shape: with every replica candidate set spanning all sites,
+//! almost every update transaction has a backedge subtransaction, so
+//! BackEdge suffers global deadlocks and trails PSL while the read
+//! probability is below ~0.3 — and still wins beyond it.
+
+use repl_bench::{default_table, print_figure, sweep};
+use repl_core::config::ProtocolKind;
+
+fn main() {
+    let mut base = default_table();
+    base.backedge_prob = 1.0;
+    base.replication_prob = 0.5;
+    base.read_txn_prob = 0.0;
+    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let rows = sweep(
+        &base,
+        &xs,
+        &[ProtocolKind::BackEdge, ProtocolKind::Psl],
+        |t, p| t.read_op_prob = p,
+    );
+    print_figure(
+        "Figure 3(b): b = 1 — Throughput vs Read Operation Probability",
+        "read-op prob",
+        &rows,
+    );
+}

@@ -1,0 +1,65 @@
+//! Calibration probe: one default-parameter point per protocol, printed
+//! with all metrics. Not a paper figure; used to sanity-check the cost
+//! model before running the sweeps.
+
+use repl_bench::{default_table, env_seeds, run_averaged};
+use repl_core::config::ProtocolKind;
+
+fn main() {
+    let table = default_table();
+    println!(
+        "defaults: m={} n={} r={} b={} threads={} txns={}",
+        table.num_sites,
+        table.num_items,
+        table.replication_prob,
+        table.backedge_prob,
+        table.threads_per_site,
+        table.txns_per_thread
+    );
+    println!(
+        "{:>10} {:>12} {:>8} {:>12} {:>12} {:>10} {:>10}",
+        "protocol", "thr/site/s", "abort%", "resp ms", "prop ms", "msgs", "virt s"
+    );
+    for p in [
+        ProtocolKind::BackEdge,
+        ProtocolKind::Psl,
+        ProtocolKind::DagWt,
+        ProtocolKind::DagT,
+        ProtocolKind::Eager,
+        ProtocolKind::NaiveLazy,
+    ] {
+        if p == ProtocolKind::DagWt || p == ProtocolKind::DagT {
+            // Default b=0.2 is cyclic; DAG protocols need b=0.
+            let mut t = table.clone();
+            t.backedge_prob = 0.0;
+            let s = run_averaged(&t, p, env_seeds());
+            println!(
+                "{:>10} {:>12.2} {:>8.1} {:>12.1} {:>12.1} {:>10} {:>10.1}  (b=0)",
+                p.name(),
+                s.throughput_per_site,
+                s.abort_rate_pct,
+                s.mean_response_ms,
+                s.mean_propagation_ms,
+                s.messages,
+                s.virtual_duration.as_secs_f64()
+            );
+            continue;
+        }
+        if p == ProtocolKind::NaiveLazy {
+            // NaiveLazy is not serializable; run_point would assert. Skip.
+            println!("{:>10}  (skipped: not serializable by design)", p.name());
+            continue;
+        }
+        let s = run_averaged(&table, p, env_seeds());
+        println!(
+            "{:>10} {:>12.2} {:>8.1} {:>12.1} {:>12.1} {:>10} {:>10.1}",
+            p.name(),
+            s.throughput_per_site,
+            s.abort_rate_pct,
+            s.mean_response_ms,
+            s.mean_propagation_ms,
+            s.messages,
+            s.virtual_duration.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! §5.3.4 response times: the paper reports ≈180 ms (BackEdge) vs
+//! ≈260 ms (PSL) at the default parameter settings — BackEdge ~1.4x
+//! faster. Absolute numbers differ on the simulated substrate; the
+//! ordering and rough ratio are the reproduction target.
+
+use repl_bench::{default_table, env_seeds, run_averaged};
+use repl_core::config::ProtocolKind;
+
+fn main() {
+    println!("§5.3.4 Mean response time of committed transactions (default parameters)\n");
+    let table = default_table();
+    let mut results = Vec::new();
+    for p in [ProtocolKind::BackEdge, ProtocolKind::Psl] {
+        let s = run_averaged(&table, p, env_seeds());
+        println!(
+            "{:>9}: {:8.1} ms   (throughput {:6.1} txn/s/site, abort {:4.1}%)",
+            p.name(),
+            s.mean_response_ms,
+            s.throughput_per_site,
+            s.abort_rate_pct
+        );
+        results.push(s.mean_response_ms);
+    }
+    println!(
+        "\nPSL/BackEdge response ratio: {:.2} (paper: 260/180 ≈ 1.44)",
+        results[1] / results[0]
+    );
+}

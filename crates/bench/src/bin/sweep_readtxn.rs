@@ -1,0 +1,21 @@
+//! Table 1 range study: read transaction probability 0–1 (defaults
+//! otherwise). Read-only transactions never propagate, so both protocols
+//! speed up; PSL still pays remote reads inside read-only transactions.
+
+use repl_bench::{default_table, print_figure, sweep};
+use repl_core::config::ProtocolKind;
+
+fn main() {
+    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let rows = sweep(
+        &default_table(),
+        &xs,
+        &[ProtocolKind::BackEdge, ProtocolKind::Psl],
+        |t, p| t.read_txn_prob = p,
+    );
+    print_figure(
+        "Range study: Throughput vs Read Transaction Probability",
+        "read-txn prob",
+        &rows,
+    );
+}

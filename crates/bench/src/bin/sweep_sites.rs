@@ -1,0 +1,16 @@
+//! Table 1 range study: number of sites m ∈ 3–15 (defaults otherwise).
+//! Exercises protocol scalability with system size.
+
+use repl_bench::{default_table, print_figure, sweep};
+use repl_core::config::ProtocolKind;
+
+fn main() {
+    let xs = [3.0, 6.0, 9.0, 12.0, 15.0];
+    let rows = sweep(
+        &default_table(),
+        &xs,
+        &[ProtocolKind::BackEdge, ProtocolKind::Psl],
+        |t, m| t.num_sites = m as u32,
+    );
+    print_figure("Range study: Throughput vs Number of Sites (m = 3..15)", "sites", &rows);
+}

@@ -1,0 +1,16 @@
+//! Table 1 range study: threads per site (multiprogramming level) 1–5.
+//! §5.2: "more threads result in more contention within the system".
+
+use repl_bench::{default_table, print_figure, sweep};
+use repl_core::config::ProtocolKind;
+
+fn main() {
+    let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let rows = sweep(
+        &default_table(),
+        &xs,
+        &[ProtocolKind::BackEdge, ProtocolKind::Psl],
+        |t, n| t.threads_per_site = n as u32,
+    );
+    print_figure("Range study: Throughput vs Threads/Site (MPL 1..5)", "threads", &rows);
+}

@@ -1,0 +1,8 @@
+//! Regenerate Table 1: parameter settings of the performance study.
+
+use repl_bench::default_table;
+
+fn main() {
+    println!("Table 1: Parameter Settings\n");
+    print!("{}", default_table().render_table());
+}

@@ -1,0 +1,82 @@
+//! Developer tool: compare eager-phase deadlock policies on the
+//! Fig 3(b) and Fig 2(b) trouble points.
+
+use repl_core::config::{ProtocolKind, SimParams};
+use repl_core::engine::Engine;
+use repl_core::scenario::generate_programs;
+use repl_workload::{build_placement, TableOneParams};
+
+fn run(table: &TableOneParams, base: &SimParams, seed: u64) -> f64 {
+    let placement = build_placement(table, seed);
+    let params = table.sim_params(base);
+    let programs = generate_programs(
+        &placement,
+        &table.mix(),
+        params.threads_per_site,
+        params.txns_per_thread,
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+    );
+    let mut engine = Engine::new(&placement, &params, programs).unwrap();
+    let report = engine.run();
+    assert!(!report.stalled && report.serializable);
+    report.summary.throughput_per_site
+}
+
+fn main() {
+    let points: Vec<(&str, TableOneParams)> = vec![
+        ("fig3b ro=0.3", TableOneParams {
+            backedge_prob: 1.0,
+            replication_prob: 0.5,
+            read_txn_prob: 0.0,
+            read_op_prob: 0.3,
+            txns_per_thread: 150,
+            ..Default::default()
+        }),
+        ("fig3b ro=0.5", TableOneParams {
+            backedge_prob: 1.0,
+            replication_prob: 0.5,
+            read_txn_prob: 0.0,
+            read_op_prob: 0.5,
+            txns_per_thread: 150,
+            ..Default::default()
+        }),
+        ("fig2b r=0.75", TableOneParams {
+            replication_prob: 0.75,
+            txns_per_thread: 150,
+            ..Default::default()
+        }),
+        ("fig2b r=1.0", TableOneParams {
+            replication_prob: 1.0,
+            txns_per_thread: 150,
+            ..Default::default()
+        }),
+    ];
+    let variants: Vec<(&str, SimParams)> = vec![
+        ("factor=4 +victim", SimParams { protocol: ProtocolKind::BackEdge, ..Default::default() }),
+        ("factor=1 +victim", SimParams {
+            protocol: ProtocolKind::BackEdge,
+            eager_wait_timeout_factor: 1,
+            ..Default::default()
+        }),
+        ("factor=1 -victim", SimParams {
+            protocol: ProtocolKind::BackEdge,
+            eager_wait_timeout_factor: 1,
+            victimize_eager_holders: false,
+            ..Default::default()
+        }),
+        ("factor=8 +victim", SimParams {
+            protocol: ProtocolKind::BackEdge,
+            eager_wait_timeout_factor: 8,
+            ..Default::default()
+        }),
+    ];
+    for (pname, table) in &points {
+        let psl = run(table, &SimParams { protocol: ProtocolKind::Psl, ..Default::default() }, 42);
+        print!("{pname}: PSL={psl:.1}");
+        for (vname, base) in &variants {
+            let thr = run(table, base, 42);
+            print!("  [{vname}]={thr:.1}");
+        }
+        println!();
+    }
+}

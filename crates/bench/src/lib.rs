@@ -1,0 +1,167 @@
+//! Experiment harness for §5 of the paper.
+//!
+//! One *point* = one simulation run at a fixed parameter setting; one
+//! *series* = a protocol swept over one Table-1 parameter; one *figure* =
+//! the series the paper plots. Binaries under `src/bin/` regenerate each
+//! figure/table; `benches/figures.rs` wraps scaled-down versions in
+//! Criterion for timing regression.
+//!
+//! Scale knobs (environment variables, so the full paper-scale run and a
+//! quick smoke run share binaries):
+//!
+//! * `REPRO_TXNS`   — transactions per thread (default 1000, Table 1);
+//! * `REPRO_SEEDS`  — seeds averaged per point (default 1);
+//! * `REPRO_SCALE`  — shorthand: `quick` sets `REPRO_TXNS=150`.
+
+#![warn(missing_docs)]
+
+use repl_core::config::{ProtocolKind, SimParams};
+use repl_core::engine::Engine;
+use repl_core::metrics::MetricsSummary;
+use repl_core::scenario::generate_programs;
+use repl_workload::{build_placement, TableOneParams};
+
+/// How many transactions per thread the environment asks for.
+pub fn env_txns() -> u32 {
+    if std::env::var("REPRO_SCALE").map(|s| s == "quick").unwrap_or(false) {
+        return 150;
+    }
+    std::env::var("REPRO_TXNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000)
+}
+
+/// How many seeds to average per point.
+pub fn env_seeds() -> u64 {
+    std::env::var("REPRO_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Run one experiment point and return its metrics.
+pub fn run_point(table: &TableOneParams, protocol: ProtocolKind, seed: u64) -> MetricsSummary {
+    let base = SimParams { protocol, ..SimParams::default() };
+    run_point_with(table, &base, seed)
+}
+
+/// Like [`run_point`], with full control over the engine parameters
+/// (tree kind, deadlock mode, cost model) for the ablation studies.
+pub fn run_point_with(table: &TableOneParams, base: &SimParams, seed: u64) -> MetricsSummary {
+    let placement = build_placement(table, seed);
+    let params = table.sim_params(base);
+    let programs = generate_programs(
+        &placement,
+        &table.mix(),
+        params.threads_per_site,
+        params.txns_per_thread,
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+    );
+    let mut engine = Engine::new(&placement, &params, programs)
+        .expect("experiment configuration must be buildable");
+    let report = engine.run();
+    assert!(!report.stalled, "{} run stalled", base.protocol.name());
+    assert!(
+        report.serializable,
+        "{} produced a non-serializable history: {:?}",
+        base.protocol.name(),
+        report.cycle
+    );
+    report.summary
+}
+
+/// Run `seeds` points with explicit engine parameters and average.
+pub fn run_averaged_with(
+    table: &TableOneParams,
+    base: &SimParams,
+    seeds: u64,
+) -> MetricsSummary {
+    let mut runs: Vec<MetricsSummary> = (0..seeds.max(1))
+        .map(|s| run_point_with(table, base, 42 + s))
+        .collect();
+    if runs.len() == 1 {
+        return runs.pop().expect("one run");
+    }
+    average(&mut runs)
+}
+
+/// Run `seeds` points and average the headline metrics.
+pub fn run_averaged(table: &TableOneParams, protocol: ProtocolKind, seeds: u64) -> MetricsSummary {
+    let base = SimParams { protocol, ..SimParams::default() };
+    run_averaged_with(table, &base, seeds)
+}
+
+fn average(runs: &mut [MetricsSummary]) -> MetricsSummary {
+    let n = runs.len() as f64;
+    let mut acc = runs[0].clone();
+    acc.throughput_per_site = runs.iter().map(|r| r.throughput_per_site).sum::<f64>() / n;
+    acc.abort_rate_pct = runs.iter().map(|r| r.abort_rate_pct).sum::<f64>() / n;
+    acc.mean_response_ms = runs.iter().map(|r| r.mean_response_ms).sum::<f64>() / n;
+    acc.mean_propagation_ms = runs.iter().map(|r| r.mean_propagation_ms).sum::<f64>() / n;
+    acc.max_propagation_ms =
+        runs.iter().map(|r| r.max_propagation_ms).fold(0.0_f64, f64::max);
+    acc.commits = runs.iter().map(|r| r.commits).sum::<u64>() / runs.len() as u64;
+    acc.aborts = runs.iter().map(|r| r.aborts).sum::<u64>() / runs.len() as u64;
+    acc.messages = runs.iter().map(|r| r.messages).sum::<u64>() / runs.len() as u64;
+    acc
+}
+
+/// One row of a figure: the swept x value and the per-protocol summaries.
+pub struct SeriesRow {
+    /// The swept parameter value.
+    pub x: f64,
+    /// `(protocol, summary)` pairs in the order requested.
+    pub results: Vec<(ProtocolKind, MetricsSummary)>,
+}
+
+/// Sweep `xs`, mutating a fresh default Table-1 config through `set` for
+/// each value, running every protocol in `protocols`.
+pub fn sweep(
+    base: &TableOneParams,
+    xs: &[f64],
+    protocols: &[ProtocolKind],
+    set: impl Fn(&mut TableOneParams, f64),
+) -> Vec<SeriesRow> {
+    let seeds = env_seeds();
+    xs.iter()
+        .map(|&x| {
+            let mut t = base.clone();
+            set(&mut t, x);
+            let results = protocols
+                .iter()
+                .map(|&p| (p, run_averaged(&t, p, seeds)))
+                .collect();
+            SeriesRow { x, results }
+        })
+        .collect()
+}
+
+/// Print a figure as an aligned text table: throughput per protocol, plus
+/// abort rates (the paper reports abort-rate trends in prose).
+pub fn print_figure(title: &str, xlabel: &str, rows: &[SeriesRow]) {
+    println!("\n=== {title} ===");
+    let protocols: Vec<ProtocolKind> = rows
+        .first()
+        .map(|r| r.results.iter().map(|(p, _)| *p).collect())
+        .unwrap_or_default();
+    print!("{xlabel:>24}");
+    for p in &protocols {
+        print!(" | {:>10} thr", p.name());
+        print!("  {:>7} ab%", p.name());
+    }
+    println!();
+    for row in rows {
+        print!("{:>24.2}", row.x);
+        for (_, s) in &row.results {
+            print!(" | {:>14.2}", s.throughput_per_site);
+            print!("  {:>11.1}", s.abort_rate_pct);
+        }
+        println!();
+    }
+}
+
+/// Default Table-1 configuration at the environment's scale.
+pub fn default_table() -> TableOneParams {
+    TableOneParams { txns_per_thread: env_txns(), ..Default::default() }
+}

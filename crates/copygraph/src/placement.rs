@@ -1,0 +1,165 @@
+//! Data placement: primary sites and replica sets.
+
+use repl_types::{ItemId, SiteId};
+
+/// Where every item's primary copy and replicas live.
+///
+/// Items are added one at a time; the placement then answers the questions
+/// the protocols ask: who is the primary site of an item, which sites hold
+/// copies, which items have a copy at a given site.
+#[derive(Clone, Debug)]
+pub struct DataPlacement {
+    num_sites: u32,
+    /// item index → primary site
+    primary: Vec<SiteId>,
+    /// item index → replica sites (sorted, never contains the primary)
+    replicas: Vec<Vec<SiteId>>,
+    /// site index → items with a copy (primary or replica) at that site
+    items_at: Vec<Vec<ItemId>>,
+    /// site index → items whose primary copy is at that site
+    primaries_at: Vec<Vec<ItemId>>,
+}
+
+impl DataPlacement {
+    /// Create an empty placement over `num_sites` sites.
+    pub fn new(num_sites: u32) -> Self {
+        DataPlacement {
+            num_sites,
+            primary: Vec::new(),
+            replicas: Vec::new(),
+            items_at: vec![Vec::new(); num_sites as usize],
+            primaries_at: vec![Vec::new(); num_sites as usize],
+        }
+    }
+
+    /// Number of sites in the system.
+    pub fn num_sites(&self) -> u32 {
+        self.num_sites
+    }
+
+    /// Iterate over all site ids.
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> {
+        (0..self.num_sites).map(SiteId)
+    }
+
+    /// Number of distinct logical items (not counting replicas).
+    pub fn num_items(&self) -> u32 {
+        self.primary.len() as u32
+    }
+
+    /// Iterate over all item ids.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> {
+        (0..self.num_items()).map(ItemId)
+    }
+
+    /// Add an item with its primary copy at `primary` and replicas at
+    /// `replicas`, returning the new item's id.
+    ///
+    /// # Panics
+    /// If `primary` or any replica site is out of range, or a replica
+    /// duplicates the primary.
+    pub fn add_item(&mut self, primary: SiteId, replicas: &[SiteId]) -> ItemId {
+        assert!(primary.0 < self.num_sites, "primary site out of range");
+        let id = ItemId(self.primary.len() as u32);
+        let mut reps: Vec<SiteId> = replicas.to_vec();
+        reps.sort_unstable();
+        reps.dedup();
+        assert!(
+            !reps.contains(&primary),
+            "replica set must not contain the primary site"
+        );
+        for r in &reps {
+            assert!(r.0 < self.num_sites, "replica site out of range");
+            self.items_at[r.index()].push(id);
+        }
+        self.items_at[primary.index()].push(id);
+        self.primaries_at[primary.index()].push(id);
+        self.primary.push(primary);
+        self.replicas.push(reps);
+        id
+    }
+
+    /// The primary site of `item`.
+    pub fn primary_of(&self, item: ItemId) -> SiteId {
+        self.primary[item.index()]
+    }
+
+    /// The replica sites of `item` (excluding the primary), sorted.
+    pub fn replicas_of(&self, item: ItemId) -> &[SiteId] {
+        &self.replicas[item.index()]
+    }
+
+    /// True if `site` stores a copy (primary or secondary) of `item`.
+    pub fn has_copy(&self, site: SiteId, item: ItemId) -> bool {
+        self.primary_of(item) == site || self.replicas[item.index()].binary_search(&site).is_ok()
+    }
+
+    /// All items with a copy at `site`.
+    pub fn items_at(&self, site: SiteId) -> &[ItemId] {
+        &self.items_at[site.index()]
+    }
+
+    /// All items whose primary copy is at `site` (the only items a
+    /// transaction originating at `site` may update, §1.1).
+    pub fn primaries_at(&self, site: SiteId) -> &[ItemId] {
+        &self.primaries_at[site.index()]
+    }
+
+    /// Total number of replicas in the system (secondary copies only).
+    pub fn total_replicas(&self) -> usize {
+        self.replicas.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_1_1_placement() {
+        // Figure 1: item a primary at s1 (here s0), replicas s2, s3
+        // (s1, s2); item b primary at s2 (s1), replica s3 (s2).
+        let mut p = DataPlacement::new(3);
+        let a = p.add_item(SiteId(0), &[SiteId(1), SiteId(2)]);
+        let b = p.add_item(SiteId(1), &[SiteId(2)]);
+        assert_eq!(p.primary_of(a), SiteId(0));
+        assert_eq!(p.replicas_of(a), &[SiteId(1), SiteId(2)]);
+        assert_eq!(p.primary_of(b), SiteId(1));
+        assert!(p.has_copy(SiteId(2), a));
+        assert!(p.has_copy(SiteId(2), b));
+        assert!(!p.has_copy(SiteId(0), b));
+        assert_eq!(p.items_at(SiteId(2)), &[a, b]);
+        assert_eq!(p.primaries_at(SiteId(1)), &[b]);
+        assert_eq!(p.total_replicas(), 3);
+    }
+
+    #[test]
+    fn replica_dedup_and_sort() {
+        let mut p = DataPlacement::new(4);
+        let x = p.add_item(SiteId(0), &[SiteId(3), SiteId(1), SiteId(3)]);
+        assert_eq!(p.replicas_of(x), &[SiteId(1), SiteId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain the primary")]
+    fn replica_equal_to_primary_panics() {
+        let mut p = DataPlacement::new(2);
+        p.add_item(SiteId(0), &[SiteId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_primary_panics() {
+        let mut p = DataPlacement::new(2);
+        p.add_item(SiteId(5), &[]);
+    }
+
+    #[test]
+    fn local_items_have_no_replicas() {
+        let mut p = DataPlacement::new(2);
+        let x = p.add_item(SiteId(1), &[]);
+        assert!(p.replicas_of(x).is_empty());
+        assert!(p.has_copy(SiteId(1), x));
+        assert!(!p.has_copy(SiteId(0), x));
+    }
+}

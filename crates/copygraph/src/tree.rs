@@ -1,0 +1,445 @@
+//! Propagation trees with the §2 ancestor property.
+//!
+//! DAG(WT) forwards updates along the edges of a tree `T` built from the
+//! copy graph such that **if `sj` is a child of `si` in the copy graph,
+//! then `sj` is a descendant of `si` in `T`**. The paper defers the
+//! construction to the technical report; this module provides two:
+//!
+//! * [`PropagationTree::chain`] — the variant the paper's prototype used
+//!   (§5.1): sites linked in a total order consistent with the DAG. Always
+//!   valid, maximally deep.
+//! * [`PropagationTree::general`] — a branching tree. Sites are processed
+//!   in topological order; each is attached under its deepest
+//!   constraint-ancestor, and when a site's constraint-ancestors sit on
+//!   different branches the offending branch is spliced (re-parented)
+//!   below the deeper one. Splicing a subtree under a constraint-ancestor
+//!   never invalidates established constraints, because every *external*
+//!   constraint-ancestor of the spliced subtree lies on the spliced root's
+//!   former root-path, which is a prefix of the new one. The result is a
+//!   forest in general (one tree per weakly-connected region).
+//!
+//! The same builder also serves the BackEdge protocol (§4.1), which needs
+//! the *augmented* constraint set `Gdag ∪ {(sj, si) : (si, sj) ∈ B}` so
+//! every backedge target is an ancestor of its source in `T`.
+
+use repl_types::SiteId;
+
+use crate::graph::CopyGraph;
+
+/// Error returned when a propagation tree is requested for a cyclic graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NotADag;
+
+impl std::fmt::Display for NotADag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "copy graph is cyclic; remove backedges first (§4)")
+    }
+}
+
+impl std::error::Error for NotADag {}
+
+/// A rooted forest over sites with the ancestor property.
+#[derive(Clone, Debug)]
+pub struct PropagationTree {
+    parent: Vec<Option<u32>>,
+    children: Vec<Vec<u32>>,
+}
+
+impl PropagationTree {
+    /// Build the chain tree: sites linked in a topological order of the
+    /// copy graph (§5.1: "connect sites that are adjacent to each other in
+    /// some total order of the sites consistent with the DAG").
+    pub fn chain(graph: &CopyGraph) -> Result<Self, NotADag> {
+        let order = graph.topo_order().ok_or(NotADag)?;
+        let n = graph.num_sites() as usize;
+        let mut tree = PropagationTree {
+            parent: vec![None; n],
+            children: vec![Vec::new(); n],
+        };
+        for w in order.windows(2) {
+            tree.attach(w[1], Some(w[0]));
+        }
+        Ok(tree)
+    }
+
+    /// Build a general (branching) tree satisfying the ancestor property
+    /// for every copy-graph edge.
+    pub fn general(graph: &CopyGraph) -> Result<Self, NotADag> {
+        let order = graph.topo_order().ok_or(NotADag)?;
+        let constraints = graph.edges().into_iter().map(|(u, v, _)| (u, v)).collect::<Vec<_>>();
+        Ok(Self::from_constraints(graph.num_sites(), &constraints, &order))
+    }
+
+    /// Build a tree over `n` sites satisfying `ancestor(u, v)` for every
+    /// `(u, v)` in `constraints`, processing sites in `order` (which must
+    /// be a topological order of the constraint relation).
+    ///
+    /// # Panics
+    /// If `order` is not a valid topological order of the constraints.
+    pub fn from_constraints(n: u32, constraints: &[(SiteId, SiteId)], order: &[SiteId]) -> Self {
+        let n = n as usize;
+        assert_eq!(order.len(), n, "order must cover every site");
+        let mut cparents: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(u, v) in constraints {
+            cparents[v.index()].push(u.0);
+        }
+        let mut pos = vec![usize::MAX; n];
+        for (i, s) in order.iter().enumerate() {
+            pos[s.index()] = i;
+        }
+        for &(u, v) in constraints {
+            assert!(
+                pos[u.index()] < pos[v.index()],
+                "order is not topological for constraint {u:?} -> {v:?}"
+            );
+        }
+
+        let mut tree = PropagationTree {
+            parent: vec![None; n],
+            children: vec![Vec::new(); n],
+        };
+        let mut placed = vec![false; n];
+        for &v in order {
+            let mut anchors: Vec<SiteId> = cparents[v.index()]
+                .iter()
+                .map(|&u| SiteId(u))
+                .collect();
+            anchors.sort_unstable();
+            anchors.dedup();
+            debug_assert!(anchors.iter().all(|a| placed[a.index()]));
+            if anchors.is_empty() {
+                tree.attach(v, None);
+            } else {
+                // Splice branches until every anchor lies on one root-path,
+                // then attach v below the deepest anchor.
+                loop {
+                    let d = *anchors
+                        .iter()
+                        .max_by_key(|a| (tree.depth(**a), a.0))
+                        .expect("non-empty");
+                    let stray = anchors
+                        .iter()
+                        .copied()
+                        .find(|&u| u != d && !tree.is_ancestor(u, d));
+                    match stray {
+                        None => {
+                            tree.attach(v, Some(d));
+                            break;
+                        }
+                        Some(u) => tree.splice_under(u, d),
+                    }
+                }
+            }
+            placed[v.index()] = true;
+        }
+        tree
+    }
+
+    fn attach(&mut self, node: SiteId, parent: Option<SiteId>) {
+        debug_assert!(self.parent[node.index()].is_none());
+        if let Some(p) = parent {
+            self.parent[node.index()] = Some(p.0);
+            self.children[p.index()].push(node.0);
+        }
+    }
+
+    /// Re-parent the topmost ancestor of `u` that is not an ancestor-or-self
+    /// of `d`, placing that whole branch under `d`. Precondition: `u` and
+    /// `d` are incomparable.
+    fn splice_under(&mut self, u: SiteId, d: SiteId) {
+        debug_assert!(!self.is_ancestor(u, d) && !self.is_ancestor(d, u) && u != d);
+        let d_path: Vec<u32> = self.root_path(d).into_iter().map(|s| s.0).collect();
+        // Walk up from u; x = highest node on the path not on d's root-path.
+        let mut x = u.0;
+        let mut cur = u.0;
+        loop {
+            if !d_path.contains(&cur) && cur != d.0 {
+                x = cur;
+            }
+            match self.parent[cur as usize] {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        // Detach x from its old parent and hang it under d.
+        if let Some(old) = self.parent[x as usize] {
+            self.children[old as usize].retain(|&c| c != x);
+        }
+        self.parent[x as usize] = Some(d.0);
+        self.children[d.index()].push(x);
+    }
+
+    /// The parent of `site` in the tree, if any.
+    pub fn parent(&self, site: SiteId) -> Option<SiteId> {
+        self.parent[site.index()].map(SiteId)
+    }
+
+    /// The children of `site` in the tree.
+    pub fn children(&self, site: SiteId) -> impl Iterator<Item = SiteId> + '_ {
+        self.children[site.index()].iter().map(|&c| SiteId(c))
+    }
+
+    /// Roots of the forest.
+    pub fn roots(&self) -> Vec<SiteId> {
+        (0..self.parent.len() as u32)
+            .map(SiteId)
+            .filter(|s| self.parent[s.index()].is_none())
+            .collect()
+    }
+
+    /// Depth of `site` (roots have depth 0).
+    pub fn depth(&self, site: SiteId) -> usize {
+        let mut d = 0;
+        let mut cur = site.index();
+        while let Some(p) = self.parent[cur] {
+            d += 1;
+            cur = p as usize;
+        }
+        d
+    }
+
+    /// True iff `a` is a strict ancestor of `b`.
+    pub fn is_ancestor(&self, a: SiteId, b: SiteId) -> bool {
+        let mut cur = b.index();
+        while let Some(p) = self.parent[cur] {
+            if p == a.0 {
+                return true;
+            }
+            cur = p as usize;
+        }
+        false
+    }
+
+    /// The root-path of `site`, from the root down to `site`'s parent
+    /// (exclusive of `site` itself).
+    pub fn root_path(&self, site: SiteId) -> Vec<SiteId> {
+        let mut path = Vec::new();
+        let mut cur = site.index();
+        while let Some(p) = self.parent[cur] {
+            path.push(SiteId(p));
+            cur = p as usize;
+        }
+        path.reverse();
+        path
+    }
+
+    /// All sites in the subtree rooted at `site`, including `site`.
+    pub fn subtree(&self, site: SiteId) -> Vec<SiteId> {
+        let mut out = Vec::new();
+        let mut stack = vec![site.0];
+        while let Some(u) = stack.pop() {
+            out.push(SiteId(u));
+            stack.extend(self.children[u as usize].iter().copied());
+        }
+        out
+    }
+
+    /// The child of `from` whose subtree contains `target` — the next hop
+    /// when routing a subtransaction down the tree. `None` if `target` is
+    /// not a descendant of `from`.
+    pub fn next_hop_toward(&self, from: SiteId, target: SiteId) -> Option<SiteId> {
+        let mut cur = target;
+        loop {
+            let p = self.parent(cur)?;
+            if p == from {
+                return Some(cur);
+            }
+            cur = p;
+        }
+    }
+
+    /// The children of `from` that must receive a subtransaction destined
+    /// for `destinations` — exactly the *relevant children* of §2 ("a child
+    /// is relevant for a subtransaction if either the child or one of its
+    /// descendants contains a replica of an item that the subtransaction
+    /// has updated").
+    pub fn relevant_children(&self, from: SiteId, destinations: &[SiteId]) -> Vec<SiteId> {
+        let mut out: Vec<SiteId> = destinations
+            .iter()
+            .filter_map(|&d| self.next_hop_toward(from, d))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Verify the ancestor property for a constraint list; returns the
+    /// first violated constraint if any. Used by tests and debug builds.
+    pub fn verify(&self, constraints: &[(SiteId, SiteId)]) -> Result<(), (SiteId, SiteId)> {
+        for &(u, v) in constraints {
+            if !self.is_ancestor(u, v) {
+                return Err((u, v));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::DataPlacement;
+    use proptest::prelude::*;
+
+    fn s(n: u32) -> SiteId {
+        SiteId(n)
+    }
+
+    fn example_1_1_graph() -> CopyGraph {
+        let mut p = DataPlacement::new(3);
+        p.add_item(s(0), &[s(1), s(2)]);
+        p.add_item(s(1), &[s(2)]);
+        CopyGraph::from_placement(&p)
+    }
+
+    #[test]
+    fn chain_of_example_1_1() {
+        let g = example_1_1_graph();
+        let t = PropagationTree::chain(&g).unwrap();
+        // §2: s3 is a child of s2 which is a child of s1.
+        assert_eq!(t.parent(s(1)), Some(s(0)));
+        assert_eq!(t.parent(s(2)), Some(s(1)));
+        assert_eq!(t.roots(), vec![s(0)]);
+        assert!(t.is_ancestor(s(0), s(2)));
+    }
+
+    #[test]
+    fn chain_fails_on_cycle() {
+        let mut g = CopyGraph::empty(2);
+        g.add_edge(s(0), s(1), 1);
+        g.add_edge(s(1), s(0), 1);
+        assert_eq!(PropagationTree::chain(&g).unwrap_err(), NotADag);
+        assert!(PropagationTree::general(&g).is_err());
+    }
+
+    #[test]
+    fn general_tree_branches_on_independent_subdags() {
+        // s0 -> s1, s0 -> s2: s1 and s2 can be siblings.
+        let mut g = CopyGraph::empty(3);
+        g.add_edge(s(0), s(1), 1);
+        g.add_edge(s(0), s(2), 1);
+        let t = PropagationTree::general(&g).unwrap();
+        assert_eq!(t.parent(s(1)), Some(s(0)));
+        assert_eq!(t.parent(s(2)), Some(s(0)));
+        assert_eq!(t.depth(s(2)), 1);
+        // The chain would have made s2 a grandchild instead.
+        let c = PropagationTree::chain(&g).unwrap();
+        assert_eq!(c.depth(s(2)), 2);
+    }
+
+    #[test]
+    fn general_tree_merges_incomparable_anchors() {
+        // Diamond: s0 -> s1, s0 -> s2, s1 -> s3, s2 -> s3.
+        // s3 needs BOTH s1 and s2 as ancestors, so one branch is spliced.
+        let mut g = CopyGraph::empty(4);
+        g.add_edge(s(0), s(1), 1);
+        g.add_edge(s(0), s(2), 1);
+        g.add_edge(s(1), s(3), 1);
+        g.add_edge(s(2), s(3), 1);
+        let t = PropagationTree::general(&g).unwrap();
+        let constraints: Vec<_> = g.edges().into_iter().map(|(u, v, _)| (u, v)).collect();
+        t.verify(&constraints).unwrap();
+        assert!(t.is_ancestor(s(1), s(3)));
+        assert!(t.is_ancestor(s(2), s(3)));
+    }
+
+    #[test]
+    fn forest_for_disconnected_regions() {
+        let mut g = CopyGraph::empty(4);
+        g.add_edge(s(0), s(1), 1);
+        g.add_edge(s(2), s(3), 1);
+        let t = PropagationTree::general(&g).unwrap();
+        assert_eq!(t.roots(), vec![s(0), s(2)]);
+        assert!(!t.is_ancestor(s(0), s(3)));
+    }
+
+    #[test]
+    fn routing_helpers() {
+        let g = example_1_1_graph();
+        let t = PropagationTree::chain(&g).unwrap();
+        assert_eq!(t.next_hop_toward(s(0), s(2)), Some(s(1)));
+        assert_eq!(t.next_hop_toward(s(0), s(1)), Some(s(1)));
+        assert_eq!(t.next_hop_toward(s(2), s(0)), None);
+        assert_eq!(t.relevant_children(s(0), &[s(2)]), vec![s(1)]);
+        assert_eq!(t.relevant_children(s(2), &[]), Vec::<SiteId>::new());
+        let sub = t.subtree(s(1));
+        assert!(sub.contains(&s(1)) && sub.contains(&s(2)) && !sub.contains(&s(0)));
+    }
+
+    #[test]
+    fn root_path_ordering() {
+        let g = example_1_1_graph();
+        let t = PropagationTree::chain(&g).unwrap();
+        assert_eq!(t.root_path(s(2)), vec![s(0), s(1)]);
+        assert_eq!(t.root_path(s(0)), Vec::<SiteId>::new());
+    }
+
+    /// Generate a random DAG by orienting random edges low → high.
+    fn random_dag(n: u32, edges: &[(u32, u32)]) -> CopyGraph {
+        let mut g = CopyGraph::empty(n);
+        for &(a, b) in edges {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                g.add_edge(SiteId(lo), SiteId(hi), 1);
+            }
+        }
+        g
+    }
+
+    proptest! {
+        /// Both tree constructions must satisfy the ancestor property for
+        /// every edge of every random DAG.
+        #[test]
+        fn trees_satisfy_ancestor_property(
+            n in 2u32..12,
+            edges in prop::collection::vec((0u32..12, 0u32..12), 0..40),
+        ) {
+            let g = random_dag(n, &edges);
+            let constraints: Vec<_> =
+                g.edges().into_iter().map(|(u, v, _)| (u, v)).collect();
+            let chain = PropagationTree::chain(&g).unwrap();
+            prop_assert!(chain.verify(&constraints).is_ok());
+            let tree = PropagationTree::general(&g).unwrap();
+            prop_assert!(tree.verify(&constraints).is_ok());
+        }
+
+        /// The general tree is never deeper than the chain.
+        #[test]
+        fn general_no_deeper_than_chain(
+            n in 2u32..12,
+            edges in prop::collection::vec((0u32..12, 0u32..12), 0..40),
+        ) {
+            let g = random_dag(n, &edges);
+            let chain = PropagationTree::chain(&g).unwrap();
+            let tree = PropagationTree::general(&g).unwrap();
+            let max_chain = (0..n).map(|i| chain.depth(SiteId(i))).max().unwrap();
+            let max_tree = (0..n).map(|i| tree.depth(SiteId(i))).max().unwrap();
+            prop_assert!(max_tree <= max_chain);
+        }
+
+        /// Every site is reachable from some root, and parent/child links
+        /// are mutually consistent.
+        #[test]
+        fn tree_structure_is_consistent(
+            n in 2u32..12,
+            edges in prop::collection::vec((0u32..12, 0u32..12), 0..40),
+        ) {
+            let g = random_dag(n, &edges);
+            let tree = PropagationTree::general(&g).unwrap();
+            let mut seen = vec![false; n as usize];
+            for r in tree.roots() {
+                for site in tree.subtree(r) {
+                    prop_assert!(!seen[site.index()], "site visited twice");
+                    seen[site.index()] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&b| b), "orphaned site");
+            for i in 0..n {
+                for c in tree.children(SiteId(i)) {
+                    prop_assert_eq!(tree.parent(c), Some(SiteId(i)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Simulation parameters (the knobs of Table 1) and protocol selection.
+
+use repl_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Which update-propagation protocol the engine runs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Indiscriminate lazy propagation — the commercial-style strawman of
+    /// §1/Example 1.1. **Not serializable**; included to demonstrate the
+    /// anomaly against the checker.
+    NaiveLazy,
+    /// DAG(WT): lazy propagation along a propagation tree, FIFO per
+    /// parent (§2). Requires an acyclic copy graph.
+    DagWt,
+    /// DAG(T): lazy propagation along copy-graph edges, ordered by
+    /// timestamps with epochs (§3). Requires an acyclic copy graph whose
+    /// site numbering is a topological order.
+    DagT,
+    /// BackEdge: eager along backedges, DAG(WT)-lazy elsewhere (§4).
+    /// Handles arbitrary copy graphs.
+    BackEdge,
+    /// Primary-site locking (§5.1): remote S-locks + value shipping for
+    /// replica reads, no explicit propagation. The paper's baseline.
+    Psl,
+    /// Eager read-one-write-all with a commit broadcast (the §1
+    /// motivation for laziness; not in the paper's measurements).
+    Eager,
+}
+
+impl ProtocolKind {
+    /// All protocols, for exhaustive test sweeps.
+    pub const ALL: [ProtocolKind; 6] = [
+        ProtocolKind::NaiveLazy,
+        ProtocolKind::DagWt,
+        ProtocolKind::DagT,
+        ProtocolKind::BackEdge,
+        ProtocolKind::Psl,
+        ProtocolKind::Eager,
+    ];
+
+    /// All protocols that guarantee serializability.
+    pub const SERIALIZABLE: [ProtocolKind; 5] = [
+        ProtocolKind::DagWt,
+        ProtocolKind::DagT,
+        ProtocolKind::BackEdge,
+        ProtocolKind::Psl,
+        ProtocolKind::Eager,
+    ];
+
+    /// Short display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::NaiveLazy => "NaiveLazy",
+            ProtocolKind::DagWt => "DAG(WT)",
+            ProtocolKind::DagT => "DAG(T)",
+            ProtocolKind::BackEdge => "BackEdge",
+            ProtocolKind::Psl => "PSL",
+            ProtocolKind::Eager => "Eager",
+        }
+    }
+
+    /// True if the protocol requires the copy graph to be a DAG.
+    pub fn requires_dag(self) -> bool {
+        matches!(self, ProtocolKind::DagWt | ProtocolKind::DagT)
+    }
+}
+
+/// Propagation-tree shape for DAG(WT)/BackEdge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TreeKind {
+    /// The chain over a topological order — what the paper's prototype
+    /// used (§5.1).
+    Chain,
+    /// The general branching tree (§2); expected to dominate the chain.
+    General,
+}
+
+/// How local deadlocks are detected.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum DeadlockMode {
+    /// Lock-wait timeouts — the prototype's mechanism (50 ms, §5). Also
+    /// the only mechanism that catches *global* deadlocks.
+    Timeout,
+    /// Local waits-for-graph detection, checked on every block, with the
+    /// latest-arrival victim policy. Global deadlocks still fall back to
+    /// the timeout.
+    WaitsFor,
+}
+
+/// All engine parameters. Workload-shape parameters (Table 1) live in
+/// `repl-workload`; these are the execution-model knobs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimParams {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Tree used by DAG(WT)/BackEdge.
+    pub tree: TreeKind,
+    /// Deadlock handling.
+    pub deadlock_mode: DeadlockMode,
+    /// Worker threads per site (Table 1 default: 3).
+    pub threads_per_site: u32,
+    /// Transactions per thread (Table 1 default: 1000).
+    pub txns_per_thread: u32,
+    /// One-way network latency (Table 1 default: ≈0.15 ms measured).
+    pub network_latency: SimDuration,
+    /// Deadlock timeout interval (Table 1 default: 50 ms).
+    pub deadlock_timeout: SimDuration,
+    /// CPU cost of one read/write operation of a primary subtransaction.
+    pub op_cpu: SimDuration,
+    /// CPU cost of commit/abort bookkeeping.
+    pub commit_cpu: SimDuration,
+    /// CPU cost of receiving/dispatching one message.
+    pub msg_cpu: SimDuration,
+    /// CPU cost of applying one item write of a secondary subtransaction.
+    pub apply_cpu: SimDuration,
+    /// Delay before a deadlock-aborted primary is retried.
+    pub retry_backoff: SimDuration,
+    /// DAG(T): period at which source sites bump their epoch (§3.3).
+    pub epoch_period: SimDuration,
+    /// DAG(T): a site sends a dummy subtransaction on a link idle longer
+    /// than this (§3.3 "no communication for a while").
+    pub heartbeat_period: SimDuration,
+    /// BackEdge: multiple of the deadlock timeout after which a primary
+    /// still waiting for its special subtransaction gives up (the
+    /// prototype's lock timeout applied to the commit wait as well; large
+    /// values rely on blocker inspection instead).
+    pub eager_wait_timeout_factor: u64,
+    /// BackEdge: when a lock wait times out and a blocker is an
+    /// eager-phase participant, abort that participant (the generalized
+    /// Example 4.1 rule). Disabling leaves only the eager-wait timeout.
+    pub victimize_eager_holders: bool,
+    /// Safety valve: the run aborts if virtual time exceeds this.
+    pub max_virtual_time: SimDuration,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            protocol: ProtocolKind::BackEdge,
+            tree: TreeKind::Chain,
+            deadlock_mode: DeadlockMode::Timeout,
+            threads_per_site: 3,
+            txns_per_thread: 1000,
+            network_latency: SimDuration::micros(150),
+            deadlock_timeout: SimDuration::millis(50),
+            op_cpu: SimDuration::micros(1_000),
+            commit_cpu: SimDuration::micros(600),
+            msg_cpu: SimDuration::micros(250),
+            apply_cpu: SimDuration::micros(800),
+            retry_backoff: SimDuration::millis(5),
+            epoch_period: SimDuration::millis(50),
+            heartbeat_period: SimDuration::millis(25),
+            eager_wait_timeout_factor: 1,
+            victimize_eager_holders: true,
+            max_virtual_time: SimDuration::secs(36_000),
+        }
+    }
+}
+
+impl SimParams {
+    /// A configuration sized for fast tests: few transactions, small
+    /// timeouts.
+    pub fn quick_test(protocol: ProtocolKind) -> Self {
+        SimParams {
+            protocol,
+            txns_per_thread: 30,
+            threads_per_site: 2,
+            ..SimParams::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let p = SimParams::default();
+        assert_eq!(p.threads_per_site, 3);
+        assert_eq!(p.txns_per_thread, 1000);
+        assert_eq!(p.network_latency, SimDuration::micros(150));
+        assert_eq!(p.deadlock_timeout, SimDuration::millis(50));
+    }
+
+    #[test]
+    fn protocol_metadata() {
+        assert!(ProtocolKind::DagWt.requires_dag());
+        assert!(ProtocolKind::DagT.requires_dag());
+        assert!(!ProtocolKind::BackEdge.requires_dag());
+        assert!(!ProtocolKind::Psl.requires_dag());
+        assert_eq!(ProtocolKind::BackEdge.name(), "BackEdge");
+        assert_eq!(ProtocolKind::ALL.len(), 6);
+        assert!(!ProtocolKind::SERIALIZABLE.contains(&ProtocolKind::NaiveLazy));
+    }
+}

@@ -1,0 +1,443 @@
+//! The BackEdge protocol's eager phase (§4.1).
+//!
+//! When a transaction `Ti` at site `si` has updates destined for sites
+//! that are its *ancestors* in the propagation tree (backedge
+//! subtransactions), commit is delayed:
+//!
+//! 1. the backedge subtransaction `S1` is sent directly to the farthest
+//!    ancestor `si1` and executed there **without committing**;
+//! 2. a *special* secondary subtransaction then rides the ordinary FIFO
+//!    tree machinery from `si1` down toward `si`, executing (and holding
+//!    locks) at each intermediate site, never committing;
+//! 3. when the special reaches `si` — necessarily after everything queued
+//!    before it has committed — `Ti` and all the prepared subtransactions
+//!    commit atomically (a commit decision is broadcast; absent failures
+//!    2PC degenerates to this);
+//! 4. updates for descendant sites then propagate lazily à la DAG(WT).
+//!
+//! Global deadlocks (Example 4.1) are broken by the origin's lock
+//! timeout: the waiting primary aborts, a global abort decision releases
+//! every prepared subtransaction, and in-flight specials are discarded.
+
+use repl_sim::{SimDuration, SimTime};
+use repl_types::{GlobalTxnId, ItemId, SiteId, StorageError, Value};
+
+use super::event::{Event, Message, SubtxnKind, SubtxnMsg, TimeoutScope};
+use super::site::{BackedgeRun, Owner, PrimaryPhase};
+use super::Engine;
+
+impl Engine {
+    /// §4.1 step 1: ship `S1` to the farthest tree ancestor and wait.
+    pub(crate) fn start_eager_phase(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        thread: u32,
+        writes: Vec<(ItemId, Value)>,
+        ancestors: Vec<SiteId>,
+    ) {
+        let tree = self.tree.as_ref().expect("BackEdge has a tree");
+        // Farthest ancestor = smallest depth among the backedge targets.
+        let farthest = ancestors
+            .iter()
+            .copied()
+            .min_by_key(|&a| (tree.depth(a), a))
+            .expect("non-empty ancestor set");
+        // The special's route: every site strictly between `farthest` and
+        // `site` on the tree path, plus `farthest` itself. These are the
+        // decision targets.
+        let mut path = vec![farthest];
+        let mut cur = farthest;
+        while let Some(next) = tree.next_hop_toward(cur, site) {
+            if next == site {
+                break;
+            }
+            path.push(next);
+            cur = next;
+        }
+
+        let (gid, wait_seq) = {
+            let a = self.active_mut(site, thread).expect("eager phase without txn");
+            a.phase = PrimaryPhase::WaitingBackedge;
+            a.wait_seq += 1;
+            a.backedge_path = path;
+            (a.gid, a.wait_seq)
+        };
+        let sub = SubtxnMsg {
+            gid,
+            origin: site,
+            writes,
+            dest_sites: Vec::new(),
+            ts: None,
+            kind: SubtxnKind::Special,
+        };
+        self.send(now, site, farthest, Message::BackedgeExec { sub, origin_thread: thread });
+        // No aggressive timeout on the eager wait itself: only *lock*
+        // waits time out (§5). Global deadlocks resolve through blocker
+        // inspection (see `break_backedge_blockers`); a generous safety
+        // timeout guards against protocol bugs only.
+        let factor = self.params.eager_wait_timeout_factor.max(1);
+        let wait = self.params.deadlock_timeout.times(factor);
+        let extra = self.jitter(SimDuration::micros(wait.as_micros() / 10 + 1));
+        self.queue.push_at(
+            now + wait + extra,
+            Event::Timeout { site, scope: TimeoutScope::PrimaryEager { thread }, wait_seq },
+        );
+    }
+
+    /// `S1` arrives at the farthest ancestor: execute it as an
+    /// independent (non-applier) subtransaction.
+    pub(crate) fn recv_backedge_exec(
+        &mut self,
+        now: SimTime,
+        to: SiteId,
+        sub: SubtxnMsg,
+        origin_thread: u32,
+    ) {
+        if self.aborted_eager.contains(&sub.gid) {
+            return; // origin already gave up
+        }
+        let applicable: Vec<_> = sub
+            .writes
+            .iter()
+            .filter(|(item, _)| self.placement.has_copy(to, *item))
+            .cloned()
+            .collect();
+        let st = &mut self.sites[to.index()];
+        let local = st.store.begin();
+        st.owner.insert(local, Owner::Backedge { gid: sub.gid });
+        let gid = sub.gid;
+        st.backedge_txns.insert(
+            gid,
+            BackedgeRun {
+                local,
+                sub,
+                origin_thread,
+                applicable,
+                idx: 0,
+                prepared: false,
+                blocked: false,
+            },
+        );
+        self.exec_backedge_step(now, to, gid);
+    }
+
+    /// Apply the next write of a direct backedge subtransaction.
+    fn exec_backedge_step(&mut self, now: SimTime, site: SiteId, gid: GlobalTxnId) {
+        let (local, next, idx) = {
+            let Some(run) = self.sites[site.index()].backedge_txns.get(&gid) else {
+                return; // aborted by a decision meanwhile
+            };
+            (run.local, run.applicable.get(run.idx).cloned(), run.idx)
+        };
+        match next {
+            Some((item, value)) => {
+                match self.sites[site.index()].store.write(local, item, value, gid) {
+                    Ok(()) => {
+                        let at = self.sites[site.index()].cpu.run(now, self.params.apply_cpu);
+                        self.queue.push_at(at, Event::BackedgeStepDone { site, gid, idx });
+                    }
+                    Err(StorageError::WouldBlock(_)) => {
+                        if let Some(run) = self.sites[site.index()].backedge_txns.get_mut(&gid) {
+                            run.blocked = true;
+                        }
+                        // On timeout the blockers are inspected (the
+                        // subtransaction itself is never the victim —
+                        // §4.1: aborting it "does not help").
+                        self.schedule_timeout(now, site, TimeoutScope::BackedgeExec { gid }, 0);
+                        if matches!(
+                            self.params.deadlock_mode,
+                            crate::config::DeadlockMode::WaitsFor
+                        ) {
+                            self.detect_and_break_deadlock(now, site);
+                        }
+                    }
+                    Err(e) => panic!("backedge write failed at {site}: {e}"),
+                }
+            }
+            None => self.backedge_prepared(now, site, gid),
+        }
+    }
+
+    /// CPU slice for one backedge write finished.
+    pub(crate) fn backedge_step_done(&mut self, now: SimTime, site: SiteId, gid: GlobalTxnId, idx: usize) {
+        let valid = self.sites[site.index()]
+            .backedge_txns
+            .get(&gid)
+            .map(|r| !r.prepared && !r.blocked && r.idx == idx)
+            .unwrap_or(false);
+        if !valid {
+            return;
+        }
+        self.sites[site.index()]
+            .backedge_txns
+            .get_mut(&gid)
+            .unwrap()
+            .idx += 1;
+        self.exec_backedge_step(now, site, gid);
+    }
+
+    /// A blocked backedge subtransaction's lock was granted.
+    pub(crate) fn resume_backedge_exec(&mut self, now: SimTime, site: SiteId, gid: GlobalTxnId) {
+        let resumable = self.sites[site.index()]
+            .backedge_txns
+            .get_mut(&gid)
+            .map(|r| {
+                let was = r.blocked;
+                r.blocked = false;
+                was && !r.prepared
+            })
+            .unwrap_or(false);
+        if resumable {
+            self.exec_backedge_step(now, site, gid);
+        }
+    }
+
+    /// §4.1 step 2: execution finished — hold locks, forward the special
+    /// toward the origin.
+    fn backedge_prepared(&mut self, now: SimTime, site: SiteId, gid: GlobalTxnId) {
+        let (sub, local) = {
+            let run = self.sites[site.index()]
+                .backedge_txns
+                .get_mut(&gid)
+                .expect("prepared run exists");
+            run.prepared = true;
+            (run.sub.clone(), run.local)
+        };
+        let _ = self.sites[site.index()].store.prepare(local);
+        let tree = self.tree.as_ref().expect("BackEdge has a tree");
+        let next = tree
+            .next_hop_toward(site, sub.origin)
+            .expect("origin is a tree descendant of every backedge site");
+        self.send(now, site, next, Message::Subtxn { from: site, sub });
+    }
+
+    /// The applier at an intermediate site finished executing a special
+    /// subtransaction: transfer it to the prepared table (keeping its
+    /// locks) and forward; the applier moves on.
+    pub(crate) fn special_executed(&mut self, now: SimTime, site: SiteId) {
+        let a = self.sites[site.index()].applier.take().expect("special in applier");
+        self.sites[site.index()].applier_gen += 1;
+        let gid = a.msg.gid;
+        self.sites[site.index()]
+            .owner
+            .insert(a.local, Owner::Backedge { gid });
+        let _ = self.sites[site.index()].store.prepare(a.local);
+        self.sites[site.index()].backedge_txns.insert(
+            gid,
+            BackedgeRun {
+                local: a.local,
+                sub: a.msg.clone(),
+                origin_thread: 0,
+                applicable: a.applicable.clone(),
+                idx: a.applicable.len(),
+                prepared: true,
+                blocked: false,
+            },
+        );
+        let tree = self.tree.as_ref().expect("BackEdge has a tree");
+        let next = tree
+            .next_hop_toward(site, a.msg.origin)
+            .expect("origin below every special site");
+        self.send(now, site, next, Message::Subtxn { from: site, sub: a.msg });
+        self.pump_secondary(now, site);
+    }
+
+    /// §4.1 step 3: the special arrived back at the origin through the
+    /// FIFO queue (so everything received before it has committed).
+    /// Commit the waiting primary.
+    pub(crate) fn backedge_home_arrival(&mut self, now: SimTime, site: SiteId, sub: SubtxnMsg) {
+        let thread = (0..self.sites[site.index()].threads.len() as u32).find(|&t| {
+            self.active(site, t)
+                .map(|a| a.gid == sub.gid && a.phase == PrimaryPhase::WaitingBackedge)
+                .unwrap_or(false)
+        });
+        if let Some(thread) = thread {
+            self.schedule_commit_cpu(now, site, thread);
+        }
+        // Applier stays free either way; the origin does not re-apply its
+        // own writes.
+        self.queue.push_at(now, Event::PumpSecondary { site });
+    }
+
+    /// After the origin's local commit: broadcast the commit decision to
+    /// the path sites and propagate lazily to descendants (§4.1 step 4).
+    pub(crate) fn backedge_after_commit(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        gid: GlobalTxnId,
+        a: &super::site::ActivePrimary,
+        writes: &[(ItemId, Value)],
+        dests: &[SiteId],
+    ) {
+        for &p in &a.backedge_path {
+            self.send(now, site, p, Message::BackedgeDecision { gid, commit: true });
+        }
+        let tree = self.tree.as_ref().expect("BackEdge has a tree");
+        let descendants: Vec<SiteId> = dests
+            .iter()
+            .copied()
+            .filter(|&d| tree.is_ancestor(site, d))
+            .collect();
+        if !descendants.is_empty() {
+            let sub = SubtxnMsg {
+                gid,
+                origin: site,
+                writes: writes.to_vec(),
+                dest_sites: descendants,
+                ts: None,
+                kind: SubtxnKind::Normal,
+            };
+            self.forward_down_tree(now, site, &sub);
+        }
+    }
+
+    /// The origin's eager timeout fired: global-deadlock abort (the
+    /// Example 4.1 resolution).
+    pub(crate) fn abort_eager_primary(&mut self, now: SimTime, site: SiteId, thread: u32) {
+        let Some(a) = self.active(site, thread).cloned() else { return };
+        self.aborted_eager.insert(a.gid);
+        for &p in &a.backedge_path {
+            self.send(now, site, p, Message::BackedgeDecision { gid: a.gid, commit: false });
+        }
+        self.abort_primary(now, site, thread, false);
+    }
+
+    /// A commit/abort decision arrives at a path site.
+    pub(crate) fn recv_backedge_decision(
+        &mut self,
+        now: SimTime,
+        to: SiteId,
+        gid: GlobalTxnId,
+        commit: bool,
+    ) {
+        if let Some(run) = self.sites[to.index()].backedge_txns.remove(&gid) {
+            self.sites[to.index()].owner.remove(&run.local);
+            let granted = if commit {
+                debug_assert!(run.prepared, "commit decision for an unprepared subtransaction");
+                let (_, granted) = self.sites[to.index()]
+                    .store
+                    .commit(run.local)
+                    .expect("commit prepared backedge txn");
+                if !run.applicable.is_empty() {
+                    self.metrics.on_apply(gid, now);
+                }
+                granted
+            } else {
+                self.sites[to.index()]
+                    .store
+                    .abort(run.local)
+                    .expect("abort backedge txn")
+            };
+            self.resume_granted(now, to, granted);
+            return;
+        }
+        // Not in the table: maybe the special is still sitting in the
+        // applier (only possible for an abort — commits are sent after
+        // the special has passed through every path site).
+        debug_assert!(!commit, "commit decision with no prepared subtransaction at {to}");
+        let in_applier = self.sites[to.index()]
+            .applier
+            .as_ref()
+            .map(|ap| ap.msg.gid == gid)
+            .unwrap_or(false);
+        if in_applier {
+            let ap = self.sites[to.index()].applier.take().expect("checked");
+            self.sites[to.index()].applier_gen += 1;
+            self.sites[to.index()].owner.remove(&ap.local);
+            let granted = self.sites[to.index()]
+                .store
+                .abort(ap.local)
+                .expect("abort special in applier");
+            self.resume_granted(now, to, granted);
+            self.pump_secondary(now, to);
+        }
+        // Otherwise the special has not arrived yet; the aborted_eager set
+        // discards it on arrival.
+    }
+
+    /// A blocked backedge subtransaction timed out: break its blockers if
+    /// they are eager-phase participants, then re-arm.
+    pub(crate) fn backedge_exec_timeout(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        gid: GlobalTxnId,
+        _wait_seq: u64,
+    ) {
+        let Some(run) = self.sites[site.index()].backedge_txns.get(&gid) else { return };
+        if !run.blocked || run.prepared {
+            return;
+        }
+        let local = run.local;
+        self.break_backedge_blockers(now, site, local);
+        // Re-arm: if the blockers were ordinary primaries they will time
+        // out and release on their own; keep inspecting meanwhile.
+        let still_blocked = self.sites[site.index()]
+            .backedge_txns
+            .get(&gid)
+            .map(|r| r.blocked)
+            .unwrap_or(false);
+        if still_blocked {
+            self.schedule_timeout(now, site, TimeoutScope::BackedgeExec { gid }, 0);
+        }
+    }
+
+    /// §4.1 deadlock rule, generalized from the Example 4.1 trace: when a
+    /// subtransaction's lock wait times out, any blocker that is part of
+    /// an eager phase is the party to kill — a primary waiting for its
+    /// special subtransaction (abort it locally), or a prepared backedge
+    /// subtransaction (ask its origin to abort). Aborting the waiting
+    /// subtransaction itself never helps, because it must eventually run.
+    pub(crate) fn break_backedge_blockers(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        blocked: repl_storage::TxnId,
+    ) {
+        if !self.params.victimize_eager_holders {
+            return;
+        }
+        let Some(item) = self.sites[site.index()].store.locks().waiting_on(blocked) else {
+            return;
+        };
+        let holders = self.sites[site.index()].store.locks().holders_of(item);
+        for holder in holders {
+            match self.sites[site.index()].owner.get(&holder).copied() {
+                Some(Owner::Primary { thread }) => {
+                    let waiting_eager = self
+                        .active(site, thread)
+                        .map(|a| a.phase == PrimaryPhase::WaitingBackedge)
+                        .unwrap_or(false);
+                    if waiting_eager {
+                        self.abort_eager_primary(now, site, thread);
+                    }
+                }
+                Some(Owner::Backedge { gid }) => {
+                    let origin = self.sites[site.index()]
+                        .backedge_txns
+                        .get(&gid)
+                        .map(|r| r.sub.origin);
+                    if let Some(origin) = origin {
+                        self.send(now, site, origin, Message::BackedgeAbortReq { gid });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// A remote site asked us to abort `gid`'s eager phase because its
+    /// prepared subtransaction blocks a timed-out lock wait there.
+    pub(crate) fn recv_backedge_abort_req(&mut self, now: SimTime, to: SiteId, gid: GlobalTxnId) {
+        let thread = (0..self.sites[to.index()].threads.len() as u32).find(|&t| {
+            self.active(to, t)
+                .map(|a| a.gid == gid && a.phase == PrimaryPhase::WaitingBackedge)
+                .unwrap_or(false)
+        });
+        if let Some(thread) = thread {
+            self.abort_eager_primary(now, to, thread);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Events on the simulation calendar and messages on the network.
+
+use repl_types::{GlobalTxnId, ItemId, SiteId, Value};
+
+use crate::timestamp::Timestamp;
+
+/// What kind of secondary subtransaction a message carries.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SubtxnKind {
+    /// An ordinary secondary subtransaction: commits at the receiving
+    /// site, then (DAG(WT)/BackEdge) is forwarded to relevant children.
+    Normal,
+    /// A BackEdge "special" subtransaction (§4.1): executed and forwarded
+    /// down the tree toward `origin` *without committing*; locks are held
+    /// until the distributed-commit decision.
+    Special,
+    /// A DAG(T) dummy (§3.3): no updates, only pushes the receiving
+    /// site's timestamp/epoch forward.
+    Dummy,
+}
+
+/// A secondary subtransaction in flight or queued.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SubtxnMsg {
+    /// The logical transaction whose updates this carries.
+    pub gid: GlobalTxnId,
+    /// Site where the primary subtransaction ran.
+    pub origin: SiteId,
+    /// Full deduplicated write set of the primary; each receiving site
+    /// applies the subset it holds replicas of (§2).
+    pub writes: Vec<(ItemId, Value)>,
+    /// All replica sites that must eventually apply these updates (used
+    /// for tree routing in DAG(WT)/BackEdge; empty for DAG(T)/naive,
+    /// which send point-to-point).
+    pub dest_sites: Vec<SiteId>,
+    /// DAG(T) timestamp; `None` for the other protocols.
+    pub ts: Option<Timestamp>,
+    /// Normal / special / dummy.
+    pub kind: SubtxnKind,
+}
+
+/// Network messages.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Message {
+    /// A secondary subtransaction travelling a copy-graph or tree edge;
+    /// `from` identifies the sending parent (selects the incoming queue).
+    Subtxn {
+        /// Sending site (the queue key at the receiver).
+        from: SiteId,
+        /// The subtransaction payload.
+        sub: SubtxnMsg,
+    },
+    /// BackEdge step 1 (§4.1): the backedge subtransaction `S1` sent
+    /// directly from the origin to the farthest tree ancestor.
+    BackedgeExec {
+        /// The subtransaction payload (kind = `Special`).
+        sub: SubtxnMsg,
+        /// Thread at the origin waiting for the eager phase.
+        origin_thread: u32,
+    },
+    /// BackEdge step 3: the distributed-commit decision for the prepared
+    /// backedge/special subtransactions of `gid`.
+    BackedgeDecision {
+        /// Transaction the decision applies to.
+        gid: GlobalTxnId,
+        /// True = commit, false = abort.
+        commit: bool,
+    },
+    /// PSL / Eager: request a lock at the primary site of `item` on
+    /// behalf of remote transaction `gid`.
+    RemoteLockReq {
+        /// Item whose primary copy lives at the receiving site.
+        item: ItemId,
+        /// True for an exclusive (Eager write) lock; false for the PSL
+        /// shared read lock.
+        exclusive: bool,
+        /// Value to provisionally install (Eager writes).
+        value: Option<Value>,
+        /// Requesting transaction.
+        gid: GlobalTxnId,
+        /// Where to send the grant.
+        origin_site: SiteId,
+        /// Thread at the origin blocked on this request.
+        origin_thread: u32,
+    },
+    /// PSL / Eager: the grant (or denial, if the proxy was chosen as a
+    /// deadlock victim) for an earlier [`Message::RemoteLockReq`].
+    RemoteLockGrant {
+        /// Transaction the grant is for.
+        gid: GlobalTxnId,
+        /// Thread at the origin blocked on this request.
+        origin_thread: u32,
+        /// Item the lock covers.
+        item: ItemId,
+        /// False when the proxy was aborted (origin must abort too).
+        ok: bool,
+        /// PSL read grants ship the logical writer of the value read
+        /// (outer `Some` for reads; inner is the version's writer).
+        writer: Option<Option<GlobalTxnId>>,
+    },
+    /// BackEdge distributed-deadlock resolution: a timed-out lock wait at
+    /// some site found its blocker to be a prepared backedge
+    /// subtransaction of `gid`; ask `gid`'s origin to abort its eager
+    /// phase (the Example 4.1 "T2 will be aborted" rule).
+    BackedgeAbortReq {
+        /// The transaction whose eager phase should abort.
+        gid: GlobalTxnId,
+    },
+    /// PSL / Eager: the origin has committed (or aborted); the proxy
+    /// holding locks for `gid` at the receiving site must do the same.
+    ProxyRelease {
+        /// Transaction whose proxy should finish.
+        gid: GlobalTxnId,
+        /// True = commit, false = abort.
+        commit: bool,
+    },
+}
+
+/// The scope of a pending lock-wait timeout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimeoutScope {
+    /// A primary subtransaction blocked on a local lock.
+    PrimaryLocal {
+        /// The blocked thread.
+        thread: u32,
+    },
+    /// A primary blocked on a remote lock grant (PSL / Eager).
+    PrimaryRemote {
+        /// The blocked thread.
+        thread: u32,
+    },
+    /// A primary in the BackEdge eager phase waiting for its special
+    /// subtransaction to come home (global-deadlock backstop).
+    PrimaryEager {
+        /// The waiting thread.
+        thread: u32,
+    },
+    /// The site's secondary applier blocked on a local lock.
+    Secondary,
+    /// A directly-sent backedge subtransaction (`S1`) blocked on a local
+    /// lock; the timeout re-inspects its blockers rather than aborting it
+    /// (§4.1: aborting the secondary "does not help").
+    BackedgeExec {
+        /// The transaction the subtransaction belongs to.
+        gid: GlobalTxnId,
+    },
+}
+
+/// Simulation events.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// A worker thread begins its next transaction.
+    StartThreadTxn {
+        /// Site of the thread.
+        site: SiteId,
+        /// Thread index within the site.
+        thread: u32,
+    },
+    /// CPU slice for one primary operation finished.
+    PrimaryOpDone {
+        /// Site of the thread.
+        site: SiteId,
+        /// Thread index.
+        thread: u32,
+        /// Attempt the slice belongs to (stale-event guard).
+        gid: GlobalTxnId,
+    },
+    /// CPU slice for primary commit processing finished.
+    PrimaryCommitDone {
+        /// Site of the thread.
+        site: SiteId,
+        /// Thread index.
+        thread: u32,
+        /// Attempt the slice belongs to.
+        gid: GlobalTxnId,
+    },
+    /// A deadlock timeout fired.
+    Timeout {
+        /// Site the wait is at.
+        site: SiteId,
+        /// What was waiting.
+        scope: TimeoutScope,
+        /// Wait-sequence guard: stale timeouts are ignored.
+        wait_seq: u64,
+    },
+    /// A network message arrives.
+    Deliver {
+        /// Receiving site.
+        to: SiteId,
+        /// Payload.
+        msg: Message,
+    },
+    /// CPU slice for one secondary item-write finished.
+    SecondaryStepDone {
+        /// Site whose applier stepped.
+        site: SiteId,
+        /// Applier-generation guard.
+        gen: u64,
+    },
+    /// CPU slice for a secondary commit finished.
+    SecondaryCommitDone {
+        /// Site whose applier is committing.
+        site: SiteId,
+        /// Applier-generation guard.
+        gen: u64,
+    },
+    /// A deadlock-aborted thread retries its transaction.
+    RetryThread {
+        /// Site of the thread.
+        site: SiteId,
+        /// Thread index.
+        thread: u32,
+    },
+    /// DAG(T): a source site increments its epoch (§3.3).
+    EpochTick {
+        /// The source site.
+        site: SiteId,
+    },
+    /// DAG(T): check idle links and send dummy subtransactions (§3.3).
+    HeartbeatTick {
+        /// The sending site.
+        site: SiteId,
+    },
+    /// The site's applier should try to start the next secondary.
+    PumpSecondary {
+        /// The site to pump.
+        site: SiteId,
+    },
+    /// CPU slice for one write of a directly-sent backedge
+    /// subtransaction (`S1`, §4.1) finished.
+    BackedgeStepDone {
+        /// Site executing the backedge subtransaction.
+        site: SiteId,
+        /// The transaction it belongs to.
+        gid: GlobalTxnId,
+        /// Write index the slice covered (stale-event guard).
+        idx: usize,
+    },
+}

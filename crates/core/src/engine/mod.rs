@@ -1,0 +1,523 @@
+//! The protocol engine: an event-driven multi-site simulator.
+//!
+//! One [`Engine`] owns every site, the network, the calendar, the recorded
+//! history and the metrics. Protocol behaviour is selected by
+//! [`crate::config::ProtocolKind`]; the shared machinery (transaction
+//! driving, locking, timeouts, commit bookkeeping) lives here and in the
+//! sibling modules:
+//!
+//! * [`primary`] — worker threads executing primary subtransactions;
+//! * [`secondary`] — incoming queues and the per-site applier (DAG(WT),
+//!   DAG(T), NaiveLazy, and BackEdge's lazy half);
+//! * [`remote`] — PSL/Eager remote locking via proxy transactions;
+//! * [`backedge`] — the BackEdge eager phase (§4.1).
+
+pub mod event;
+pub mod site;
+
+mod backedge;
+mod primary;
+mod remote;
+mod secondary;
+
+use std::collections::HashSet;
+
+use repl_copygraph::{BackEdgeSet, CopyGraph, DataPlacement, PropagationTree};
+use repl_sim::{EventQueue, Network, SimDuration, SimTime};
+use repl_storage::TxnId;
+use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
+
+use crate::config::{ProtocolKind, SimParams, TreeKind};
+use crate::history::{History, SerializationCycle};
+use crate::metrics::{Metrics, MetricsSummary};
+use crate::scenario;
+
+use event::{Event, Message, TimeoutScope};
+use site::{Owner, SiteState};
+
+/// Errors raised while assembling an engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// DAG(WT)/DAG(T) require an acyclic copy graph (§2/§3); run BackEdge
+    /// instead (§4).
+    CopyGraphCyclic,
+    /// DAG(T) additionally requires the site numbering to be a
+    /// topological order of the copy graph, because Definition 3.3
+    /// compares tuples by site id (§3.1 "without loss of generality").
+    SiteOrderNotTopological,
+    /// Program shape does not match the placement (sites/threads).
+    BadPrograms(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::CopyGraphCyclic => {
+                write!(f, "copy graph is cyclic; DAG protocols require a DAG (use BackEdge)")
+            }
+            BuildError::SiteOrderNotTopological => {
+                write!(f, "DAG(T) requires site ids to form a topological order of the copy graph")
+            }
+            BuildError::BadPrograms(s) => write!(f, "bad program shape: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Aggregate metrics (throughput, abort rate, response time, …).
+    pub summary: MetricsSummary,
+    /// Did the recorded history pass the one-copy-serializability check?
+    pub serializable: bool,
+    /// The witness cycle when it did not.
+    pub cycle: Option<SerializationCycle>,
+    /// True if the run hit the virtual-time safety valve before finishing.
+    pub stalled: bool,
+}
+
+/// The multi-site protocol engine.
+pub struct Engine {
+    pub(crate) params: SimParams,
+    pub(crate) placement: DataPlacement,
+    pub(crate) graph: CopyGraph,
+    /// Propagation tree (DAG(WT)/BackEdge).
+    pub(crate) tree: Option<PropagationTree>,
+    /// Backedge set (BackEdge protocol).
+    pub(crate) backedges: Option<BackEdgeSet>,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) net: Network,
+    pub(crate) sites: Vec<SiteState>,
+    pub(crate) history: History,
+    pub(crate) metrics: Metrics,
+    /// Attempts aborted during a BackEdge eager phase; in-flight special
+    /// subtransactions for these are discarded on arrival.
+    pub(crate) aborted_eager: HashSet<GlobalTxnId>,
+    /// Threads that have not yet finished their programs.
+    pub(crate) live_threads: u64,
+    /// Deterministic jitter source (see [`Engine::jitter`]).
+    jitter_state: u64,
+    stalled: bool,
+}
+
+impl Engine {
+    /// Assemble an engine from a placement, parameters and per-thread
+    /// transaction programs (`programs[site][thread][txn]` = op list).
+    pub fn new(
+        placement: &DataPlacement,
+        params: &SimParams,
+        programs: Vec<Vec<Vec<Vec<Op>>>>,
+    ) -> Result<Self, BuildError> {
+        let graph = CopyGraph::from_placement(placement);
+        if programs.len() != placement.num_sites() as usize {
+            return Err(BuildError::BadPrograms(format!(
+                "{} sites of programs for {} sites",
+                programs.len(),
+                placement.num_sites()
+            )));
+        }
+
+        // Protocol-specific structure.
+        let mut tree = None;
+        let mut backedges = None;
+        match params.protocol {
+            ProtocolKind::DagWt => {
+                let t = match params.tree {
+                    TreeKind::Chain => PropagationTree::chain(&graph),
+                    TreeKind::General => PropagationTree::general(&graph),
+                }
+                .map_err(|_| BuildError::CopyGraphCyclic)?;
+                tree = Some(t);
+            }
+            ProtocolKind::DagT => {
+                let order = graph.topo_order().ok_or(BuildError::CopyGraphCyclic)?;
+                if order.windows(2).any(|w| w[0] > w[1]) {
+                    // topo_order() is the id-minimal order; if even it is
+                    // not ascending, ids are not topological.
+                    return Err(BuildError::SiteOrderNotTopological);
+                }
+            }
+            ProtocolKind::BackEdge => {
+                let b = BackEdgeSet::by_site_order(&graph);
+                // Build the tree over Gdag plus reversed backedges so
+                // backedge targets are tree ancestors of their sources.
+                let constraints = b.augmented_constraints(&graph);
+                let mut cg = CopyGraph::empty(placement.num_sites());
+                for &(u, v) in &constraints {
+                    cg.add_edge(u, v, 1);
+                }
+                let t = match params.tree {
+                    TreeKind::Chain => PropagationTree::chain(&cg),
+                    TreeKind::General => PropagationTree::general(&cg),
+                }
+                .expect("augmented constraints of a minimal backedge set are acyclic");
+                tree = Some(t);
+                backedges = Some(b);
+            }
+            ProtocolKind::NaiveLazy | ProtocolKind::Psl | ProtocolKind::Eager => {}
+        }
+
+        // Sites, stores, queues.
+        let mut sites: Vec<SiteState> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| SiteState::new(SiteId(i as u32), p))
+            .collect();
+        for item in placement.items() {
+            let primary = placement.primary_of(item);
+            sites[primary.index()].store.create_item(item, Value::Initial);
+            for &r in placement.replicas_of(item) {
+                sites[r.index()].store.create_item(item, Value::Initial);
+            }
+        }
+        // Incoming queues.
+        match params.protocol {
+            ProtocolKind::DagWt | ProtocolKind::BackEdge => {
+                let t = tree.as_ref().expect("tree built above");
+                for s in &mut sites {
+                    if let Some(p) = t.parent(s.id) {
+                        s.in_queues.push((p, Default::default()));
+                    }
+                }
+            }
+            ProtocolKind::DagT => {
+                for s in &mut sites {
+                    let parents: Vec<SiteId> = graph.parents(s.id).collect();
+                    for p in parents {
+                        s.in_queues.push((p, Default::default()));
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        let num_sites = placement.num_sites();
+        let mut engine = Engine {
+            params: params.clone(),
+            placement: placement.clone(),
+            graph,
+            tree,
+            backedges,
+            queue: EventQueue::new(),
+            net: Network::new(num_sites, params.network_latency),
+            sites,
+            history: History::new(),
+            metrics: Metrics::new(num_sites),
+            aborted_eager: HashSet::new(),
+            live_threads: 0,
+            jitter_state: 0x243F_6A88_85A3_08D3,
+            stalled: false,
+        };
+        engine.seed_events();
+        Ok(engine)
+    }
+
+    /// Convenience constructor: generate §5.2-style default programs
+    /// (10 ops, 50% read-only transactions, 70% read operations) from
+    /// `seed` and assemble the engine.
+    ///
+    /// # Panics
+    /// On build errors — use [`Engine::new`] for fallible assembly.
+    pub fn build(placement: &DataPlacement, params: &SimParams, seed: u64) -> Self {
+        let programs = scenario::generate_programs(
+            placement,
+            &scenario::WorkloadMix::default(),
+            params.threads_per_site,
+            params.txns_per_thread,
+            seed,
+        );
+        Engine::new(placement, params, programs).expect("default build failed")
+    }
+
+    fn seed_events(&mut self) {
+        for site in 0..self.sites.len() as u32 {
+            for thread in 0..self.sites[site as usize].threads.len() as u32 {
+                if !self.sites[site as usize].threads[thread as usize].finished() {
+                    self.live_threads += 1;
+                    self.queue
+                        .push_at(SimTime::ZERO, Event::StartThreadTxn { site: SiteId(site), thread });
+                }
+            }
+        }
+        if self.params.protocol == ProtocolKind::DagT {
+            let sources = self.graph.sources();
+            for s in sources {
+                self.queue.push_at(
+                    SimTime::ZERO + self.params.epoch_period,
+                    Event::EpochTick { site: s },
+                );
+            }
+            for s in 0..self.sites.len() as u32 {
+                let site = SiteId(s);
+                if self.graph.children(site).next().is_some() {
+                    self.queue.push_at(
+                        SimTime::ZERO + SimDuration::micros(1),
+                        Event::HeartbeatTick { site },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Run the simulation to quiescence and report.
+    pub fn run(&mut self) -> RunReport {
+        let horizon = SimTime::ZERO + self.params.max_virtual_time;
+        while let Some((now, ev)) = self.queue.pop() {
+            if now > horizon {
+                self.stalled = true;
+                break;
+            }
+            self.dispatch(now, ev);
+            if self.done() {
+                break;
+            }
+        }
+        let check = self.history.check_serializability();
+        RunReport {
+            summary: self.metrics.summarize(self.queue.now(), self.net.total_messages()),
+            serializable: check.is_ok(),
+            cycle: check.err(),
+            stalled: self.stalled,
+        }
+    }
+
+    /// True when the workload is finished and all propagation has landed.
+    fn done(&self) -> bool {
+        self.live_threads == 0
+            && self.metrics.unpropagated() == 0
+            && self.sites.iter().all(|s| s.secondaries_idle())
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::StartThreadTxn { site, thread } => self.start_thread_txn(now, site, thread),
+            Event::PrimaryOpDone { site, thread, gid } => {
+                self.primary_op_done(now, site, thread, gid)
+            }
+            Event::PrimaryCommitDone { site, thread, gid } => {
+                self.primary_commit_done(now, site, thread, gid)
+            }
+            Event::Timeout { site, scope, wait_seq } => {
+                self.handle_timeout(now, site, scope, wait_seq)
+            }
+            Event::Deliver { to, msg } => self.deliver(now, to, msg),
+            Event::SecondaryStepDone { site, gen } => self.secondary_step_done(now, site, gen),
+            Event::SecondaryCommitDone { site, gen } => {
+                self.secondary_commit_done(now, site, gen)
+            }
+            Event::RetryThread { site, thread } => self.retry_thread(now, site, thread),
+            Event::EpochTick { site } => self.epoch_tick(now, site),
+            Event::HeartbeatTick { site } => self.heartbeat_tick(now, site),
+            Event::PumpSecondary { site } => self.pump_secondary(now, site),
+            Event::BackedgeStepDone { site, gid, idx } => {
+                self.backedge_step_done(now, site, gid, idx)
+            }
+        }
+    }
+
+    fn deliver(&mut self, now: SimTime, to: SiteId, msg: Message) {
+        // Receiving a message costs CPU (pushes back other work at the
+        // site) even when handling is otherwise instantaneous.
+        self.sites[to.index()].cpu.run(now, self.params.msg_cpu);
+        match msg {
+            Message::Subtxn { from, sub } => self.recv_subtxn(now, to, from, sub),
+            Message::BackedgeExec { sub, origin_thread } => {
+                self.recv_backedge_exec(now, to, sub, origin_thread)
+            }
+            Message::BackedgeDecision { gid, commit } => {
+                self.recv_backedge_decision(now, to, gid, commit)
+            }
+            Message::BackedgeAbortReq { gid } => self.recv_backedge_abort_req(now, to, gid),
+            Message::RemoteLockReq { item, exclusive, value, gid, origin_site, origin_thread } => {
+                self.recv_remote_lock_req(
+                    now,
+                    to,
+                    item,
+                    exclusive,
+                    value,
+                    gid,
+                    origin_site,
+                    origin_thread,
+                )
+            }
+            Message::RemoteLockGrant { gid, origin_thread, item, ok, writer } => {
+                self.recv_remote_lock_grant(now, to, gid, origin_thread, item, ok, writer)
+            }
+            Message::ProxyRelease { gid, commit } => {
+                self.recv_proxy_release(now, to, gid, commit)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared helpers used by the protocol submodules.
+    // ------------------------------------------------------------------
+
+    /// Send `msg` from `from` to `to`, departing at time `depart`.
+    pub(crate) fn send(&mut self, depart: SimTime, from: SiteId, to: SiteId, msg: Message) {
+        let at = self.net.send(depart, from, to);
+        self.queue.push_at(at, Event::Deliver { to, msg });
+    }
+
+    /// Resolve storage lock grants produced by a commit/abort/cancel into
+    /// protocol-level resumptions.
+    pub(crate) fn resume_granted(&mut self, now: SimTime, site: SiteId, granted: Vec<TxnId>) {
+        for txn in granted {
+            let owner = self.sites[site.index()].owner.get(&txn).copied();
+            match owner {
+                Some(Owner::Primary { thread }) => self.resume_primary(now, site, thread),
+                Some(Owner::Secondary) => self.resume_secondary(now, site),
+                Some(Owner::Proxy { gid }) => self.resume_proxy(now, site, gid),
+                Some(Owner::Backedge { gid }) => self.resume_backedge_exec(now, site, gid),
+                None => {
+                    debug_assert!(false, "granted lock for unowned txn {txn:?} at {site}");
+                }
+            }
+        }
+    }
+
+    /// Deterministic jitter in `[0, base)`: the real prototype's timing
+    /// noise (OS scheduling, TCP) broke retry symmetry for free; a pure
+    /// discrete-event simulation must inject it explicitly or identical
+    /// retries can re-deadlock forever (a livelock the paper's testbed
+    /// could never exhibit). The sequence is a function of engine state
+    /// only, so runs stay reproducible.
+    pub(crate) fn jitter(&mut self, base: SimDuration) -> SimDuration {
+        // splitmix64 step.
+        self.jitter_state = self.jitter_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.jitter_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimDuration::micros(z % base.as_micros().max(1))
+    }
+
+    /// Schedule a deadlock timeout (the paper's 50 ms interval, plus up
+    /// to 10% jitter so simultaneous waiters do not expire in lockstep).
+    pub(crate) fn schedule_timeout(&mut self, now: SimTime, site: SiteId, scope: TimeoutScope, wait_seq: u64) {
+        let extra = self.jitter(SimDuration::micros(
+            self.params.deadlock_timeout.as_micros() / 10 + 1,
+        ));
+        self.queue.push_at(
+            now + self.params.deadlock_timeout + extra,
+            Event::Timeout { site, scope, wait_seq },
+        );
+    }
+
+    fn handle_timeout(&mut self, now: SimTime, site: SiteId, scope: TimeoutScope, wait_seq: u64) {
+        match scope {
+            TimeoutScope::PrimaryLocal { thread }
+            | TimeoutScope::PrimaryRemote { thread }
+            | TimeoutScope::PrimaryEager { thread } => {
+                self.primary_timeout(now, site, thread, scope, wait_seq)
+            }
+            TimeoutScope::Secondary => self.secondary_timeout(now, site, wait_seq),
+            TimeoutScope::BackedgeExec { gid } => {
+                self.backedge_exec_timeout(now, site, gid, wait_seq)
+            }
+        }
+    }
+
+    /// Run waits-for deadlock detection at `site` after a block, aborting
+    /// the latest-arriving victim (paper's fair policy). Only meaningful
+    /// in [`crate::config::DeadlockMode::WaitsFor`].
+    pub(crate) fn detect_and_break_deadlock(&mut self, now: SimTime, site: SiteId) {
+        let Some(cycle) = self.sites[site.index()].store.locks().find_deadlock() else {
+            return;
+        };
+        let victim = self.sites[site.index()].store.locks().pick_victim(&cycle);
+        let owner = self.sites[site.index()].owner.get(&victim).copied();
+        match owner {
+            Some(Owner::Primary { thread }) => self.abort_primary(now, site, thread, true),
+            Some(Owner::Secondary) => self.abort_and_resubmit_secondary(now, site),
+            Some(Owner::Proxy { gid }) => self.deny_proxy(now, site, gid),
+            Some(Owner::Backedge { .. }) | None => {
+                // Prepared backedge subtransactions never *wait*, so they
+                // cannot be victims; an executing one is Owner::Secondary
+                // (special in the applier) or resolved via its origin's
+                // eager timeout.
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection (tests, examples).
+    // ------------------------------------------------------------------
+
+    /// The value and writer of `item`'s copy at `site` (non-transactional).
+    pub fn value_at(&self, site: SiteId, item: ItemId) -> Option<(Value, Option<GlobalTxnId>)> {
+        self.sites[site.index()]
+            .store
+            .peek(item)
+            .map(|r| (r.value, r.writer))
+    }
+
+    /// The recorded multiversion history.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The copy graph of the placement under simulation.
+    pub fn copy_graph(&self) -> &CopyGraph {
+        &self.graph
+    }
+
+    /// The propagation tree, if the protocol uses one.
+    pub fn tree(&self) -> Option<&PropagationTree> {
+        self.tree.as_ref()
+    }
+
+    /// The backedge set, if the protocol is BackEdge.
+    pub fn backedge_set(&self) -> Option<&BackEdgeSet> {
+        self.backedges.as_ref()
+    }
+
+    /// The data placement under simulation.
+    pub fn placement(&self) -> &DataPlacement {
+        &self.placement
+    }
+
+    /// Total network messages sent so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.net.total_messages()
+    }
+
+    /// Developer diagnostic: print what every site is doing. Used to
+    /// localize stalls; not part of the stable API.
+    pub fn dump_stall_state(&self) {
+        eprintln!(
+            "live_threads={} unpropagated={} pending_events={}",
+            self.live_threads,
+            self.metrics.unpropagated(),
+            self.queue.len()
+        );
+        for st in &self.sites {
+            let queues: Vec<String> = st
+                .in_queues
+                .iter()
+                .map(|(from, q)| format!("{from}:{}", q.len()))
+                .collect();
+            eprintln!(
+                "site {}: applier={:?} queues=[{}] backedge_txns={:?} blocked_locks={}",
+                st.id,
+                st.applier.as_ref().map(|a| (a.msg.gid, a.msg.kind.clone(), a.blocked)),
+                queues.join(","),
+                st.backedge_txns
+                    .iter()
+                    .map(|(g, r)| (*g, r.prepared, r.blocked))
+                    .collect::<Vec<_>>(),
+                st.store.locks().blocked_count(),
+            );
+            for (t, th) in st.threads.iter().enumerate() {
+                if let Some(a) = &th.active {
+                    eprintln!(
+                        "  thread {t}: txn {} pc={} phase={:?} wait_seq={} path={:?}",
+                        a.gid, a.pc, a.phase, a.wait_seq, a.backedge_path
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Primary-subtransaction driving: worker threads, operation execution,
+//! local locking, timeouts, commit and retry.
+
+use std::collections::HashMap;
+
+use repl_sim::SimTime;
+use repl_types::{GlobalTxnId, ItemId, Op, OpKind, SiteId, StorageError, Value};
+
+use crate::config::{DeadlockMode, ProtocolKind};
+
+use super::event::{Event, Message, TimeoutScope};
+use super::site::{ActivePrimary, Owner, PrimaryPhase};
+use super::Engine;
+
+/// The deduplicated write set of an op prefix: last value per item, in
+/// first-write order.
+pub(crate) fn write_set_of(ops: &[Op]) -> Vec<(ItemId, Value)> {
+    let mut order: Vec<ItemId> = Vec::new();
+    let mut last: HashMap<ItemId, Value> = HashMap::new();
+    for op in ops.iter().filter(|o| o.is_write()) {
+        if !last.contains_key(&op.item) {
+            order.push(op.item);
+        }
+        last.insert(op.item, op.value.clone());
+    }
+    order
+        .into_iter()
+        .map(|i| {
+            let v = last.remove(&i).expect("inserted above");
+            (i, v)
+        })
+        .collect()
+}
+
+impl Engine {
+    /// The distinct replica sites (excluding `origin`) that must apply a
+    /// write set — the propagation destinations.
+    pub(crate) fn destinations_of(&self, origin: SiteId, writes: &[(ItemId, Value)]) -> Vec<SiteId> {
+        let mut dests: Vec<SiteId> = writes
+            .iter()
+            .flat_map(|(item, _)| self.placement.replicas_of(*item).iter().copied())
+            .filter(|&s| s != origin)
+            .collect();
+        dests.sort_unstable();
+        dests.dedup();
+        dests
+    }
+
+    pub(crate) fn start_thread_txn(&mut self, now: SimTime, site: SiteId, thread: u32) {
+        let st = &mut self.sites[site.index()];
+        let ts = &mut st.threads[thread as usize];
+        debug_assert!(ts.active.is_none(), "thread already has an active txn");
+        if ts.finished() {
+            return;
+        }
+        let gid = {
+            let g = GlobalTxnId::new(site, self.sites[site.index()].next_seq);
+            self.sites[site.index()].next_seq += 1;
+            g
+        };
+        let local = self.sites[site.index()].store.begin();
+        self.sites[site.index()]
+            .owner
+            .insert(local, Owner::Primary { thread });
+        self.sites[site.index()].threads[thread as usize].active = Some(ActivePrimary {
+            gid,
+            local,
+            pc: 0,
+            first_started: now,
+            phase: PrimaryPhase::Executing,
+            wait_seq: 0,
+            remote_reads: Vec::new(),
+            proxy_sites: Vec::new(),
+            backedge_path: Vec::new(),
+        });
+        self.try_op(now, site, thread);
+    }
+
+    /// Retry after a deadlock abort: a fresh attempt of the same program,
+    /// keeping the original start time for response-time accounting.
+    pub(crate) fn retry_thread(&mut self, now: SimTime, site: SiteId, thread: u32) {
+        let st = &mut self.sites[site.index()];
+        let ts = &mut st.threads[thread as usize];
+        let Some(prev) = ts.active.take() else {
+            return;
+        };
+        debug_assert_eq!(prev.phase, PrimaryPhase::WaitingLock, "retry from a live txn");
+        let gid = GlobalTxnId::new(site, st.next_seq);
+        st.next_seq += 1;
+        let local = st.store.begin();
+        st.owner.insert(local, Owner::Primary { thread });
+        st.threads[thread as usize].active = Some(ActivePrimary {
+            gid,
+            local,
+            pc: 0,
+            first_started: prev.first_started,
+            phase: PrimaryPhase::Executing,
+            wait_seq: 0,
+            remote_reads: Vec::new(),
+            proxy_sites: Vec::new(),
+            backedge_path: Vec::new(),
+        });
+        self.try_op(now, site, thread);
+    }
+
+    /// Attempt the current operation. On success a CPU slice is scheduled;
+    /// on a lock conflict the transaction blocks.
+    pub(crate) fn try_op(&mut self, now: SimTime, site: SiteId, thread: u32) {
+        let (pc, done, gid) = {
+            let a = self.active(site, thread).expect("try_op without active txn");
+            (a.pc, a.pc >= self.sites[site.index()].threads[thread as usize].current_ops().len(), a.gid)
+        };
+        if done {
+            self.begin_commit_phase(now, site, thread);
+            return;
+        }
+        let op = self.sites[site.index()].threads[thread as usize].current_ops()[pc].clone();
+        match op.kind {
+            OpKind::Read => {
+                let is_remote = self.params.protocol == ProtocolKind::Psl
+                    && self.placement.primary_of(op.item) != site;
+                if is_remote {
+                    self.issue_remote_lock(now, site, thread, op.item, false, None);
+                    return;
+                }
+                let local = self.active(site, thread).unwrap().local;
+                match self.sites[site.index()].store.read(local, op.item) {
+                    Ok(_) => self.schedule_op_cpu(now, site, thread, gid),
+                    Err(StorageError::WouldBlock(_)) => self.block_primary(now, site, thread),
+                    Err(e) => panic!("read failed at {site}: {e}"),
+                }
+            }
+            OpKind::Write => {
+                debug_assert_eq!(
+                    self.placement.primary_of(op.item),
+                    site,
+                    "transactions may only update items with a local primary (§1.1)"
+                );
+                let local = self.active(site, thread).unwrap().local;
+                match self.sites[site.index()].store.write(local, op.item, op.value.clone(), gid) {
+                    Ok(()) => {
+                        if self.params.protocol == ProtocolKind::Eager {
+                            // Eager: X-lock (and provisionally install at)
+                            // every replica before the op completes.
+                            let replicas: Vec<SiteId> =
+                                self.placement.replicas_of(op.item).to_vec();
+                            if !replicas.is_empty() {
+                                self.issue_eager_writes(now, site, thread, op.item, op.value, replicas);
+                                return;
+                            }
+                        }
+                        self.schedule_op_cpu(now, site, thread, gid);
+                    }
+                    Err(StorageError::WouldBlock(_)) => self.block_primary(now, site, thread),
+                    Err(e) => panic!("write failed at {site}: {e}"),
+                }
+            }
+        }
+    }
+
+    fn schedule_op_cpu(&mut self, now: SimTime, site: SiteId, thread: u32, gid: GlobalTxnId) {
+        let at = self.sites[site.index()].cpu.run(now, self.params.op_cpu);
+        self.queue.push_at(at, Event::PrimaryOpDone { site, thread, gid });
+    }
+
+    fn block_primary(&mut self, now: SimTime, site: SiteId, thread: u32) {
+        let wait_seq = {
+            let a = self.active_mut(site, thread).expect("blocking a missing txn");
+            a.phase = PrimaryPhase::WaitingLock;
+            a.wait_seq += 1;
+            a.wait_seq
+        };
+        // The timeout is scheduled in both modes: waits-for detection only
+        // sees site-local cycles, and PSL/Eager/BackEdge can weave global
+        // deadlocks through proxies and prepared subtransactions that no
+        // local graph ever closes.
+        self.schedule_timeout(now, site, TimeoutScope::PrimaryLocal { thread }, wait_seq);
+        if self.params.deadlock_mode == DeadlockMode::WaitsFor {
+            self.detect_and_break_deadlock(now, site);
+        }
+    }
+
+    pub(crate) fn primary_op_done(&mut self, now: SimTime, site: SiteId, thread: u32, gid: GlobalTxnId) {
+        let valid = self
+            .active(site, thread)
+            .map(|a| a.gid == gid && a.phase == PrimaryPhase::Executing)
+            .unwrap_or(false);
+        if !valid {
+            return; // stale slice from an aborted attempt
+        }
+        let a = self.active_mut(site, thread).unwrap();
+        a.pc += 1;
+        self.try_op(now, site, thread);
+    }
+
+    /// A blocked primary's lock was granted: resume the pending op.
+    pub(crate) fn resume_primary(&mut self, now: SimTime, site: SiteId, thread: u32) {
+        let Some(a) = self.active_mut(site, thread) else { return };
+        if a.phase != PrimaryPhase::WaitingLock {
+            return;
+        }
+        a.phase = PrimaryPhase::Executing;
+        a.wait_seq += 1;
+        self.try_op(now, site, thread);
+    }
+
+    /// All operations executed: enter the protocol-specific commit path.
+    fn begin_commit_phase(&mut self, now: SimTime, site: SiteId, thread: u32) {
+        if self.params.protocol == ProtocolKind::BackEdge {
+            let ops: Vec<Op> = self.sites[site.index()].threads[thread as usize]
+                .current_ops()
+                .to_vec();
+            let writes = write_set_of(&ops);
+            let dests = self.destinations_of(site, &writes);
+            let tree = self.tree.as_ref().expect("BackEdge has a tree");
+            let ancestors: Vec<SiteId> = dests
+                .iter()
+                .copied()
+                .filter(|&d| tree.is_ancestor(d, site))
+                .collect();
+            if !ancestors.is_empty() {
+                self.start_eager_phase(now, site, thread, writes, ancestors);
+                return;
+            }
+        }
+        self.schedule_commit_cpu(now, site, thread);
+    }
+
+    pub(crate) fn schedule_commit_cpu(&mut self, now: SimTime, site: SiteId, thread: u32) {
+        let gid = {
+            let a = self.active_mut(site, thread).expect("commit without txn");
+            a.phase = PrimaryPhase::Committing;
+            a.wait_seq += 1;
+            a.gid
+        };
+        let at = self.sites[site.index()].cpu.run(now, self.params.commit_cpu);
+        self.queue.push_at(at, Event::PrimaryCommitDone { site, thread, gid });
+    }
+
+    pub(crate) fn primary_commit_done(&mut self, now: SimTime, site: SiteId, thread: u32, gid: GlobalTxnId) {
+        let valid = self
+            .active(site, thread)
+            .map(|a| a.gid == gid && a.phase == PrimaryPhase::Committing)
+            .unwrap_or(false);
+        if !valid {
+            return;
+        }
+        let a = self.sites[site.index()].threads[thread as usize]
+            .active
+            .take()
+            .expect("validated above");
+        self.sites[site.index()].owner.remove(&a.local);
+
+        let (info, granted) = self.sites[site.index()]
+            .store
+            .commit(a.local)
+            .expect("commit of live txn");
+        self.resume_granted(now, site, granted);
+
+        // History: local reads plus remotely served reads (PSL).
+        let mut reads = info.reads.clone();
+        reads.extend(a.remote_reads.iter().copied());
+        let writes = info.write_set();
+        self.history
+            .record_commit(gid, reads, writes.iter().map(|(i, _)| *i).collect());
+        self.metrics.on_commit(site, now, a.first_started);
+
+        // Protocol-specific propagation.
+        let dests = self.destinations_of(site, &writes);
+        match self.params.protocol {
+            ProtocolKind::NaiveLazy => {
+                self.metrics.expect_propagation(gid, dests.len(), now);
+                self.naive_propagate(now, site, gid, &writes, &dests);
+            }
+            ProtocolKind::DagWt => {
+                self.metrics.expect_propagation(gid, dests.len(), now);
+                self.dagwt_propagate(now, site, gid, &writes, &dests);
+            }
+            ProtocolKind::DagT => {
+                self.metrics.expect_propagation(gid, dests.len(), now);
+                self.dagt_propagate(now, site, gid, &writes, &dests);
+            }
+            ProtocolKind::BackEdge => {
+                self.metrics.expect_propagation(gid, dests.len(), now);
+                self.backedge_after_commit(now, site, gid, &a, &writes, &dests);
+            }
+            ProtocolKind::Psl => {
+                // Replica reads are served from primaries; no propagation.
+                self.release_proxies(now, site, &a, true);
+            }
+            ProtocolKind::Eager => {
+                self.metrics.expect_propagation(gid, dests.len(), now);
+                self.release_proxies(now, site, &a, true);
+            }
+        }
+
+        // Thread advances to its next transaction.
+        let ts = &mut self.sites[site.index()].threads[thread as usize];
+        ts.next_txn += 1;
+        if ts.finished() {
+            self.live_threads -= 1;
+        } else {
+            self.queue.push_at(now, Event::StartThreadTxn { site, thread });
+        }
+    }
+
+    /// Abort the thread's current attempt (deadlock victim) and schedule a
+    /// retry. Handles local rollback, remote-proxy release and metrics.
+    pub(crate) fn abort_primary(&mut self, now: SimTime, site: SiteId, thread: u32, _by_detection: bool) {
+        let Some(a) = self.active(site, thread).cloned() else { return };
+        // Roll back locally; this also cancels any queued lock request.
+        self.sites[site.index()].owner.remove(&a.local);
+        let granted = self.sites[site.index()]
+            .store
+            .abort(a.local)
+            .expect("abort of live txn");
+        self.resume_granted(now, site, granted);
+        // Tell remote proxies (PSL/Eager) to abort.
+        for proxy_site in a.proxy_sites.iter().copied() {
+            self.send(now, site, proxy_site, Message::ProxyRelease { gid: a.gid, commit: false });
+        }
+        self.metrics.on_abort();
+        let st = &mut self.sites[site.index()].threads[thread as usize];
+        let active = st.active.as_mut().expect("checked above");
+        active.phase = PrimaryPhase::WaitingLock; // parked until retry
+        active.wait_seq += 1;
+        // Jittered backoff in [1x, 2x): fixed backoffs make deterministic
+        // retries re-deadlock in exactly the same pattern forever.
+        let backoff = self.params.retry_backoff + self.jitter(self.params.retry_backoff);
+        self.queue.push_at(now + backoff, Event::RetryThread { site, thread });
+    }
+
+    pub(crate) fn primary_timeout(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        thread: u32,
+        scope: TimeoutScope,
+        wait_seq: u64,
+    ) {
+        let Some(a) = self.active(site, thread) else { return };
+        if a.wait_seq != wait_seq {
+            return; // stale
+        }
+        let phase = a.phase;
+        match (scope, phase) {
+            (TimeoutScope::PrimaryLocal { .. }, PrimaryPhase::WaitingLock) => {
+                self.abort_primary(now, site, thread, false)
+            }
+            (TimeoutScope::PrimaryRemote { .. }, PrimaryPhase::WaitingRemote(_)) => {
+                self.abort_primary(now, site, thread, false)
+            }
+            (TimeoutScope::PrimaryEager { .. }, PrimaryPhase::WaitingBackedge) => {
+                self.abort_eager_primary(now, site, thread)
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Small accessors.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn active(&self, site: SiteId, thread: u32) -> Option<&ActivePrimary> {
+        self.sites[site.index()].threads[thread as usize].active.as_ref()
+    }
+
+    pub(crate) fn active_mut(&mut self, site: SiteId, thread: u32) -> Option<&mut ActivePrimary> {
+        self.sites[site.index()].threads[thread as usize].active.as_mut()
+    }
+}

@@ -1,0 +1,482 @@
+//! Secondary subtransactions: incoming queues, the per-site applier,
+//! DAG(T) timestamp scheduling, dummies and epochs.
+//!
+//! Each site applies one secondary subtransaction at a time (§3.2.3's
+//! simplifying assumption, also what FIFO commit order in DAG(WT)
+//! requires). Selection policy:
+//!
+//! * **NaiveLazy** — a single arrival-ordered queue (indiscriminate);
+//! * **DAG(WT) / BackEdge** — the single tree-parent queue, strict FIFO
+//!   (§2: "committed at a site in the order in which they are received");
+//! * **DAG(T)** — one queue per copy-graph parent; when *every* queue is
+//!   non-empty, the minimum-timestamp head runs (§3.2.3). Progress under
+//!   quiet links comes from dummy subtransactions and source-site epoch
+//!   increments (§3.3).
+//!
+//! A secondary aborted by a local deadlock is resubmitted until it
+//! succeeds, keeping its original arrival ordinal so the fair victim
+//! policy eventually lets it win (§2).
+
+use repl_sim::SimTime;
+use repl_types::{SiteId, StorageError};
+
+use crate::config::{DeadlockMode, ProtocolKind};
+
+use super::event::{Event, Message, SubtxnKind, SubtxnMsg, TimeoutScope};
+use super::site::{ActiveSecondary, Owner};
+use super::Engine;
+
+impl Engine {
+    /// A subtransaction message arrives: enqueue it and try to schedule.
+    pub(crate) fn recv_subtxn(&mut self, now: SimTime, to: SiteId, from: SiteId, sub: SubtxnMsg) {
+        let qi = match self.params.protocol {
+            ProtocolKind::NaiveLazy => self.sites[to.index()].queue_index(to),
+            _ => {
+                let st = &self.sites[to.index()];
+                st.in_queues
+                    .iter()
+                    .position(|(s, _)| *s == from)
+                    .unwrap_or_else(|| panic!("{to} has no incoming queue from {from}"))
+            }
+        };
+        self.sites[to.index()].in_queues[qi].1.push_back(sub);
+        self.pump_secondary(now, to);
+    }
+
+    /// If the applier is idle and the protocol's scheduling rule admits a
+    /// subtransaction, start applying it.
+    pub(crate) fn pump_secondary(&mut self, now: SimTime, site: SiteId) {
+        if self.sites[site.index()].applier.is_some() {
+            return;
+        }
+        let picked = match self.params.protocol {
+            ProtocolKind::DagT => self.pick_min_timestamp(site),
+            _ => {
+                // First (only) non-empty queue, strict FIFO.
+                self.sites[site.index()]
+                    .in_queues
+                    .iter()
+                    .position(|(_, q)| !q.is_empty())
+            }
+        };
+        let Some(qi) = picked else { return };
+        let sub = self.sites[site.index()].in_queues[qi]
+            .1
+            .pop_front()
+            .expect("picked queue is non-empty");
+        self.start_secondary(now, site, qi, sub);
+    }
+
+    /// DAG(T) §3.2.3: only when every incoming queue is non-empty, pick
+    /// the minimum-timestamp head.
+    fn pick_min_timestamp(&self, site: SiteId) -> Option<usize> {
+        let st = &self.sites[site.index()];
+        if st.in_queues.is_empty() {
+            return None;
+        }
+        let mut best: Option<usize> = None;
+        for (i, (_, q)) in st.in_queues.iter().enumerate() {
+            let head = q.front()?; // any empty queue ⇒ wait (progress via dummies)
+            let ts = head.ts.as_ref().expect("DAG(T) subtxns carry timestamps");
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let bts = st.in_queues[b].1.front().unwrap().ts.as_ref().unwrap();
+                    if ts < bts {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn start_secondary(&mut self, now: SimTime, site: SiteId, qi: usize, sub: SubtxnMsg) {
+        // DAG(T) dummies carry no updates: consume them without opening a
+        // storage transaction (they only push the site timestamp forward,
+        // §3.3). They were popped in timestamp order like everything
+        // else, so the fast path preserves the §3.2.3 semantics.
+        if sub.kind == SubtxnKind::Dummy {
+            let ts = sub.ts.as_ref().expect("dummies carry timestamps");
+            let st = &mut self.sites[site.index()];
+            let new_ts = ts.concat_site(site, st.lts, ts.epoch);
+            if new_ts > st.site_ts {
+                st.site_ts = new_ts;
+            }
+            let _ = qi;
+            self.queue.push_at(now, Event::PumpSecondary { site });
+            return;
+        }
+        // BackEdge special subtransactions have their own fates.
+        if sub.kind == SubtxnKind::Special {
+            if self.aborted_eager.contains(&sub.gid) {
+                // Its origin aborted the eager phase; drop it.
+                self.queue.push_at(now, Event::PumpSecondary { site });
+                return;
+            }
+            if sub.origin == site {
+                // It came home: commit the waiting primary (§4.1 step 3).
+                self.backedge_home_arrival(now, site, sub);
+                return;
+            }
+        }
+
+        let applicable: Vec<_> = sub
+            .writes
+            .iter()
+            .filter(|(item, _)| self.placement.has_copy(site, *item))
+            .cloned()
+            .collect();
+        let st = &mut self.sites[site.index()];
+        let local = st.store.begin();
+        st.owner.insert(local, Owner::Secondary);
+        let arrival_ord = st.next_arrival;
+        st.next_arrival += 1;
+        st.store.locks_mut().set_arrival(local, arrival_ord);
+        st.applier_gen += 1;
+        let gen = st.applier_gen;
+        st.applier = Some(ActiveSecondary {
+            msg: sub,
+            from_queue: qi,
+            local,
+            applicable,
+            write_idx: 0,
+            arrival_ord,
+            gen,
+            blocked: false,
+        });
+        self.exec_secondary_step(now, site);
+    }
+
+    /// Apply the next item write of the active secondary, or move to
+    /// commit/prepare when all writes are in.
+    fn exec_secondary_step(&mut self, now: SimTime, site: SiteId) {
+        let (local, gid, next, gen, kind) = {
+            let a = self.sites[site.index()].applier.as_ref().expect("applier active");
+            (
+                a.local,
+                a.msg.gid,
+                a.applicable.get(a.write_idx).cloned(),
+                a.gen,
+                a.msg.kind.clone(),
+            )
+        };
+        match next {
+            Some((item, value)) => {
+                match self.sites[site.index()].store.write(local, item, value, gid) {
+                    Ok(()) => {
+                        let at = self.sites[site.index()].cpu.run(now, self.params.apply_cpu);
+                        self.queue.push_at(at, Event::SecondaryStepDone { site, gen });
+                    }
+                    Err(StorageError::WouldBlock(_)) => {
+                        let st = &mut self.sites[site.index()];
+                        st.applier.as_mut().unwrap().blocked = true;
+                        st.sec_wait_seq += 1;
+                        let seq = st.sec_wait_seq;
+                        // Timeout in both modes (global-deadlock backstop).
+                        self.schedule_timeout(now, site, TimeoutScope::Secondary, seq);
+                        if self.params.deadlock_mode == DeadlockMode::WaitsFor {
+                            self.detect_and_break_deadlock(now, site);
+                        }
+                    }
+                    Err(e) => panic!("secondary write failed at {site}: {e}"),
+                }
+            }
+            None => {
+                if kind == SubtxnKind::Special {
+                    // BackEdge: prepare + forward, never commit here.
+                    self.special_executed(now, site);
+                } else {
+                    let at = self.sites[site.index()].cpu.run(now, self.params.commit_cpu);
+                    self.queue.push_at(at, Event::SecondaryCommitDone { site, gen });
+                }
+            }
+        }
+    }
+
+    pub(crate) fn secondary_step_done(&mut self, now: SimTime, site: SiteId, gen: u64) {
+        let valid = self.sites[site.index()]
+            .applier
+            .as_ref()
+            .map(|a| a.gen == gen && !a.blocked)
+            .unwrap_or(false);
+        if !valid {
+            return;
+        }
+        self.sites[site.index()].applier.as_mut().unwrap().write_idx += 1;
+        self.exec_secondary_step(now, site);
+    }
+
+    /// The applier's blocked lock request was granted.
+    pub(crate) fn resume_secondary(&mut self, now: SimTime, site: SiteId) {
+        let resumable = self.sites[site.index()]
+            .applier
+            .as_mut()
+            .map(|a| {
+                let was = a.blocked;
+                a.blocked = false;
+                was
+            })
+            .unwrap_or(false);
+        if resumable {
+            self.sites[site.index()].sec_wait_seq += 1;
+            self.exec_secondary_step(now, site);
+        }
+    }
+
+    pub(crate) fn secondary_timeout(&mut self, now: SimTime, site: SiteId, wait_seq: u64) {
+        let blocked = self.sites[site.index()]
+            .applier
+            .as_ref()
+            .map(|a| a.blocked && self.sites[site.index()].sec_wait_seq == wait_seq)
+            .unwrap_or(false);
+        if !blocked {
+            return;
+        }
+        if self.params.protocol == ProtocolKind::BackEdge {
+            // §4.1: if the blocker is an eager-phase participant, that
+            // participant is the deadlock victim, not this secondary.
+            let local = self.sites[site.index()].applier.as_ref().unwrap().local;
+            self.break_backedge_blockers(now, site, local);
+            let still_blocked = self.sites[site.index()]
+                .applier
+                .as_ref()
+                .map(|a| a.blocked)
+                .unwrap_or(false);
+            if !still_blocked {
+                return;
+            }
+        }
+        self.abort_and_resubmit_secondary(now, site);
+    }
+
+    /// Deadlock-abort the active secondary and immediately resubmit it
+    /// (§2: "repeatedly resubmitted until it succeeds"), keeping its
+    /// arrival ordinal for fair victim selection.
+    pub(crate) fn abort_and_resubmit_secondary(&mut self, now: SimTime, site: SiteId) {
+        let (old_local, arrival_ord) = {
+            let st = &mut self.sites[site.index()];
+            let a = st.applier.as_mut().expect("resubmit without applier");
+            (a.local, a.arrival_ord)
+        };
+        self.sites[site.index()].owner.remove(&old_local);
+        let granted = self.sites[site.index()]
+            .store
+            .abort(old_local)
+            .expect("abort live secondary");
+        self.resume_granted(now, site, granted);
+        let st = &mut self.sites[site.index()];
+        if st.applier.is_none() { return; }
+        let local = st.store.begin();
+        st.owner.insert(local, Owner::Secondary);
+        st.store.locks_mut().set_arrival(local, arrival_ord);
+        st.applier_gen += 1;
+        let gen = st.applier_gen;
+        let a = st.applier.as_mut().unwrap();
+        a.local = local;
+        a.write_idx = 0;
+        a.blocked = false;
+        a.gen = gen;
+        st.sec_wait_seq += 1;
+        self.exec_secondary_step(now, site);
+    }
+
+    /// The active secondary committed: update protocol state, forward if
+    /// the protocol says so, and free the applier.
+    pub(crate) fn secondary_commit_done(&mut self, now: SimTime, site: SiteId, gen: u64) {
+        let valid = self.sites[site.index()]
+            .applier
+            .as_ref()
+            .map(|a| a.gen == gen && !a.blocked)
+            .unwrap_or(false);
+        if !valid {
+            return;
+        }
+        let a = self.sites[site.index()].applier.take().expect("validated");
+        self.sites[site.index()].applier_gen += 1;
+        self.sites[site.index()].owner.remove(&a.local);
+        let (_, granted) = self.sites[site.index()]
+            .store
+            .commit(a.local)
+            .expect("commit live secondary");
+        self.resume_granted(now, site, granted);
+
+        if !a.applicable.is_empty() {
+            self.metrics.on_apply(a.msg.gid, now);
+        }
+
+        match self.params.protocol {
+            ProtocolKind::DagWt | ProtocolKind::BackEdge => {
+                // §2: committed secondaries are forwarded to relevant
+                // children, atomically with commit order.
+                self.forward_down_tree(now, site, &a.msg);
+            }
+            ProtocolKind::DagT => {
+                let ts = a.msg.ts.as_ref().expect("DAG(T) subtxn has a timestamp");
+                let st = &mut self.sites[site.index()];
+                let new_ts = ts.concat_site(site, st.lts, ts.epoch);
+                debug_assert!(
+                    new_ts >= st.site_ts,
+                    "site timestamp regressed: {:?} -> {:?}",
+                    st.site_ts,
+                    new_ts
+                );
+                st.site_ts = new_ts;
+            }
+            _ => {}
+        }
+        self.pump_secondary(now, site);
+    }
+
+    /// Forward a (committed) subtransaction to the tree children whose
+    /// subtrees contain destinations (§2 relevant children).
+    pub(crate) fn forward_down_tree(&mut self, now: SimTime, site: SiteId, sub: &SubtxnMsg) {
+        let tree = self.tree.as_ref().expect("tree protocol");
+        let children = tree.relevant_children(site, &sub.dest_sites);
+        for c in children {
+            self.send(now, site, c, Message::Subtxn { from: site, sub: sub.clone() });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit-time propagation (called from primary_commit_done).
+    // ------------------------------------------------------------------
+
+    /// NaiveLazy: blast the write set directly to every replica site, in
+    /// whatever order the network delivers — Example 1.1's failure mode.
+    pub(crate) fn naive_propagate(
+        &mut self,
+        now: SimTime,
+        origin: SiteId,
+        gid: repl_types::GlobalTxnId,
+        writes: &[(repl_types::ItemId, repl_types::Value)],
+        dests: &[SiteId],
+    ) {
+        for &d in dests {
+            let sub = SubtxnMsg {
+                gid,
+                origin,
+                writes: writes
+                    .iter()
+                    .filter(|(i, _)| self.placement.has_copy(d, *i))
+                    .cloned()
+                    .collect(),
+                dest_sites: vec![d],
+                ts: None,
+                kind: SubtxnKind::Normal,
+            };
+            self.send(now, origin, d, Message::Subtxn { from: origin, sub });
+        }
+    }
+
+    /// DAG(WT) §2: forward once down the tree to relevant children.
+    pub(crate) fn dagwt_propagate(
+        &mut self,
+        now: SimTime,
+        origin: SiteId,
+        gid: repl_types::GlobalTxnId,
+        writes: &[(repl_types::ItemId, repl_types::Value)],
+        dests: &[SiteId],
+    ) {
+        let sub = SubtxnMsg {
+            gid,
+            origin,
+            writes: writes.to_vec(),
+            dest_sites: dests.to_vec(),
+            ts: None,
+            kind: SubtxnKind::Normal,
+        };
+        self.forward_down_tree(now, origin, &sub);
+    }
+
+    /// DAG(T) §3.2.2: bump LTS, stamp, send directly to every relevant
+    /// copy-graph child (every destination is one, by construction).
+    pub(crate) fn dagt_propagate(
+        &mut self,
+        now: SimTime,
+        origin: SiteId,
+        gid: repl_types::GlobalTxnId,
+        writes: &[(repl_types::ItemId, repl_types::Value)],
+        dests: &[SiteId],
+    ) {
+        let ts = {
+            let st = &mut self.sites[origin.index()];
+            st.lts += 1;
+            st.site_ts.bump_local(origin);
+            st.site_ts.clone()
+        };
+        for &d in dests {
+            debug_assert!(
+                self.graph.has_edge(origin, d),
+                "DAG(T) destination {d} is not a copy-graph child of {origin}"
+            );
+            let sub = SubtxnMsg {
+                gid,
+                origin,
+                writes: writes
+                    .iter()
+                    .filter(|(i, _)| self.placement.has_copy(d, *i))
+                    .cloned()
+                    .collect(),
+                dest_sites: vec![d],
+                ts: Some(ts.clone()),
+                kind: SubtxnKind::Normal,
+            };
+            self.send(now, origin, d, Message::Subtxn { from: origin, sub });
+            self.sites[origin.index()].last_sent.insert(d, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DAG(T) progress machinery (§3.3).
+    // ------------------------------------------------------------------
+
+    /// True while the DAG(T) progress machinery still has work to push
+    /// forward; once the workload is done and every update has landed,
+    /// ticks stop so the calendar can drain.
+    fn ticks_needed(&self) -> bool {
+        self.live_threads > 0 || self.metrics.unpropagated() > 0
+    }
+
+    /// Source sites periodically increment their epoch.
+    pub(crate) fn epoch_tick(&mut self, now: SimTime, site: SiteId) {
+        if !self.ticks_needed() {
+            return;
+        }
+        self.sites[site.index()].site_ts.epoch += 1;
+        self.queue
+            .push_at(now + self.params.epoch_period, Event::EpochTick { site });
+    }
+
+    /// Send dummy subtransactions on links idle longer than the
+    /// heartbeat period so children can always compute their minimum.
+    pub(crate) fn heartbeat_tick(&mut self, now: SimTime, site: SiteId) {
+        if !self.ticks_needed() {
+            return;
+        }
+        let children: Vec<SiteId> = self.graph.children(site).collect();
+        for c in children {
+            let idle = self.sites[site.index()]
+                .last_sent
+                .get(&c)
+                .map(|&t| now - t >= self.params.heartbeat_period)
+                .unwrap_or(true);
+            if idle {
+                let gid = self.sites[site.index()].fresh_gid();
+                let ts = self.sites[site.index()].site_ts.clone();
+                let sub = SubtxnMsg {
+                    gid,
+                    origin: site,
+                    writes: Vec::new(),
+                    dest_sites: vec![c],
+                    ts: Some(ts),
+                    kind: SubtxnKind::Dummy,
+                };
+                self.send(now, site, c, Message::Subtxn { from: site, sub });
+                self.sites[site.index()].last_sent.insert(c, now);
+            }
+        }
+        self.queue
+            .push_at(now + self.params.heartbeat_period, Event::HeartbeatTick { site });
+    }
+}

@@ -1,0 +1,260 @@
+//! Per-site runtime state.
+
+use std::collections::{HashMap, VecDeque};
+
+use repl_sim::{CpuQueue, SimTime};
+use repl_storage::{Store, TxnId};
+use repl_types::{GlobalTxnId, ItemId, Op, SiteId};
+
+use crate::timestamp::Timestamp;
+
+use super::event::SubtxnMsg;
+
+/// Who a site-local storage transaction belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Owner {
+    /// A primary subtransaction run by worker thread `thread`.
+    Primary {
+        /// Thread index.
+        thread: u32,
+    },
+    /// The site's secondary applier.
+    Secondary,
+    /// A prepared BackEdge backedge/special subtransaction.
+    Backedge {
+        /// The logical transaction it belongs to.
+        gid: GlobalTxnId,
+    },
+    /// A PSL/Eager proxy holding locks for remote transaction `gid`.
+    Proxy {
+        /// The remote transaction.
+        gid: GlobalTxnId,
+    },
+}
+
+/// Execution phase of an active primary subtransaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrimaryPhase {
+    /// Executing operations (a CPU slice may be in flight).
+    Executing,
+    /// Blocked on a local lock.
+    WaitingLock,
+    /// Blocked on a remote lock grant (PSL/Eager). Payload: how many
+    /// grants are still outstanding for the current operation.
+    WaitingRemote(u32),
+    /// BackEdge eager phase: executed, holding locks, waiting for the
+    /// special subtransaction to arrive home (§4.1 step 3).
+    WaitingBackedge,
+    /// Commit CPU slice in flight.
+    Committing,
+}
+
+/// An in-flight primary subtransaction attempt.
+#[derive(Clone, Debug)]
+pub struct ActivePrimary {
+    /// This attempt's globally unique id (fresh per attempt).
+    pub gid: GlobalTxnId,
+    /// The local storage transaction.
+    pub local: TxnId,
+    /// Program counter into the thread's current op list.
+    pub pc: usize,
+    /// When the *first* attempt of this logical transaction started.
+    pub first_started: SimTime,
+    /// Current phase.
+    pub phase: PrimaryPhase,
+    /// Guard: bumped on every phase change so stale timeouts are ignored.
+    pub wait_seq: u64,
+    /// PSL: reads served remotely, as `(item, version writer)`.
+    pub remote_reads: Vec<(ItemId, Option<GlobalTxnId>)>,
+    /// Sites where a proxy holds locks for this attempt.
+    pub proxy_sites: Vec<SiteId>,
+    /// BackEdge: ancestor path sites holding prepared subtransactions
+    /// (set when the eager phase starts; decision targets).
+    pub backedge_path: Vec<SiteId>,
+}
+
+/// The program a worker thread executes: a fixed list of transactions,
+/// each a list of operations (§5.2: 1000 transactions of 10 operations).
+#[derive(Clone, Debug)]
+pub struct ThreadState {
+    /// Transactions remaining, including the current one.
+    pub programs: Vec<Vec<Op>>,
+    /// Index of the transaction currently being executed.
+    pub next_txn: usize,
+    /// The in-flight attempt, if any.
+    pub active: Option<ActivePrimary>,
+}
+
+impl ThreadState {
+    /// The op list of the transaction currently being attempted.
+    pub fn current_ops(&self) -> &[Op] {
+        &self.programs[self.next_txn]
+    }
+
+    /// True once every transaction in the program has committed.
+    pub fn finished(&self) -> bool {
+        self.next_txn >= self.programs.len()
+    }
+}
+
+/// The secondary subtransaction currently being applied at a site.
+#[derive(Clone, Debug)]
+pub struct ActiveSecondary {
+    /// The message being applied.
+    pub msg: SubtxnMsg,
+    /// Queue index it was popped from (for diagnostics).
+    pub from_queue: usize,
+    /// Local storage transaction of the current execution attempt.
+    pub local: TxnId,
+    /// Writes applicable at this site (items with a local replica).
+    pub applicable: Vec<(ItemId, repl_types::Value)>,
+    /// Progress through `applicable`.
+    pub write_idx: usize,
+    /// Arrival ordinal retained across deadlock resubmissions, for the
+    /// fair victim policy (§2).
+    pub arrival_ord: u64,
+    /// Generation guard: bumped whenever the applier restarts or
+    /// finishes, so stale CPU-completion events are ignored.
+    pub gen: u64,
+    /// True while blocked on a local lock.
+    pub blocked: bool,
+}
+
+/// A BackEdge backedge/special subtransaction executing or prepared at a
+/// site (§4.1): it holds its locks until the distributed-commit decision.
+#[derive(Clone, Debug)]
+pub struct BackedgeRun {
+    /// The local storage transaction holding the locks.
+    pub local: TxnId,
+    /// The subtransaction payload (for forwarding after execution).
+    pub sub: SubtxnMsg,
+    /// Thread waiting at the origin (carried for completeness).
+    pub origin_thread: u32,
+    /// Writes applicable at this site.
+    pub applicable: Vec<(ItemId, repl_types::Value)>,
+    /// Progress through `applicable`.
+    pub idx: usize,
+    /// True once execution finished and the special was forwarded; the
+    /// transaction then only awaits its commit/abort decision.
+    pub prepared: bool,
+    /// True while blocked on a local lock.
+    pub blocked: bool,
+}
+
+/// A PSL/Eager proxy at a primary site, holding locks on behalf of a
+/// remote transaction.
+#[derive(Clone, Debug)]
+pub struct ProxyState {
+    /// The proxy's local storage transaction.
+    pub local: TxnId,
+    /// A blocked request: `(item, exclusive, value, origin_site,
+    /// origin_thread)` awaiting a lock grant.
+    pub pending: Option<PendingProxyReq>,
+}
+
+/// A proxy lock request that is currently blocked.
+#[derive(Clone, Debug)]
+pub struct PendingProxyReq {
+    /// Item requested.
+    pub item: ItemId,
+    /// Exclusive (Eager write) or shared (PSL read).
+    pub exclusive: bool,
+    /// Value to install once granted (Eager writes).
+    pub value: Option<repl_types::Value>,
+    /// Where the grant goes.
+    pub origin_site: SiteId,
+    /// Thread blocked at the origin.
+    pub origin_thread: u32,
+}
+
+/// All mutable state of one site.
+#[derive(Debug)]
+pub struct SiteState {
+    /// This site's id.
+    pub id: SiteId,
+    /// The local storage engine (the DataBlitz instance).
+    pub store: Store,
+    /// The site CPU.
+    pub cpu: CpuQueue,
+    /// Worker threads.
+    pub threads: Vec<ThreadState>,
+    /// Owner map for local storage transactions.
+    pub owner: HashMap<TxnId, Owner>,
+    /// Incoming secondary queues, keyed by sending parent. DAG(WT) and
+    /// BackEdge have one (the tree parent); DAG(T) one per copy-graph
+    /// parent; NaiveLazy a single catch-all queue.
+    pub in_queues: Vec<(SiteId, VecDeque<SubtxnMsg>)>,
+    /// The subtransaction currently being applied, if any.
+    pub applier: Option<ActiveSecondary>,
+    /// Monotone generation counter for applier guards.
+    pub applier_gen: u64,
+    /// Wait-sequence counter for the applier's timeouts.
+    pub sec_wait_seq: u64,
+    /// Arrival ordinal source for secondaries (fair victim policy).
+    pub next_arrival: u64,
+    /// DAG(T): the site timestamp TS(si) (§3.2.1).
+    pub site_ts: Timestamp,
+    /// DAG(T): local primary-commit counter LTSi.
+    pub lts: u64,
+    /// DAG(T): last time anything was sent to each copy-graph child
+    /// (drives dummy generation, §3.3).
+    pub last_sent: HashMap<SiteId, SimTime>,
+    /// Per-attempt counter feeding [`GlobalTxnId`]s.
+    pub next_seq: u64,
+    /// PSL/Eager proxies keyed by remote transaction.
+    pub proxies: HashMap<GlobalTxnId, ProxyState>,
+    /// BackEdge: executing or prepared backedge/special subtransactions
+    /// keyed by transaction.
+    pub backedge_txns: HashMap<GlobalTxnId, BackedgeRun>,
+}
+
+impl SiteState {
+    /// Fresh state for site `id` with `threads` worker threads whose
+    /// programs are `programs[thread]`.
+    pub fn new(id: SiteId, programs: Vec<Vec<Vec<Op>>>) -> Self {
+        SiteState {
+            id,
+            store: Store::new(),
+            cpu: CpuQueue::new(),
+            threads: programs
+                .into_iter()
+                .map(|p| ThreadState { programs: p, next_txn: 0, active: None })
+                .collect(),
+            owner: HashMap::new(),
+            in_queues: Vec::new(),
+            applier: None,
+            applier_gen: 0,
+            sec_wait_seq: 0,
+            next_arrival: 0,
+            site_ts: Timestamp::initial(id),
+            lts: 0,
+            last_sent: HashMap::new(),
+            next_seq: 0,
+            proxies: HashMap::new(),
+            backedge_txns: HashMap::new(),
+        }
+    }
+
+    /// Allocate a fresh attempt id.
+    pub fn fresh_gid(&mut self) -> GlobalTxnId {
+        let gid = GlobalTxnId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        gid
+    }
+
+    /// Index of the incoming queue fed by `from`, creating it on demand
+    /// (used by NaiveLazy, whose senders are not known up front).
+    pub fn queue_index(&mut self, from: SiteId) -> usize {
+        if let Some(i) = self.in_queues.iter().position(|(s, _)| *s == from) {
+            i
+        } else {
+            self.in_queues.push((from, VecDeque::new()));
+            self.in_queues.len() - 1
+        }
+    }
+
+    /// True when every queue is empty and no applier is active.
+    pub fn secondaries_idle(&self) -> bool {
+        self.applier.is_none() && self.in_queues.iter().all(|(_, q)| q.is_empty())
+    }
+}

@@ -1,0 +1,193 @@
+//! Canonical placements from the paper and a default program generator.
+//!
+//! The full Table-1 data-distribution generator (replication probability,
+//! site probability, backedge probability, …) lives in `repl-workload`;
+//! this module provides the small fixed scenarios the paper uses as
+//! running examples, plus the §5.2 transaction-generation scheme needed
+//! by [`crate::engine::Engine::build`] and the test suites.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use repl_copygraph::DataPlacement;
+use repl_types::{ItemId, Op, SiteId};
+
+/// Example 1.1 / Figure 1: three sites; item `a` (x0) primary at `s1`
+/// (here s0) with replicas at the other two; item `b` (x1) primary at
+/// `s2` (s1) with a replica at `s3` (s2). The copy graph is a DAG.
+pub fn example_1_1_placement() -> DataPlacement {
+    let mut p = DataPlacement::new(3);
+    p.add_item(SiteId(0), &[SiteId(1), SiteId(2)]); // a
+    p.add_item(SiteId(1), &[SiteId(2)]); // b
+    p
+}
+
+/// Example 4.1: two sites replicating each other's primary — the minimal
+/// cyclic copy graph, on which purely lazy propagation cannot be
+/// serializable.
+pub fn example_4_1_placement() -> DataPlacement {
+    let mut p = DataPlacement::new(2);
+    p.add_item(SiteId(0), &[SiteId(1)]); // a
+    p.add_item(SiteId(1), &[SiteId(0)]); // b
+    p
+}
+
+/// Transaction-shape parameters (§5.2).
+#[derive(Clone, Debug)]
+pub struct WorkloadMix {
+    /// Operations per transaction (Table 1: 10).
+    pub ops_per_txn: u32,
+    /// Probability a transaction is read-only (Table 1 default: 0.5).
+    pub read_txn_prob: f64,
+    /// Probability an operation of a non-read-only transaction is a read
+    /// (Table 1 default: 0.7).
+    pub read_op_prob: f64,
+}
+
+impl Default for WorkloadMix {
+    fn default() -> Self {
+        WorkloadMix { ops_per_txn: 10, read_txn_prob: 0.5, read_op_prob: 0.7 }
+    }
+}
+
+/// Generate `programs[site][thread][txn]` op lists per §5.2: reads pick
+/// uniformly among items with a copy at the site, writes among items
+/// whose primary copy is local. Deterministic in `seed`.
+pub fn generate_programs(
+    placement: &DataPlacement,
+    mix: &WorkloadMix,
+    threads_per_site: u32,
+    txns_per_thread: u32,
+    seed: u64,
+) -> Vec<Vec<Vec<Vec<Op>>>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut value_counter: i64 = 0;
+    let mut programs = Vec::with_capacity(placement.num_sites() as usize);
+    for site in placement.sites() {
+        let readable: Vec<ItemId> = placement.items_at(site).to_vec();
+        let writable: Vec<ItemId> = placement.primaries_at(site).to_vec();
+        let mut site_threads = Vec::with_capacity(threads_per_site as usize);
+        for _ in 0..threads_per_site {
+            let mut txns = Vec::with_capacity(txns_per_thread as usize);
+            for _ in 0..txns_per_thread {
+                txns.push(generate_txn(
+                    &mut rng,
+                    mix,
+                    &readable,
+                    &writable,
+                    &mut value_counter,
+                ));
+            }
+            site_threads.push(txns);
+        }
+        programs.push(site_threads);
+    }
+    programs
+}
+
+fn generate_txn(
+    rng: &mut StdRng,
+    mix: &WorkloadMix,
+    readable: &[ItemId],
+    writable: &[ItemId],
+    value_counter: &mut i64,
+) -> Vec<Op> {
+    let read_only = rng.random::<f64>() < mix.read_txn_prob;
+    let mut ops = Vec::with_capacity(mix.ops_per_txn as usize);
+    for _ in 0..mix.ops_per_txn {
+        let do_read = read_only
+            || writable.is_empty()
+            || rng.random::<f64>() < mix.read_op_prob
+            || readable.is_empty();
+        if do_read && !readable.is_empty() {
+            let item = readable[rng.random_range(0..readable.len())];
+            ops.push(Op::read(item));
+        } else if !writable.is_empty() {
+            let item = writable[rng.random_range(0..writable.len())];
+            *value_counter += 1;
+            ops.push(Op::write(item, *value_counter));
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repl_copygraph::CopyGraph;
+    use repl_types::OpKind;
+
+    #[test]
+    fn example_placements_have_expected_shape() {
+        let p = example_1_1_placement();
+        assert!(CopyGraph::from_placement(&p).is_dag());
+        let p = example_4_1_placement();
+        assert!(!CopyGraph::from_placement(&p).is_dag());
+    }
+
+    #[test]
+    fn programs_are_deterministic_in_seed() {
+        let p = example_1_1_placement();
+        let mix = WorkloadMix::default();
+        let a = generate_programs(&p, &mix, 2, 5, 7);
+        let b = generate_programs(&p, &mix, 2, 5, 7);
+        assert_eq!(a, b);
+        let c = generate_programs(&p, &mix, 2, 5, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn writes_respect_primary_placement() {
+        let p = example_1_1_placement();
+        let mix = WorkloadMix { ops_per_txn: 10, read_txn_prob: 0.0, read_op_prob: 0.0 };
+        let programs = generate_programs(&p, &mix, 1, 20, 1);
+        for (site_idx, site_prog) in programs.iter().enumerate() {
+            let site = SiteId(site_idx as u32);
+            for txns in site_prog {
+                for ops in txns {
+                    for op in ops {
+                        match op.kind {
+                            OpKind::Write => assert_eq!(p.primary_of(op.item), site),
+                            OpKind::Read => assert!(p.has_copy(site, op.item)),
+                        }
+                    }
+                }
+            }
+        }
+        // Site s2 (index 2) has no primaries; all its ops must be reads.
+        assert!(programs[2]
+            .iter()
+            .flatten()
+            .flatten()
+            .all(|op| op.kind == OpKind::Read));
+    }
+
+    #[test]
+    fn read_only_mix_generates_only_reads() {
+        let p = example_1_1_placement();
+        let mix = WorkloadMix { ops_per_txn: 10, read_txn_prob: 1.0, read_op_prob: 0.0 };
+        let programs = generate_programs(&p, &mix, 2, 10, 3);
+        assert!(programs
+            .iter()
+            .flatten()
+            .flatten()
+            .flatten()
+            .all(|op| op.kind == OpKind::Read));
+    }
+
+    #[test]
+    fn op_count_matches_mix() {
+        let p = example_1_1_placement();
+        let mix = WorkloadMix::default();
+        let programs = generate_programs(&p, &mix, 3, 4, 9);
+        for site_prog in &programs {
+            assert_eq!(site_prog.len(), 3);
+            for txns in site_prog {
+                assert_eq!(txns.len(), 4);
+                for ops in txns {
+                    assert_eq!(ops.len(), 10);
+                }
+            }
+        }
+    }
+}

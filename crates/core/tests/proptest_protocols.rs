@@ -1,0 +1,153 @@
+//! Property-based end-to-end tests: for *arbitrary* small placements and
+//! workloads, the paper's protocols must produce serializable, convergent
+//! executions (Theorems 2.1 / 3.1 and the §4 BackEdge argument).
+
+use proptest::prelude::*;
+
+use repl_copygraph::{CopyGraph, DataPlacement};
+use repl_core::config::{ProtocolKind, SimParams, TreeKind};
+use repl_core::engine::Engine;
+use repl_core::scenario::{generate_programs, WorkloadMix};
+use repl_types::SiteId;
+
+/// A generated placement: site count plus per-item (primary, replica
+/// bitmask) pairs.
+#[derive(Debug, Clone)]
+struct ArbPlacement {
+    num_sites: u32,
+    items: Vec<(u32, u32)>,
+    forward_only: bool,
+}
+
+impl ArbPlacement {
+    fn build(&self) -> DataPlacement {
+        let mut p = DataPlacement::new(self.num_sites);
+        for &(primary, mask) in &self.items {
+            let primary = primary % self.num_sites;
+            let replicas: Vec<SiteId> = (0..self.num_sites)
+                .filter(|&s| {
+                    s != primary
+                        && mask & (1 << s) != 0
+                        && (!self.forward_only || s > primary)
+                })
+                .map(SiteId)
+                .collect();
+            p.add_item(SiteId(primary), &replicas);
+        }
+        p
+    }
+}
+
+fn arb_placement(forward_only: bool) -> impl Strategy<Value = ArbPlacement> {
+    (2u32..=5, prop::collection::vec((0u32..5, 0u32..32), 4..16)).prop_map(
+        move |(num_sites, items)| ArbPlacement { num_sites, items, forward_only },
+    )
+}
+
+fn arb_mix() -> impl Strategy<Value = WorkloadMix> {
+    (2u32..8, 0.0f64..1.0, 0.0f64..1.0).prop_map(|(ops, rt, ro)| WorkloadMix {
+        ops_per_txn: ops,
+        read_txn_prob: rt,
+        read_op_prob: ro,
+    })
+}
+
+fn check_protocol(
+    protocol: ProtocolKind,
+    tree: TreeKind,
+    placement: &DataPlacement,
+    mix: &WorkloadMix,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let mut params = SimParams::quick_test(protocol);
+    params.tree = tree;
+    params.txns_per_thread = 12;
+    params.threads_per_site = 2;
+    let programs = generate_programs(placement, mix, 2, 12, seed);
+    let mut engine = Engine::new(placement, &params, programs)
+        .map_err(|e| TestCaseError::fail(format!("build failed: {e}")))?;
+    let report = engine.run();
+    prop_assert!(!report.stalled, "{protocol:?} stalled");
+    prop_assert!(
+        report.serializable,
+        "{protocol:?} non-serializable: {:?}",
+        report.cycle
+    );
+    prop_assert_eq!(report.summary.incomplete_propagations, 0);
+    let expected =
+        12u64 * 2 * placement.num_sites() as u64;
+    prop_assert_eq!(report.summary.commits, expected);
+    if protocol != ProtocolKind::Psl {
+        for item in placement.items() {
+            let primary = engine
+                .value_at(placement.primary_of(item), item)
+                .expect("primary exists");
+            for &r in placement.replicas_of(item) {
+                prop_assert_eq!(
+                    engine.value_at(r, item).expect("replica exists"),
+                    primary.clone(),
+                    "{:?}: {} diverged at {}",
+                    protocol,
+                    item,
+                    r
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Theorem 2.1: DAG(WT) histories are serializable on every DAG
+    /// placement, for both tree constructions.
+    #[test]
+    fn dag_wt_always_serializable(
+        p in arb_placement(true),
+        mix in arb_mix(),
+        seed in 0u64..1000,
+    ) {
+        let placement = p.build();
+        prop_assume!(CopyGraph::from_placement(&placement).is_dag());
+        check_protocol(ProtocolKind::DagWt, TreeKind::Chain, &placement, &mix, seed)?;
+        check_protocol(ProtocolKind::DagWt, TreeKind::General, &placement, &mix, seed)?;
+    }
+
+    /// Theorem 3.1: DAG(T) histories are serializable (forward-only
+    /// placements keep site ids topological, as §3.1 assumes).
+    #[test]
+    fn dag_t_always_serializable(
+        p in arb_placement(true),
+        mix in arb_mix(),
+        seed in 0u64..1000,
+    ) {
+        let placement = p.build();
+        prop_assume!(CopyGraph::from_placement(&placement).is_dag());
+        check_protocol(ProtocolKind::DagT, TreeKind::Chain, &placement, &mix, seed)?;
+    }
+
+    /// §4: BackEdge is serializable on arbitrary (cyclic) copy graphs.
+    #[test]
+    fn backedge_always_serializable(
+        p in arb_placement(false),
+        mix in arb_mix(),
+        seed in 0u64..1000,
+    ) {
+        let placement = p.build();
+        check_protocol(ProtocolKind::BackEdge, TreeKind::Chain, &placement, &mix, seed)?;
+    }
+
+    /// PSL and Eager are serializable on arbitrary copy graphs (classic
+    /// distributed 2PL arguments).
+    #[test]
+    fn psl_and_eager_always_serializable(
+        p in arb_placement(false),
+        mix in arb_mix(),
+        seed in 0u64..1000,
+    ) {
+        let placement = p.build();
+        check_protocol(ProtocolKind::Psl, TreeKind::Chain, &placement, &mix, seed)?;
+        check_protocol(ProtocolKind::Eager, TreeKind::Chain, &placement, &mix, seed)?;
+    }
+}

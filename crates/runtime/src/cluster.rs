@@ -1,0 +1,297 @@
+//! Cluster assembly and the client API.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::Mutex;
+
+use repl_copygraph::{CopyGraph, DataPlacement, PropagationTree};
+use repl_core::history::{History, SerializationCycle};
+use repl_storage::Store;
+use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
+
+use crate::site::{Command, SiteRuntime};
+
+/// Protocols the threaded runtime deploys.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RuntimeProtocol {
+    /// DAG(WT) (§2): tree-routed, FIFO, serializable (Theorem 2.1).
+    DagWt,
+    /// Indiscriminate lazy propagation — the Example 1.1 strawman; can
+    /// produce genuinely non-serializable interleavings on a real
+    /// scheduler.
+    NaiveLazy,
+}
+
+/// Errors from cluster assembly and transaction execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterError {
+    /// DAG(WT) requires an acyclic copy graph (§2).
+    CopyGraphCyclic,
+    /// The site holds no copy of the item the transaction reads.
+    NoCopy(SiteId, ItemId),
+    /// The transaction writes an item whose primary copy is elsewhere
+    /// (§1.1 ownership rule).
+    NotPrimary(SiteId, ItemId),
+    /// Site id out of range.
+    NoSuchSite(SiteId),
+    /// The site thread is gone (cluster shut down).
+    Disconnected,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::CopyGraphCyclic => write!(f, "copy graph is cyclic; DAG(WT) needs a DAG"),
+            ClusterError::NoCopy(s, i) => write!(f, "site {s} has no copy of {i}"),
+            ClusterError::NotPrimary(s, i) => {
+                write!(f, "site {s} does not own the primary copy of {i}")
+            }
+            ClusterError::NoSuchSite(s) => write!(f, "no such site {s}"),
+            ClusterError::Disconnected => write!(f, "cluster is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A committed transaction's identity, as returned to the client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnHandle {
+    /// Globally unique id of the committed transaction.
+    pub gid: GlobalTxnId,
+}
+
+/// A running multi-threaded replication cluster.
+pub struct Cluster {
+    senders: Vec<Sender<Command>>,
+    threads: Vec<JoinHandle<()>>,
+    history: Arc<Mutex<History>>,
+    outstanding: Arc<AtomicI64>,
+    placement: DataPlacement,
+}
+
+impl Cluster {
+    /// Spawn one thread per site of `placement`, wired with FIFO
+    /// channels, running `protocol`.
+    pub fn start(placement: &DataPlacement, protocol: RuntimeProtocol) -> Result<Self, ClusterError> {
+        let graph = CopyGraph::from_placement(placement);
+        let tree = match protocol {
+            RuntimeProtocol::DagWt => Some(Arc::new(
+                PropagationTree::chain(&graph).map_err(|_| ClusterError::CopyGraphCyclic)?,
+            )),
+            RuntimeProtocol::NaiveLazy => None,
+        };
+
+        let n = placement.num_sites() as usize;
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let history = Arc::new(Mutex::new(History::new()));
+        let outstanding = Arc::new(AtomicI64::new(0));
+        let placement_arc = Arc::new(placement.clone());
+
+        let mut threads = Vec::with_capacity(n);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let id = SiteId(i as u32);
+            let mut store = Store::new();
+            for item in placement.items() {
+                if placement.has_copy(id, item) {
+                    store.create_item(item, Value::Initial);
+                }
+            }
+            let site = SiteRuntime {
+                id,
+                store,
+                rx,
+                peers: senders.clone(),
+                protocol,
+                tree: tree.clone(),
+                placement: placement_arc.clone(),
+                history: history.clone(),
+                outstanding: outstanding.clone(),
+                next_seq: 0,
+                wal: repl_storage::WriteAheadLog::new(),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("site-{i}"))
+                    .spawn(move || site.run())
+                    .expect("spawn site thread"),
+            );
+        }
+        Ok(Cluster {
+            senders,
+            threads,
+            history,
+            outstanding,
+            placement: placement.clone(),
+        })
+    }
+
+    fn sender(&self, site: SiteId) -> Result<&Sender<Command>, ClusterError> {
+        self.senders.get(site.index()).ok_or(ClusterError::NoSuchSite(site))
+    }
+
+    /// Execute a transaction at `site`, blocking until it commits.
+    pub fn execute(&self, site: SiteId, ops: Vec<Op>) -> Result<TxnHandle, ClusterError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.sender(site)?
+            .send(Command::Execute { ops, reply: reply_tx })
+            .map_err(|_| ClusterError::Disconnected)?;
+        reply_rx
+            .recv()
+            .map_err(|_| ClusterError::Disconnected)?
+            .map(|gid| TxnHandle { gid })
+    }
+
+    /// A cloneable handle for submitting transactions to `site` from
+    /// other threads (concurrency tests, load generators).
+    pub fn client(&self, site: SiteId) -> Result<SiteClient, ClusterError> {
+        Ok(SiteClient { sender: self.sender(site)?.clone() })
+    }
+
+    /// Block until every committed update has been applied at every
+    /// destination replica.
+    pub fn quiesce(&self) {
+        while self.outstanding.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
+    /// Non-transactional read of one copy (for tests and demos).
+    pub fn peek(&self, site: SiteId, item: ItemId) -> Option<(Value, Option<GlobalTxnId>)> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.sender(site).ok()?.send(Command::Peek { item, reply: reply_tx }).ok()?;
+        reply_rx.recv().ok()?
+    }
+
+    /// Fetch the serialized redo log of `site` (everything it has
+    /// committed, in commit order) — the crash-recovery image: replaying
+    /// it over a fresh store of the site's items reproduces the site.
+    pub fn snapshot_wal(&self, site: SiteId) -> Option<bytes::Bytes> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.sender(site).ok()?.send(Command::SnapshotWal { reply: reply_tx }).ok()?;
+        reply_rx.recv().ok()
+    }
+
+    /// Run the one-copy-serializability oracle over everything committed
+    /// so far.
+    pub fn check_serializability(&self) -> Result<(), SerializationCycle> {
+        self.history.lock().check_serializability()
+    }
+
+    /// Number of transactions committed so far.
+    pub fn committed_count(&self) -> usize {
+        self.history.lock().committed_count()
+    }
+
+    /// The placement this cluster serves.
+    pub fn placement(&self) -> &DataPlacement {
+        &self.placement
+    }
+
+    /// Stop every site thread and join them.
+    pub fn shutdown(mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Command::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Command::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A cloneable per-site transaction submitter.
+#[derive(Clone)]
+pub struct SiteClient {
+    sender: Sender<Command>,
+}
+
+impl SiteClient {
+    /// Execute a transaction, blocking until commit.
+    pub fn execute(&self, ops: Vec<Op>) -> Result<TxnHandle, ClusterError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.sender
+            .send(Command::Execute { ops, reply: reply_tx })
+            .map_err(|_| ClusterError::Disconnected)?;
+        reply_rx
+            .recv()
+            .map_err(|_| ClusterError::Disconnected)?
+            .map(|gid| TxnHandle { gid })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repl_core::scenario;
+
+    #[test]
+    fn basic_write_propagates() {
+        let placement = scenario::example_1_1_placement();
+        let cluster = Cluster::start(&placement, RuntimeProtocol::DagWt).unwrap();
+        let a = ItemId(0);
+        cluster.execute(SiteId(0), vec![Op::write(a, 5)]).unwrap();
+        cluster.quiesce();
+        for site in [SiteId(0), SiteId(1), SiteId(2)] {
+            assert_eq!(cluster.peek(site, a).unwrap().0, Value::int(5));
+        }
+        assert!(cluster.check_serializability().is_ok());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn ownership_rule_enforced() {
+        let placement = scenario::example_1_1_placement();
+        let cluster = Cluster::start(&placement, RuntimeProtocol::DagWt).unwrap();
+        // Writing b (primary s1) at s0 is rejected.
+        let err = cluster.execute(SiteId(0), vec![Op::write(ItemId(1), 1)]).unwrap_err();
+        assert_eq!(err, ClusterError::NotPrimary(SiteId(0), ItemId(1)));
+        // Reading b at s0 (no copy) is rejected.
+        let err = cluster.execute(SiteId(0), vec![Op::read(ItemId(1))]).unwrap_err();
+        assert_eq!(err, ClusterError::NoCopy(SiteId(0), ItemId(1)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cyclic_graph_rejected_for_dag_wt() {
+        let placement = scenario::example_4_1_placement();
+        assert_eq!(
+            Cluster::start(&placement, RuntimeProtocol::DagWt).err(),
+            Some(ClusterError::CopyGraphCyclic)
+        );
+        // NaiveLazy accepts anything.
+        let c = Cluster::start(&placement, RuntimeProtocol::NaiveLazy).unwrap();
+        c.shutdown();
+    }
+
+    #[test]
+    fn unknown_site_rejected() {
+        let placement = scenario::example_1_1_placement();
+        let cluster = Cluster::start(&placement, RuntimeProtocol::DagWt).unwrap();
+        assert_eq!(
+            cluster.execute(SiteId(9), vec![]).unwrap_err(),
+            ClusterError::NoSuchSite(SiteId(9))
+        );
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,216 @@
+//! The per-site worker thread.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use repl_copygraph::{DataPlacement, PropagationTree};
+use repl_core::history::History;
+use repl_storage::{Store, WriteAheadLog};
+use repl_types::{GlobalTxnId, ItemId, Op, OpKind, SiteId, Value};
+
+use crate::cluster::{ClusterError, RuntimeProtocol};
+
+/// A secondary subtransaction on the wire.
+#[derive(Clone, Debug)]
+pub(crate) struct RtSubtxn {
+    pub gid: GlobalTxnId,
+    pub origin: SiteId,
+    pub writes: Vec<(ItemId, Value)>,
+    /// Replica sites still to be reached (tree routing).
+    pub dest_sites: Vec<SiteId>,
+}
+
+/// Commands a site thread processes.
+pub(crate) enum Command {
+    /// Execute a whole transaction and reply with its outcome.
+    Execute {
+        ops: Vec<Op>,
+        reply: Sender<Result<GlobalTxnId, ClusterError>>,
+    },
+    /// Apply (and possibly forward) a secondary subtransaction.
+    Subtxn(RtSubtxn),
+    /// Non-transactional inspection of one copy.
+    Peek {
+        item: ItemId,
+        reply: Sender<Option<(Value, Option<GlobalTxnId>)>>,
+    },
+    /// Serialize the site's redo log (crash-recovery support: replaying
+    /// the returned image over an empty store reproduces the site).
+    SnapshotWal {
+        reply: Sender<bytes::Bytes>,
+    },
+    /// Drain and exit.
+    Shutdown,
+}
+
+pub(crate) struct SiteRuntime {
+    pub id: SiteId,
+    pub store: Store,
+    pub rx: Receiver<Command>,
+    /// Senders to every site, indexed by site id.
+    pub peers: Vec<Sender<Command>>,
+    pub protocol: RuntimeProtocol,
+    pub tree: Option<Arc<PropagationTree>>,
+    pub placement: Arc<DataPlacement>,
+    pub history: Arc<Mutex<History>>,
+    /// Replica applications still in flight, cluster-wide.
+    pub outstanding: Arc<AtomicI64>,
+    pub next_seq: u64,
+    /// Redo log of every commit applied at this site, in commit order.
+    pub wal: WriteAheadLog,
+}
+
+impl SiteRuntime {
+    /// The thread body: process commands until shutdown.
+    pub fn run(mut self) {
+        while let Ok(cmd) = self.rx.recv() {
+            match cmd {
+                Command::Execute { ops, reply } => {
+                    let result = self.execute(ops);
+                    let _ = reply.send(result);
+                }
+                Command::Subtxn(sub) => self.apply_subtxn(sub),
+                Command::Peek { item, reply } => {
+                    let _ = reply.send(self.store.peek(item).map(|r| (r.value, r.writer)));
+                }
+                Command::SnapshotWal { reply } => {
+                    let _ = reply.send(self.wal.encode());
+                }
+                Command::Shutdown => break,
+            }
+        }
+    }
+
+    /// Execute a primary subtransaction. Sites run one transaction at a
+    /// time, so locks are always free; validation and the §1.1 ownership
+    /// rule still apply.
+    fn execute(&mut self, ops: Vec<Op>) -> Result<GlobalTxnId, ClusterError> {
+        // Validate before touching the store.
+        for op in &ops {
+            match op.kind {
+                OpKind::Read => {
+                    if !self.placement.has_copy(self.id, op.item) {
+                        return Err(ClusterError::NoCopy(self.id, op.item));
+                    }
+                }
+                OpKind::Write => {
+                    if self.placement.primary_of(op.item) != self.id {
+                        return Err(ClusterError::NotPrimary(self.id, op.item));
+                    }
+                }
+            }
+        }
+        let gid = GlobalTxnId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        let txn = self.store.begin();
+        for op in &ops {
+            match op.kind {
+                OpKind::Read => {
+                    self.store.read(txn, op.item).expect("serial site: no conflicts");
+                }
+                OpKind::Write => {
+                    self.store
+                        .write(txn, op.item, op.value.clone(), gid)
+                        .expect("serial site: no conflicts");
+                }
+            }
+        }
+        let (info, _) = self.store.commit(txn).expect("commit serial txn");
+        let writes = info.write_set();
+        self.wal.append_commit(gid, &writes);
+        let dests = self.destinations(&writes);
+
+        // Record the commit *before* any subtransaction can be applied
+        // elsewhere, so readers-from always find the writer recorded.
+        {
+            let mut h = self.history.lock();
+            h.record_commit(gid, info.reads, writes.iter().map(|(i, _)| *i).collect());
+        }
+        self.outstanding.fetch_add(dests.len() as i64, Ordering::SeqCst);
+        self.propagate(gid, writes, dests);
+        Ok(gid)
+    }
+
+    fn destinations(&self, writes: &[(ItemId, Value)]) -> Vec<SiteId> {
+        let mut dests: Vec<SiteId> = writes
+            .iter()
+            .flat_map(|(item, _)| self.placement.replicas_of(*item).iter().copied())
+            .filter(|&s| s != self.id)
+            .collect();
+        dests.sort_unstable();
+        dests.dedup();
+        dests
+    }
+
+    fn propagate(&self, gid: GlobalTxnId, writes: Vec<(ItemId, Value)>, dests: Vec<SiteId>) {
+        if dests.is_empty() {
+            return;
+        }
+        match self.protocol {
+            RuntimeProtocol::NaiveLazy => {
+                // Indiscriminate: straight to every replica holder. The
+                // per-link FIFO of the channels does NOT order deliveries
+                // *across* links — exactly the Example 1.1 race.
+                for d in dests {
+                    let sub = RtSubtxn {
+                        gid,
+                        origin: self.id,
+                        writes: writes
+                            .iter()
+                            .filter(|(i, _)| self.placement.has_copy(d, *i))
+                            .cloned()
+                            .collect(),
+                        dest_sites: vec![d],
+                    };
+                    let _ = self.peers[d.index()].send(Command::Subtxn(sub));
+                }
+            }
+            RuntimeProtocol::DagWt => {
+                let sub = RtSubtxn { gid, origin: self.id, writes, dest_sites: dests };
+                self.forward_down_tree(&sub);
+            }
+        }
+    }
+
+    fn forward_down_tree(&self, sub: &RtSubtxn) {
+        let tree = self.tree.as_ref().expect("DAG(WT) runtime has a tree");
+        for child in tree.relevant_children(self.id, &sub.dest_sites) {
+            let _ = self.peers[child.index()].send(Command::Subtxn(sub.clone()));
+        }
+    }
+
+    /// Apply a secondary subtransaction: §2 — commit locally, then
+    /// forward to relevant children (DAG(WT)); commit order per parent is
+    /// arrival order because the site thread is serial.
+    fn apply_subtxn(&mut self, sub: RtSubtxn) {
+        debug_assert!(
+            sub.writes
+                .iter()
+                .all(|(item, _)| self.placement.primary_of(*item) == sub.origin),
+            "subtransaction carries writes the origin does not own"
+        );
+        let applicable: Vec<_> = sub
+            .writes
+            .iter()
+            .filter(|(item, _)| self.placement.has_copy(self.id, *item))
+            .cloned()
+            .collect();
+        if !applicable.is_empty() {
+            let txn = self.store.begin();
+            for (item, value) in &applicable {
+                self.store
+                    .write(txn, *item, value.clone(), sub.gid)
+                    .expect("serial site: no conflicts");
+            }
+            self.store.commit(txn).expect("commit secondary");
+            self.wal.append_commit(sub.gid, &applicable);
+            self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        }
+        if self.protocol == RuntimeProtocol::DagWt {
+            self.forward_down_tree(&sub);
+        }
+    }
+}

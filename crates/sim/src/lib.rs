@@ -1,0 +1,35 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The paper's evaluation ran on three physical UltraSparc machines over a
+//! 10 Mbit ethernet. This crate is the workspace's substitute testbed: a
+//! virtual-time kernel in which every run is a pure function of its inputs
+//! (parameters + seed), so experiments are exactly reproducible.
+//!
+//! Three pieces:
+//!
+//! * [`time::SimTime`] / [`time::SimDuration`] — microsecond-resolution
+//!   virtual time;
+//! * [`queue::EventQueue`] — the central calendar. Events at equal
+//!   timestamps pop in insertion order (a strictly monotone sequence
+//!   number breaks ties), which is what makes the simulation
+//!   deterministic;
+//! * [`net::Network`] — reliable FIFO point-to-point links with
+//!   configurable latency (the §1.1 model assumes reliable FIFO message
+//!   delivery between any two sites);
+//! * [`cpu::CpuQueue`] — a single-server FIFO queue per site, modelling
+//!   the shared processor: protocol work (applying secondary
+//!   subtransactions, serving remote reads) competes with primary
+//!   transactions for the same CPU, exactly the contention that shapes
+//!   the paper's throughput curves.
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod net;
+pub mod queue;
+pub mod time;
+
+pub use cpu::CpuQueue;
+pub use net::Network;
+pub use queue::EventQueue;
+pub use time::{SimDuration, SimTime};

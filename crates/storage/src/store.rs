@@ -1,0 +1,405 @@
+//! The site-local storage engine.
+//!
+//! A [`Store`] holds the copies (primary or secondary) that live at one
+//! site, executes local (sub)transactions under strict 2PL, and exposes the
+//! hooks the protocol engines need:
+//!
+//! * lock waits surface as [`StorageError::WouldBlock`] — the engine
+//!   suspends the transaction and retries the operation after the lock
+//!   manager reports a grant;
+//! * every installed value carries its *logical writer* (a
+//!   [`GlobalTxnId`]), so applying a secondary subtransaction at a replica
+//!   tags the copy with the originating transaction and the
+//!   serializability checker can recover reads-from edges;
+//! * commit returns the transaction's read and write sets (the write set
+//!   is what gets packaged into secondary subtransactions).
+
+use std::collections::HashMap;
+
+use repl_types::{GlobalTxnId, ItemId, StorageError, TxnId, Value};
+
+use crate::hash_index::HashIndex;
+use crate::lock::{LockManager, LockMode, LockOutcome};
+use crate::undo::{UndoEntry, UndoLog};
+
+/// One item copy stored at a site.
+#[derive(Clone, Debug)]
+struct Cell {
+    value: Value,
+    /// Logical transaction that wrote the current value (`None` = initial).
+    writer: Option<GlobalTxnId>,
+    /// Monotone per-copy version counter.
+    version: u64,
+}
+
+/// Result of a transactional read.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReadResult {
+    /// The value read.
+    pub value: Value,
+    /// Logical writer of that value (`None` for the initial value).
+    pub writer: Option<GlobalTxnId>,
+}
+
+/// Lifecycle state of a local (sub)transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxnStatus {
+    /// Executing; may read, write, commit or abort.
+    Active,
+    /// Finished execution but holding locks, awaiting a distributed-commit
+    /// decision (BackEdge eager phase / 2PC participants).
+    Prepared,
+}
+
+#[derive(Debug)]
+struct TxnState {
+    status: TxnStatus,
+    undo: UndoLog,
+    /// `(item, writer-of-version-read)` pairs, in read order.
+    reads: Vec<(ItemId, Option<GlobalTxnId>)>,
+    /// `(item, value)` pairs in write order (may repeat items).
+    writes: Vec<(ItemId, Value)>,
+}
+
+/// Read/write sets returned by [`Store::commit`].
+#[derive(Clone, Debug, Default)]
+pub struct CommitInfo {
+    /// `(item, writer-of-version-read)` pairs, in read order.
+    pub reads: Vec<(ItemId, Option<GlobalTxnId>)>,
+    /// `(item, value)` pairs in write order (may repeat items).
+    pub writes: Vec<(ItemId, Value)>,
+}
+
+impl CommitInfo {
+    /// The deduplicated write set: last value per item, in first-write
+    /// order. This is what a secondary subtransaction carries.
+    pub fn write_set(&self) -> Vec<(ItemId, Value)> {
+        let mut order: Vec<ItemId> = Vec::new();
+        let mut last: HashMap<ItemId, Value> = HashMap::new();
+        for (item, value) in &self.writes {
+            if !last.contains_key(item) {
+                order.push(*item);
+            }
+            last.insert(*item, value.clone());
+        }
+        order
+            .into_iter()
+            .map(|i| {
+                let v = last.remove(&i).expect("recorded above");
+                (i, v)
+            })
+            .collect()
+    }
+}
+
+/// The per-site main-memory store.
+#[derive(Debug, Default)]
+pub struct Store {
+    cells: HashIndex<Cell>,
+    locks: LockManager,
+    txns: HashMap<TxnId, TxnState>,
+    next_txn: u64,
+}
+
+impl Store {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a copy of `item` with its initial value. Non-transactional;
+    /// used during database population.
+    pub fn create_item(&mut self, item: ItemId, value: Value) {
+        self.cells.insert(item, Cell { value, writer: None, version: 0 });
+    }
+
+    /// True if this site stores a copy (primary or secondary) of `item`.
+    pub fn has_item(&self, item: ItemId) -> bool {
+        self.cells.contains(item)
+    }
+
+    /// Number of item copies stored.
+    pub fn item_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Non-transactional inspection of a copy's current value and writer
+    /// (used by convergence tests and examples).
+    pub fn peek(&self, item: ItemId) -> Option<ReadResult> {
+        self.cells.get(item).map(|c| ReadResult {
+            value: c.value.clone(),
+            writer: c.writer,
+        })
+    }
+
+    /// Begin a new local (sub)transaction.
+    pub fn begin(&mut self) -> TxnId {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.txns.insert(
+            id,
+            TxnState {
+                status: TxnStatus::Active,
+                undo: UndoLog::new(),
+                reads: Vec::new(),
+                writes: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// True if `txn` is currently known (active or prepared).
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        self.txns.contains_key(&txn)
+    }
+
+    /// Access the lock manager (deadlock detection, arrival ordinals).
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Mutable access to the lock manager.
+    pub fn locks_mut(&mut self) -> &mut LockManager {
+        &mut self.locks
+    }
+
+    fn check_active(&self, txn: TxnId) -> Result<(), StorageError> {
+        match self.txns.get(&txn) {
+            Some(s) if s.status == TxnStatus::Active => Ok(()),
+            Some(_) => Err(StorageError::InvalidState(txn)),
+            None => Err(StorageError::NoSuchTxn(txn)),
+        }
+    }
+
+    /// Transactional read under an S lock.
+    ///
+    /// Returns [`StorageError::WouldBlock`] if the lock is unavailable; the
+    /// request stays queued and the caller must retry after the grant.
+    pub fn read(&mut self, txn: TxnId, item: ItemId) -> Result<ReadResult, StorageError> {
+        self.check_active(txn)?;
+        if !self.cells.contains(item) {
+            return Err(StorageError::NoSuchItem(item));
+        }
+        match self.locks.request(txn, item, LockMode::Shared) {
+            LockOutcome::Queued => Err(StorageError::WouldBlock(item)),
+            LockOutcome::Granted => {
+                let cell = self.cells.get(item).expect("checked above");
+                let result = ReadResult { value: cell.value.clone(), writer: cell.writer };
+                self.txns
+                    .get_mut(&txn)
+                    .expect("checked active")
+                    .reads
+                    .push((item, result.writer));
+                Ok(result)
+            }
+        }
+    }
+
+    /// Transactional write under an X lock, installing `value` attributed
+    /// to logical writer `writer`.
+    pub fn write(
+        &mut self,
+        txn: TxnId,
+        item: ItemId,
+        value: Value,
+        writer: GlobalTxnId,
+    ) -> Result<(), StorageError> {
+        self.check_active(txn)?;
+        if !self.cells.contains(item) {
+            return Err(StorageError::NoSuchItem(item));
+        }
+        match self.locks.request(txn, item, LockMode::Exclusive) {
+            LockOutcome::Queued => Err(StorageError::WouldBlock(item)),
+            LockOutcome::Granted => {
+                let cell = self.cells.get_mut(item).expect("checked above");
+                let entry = UndoEntry {
+                    item,
+                    old_value: std::mem::replace(&mut cell.value, value.clone()),
+                    old_writer: std::mem::replace(&mut cell.writer, Some(writer)),
+                    old_version: cell.version,
+                };
+                cell.version += 1;
+                let state = self.txns.get_mut(&txn).expect("checked active");
+                state.undo.push(entry);
+                state.writes.push((item, value));
+                Ok(())
+            }
+        }
+    }
+
+    /// Move `txn` to the `Prepared` state: execution is complete and its
+    /// locks are pinned until a distributed commit decision arrives
+    /// (BackEdge protocol, §4.1: backedge subtransactions "do not commit
+    /// and hold on to their locks").
+    pub fn prepare(&mut self, txn: TxnId) -> Result<(), StorageError> {
+        self.check_active(txn)?;
+        self.txns.get_mut(&txn).expect("checked").status = TxnStatus::Prepared;
+        Ok(())
+    }
+
+    /// Commit `txn`: release all locks (strict 2PL) and return its
+    /// read/write sets plus the transactions unblocked by the release.
+    pub fn commit(&mut self, txn: TxnId) -> Result<(CommitInfo, Vec<TxnId>), StorageError> {
+        let state = self.txns.remove(&txn).ok_or(StorageError::NoSuchTxn(txn))?;
+        let granted = self.locks.release_all(txn);
+        Ok((CommitInfo { reads: state.reads, writes: state.writes }, granted))
+    }
+
+    /// Abort `txn`: roll back its writes from the undo log, release all
+    /// locks, and return the transactions unblocked by the release.
+    ///
+    /// Safe to call on a blocked transaction (its queued lock request is
+    /// cancelled) and on a prepared one (BackEdge global-deadlock aborts).
+    pub fn abort(&mut self, txn: TxnId) -> Result<Vec<TxnId>, StorageError> {
+        let mut state = self.txns.remove(&txn).ok_or(StorageError::NoSuchTxn(txn))?;
+        for entry in state.undo.drain_rollback() {
+            let cell = self
+                .cells
+                .get_mut(entry.item)
+                .expect("undo entries reference existing items");
+            cell.value = entry.old_value;
+            cell.writer = entry.old_writer;
+            cell.version = entry.old_version;
+        }
+        Ok(self.locks.release_all(txn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repl_types::SiteId;
+
+    fn gid(n: u64) -> GlobalTxnId {
+        GlobalTxnId::new(SiteId(0), n)
+    }
+
+    fn store_with_items(n: u32) -> Store {
+        let mut s = Store::new();
+        for i in 0..n {
+            s.create_item(ItemId(i), Value::Initial);
+        }
+        s
+    }
+
+    #[test]
+    fn read_your_own_write() {
+        let mut s = store_with_items(2);
+        let t = s.begin();
+        s.write(t, ItemId(0), Value::int(5), gid(1)).unwrap();
+        let r = s.read(t, ItemId(0)).unwrap();
+        assert_eq!(r.value, Value::int(5));
+        assert_eq!(r.writer, Some(gid(1)));
+    }
+
+    #[test]
+    fn commit_returns_sets_and_releases() {
+        let mut s = store_with_items(3);
+        let t1 = s.begin();
+        s.read(t1, ItemId(0)).unwrap();
+        s.write(t1, ItemId(1), Value::int(1), gid(1)).unwrap();
+        s.write(t1, ItemId(1), Value::int(2), gid(1)).unwrap();
+
+        let t2 = s.begin();
+        assert!(matches!(
+            s.read(t2, ItemId(1)),
+            Err(StorageError::WouldBlock(_))
+        ));
+
+        let (info, granted) = s.commit(t1).unwrap();
+        assert_eq!(info.reads, vec![(ItemId(0), None)]);
+        assert_eq!(info.write_set(), vec![(ItemId(1), Value::int(2))]);
+        assert_eq!(granted, vec![t2]);
+
+        // t2's queued read was granted; a retry must now succeed.
+        let r = s.read(t2, ItemId(1)).unwrap();
+        assert_eq!(r.value, Value::int(2));
+        assert_eq!(r.writer, Some(gid(1)));
+    }
+
+    #[test]
+    fn abort_rolls_back_all_writes() {
+        let mut s = store_with_items(2);
+        s.create_item(ItemId(0), Value::int(100));
+        let t = s.begin();
+        s.write(t, ItemId(0), Value::int(1), gid(1)).unwrap();
+        s.write(t, ItemId(0), Value::int(2), gid(1)).unwrap();
+        s.write(t, ItemId(1), Value::int(3), gid(1)).unwrap();
+        s.abort(t).unwrap();
+        assert_eq!(s.peek(ItemId(0)).unwrap().value, Value::int(100));
+        assert_eq!(s.peek(ItemId(0)).unwrap().writer, None);
+        assert_eq!(s.peek(ItemId(1)).unwrap().value, Value::Initial);
+    }
+
+    #[test]
+    fn abort_while_blocked_cancels_wait() {
+        let mut s = store_with_items(1);
+        let t1 = s.begin();
+        s.write(t1, ItemId(0), Value::int(1), gid(1)).unwrap();
+        let t2 = s.begin();
+        assert!(matches!(
+            s.write(t2, ItemId(0), Value::int(2), gid(2)),
+            Err(StorageError::WouldBlock(_))
+        ));
+        s.abort(t2).unwrap();
+        assert_eq!(s.locks().blocked_count(), 0);
+        let (_, granted) = s.commit(t1).unwrap();
+        assert!(granted.is_empty());
+        assert_eq!(s.peek(ItemId(0)).unwrap().value, Value::int(1));
+    }
+
+    #[test]
+    fn missing_item_is_an_error() {
+        let mut s = store_with_items(1);
+        let t = s.begin();
+        assert_eq!(
+            s.read(t, ItemId(9)),
+            Err(StorageError::NoSuchItem(ItemId(9)))
+        );
+        assert_eq!(
+            s.write(t, ItemId(9), Value::int(1), gid(1)),
+            Err(StorageError::NoSuchItem(ItemId(9)))
+        );
+    }
+
+    #[test]
+    fn prepared_txn_rejects_operations_but_can_abort() {
+        let mut s = store_with_items(1);
+        let t = s.begin();
+        s.write(t, ItemId(0), Value::int(1), gid(1)).unwrap();
+        s.prepare(t).unwrap();
+        assert_eq!(s.read(t, ItemId(0)), Err(StorageError::InvalidState(t)));
+        // Prepared transactions still hold locks...
+        let t2 = s.begin();
+        assert!(matches!(
+            s.read(t2, ItemId(0)),
+            Err(StorageError::WouldBlock(_))
+        ));
+        // ...and can be aborted by a global deadlock decision.
+        s.abort(t).unwrap();
+        assert_eq!(s.peek(ItemId(0)).unwrap().value, Value::Initial);
+        let r = s.read(t2, ItemId(0)).unwrap();
+        assert_eq!(r.value, Value::Initial);
+    }
+
+    #[test]
+    fn unknown_txn_errors() {
+        let mut s = store_with_items(1);
+        assert_eq!(s.commit(TxnId(99)).err(), Some(StorageError::NoSuchTxn(TxnId(99))));
+        assert_eq!(s.abort(TxnId(99)).err(), Some(StorageError::NoSuchTxn(TxnId(99))));
+    }
+
+    #[test]
+    fn versions_advance_and_roll_back() {
+        let mut s = store_with_items(1);
+        let t = s.begin();
+        s.write(t, ItemId(0), Value::int(1), gid(1)).unwrap();
+        s.commit(t).unwrap();
+        let t = s.begin();
+        s.write(t, ItemId(0), Value::int(2), gid(2)).unwrap();
+        s.abort(t).unwrap();
+        let r = s.peek(ItemId(0)).unwrap();
+        assert_eq!(r.value, Value::int(1));
+        assert_eq!(r.writer, Some(gid(1)));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+use crate::{ItemId, TxnId};
+
+/// Errors raised by the per-site storage engine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StorageError {
+    /// The item does not exist at this site (neither primary nor replica).
+    NoSuchItem(ItemId),
+    /// The transaction id is unknown (already committed/aborted or never
+    /// began).
+    NoSuchTxn(TxnId),
+    /// The requested lock cannot be granted immediately; the transaction
+    /// has been enqueued and will be resumed via a grant notification.
+    WouldBlock(ItemId),
+    /// The lock manager chose this transaction as a deadlock victim.
+    Deadlock(TxnId),
+    /// An operation was attempted on a transaction that is not active
+    /// (e.g. writing after commit was initiated).
+    InvalidState(TxnId),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NoSuchItem(i) => write!(f, "no copy of item {i} at this site"),
+            StorageError::NoSuchTxn(t) => write!(f, "unknown transaction {t:?}"),
+            StorageError::WouldBlock(i) => write!(f, "lock on {i} not available; enqueued"),
+            StorageError::Deadlock(t) => write!(f, "transaction {t:?} chosen as deadlock victim"),
+            StorageError::InvalidState(t) => write!(f, "transaction {t:?} is not active"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Transaction-level outcomes surfaced by the protocol engines.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TxnError {
+    /// Aborted because a lock wait exceeded the deadlock timeout (the
+    /// paper's mechanism for both local and global deadlocks, §5).
+    DeadlockTimeout,
+    /// Aborted by local waits-for-graph deadlock detection.
+    DeadlockCycle,
+    /// Aborted because a distributed commit (2PC) participant voted no.
+    CommitVetoed,
+    /// Underlying storage failure.
+    Storage(StorageError),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::DeadlockTimeout => write!(f, "aborted: deadlock timeout expired"),
+            TxnError::DeadlockCycle => write!(f, "aborted: waits-for cycle detected"),
+            TxnError::CommitVetoed => write!(f, "aborted: distributed commit vetoed"),
+            TxnError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<StorageError> for TxnError {
+    fn from(e: StorageError) -> Self {
+        TxnError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::NoSuchItem(ItemId(3));
+        assert!(e.to_string().contains("x3"));
+        let t: TxnError = e.into();
+        assert!(matches!(t, TxnError::Storage(_)));
+        assert!(TxnError::DeadlockTimeout.to_string().contains("timeout"));
+    }
+}

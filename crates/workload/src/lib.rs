@@ -1,0 +1,14 @@
+//! The paper's evaluation workload: Table 1 parameters, the §5.2 data
+//! distribution, and transaction generation.
+//!
+//! The experiment harness in `repl-bench` sweeps one [`TableOneParams`]
+//! field at a time (exactly as §5.3 does) and feeds the resulting
+//! placement + programs into the `repl-core` engine.
+
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod params;
+
+pub use distribution::build_placement;
+pub use params::TableOneParams;

@@ -1,0 +1,99 @@
+//! Telecom network management — the §1 scenario: "network management
+//! applications require real-time dissemination of updates to replicas
+//! with strong consistency guarantees".
+//!
+//! Two regional network-operation centers (NOCs) each own the element
+//! status tables of their region but replicate them to the *other* NOC
+//! (and to a shared monitoring site) so either can run failover logic.
+//! The mutual replication makes the copy graph **cyclic**, so the DAG
+//! protocols refuse it; the BackEdge protocol handles it, propagating
+//! eagerly along the backedge and lazily elsewhere. The example also runs
+//! PSL on the same workload — the read-heavy monitoring mix is exactly
+//! where the paper reports BackEdge's largest wins.
+//!
+//! ```sh
+//! cargo run --release -p repl-bench --example network_management
+//! ```
+
+use repl_copygraph::{CopyGraph, DataPlacement};
+use repl_core::config::{ProtocolKind, SimParams};
+use repl_core::engine::{BuildError, Engine};
+use repl_core::scenario::{generate_programs, WorkloadMix};
+use repl_types::SiteId;
+
+const NOC_EAST: SiteId = SiteId(0);
+const NOC_WEST: SiteId = SiteId(1);
+const MONITOR: SiteId = SiteId(2);
+
+fn build_network() -> DataPlacement {
+    let mut p = DataPlacement::new(3);
+    // Element status tables: each NOC owns its region's, replicated to
+    // the peer NOC and to the monitoring site.
+    for _ in 0..40 {
+        p.add_item(NOC_EAST, &[NOC_WEST, MONITOR]);
+        p.add_item(NOC_WEST, &[NOC_EAST, MONITOR]); // backedge NOC_WEST -> NOC_EAST
+    }
+    // Monitoring dashboards: local to the monitor.
+    for _ in 0..30 {
+        p.add_item(MONITOR, &[]);
+    }
+    p
+}
+
+fn main() {
+    let placement = build_network();
+    let graph = CopyGraph::from_placement(&placement);
+    assert!(!graph.is_dag(), "mutual NOC replication creates a cycle");
+    println!(
+        "network topology: 3 sites, {} items, {} replicas; copy graph is CYCLIC",
+        placement.num_items(),
+        placement.total_replicas()
+    );
+
+    // Monitoring workload: alarms and status updates are writes at the
+    // owning NOC; dashboards and failover checks are reads everywhere.
+    let mix = WorkloadMix { ops_per_txn: 8, read_txn_prob: 0.6, read_op_prob: 0.75 };
+    let mut params = SimParams::default();
+    params.threads_per_site = 3;
+    params.txns_per_thread = 300;
+
+    // The DAG protocols must reject this placement (§2/§3 precondition).
+    params.protocol = ProtocolKind::DagWt;
+    let programs = generate_programs(&placement, &mix, 3, 300, 99);
+    match Engine::new(&placement, &params, programs.clone()) {
+        Err(BuildError::CopyGraphCyclic) => {
+            println!("DAG(WT): rejected (copy graph is cyclic) — as §2 requires")
+        }
+        Ok(_) => panic!("expected CopyGraphCyclic, engine was built"),
+        Err(e) => panic!("expected CopyGraphCyclic, got {e:?}"),
+    }
+
+    // BackEdge handles the cycle.
+    for protocol in [ProtocolKind::BackEdge, ProtocolKind::Psl] {
+        params.protocol = protocol;
+        let mut engine = Engine::new(&placement, &params, programs.clone()).unwrap();
+        if protocol == ProtocolKind::BackEdge {
+            let b = engine.backedge_set().unwrap();
+            println!(
+                "BackEdge: treating {:?} as backedge(s); eager along them, lazy elsewhere",
+                b.edges()
+            );
+        }
+        let report = engine.run();
+        assert!(report.serializable);
+        let s = &report.summary;
+        println!(
+            "{:8}: throughput {:7.1} txn/s/site | abort {:4.1}% | response {:6.1} ms | \
+             recency (mean propagation) {:6.1} ms",
+            protocol.name(),
+            s.throughput_per_site,
+            s.abort_rate_pct,
+            s.mean_response_ms,
+            s.mean_propagation_ms,
+        );
+    }
+    println!(
+        "\nBoth guarantee one-copy serializability on a cyclic copy graph; the lazy \
+         BackEdge propagation keeps NOC replicas fresh without remote reads."
+    );
+}

@@ -1,0 +1,103 @@
+//! Distributed data warehouse — the §6 motivating scenario where "the
+//! copy graph is naturally a DAG".
+//!
+//! Topology: one headquarters site owns the master catalog and feeds two
+//! regional warehouses; each regional warehouse owns its regional sales
+//! aggregates and feeds two data marts. Updates flow strictly downstream,
+//! so the copy graph is a DAG and the fully lazy DAG protocols apply.
+//! The example runs DAG(WT) and DAG(T) on the same workload and compares
+//! routing cost (messages, propagation delay) — the §3 motivation for
+//! DAG(T): no relaying through intermediate sites.
+//!
+//! ```sh
+//! cargo run --release -p repl-bench --example warehouse
+//! ```
+
+use repl_copygraph::{CopyGraph, DataPlacement};
+use repl_core::config::{ProtocolKind, SimParams};
+use repl_core::engine::Engine;
+use repl_core::scenario::{generate_programs, WorkloadMix};
+use repl_types::SiteId;
+
+const HQ: SiteId = SiteId(0);
+const WAREHOUSE_EAST: SiteId = SiteId(1);
+const WAREHOUSE_WEST: SiteId = SiteId(2);
+const MART_E1: SiteId = SiteId(3);
+const MART_E2: SiteId = SiteId(4);
+const MART_W1: SiteId = SiteId(5);
+const MART_W2: SiteId = SiteId(6);
+
+fn build_warehouse() -> DataPlacement {
+    let mut p = DataPlacement::new(7);
+    // Master catalog: owned by HQ, replicated everywhere downstream.
+    for _ in 0..30 {
+        p.add_item(
+            HQ,
+            &[WAREHOUSE_EAST, WAREHOUSE_WEST, MART_E1, MART_E2, MART_W1, MART_W2],
+        );
+    }
+    // Regional aggregates: owned by each warehouse, replicated to its
+    // marts (and to HQ? no — that would be a backedge; HQ queries go to
+    // the region in this design, keeping the graph a DAG).
+    for _ in 0..40 {
+        p.add_item(WAREHOUSE_EAST, &[MART_E1, MART_E2]);
+        p.add_item(WAREHOUSE_WEST, &[MART_W1, MART_W2]);
+    }
+    // Mart-local scratch tables: unreplicated.
+    for mart in [MART_E1, MART_E2, MART_W1, MART_W2] {
+        for _ in 0..20 {
+            p.add_item(mart, &[]);
+        }
+    }
+    p
+}
+
+fn main() {
+    let placement = build_warehouse();
+    let graph = CopyGraph::from_placement(&placement);
+    assert!(graph.is_dag(), "warehouse topology must be a DAG");
+    println!(
+        "warehouse topology: 7 sites, {} items, {} replicas, {} copy-graph edges",
+        placement.num_items(),
+        placement.total_replicas(),
+        graph.edge_count()
+    );
+
+    // Warehouse workload: mostly reporting (reads), some catalog and
+    // aggregate refresh (writes).
+    let mix = WorkloadMix { ops_per_txn: 10, read_txn_prob: 0.7, read_op_prob: 0.8 };
+
+    for protocol in [ProtocolKind::DagWt, ProtocolKind::DagT] {
+        let mut params = SimParams::default();
+        params.protocol = protocol;
+        params.threads_per_site = 3;
+        params.txns_per_thread = 300;
+        let programs = generate_programs(&placement, &mix, 3, 300, 2026);
+        let mut engine = Engine::new(&placement, &params, programs).unwrap();
+        let report = engine.run();
+        assert!(report.serializable, "Theorems 2.1/3.1 violated?!");
+        let s = &report.summary;
+        println!(
+            "\n{:8}: throughput {:7.1} txn/s/site | abort {:4.1}% | \
+             propagation mean {:6.1} ms max {:6.1} ms | messages {}",
+            protocol.name(),
+            s.throughput_per_site,
+            s.abort_rate_pct,
+            s.mean_propagation_ms,
+            s.max_propagation_ms,
+            s.messages
+        );
+        if protocol == ProtocolKind::DagWt {
+            println!(
+                "          (tree routing: HQ catalog updates are relayed through the \
+                 warehouses to reach the marts)"
+            );
+        } else {
+            println!(
+                "          (direct routing: HQ sends to every replica holder; progress \
+                 via epochs + dummies adds messages)"
+            );
+        }
+    }
+    println!("\nBoth protocols delivered serializable, convergent replication on a DAG.");
+}
