@@ -1,0 +1,84 @@
+//! `replint` — the determinism lint gate.
+//!
+//! Usage: `cargo run -p repl-analysis --bin replint [--json] [DIR…]`
+//!
+//! Recursively scans every `.rs` file under the given directories
+//! (default: `crates/sim crates/core crates/copygraph`, the crates whose
+//! behaviour must be a pure function of the run's seeds) with the rules
+//! of [`repl_analysis::detlint`]. Exits 1 if any finding is produced,
+//! 0 on a clean tree.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use repl_analysis::detlint;
+use repl_analysis::diag::Diagnostic;
+
+fn main() {
+    let mut json = false;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: replint [--json] [DIR...]");
+                return;
+            }
+            other => dirs.push(PathBuf::from(other)),
+        }
+    }
+    if dirs.is_empty() {
+        dirs =
+            ["crates/sim", "crates/core", "crates/copygraph"].iter().map(PathBuf::from).collect();
+    }
+
+    let mut files = Vec::new();
+    for dir in &dirs {
+        collect_rs_files(dir, &mut files);
+    }
+    files.sort();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        match fs::read_to_string(file) {
+            Ok(src) => {
+                scanned += 1;
+                diags.extend(detlint::scan_file(&file.display().to_string(), &src));
+            }
+            Err(e) => eprintln!("replint: skipping {}: {e}", file.display()),
+        }
+    }
+
+    if json {
+        println!("{}", serde::to_json(&diags));
+    } else {
+        print!("{}", repl_analysis::render(&diags));
+        eprintln!(
+            "replint: scanned {scanned} files in {} dir(s), {} finding(s)",
+            dirs.len(),
+            diags.len()
+        );
+    }
+    if !diags.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("replint: cannot read {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

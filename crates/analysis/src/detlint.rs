@@ -1,0 +1,270 @@
+//! The determinism lint: a line-oriented source scanner.
+//!
+//! Simulation results must be a pure function of their seeds; the paper's
+//! experiments are only reproducible if no wall-clock time, ambient
+//! randomness, or hash-order iteration leaks into the simulator. The
+//! `replint` binary runs these rules over `crates/sim`, `crates/core` and
+//! `crates/copygraph`:
+//!
+//! | code  | rejects |
+//! |-------|---------|
+//! | RL001 | `SystemTime::now` |
+//! | RL002 | `Instant::now` |
+//! | RL003 | `thread_rng` / `rand::rng()` (ambient, unseeded RNGs) |
+//! | RL004 | iteration over a `HashMap`/`HashSet` binding (unordered) |
+//!
+//! RL004 is a heuristic: the scanner collects names declared with a
+//! `HashMap<…>`/`HashSet<…>` type ascription in the same file and flags
+//! `.iter()`, `.keys()`, `.values()`, `.drain()`, `.into_iter()` calls on
+//! those names as well as `for … in &name` loops. A deliberate unordered
+//! iteration (e.g. one whose results are re-sorted) is silenced with
+//! `// replint: allow(hash-iter)` on the same line or the line above.
+//! Comment-only lines are never flagged.
+
+use crate::diag::{Diagnostic, Witness};
+
+const ALLOW_HASH_ITER: &str = "replint: allow(hash-iter)";
+
+/// Scan one source file; `path_label` is used verbatim in witnesses.
+pub fn scan_file(path_label: &str, src: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let hash_names = collect_hash_bindings(src);
+    let mut prev_allows = false;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx as u32 + 1;
+        let allowed = prev_allows || raw.contains(ALLOW_HASH_ITER);
+        prev_allows = raw.contains(ALLOW_HASH_ITER);
+        if line.starts_with("//") {
+            continue;
+        }
+        let code_part = strip_line_comment(raw);
+
+        if code_part.contains("SystemTime::now") {
+            diags.push(source_diag(
+                "RL001",
+                "wall-clock read: SystemTime::now is not a function of the seed",
+                path_label,
+                lineno,
+                line,
+            ));
+        }
+        if code_part.contains("Instant::now") {
+            diags.push(source_diag(
+                "RL002",
+                "wall-clock read: Instant::now is not a function of the seed",
+                path_label,
+                lineno,
+                line,
+            ));
+        }
+        if code_part.contains("thread_rng") || code_part.contains("rand::rng()") {
+            diags.push(source_diag(
+                "RL003",
+                "ambient RNG: use an explicitly seeded generator",
+                path_label,
+                lineno,
+                line,
+            ));
+        }
+        if !allowed {
+            for name in &hash_names {
+                if iterates_hash_binding(code_part, name) {
+                    diags.push(source_diag(
+                        "RL004",
+                        &format!(
+                            "iteration over hash-ordered `{name}`: order varies across \
+                             runs; use BTreeMap/BTreeSet, sort first, or annotate \
+                             `// {ALLOW_HASH_ITER}`"
+                        ),
+                        path_label,
+                        lineno,
+                        line,
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    diags
+}
+
+fn source_diag(code: &'static str, message: &str, file: &str, line: u32, text: &str) -> Diagnostic {
+    Diagnostic::error(
+        code,
+        format!("{file}:{line}: {message}"),
+        Witness::Source { file: file.to_owned(), line, text: text.to_owned() },
+    )
+}
+
+/// Names declared in this file with an explicit `HashMap<`/`HashSet<`
+/// type ascription: `name: HashMap<...>` in struct fields, lets, or
+/// signatures.
+fn collect_hash_bindings(src: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for raw in src.lines() {
+        let line = strip_line_comment(raw);
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (before, after) = rest.split_at(colon);
+            let after = &after[1..];
+            let after_trim = after.trim_start();
+            if after_trim.starts_with("HashMap<")
+                || after_trim.starts_with("HashSet<")
+                || after_trim.starts_with("std::collections::HashMap<")
+                || after_trim.starts_with("std::collections::HashSet<")
+            {
+                if let Some(name) = trailing_ident(before) {
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+            }
+            rest = after;
+        }
+    }
+    names
+}
+
+fn trailing_ident(s: &str) -> Option<String> {
+    let s = s.trim_end();
+    let end = s.len();
+    let start = s
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_')
+        .map(|(i, _)| i)
+        .last()?;
+    let ident = &s[start..end];
+    let first = ident.chars().next()?;
+    if first.is_alphabetic() || first == '_' {
+        Some(ident.to_owned())
+    } else {
+        None
+    }
+}
+
+fn iterates_hash_binding(line: &str, name: &str) -> bool {
+    const METHODS: &[&str] = &[
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain(",
+    ];
+    for m in METHODS {
+        for (pos, _) in line.match_indices(&format!("{name}{m}")) {
+            if !ident_continues_left(line, pos) {
+                return true;
+            }
+        }
+        // also `self.name.iter()` style
+        if line.contains(&format!(".{name}{m}")) {
+            return true;
+        }
+    }
+    for pat in [format!("in &{name}"), format!("in &mut {name}"), format!("in {name} ")] {
+        for (pos, _) in line.match_indices(&pat) {
+            let after = pos + pat.len();
+            if !ident_continues_right(line, after) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn ident_continues_left(line: &str, pos: usize) -> bool {
+    line[..pos].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.')
+}
+
+fn ident_continues_right(line: &str, pos: usize) -> bool {
+    line[pos..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Strip a trailing `// …` comment, ignoring `//` inside string literals
+/// (a cheap scan: tracks double-quote parity).
+fn strip_line_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' if i == 0 || bytes[i - 1] != b'\\' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        scan_file("test.rs", src).into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn flags_wall_clock_and_rng() {
+        let src = "let t = SystemTime::now();\nlet i = Instant::now();\nlet r = rand::rng();\nlet q = thread_rng();\n";
+        assert_eq!(codes(src), vec!["RL001", "RL002", "RL003", "RL003"]);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "// SystemTime::now is banned\nlet x = 1; // Instant::now\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_flagged_with_witness() {
+        let src =
+            "let pending: HashMap<u64, Txn> = HashMap::new();\nfor (k, v) in pending.iter() {\n";
+        let diags = scan_file("x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "RL004");
+        match &diags[0].witness {
+            Witness::Source { file, line, .. } => {
+                assert_eq!(file, "x.rs");
+                assert_eq!(*line, 2);
+            }
+            w => panic!("wrong witness {w:?}"),
+        }
+    }
+
+    #[test]
+    fn allow_comment_silences_hash_iteration() {
+        let same_line =
+            "let m: HashSet<u32> = HashSet::new();\nlet v: Vec<_> = m.iter().collect(); // replint: allow(hash-iter)\n";
+        assert!(codes(same_line).is_empty());
+        let line_above =
+            "let m: HashSet<u32> = HashSet::new();\n// replint: allow(hash-iter)\nfor x in &m {\n";
+        assert!(codes(line_above).is_empty());
+    }
+
+    #[test]
+    fn btree_iteration_not_flagged() {
+        let src = "let m: BTreeMap<u32, u32> = BTreeMap::new();\nfor x in m.iter() {\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_names_not_flagged() {
+        let src = "let m: HashMap<u32, u32> = HashMap::new();\nlet matrix = rows.iter();\nfor x in &matrix2 {\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn field_access_iteration_flagged() {
+        let src = "struct S { pending: HashMap<u64, u64>, }\nfn f(s: &S) { for x in s.pending.iter() {} }\n";
+        assert_eq!(codes(src), vec!["RL004"]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Static and dynamic analyses for the replication suite.
+//!
+//! Three independent passes, one diagnostic vocabulary ([`Diagnostic`]):
+//!
+//! 1. **Configuration linter** ([`lint`]) — checks a data placement, its
+//!    copy graph, and the run's timing parameters against the protocol
+//!    preconditions of Breitbart et al. *before* any simulation runs
+//!    (codes `RA001`–`RA009`). The engine and every bench binary call
+//!    [`lint::lint_scenario`] and fail fast on errors.
+//! 2. **Race detector** ([`race`]) — replays a `repl_types::trace` event
+//!    log with vector clocks and reports conflicting store-slot accesses
+//!    unordered by happens-before (code `RC001`). An independent check on
+//!    the threaded DAG(WT) deployment's thread-confinement discipline.
+//! 3. **Determinism lint** ([`detlint`], `replint` binary) — a source
+//!    scanner that rejects wall-clock reads, ambient randomness and
+//!    hash-order iteration in the simulator crates (codes `RL001`–`RL004`),
+//!    keeping runs reproducible from their seeds.
+
+pub mod detlint;
+pub mod diag;
+pub mod lint;
+pub mod race;
+
+pub use diag::{has_errors, render, Diagnostic, Severity, Witness};
+pub use lint::{lint_scenario, LintConfig, LintProtocol, LintTree};
+pub use race::detect_races;

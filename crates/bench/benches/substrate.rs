@@ -64,9 +64,7 @@ fn bench_timestamps(c: &mut Criterion) {
     }
     let mut b = a.clone();
     b.bump_local(SiteId(7));
-    c.bench_function("substrate/timestamp_compare_8_tuples", |bch| {
-        bch.iter(|| a.cmp(&b))
-    });
+    c.bench_function("substrate/timestamp_compare_8_tuples", |bch| bch.iter(|| a.cmp(&b)));
     c.bench_function("substrate/timestamp_concat", |bch| {
         bch.iter(|| a.concat_site(SiteId(8), 3, 1))
     });
@@ -82,9 +80,7 @@ fn bench_copygraph(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("substrate/greedy_fas_15_sites", |b| {
-        b.iter(|| BackEdgeSet::greedy_fas(&g))
-    });
+    c.bench_function("substrate/greedy_fas_15_sites", |b| b.iter(|| BackEdgeSet::greedy_fas(&g)));
     let bset = BackEdgeSet::greedy_fas(&g);
     let dag = bset.dag_of(&g);
     c.bench_function("substrate/general_tree_15_sites", |b| {

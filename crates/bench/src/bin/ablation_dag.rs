@@ -10,6 +10,11 @@ use repl_bench::{default_table, env_seeds, run_averaged_with};
 use repl_core::config::{ProtocolKind, SimParams};
 
 fn main() {
+    // Lint the configuration before burning simulation time.
+    let mut pre = default_table();
+    pre.backedge_prob = 0.0;
+    repl_bench::preflight(&pre, &[ProtocolKind::DagWt, ProtocolKind::DagT]);
+
     println!("\n=== Ablation: DAG(WT) vs DAG(T) (b = 0) ===");
     println!(
         "{:>6} | {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10}",

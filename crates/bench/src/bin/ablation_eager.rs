@@ -7,6 +7,12 @@ use repl_bench::{default_table, env_seeds, run_averaged};
 use repl_core::config::ProtocolKind;
 
 fn main() {
+    // Lint the configuration before burning simulation time.
+    repl_bench::preflight(
+        &default_table(),
+        &[ProtocolKind::Eager, ProtocolKind::BackEdge, ProtocolKind::Psl],
+    );
+
     println!("\n=== Ablation: Eager vs BackEdge vs PSL across replication ===");
     println!(
         "{:>6} | {:>10} {:>8} | {:>10} {:>8} | {:>10} {:>8}",

@@ -8,13 +8,15 @@ use repl_core::config::{ProtocolKind, SimParams};
 use repl_sim::SimDuration;
 
 fn main() {
+    // Lint the configuration before burning simulation time.
+    let mut pre = default_table();
+    pre.backedge_prob = 0.0;
+    repl_bench::preflight(&pre, &[ProtocolKind::DagT]);
+
     println!("\n=== Ablation: DAG(T) epoch period (heartbeat = period/2) ===");
     println!("(capped at 300 txns/thread; a 5 ms period saturates site CPUs with dummy");
     println!(" traffic and the run never drains — the flood edge of the §3.3 tradeoff)");
-    println!(
-        "{:>10} | {:>12} {:>12} {:>12}",
-        "period ms", "thr", "prop ms", "messages"
-    );
+    println!("{:>10} | {:>12} {:>12} {:>12}", "period ms", "thr", "prop ms", "messages");
     for ms in [10u64, 20, 50, 100, 200] {
         let mut t = default_table();
         t.txns_per_thread = t.txns_per_thread.min(300);

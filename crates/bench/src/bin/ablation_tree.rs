@@ -6,6 +6,9 @@ use repl_bench::{default_table, env_seeds, run_averaged_with};
 use repl_core::config::{ProtocolKind, SimParams, TreeKind};
 
 fn main() {
+    // Lint the configuration before burning simulation time.
+    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge]);
+
     println!("\n=== Ablation: BackEdge with chain vs general propagation tree ===");
     println!(
         "{:>6} | {:>12} {:>12} | {:>12} {:>12}",
@@ -16,7 +19,11 @@ fn main() {
         t.backedge_prob = b;
         let chain = run_averaged_with(
             &t,
-            &SimParams { protocol: ProtocolKind::BackEdge, tree: TreeKind::Chain, ..Default::default() },
+            &SimParams {
+                protocol: ProtocolKind::BackEdge,
+                tree: TreeKind::Chain,
+                ..Default::default()
+            },
             env_seeds(),
         );
         let tree = run_averaged_with(

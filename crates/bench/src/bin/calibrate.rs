@@ -5,6 +5,9 @@ use repl_bench::{default_table, print_figure, sweep};
 use repl_core::config::ProtocolKind;
 
 fn main() {
+    // Lint the configuration before burning simulation time.
+    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
+
     let pair = [ProtocolKind::BackEdge, ProtocolKind::Psl];
     let base = default_table();
 

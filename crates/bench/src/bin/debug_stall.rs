@@ -13,10 +13,13 @@ fn main() {
     let txns: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(150);
 
     let table = TableOneParams { backedge_prob: b, txns_per_thread: txns, ..Default::default() };
+    repl_bench::preflight(&table, &[ProtocolKind::BackEdge]);
     let placement = build_placement(&table, seed);
-    let mut base = SimParams::default();
-    base.protocol = ProtocolKind::BackEdge;
-    base.max_virtual_time = SimDuration::secs(120);
+    let base = SimParams {
+        protocol: ProtocolKind::BackEdge,
+        max_virtual_time: SimDuration::secs(120),
+        ..Default::default()
+    };
     let params = table.sim_params(&base);
     let programs = generate_programs(
         &placement,

@@ -9,12 +9,13 @@ use repl_bench::{default_table, print_figure, sweep};
 use repl_core::config::ProtocolKind;
 
 fn main() {
+    // Lint the configuration before burning simulation time.
+    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
+
     let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    let rows = sweep(
-        &default_table(),
-        &xs,
-        &[ProtocolKind::BackEdge, ProtocolKind::Psl],
-        |t, b| t.backedge_prob = b,
-    );
+    let rows =
+        sweep(&default_table(), &xs, &[ProtocolKind::BackEdge, ProtocolKind::Psl], |t, b| {
+            t.backedge_prob = b
+        });
     print_figure("Figure 2(a): Throughput vs Backedge Probability", "b", &rows);
 }

@@ -8,12 +8,13 @@ use repl_bench::{default_table, print_figure, sweep};
 use repl_core::config::ProtocolKind;
 
 fn main() {
+    // Lint the configuration before burning simulation time.
+    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
+
     let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    let rows = sweep(
-        &default_table(),
-        &xs,
-        &[ProtocolKind::BackEdge, ProtocolKind::Psl],
-        |t, r| t.replication_prob = r,
-    );
+    let rows =
+        sweep(&default_table(), &xs, &[ProtocolKind::BackEdge, ProtocolKind::Psl], |t, r| {
+            t.replication_prob = r
+        });
     print_figure("Figure 2(b): Throughput vs Replication Probability", "r", &rows);
 }

@@ -7,6 +7,16 @@ use repl_core::config::ProtocolKind;
 
 fn main() {
     let table = default_table();
+    // Lint the configuration before burning simulation time: the default
+    // (possibly cyclic) table for the cycle-tolerant protocols, a b=0
+    // variant for the DAG protocols.
+    repl_bench::preflight(
+        &table,
+        &[ProtocolKind::BackEdge, ProtocolKind::Psl, ProtocolKind::Eager, ProtocolKind::NaiveLazy],
+    );
+    let mut dag_pre = table.clone();
+    dag_pre.backedge_prob = 0.0;
+    repl_bench::preflight(&dag_pre, &[ProtocolKind::DagWt, ProtocolKind::DagT]);
     println!(
         "defaults: m={} n={} r={} b={} threads={} txns={}",
         table.num_sites,

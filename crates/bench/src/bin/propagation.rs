@@ -8,6 +8,11 @@ use repl_core::config::{ProtocolKind, SimParams};
 fn main() {
     println!("§5.3.4 Update propagation delay, commit -> last replica applied\n");
     let table = default_table();
+    // Lint the configuration before burning simulation time.
+    repl_bench::preflight(&table, &[ProtocolKind::BackEdge]);
+    let mut dag_pre = table.clone();
+    dag_pre.backedge_prob = 0.0;
+    repl_bench::preflight(&dag_pre, &[ProtocolKind::DagWt, ProtocolKind::DagT]);
     for (label, base, dag_only) in [
         ("BackEdge", SimParams { protocol: ProtocolKind::BackEdge, ..Default::default() }, false),
         ("DAG(WT)", SimParams { protocol: ProtocolKind::DagWt, ..Default::default() }, true),

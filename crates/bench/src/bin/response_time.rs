@@ -7,6 +7,9 @@ use repl_bench::{default_table, env_seeds, run_averaged};
 use repl_core::config::ProtocolKind;
 
 fn main() {
+    // Lint the configuration before burning simulation time.
+    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
+
     println!("§5.3.4 Mean response time of committed transactions (default parameters)\n");
     let table = default_table();
     let mut results = Vec::new();

@@ -7,6 +7,9 @@ use repl_core::config::ProtocolKind;
 use repl_sim::SimDuration;
 
 fn main() {
+    // Lint the configuration before burning simulation time.
+    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
+
     println!("\n=== Range study: Throughput vs Network Latency (0.15 - 100 ms) ===");
     println!("{:>12} | {:>13} | {:>13}", "latency ms", "BackEdge thr", "PSL thr");
     for us in [150u64, 1_000, 5_000, 20_000, 100_000] {

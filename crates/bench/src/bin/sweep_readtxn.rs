@@ -6,16 +6,13 @@ use repl_bench::{default_table, print_figure, sweep};
 use repl_core::config::ProtocolKind;
 
 fn main() {
+    // Lint the configuration before burning simulation time.
+    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
+
     let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    let rows = sweep(
-        &default_table(),
-        &xs,
-        &[ProtocolKind::BackEdge, ProtocolKind::Psl],
-        |t, p| t.read_txn_prob = p,
-    );
-    print_figure(
-        "Range study: Throughput vs Read Transaction Probability",
-        "read-txn prob",
-        &rows,
-    );
+    let rows =
+        sweep(&default_table(), &xs, &[ProtocolKind::BackEdge, ProtocolKind::Psl], |t, p| {
+            t.read_txn_prob = p
+        });
+    print_figure("Range study: Throughput vs Read Transaction Probability", "read-txn prob", &rows);
 }

@@ -3,6 +3,9 @@
 use repl_bench::default_table;
 
 fn main() {
+    // Lint the configuration before burning simulation time.
+    repl_bench::preflight(&default_table(), &[repl_core::config::ProtocolKind::BackEdge]);
+
     println!("Table 1: Parameter Settings\n");
     print!("{}", default_table().render_table());
 }

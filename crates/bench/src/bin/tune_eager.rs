@@ -24,52 +24,69 @@ fn run(table: &TableOneParams, base: &SimParams, seed: u64) -> f64 {
 
 fn main() {
     let points: Vec<(&str, TableOneParams)> = vec![
-        ("fig3b ro=0.3", TableOneParams {
-            backedge_prob: 1.0,
-            replication_prob: 0.5,
-            read_txn_prob: 0.0,
-            read_op_prob: 0.3,
-            txns_per_thread: 150,
-            ..Default::default()
-        }),
-        ("fig3b ro=0.5", TableOneParams {
-            backedge_prob: 1.0,
-            replication_prob: 0.5,
-            read_txn_prob: 0.0,
-            read_op_prob: 0.5,
-            txns_per_thread: 150,
-            ..Default::default()
-        }),
-        ("fig2b r=0.75", TableOneParams {
-            replication_prob: 0.75,
-            txns_per_thread: 150,
-            ..Default::default()
-        }),
-        ("fig2b r=1.0", TableOneParams {
-            replication_prob: 1.0,
-            txns_per_thread: 150,
-            ..Default::default()
-        }),
+        (
+            "fig3b ro=0.3",
+            TableOneParams {
+                backedge_prob: 1.0,
+                replication_prob: 0.5,
+                read_txn_prob: 0.0,
+                read_op_prob: 0.3,
+                txns_per_thread: 150,
+                ..Default::default()
+            },
+        ),
+        (
+            "fig3b ro=0.5",
+            TableOneParams {
+                backedge_prob: 1.0,
+                replication_prob: 0.5,
+                read_txn_prob: 0.0,
+                read_op_prob: 0.5,
+                txns_per_thread: 150,
+                ..Default::default()
+            },
+        ),
+        (
+            "fig2b r=0.75",
+            TableOneParams { replication_prob: 0.75, txns_per_thread: 150, ..Default::default() },
+        ),
+        (
+            "fig2b r=1.0",
+            TableOneParams { replication_prob: 1.0, txns_per_thread: 150, ..Default::default() },
+        ),
     ];
     let variants: Vec<(&str, SimParams)> = vec![
         ("factor=4 +victim", SimParams { protocol: ProtocolKind::BackEdge, ..Default::default() }),
-        ("factor=1 +victim", SimParams {
-            protocol: ProtocolKind::BackEdge,
-            eager_wait_timeout_factor: 1,
-            ..Default::default()
-        }),
-        ("factor=1 -victim", SimParams {
-            protocol: ProtocolKind::BackEdge,
-            eager_wait_timeout_factor: 1,
-            victimize_eager_holders: false,
-            ..Default::default()
-        }),
-        ("factor=8 +victim", SimParams {
-            protocol: ProtocolKind::BackEdge,
-            eager_wait_timeout_factor: 8,
-            ..Default::default()
-        }),
+        (
+            "factor=1 +victim",
+            SimParams {
+                protocol: ProtocolKind::BackEdge,
+                eager_wait_timeout_factor: 1,
+                ..Default::default()
+            },
+        ),
+        (
+            "factor=1 -victim",
+            SimParams {
+                protocol: ProtocolKind::BackEdge,
+                eager_wait_timeout_factor: 1,
+                victimize_eager_holders: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "factor=8 +victim",
+            SimParams {
+                protocol: ProtocolKind::BackEdge,
+                eager_wait_timeout_factor: 8,
+                ..Default::default()
+            },
+        ),
     ];
+    // Lint every point's configuration before any run.
+    for (_, table) in &points {
+        repl_bench::preflight(table, &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
+    }
     for (pname, table) in &points {
         let psl = run(table, &SimParams { protocol: ProtocolKind::Psl, ..Default::default() }, 42);
         print!("{pname}: PSL={psl:.1}");

@@ -26,18 +26,12 @@ pub fn env_txns() -> u32 {
     if std::env::var("REPRO_SCALE").map(|s| s == "quick").unwrap_or(false) {
         return 150;
     }
-    std::env::var("REPRO_TXNS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1000)
+    std::env::var("REPRO_TXNS").ok().and_then(|s| s.parse().ok()).unwrap_or(1000)
 }
 
 /// How many seeds to average per point.
 pub fn env_seeds() -> u64 {
-    std::env::var("REPRO_SEEDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1)
+    std::env::var("REPRO_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
 }
 
 /// Run one experiment point and return its metrics.
@@ -51,6 +45,10 @@ pub fn run_point(table: &TableOneParams, protocol: ProtocolKind, seed: u64) -> M
 pub fn run_point_with(table: &TableOneParams, base: &SimParams, seed: u64) -> MetricsSummary {
     let placement = build_placement(table, seed);
     let params = table.sim_params(base);
+    // Fail fast on misconfiguration: error-severity lint findings abort
+    // the point before any virtual time is spent (warnings pass; sweeps
+    // legitimately explore warning territory, e.g. latency > timeout).
+    repl_core::lint::assert_clean(&placement, &params);
     let programs = generate_programs(
         &placement,
         &table.mix(),
@@ -72,14 +70,9 @@ pub fn run_point_with(table: &TableOneParams, base: &SimParams, seed: u64) -> Me
 }
 
 /// Run `seeds` points with explicit engine parameters and average.
-pub fn run_averaged_with(
-    table: &TableOneParams,
-    base: &SimParams,
-    seeds: u64,
-) -> MetricsSummary {
-    let mut runs: Vec<MetricsSummary> = (0..seeds.max(1))
-        .map(|s| run_point_with(table, base, 42 + s))
-        .collect();
+pub fn run_averaged_with(table: &TableOneParams, base: &SimParams, seeds: u64) -> MetricsSummary {
+    let mut runs: Vec<MetricsSummary> =
+        (0..seeds.max(1)).map(|s| run_point_with(table, base, 42 + s)).collect();
     if runs.len() == 1 {
         return runs.pop().expect("one run");
     }
@@ -99,8 +92,7 @@ fn average(runs: &mut [MetricsSummary]) -> MetricsSummary {
     acc.abort_rate_pct = runs.iter().map(|r| r.abort_rate_pct).sum::<f64>() / n;
     acc.mean_response_ms = runs.iter().map(|r| r.mean_response_ms).sum::<f64>() / n;
     acc.mean_propagation_ms = runs.iter().map(|r| r.mean_propagation_ms).sum::<f64>() / n;
-    acc.max_propagation_ms =
-        runs.iter().map(|r| r.max_propagation_ms).fold(0.0_f64, f64::max);
+    acc.max_propagation_ms = runs.iter().map(|r| r.max_propagation_ms).fold(0.0_f64, f64::max);
     acc.commits = runs.iter().map(|r| r.commits).sum::<u64>() / runs.len() as u64;
     acc.aborts = runs.iter().map(|r| r.aborts).sum::<u64>() / runs.len() as u64;
     acc.messages = runs.iter().map(|r| r.messages).sum::<u64>() / runs.len() as u64;
@@ -128,10 +120,7 @@ pub fn sweep(
         .map(|&x| {
             let mut t = base.clone();
             set(&mut t, x);
-            let results = protocols
-                .iter()
-                .map(|&p| (p, run_averaged(&t, p, seeds)))
-                .collect();
+            let results = protocols.iter().map(|&p| (p, run_averaged(&t, p, seeds))).collect();
             SeriesRow { x, results }
         })
         .collect()
@@ -141,10 +130,8 @@ pub fn sweep(
 /// abort rates (the paper reports abort-rate trends in prose).
 pub fn print_figure(title: &str, xlabel: &str, rows: &[SeriesRow]) {
     println!("\n=== {title} ===");
-    let protocols: Vec<ProtocolKind> = rows
-        .first()
-        .map(|r| r.results.iter().map(|(p, _)| *p).collect())
-        .unwrap_or_default();
+    let protocols: Vec<ProtocolKind> =
+        rows.first().map(|r| r.results.iter().map(|(p, _)| *p).collect()).unwrap_or_default();
     print!("{xlabel:>24}");
     for p in &protocols {
         print!(" | {:>10} thr", p.name());
@@ -164,4 +151,35 @@ pub fn print_figure(title: &str, xlabel: &str, rows: &[SeriesRow]) {
 /// Default Table-1 configuration at the environment's scale.
 pub fn default_table() -> TableOneParams {
     TableOneParams { txns_per_thread: env_txns(), ..Default::default() }
+}
+
+/// Pre-run configuration lint for experiment binaries.
+///
+/// Lints `table`'s placement (across the seeds the run will use) under
+/// every protocol in `protocols`, printing all findings. Error-severity
+/// findings terminate the process with exit code 1 before any simulation
+/// runs; warnings are advisory.
+pub fn preflight(table: &TableOneParams, protocols: &[ProtocolKind]) {
+    let mut errors = false;
+    for seed in 0..env_seeds().max(1) {
+        let placement = build_placement(table, 42 + seed);
+        for &protocol in protocols {
+            let base = SimParams { protocol, ..SimParams::default() };
+            let params = table.sim_params(&base);
+            let diags = repl_core::lint::lint(&placement, &params);
+            if !diags.is_empty() {
+                eprint!(
+                    "preflight [{} seed {}]:\n{}",
+                    protocol.name(),
+                    42 + seed,
+                    repl_analysis::render(&diags)
+                );
+            }
+            errors |= repl_analysis::has_errors(&diags);
+        }
+    }
+    if errors {
+        eprintln!("preflight: configuration errors; refusing to run");
+        std::process::exit(1);
+    }
 }

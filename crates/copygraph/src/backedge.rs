@@ -216,10 +216,7 @@ impl BackEdgeSet {
     /// Total weight of the backedges in `graph` — the objective §4.2
     /// minimizes.
     pub fn weight(&self, graph: &CopyGraph) -> u64 {
-        self.edges
-            .iter()
-            .map(|&(from, to)| graph.edge_weight(from, to))
-            .sum()
+        self.edges.iter().map(|&(from, to)| graph.edge_weight(from, to)).sum()
     }
 
     /// Constraint pairs for building the BackEdge propagation tree:
@@ -231,11 +228,8 @@ impl BackEdgeSet {
     /// any cycle through reversed edges would already be a cycle in `Gdag`.
     pub fn augmented_constraints(&self, graph: &CopyGraph) -> Vec<(SiteId, SiteId)> {
         let dag = self.dag_of(graph);
-        let mut constraints: Vec<(SiteId, SiteId)> = dag
-            .edges()
-            .into_iter()
-            .map(|(u, v, _)| (u, v))
-            .collect();
+        let mut constraints: Vec<(SiteId, SiteId)> =
+            dag.edges().into_iter().map(|(u, v, _)| (u, v)).collect();
         constraints.extend(self.edges.iter().map(|&(from, to)| (to, from)));
         constraints.sort_unstable();
         constraints.dedup();

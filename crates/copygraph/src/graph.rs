@@ -55,17 +55,12 @@ impl CopyGraph {
         assert!(from.index() < self.n && to.index() < self.n);
         if self.children[from.index()].insert(to.0) {
             // Maintain weight alignment with the sorted child set.
-            let pos = self.children[from.index()]
-                .iter()
-                .position(|&c| c == to.0)
-                .expect("just inserted");
+            let pos =
+                self.children[from.index()].iter().position(|&c| c == to.0).expect("just inserted");
             self.weight[from.index()].insert(pos, w);
             self.parents[to.index()].insert(from.0);
         } else {
-            let pos = self.children[from.index()]
-                .iter()
-                .position(|&c| c == to.0)
-                .expect("present");
+            let pos = self.children[from.index()].iter().position(|&c| c == to.0).expect("present");
             self.weight[from.index()][pos] += w;
         }
     }
@@ -127,9 +122,8 @@ impl CopyGraph {
     /// placements, coincides with the natural site order.
     pub fn topo_order(&self) -> Option<Vec<SiteId>> {
         let mut indeg: Vec<usize> = (0..self.n).map(|v| self.parents[v].len()).collect();
-        let mut ready: BTreeSet<u32> = (0..self.n as u32)
-            .filter(|&v| indeg[v as usize] == 0)
-            .collect();
+        let mut ready: BTreeSet<u32> =
+            (0..self.n as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut order = Vec::with_capacity(self.n);
         while let Some(&v) = ready.iter().next() {
             ready.remove(&v);
@@ -177,10 +171,7 @@ impl CopyGraph {
     /// Sites with no parents — the *sources* that drive epoch increments in
     /// DAG(T) (§3.3).
     pub fn sources(&self) -> Vec<SiteId> {
-        (0..self.n as u32)
-            .map(SiteId)
-            .filter(|s| self.parents[s.index()].is_empty())
-            .collect()
+        (0..self.n as u32).map(SiteId).filter(|s| self.parents[s.index()].is_empty()).collect()
     }
 
     /// Total weight of all edges.

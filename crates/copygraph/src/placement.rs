@@ -64,10 +64,7 @@ impl DataPlacement {
         let mut reps: Vec<SiteId> = replicas.to_vec();
         reps.sort_unstable();
         reps.dedup();
-        assert!(
-            !reps.contains(&primary),
-            "replica set must not contain the primary site"
-        );
+        assert!(!reps.contains(&primary), "replica set must not contain the primary site");
         for r in &reps {
             assert!(r.0 < self.num_sites, "replica site out of range");
             self.items_at[r.index()].push(id);

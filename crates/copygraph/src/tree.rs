@@ -52,10 +52,7 @@ impl PropagationTree {
     pub fn chain(graph: &CopyGraph) -> Result<Self, NotADag> {
         let order = graph.topo_order().ok_or(NotADag)?;
         let n = graph.num_sites() as usize;
-        let mut tree = PropagationTree {
-            parent: vec![None; n],
-            children: vec![Vec::new(); n],
-        };
+        let mut tree = PropagationTree { parent: vec![None; n], children: vec![Vec::new(); n] };
         for w in order.windows(2) {
             tree.attach(w[1], Some(w[0]));
         }
@@ -94,16 +91,10 @@ impl PropagationTree {
             );
         }
 
-        let mut tree = PropagationTree {
-            parent: vec![None; n],
-            children: vec![Vec::new(); n],
-        };
+        let mut tree = PropagationTree { parent: vec![None; n], children: vec![Vec::new(); n] };
         let mut placed = vec![false; n];
         for &v in order {
-            let mut anchors: Vec<SiteId> = cparents[v.index()]
-                .iter()
-                .map(|&u| SiteId(u))
-                .collect();
+            let mut anchors: Vec<SiteId> = cparents[v.index()].iter().map(|&u| SiteId(u)).collect();
             anchors.sort_unstable();
             anchors.dedup();
             debug_assert!(anchors.iter().all(|a| placed[a.index()]));
@@ -113,14 +104,10 @@ impl PropagationTree {
                 // Splice branches until every anchor lies on one root-path,
                 // then attach v below the deepest anchor.
                 loop {
-                    let d = *anchors
-                        .iter()
-                        .max_by_key(|a| (tree.depth(**a), a.0))
-                        .expect("non-empty");
-                    let stray = anchors
-                        .iter()
-                        .copied()
-                        .find(|&u| u != d && !tree.is_ancestor(u, d));
+                    let d =
+                        *anchors.iter().max_by_key(|a| (tree.depth(**a), a.0)).expect("non-empty");
+                    let stray =
+                        anchors.iter().copied().find(|&u| u != d && !tree.is_ancestor(u, d));
                     match stray {
                         None => {
                             tree.attach(v, Some(d));
@@ -254,10 +241,8 @@ impl PropagationTree {
     /// descendants contains a replica of an item that the subtransaction
     /// has updated").
     pub fn relevant_children(&self, from: SiteId, destinations: &[SiteId]) -> Vec<SiteId> {
-        let mut out: Vec<SiteId> = destinations
-            .iter()
-            .filter_map(|&d| self.next_hop_toward(from, d))
-            .collect();
+        let mut out: Vec<SiteId> =
+            destinations.iter().filter_map(|&d| self.next_hop_toward(from, d)).collect();
         out.sort_unstable();
         out.dedup();
         out

@@ -162,12 +162,7 @@ impl SimParams {
     /// A configuration sized for fast tests: few transactions, small
     /// timeouts.
     pub fn quick_test(protocol: ProtocolKind) -> Self {
-        SimParams {
-            protocol,
-            txns_per_thread: 30,
-            threads_per_site: 2,
-            ..SimParams::default()
-        }
+        SimParams { protocol, txns_per_thread: 30, threads_per_site: 2, ..SimParams::default() }
     }
 }
 

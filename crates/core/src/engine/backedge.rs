@@ -160,7 +160,13 @@ impl Engine {
     }
 
     /// CPU slice for one backedge write finished.
-    pub(crate) fn backedge_step_done(&mut self, now: SimTime, site: SiteId, gid: GlobalTxnId, idx: usize) {
+    pub(crate) fn backedge_step_done(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        gid: GlobalTxnId,
+        idx: usize,
+    ) {
         let valid = self.sites[site.index()]
             .backedge_txns
             .get(&gid)
@@ -169,11 +175,7 @@ impl Engine {
         if !valid {
             return;
         }
-        self.sites[site.index()]
-            .backedge_txns
-            .get_mut(&gid)
-            .unwrap()
-            .idx += 1;
+        self.sites[site.index()].backedge_txns.get_mut(&gid).unwrap().idx += 1;
         self.exec_backedge_step(now, site, gid);
     }
 
@@ -197,10 +199,8 @@ impl Engine {
     /// toward the origin.
     fn backedge_prepared(&mut self, now: SimTime, site: SiteId, gid: GlobalTxnId) {
         let (sub, local) = {
-            let run = self.sites[site.index()]
-                .backedge_txns
-                .get_mut(&gid)
-                .expect("prepared run exists");
+            let run =
+                self.sites[site.index()].backedge_txns.get_mut(&gid).expect("prepared run exists");
             run.prepared = true;
             (run.sub.clone(), run.local)
         };
@@ -219,9 +219,7 @@ impl Engine {
         let a = self.sites[site.index()].applier.take().expect("special in applier");
         self.sites[site.index()].applier_gen += 1;
         let gid = a.msg.gid;
-        self.sites[site.index()]
-            .owner
-            .insert(a.local, Owner::Backedge { gid });
+        self.sites[site.index()].owner.insert(a.local, Owner::Backedge { gid });
         let _ = self.sites[site.index()].store.prepare(a.local);
         self.sites[site.index()].backedge_txns.insert(
             gid,
@@ -236,9 +234,8 @@ impl Engine {
             },
         );
         let tree = self.tree.as_ref().expect("BackEdge has a tree");
-        let next = tree
-            .next_hop_toward(site, a.msg.origin)
-            .expect("origin below every special site");
+        let next =
+            tree.next_hop_toward(site, a.msg.origin).expect("origin below every special site");
         self.send(now, site, next, Message::Subtxn { from: site, sub: a.msg });
         self.pump_secondary(now, site);
     }
@@ -275,11 +272,8 @@ impl Engine {
             self.send(now, site, p, Message::BackedgeDecision { gid, commit: true });
         }
         let tree = self.tree.as_ref().expect("BackEdge has a tree");
-        let descendants: Vec<SiteId> = dests
-            .iter()
-            .copied()
-            .filter(|&d| tree.is_ancestor(site, d))
-            .collect();
+        let descendants: Vec<SiteId> =
+            dests.iter().copied().filter(|&d| tree.is_ancestor(site, d)).collect();
         if !descendants.is_empty() {
             let sub = SubtxnMsg {
                 gid,
@@ -325,10 +319,7 @@ impl Engine {
                 }
                 granted
             } else {
-                self.sites[to.index()]
-                    .store
-                    .abort(run.local)
-                    .expect("abort backedge txn")
+                self.sites[to.index()].store.abort(run.local).expect("abort backedge txn")
             };
             self.resume_granted(now, to, granted);
             return;
@@ -337,19 +328,14 @@ impl Engine {
         // applier (only possible for an abort — commits are sent after
         // the special has passed through every path site).
         debug_assert!(!commit, "commit decision with no prepared subtransaction at {to}");
-        let in_applier = self.sites[to.index()]
-            .applier
-            .as_ref()
-            .map(|ap| ap.msg.gid == gid)
-            .unwrap_or(false);
+        let in_applier =
+            self.sites[to.index()].applier.as_ref().map(|ap| ap.msg.gid == gid).unwrap_or(false);
         if in_applier {
             let ap = self.sites[to.index()].applier.take().expect("checked");
             self.sites[to.index()].applier_gen += 1;
             self.sites[to.index()].owner.remove(&ap.local);
-            let granted = self.sites[to.index()]
-                .store
-                .abort(ap.local)
-                .expect("abort special in applier");
+            let granted =
+                self.sites[to.index()].store.abort(ap.local).expect("abort special in applier");
             self.resume_granted(now, to, granted);
             self.pump_secondary(now, to);
         }
@@ -374,11 +360,8 @@ impl Engine {
         self.break_backedge_blockers(now, site, local);
         // Re-arm: if the blockers were ordinary primaries they will time
         // out and release on their own; keep inspecting meanwhile.
-        let still_blocked = self.sites[site.index()]
-            .backedge_txns
-            .get(&gid)
-            .map(|r| r.blocked)
-            .unwrap_or(false);
+        let still_blocked =
+            self.sites[site.index()].backedge_txns.get(&gid).map(|r| r.blocked).unwrap_or(false);
         if still_blocked {
             self.schedule_timeout(now, site, TimeoutScope::BackedgeExec { gid }, 0);
         }
@@ -415,10 +398,8 @@ impl Engine {
                     }
                 }
                 Some(Owner::Backedge { gid }) => {
-                    let origin = self.sites[site.index()]
-                        .backedge_txns
-                        .get(&gid)
-                        .map(|r| r.sub.origin);
+                    let origin =
+                        self.sites[site.index()].backedge_txns.get(&gid).map(|r| r.sub.origin);
                     if let Some(origin) = origin {
                         self.send(now, site, origin, Message::BackedgeAbortReq { gid });
                     }

@@ -218,9 +218,14 @@ impl Engine {
     /// (10 ops, 50% read-only transactions, 70% read operations) from
     /// `seed` and assemble the engine.
     ///
+    /// Runs the `repl-analysis` configuration linter first and fails fast
+    /// on error-severity findings — use [`Engine::new`] for fallible
+    /// assembly without the lint gate.
+    ///
     /// # Panics
-    /// On build errors — use [`Engine::new`] for fallible assembly.
+    /// On lint errors or build errors.
     pub fn build(placement: &DataPlacement, params: &SimParams, seed: u64) -> Self {
+        crate::lint::assert_clean(placement, params);
         let programs = scenario::generate_programs(
             placement,
             &scenario::WorkloadMix::default(),
@@ -236,8 +241,10 @@ impl Engine {
             for thread in 0..self.sites[site as usize].threads.len() as u32 {
                 if !self.sites[site as usize].threads[thread as usize].finished() {
                     self.live_threads += 1;
-                    self.queue
-                        .push_at(SimTime::ZERO, Event::StartThreadTxn { site: SiteId(site), thread });
+                    self.queue.push_at(
+                        SimTime::ZERO,
+                        Event::StartThreadTxn { site: SiteId(site), thread },
+                    );
                 }
             }
         }
@@ -304,9 +311,7 @@ impl Engine {
             }
             Event::Deliver { to, msg } => self.deliver(now, to, msg),
             Event::SecondaryStepDone { site, gen } => self.secondary_step_done(now, site, gen),
-            Event::SecondaryCommitDone { site, gen } => {
-                self.secondary_commit_done(now, site, gen)
-            }
+            Event::SecondaryCommitDone { site, gen } => self.secondary_commit_done(now, site, gen),
             Event::RetryThread { site, thread } => self.retry_thread(now, site, thread),
             Event::EpochTick { site } => self.epoch_tick(now, site),
             Event::HeartbeatTick { site } => self.heartbeat_tick(now, site),
@@ -345,9 +350,7 @@ impl Engine {
             Message::RemoteLockGrant { gid, origin_thread, item, ok, writer } => {
                 self.recv_remote_lock_grant(now, to, gid, origin_thread, item, ok, writer)
             }
-            Message::ProxyRelease { gid, commit } => {
-                self.recv_proxy_release(now, to, gid, commit)
-            }
+            Message::ProxyRelease { gid, commit } => self.recv_proxy_release(now, to, gid, commit),
         }
     }
 
@@ -396,10 +399,15 @@ impl Engine {
 
     /// Schedule a deadlock timeout (the paper's 50 ms interval, plus up
     /// to 10% jitter so simultaneous waiters do not expire in lockstep).
-    pub(crate) fn schedule_timeout(&mut self, now: SimTime, site: SiteId, scope: TimeoutScope, wait_seq: u64) {
-        let extra = self.jitter(SimDuration::micros(
-            self.params.deadlock_timeout.as_micros() / 10 + 1,
-        ));
+    pub(crate) fn schedule_timeout(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        scope: TimeoutScope,
+        wait_seq: u64,
+    ) {
+        let extra =
+            self.jitter(SimDuration::micros(self.params.deadlock_timeout.as_micros() / 10 + 1));
         self.queue.push_at(
             now + self.params.deadlock_timeout + extra,
             Event::Timeout { site, scope, wait_seq },
@@ -448,10 +456,7 @@ impl Engine {
 
     /// The value and writer of `item`'s copy at `site` (non-transactional).
     pub fn value_at(&self, site: SiteId, item: ItemId) -> Option<(Value, Option<GlobalTxnId>)> {
-        self.sites[site.index()]
-            .store
-            .peek(item)
-            .map(|r| (r.value, r.writer))
+        self.sites[site.index()].store.peek(item).map(|r| (r.value, r.writer))
     }
 
     /// The recorded multiversion history.
@@ -494,11 +499,8 @@ impl Engine {
             self.queue.len()
         );
         for st in &self.sites {
-            let queues: Vec<String> = st
-                .in_queues
-                .iter()
-                .map(|(from, q)| format!("{from}:{}", q.len()))
-                .collect();
+            let queues: Vec<String> =
+                st.in_queues.iter().map(|(from, q)| format!("{from}:{}", q.len())).collect();
             eprintln!(
                 "site {}: applier={:?} queues=[{}] backedge_txns={:?} blocked_locks={}",
                 st.id,

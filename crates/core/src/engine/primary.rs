@@ -35,7 +35,11 @@ pub(crate) fn write_set_of(ops: &[Op]) -> Vec<(ItemId, Value)> {
 impl Engine {
     /// The distinct replica sites (excluding `origin`) that must apply a
     /// write set — the propagation destinations.
-    pub(crate) fn destinations_of(&self, origin: SiteId, writes: &[(ItemId, Value)]) -> Vec<SiteId> {
+    pub(crate) fn destinations_of(
+        &self,
+        origin: SiteId,
+        writes: &[(ItemId, Value)],
+    ) -> Vec<SiteId> {
         let mut dests: Vec<SiteId> = writes
             .iter()
             .flat_map(|(item, _)| self.placement.replicas_of(*item).iter().copied())
@@ -59,9 +63,7 @@ impl Engine {
             g
         };
         let local = self.sites[site.index()].store.begin();
-        self.sites[site.index()]
-            .owner
-            .insert(local, Owner::Primary { thread });
+        self.sites[site.index()].owner.insert(local, Owner::Primary { thread });
         self.sites[site.index()].threads[thread as usize].active = Some(ActivePrimary {
             gid,
             local,
@@ -108,7 +110,11 @@ impl Engine {
     pub(crate) fn try_op(&mut self, now: SimTime, site: SiteId, thread: u32) {
         let (pc, done, gid) = {
             let a = self.active(site, thread).expect("try_op without active txn");
-            (a.pc, a.pc >= self.sites[site.index()].threads[thread as usize].current_ops().len(), a.gid)
+            (
+                a.pc,
+                a.pc >= self.sites[site.index()].threads[thread as usize].current_ops().len(),
+                a.gid,
+            )
         };
         if done {
             self.begin_commit_phase(now, site, thread);
@@ -145,7 +151,9 @@ impl Engine {
                             let replicas: Vec<SiteId> =
                                 self.placement.replicas_of(op.item).to_vec();
                             if !replicas.is_empty() {
-                                self.issue_eager_writes(now, site, thread, op.item, op.value, replicas);
+                                self.issue_eager_writes(
+                                    now, site, thread, op.item, op.value, replicas,
+                                );
                                 return;
                             }
                         }
@@ -180,7 +188,13 @@ impl Engine {
         }
     }
 
-    pub(crate) fn primary_op_done(&mut self, now: SimTime, site: SiteId, thread: u32, gid: GlobalTxnId) {
+    pub(crate) fn primary_op_done(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        thread: u32,
+        gid: GlobalTxnId,
+    ) {
         let valid = self
             .active(site, thread)
             .map(|a| a.gid == gid && a.phase == PrimaryPhase::Executing)
@@ -207,17 +221,13 @@ impl Engine {
     /// All operations executed: enter the protocol-specific commit path.
     fn begin_commit_phase(&mut self, now: SimTime, site: SiteId, thread: u32) {
         if self.params.protocol == ProtocolKind::BackEdge {
-            let ops: Vec<Op> = self.sites[site.index()].threads[thread as usize]
-                .current_ops()
-                .to_vec();
+            let ops: Vec<Op> =
+                self.sites[site.index()].threads[thread as usize].current_ops().to_vec();
             let writes = write_set_of(&ops);
             let dests = self.destinations_of(site, &writes);
             let tree = self.tree.as_ref().expect("BackEdge has a tree");
-            let ancestors: Vec<SiteId> = dests
-                .iter()
-                .copied()
-                .filter(|&d| tree.is_ancestor(d, site))
-                .collect();
+            let ancestors: Vec<SiteId> =
+                dests.iter().copied().filter(|&d| tree.is_ancestor(d, site)).collect();
             if !ancestors.is_empty() {
                 self.start_eager_phase(now, site, thread, writes, ancestors);
                 return;
@@ -237,7 +247,13 @@ impl Engine {
         self.queue.push_at(at, Event::PrimaryCommitDone { site, thread, gid });
     }
 
-    pub(crate) fn primary_commit_done(&mut self, now: SimTime, site: SiteId, thread: u32, gid: GlobalTxnId) {
+    pub(crate) fn primary_commit_done(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        thread: u32,
+        gid: GlobalTxnId,
+    ) {
         let valid = self
             .active(site, thread)
             .map(|a| a.gid == gid && a.phase == PrimaryPhase::Committing)
@@ -251,18 +267,15 @@ impl Engine {
             .expect("validated above");
         self.sites[site.index()].owner.remove(&a.local);
 
-        let (info, granted) = self.sites[site.index()]
-            .store
-            .commit(a.local)
-            .expect("commit of live txn");
+        let (info, granted) =
+            self.sites[site.index()].store.commit(a.local).expect("commit of live txn");
         self.resume_granted(now, site, granted);
 
         // History: local reads plus remotely served reads (PSL).
         let mut reads = info.reads.clone();
         reads.extend(a.remote_reads.iter().copied());
         let writes = info.write_set();
-        self.history
-            .record_commit(gid, reads, writes.iter().map(|(i, _)| *i).collect());
+        self.history.record_commit(gid, reads, writes.iter().map(|(i, _)| *i).collect());
         self.metrics.on_commit(site, now, a.first_started);
 
         // Protocol-specific propagation.
@@ -306,14 +319,17 @@ impl Engine {
 
     /// Abort the thread's current attempt (deadlock victim) and schedule a
     /// retry. Handles local rollback, remote-proxy release and metrics.
-    pub(crate) fn abort_primary(&mut self, now: SimTime, site: SiteId, thread: u32, _by_detection: bool) {
+    pub(crate) fn abort_primary(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        thread: u32,
+        _by_detection: bool,
+    ) {
         let Some(a) = self.active(site, thread).cloned() else { return };
         // Roll back locally; this also cancels any queued lock request.
         self.sites[site.index()].owner.remove(&a.local);
-        let granted = self.sites[site.index()]
-            .store
-            .abort(a.local)
-            .expect("abort of live txn");
+        let granted = self.sites[site.index()].store.abort(a.local).expect("abort of live txn");
         self.resume_granted(now, site, granted);
         // Tell remote proxies (PSL/Eager) to abort.
         for proxy_site in a.proxy_sites.iter().copied() {

@@ -128,19 +128,13 @@ impl Engine {
             st.store.read(local, item).map(|r| Some(r.writer))
         };
         match outcome {
-            Ok(writer) => self.finish_proxy_request(now, to, gid, item, writer, origin_site, origin_thread),
+            Ok(writer) => {
+                self.finish_proxy_request(now, to, gid, item, writer, origin_site, origin_thread)
+            }
             Err(StorageError::WouldBlock(_)) => {
                 let st = &mut self.sites[to.index()];
-                st.proxies
-                    .get_mut(&gid)
-                    .expect("inserted above")
-                    .pending = Some(PendingProxyReq {
-                    item,
-                    exclusive,
-                    value,
-                    origin_site,
-                    origin_thread,
-                });
+                st.proxies.get_mut(&gid).expect("inserted above").pending =
+                    Some(PendingProxyReq { item, exclusive, value, origin_site, origin_thread });
                 if matches!(self.params.deadlock_mode, crate::config::DeadlockMode::WaitsFor) {
                     self.detect_and_break_deadlock(now, to);
                 }
@@ -151,6 +145,7 @@ impl Engine {
 
     /// Complete a granted proxy request: charge service CPU, ship the
     /// grant back to the origin.
+    #[allow(clippy::too_many_arguments)] // mirrors the RemoteLockGrant wire fields
     fn finish_proxy_request(
         &mut self,
         now: SimTime,
@@ -172,10 +167,8 @@ impl Engine {
 
     /// A blocked proxy's lock was granted by a local release.
     pub(crate) fn resume_proxy(&mut self, now: SimTime, site: SiteId, gid: GlobalTxnId) {
-        let Some(pending) = self.sites[site.index()]
-            .proxies
-            .get_mut(&gid)
-            .and_then(|p| p.pending.take())
+        let Some(pending) =
+            self.sites[site.index()].proxies.get_mut(&gid).and_then(|p| p.pending.take())
         else {
             return;
         };
@@ -209,10 +202,7 @@ impl Engine {
             return;
         };
         self.sites[site.index()].owner.remove(&proxy.local);
-        let granted = self.sites[site.index()]
-            .store
-            .abort(proxy.local)
-            .expect("abort live proxy");
+        let granted = self.sites[site.index()].store.abort(proxy.local).expect("abort live proxy");
         self.resume_granted(now, site, granted);
         if let Some(p) = proxy.pending {
             self.send(
@@ -242,17 +232,24 @@ impl Engine {
         ok: bool,
         writer: Option<Option<GlobalTxnId>>,
     ) {
-        let matches_attempt = self
-            .active(to, origin_thread)
-            .map(|a| a.gid == gid)
-            .unwrap_or(false);
+        let matches_attempt = self.active(to, origin_thread).map(|a| a.gid == gid).unwrap_or(false);
         if !matches_attempt {
             // Stale grant for an aborted attempt; the abort already sent
             // ProxyRelease(abort) to every proxy site, so nothing to do.
             return;
         }
         if !ok {
-            self.abort_primary(now, to, origin_thread, false);
+            // Only a live remote wait can be aborted by a denial. If the
+            // attempt is parked between a timeout abort and its retry
+            // (same gid, local txn already rolled back), the denial is
+            // stale — acting on it would double-abort.
+            let waiting = matches!(
+                self.active(to, origin_thread).map(|a| a.phase),
+                Some(PrimaryPhase::WaitingRemote(_))
+            );
+            if waiting {
+                self.abort_primary(now, to, origin_thread, false);
+            }
             return;
         }
         let remaining = {
@@ -275,28 +272,28 @@ impl Engine {
                 a.gid
             };
             let at = self.sites[to.index()].cpu.run(now, self.params.op_cpu);
-            self.queue
-                .push_at(at, Event::PrimaryOpDone { site: to, thread: origin_thread, gid });
+            self.queue.push_at(at, Event::PrimaryOpDone { site: to, thread: origin_thread, gid });
         }
     }
 
     /// The origin committed/aborted: finish the proxy accordingly.
-    pub(crate) fn recv_proxy_release(&mut self, now: SimTime, to: SiteId, gid: GlobalTxnId, commit: bool) {
+    pub(crate) fn recv_proxy_release(
+        &mut self,
+        now: SimTime,
+        to: SiteId,
+        gid: GlobalTxnId,
+        commit: bool,
+    ) {
         let Some(proxy) = self.sites[to.index()].proxies.remove(&gid) else {
             return; // proxy already denied/aborted
         };
         self.sites[to.index()].owner.remove(&proxy.local);
         let granted = if proxy.pending.is_some() || !commit {
             // A pending request can only exist on the abort path.
-            self.sites[to.index()]
-                .store
-                .abort(proxy.local)
-                .expect("abort live proxy")
+            self.sites[to.index()].store.abort(proxy.local).expect("abort live proxy")
         } else {
-            let (info, granted) = self.sites[to.index()]
-                .store
-                .commit(proxy.local)
-                .expect("commit live proxy");
+            let (info, granted) =
+                self.sites[to.index()].store.commit(proxy.local).expect("commit live proxy");
             if !info.writes.is_empty() {
                 // Eager: the provisional writes just became visible.
                 self.metrics.on_apply(gid, now);

@@ -53,10 +53,7 @@ impl Engine {
             ProtocolKind::DagT => self.pick_min_timestamp(site),
             _ => {
                 // First (only) non-empty queue, strict FIFO.
-                self.sites[site.index()]
-                    .in_queues
-                    .iter()
-                    .position(|(_, q)| !q.is_empty())
+                self.sites[site.index()].in_queues.iter().position(|(_, q)| !q.is_empty())
             }
         };
         let Some(qi) = picked else { return };
@@ -153,13 +150,7 @@ impl Engine {
     fn exec_secondary_step(&mut self, now: SimTime, site: SiteId) {
         let (local, gid, next, gen, kind) = {
             let a = self.sites[site.index()].applier.as_ref().expect("applier active");
-            (
-                a.local,
-                a.msg.gid,
-                a.applicable.get(a.write_idx).cloned(),
-                a.gen,
-                a.msg.kind.clone(),
-            )
+            (a.local, a.msg.gid, a.applicable.get(a.write_idx).cloned(), a.gen, a.msg.kind.clone())
         };
         match next {
             Some((item, value)) => {
@@ -238,11 +229,8 @@ impl Engine {
             // participant is the deadlock victim, not this secondary.
             let local = self.sites[site.index()].applier.as_ref().unwrap().local;
             self.break_backedge_blockers(now, site, local);
-            let still_blocked = self.sites[site.index()]
-                .applier
-                .as_ref()
-                .map(|a| a.blocked)
-                .unwrap_or(false);
+            let still_blocked =
+                self.sites[site.index()].applier.as_ref().map(|a| a.blocked).unwrap_or(false);
             if !still_blocked {
                 return;
             }
@@ -260,13 +248,13 @@ impl Engine {
             (a.local, a.arrival_ord)
         };
         self.sites[site.index()].owner.remove(&old_local);
-        let granted = self.sites[site.index()]
-            .store
-            .abort(old_local)
-            .expect("abort live secondary");
+        let granted =
+            self.sites[site.index()].store.abort(old_local).expect("abort live secondary");
         self.resume_granted(now, site, granted);
         let st = &mut self.sites[site.index()];
-        if st.applier.is_none() { return; }
+        if st.applier.is_none() {
+            return;
+        }
         let local = st.store.begin();
         st.owner.insert(local, Owner::Secondary);
         st.store.locks_mut().set_arrival(local, arrival_ord);
@@ -295,10 +283,8 @@ impl Engine {
         let a = self.sites[site.index()].applier.take().expect("validated");
         self.sites[site.index()].applier_gen += 1;
         self.sites[site.index()].owner.remove(&a.local);
-        let (_, granted) = self.sites[site.index()]
-            .store
-            .commit(a.local)
-            .expect("commit live secondary");
+        let (_, granted) =
+            self.sites[site.index()].store.commit(a.local).expect("commit live secondary");
         self.resume_granted(now, site, granted);
 
         if !a.applicable.is_empty() {
@@ -444,8 +430,7 @@ impl Engine {
             return;
         }
         self.sites[site.index()].site_ts.epoch += 1;
-        self.queue
-            .push_at(now + self.params.epoch_period, Event::EpochTick { site });
+        self.queue.push_at(now + self.params.epoch_period, Event::EpochTick { site });
     }
 
     /// Send dummy subtransactions on links idle longer than the
@@ -476,7 +461,6 @@ impl Engine {
                 self.sites[site.index()].last_sent.insert(c, now);
             }
         }
-        self.queue
-            .push_at(now + self.params.heartbeat_period, Event::HeartbeatTick { site });
+        self.queue.push_at(now + self.params.heartbeat_period, Event::HeartbeatTick { site });
     }
 }

@@ -81,10 +81,7 @@ impl History {
         reads: Vec<(ItemId, Option<GlobalTxnId>)>,
         writes: Vec<ItemId>,
     ) {
-        debug_assert!(
-            !self.index_of.contains_key(&gid),
-            "transaction {gid} committed twice"
-        );
+        debug_assert!(!self.index_of.contains_key(&gid), "transaction {gid} committed twice");
         for &item in &writes {
             let list = self.writers.entry(item).or_default();
             list.push(gid);
@@ -106,6 +103,7 @@ impl History {
 
     /// Total number of versions installed across all items.
     pub fn version_count(&self) -> usize {
+        // Order-insensitive sum. // replint: allow(hash-iter)
         self.writers.values().map(Vec::len).sum()
     }
 
@@ -122,7 +120,9 @@ impl History {
             }
         };
 
-        // ww edges.
+        // ww edges. Per-item edge sets are independent, so the graph (and
+        // the cycle verdict) does not depend on the iteration order.
+        // replint: allow(hash-iter)
         for writers in self.writers.values() {
             for w in writers.windows(2) {
                 push_edge(self.index_of[&w[0]], self.index_of[&w[1]], &mut adj);

@@ -41,6 +41,7 @@
 pub mod config;
 pub mod engine;
 pub mod history;
+pub mod lint;
 pub mod metrics;
 pub mod scenario;
 pub mod timestamp;

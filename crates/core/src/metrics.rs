@@ -66,7 +66,12 @@ impl Metrics {
     /// Register that `gid`'s updates must reach `destinations` replica
     /// applications; propagation delay is measured from `committed_at` to
     /// the last application.
-    pub fn expect_propagation(&mut self, gid: GlobalTxnId, destinations: usize, committed_at: SimTime) {
+    pub fn expect_propagation(
+        &mut self,
+        gid: GlobalTxnId,
+        destinations: usize,
+        committed_at: SimTime,
+    ) {
         if destinations > 0 {
             self.pending.insert(
                 gid,
@@ -123,11 +128,8 @@ impl Metrics {
                 rates.push(c as f64 / secs);
             }
         }
-        let throughput = if rates.is_empty() {
-            0.0
-        } else {
-            rates.iter().sum::<f64>() / rates.len() as f64
-        };
+        let throughput =
+            if rates.is_empty() { 0.0 } else { rates.iter().sum::<f64>() / rates.len() as f64 };
         let _ = now;
         MetricsSummary {
             commits,

@@ -70,13 +70,7 @@ pub fn generate_programs(
         for _ in 0..threads_per_site {
             let mut txns = Vec::with_capacity(txns_per_thread as usize);
             for _ in 0..txns_per_thread {
-                txns.push(generate_txn(
-                    &mut rng,
-                    mix,
-                    &readable,
-                    &writable,
-                    &mut value_counter,
-                ));
+                txns.push(generate_txn(&mut rng, mix, &readable, &writable, &mut value_counter));
             }
             site_threads.push(txns);
         }
@@ -155,11 +149,7 @@ mod tests {
             }
         }
         // Site s2 (index 2) has no primaries; all its ops must be reads.
-        assert!(programs[2]
-            .iter()
-            .flatten()
-            .flatten()
-            .all(|op| op.kind == OpKind::Read));
+        assert!(programs[2].iter().flatten().flatten().all(|op| op.kind == OpKind::Read));
     }
 
     #[test]
@@ -167,12 +157,7 @@ mod tests {
         let p = example_1_1_placement();
         let mix = WorkloadMix { ops_per_txn: 10, read_txn_prob: 1.0, read_op_prob: 0.0 };
         let programs = generate_programs(&p, &mix, 2, 10, 3);
-        assert!(programs
-            .iter()
-            .flatten()
-            .flatten()
-            .flatten()
-            .all(|op| op.kind == OpKind::Read));
+        assert!(programs.iter().flatten().flatten().flatten().all(|op| op.kind == OpKind::Read));
     }
 
     #[test]

@@ -42,10 +42,7 @@ impl Timestamp {
 
     /// The tuple for `site`, if present.
     pub fn tuple_for(&self, site: SiteId) -> Option<u64> {
-        self.tuples
-            .iter()
-            .find(|(s, _)| *s == site)
-            .map(|(_, l)| *l)
+        self.tuples.iter().find(|(s, _)| *s == site).map(|(_, l)| *l)
     }
 
     /// Increment the local counter in the tuple for `site` (step 1 of the
@@ -68,12 +65,8 @@ impl Timestamp {
     /// timestamp extended with the site's own tuple. Inserted in site
     /// order; any stale tuple for `site` is replaced.
     pub fn concat_site(&self, site: SiteId, lts: u64, epoch: u64) -> Timestamp {
-        let mut tuples: Vec<Tuple> = self
-            .tuples
-            .iter()
-            .copied()
-            .filter(|(s, _)| *s != site)
-            .collect();
+        let mut tuples: Vec<Tuple> =
+            self.tuples.iter().copied().filter(|(s, _)| *s != site).collect();
         let pos = tuples.partition_point(|(s, _)| *s < site);
         tuples.insert(pos, (site, lts));
         Timestamp { epoch, tuples }
@@ -152,10 +145,7 @@ mod tests {
     }
 
     fn ts(tuples: &[(u32, u64)]) -> Timestamp {
-        Timestamp {
-            epoch: 0,
-            tuples: tuples.iter().map(|&(a, b)| (s(a), b)).collect(),
-        }
+        Timestamp { epoch: 0, tuples: tuples.iter().map(|&(a, b)| (s(a), b)).collect() }
     }
 
     #[test]
@@ -237,14 +227,9 @@ mod tests {
     }
 
     fn arb_ts() -> impl Strategy<Value = Timestamp> {
-        (
-            0u64..3,
-            prop::collection::btree_map(0u32..6, 0u64..4, 1..5),
-        )
-            .prop_map(|(epoch, m)| Timestamp {
-                epoch,
-                tuples: m.into_iter().map(|(site, l)| (s(site), l)).collect(),
-            })
+        (0u64..3, prop::collection::btree_map(0u32..6, 0u64..4, 1..5)).prop_map(|(epoch, m)| {
+            Timestamp { epoch, tuples: m.into_iter().map(|(site, l)| (s(site), l)).collect() }
+        })
     }
 
     proptest! {

@@ -8,9 +8,7 @@ use repl_core::scenario::{self, generate_programs, WorkloadMix};
 use repl_types::{ItemId, Op, SiteId};
 
 fn empty_programs(placement: &DataPlacement, threads: u32) -> Vec<Vec<Vec<Vec<Op>>>> {
-    (0..placement.num_sites())
-        .map(|_| (0..threads).map(|_| Vec::new()).collect())
-        .collect()
+    (0..placement.num_sites()).map(|_| (0..threads).map(|_| Vec::new()).collect()).collect()
 }
 
 #[test]
@@ -21,8 +19,7 @@ fn idle_run_terminates_immediately() {
         let placement = scenario::example_1_1_placement();
         let mut params = SimParams::quick_test(protocol);
         params.txns_per_thread = 0;
-        let mut engine =
-            Engine::new(&placement, &params, empty_programs(&placement, 2)).unwrap();
+        let mut engine = Engine::new(&placement, &params, empty_programs(&placement, 2)).unwrap();
         let report = engine.run();
         assert!(!report.stalled, "{protocol:?} stalled on an empty workload");
         assert_eq!(report.summary.commits, 0);
@@ -56,9 +53,9 @@ fn dagwt_message_count_is_hop_count() {
     // a far-only replica, DAG(WT) relays while DAG(T) goes direct.
     let mut p = DataPlacement::new(4);
     let x = p.add_item(SiteId(0), &[SiteId(3)]); // only the far site
-    // Give intermediate sites local items so the chain s0-s1-s2-s3 exists
-    // in the site order even without edges: the chain tree links all
-    // sites in topological order regardless.
+                                                 // Give intermediate sites local items so the chain s0-s1-s2-s3 exists
+                                                 // in the site order even without edges: the chain tree links all
+                                                 // sites in topological order regardless.
     p.add_item(SiteId(1), &[]);
     p.add_item(SiteId(2), &[]);
     p.add_item(SiteId(3), &[]);

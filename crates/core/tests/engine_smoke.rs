@@ -18,10 +18,8 @@ fn dag_placement() -> DataPlacement {
     let mut p = DataPlacement::new(5);
     for i in 0..20u32 {
         let primary = SiteId(i % 5);
-        let replicas: Vec<SiteId> = (primary.0 + 1..5)
-            .filter(|s| (i + s) % 2 == 0)
-            .map(SiteId)
-            .collect();
+        let replicas: Vec<SiteId> =
+            (primary.0 + 1..5).filter(|s| (i + s) % 2 == 0).map(SiteId).collect();
         p.add_item(primary, &replicas);
     }
     p
@@ -32,10 +30,8 @@ fn cyclic_placement() -> DataPlacement {
     let mut p = DataPlacement::new(4);
     for i in 0..16u32 {
         let primary = SiteId(i % 4);
-        let replicas: Vec<SiteId> = (0..4)
-            .filter(|&s| s != primary.0 && (i + s) % 3 == 0)
-            .map(SiteId)
-            .collect();
+        let replicas: Vec<SiteId> =
+            (0..4).filter(|&s| s != primary.0 && (i + s) % 3 == 0).map(SiteId).collect();
         p.add_item(primary, &replicas);
     }
     p
@@ -63,15 +59,11 @@ fn assert_complete(report: &repl_core::RunReport, params: &SimParams, placement:
 /// meaningful for PSL, whose replicas are never pushed).
 fn assert_converged(engine: &Engine, placement: &DataPlacement) {
     for item in placement.items() {
-        let primary = engine
-            .value_at(placement.primary_of(item), item)
-            .expect("primary copy exists");
+        let primary =
+            engine.value_at(placement.primary_of(item), item).expect("primary copy exists");
         for &r in placement.replicas_of(item) {
             let replica = engine.value_at(r, item).expect("replica exists");
-            assert_eq!(
-                replica, primary,
-                "replica of {item} at {r} diverged from primary"
-            );
+            assert_eq!(replica, primary, "replica of {item} at {r} diverged from primary");
         }
     }
 }

@@ -26,9 +26,7 @@ impl ArbPlacement {
             let primary = primary % self.num_sites;
             let replicas: Vec<SiteId> = (0..self.num_sites)
                 .filter(|&s| {
-                    s != primary
-                        && mask & (1 << s) != 0
-                        && (!self.forward_only || s > primary)
+                    s != primary && mask & (1 << s) != 0 && (!self.forward_only || s > primary)
                 })
                 .map(SiteId)
                 .collect();
@@ -39,9 +37,8 @@ impl ArbPlacement {
 }
 
 fn arb_placement(forward_only: bool) -> impl Strategy<Value = ArbPlacement> {
-    (2u32..=5, prop::collection::vec((0u32..5, 0u32..32), 4..16)).prop_map(
-        move |(num_sites, items)| ArbPlacement { num_sites, items, forward_only },
-    )
+    (2u32..=5, prop::collection::vec((0u32..5, 0u32..32), 4..16))
+        .prop_map(move |(num_sites, items)| ArbPlacement { num_sites, items, forward_only })
 }
 
 fn arb_mix() -> impl Strategy<Value = WorkloadMix> {
@@ -68,20 +65,14 @@ fn check_protocol(
         .map_err(|e| TestCaseError::fail(format!("build failed: {e}")))?;
     let report = engine.run();
     prop_assert!(!report.stalled, "{protocol:?} stalled");
-    prop_assert!(
-        report.serializable,
-        "{protocol:?} non-serializable: {:?}",
-        report.cycle
-    );
+    prop_assert!(report.serializable, "{protocol:?} non-serializable: {:?}", report.cycle);
     prop_assert_eq!(report.summary.incomplete_propagations, 0);
-    let expected =
-        12u64 * 2 * placement.num_sites() as u64;
+    let expected = 12u64 * 2 * placement.num_sites() as u64;
     prop_assert_eq!(report.summary.commits, expected);
     if protocol != ProtocolKind::Psl {
         for item in placement.items() {
-            let primary = engine
-                .value_at(placement.primary_of(item), item)
-                .expect("primary exists");
+            let primary =
+                engine.value_at(placement.primary_of(item), item).expect("primary exists");
             for &r in placement.replicas_of(item) {
                 prop_assert_eq!(
                     engine.value_at(r, item).expect("replica exists"),

@@ -1,0 +1,69 @@
+//! Trace-instrumented command channels.
+//!
+//! Wrappers over the crossbeam channel that stamp every message with a
+//! per-channel sequence number and record `ChanSend`/`ChanRecv` events in
+//! the `repl_types::trace` collector, giving the happens-before race
+//! detector (`repl-analysis`) the channel synchronization edges of the
+//! threaded deployment. With tracing disabled (the default) the overhead
+//! is one relaxed atomic increment per send.
+//!
+//! Only the site *command* channels are traced; per-request reply
+//! channels stay plain — each is used once, between two events already
+//! ordered by the command channel itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, RecvError, SendError, Sender};
+use repl_types::trace::{self, TraceEvent};
+
+/// Sending half: stamps messages and records `ChanSend`.
+pub(crate) struct TracedSender<T> {
+    inner: Sender<(u64, T)>,
+    channel: u64,
+    seq: Arc<AtomicU64>,
+}
+
+impl<T> Clone for TracedSender<T> {
+    fn clone(&self) -> Self {
+        TracedSender { inner: self.inner.clone(), channel: self.channel, seq: self.seq.clone() }
+    }
+}
+
+impl<T> TracedSender<T> {
+    /// Send `value`, recording the synchronization edge's source.
+    ///
+    /// The `ChanSend` event is recorded *before* the message is handed to
+    /// the channel, so it always precedes the matching `ChanRecv` in the
+    /// global trace log.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        trace::record(TraceEvent::ChanSend { channel: self.channel, seq });
+        self.inner.send((seq, value)).map_err(|SendError((_, v))| SendError(v))
+    }
+}
+
+/// Receiving half: records `ChanRecv` with the message's stamp.
+pub(crate) struct TracedReceiver<T> {
+    inner: Receiver<(u64, T)>,
+    channel: u64,
+}
+
+impl<T> TracedReceiver<T> {
+    /// Block for the next message, recording the edge's target.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let (seq, value) = self.inner.recv()?;
+        trace::record(TraceEvent::ChanRecv { channel: self.channel, seq });
+        Ok(value)
+    }
+}
+
+/// An unbounded traced channel with a fresh global channel id.
+pub(crate) fn traced_unbounded<T>() -> (TracedSender<T>, TracedReceiver<T>) {
+    let (tx, rx) = unbounded();
+    let channel = trace::next_channel_id();
+    (
+        TracedSender { inner: tx, channel, seq: Arc::new(AtomicU64::new(0)) },
+        TracedReceiver { inner: rx, channel },
+    )
+}

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 
 use repl_copygraph::{CopyGraph, DataPlacement, PropagationTree};
@@ -13,6 +13,7 @@ use repl_core::history::{History, SerializationCycle};
 use repl_storage::Store;
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
 
+use crate::chan::{traced_unbounded, TracedSender};
 use crate::site::{Command, SiteRuntime};
 
 /// Protocols the threaded runtime deploys.
@@ -67,7 +68,7 @@ pub struct TxnHandle {
 
 /// A running multi-threaded replication cluster.
 pub struct Cluster {
-    senders: Vec<Sender<Command>>,
+    senders: Vec<TracedSender<Command>>,
     threads: Vec<JoinHandle<()>>,
     history: Arc<Mutex<History>>,
     outstanding: Arc<AtomicI64>,
@@ -77,7 +78,10 @@ pub struct Cluster {
 impl Cluster {
     /// Spawn one thread per site of `placement`, wired with FIFO
     /// channels, running `protocol`.
-    pub fn start(placement: &DataPlacement, protocol: RuntimeProtocol) -> Result<Self, ClusterError> {
+    pub fn start(
+        placement: &DataPlacement,
+        protocol: RuntimeProtocol,
+    ) -> Result<Self, ClusterError> {
         let graph = CopyGraph::from_placement(placement);
         let tree = match protocol {
             RuntimeProtocol::DagWt => Some(Arc::new(
@@ -90,7 +94,9 @@ impl Cluster {
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            // Traced so the repl-analysis race detector sees the
+            // cross-site synchronization edges.
+            let (tx, rx) = traced_unbounded();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -127,16 +133,10 @@ impl Cluster {
                     .expect("spawn site thread"),
             );
         }
-        Ok(Cluster {
-            senders,
-            threads,
-            history,
-            outstanding,
-            placement: placement.clone(),
-        })
+        Ok(Cluster { senders, threads, history, outstanding, placement: placement.clone() })
     }
 
-    fn sender(&self, site: SiteId) -> Result<&Sender<Command>, ClusterError> {
+    fn sender(&self, site: SiteId) -> Result<&TracedSender<Command>, ClusterError> {
         self.senders.get(site.index()).ok_or(ClusterError::NoSuchSite(site))
     }
 
@@ -146,10 +146,7 @@ impl Cluster {
         self.sender(site)?
             .send(Command::Execute { ops, reply: reply_tx })
             .map_err(|_| ClusterError::Disconnected)?;
-        reply_rx
-            .recv()
-            .map_err(|_| ClusterError::Disconnected)?
-            .map(|gid| TxnHandle { gid })
+        reply_rx.recv().map_err(|_| ClusterError::Disconnected)?.map(|gid| TxnHandle { gid })
     }
 
     /// A cloneable handle for submitting transactions to `site` from
@@ -223,7 +220,7 @@ impl Drop for Cluster {
 /// A cloneable per-site transaction submitter.
 #[derive(Clone)]
 pub struct SiteClient {
-    sender: Sender<Command>,
+    sender: TracedSender<Command>,
 }
 
 impl SiteClient {
@@ -233,10 +230,7 @@ impl SiteClient {
         self.sender
             .send(Command::Execute { ops, reply: reply_tx })
             .map_err(|_| ClusterError::Disconnected)?;
-        reply_rx
-            .recv()
-            .map_err(|_| ClusterError::Disconnected)?
-            .map(|gid| TxnHandle { gid })
+        reply_rx.recv().map_err(|_| ClusterError::Disconnected)?.map(|gid| TxnHandle { gid })
     }
 }
 

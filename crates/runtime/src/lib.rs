@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+mod chan;
 mod cluster;
 mod site;
 

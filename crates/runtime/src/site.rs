@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 
 use repl_copygraph::{DataPlacement, PropagationTree};
@@ -11,6 +11,7 @@ use repl_core::history::History;
 use repl_storage::{Store, WriteAheadLog};
 use repl_types::{GlobalTxnId, ItemId, Op, OpKind, SiteId, Value};
 
+use crate::chan::{TracedReceiver, TracedSender};
 use crate::cluster::{ClusterError, RuntimeProtocol};
 
 /// A secondary subtransaction on the wire.
@@ -26,22 +27,14 @@ pub(crate) struct RtSubtxn {
 /// Commands a site thread processes.
 pub(crate) enum Command {
     /// Execute a whole transaction and reply with its outcome.
-    Execute {
-        ops: Vec<Op>,
-        reply: Sender<Result<GlobalTxnId, ClusterError>>,
-    },
+    Execute { ops: Vec<Op>, reply: Sender<Result<GlobalTxnId, ClusterError>> },
     /// Apply (and possibly forward) a secondary subtransaction.
     Subtxn(RtSubtxn),
     /// Non-transactional inspection of one copy.
-    Peek {
-        item: ItemId,
-        reply: Sender<Option<(Value, Option<GlobalTxnId>)>>,
-    },
+    Peek { item: ItemId, reply: Sender<Option<(Value, Option<GlobalTxnId>)>> },
     /// Serialize the site's redo log (crash-recovery support: replaying
     /// the returned image over an empty store reproduces the site).
-    SnapshotWal {
-        reply: Sender<bytes::Bytes>,
-    },
+    SnapshotWal { reply: Sender<bytes::Bytes> },
     /// Drain and exit.
     Shutdown,
 }
@@ -49,9 +42,9 @@ pub(crate) enum Command {
 pub(crate) struct SiteRuntime {
     pub id: SiteId,
     pub store: Store,
-    pub rx: Receiver<Command>,
+    pub rx: TracedReceiver<Command>,
     /// Senders to every site, indexed by site id.
-    pub peers: Vec<Sender<Command>>,
+    pub peers: Vec<TracedSender<Command>>,
     pub protocol: RuntimeProtocol,
     pub tree: Option<Arc<PropagationTree>>,
     pub placement: Arc<DataPlacement>,
@@ -187,9 +180,7 @@ impl SiteRuntime {
     /// arrival order because the site thread is serial.
     fn apply_subtxn(&mut self, sub: RtSubtxn) {
         debug_assert!(
-            sub.writes
-                .iter()
-                .all(|(item, _)| self.placement.primary_of(*item) == sub.origin),
+            sub.writes.iter().all(|(item, _)| self.placement.primary_of(*item) == sub.origin),
             "subtransaction carries writes the origin does not own"
         );
         let applicable: Vec<_> = sub

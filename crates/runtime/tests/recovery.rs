@@ -1,9 +1,9 @@
 //! Crash-recovery over the threaded runtime: a site rebuilt from its
 //! redo-log snapshot equals the live site.
 
-use repl_storage::{recover, Checkpoint, WriteAheadLog};
 use repl_core::scenario;
 use repl_runtime::{Cluster, RuntimeProtocol};
+use repl_storage::{recover, Checkpoint, WriteAheadLog};
 use repl_types::{ItemId, Op, SiteId, Value};
 
 #[test]
@@ -16,9 +16,7 @@ fn site_recovers_from_wal_snapshot() {
     for v in 1..=30i64 {
         cluster.execute(SiteId(0), vec![Op::write(a, v)]).unwrap();
         if v % 3 == 0 {
-            cluster
-                .execute(SiteId(1), vec![Op::read(a), Op::write(b, 100 + v)])
-                .unwrap();
+            cluster.execute(SiteId(1), vec![Op::read(a), Op::write(b, 100 + v)]).unwrap();
         }
     }
     cluster.quiesce();
@@ -29,11 +27,7 @@ fn site_recovers_from_wal_snapshot() {
     let wal = WriteAheadLog::decode(image).expect("valid image");
     assert!(!wal.is_empty(), "s2 applied secondaries");
     let empty = Checkpoint {
-        cells: placement
-            .items_at(SiteId(2))
-            .iter()
-            .map(|&i| (i, Value::Initial, None))
-            .collect(),
+        cells: placement.items_at(SiteId(2)).iter().map(|&i| (i, Value::Initial, None)).collect(),
     };
     let recovered = recover(&empty, &wal);
     for &item in placement.items_at(SiteId(2)) {

@@ -14,13 +14,19 @@ fn dag_placement() -> DataPlacement {
     let mut p = DataPlacement::new(5);
     for i in 0..30u32 {
         let primary = SiteId(i % 5);
-        let replicas: Vec<SiteId> = (primary.0 + 1..5).filter(|s| (i + s) % 2 == 0).map(SiteId).collect();
+        let replicas: Vec<SiteId> =
+            (primary.0 + 1..5).filter(|s| (i + s) % 2 == 0).map(SiteId).collect();
         p.add_item(primary, &replicas);
     }
     p
 }
 
-fn random_txn(rng: &mut StdRng, placement: &DataPlacement, site: SiteId, counter: &mut i64) -> Vec<Op> {
+fn random_txn(
+    rng: &mut StdRng,
+    placement: &DataPlacement,
+    site: SiteId,
+    counter: &mut i64,
+) -> Vec<Op> {
     let readable = placement.items_at(site);
     let writable = placement.primaries_at(site);
     (0..6)

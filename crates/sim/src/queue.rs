@@ -46,11 +46,7 @@ impl<E: Eq> Default for EventQueue<E> {
 impl<E: Eq> EventQueue<E> {
     /// An empty queue with the clock at zero.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            now: SimTime::ZERO,
-        }
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
     }
 
     /// The current virtual time (the timestamp of the last popped event).

@@ -62,7 +62,7 @@ proptest! {
             if from == to {
                 continue;
             }
-            now = now + SimDuration::micros(gap);
+            now += SimDuration::micros(gap);
             let at = net.send_with_latency(
                 now,
                 SiteId(from as u32),
@@ -86,7 +86,7 @@ proptest! {
         let mut total = 0u64;
         let mut last_done = SimTime::ZERO;
         for (gap, service) in jobs {
-            now = now + SimDuration::micros(gap);
+            now += SimDuration::micros(gap);
             let done = cpu.run(now, SimDuration::micros(service));
             total += service;
             // Service starts no earlier than both arrival and the

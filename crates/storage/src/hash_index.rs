@@ -51,11 +51,7 @@ impl<V> HashIndex<V> {
     /// rehashing.
     pub fn with_capacity(cap: usize) -> Self {
         let cap = (cap.max(INITIAL_CAPACITY) * LOAD_DEN / LOAD_NUM).next_power_of_two();
-        HashIndex {
-            slots: (0..cap).map(|_| None).collect(),
-            len: 0,
-            mask: cap - 1,
-        }
+        HashIndex { slots: (0..cap).map(|_| None).collect(), len: 0, mask: cap - 1 }
     }
 
     /// Number of entries.
@@ -150,11 +146,8 @@ impl<V> HashIndex<V> {
             let home = self.bucket(slot.key);
             // Move the entry back iff the gap lies cyclically between its
             // home bucket and its current position.
-            let between = if gap <= cur {
-                home <= gap || home > cur
-            } else {
-                home <= gap && home > cur
-            };
+            let between =
+                if gap <= cur { home <= gap || home > cur } else { home <= gap && home > cur };
             if between {
                 self.slots[gap] = self.slots[cur].take();
                 gap = cur;
@@ -166,17 +159,12 @@ impl<V> HashIndex<V> {
 
     /// Iterate over `(key, &value)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (ItemId, &V)> {
-        self.slots
-            .iter()
-            .filter_map(|s| s.as_ref().map(|slot| (slot.key, &slot.value)))
+        self.slots.iter().filter_map(|s| s.as_ref().map(|slot| (slot.key, &slot.value)))
     }
 
     fn grow(&mut self) {
         let new_cap = self.slots.len() * 2;
-        let old = std::mem::replace(
-            &mut self.slots,
-            (0..new_cap).map(|_| None).collect(),
-        );
+        let old = std::mem::replace(&mut self.slots, (0..new_cap).map(|_| None).collect());
         self.mask = new_cap - 1;
         self.len = 0;
         for slot in old.into_iter().flatten() {

@@ -30,6 +30,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use repl_types::trace::{self, TraceEvent};
 use repl_types::{ItemId, TxnId};
 
 /// Lock mode: shared (reads) or exclusive (writes).
@@ -74,17 +75,16 @@ impl LockState {
 
     fn compatible(&self, mode: LockMode, requester: TxnId) -> bool {
         match mode {
-            LockMode::Shared => self
-                .holders
-                .iter()
-                .all(|(t, m)| *t == requester || *m == LockMode::Shared),
+            LockMode::Shared => {
+                self.holders.iter().all(|(t, m)| *t == requester || *m == LockMode::Shared)
+            }
             LockMode::Exclusive => self.holders.iter().all(|(t, _)| *t == requester),
         }
     }
 }
 
 /// The per-site lock manager.
-#[derive(Default, Debug)]
+#[derive(Debug)]
 pub struct LockManager {
     table: HashMap<ItemId, LockState>,
     /// Items on which each transaction currently holds a lock.
@@ -94,12 +94,44 @@ pub struct LockManager {
     /// Arrival ordinals for victim selection (latest arrival = victim).
     arrival: HashMap<TxnId, u64>,
     next_arrival: u64,
+    /// Identity of this lock manager in happens-before traces.
+    trace_scope: u64,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager {
+            table: HashMap::new(),
+            held: HashMap::new(),
+            waiting_on: HashMap::new(),
+            arrival: HashMap::new(),
+            next_arrival: 0,
+            trace_scope: trace::next_scope_id(),
+        }
+    }
 }
 
 impl LockManager {
     /// Create an empty lock manager.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The scope identity under which this manager's lock events (and the
+    /// owning store's slot accesses) appear in happens-before traces.
+    pub fn trace_scope(&self) -> u64 {
+        self.trace_scope
+    }
+
+    fn trace_acquire(&self, txn: TxnId, item: ItemId, mode: LockMode) {
+        if trace::is_enabled() {
+            trace::record(TraceEvent::LockAcquire {
+                scope: self.trace_scope,
+                item,
+                txn,
+                exclusive: mode == LockMode::Exclusive,
+            });
+        }
     }
 
     /// Register (or re-register) the arrival ordinal of `txn` explicitly.
@@ -176,13 +208,13 @@ impl LockManager {
                 // behind earlier upgrades.
                 if state.holders.len() == 1 {
                     state.holders[0].1 = LockMode::Exclusive;
+                    self.trace_acquire(txn, item, LockMode::Exclusive);
                     LockOutcome::Granted
                 } else {
                     let pos = state.queue.iter().take_while(|r| r.upgrade).count();
-                    state.queue.insert(
-                        pos,
-                        Request { txn, mode: LockMode::Exclusive, upgrade: true },
-                    );
+                    state
+                        .queue
+                        .insert(pos, Request { txn, mode: LockMode::Exclusive, upgrade: true });
                     self.waiting_on.insert(txn, item);
                     LockOutcome::Queued
                 }
@@ -191,6 +223,7 @@ impl LockManager {
                 if state.queue.is_empty() && state.compatible(mode, txn) {
                     state.holders.push((txn, mode));
                     self.held.entry(txn).or_default().push(item);
+                    self.trace_acquire(txn, item, mode);
                     LockOutcome::Granted
                 } else {
                     state.queue.push_back(Request { txn, mode, upgrade: false });
@@ -210,11 +243,13 @@ impl LockManager {
         };
         while let Some(front) = state.queue.front() {
             let txn = front.txn;
+            let granted_mode;
             if front.upgrade {
                 // Upgrade grantable only when the upgrader is the sole
                 // remaining holder.
                 if state.holders.len() == 1 && state.holders[0].0 == txn {
                     state.holders[0].1 = LockMode::Exclusive;
+                    granted_mode = LockMode::Exclusive;
                 } else {
                     break;
                 }
@@ -222,11 +257,20 @@ impl LockManager {
                 let mode = front.mode;
                 state.holders.push((txn, mode));
                 self.held.entry(txn).or_default().push(item);
+                granted_mode = mode;
             } else {
                 break;
             }
             state.queue.pop_front();
             self.waiting_on.remove(&txn);
+            if trace::is_enabled() {
+                trace::record(TraceEvent::LockAcquire {
+                    scope: self.trace_scope,
+                    item,
+                    txn,
+                    exclusive: granted_mode == LockMode::Exclusive,
+                });
+            }
             granted.push(txn);
         }
         if state.holders.is_empty() && state.queue.is_empty() {
@@ -249,6 +293,9 @@ impl LockManager {
         for item in items {
             if let Some(state) = self.table.get_mut(&item) {
                 state.holders.retain(|(t, _)| *t != txn);
+            }
+            if trace::is_enabled() {
+                trace::record(TraceEvent::LockRelease { scope: self.trace_scope, item, txn });
             }
             granted.extend(self.pump(item));
         }
@@ -394,7 +441,7 @@ mod tests {
         let mut lm = LockManager::new();
         lm.request(t(1), i(1), LockMode::Shared);
         lm.request(t(2), i(1), LockMode::Exclusive); // queued
-        // A later shared request must NOT jump the queued writer.
+                                                     // A later shared request must NOT jump the queued writer.
         assert_eq!(lm.request(t(3), i(1), LockMode::Shared), LockOutcome::Queued);
         let granted = lm.release_all(t(1));
         assert_eq!(granted, vec![t(2)]);
@@ -488,7 +535,7 @@ mod tests {
         lm.request(t(1), i(1), LockMode::Shared);
         lm.request(t(2), i(1), LockMode::Exclusive); // queued
         lm.request(t(3), i(1), LockMode::Shared); // queued behind X
-        // Aborting the queued writer lets the reader through.
+                                                  // Aborting the queued writer lets the reader through.
         let granted = lm.cancel_wait(t(2));
         assert_eq!(granted, vec![t(3)]);
         assert!(lm.holds(t(3), i(1), LockMode::Shared));

@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use repl_types::trace::{self, TraceEvent};
 use repl_types::{GlobalTxnId, ItemId, StorageError, TxnId, Value};
 
 use crate::hash_index::HashIndex;
@@ -125,11 +126,22 @@ impl Store {
 
     /// Non-transactional inspection of a copy's current value and writer
     /// (used by convergence tests and examples).
+    ///
+    /// Takes **no lock**; in a happens-before trace the access is recorded
+    /// with the [`trace::NO_TXN`] sentinel so the race detector can flag a
+    /// peek that races a concurrent writer.
     pub fn peek(&self, item: ItemId) -> Option<ReadResult> {
-        self.cells.get(item).map(|c| ReadResult {
-            value: c.value.clone(),
-            writer: c.writer,
-        })
+        let result =
+            self.cells.get(item).map(|c| ReadResult { value: c.value.clone(), writer: c.writer });
+        if result.is_some() && trace::is_enabled() {
+            trace::record(TraceEvent::Access {
+                scope: self.locks.trace_scope(),
+                item,
+                txn: trace::NO_TXN,
+                write: false,
+            });
+        }
+        result
     }
 
     /// Begin a new local (sub)transaction.
@@ -185,11 +197,15 @@ impl Store {
             LockOutcome::Granted => {
                 let cell = self.cells.get(item).expect("checked above");
                 let result = ReadResult { value: cell.value.clone(), writer: cell.writer };
-                self.txns
-                    .get_mut(&txn)
-                    .expect("checked active")
-                    .reads
-                    .push((item, result.writer));
+                self.txns.get_mut(&txn).expect("checked active").reads.push((item, result.writer));
+                if trace::is_enabled() {
+                    trace::record(TraceEvent::Access {
+                        scope: self.locks.trace_scope(),
+                        item,
+                        txn,
+                        write: false,
+                    });
+                }
                 Ok(result)
             }
         }
@@ -215,13 +231,21 @@ impl Store {
                 let entry = UndoEntry {
                     item,
                     old_value: std::mem::replace(&mut cell.value, value.clone()),
-                    old_writer: std::mem::replace(&mut cell.writer, Some(writer)),
+                    old_writer: cell.writer.replace(writer),
                     old_version: cell.version,
                 };
                 cell.version += 1;
                 let state = self.txns.get_mut(&txn).expect("checked active");
                 state.undo.push(entry);
                 state.writes.push((item, value));
+                if trace::is_enabled() {
+                    trace::record(TraceEvent::Access {
+                        scope: self.locks.trace_scope(),
+                        item,
+                        txn,
+                        write: true,
+                    });
+                }
                 Ok(())
             }
         }
@@ -253,13 +277,20 @@ impl Store {
     pub fn abort(&mut self, txn: TxnId) -> Result<Vec<TxnId>, StorageError> {
         let mut state = self.txns.remove(&txn).ok_or(StorageError::NoSuchTxn(txn))?;
         for entry in state.undo.drain_rollback() {
-            let cell = self
-                .cells
-                .get_mut(entry.item)
-                .expect("undo entries reference existing items");
+            let cell =
+                self.cells.get_mut(entry.item).expect("undo entries reference existing items");
             cell.value = entry.old_value;
             cell.writer = entry.old_writer;
             cell.version = entry.old_version;
+            // Rollback rewrites the slot under the still-held X lock.
+            if trace::is_enabled() {
+                trace::record(TraceEvent::Access {
+                    scope: self.locks.trace_scope(),
+                    item: entry.item,
+                    txn,
+                    write: true,
+                });
+            }
         }
         Ok(self.locks.release_all(txn))
     }
@@ -301,10 +332,7 @@ mod tests {
         s.write(t1, ItemId(1), Value::int(2), gid(1)).unwrap();
 
         let t2 = s.begin();
-        assert!(matches!(
-            s.read(t2, ItemId(1)),
-            Err(StorageError::WouldBlock(_))
-        ));
+        assert!(matches!(s.read(t2, ItemId(1)), Err(StorageError::WouldBlock(_))));
 
         let (info, granted) = s.commit(t1).unwrap();
         assert_eq!(info.reads, vec![(ItemId(0), None)]);
@@ -352,10 +380,7 @@ mod tests {
     fn missing_item_is_an_error() {
         let mut s = store_with_items(1);
         let t = s.begin();
-        assert_eq!(
-            s.read(t, ItemId(9)),
-            Err(StorageError::NoSuchItem(ItemId(9)))
-        );
+        assert_eq!(s.read(t, ItemId(9)), Err(StorageError::NoSuchItem(ItemId(9))));
         assert_eq!(
             s.write(t, ItemId(9), Value::int(1), gid(1)),
             Err(StorageError::NoSuchItem(ItemId(9)))
@@ -371,10 +396,7 @@ mod tests {
         assert_eq!(s.read(t, ItemId(0)), Err(StorageError::InvalidState(t)));
         // Prepared transactions still hold locks...
         let t2 = s.begin();
-        assert!(matches!(
-            s.read(t2, ItemId(0)),
-            Err(StorageError::WouldBlock(_))
-        ));
+        assert!(matches!(s.read(t2, ItemId(0)), Err(StorageError::WouldBlock(_))));
         // ...and can be aborted by a global deadlock decision.
         s.abort(t).unwrap();
         assert_eq!(s.peek(ItemId(0)).unwrap().value, Value::Initial);

@@ -172,9 +172,8 @@ pub struct Checkpoint {
 /// Must be taken at a quiescent point (no active transactions) — the
 /// engine checkpoints between event dispatches, where this always holds.
 pub fn checkpoint(store: &Store, items: impl Iterator<Item = ItemId>) -> Checkpoint {
-    let cells = items
-        .filter_map(|item| store.peek(item).map(|r| (item, r.value, r.writer)))
-        .collect();
+    let cells =
+        items.filter_map(|item| store.peek(item).map(|r| (item, r.value, r.writer))).collect();
     Checkpoint { cells }
 }
 
@@ -231,10 +230,7 @@ mod tests {
         let bytes = wal.encode();
         for cut in 0..bytes.len() {
             let sliced = bytes.slice(0..cut);
-            assert!(
-                WriteAheadLog::decode(sliced).is_err(),
-                "cut at {cut} should fail"
-            );
+            assert!(WriteAheadLog::decode(sliced).is_err(), "cut at {cut} should fail");
         }
     }
 
@@ -290,10 +286,7 @@ mod tests {
         // "Replay twice": recover from the once-recovered state.
         let cp2 = checkpoint(&once, std::iter::once(ItemId(0)));
         let twice = recover(&cp2, &wal);
-        assert_eq!(
-            twice.peek(ItemId(0)).unwrap().value,
-            once.peek(ItemId(0)).unwrap().value
-        );
+        assert_eq!(twice.peek(ItemId(0)).unwrap().value, once.peek(ItemId(0)).unwrap().value);
     }
 
     proptest! {

@@ -60,10 +60,7 @@ impl Shadow {
 
 fn apply_grants(shadow: &mut Shadow, granted: Vec<TxnId>) {
     for txn in granted {
-        let (item, ex) = shadow
-            .waiting
-            .remove(&txn)
-            .expect("granted txn must have been waiting");
+        let (item, ex) = shadow.waiting.remove(&txn).expect("granted txn must have been waiting");
         let entry = shadow.held.entry((txn, item)).or_insert(false);
         *entry = *entry || ex;
     }

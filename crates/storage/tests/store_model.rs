@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
-use repl_storage::{Store, StorageError};
+use repl_storage::{StorageError, Store};
 use repl_types::{GlobalTxnId, ItemId, SiteId, TxnId, Value};
 
 #[derive(Clone, Debug)]
@@ -135,8 +135,8 @@ proptest! {
             }
         }
         // Finish everyone by abort; committed state must match the model.
-        for s in 0..4 {
-            if let Some(txn) = slots[s].take() {
+        for slot in &mut slots {
+            if let Some(txn) = slot.take() {
                 store.abort(txn).map_err(|e| TestCaseError::fail(format!("{e}")))?;
             }
         }

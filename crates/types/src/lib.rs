@@ -15,6 +15,7 @@
 pub mod error;
 pub mod id;
 pub mod op;
+pub mod trace;
 pub mod value;
 
 pub use error::{StorageError, TxnError};

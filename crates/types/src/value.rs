@@ -10,9 +10,10 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// The value of one item copy.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Value {
     /// Initial value of every item before any transaction writes it.
+    #[default]
     Initial,
     /// A 64-bit integer payload (what the benchmark workloads write).
     Int(i64),
@@ -43,12 +44,6 @@ impl Value {
             Value::Int(_) => 8,
             Value::Bytes(b) => b.len(),
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Initial
     }
 }
 

@@ -101,11 +101,8 @@ mod tests {
     #[test]
     fn backedge_count_grows_with_b() {
         let count_backedges = |b: f64| -> usize {
-            let p = TableOneParams {
-                backedge_prob: b,
-                replication_prob: 0.5,
-                ..Default::default()
-            };
+            let p =
+                TableOneParams { backedge_prob: b, replication_prob: 0.5, ..Default::default() };
             let placement = build_placement(&p, 3);
             let g = CopyGraph::from_placement(&placement);
             g.edges().iter().filter(|(from, to, _)| to < from).count()
@@ -123,10 +120,7 @@ mod tests {
         let p = TableOneParams { replication_prob: 1.0, ..Default::default() };
         let placement = build_placement(&p, 4);
         let replicas = placement.total_replicas();
-        assert!(
-            (300..900).contains(&replicas),
-            "unexpected replica count {replicas}"
-        );
+        assert!((300..900).contains(&replicas), "unexpected replica count {replicas}");
     }
 
     #[test]

@@ -114,7 +114,12 @@ impl TableOneParams {
                 self.ops_per_txn.to_string(),
                 String::new(),
             ],
-            ["Threads/Site".into(), String::new(), self.threads_per_site.to_string(), "1 - 5".into()],
+            [
+                "Threads/Site".into(),
+                String::new(),
+                self.threads_per_site.to_string(),
+                "1 - 5".into(),
+            ],
             [
                 "Transactions/Thread".into(),
                 String::new(),

@@ -24,9 +24,7 @@ fn main() {
     // s2 after T2's update.
     let mix = WorkloadMix { ops_per_txn: 4, read_txn_prob: 0.3, read_op_prob: 0.4 };
 
-    let mut params = SimParams::default();
-    params.threads_per_site = 3;
-    params.txns_per_thread = 40;
+    let mut params = SimParams { threads_per_site: 3, txns_per_thread: 40, ..Default::default() };
 
     println!("hunting for the Example 1.1 anomaly under indiscriminate lazy propagation…");
     let mut witness = None;

@@ -53,9 +53,7 @@ fn main() {
     // Monitoring workload: alarms and status updates are writes at the
     // owning NOC; dashboards and failover checks are reads everywhere.
     let mix = WorkloadMix { ops_per_txn: 8, read_txn_prob: 0.6, read_op_prob: 0.75 };
-    let mut params = SimParams::default();
-    params.threads_per_site = 3;
-    params.txns_per_thread = 300;
+    let mut params = SimParams { threads_per_site: 3, txns_per_thread: 300, ..Default::default() };
 
     // The DAG protocols must reject this placement (§2/§3 precondition).
     params.protocol = ProtocolKind::DagWt;

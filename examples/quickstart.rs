@@ -35,10 +35,12 @@ fn main() {
     // 3. Configure the engine: DAG(WT), two worker threads per site, 200
     //    transactions each, the paper's 50 ms deadlock timeout and 0.15 ms
     //    network latency (both defaults).
-    let mut params = SimParams::default();
-    params.protocol = ProtocolKind::DagWt;
-    params.threads_per_site = 2;
-    params.txns_per_thread = 200;
+    let params = SimParams {
+        protocol: ProtocolKind::DagWt,
+        threads_per_site: 2,
+        txns_per_thread: 200,
+        ..Default::default()
+    };
 
     // 4. Run. `Engine::build` generates a §5.2-style workload (10 ops per
     //    transaction, 50% read-only transactions, 70% read operations).

@@ -31,10 +31,7 @@ fn build_warehouse() -> DataPlacement {
     let mut p = DataPlacement::new(7);
     // Master catalog: owned by HQ, replicated everywhere downstream.
     for _ in 0..30 {
-        p.add_item(
-            HQ,
-            &[WAREHOUSE_EAST, WAREHOUSE_WEST, MART_E1, MART_E2, MART_W1, MART_W2],
-        );
+        p.add_item(HQ, &[WAREHOUSE_EAST, WAREHOUSE_WEST, MART_E1, MART_E2, MART_W1, MART_W2]);
     }
     // Regional aggregates: owned by each warehouse, replicated to its
     // marts (and to HQ? no — that would be a backedge; HQ queries go to
@@ -68,10 +65,8 @@ fn main() {
     let mix = WorkloadMix { ops_per_txn: 10, read_txn_prob: 0.7, read_op_prob: 0.8 };
 
     for protocol in [ProtocolKind::DagWt, ProtocolKind::DagT] {
-        let mut params = SimParams::default();
-        params.protocol = protocol;
-        params.threads_per_site = 3;
-        params.txns_per_thread = 300;
+        let params =
+            SimParams { protocol, threads_per_site: 3, txns_per_thread: 300, ..Default::default() };
         let programs = generate_programs(&placement, &mix, 3, 300, 2026);
         let mut engine = Engine::new(&placement, &params, programs).unwrap();
         let report = engine.run();

@@ -1,0 +1,262 @@
+//! Offline shim for `bytes` (see `shims/README.md`).
+//!
+//! The WAL encodes with `BytesMut`/`BufMut` and decodes by consuming a
+//! `Bytes` through `Buf`. `Bytes` here is an `Arc<[u8]>` window — cloning
+//! and `slice` are O(1) and zero-copy, `get_*` advance the window, exactly
+//! the subset the storage and runtime crates use.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A cheaply cloneable, sliceable view of immutable bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Length of the remaining view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The remaining view as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copy the remaining view into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A zero-copy sub-view of the remaining bytes.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "advance past end of buffer");
+        let s = self.start;
+        self.start += n;
+        &self.data[s..s + n]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { data: v.into(), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", self.as_slice())
+    }
+}
+
+/// Growable byte buffer for encoding.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Read access to a byte cursor; all integers are big-endian.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consume a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Consume a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+    /// Consume a big-endian `i64`.
+    fn get_i64(&mut self) -> i64;
+    /// Consume `n` bytes into an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        Bytes::from(self.take(n))
+    }
+}
+
+/// Write access to a growable buffer; all integers are big-endian.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Append a big-endian `i64`.
+    fn put_i64(&mut self, v: i64);
+    /// Append a slice verbatim.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(u64::MAX - 1);
+        buf.put_i64(-42);
+        buf.put_slice(b"tail");
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 1 + 4 + 8 + 8 + 4);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), u64::MAX - 1);
+        assert_eq!(b.get_i64(), -42);
+        assert_eq!(b.copy_to_bytes(4).to_vec(), b"tail");
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_a_window() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mut s = b.slice(2..5);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+        assert_eq!(s.get_u8(), 2);
+        assert_eq!(s.remaining(), 2);
+        // Original is untouched.
+        assert_eq!(b.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn overread_panics() {
+        let mut b = Bytes::from(vec![1, 2]);
+        b.get_u32();
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline shim for `criterion` (see `shims/README.md`).
+//!
+//! Keeps the bench targets compiling and runnable: each `bench_function`
+//! runs its routine `sample_size` times and prints the mean wall-clock
+//! time. No statistics, warm-up, or HTML reports.
+
+use std::time::Instant;
+
+/// Bench driver; collects nothing, prints per-benchmark means.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, total_nanos: 0, iters: 0 };
+        f(&mut b);
+        let mean = b.total_nanos.checked_div(b.iters).unwrap_or(0);
+        println!("bench {name:<50} {mean:>12} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Times the closed-over routine.
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    iters: u128,
+}
+
+/// How much setup output to batch per timing run; the shim times one
+/// routine call per batch regardless.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Time `routine` directly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let out = routine();
+            self.total_nanos += t0.elapsed().as_nanos();
+            self.iters += 1;
+            drop(out);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            self.total_nanos += t0.elapsed().as_nanos();
+            self.iters += 1;
+            drop(out);
+        }
+    }
+}
+
+/// Prevent the optimizer from discarding `value`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Define a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,374 @@
+//! Offline shim for `proptest` (see `shims/README.md`).
+//!
+//! Implements the subset of proptest this workspace uses: the `proptest!`
+//! macro, range/tuple/`Just`/`prop_oneof!`/`prop_map` strategies, the
+//! `prop::collection` and `prop::bool` modules, `prop_assert*!` /
+//! `prop_assume!`, and `ProptestConfig { cases }`. Cases are generated from
+//! a seed derived from the test's module path and case index, so runs are
+//! bit-reproducible. There is no shrinking: a failing case reports its
+//! generated inputs' case number instead of a minimized counterexample.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::{vec, btree_map}`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size bounds for generated collections: `[min, max]` inclusive.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.min + (rng.next_u64() as usize) % (self.max - self.min + 1)
+        }
+    }
+
+    /// Anything convertible to a [`SizeRange`]; mirrors `Into<SizeRange>`.
+    pub trait IntoSizeRange {
+        /// Convert to concrete inclusive bounds.
+        fn into_size_range(self) -> SizeRange;
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> SizeRange {
+            assert!(self.start < self.end, "empty collection size range");
+            SizeRange { min: self.start, max: self.end - 1 }
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn into_size_range(self) -> SizeRange {
+            SizeRange { min: *self.start(), max: *self.end() }
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> SizeRange {
+            SizeRange { min: self, max: self }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into_size_range() }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeMap`s with `size`-many insertion attempts.
+    /// Key collisions may make the final map smaller, as in real proptest
+    /// generation before shrinking; at least one entry is kept when the
+    /// minimum size is nonzero.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: impl IntoSizeRange,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size: size.into_size_range() }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            // Extra attempts compensate for key collisions.
+            for _ in 0..n.saturating_mul(3) {
+                if map.len() >= n {
+                    break;
+                }
+                map.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for an unbiased boolean.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The glob-imported surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
+    pub use crate::{prop_oneof, proptest};
+
+    /// Namespaced strategy modules (`prop::collection`, `prop::bool`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Weighted choice among strategies with a common value type.
+///
+/// ```
+/// use proptest::prelude::*;
+/// let s = prop_oneof![
+///     3 => (0u8..8).prop_map(|n| n as u32),
+///     1 => Just(99u32),
+/// ];
+/// let mut rng = TestRng::for_case("doc", 0);
+/// let v = s.generate(&mut rng);
+/// assert!(v < 8 || v == 99);
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Define deterministic property tests.
+///
+/// Accepts the real crate's grammar for the forms used in this workspace:
+/// an optional `#![proptest_config(...)]` header, then test functions whose
+/// parameters are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!({$config} $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!({$crate::test_runner::ProptestConfig::default()} $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ({$config:expr} $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let __test_name = concat!(module_path!(), "::", stringify!($name));
+                let mut __case: u32 = 0;
+                let mut __rejects: u32 = 0;
+                while __case < __config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        __test_name,
+                        (__case as u64) | ((__rejects as u64) << 32),
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let __result = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => __case += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(__why)) => {
+                            __rejects += 1;
+                            if __rejects > 65_536 {
+                                panic!(
+                                    "{}: too many rejected cases (last: {})",
+                                    __test_name, __why
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__why)) => {
+                            panic!(
+                                "{}: case {} failed: {}",
+                                __test_name, __case, __why
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..50).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u8..9, b in 10u64..=20, f in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((10..=20).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in prop::collection::vec((0u32..5, prop::bool::ANY), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (n, _) in v {
+                prop_assert!(n < 5);
+            }
+        }
+
+        #[test]
+        fn map_oneof_just_and_assume(
+            n in prop_oneof![3 => arb_even(), 1 => Just(1u32)],
+            m in prop::collection::btree_map(0u32..6, 0u64..4, 1..5),
+        ) {
+            prop_assume!(n != 1);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert!(!m.is_empty());
+            prop_assert_ne!(m.len(), 9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_header_is_honored(x in 0u8..3) {
+            prop_assert!(x < 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0u64..1000, 5..10);
+        let a = strat.generate(&mut TestRng::for_case("det", 4));
+        let b = strat.generate(&mut TestRng::for_case("det", 4));
+        let c = strat.generate(&mut TestRng::for_case("det", 5));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline shim for `serde` (see `shims/README.md`).
+//!
+//! The workspace uses serde exclusively to derive `Serialize`/`Deserialize`
+//! and to render those types as JSON (diagnostics, figure rows). This shim
+//! therefore models serialization as direct JSON emission: `Serialize`
+//! appends a JSON encoding to a `String`, and `Deserialize` is a marker
+//! trait recording that a type opted in (nothing in the tree parses JSON
+//! back yet). Both derive macros come from the sibling `serde_derive` shim.
+
+// Let derive-generated `::serde::…` paths resolve inside this crate's own
+// tests, mirroring the real crate.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can append its JSON encoding to a buffer.
+pub trait Serialize {
+    /// Append the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker trait paired with `#[derive(Deserialize)]`.
+pub trait Deserialize {}
+
+/// Serialize `value` to a JSON string.
+pub fn to_json<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    out
+}
+
+/// Helpers used by the generated code.
+pub mod ser {
+    /// Append `"name":` — object keys are Rust identifiers, so no escaping
+    /// is needed for derive-generated calls; literal keys go through
+    /// [`escape_str`] anyway for safety.
+    pub fn key(out: &mut String, name: &str) {
+        escape_str(out, name);
+        out.push(':');
+    }
+
+    /// Append `s` as a quoted, escaped JSON string.
+    pub fn escape_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+macro_rules! serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Inf; serde_json emits null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        ser::escape_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        ser::escape_str(out, self);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        ser::escape_str(out, self.encode_utf8(&mut buf));
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            ser::key(out, &k.to_string());
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Named {
+        a: u32,
+        b: String,
+    }
+
+    #[derive(Serialize)]
+    struct Newtype(u64);
+
+    #[derive(Serialize)]
+    struct Pair(u32, bool);
+
+    #[derive(Serialize)]
+    enum Mixed {
+        Unit,
+        One(i64),
+        Two(u8, u8),
+        Rec { x: u32 },
+    }
+
+    #[test]
+    fn derived_named_struct() {
+        let v = Named { a: 7, b: "hi\"x".into() };
+        assert_eq!(to_json(&v), r#"{"a":7,"b":"hi\"x"}"#);
+    }
+
+    #[test]
+    fn derived_newtype_is_transparent() {
+        assert_eq!(to_json(&Newtype(9)), "9");
+        assert_eq!(to_json(&Pair(1, true)), "[1,true]");
+    }
+
+    #[test]
+    fn derived_enum_variants() {
+        assert_eq!(to_json(&Mixed::Unit), r#""Unit""#);
+        assert_eq!(to_json(&Mixed::One(-3)), r#"{"One":-3}"#);
+        assert_eq!(to_json(&Mixed::Two(1, 2)), r#"{"Two":[1,2]}"#);
+        assert_eq!(to_json(&Mixed::Rec { x: 5 }), r#"{"Rec":{"x":5}}"#);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_json(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&Some(4u8)), "4");
+        assert_eq!(to_json(&Option::<u8>::None), "null");
+        assert_eq!(to_json(&(1u8, "x")), r#"[1,"x"]"#);
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&0.25f64), "0.25");
+    }
+}

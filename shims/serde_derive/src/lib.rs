@@ -1,0 +1,305 @@
+//! Offline shim for `serde_derive` (see `shims/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` shim's JSON-emitting `Serialize` trait, parsing the item
+//! by hand (no `syn`/`quote` available offline). Supports non-generic
+//! structs (named, tuple, unit) and enums (unit, tuple, and struct
+//! variants) — the only shapes this workspace derives.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+            fn serialize_json(&self, out: &mut ::std::string::String) {{\n{}\n}}\n\
+        }}",
+        item.name, body
+    )
+    .parse()
+    .expect("serde_derive: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (deriving {name})");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        kw => panic!("serde_derive: cannot derive for `{kw}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Advance past any `#[...]` attributes and a `pub` / `pub(...)` prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' then the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ ... }` struct body. Types are irrelevant: the
+/// generated code just recurses into each field's own `Serialize` impl.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        }
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Consume one type, tracking `<...>` nesting so commas inside generic
+/// arguments (e.g. `HashMap<K, V>`) don't terminate the field early.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn serialize_body(item: &Item) -> String {
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut out = String::from("out.push('{');\n");
+            for (idx, f) in fields.iter().enumerate() {
+                if idx > 0 {
+                    out.push_str("out.push(',');\n");
+                }
+                out.push_str(&format!(
+                    "::serde::ser::key(out, \"{f}\");\n\
+                     ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            out.push_str("out.push('}');");
+            out
+        }
+        ItemKind::TupleStruct(1) => {
+            // Newtype structs serialize transparently, matching serde.
+            "::serde::Serialize::serialize_json(&self.0, out);".to_string()
+        }
+        ItemKind::TupleStruct(n) => {
+            let mut out = String::from("out.push('[');\n");
+            for idx in 0..*n {
+                if idx > 0 {
+                    out.push_str("out.push(',');\n");
+                }
+                out.push_str(&format!("::serde::Serialize::serialize_json(&self.{idx}, out);\n"));
+            }
+            out.push_str("out.push(']');");
+            out
+        }
+        ItemKind::UnitStruct => "out.push_str(\"null\");".to_string(),
+        ItemKind::Enum(variants) => {
+            let ty = &item.name;
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        arms.push_str(&format!("{ty}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"));
+                    }
+                    VariantFields::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{ty}::{vn}(__f0) => {{\n\
+                                out.push('{{');\n\
+                                ::serde::ser::key(out, \"{vn}\");\n\
+                                ::serde::Serialize::serialize_json(__f0, out);\n\
+                                out.push('}}');\n\
+                            }}\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut body = format!(
+                            "{ty}::{vn}({}) => {{\n\
+                                out.push('{{');\n\
+                                ::serde::ser::key(out, \"{vn}\");\n\
+                                out.push('[');\n",
+                            binders.join(", ")
+                        );
+                        for (k, b) in binders.iter().enumerate() {
+                            if k > 0 {
+                                body.push_str("out.push(',');\n");
+                            }
+                            body.push_str(&format!(
+                                "::serde::Serialize::serialize_json({b}, out);\n"
+                            ));
+                        }
+                        body.push_str("out.push(']');\nout.push('}');\n}\n");
+                        arms.push_str(&body);
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut body = format!(
+                            "{ty}::{vn} {{ {} }} => {{\n\
+                                out.push('{{');\n\
+                                ::serde::ser::key(out, \"{vn}\");\n\
+                                out.push('{{');\n",
+                            fields.join(", ")
+                        );
+                        for (k, f) in fields.iter().enumerate() {
+                            if k > 0 {
+                                body.push_str("out.push(',');\n");
+                            }
+                            body.push_str(&format!(
+                                "::serde::ser::key(out, \"{f}\");\n\
+                                 ::serde::Serialize::serialize_json({f}, out);\n"
+                            ));
+                        }
+                        body.push_str("out.push('}');\nout.push('}');\n}\n");
+                        arms.push_str(&body);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
+}

@@ -20,12 +20,7 @@ fn run_fingerprint(protocol: ProtocolKind, seed: u64) -> (u64, u64, u64, u64, St
     let report = engine.run();
     assert!(!report.stalled);
     // Fingerprint: metrics plus the full committed-transaction sequence.
-    let history: String = engine
-        .history()
-        .txns()
-        .iter()
-        .map(|t| format!("{};", t.gid))
-        .collect();
+    let history: String = engine.history().txns().iter().map(|t| format!("{};", t.gid)).collect();
     (
         report.summary.commits,
         report.summary.aborts,

@@ -19,9 +19,9 @@ fn example_1_1_txns_under_dag_wt() {
     let a = ItemId(0);
     let b = ItemId(1);
     let programs = one_txn_per_site(vec![
-        vec![Op::write(a, 100)],               // T1 at s0
-        vec![Op::read(a), Op::write(b, 200)],  // T2 at s1
-        vec![Op::read(a), Op::read(b)],        // T3 at s2
+        vec![Op::write(a, 100)],              // T1 at s0
+        vec![Op::read(a), Op::write(b, 200)], // T2 at s1
+        vec![Op::read(a), Op::read(b)],       // T3 at s2
     ]);
     let mut params = SimParams::quick_test(ProtocolKind::DagWt);
     params.threads_per_site = 1;
@@ -39,12 +39,8 @@ fn example_1_1_txns_under_dag_wt() {
     assert_eq!(engine.value_at(SiteId(2), b).unwrap().0, Value::int(200));
     // T3's reads resolve to recorded logical writers (or the initial
     // version) — the checker accepted them, so they are consistent.
-    let t3 = engine
-        .history()
-        .txns()
-        .iter()
-        .find(|t| t.gid.origin == SiteId(2))
-        .expect("T3 committed");
+    let t3 =
+        engine.history().txns().iter().find(|t| t.gid.origin == SiteId(2)).expect("T3 committed");
     assert_eq!(t3.reads.len(), 2);
 }
 
@@ -105,11 +101,7 @@ fn chain_applies_updates_in_commit_order() {
     let mut placement = DataPlacement::new(3);
     let x = placement.add_item(SiteId(0), &[SiteId(1), SiteId(2)]);
     let programs = vec![
-        vec![vec![
-            vec![Op::write(x, 1)],
-            vec![Op::write(x, 2)],
-            vec![Op::write(x, 3)],
-        ]],
+        vec![vec![vec![Op::write(x, 1)], vec![Op::write(x, 2)], vec![Op::write(x, 3)]]],
         vec![vec![]],
         vec![vec![]],
     ];
@@ -136,10 +128,8 @@ fn psl_remote_read_sees_primary_version() {
     let mut placement = DataPlacement::new(2);
     let x = placement.add_item(SiteId(0), &[SiteId(1)]);
     // s0 writes x; s1 reads x (remote, since x's primary is s0).
-    let programs = vec![
-        vec![vec![vec![Op::write(x, 77)]]],
-        vec![vec![vec![Op::read(x)], vec![Op::read(x)]]],
-    ];
+    let programs =
+        vec![vec![vec![vec![Op::write(x, 77)]]], vec![vec![vec![Op::read(x)], vec![Op::read(x)]]]];
     let mut params = SimParams::quick_test(ProtocolKind::Psl);
     params.threads_per_site = 1;
     params.txns_per_thread = 2;
@@ -163,8 +153,7 @@ fn psl_remote_read_sees_primary_version() {
         .history()
         .txns()
         .iter()
-        .filter(|t| t.gid.origin == SiteId(1))
-        .last()
+        .rfind(|t| t.gid.origin == SiteId(1))
         .expect("reader committed");
     assert_eq!(last_reader.reads[0], (x, Some(writer_gid)));
 }

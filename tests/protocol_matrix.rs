@@ -52,9 +52,8 @@ fn run_and_check(name: &str, placement: &DataPlacement, params: &SimParams, seed
         params.txns_per_thread,
         seed,
     );
-    let mut engine = Engine::new(placement, params, programs).unwrap_or_else(|e| {
-        panic!("{name}/{:?}: build failed: {e}", params.protocol)
-    });
+    let mut engine = Engine::new(placement, params, programs)
+        .unwrap_or_else(|e| panic!("{name}/{:?}: build failed: {e}", params.protocol));
     let report = engine.run();
     assert!(!report.stalled, "{name}/{:?} stalled", params.protocol);
     assert!(
@@ -62,8 +61,8 @@ fn run_and_check(name: &str, placement: &DataPlacement, params: &SimParams, seed
         "{name}/{:?} non-serializable: {:?}",
         params.protocol, report.cycle
     );
-    let expected = (params.txns_per_thread * params.threads_per_site) as u64
-        * placement.num_sites() as u64;
+    let expected =
+        (params.txns_per_thread * params.threads_per_site) as u64 * placement.num_sites() as u64;
     assert_eq!(report.summary.commits, expected, "{name}/{:?} lost commits", params.protocol);
     assert_eq!(
         report.summary.incomplete_propagations, 0,

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full local gate, in the order a failure is cheapest to hit:
+# formatting, clippy, the determinism lint, then build and tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> replint (determinism lint over sim/core/copygraph)"
+cargo run -q -p repl-analysis --bin replint
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "ci: all gates passed"
