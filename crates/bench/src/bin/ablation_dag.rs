@@ -6,45 +6,18 @@
 //! timestamps, dummies and epoch percolation. Swept over replication
 //! probability at b=0.
 
-use repl_bench::{default_table, env_seeds, run_averaged_with};
-use repl_core::config::{ProtocolKind, SimParams};
+use repl_bench::{default_table, Column, ExperimentSpec};
+use repl_core::config::ProtocolKind;
 
 fn main() {
-    // Lint the configuration before burning simulation time.
-    let mut pre = default_table();
-    pre.backedge_prob = 0.0;
-    repl_bench::preflight(&pre, &[ProtocolKind::DagWt, ProtocolKind::DagT]);
-
-    println!("\n=== Ablation: DAG(WT) vs DAG(T) (b = 0) ===");
-    println!(
-        "{:>6} | {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10}",
-        "r", "WT thr", "WT prop", "WT msgs", "T thr", "T prop", "T msgs"
-    );
-    for r in [0.2, 0.4, 0.6, 0.8] {
-        let mut t = default_table();
-        t.backedge_prob = 0.0;
-        t.replication_prob = r;
-        let wt = run_averaged_with(
-            &t,
-            &SimParams { protocol: ProtocolKind::DagWt, ..Default::default() },
-            env_seeds(),
-        );
-        let tt = run_averaged_with(
-            &t,
-            &SimParams { protocol: ProtocolKind::DagT, ..Default::default() },
-            env_seeds(),
-        );
-        println!(
-            "{:>6.1} | {:>12.1} {:>9.1}ms {:>10} | {:>12.1} {:>9.1}ms {:>10}",
-            r,
-            wt.throughput_per_site,
-            wt.mean_propagation_ms,
-            wt.messages,
-            tt.throughput_per_site,
-            tt.mean_propagation_ms,
-            tt.messages
-        );
-    }
+    let mut table = default_table();
+    table.backedge_prob = 0.0; // DAG protocols need an acyclic graph
+    ExperimentSpec::new("ablation_dag", "Ablation: DAG(WT) vs DAG(T) (b = 0)")
+        .table(table)
+        .axis("r", [0.2, 0.4, 0.6, 0.8], |t, _, r| t.replication_prob = r)
+        .protocols(&[ProtocolKind::DagWt, ProtocolKind::DagT])
+        .run()
+        .print(&[Column::Throughput, Column::PropMs, Column::Messages]);
     println!("\nDAG(T) trades relay hops for dummy/epoch traffic; its advantage grows");
     println!("with tree depth (see sweep_sites) and per-hop cost.");
 }

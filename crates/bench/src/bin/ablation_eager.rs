@@ -3,36 +3,13 @@
 //! number of sites"; transaction size grows with the degree of
 //! replication, and deadlock probability with its fourth power).
 
-use repl_bench::{default_table, env_seeds, run_averaged};
+use repl_bench::{Column, ExperimentSpec};
 use repl_core::config::ProtocolKind;
 
 fn main() {
-    // Lint the configuration before burning simulation time.
-    repl_bench::preflight(
-        &default_table(),
-        &[ProtocolKind::Eager, ProtocolKind::BackEdge, ProtocolKind::Psl],
-    );
-
-    println!("\n=== Ablation: Eager vs BackEdge vs PSL across replication ===");
-    println!(
-        "{:>6} | {:>10} {:>8} | {:>10} {:>8} | {:>10} {:>8}",
-        "r", "Eager", "ab%", "BackEdge", "ab%", "PSL", "ab%"
-    );
-    for r in [0.1, 0.3, 0.5, 0.8] {
-        let mut t = default_table();
-        t.replication_prob = r;
-        let eager = run_averaged(&t, ProtocolKind::Eager, env_seeds());
-        let be = run_averaged(&t, ProtocolKind::BackEdge, env_seeds());
-        let psl = run_averaged(&t, ProtocolKind::Psl, env_seeds());
-        println!(
-            "{:>6.1} | {:>10.1} {:>8.1} | {:>10.1} {:>8.1} | {:>10.1} {:>8.1}",
-            r,
-            eager.throughput_per_site,
-            eager.abort_rate_pct,
-            be.throughput_per_site,
-            be.abort_rate_pct,
-            psl.throughput_per_site,
-            psl.abort_rate_pct
-        );
-    }
+    ExperimentSpec::new("ablation_eager", "Ablation: Eager vs BackEdge vs PSL across replication")
+        .axis("r", [0.1, 0.3, 0.5, 0.8], |t, _, r| t.replication_prob = r)
+        .protocols(&[ProtocolKind::Eager, ProtocolKind::BackEdge, ProtocolKind::Psl])
+        .run()
+        .print(&[Column::Throughput, Column::AbortPct]);
 }

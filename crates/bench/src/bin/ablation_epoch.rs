@@ -3,34 +3,25 @@
 //! Short epochs/heartbeats percolate progress information quickly (fresh
 //! replicas) at the cost of dummy-message traffic.
 
-use repl_bench::{default_table, env_seeds, run_averaged_with};
-use repl_core::config::{ProtocolKind, SimParams};
+use repl_bench::{default_table, Column, ExperimentSpec};
+use repl_core::config::ProtocolKind;
 use repl_sim::SimDuration;
 
 fn main() {
-    // Lint the configuration before burning simulation time.
-    let mut pre = default_table();
-    pre.backedge_prob = 0.0;
-    repl_bench::preflight(&pre, &[ProtocolKind::DagT]);
-
-    println!("\n=== Ablation: DAG(T) epoch period (heartbeat = period/2) ===");
-    println!("(capped at 300 txns/thread; a 5 ms period saturates site CPUs with dummy");
-    println!(" traffic and the run never drains — the flood edge of the §3.3 tradeoff)");
-    println!("{:>10} | {:>12} {:>12} {:>12}", "period ms", "thr", "prop ms", "messages");
-    for ms in [10u64, 20, 50, 100, 200] {
-        let mut t = default_table();
-        t.txns_per_thread = t.txns_per_thread.min(300);
-        t.backedge_prob = 0.0;
-        let base = SimParams {
-            protocol: ProtocolKind::DagT,
-            epoch_period: SimDuration::millis(ms),
-            heartbeat_period: SimDuration::millis((ms / 2).max(1)),
-            ..Default::default()
-        };
-        let s = run_averaged_with(&t, &base, env_seeds());
-        println!(
-            "{:>10} | {:>12.1} {:>12.1} {:>12}",
-            ms, s.throughput_per_site, s.mean_propagation_ms, s.messages
-        );
-    }
+    let mut table = default_table();
+    // Capped at 300 txns/thread; a 5 ms period saturates site CPUs with
+    // dummy traffic and the run never drains — the flood edge of the
+    // §3.3 tradeoff.
+    table.txns_per_thread = table.txns_per_thread.min(300);
+    table.backedge_prob = 0.0;
+    ExperimentSpec::new("ablation_epoch", "Ablation: DAG(T) epoch period (heartbeat = period/2)")
+        .table(table)
+        .axis("period ms", [10.0, 20.0, 50.0, 100.0, 200.0], |_, sim, ms| {
+            let ms = ms as u64;
+            sim.epoch_period = SimDuration::millis(ms);
+            sim.heartbeat_period = SimDuration::millis((ms / 2).max(1));
+        })
+        .protocols(&[ProtocolKind::DagT])
+        .run()
+        .print(&[Column::Throughput, Column::PropMs, Column::Messages]);
 }

@@ -2,46 +2,27 @@
 //! paper implemented the chain and "expect[s] the general implementation
 //! ... to outperform our implementation").
 
-use repl_bench::{default_table, env_seeds, run_averaged_with};
+use repl_bench::{Column, ExperimentSpec};
 use repl_core::config::{ProtocolKind, SimParams, TreeKind};
 
 fn main() {
-    // Lint the configuration before burning simulation time.
-    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge]);
-
-    println!("\n=== Ablation: BackEdge with chain vs general propagation tree ===");
-    println!(
-        "{:>6} | {:>12} {:>12} | {:>12} {:>12}",
-        "b", "chain thr", "chain prop", "tree thr", "tree prop"
-    );
-    for b in [0.0, 0.2, 0.5, 1.0] {
-        let mut t = default_table();
-        t.backedge_prob = b;
-        let chain = run_averaged_with(
-            &t,
-            &SimParams {
-                protocol: ProtocolKind::BackEdge,
-                tree: TreeKind::Chain,
-                ..Default::default()
-            },
-            env_seeds(),
-        );
-        let tree = run_averaged_with(
-            &t,
-            &SimParams {
-                protocol: ProtocolKind::BackEdge,
-                tree: TreeKind::General,
-                ..Default::default()
-            },
-            env_seeds(),
-        );
-        println!(
-            "{:>6.1} | {:>12.1} {:>10.1}ms | {:>12.1} {:>10.1}ms",
-            b,
-            chain.throughput_per_site,
-            chain.mean_propagation_ms,
-            tree.throughput_per_site,
-            tree.mean_propagation_ms
-        );
-    }
+    ExperimentSpec::new(
+        "ablation_tree",
+        "Ablation: BackEdge with chain vs general propagation tree",
+    )
+    .axis("b", [0.0, 0.2, 0.5, 1.0], |t, _, b| t.backedge_prob = b)
+    .series(
+        "chain",
+        SimParams { protocol: ProtocolKind::BackEdge, tree: TreeKind::Chain, ..Default::default() },
+    )
+    .series(
+        "tree",
+        SimParams {
+            protocol: ProtocolKind::BackEdge,
+            tree: TreeKind::General,
+            ..Default::default()
+        },
+    )
+    .run()
+    .print(&[Column::Throughput, Column::PropMs]);
 }

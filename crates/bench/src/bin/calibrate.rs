@@ -1,32 +1,43 @@
 //! Calibration sweep: scaled-down versions of Figures 2(a), 2(b), 3(a)
 //! and 3(b) to check curve *shapes* against the paper before full runs.
 
-use repl_bench::{default_table, print_figure, sweep};
+use repl_bench::{default_table, Column, ExperimentSpec};
 use repl_core::config::ProtocolKind;
 
 fn main() {
-    // Lint the configuration before burning simulation time.
-    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
-
     let pair = [ProtocolKind::BackEdge, ProtocolKind::Psl];
-    let base = default_table();
-
     let xs = [0.0, 0.25, 0.5, 0.75, 1.0];
-    let rows = sweep(&base, &xs, &pair, |t, b| t.backedge_prob = b);
-    print_figure("Fig 2(a) shape: throughput vs backedge probability", "b", &rows);
+    let cols = [Column::Throughput];
 
-    let rows = sweep(&base, &xs, &pair, |t, r| t.replication_prob = r);
-    print_figure("Fig 2(b) shape: throughput vs replication probability", "r", &rows);
+    ExperimentSpec::new("calibrate_2a", "Fig 2(a) shape: throughput vs backedge probability")
+        .axis("b", xs, |t, _, b| t.backedge_prob = b)
+        .protocols(&pair)
+        .run()
+        .print(&cols);
 
-    let mut t3a = base.clone();
+    ExperimentSpec::new("calibrate_2b", "Fig 2(b) shape: throughput vs replication probability")
+        .axis("r", xs, |t, _, r| t.replication_prob = r)
+        .protocols(&pair)
+        .run()
+        .print(&cols);
+
+    let mut t3a = default_table();
     t3a.backedge_prob = 0.0;
     t3a.replication_prob = 0.5;
     t3a.read_txn_prob = 0.0;
-    let rows = sweep(&t3a, &xs, &pair, |t, p| t.read_op_prob = p);
-    print_figure("Fig 3(a) shape: b=0, throughput vs read-op probability", "read-op", &rows);
+    ExperimentSpec::new("calibrate_3a", "Fig 3(a) shape: b=0, throughput vs read-op probability")
+        .table(t3a.clone())
+        .axis("read-op", xs, |t, _, p| t.read_op_prob = p)
+        .protocols(&pair)
+        .run()
+        .print(&cols);
 
     let mut t3b = t3a;
     t3b.backedge_prob = 1.0;
-    let rows = sweep(&t3b, &xs, &pair, |t, p| t.read_op_prob = p);
-    print_figure("Fig 3(b) shape: b=1, throughput vs read-op probability", "read-op", &rows);
+    ExperimentSpec::new("calibrate_3b", "Fig 3(b) shape: b=1, throughput vs read-op probability")
+        .table(t3b)
+        .axis("read-op", xs, |t, _, p| t.read_op_prob = p)
+        .protocols(&pair)
+        .run()
+        .print(&cols);
 }

@@ -5,17 +5,13 @@
 //! declining as backedge subtransactions hold locks longer; PSL roughly
 //! flat with a slight decline; BackEdge still ahead at b=1.
 
-use repl_bench::{default_table, print_figure, sweep};
+use repl_bench::{Column, ExperimentSpec};
 use repl_core::config::ProtocolKind;
 
 fn main() {
-    // Lint the configuration before burning simulation time.
-    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
-
-    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    let rows =
-        sweep(&default_table(), &xs, &[ProtocolKind::BackEdge, ProtocolKind::Psl], |t, b| {
-            t.backedge_prob = b
-        });
-    print_figure("Figure 2(a): Throughput vs Backedge Probability", "b", &rows);
+    ExperimentSpec::new("fig2a", "Figure 2(a): Throughput vs Backedge Probability")
+        .axis("b", (0..=10).map(|i| i as f64 / 10.0), |t, _, b| t.backedge_prob = b)
+        .protocols(&[ProtocolKind::BackEdge, ProtocolKind::Psl])
+        .run()
+        .print(&[Column::Throughput, Column::AbortPct]);
 }

@@ -4,17 +4,13 @@
 //! transaction is local under both protocols), a sharp drop from r=0 to
 //! r=0.1, and both declining as the replica count grows.
 
-use repl_bench::{default_table, print_figure, sweep};
+use repl_bench::{Column, ExperimentSpec};
 use repl_core::config::ProtocolKind;
 
 fn main() {
-    // Lint the configuration before burning simulation time.
-    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
-
-    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    let rows =
-        sweep(&default_table(), &xs, &[ProtocolKind::BackEdge, ProtocolKind::Psl], |t, r| {
-            t.replication_prob = r
-        });
-    print_figure("Figure 2(b): Throughput vs Replication Probability", "r", &rows);
+    ExperimentSpec::new("fig2b", "Figure 2(b): Throughput vs Replication Probability")
+        .axis("r", (0..=10).map(|i| i as f64 / 10.0), |t, _, r| t.replication_prob = r)
+        .protocols(&[ProtocolKind::BackEdge, ProtocolKind::Psl])
+        .run()
+        .print(&[Column::Throughput, Column::AbortPct]);
 }

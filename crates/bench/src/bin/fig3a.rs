@@ -7,7 +7,7 @@
 //! (remote reads grow faster than contention falls) then recovers.
 //! At 0.5 the paper reports BackEdge > 5x PSL.
 
-use repl_bench::{default_table, print_figure, sweep};
+use repl_bench::{default_table, Column, ExperimentSpec};
 use repl_core::config::ProtocolKind;
 
 fn main() {
@@ -15,13 +15,10 @@ fn main() {
     base.backedge_prob = 0.0;
     base.replication_prob = 0.5;
     base.read_txn_prob = 0.0;
-    repl_bench::preflight(&base, &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
-    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    let rows =
-        sweep(&base, &xs, &[ProtocolKind::BackEdge, ProtocolKind::Psl], |t, p| t.read_op_prob = p);
-    print_figure(
-        "Figure 3(a): b = 0 — Throughput vs Read Operation Probability",
-        "read-op prob",
-        &rows,
-    );
+    ExperimentSpec::new("fig3a", "Figure 3(a): b = 0 — Throughput vs Read Operation Probability")
+        .table(base)
+        .axis("read-op prob", (0..=10).map(|i| i as f64 / 10.0), |t, _, p| t.read_op_prob = p)
+        .protocols(&[ProtocolKind::BackEdge, ProtocolKind::Psl])
+        .run()
+        .print(&[Column::Throughput, Column::AbortPct]);
 }

@@ -6,7 +6,7 @@
 //! BackEdge suffers global deadlocks and trails PSL while the read
 //! probability is below ~0.3 — and still wins beyond it.
 
-use repl_bench::{default_table, print_figure, sweep};
+use repl_bench::{default_table, Column, ExperimentSpec};
 use repl_core::config::ProtocolKind;
 
 fn main() {
@@ -14,13 +14,10 @@ fn main() {
     base.backedge_prob = 1.0;
     base.replication_prob = 0.5;
     base.read_txn_prob = 0.0;
-    repl_bench::preflight(&base, &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
-    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    let rows =
-        sweep(&base, &xs, &[ProtocolKind::BackEdge, ProtocolKind::Psl], |t, p| t.read_op_prob = p);
-    print_figure(
-        "Figure 3(b): b = 1 — Throughput vs Read Operation Probability",
-        "read-op prob",
-        &rows,
-    );
+    ExperimentSpec::new("fig3b", "Figure 3(b): b = 1 — Throughput vs Read Operation Probability")
+        .table(base)
+        .axis("read-op prob", (0..=10).map(|i| i as f64 / 10.0), |t, _, p| t.read_op_prob = p)
+        .protocols(&[ProtocolKind::BackEdge, ProtocolKind::Psl])
+        .run()
+        .print(&[Column::Throughput, Column::AbortPct]);
 }

@@ -1,22 +1,16 @@
 //! Calibration probe: one default-parameter point per protocol, printed
 //! with all metrics. Not a paper figure; used to sanity-check the cost
 //! model before running the sweeps.
+//!
+//! NaiveLazy is included deliberately: it is not serializable by design,
+//! so its cell reports `ERR:1SR` — exercising the harness's fallible
+//! point execution instead of tearing the run down.
 
-use repl_bench::{default_table, env_seeds, run_averaged};
-use repl_core::config::ProtocolKind;
+use repl_bench::{default_table, Column, ExperimentSpec};
+use repl_core::config::{ProtocolKind, SimParams};
 
 fn main() {
     let table = default_table();
-    // Lint the configuration before burning simulation time: the default
-    // (possibly cyclic) table for the cycle-tolerant protocols, a b=0
-    // variant for the DAG protocols.
-    repl_bench::preflight(
-        &table,
-        &[ProtocolKind::BackEdge, ProtocolKind::Psl, ProtocolKind::Eager, ProtocolKind::NaiveLazy],
-    );
-    let mut dag_pre = table.clone();
-    dag_pre.backedge_prob = 0.0;
-    repl_bench::preflight(&dag_pre, &[ProtocolKind::DagWt, ProtocolKind::DagT]);
     println!(
         "defaults: m={} n={} r={} b={} threads={} txns={}",
         table.num_sites,
@@ -26,50 +20,24 @@ fn main() {
         table.threads_per_site,
         table.txns_per_thread
     );
-    println!(
-        "{:>10} {:>12} {:>8} {:>12} {:>12} {:>10} {:>10}",
-        "protocol", "thr/site/s", "abort%", "resp ms", "prop ms", "msgs", "virt s"
-    );
-    for p in [
-        ProtocolKind::BackEdge,
-        ProtocolKind::Psl,
-        ProtocolKind::DagWt,
-        ProtocolKind::DagT,
-        ProtocolKind::Eager,
-        ProtocolKind::NaiveLazy,
-    ] {
-        if p == ProtocolKind::DagWt || p == ProtocolKind::DagT {
-            // Default b=0.2 is cyclic; DAG protocols need b=0.
-            let mut t = table.clone();
-            t.backedge_prob = 0.0;
-            let s = run_averaged(&t, p, env_seeds());
-            println!(
-                "{:>10} {:>12.2} {:>8.1} {:>12.1} {:>12.1} {:>10} {:>10.1}  (b=0)",
-                p.name(),
-                s.throughput_per_site,
-                s.abort_rate_pct,
-                s.mean_response_ms,
-                s.mean_propagation_ms,
-                s.messages,
-                s.virtual_duration.as_secs_f64()
-            );
-            continue;
-        }
-        if p == ProtocolKind::NaiveLazy {
-            // NaiveLazy is not serializable; run_point would assert. Skip.
-            println!("{:>10}  (skipped: not serializable by design)", p.name());
-            continue;
-        }
-        let s = run_averaged(&table, p, env_seeds());
-        println!(
-            "{:>10} {:>12.2} {:>8.1} {:>12.1} {:>12.1} {:>10} {:>10.1}",
-            p.name(),
-            s.throughput_per_site,
-            s.abort_rate_pct,
-            s.mean_response_ms,
-            s.mean_propagation_ms,
-            s.messages,
-            s.virtual_duration.as_secs_f64()
-        );
-    }
+    // Default b=0.2 is cyclic; the DAG protocols run on a b=0 variant.
+    let mut dag_table = table.clone();
+    dag_table.backedge_prob = 0.0;
+    let sim = |p: ProtocolKind| SimParams { protocol: p, ..Default::default() };
+    ExperimentSpec::new("probe", "Calibration probe: default point, every protocol")
+        .series("BackEdge", sim(ProtocolKind::BackEdge))
+        .series("PSL", sim(ProtocolKind::Psl))
+        .series_with_table("DAG(WT) b=0", sim(ProtocolKind::DagWt), dag_table.clone())
+        .series_with_table("DAG(T) b=0", sim(ProtocolKind::DagT), dag_table)
+        .series("Eager", sim(ProtocolKind::Eager))
+        .series("NaiveLazy", sim(ProtocolKind::NaiveLazy))
+        .run()
+        .print_transposed(&[
+            Column::Throughput,
+            Column::AbortPct,
+            Column::ResponseMs,
+            Column::PropMs,
+            Column::Messages,
+            Column::VirtSecs,
+        ]);
 }

@@ -2,35 +2,30 @@
 //! with default parameters propagation via secondary subtransactions
 //! "in general took a few hundred millisec".
 
-use repl_bench::{default_table, env_seeds, run_averaged_with};
+use repl_bench::{default_table, Column, ExperimentSpec};
 use repl_core::config::{ProtocolKind, SimParams};
 
 fn main() {
-    println!("§5.3.4 Update propagation delay, commit -> last replica applied\n");
-    let table = default_table();
-    // Lint the configuration before burning simulation time.
-    repl_bench::preflight(&table, &[ProtocolKind::BackEdge]);
-    let mut dag_pre = table.clone();
-    dag_pre.backedge_prob = 0.0;
-    repl_bench::preflight(&dag_pre, &[ProtocolKind::DagWt, ProtocolKind::DagT]);
-    for (label, base, dag_only) in [
-        ("BackEdge", SimParams { protocol: ProtocolKind::BackEdge, ..Default::default() }, false),
-        ("DAG(WT)", SimParams { protocol: ProtocolKind::DagWt, ..Default::default() }, true),
-        ("DAG(T)", SimParams { protocol: ProtocolKind::DagT, ..Default::default() }, true),
-    ] {
-        let mut t = table.clone();
-        if dag_only {
-            t.backedge_prob = 0.0; // DAG protocols need an acyclic graph
-        }
-        let s = run_averaged_with(&t, &base, env_seeds());
-        println!(
-            "{:>9}{}: mean {:7.1} ms   max {:8.1} ms   ({} messages)",
-            label,
-            if dag_only { " (b=0)" } else { "      " },
-            s.mean_propagation_ms,
-            s.max_propagation_ms,
-            s.messages
-        );
-    }
+    // DAG protocols need an acyclic graph, so they run on a b=0 variant
+    // of the default table next to BackEdge's cyclic one.
+    let mut dag_table = default_table();
+    dag_table.backedge_prob = 0.0;
+    ExperimentSpec::new(
+        "propagation",
+        "§5.3.4 Update propagation delay, commit -> last replica applied",
+    )
+    .series("BackEdge", SimParams { protocol: ProtocolKind::BackEdge, ..Default::default() })
+    .series_with_table(
+        "DAG(WT) b=0",
+        SimParams { protocol: ProtocolKind::DagWt, ..Default::default() },
+        dag_table.clone(),
+    )
+    .series_with_table(
+        "DAG(T) b=0",
+        SimParams { protocol: ProtocolKind::DagT, ..Default::default() },
+        dag_table,
+    )
+    .run()
+    .print_transposed(&[Column::PropMs, Column::MaxPropMs, Column::Messages]);
     println!("\nPaper: \"update propagation ... in general took a few hundred millisec\".");
 }

@@ -3,29 +3,21 @@
 //! faster. Absolute numbers differ on the simulated substrate; the
 //! ordering and rough ratio are the reproduction target.
 
-use repl_bench::{default_table, env_seeds, run_averaged};
+use repl_bench::{Column, ExperimentSpec};
 use repl_core::config::ProtocolKind;
 
 fn main() {
-    // Lint the configuration before burning simulation time.
-    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
-
-    println!("§5.3.4 Mean response time of committed transactions (default parameters)\n");
-    let table = default_table();
-    let mut results = Vec::new();
-    for p in [ProtocolKind::BackEdge, ProtocolKind::Psl] {
-        let s = run_averaged(&table, p, env_seeds());
+    let result = ExperimentSpec::new(
+        "response_time",
+        "§5.3.4 Mean response time of committed transactions (default parameters)",
+    )
+    .protocols(&[ProtocolKind::BackEdge, ProtocolKind::Psl])
+    .run();
+    result.print_transposed(&[Column::ResponseMs, Column::Throughput, Column::AbortPct]);
+    if let (Some(be), Some(psl)) = (result.cell(0, 0), result.cell(0, 1)) {
         println!(
-            "{:>9}: {:8.1} ms   (throughput {:6.1} txn/s/site, abort {:4.1}%)",
-            p.name(),
-            s.mean_response_ms,
-            s.throughput_per_site,
-            s.abort_rate_pct
+            "\nPSL/BackEdge response ratio: {:.2} (paper: 260/180 ≈ 1.44)",
+            psl.mean_response_ms / be.mean_response_ms
         );
-        results.push(s.mean_response_ms);
     }
-    println!(
-        "\nPSL/BackEdge response ratio: {:.2} (paper: 260/180 ≈ 1.44)",
-        results[1] / results[0]
-    );
 }

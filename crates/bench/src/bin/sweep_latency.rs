@@ -2,18 +2,17 @@
 //! synchronous round trip per replica read, so it degrades with latency
 //! far faster than the asynchronous lazy protocols.
 
-use repl_bench::{default_table, env_seeds, run_averaged};
+use repl_bench::{Column, ExperimentSpec};
 use repl_core::config::ProtocolKind;
 use repl_sim::SimDuration;
 
 fn main() {
-    // Lint the configuration before burning simulation time.
-    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
-
-    println!("\n=== Range study: Throughput vs Network Latency (0.15 - 100 ms) ===");
-    println!("{:>12} | {:>13} | {:>13}", "latency ms", "BackEdge thr", "PSL thr");
-    for us in [150u64, 1_000, 5_000, 20_000, 100_000] {
-        let mut t = default_table();
+    ExperimentSpec::new(
+        "sweep_latency",
+        "Range study: Throughput vs Network Latency (0.15 - 100 ms)",
+    )
+    .axis("latency ms", [0.15, 1.0, 5.0, 20.0, 100.0], |t, _, ms| {
+        let us = (ms * 1000.0).round() as u64;
         t.network_latency = SimDuration::micros(us);
         // Long latencies stretch both PSL's remote-lock holds and the
         // BackEdge special's round trip (up to ~2x sites x latency) past
@@ -22,13 +21,8 @@ fn main() {
         if us >= 5_000 {
             t.deadlock_timeout = SimDuration::micros(us * 25);
         }
-        let be = run_averaged(&t, ProtocolKind::BackEdge, env_seeds());
-        let psl = run_averaged(&t, ProtocolKind::Psl, env_seeds());
-        println!(
-            "{:>12.2} | {:>13.2} | {:>13.2}",
-            us as f64 / 1000.0,
-            be.throughput_per_site,
-            psl.throughput_per_site
-        );
-    }
+    })
+    .protocols(&[ProtocolKind::BackEdge, ProtocolKind::Psl])
+    .run()
+    .print(&[Column::Throughput]);
 }

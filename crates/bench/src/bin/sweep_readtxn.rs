@@ -2,17 +2,13 @@
 //! otherwise). Read-only transactions never propagate, so both protocols
 //! speed up; PSL still pays remote reads inside read-only transactions.
 
-use repl_bench::{default_table, print_figure, sweep};
+use repl_bench::{Column, ExperimentSpec};
 use repl_core::config::ProtocolKind;
 
 fn main() {
-    // Lint the configuration before burning simulation time.
-    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
-
-    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    let rows =
-        sweep(&default_table(), &xs, &[ProtocolKind::BackEdge, ProtocolKind::Psl], |t, p| {
-            t.read_txn_prob = p
-        });
-    print_figure("Range study: Throughput vs Read Transaction Probability", "read-txn prob", &rows);
+    ExperimentSpec::new("sweep_readtxn", "Range study: Throughput vs Read Transaction Probability")
+        .axis("read-txn prob", (0..=10).map(|i| i as f64 / 10.0), |t, _, p| t.read_txn_prob = p)
+        .protocols(&[ProtocolKind::BackEdge, ProtocolKind::Psl])
+        .run()
+        .print(&[Column::Throughput, Column::AbortPct]);
 }

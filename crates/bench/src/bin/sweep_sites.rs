@@ -1,17 +1,13 @@
 //! Table 1 range study: number of sites m ∈ 3–15 (defaults otherwise).
 //! Exercises protocol scalability with system size.
 
-use repl_bench::{default_table, print_figure, sweep};
+use repl_bench::{Column, ExperimentSpec};
 use repl_core::config::ProtocolKind;
 
 fn main() {
-    // Lint the configuration before burning simulation time.
-    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
-
-    let xs = [3.0, 6.0, 9.0, 12.0, 15.0];
-    let rows =
-        sweep(&default_table(), &xs, &[ProtocolKind::BackEdge, ProtocolKind::Psl], |t, m| {
-            t.num_sites = m as u32
-        });
-    print_figure("Range study: Throughput vs Number of Sites (m = 3..15)", "sites", &rows);
+    ExperimentSpec::new("sweep_sites", "Range study: Throughput vs Number of Sites (m = 3..15)")
+        .axis("sites", [3.0, 6.0, 9.0, 12.0, 15.0], |t, _, m| t.num_sites = m as u32)
+        .protocols(&[ProtocolKind::BackEdge, ProtocolKind::Psl])
+        .run()
+        .print(&[Column::Throughput, Column::AbortPct]);
 }

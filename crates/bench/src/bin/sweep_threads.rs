@@ -1,17 +1,13 @@
 //! Table 1 range study: threads per site (multiprogramming level) 1–5.
 //! §5.2: "more threads result in more contention within the system".
 
-use repl_bench::{default_table, print_figure, sweep};
+use repl_bench::{Column, ExperimentSpec};
 use repl_core::config::ProtocolKind;
 
 fn main() {
-    // Lint the configuration before burning simulation time.
-    repl_bench::preflight(&default_table(), &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
-
-    let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
-    let rows =
-        sweep(&default_table(), &xs, &[ProtocolKind::BackEdge, ProtocolKind::Psl], |t, n| {
-            t.threads_per_site = n as u32
-        });
-    print_figure("Range study: Throughput vs Threads/Site (MPL 1..5)", "threads", &rows);
+    ExperimentSpec::new("sweep_threads", "Range study: Throughput vs Threads/Site (MPL 1..5)")
+        .axis("threads", [1.0, 2.0, 3.0, 4.0, 5.0], |t, _, n| t.threads_per_site = n as u32)
+        .protocols(&[ProtocolKind::BackEdge, ProtocolKind::Psl])
+        .run()
+        .print(&[Column::Throughput, Column::AbortPct]);
 }

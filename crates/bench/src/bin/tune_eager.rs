@@ -1,26 +1,9 @@
 //! Developer tool: compare eager-phase deadlock policies on the
 //! Fig 3(b) and Fig 2(b) trouble points.
 
+use repl_bench::run_point_with;
 use repl_core::config::{ProtocolKind, SimParams};
-use repl_core::engine::Engine;
-use repl_core::scenario::generate_programs;
-use repl_workload::{build_placement, TableOneParams};
-
-fn run(table: &TableOneParams, base: &SimParams, seed: u64) -> f64 {
-    let placement = build_placement(table, seed);
-    let params = table.sim_params(base);
-    let programs = generate_programs(
-        &placement,
-        &table.mix(),
-        params.threads_per_site,
-        params.txns_per_thread,
-        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
-    );
-    let mut engine = Engine::new(&placement, &params, programs).unwrap();
-    let report = engine.run();
-    assert!(!report.stalled && report.serializable);
-    report.summary.throughput_per_site
-}
+use repl_workload::TableOneParams;
 
 fn main() {
     let points: Vec<(&str, TableOneParams)> = vec![
@@ -88,10 +71,15 @@ fn main() {
         repl_bench::preflight(table, &[ProtocolKind::BackEdge, ProtocolKind::Psl]);
     }
     for (pname, table) in &points {
-        let psl = run(table, &SimParams { protocol: ProtocolKind::Psl, ..Default::default() }, 42);
+        let psl = run_point_with(
+            table,
+            &SimParams { protocol: ProtocolKind::Psl, ..Default::default() },
+            42,
+        )
+        .throughput_per_site;
         print!("{pname}: PSL={psl:.1}");
         for (vname, base) in &variants {
-            let thr = run(table, base, 42);
+            let thr = run_point_with(table, base, 42).throughput_per_site;
             print!("  [{vname}]={thr:.1}");
         }
         println!();

@@ -6,20 +6,35 @@
 //! figure/table; `benches/figures.rs` wraps scaled-down versions in
 //! Criterion for timing regression.
 //!
+//! Figures are declared with [`runner::ExperimentSpec`] and executed by
+//! the parallel [`runner::Runner`]: every point is a pure function of
+//! `(Params, seed)`, so the pool schedules points across `REPRO_WORKERS`
+//! threads, serves repeats from the content-addressed cache under
+//! `results/cache/`, and still aggregates byte-identical output.
+//!
 //! Scale knobs (environment variables, so the full paper-scale run and a
 //! quick smoke run share binaries):
 //!
-//! * `REPRO_TXNS`   — transactions per thread (default 1000, Table 1);
-//! * `REPRO_SEEDS`  — seeds averaged per point (default 1);
-//! * `REPRO_SCALE`  — shorthand: `quick` sets `REPRO_TXNS=150`.
+//! * `REPRO_TXNS`     — transactions per thread (default 1000, Table 1);
+//! * `REPRO_SEEDS`    — seeds averaged per point (default 1);
+//! * `REPRO_SCALE`    — shorthand: `quick` sets `REPRO_TXNS=150`;
+//! * `REPRO_WORKERS`  — worker threads (default: all cores);
+//! * `REPRO_NO_CACHE` — `1` disables the on-disk point cache;
+//! * `REPRO_EMIT`     — comma list of `csv`,`json`: also write
+//!   `results/<figure>.<ext>` next to the printed table.
 
 #![warn(missing_docs)]
 
+pub mod runner;
+
+pub use runner::{
+    env_workers, try_run_point_with, Column, ExperimentSpec, PointCache, PointJob, RunError,
+    Runner, RunnerStats, SweepResult, SweepRow, CACHE_VERSION,
+};
+
 use repl_core::config::{ProtocolKind, SimParams};
-use repl_core::engine::Engine;
 use repl_core::metrics::MetricsSummary;
-use repl_core::scenario::generate_programs;
-use repl_workload::{build_placement, TableOneParams};
+use repl_workload::TableOneParams;
 
 /// How many transactions per thread the environment asks for.
 pub fn env_txns() -> u32 {
@@ -34,7 +49,22 @@ pub fn env_seeds() -> u64 {
     std::env::var("REPRO_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
 }
 
+/// Run one experiment point and return its metrics, as a fallible
+/// [`Result`]; see [`try_run_point_with`].
+pub fn try_run_point(
+    table: &TableOneParams,
+    protocol: ProtocolKind,
+    seed: u64,
+) -> Result<MetricsSummary, RunError> {
+    let base = SimParams { protocol, ..SimParams::default() };
+    try_run_point_with(table, &base, seed)
+}
+
 /// Run one experiment point and return its metrics.
+///
+/// Thin panicking wrapper over [`try_run_point`] for tests that want a
+/// failure to tear the process down; harness code goes through the
+/// fallible runner API instead.
 pub fn run_point(table: &TableOneParams, protocol: ProtocolKind, seed: u64) -> MetricsSummary {
     let base = SimParams { protocol, ..SimParams::default() };
     run_point_with(table, &base, seed)
@@ -42,40 +72,16 @@ pub fn run_point(table: &TableOneParams, protocol: ProtocolKind, seed: u64) -> M
 
 /// Like [`run_point`], with full control over the engine parameters
 /// (tree kind, deadlock mode, cost model) for the ablation studies.
+///
+/// Thin panicking wrapper over [`try_run_point_with`]; kept for tests.
 pub fn run_point_with(table: &TableOneParams, base: &SimParams, seed: u64) -> MetricsSummary {
-    let placement = build_placement(table, seed);
-    let params = table.sim_params(base);
-    // Fail fast on misconfiguration: error-severity lint findings abort
-    // the point before any virtual time is spent (warnings pass; sweeps
-    // legitimately explore warning territory, e.g. latency > timeout).
-    repl_core::lint::assert_clean(&placement, &params);
-    let programs = generate_programs(
-        &placement,
-        &table.mix(),
-        params.threads_per_site,
-        params.txns_per_thread,
-        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
-    );
-    let mut engine = Engine::new(&placement, &params, programs)
-        .expect("experiment configuration must be buildable");
-    let report = engine.run();
-    assert!(!report.stalled, "{} run stalled", base.protocol.name());
-    assert!(
-        report.serializable,
-        "{} produced a non-serializable history: {:?}",
-        base.protocol.name(),
-        report.cycle
-    );
-    report.summary
+    try_run_point_with(table, base, seed).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Run `seeds` points with explicit engine parameters and average.
 pub fn run_averaged_with(table: &TableOneParams, base: &SimParams, seeds: u64) -> MetricsSummary {
     let mut runs: Vec<MetricsSummary> =
         (0..seeds.max(1)).map(|s| run_point_with(table, base, 42 + s)).collect();
-    if runs.len() == 1 {
-        return runs.pop().expect("one run");
-    }
     average(&mut runs)
 }
 
@@ -85,7 +91,13 @@ pub fn run_averaged(table: &TableOneParams, protocol: ProtocolKind, seeds: u64) 
     run_averaged_with(table, &base, seeds)
 }
 
-fn average(runs: &mut [MetricsSummary]) -> MetricsSummary {
+/// Average the headline metrics of several seed runs (identity for one
+/// run). Shared by the serial helpers above and the parallel runner's
+/// cell aggregation so both produce bit-identical figures.
+pub(crate) fn average(runs: &mut [MetricsSummary]) -> MetricsSummary {
+    if runs.len() == 1 {
+        return runs[0].clone();
+    }
     let n = runs.len() as f64;
     let mut acc = runs[0].clone();
     acc.throughput_per_site = runs.iter().map(|r| r.throughput_per_site).sum::<f64>() / n;
@@ -99,55 +111,6 @@ fn average(runs: &mut [MetricsSummary]) -> MetricsSummary {
     acc
 }
 
-/// One row of a figure: the swept x value and the per-protocol summaries.
-pub struct SeriesRow {
-    /// The swept parameter value.
-    pub x: f64,
-    /// `(protocol, summary)` pairs in the order requested.
-    pub results: Vec<(ProtocolKind, MetricsSummary)>,
-}
-
-/// Sweep `xs`, mutating a fresh default Table-1 config through `set` for
-/// each value, running every protocol in `protocols`.
-pub fn sweep(
-    base: &TableOneParams,
-    xs: &[f64],
-    protocols: &[ProtocolKind],
-    set: impl Fn(&mut TableOneParams, f64),
-) -> Vec<SeriesRow> {
-    let seeds = env_seeds();
-    xs.iter()
-        .map(|&x| {
-            let mut t = base.clone();
-            set(&mut t, x);
-            let results = protocols.iter().map(|&p| (p, run_averaged(&t, p, seeds))).collect();
-            SeriesRow { x, results }
-        })
-        .collect()
-}
-
-/// Print a figure as an aligned text table: throughput per protocol, plus
-/// abort rates (the paper reports abort-rate trends in prose).
-pub fn print_figure(title: &str, xlabel: &str, rows: &[SeriesRow]) {
-    println!("\n=== {title} ===");
-    let protocols: Vec<ProtocolKind> =
-        rows.first().map(|r| r.results.iter().map(|(p, _)| *p).collect()).unwrap_or_default();
-    print!("{xlabel:>24}");
-    for p in &protocols {
-        print!(" | {:>10} thr", p.name());
-        print!("  {:>7} ab%", p.name());
-    }
-    println!();
-    for row in rows {
-        print!("{:>24.2}", row.x);
-        for (_, s) in &row.results {
-            print!(" | {:>14.2}", s.throughput_per_site);
-            print!("  {:>11.1}", s.abort_rate_pct);
-        }
-        println!();
-    }
-}
-
 /// Default Table-1 configuration at the environment's scale.
 pub fn default_table() -> TableOneParams {
     TableOneParams { txns_per_thread: env_txns(), ..Default::default() }
@@ -159,10 +122,14 @@ pub fn default_table() -> TableOneParams {
 /// every protocol in `protocols`, printing all findings. Error-severity
 /// findings terminate the process with exit code 1 before any simulation
 /// runs; warnings are advisory.
+///
+/// The runner performs the same lint per point and reports failures as
+/// [`RunError::Lint`] cells; this helper remains for binaries that drive
+/// the [`repl_core::engine::Engine`] directly.
 pub fn preflight(table: &TableOneParams, protocols: &[ProtocolKind]) {
     let mut errors = false;
     for seed in 0..env_seeds().max(1) {
-        let placement = build_placement(table, 42 + seed);
+        let placement = repl_workload::build_placement(table, 42 + seed);
         for &protocol in protocols {
             let base = SimParams { protocol, ..SimParams::default() };
             let params = table.sim_params(&base);

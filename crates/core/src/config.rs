@@ -1,7 +1,93 @@
-//! Simulation parameters (the knobs of Table 1) and protocol selection.
+//! Simulation parameters (the knobs of Table 1) and protocol selection,
+//! plus the stable parameter hashing the experiment cache is keyed on.
 
 use repl_sim::SimDuration;
 use serde::{Deserialize, Serialize};
+
+/// 128-bit FNV-1a hasher with a *stable* digest: unlike
+/// [`std::hash::Hasher`] implementations, the result is guaranteed
+/// identical across processes, platforms and compiler versions, which is
+/// what makes it usable as an on-disk cache key for experiment results.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: Self::OFFSET }
+    }
+
+    /// Fold raw bytes into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Fold a `u64` (little-endian) into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Fold a `u32` into the digest.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Fold an `f64` into the digest via its exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    /// Fold a `bool` into the digest.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[v as u8]);
+    }
+
+    /// Fold a length-prefixed string into the digest.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+
+    /// The digest as 32 lowercase hex characters (cache file stem).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.state)
+    }
+}
+
+/// Types whose parameter content can be folded into a [`StableHasher`].
+///
+/// Implementations must be *total* (every field that influences a
+/// simulation's outcome is hashed) so that equal hashes imply equal
+/// runs; the experiment result cache relies on this.
+pub trait StableHash {
+    /// Fold `self` into `h`.
+    fn stable_hash(&self, h: &mut StableHasher);
+}
+
+impl StableHash for SimDuration {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.as_micros());
+    }
+}
 
 /// Which update-propagation protocol the engine runs.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -66,6 +152,12 @@ impl ProtocolKind {
     }
 }
 
+impl StableHash for ProtocolKind {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self.name());
+    }
+}
+
 /// Propagation-tree shape for DAG(WT)/BackEdge.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum TreeKind {
@@ -74,6 +166,15 @@ pub enum TreeKind {
     Chain,
     /// The general branching tree (§2); expected to dominate the chain.
     General,
+}
+
+impl StableHash for TreeKind {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(match self {
+            TreeKind::Chain => "chain",
+            TreeKind::General => "general",
+        });
+    }
 }
 
 /// How local deadlocks are detected.
@@ -86,6 +187,15 @@ pub enum DeadlockMode {
     /// latest-arrival victim policy. Global deadlocks still fall back to
     /// the timeout.
     WaitsFor,
+}
+
+impl StableHash for DeadlockMode {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(match self {
+            DeadlockMode::Timeout => "timeout",
+            DeadlockMode::WaitsFor => "waitsfor",
+        });
+    }
 }
 
 /// All engine parameters. Workload-shape parameters (Table 1) live in
@@ -166,6 +276,50 @@ impl SimParams {
     }
 }
 
+impl StableHash for SimParams {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        // Destructure so that adding a field without extending the hash is
+        // a compile error — a silently incomplete hash would let the
+        // result cache serve stale summaries.
+        let SimParams {
+            protocol,
+            tree,
+            deadlock_mode,
+            threads_per_site,
+            txns_per_thread,
+            network_latency,
+            deadlock_timeout,
+            op_cpu,
+            commit_cpu,
+            msg_cpu,
+            apply_cpu,
+            retry_backoff,
+            epoch_period,
+            heartbeat_period,
+            eager_wait_timeout_factor,
+            victimize_eager_holders,
+            max_virtual_time,
+        } = self;
+        protocol.stable_hash(h);
+        tree.stable_hash(h);
+        deadlock_mode.stable_hash(h);
+        h.write_u32(*threads_per_site);
+        h.write_u32(*txns_per_thread);
+        network_latency.stable_hash(h);
+        deadlock_timeout.stable_hash(h);
+        op_cpu.stable_hash(h);
+        commit_cpu.stable_hash(h);
+        msg_cpu.stable_hash(h);
+        apply_cpu.stable_hash(h);
+        retry_backoff.stable_hash(h);
+        epoch_period.stable_hash(h);
+        heartbeat_period.stable_hash(h);
+        h.write_u64(*eager_wait_timeout_factor);
+        h.write_bool(*victimize_eager_holders);
+        max_virtual_time.stable_hash(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +331,46 @@ mod tests {
         assert_eq!(p.txns_per_thread, 1000);
         assert_eq!(p.network_latency, SimDuration::micros(150));
         assert_eq!(p.deadlock_timeout, SimDuration::millis(50));
+    }
+
+    fn digest<T: StableHash>(v: &T) -> u128 {
+        let mut h = StableHasher::new();
+        v.stable_hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn stable_hash_is_reproducible_and_sensitive() {
+        let base = SimParams::default();
+        assert_eq!(digest(&base), digest(&base.clone()));
+        // Every kind of knob moves the digest.
+        let variants = [
+            SimParams { protocol: ProtocolKind::Psl, ..base.clone() },
+            SimParams { tree: TreeKind::General, ..base.clone() },
+            SimParams { deadlock_mode: DeadlockMode::WaitsFor, ..base.clone() },
+            SimParams { txns_per_thread: 999, ..base.clone() },
+            SimParams { network_latency: SimDuration::micros(151), ..base.clone() },
+            SimParams { victimize_eager_holders: false, ..base.clone() },
+        ];
+        for v in &variants {
+            assert_ne!(digest(&base), digest(v), "digest blind to a field: {v:?}");
+        }
+    }
+
+    #[test]
+    fn stable_hasher_primitives() {
+        // Empty input hashes to the offset basis.
+        assert_eq!(StableHasher::new().finish(), StableHasher::OFFSET);
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        let mut c = b.clone();
+        b.write_str("b"); // length prefix keeps "ab" != "a","b"
+        c.write_bytes(b"b");
+        assert_ne!(a.finish(), b.finish());
+        assert_ne!(a.finish(), c.finish());
+        assert_eq!(a.hex().len(), 32);
     }
 
     #[test]

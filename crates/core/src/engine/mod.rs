@@ -47,6 +47,10 @@ pub enum BuildError {
     SiteOrderNotTopological,
     /// Program shape does not match the placement (sites/threads).
     BadPrograms(String),
+    /// The `repl-analysis` configuration linter found error-severity
+    /// diagnostics (rendered findings attached). Only raised by
+    /// [`Engine::build`]; [`Engine::new`] assumes the caller linted.
+    LintRejected(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -59,6 +63,9 @@ impl std::fmt::Display for BuildError {
                 write!(f, "DAG(T) requires site ids to form a topological order of the copy graph")
             }
             BuildError::BadPrograms(s) => write!(f, "bad program shape: {s}"),
+            BuildError::LintRejected(s) => {
+                write!(f, "configuration failed pre-run lint:\n{s}")
+            }
         }
     }
 }
@@ -105,6 +112,14 @@ pub struct Engine {
 impl Engine {
     /// Assemble an engine from a placement, parameters and per-thread
     /// transaction programs (`programs[site][thread][txn]` = op list).
+    ///
+    /// This is the **canonical constructor**: every other way of making an
+    /// engine (including [`Engine::build`]) delegates here. Bench and
+    /// production code should call this (or the `repl-bench` runner on top
+    /// of it) and handle the [`BuildError`]; it performs only the
+    /// structural checks the protocols cannot run without (DAG-ness,
+    /// topological site order, program shape) — run the `repl-analysis`
+    /// linter separately if you also want the full configuration lint.
     pub fn new(
         placement: &DataPlacement,
         params: &SimParams,
@@ -216,16 +231,23 @@ impl Engine {
 
     /// Convenience constructor: generate §5.2-style default programs
     /// (10 ops, 50% read-only transactions, 70% read operations) from
-    /// `seed` and assemble the engine.
+    /// `seed`, run the `repl-analysis` configuration linter, and delegate
+    /// to the canonical [`Engine::new`].
     ///
-    /// Runs the `repl-analysis` configuration linter first and fails fast
-    /// on error-severity findings — use [`Engine::new`] for fallible
-    /// assembly without the lint gate.
-    ///
-    /// # Panics
-    /// On lint errors or build errors.
-    pub fn build(placement: &DataPlacement, params: &SimParams, seed: u64) -> Self {
-        crate::lint::assert_clean(placement, params);
+    /// Error-severity lint findings surface as
+    /// [`BuildError::LintRejected`]. Tests and examples should call this
+    /// (typically with `.expect(..)`); code that generates its own
+    /// programs — the bench harness, the threaded runtime — should call
+    /// [`Engine::new`].
+    pub fn build(
+        placement: &DataPlacement,
+        params: &SimParams,
+        seed: u64,
+    ) -> Result<Self, BuildError> {
+        let diags = crate::lint::lint(placement, params);
+        if repl_analysis::has_errors(&diags) {
+            return Err(BuildError::LintRejected(repl_analysis::render(&diags)));
+        }
         let programs = scenario::generate_programs(
             placement,
             &scenario::WorkloadMix::default(),
@@ -233,7 +255,7 @@ impl Engine {
             params.txns_per_thread,
             seed,
         );
-        Engine::new(placement, params, programs).expect("default build failed")
+        Engine::new(placement, params, programs)
     }
 
     fn seed_events(&mut self) {

@@ -32,7 +32,7 @@
 //! params.protocol = ProtocolKind::DagWt;
 //! params.txns_per_thread = 50;
 //! params.threads_per_site = 2;
-//! let report = Engine::build(&placement, &params, 42).run();
+//! let report = Engine::build(&placement, &params, 42).expect("clean config").run();
 //! assert!(report.serializable, "Theorem 2.1: DAG(WT) histories are serializable");
 //! ```
 

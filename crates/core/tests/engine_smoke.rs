@@ -38,7 +38,7 @@ fn cyclic_placement() -> DataPlacement {
 }
 
 fn run(placement: &DataPlacement, params: &SimParams, seed: u64) -> (repl_core::RunReport, Engine) {
-    let mut engine = Engine::build(placement, params, seed);
+    let mut engine = Engine::build(placement, params, seed).expect("buildable test config");
     let report = engine.run();
     (report, engine)
 }

@@ -44,7 +44,7 @@ fn main() {
 
     // 4. Run. `Engine::build` generates a §5.2-style workload (10 ops per
     //    transaction, 50% read-only transactions, 70% read operations).
-    let mut engine = Engine::build(&placement, &params, /* seed */ 7);
+    let mut engine = Engine::build(&placement, &params, /* seed */ 7).expect("clean configuration");
     let report = engine.run();
 
     // 5. Results — and the guarantee Theorem 2.1 proves: the execution is
