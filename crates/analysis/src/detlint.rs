@@ -12,6 +12,7 @@
 //! | RL002 | `Instant::now` |
 //! | RL003 | `thread_rng` / `rand::rng()` (ambient, unseeded RNGs) |
 //! | RL004 | iteration over a `HashMap`/`HashSet` binding (unordered) |
+//! | RL005 | entropy-seeded RNG construction (`from_entropy`, `from_os_rng`, `OsRng`, `getrandom`) |
 //!
 //! RL004 is a heuristic: the scanner collects names declared with a
 //! `HashMap<…>`/`HashSet<…>` type ascription in the same file and flags
@@ -63,6 +64,20 @@ pub fn scan_file(path_label: &str, src: &str) -> Vec<Diagnostic> {
             diags.push(source_diag(
                 "RL003",
                 "ambient RNG: use an explicitly seeded generator",
+                path_label,
+                lineno,
+                line,
+            ));
+        }
+        if code_part.contains("from_entropy")
+            || code_part.contains("from_os_rng")
+            || code_part.contains("OsRng")
+            || code_part.contains("getrandom")
+        {
+            diags.push(source_diag(
+                "RL005",
+                "entropy-seeded RNG: OS entropy varies across runs; derive the seed \
+                 from the experiment parameters instead",
                 path_label,
                 lineno,
                 line,
@@ -216,6 +231,18 @@ mod tests {
     fn flags_wall_clock_and_rng() {
         let src = "let t = SystemTime::now();\nlet i = Instant::now();\nlet r = rand::rng();\nlet q = thread_rng();\n";
         assert_eq!(codes(src), vec!["RL001", "RL002", "RL003", "RL003"]);
+    }
+
+    #[test]
+    fn flags_entropy_seeding() {
+        let src = "let a = StdRng::from_entropy();\nlet b = SmallRng::from_os_rng();\nlet mut c = OsRng;\ngetrandom(&mut buf).unwrap();\n";
+        assert_eq!(codes(src), vec!["RL005", "RL005", "RL005", "RL005"]);
+    }
+
+    #[test]
+    fn seeded_construction_not_flagged() {
+        let src = "let rng = StdRng::seed_from_u64(params.seed);\nlet s = splitmix64(seed);\n";
+        assert!(codes(src).is_empty());
     }
 
     #[test]

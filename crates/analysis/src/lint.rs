@@ -17,6 +17,7 @@
 //! | RA007 | warning  | deadlock timeout shorter than a network round trip |
 //! | RA008 | warning  | retry backoff at or above the deadlock timeout |
 //! | RA009 | error    | DAG(T) site numbering is not a topological order (§3.1) |
+//! | RA010 | error    | crash faults injected under a protocol without crash recovery |
 //!
 //! The structural checks are also exported individually
 //! ([`check_copy_graph`], [`check_tree`], [`check_backedge_set`],
@@ -53,6 +54,17 @@ impl LintProtocol {
     pub fn requires_dag(self) -> bool {
         matches!(self, LintProtocol::DagWt | LintProtocol::DagT)
     }
+
+    /// True if the engine's crash-recovery path covers this protocol.
+    ///
+    /// BackEdge loses eagerly prepared writes and Eager loses provisional
+    /// remote X-lock state when a participating site crashes; neither has
+    /// a recovery story in the paper, so a crash plan under them would
+    /// diverge silently. The lazy protocols recover from the WAL plus the
+    /// delivery backlog (§3.3).
+    pub fn supports_crash_faults(self) -> bool {
+        !matches!(self, LintProtocol::BackEdge | LintProtocol::Eager)
+    }
 }
 
 /// Propagation-tree shape, mirroring `repl-core`'s `TreeKind`.
@@ -81,6 +93,8 @@ pub struct LintConfig {
     pub retry_backoff_us: u64,
     /// DAG(T) epoch period, µs.
     pub epoch_period_us: u64,
+    /// True if the run's fault plan schedules at least one site crash.
+    pub crash_faults: bool,
 }
 
 /// Lint a full scenario: derive the copy graph and the protocol's
@@ -123,6 +137,7 @@ pub fn lint_scenario(placement: &DataPlacement, cfg: &LintConfig) -> Vec<Diagnos
     }
 
     diags.extend(check_timing(cfg));
+    diags.extend(check_fault_plan(cfg));
     diags
 }
 
@@ -351,6 +366,26 @@ pub fn check_timing(cfg: &LintConfig) -> Vec<Diagnostic> {
     diags
 }
 
+/// RA010: the fault plan schedules site crashes but the protocol has no
+/// crash-recovery path — BackEdge's eagerly prepared subtransactions and
+/// Eager's provisional remote writes are lost with the crashed site, so
+/// the run would silently diverge instead of recovering.
+pub fn check_fault_plan(cfg: &LintConfig) -> Vec<Diagnostic> {
+    if cfg.crash_faults && !cfg.protocol.supports_crash_faults() {
+        return vec![Diagnostic::error(
+            "RA010",
+            format!(
+                "fault plan schedules site crashes but {:?} has no crash-recovery \
+                 path (eager/prepared state is lost with the site); restrict crash \
+                 plans to the lazy protocols or clear the plan",
+                cfg.protocol,
+            ),
+            Witness::None,
+        )];
+    }
+    Vec::new()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +403,7 @@ mod tests {
             deadlock_timeout_us: 50_000,
             retry_backoff_us: 5_000,
             epoch_period_us: 50_000,
+            crash_faults: false,
         }
     }
 
@@ -491,6 +527,29 @@ mod tests {
         p.add_item(s(1), &[s(0)]);
         let diags = lint_scenario(&p, &defaults(LintProtocol::DagT));
         assert!(diags.iter().any(|d| d.code == "RA009" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn crash_faults_rejected_for_eager_protocols_only() {
+        for proto in [LintProtocol::BackEdge, LintProtocol::Eager] {
+            let mut cfg = defaults(proto);
+            cfg.crash_faults = true;
+            let diags = lint_scenario(&example_1_1(), &cfg);
+            assert!(
+                diags.iter().any(|d| d.code == "RA010" && d.severity == Severity::Error),
+                "{proto:?}: {diags:?}"
+            );
+            // Without crashes the same protocols lint clean.
+            assert!(lint_scenario(&example_1_1(), &defaults(proto)).is_empty());
+        }
+        for proto in
+            [LintProtocol::DagWt, LintProtocol::DagT, LintProtocol::NaiveLazy, LintProtocol::Psl]
+        {
+            let mut cfg = defaults(proto);
+            cfg.crash_faults = true;
+            let diags = lint_scenario(&example_1_1(), &cfg);
+            assert!(!diags.iter().any(|d| d.code == "RA010"), "{proto:?}: {diags:?}");
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn defaults(protocol: LintProtocol) -> LintConfig {
         deadlock_timeout_us: 50_000,
         retry_backoff_us: 5_000,
         epoch_period_us: 50_000,
+        crash_faults: false,
     }
 }
 

@@ -108,6 +108,10 @@ pub(crate) fn average(runs: &mut [MetricsSummary]) -> MetricsSummary {
     acc.commits = runs.iter().map(|r| r.commits).sum::<u64>() / runs.len() as u64;
     acc.aborts = runs.iter().map(|r| r.aborts).sum::<u64>() / runs.len() as u64;
     acc.messages = runs.iter().map(|r| r.messages).sum::<u64>() / runs.len() as u64;
+    acc.crashes = runs.iter().map(|r| r.crashes).sum::<u64>() / runs.len() as u64;
+    acc.availability_pct = runs.iter().map(|r| r.availability_pct).sum::<f64>() / n;
+    acc.mean_recovery_ms = runs.iter().map(|r| r.mean_recovery_ms).sum::<f64>() / n;
+    acc.stall_ms = runs.iter().map(|r| r.stall_ms).sum::<f64>() / n;
     acc
 }
 

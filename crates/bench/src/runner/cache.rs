@@ -21,7 +21,7 @@ use repl_sim::SimDuration;
 
 /// Bump when an engine/workload change alters what a `(Params, seed)`
 /// point computes; every cached result is invalidated at once.
-pub const CACHE_VERSION: u32 = 1;
+pub const CACHE_VERSION: u32 = 2;
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
@@ -90,13 +90,13 @@ impl PointCache {
 /// cache miss, never as a wrong result.
 pub(crate) fn parse_summary(json: &str) -> Option<MetricsSummary> {
     let body = json.trim().strip_prefix('{')?.strip_suffix('}')?;
-    let mut fields: Vec<(&str, &str)> = Vec::with_capacity(10);
+    let mut fields: Vec<(&str, &str)> = Vec::with_capacity(14);
     for part in body.split(',') {
         let (k, v) = part.split_once(':')?;
         let k = k.trim().strip_prefix('"')?.strip_suffix('"')?;
         fields.push((k, v.trim()));
     }
-    if fields.len() != 10 {
+    if fields.len() != 14 {
         return None;
     }
     let get = |name: &str| fields.iter().find(|(k, _)| *k == name).map(|(_, v)| *v);
@@ -121,6 +121,10 @@ pub(crate) fn parse_summary(json: &str) -> Option<MetricsSummary> {
         incomplete_propagations: u64_of("incomplete_propagations")?,
         messages: u64_of("messages")?,
         virtual_duration: SimDuration::micros(u64_of("virtual_duration")?),
+        crashes: u64_of("crashes")?,
+        availability_pct: f64_of("availability_pct")?,
+        mean_recovery_ms: f64_of("mean_recovery_ms")?,
+        stall_ms: f64_of("stall_ms")?,
     })
 }
 
@@ -140,6 +144,10 @@ mod tests {
             incomplete_propagations: 0,
             messages: 424242,
             virtual_duration: SimDuration::micros(123_456_789),
+            crashes: 3,
+            availability_pct: 96.5,
+            mean_recovery_ms: 41.75,
+            stall_ms: 12.5,
         }
     }
 
@@ -157,6 +165,10 @@ mod tests {
         assert_eq!(parsed.incomplete_propagations, s.incomplete_propagations);
         assert_eq!(parsed.messages, s.messages);
         assert_eq!(parsed.virtual_duration, s.virtual_duration);
+        assert_eq!(parsed.crashes, s.crashes);
+        assert_eq!(parsed.availability_pct.to_bits(), s.availability_pct.to_bits());
+        assert_eq!(parsed.mean_recovery_ms.to_bits(), s.mean_recovery_ms.to_bits());
+        assert_eq!(parsed.stall_ms.to_bits(), s.stall_ms.to_bits());
     }
 
     #[test]

@@ -27,6 +27,14 @@ pub enum Column {
     Messages,
     /// Virtual run length, seconds.
     VirtSecs,
+    /// Site crashes injected by the fault plan.
+    Crashes,
+    /// Percentage of site-time the sites were up.
+    Availability,
+    /// Mean restart-to-caught-up recovery latency, ms.
+    RecoveryMs,
+    /// Cumulative fault-injected message delay, ms.
+    StallMs,
 }
 
 impl Column {
@@ -40,6 +48,10 @@ impl Column {
             Column::MaxPropMs => "max prop",
             Column::Messages => "msgs",
             Column::VirtSecs => "virt s",
+            Column::Crashes => "crash",
+            Column::Availability => "avail%",
+            Column::RecoveryMs => "recov ms",
+            Column::StallMs => "stall ms",
         }
     }
 
@@ -53,6 +65,10 @@ impl Column {
             Column::MaxPropMs => "max_propagation_ms",
             Column::Messages => "messages",
             Column::VirtSecs => "virtual_secs",
+            Column::Crashes => "crashes",
+            Column::Availability => "availability_pct",
+            Column::RecoveryMs => "mean_recovery_ms",
+            Column::StallMs => "stall_ms",
         }
     }
 
@@ -66,6 +82,10 @@ impl Column {
             Column::MaxPropMs => format!("{:.1}", s.max_propagation_ms),
             Column::Messages => s.messages.to_string(),
             Column::VirtSecs => format!("{:.1}", s.virtual_duration.as_secs_f64()),
+            Column::Crashes => s.crashes.to_string(),
+            Column::Availability => format!("{:.2}", s.availability_pct),
+            Column::RecoveryMs => format!("{:.1}", s.mean_recovery_ms),
+            Column::StallMs => format!("{:.1}", s.stall_ms),
         }
     }
 
@@ -79,6 +99,10 @@ impl Column {
             Column::MaxPropMs => s.max_propagation_ms.to_string(),
             Column::Messages => s.messages.to_string(),
             Column::VirtSecs => s.virtual_duration.as_secs_f64().to_string(),
+            Column::Crashes => s.crashes.to_string(),
+            Column::Availability => s.availability_pct.to_string(),
+            Column::RecoveryMs => s.mean_recovery_ms.to_string(),
+            Column::StallMs => s.stall_ms.to_string(),
         }
     }
 }
@@ -280,6 +304,10 @@ mod tests {
             incomplete_propagations: 0,
             messages: 1234,
             virtual_duration: SimDuration::secs(12),
+            crashes: 0,
+            availability_pct: 100.0,
+            mean_recovery_ms: 0.0,
+            stall_ms: 0.0,
         }
     }
 

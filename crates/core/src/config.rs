@@ -1,7 +1,7 @@
 //! Simulation parameters (the knobs of Table 1) and protocol selection,
 //! plus the stable parameter hashing the experiment cache is keyed on.
 
-use repl_sim::SimDuration;
+use repl_sim::{FaultPlan, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// 128-bit FNV-1a hasher with a *stable* digest: unlike
@@ -86,6 +86,31 @@ pub trait StableHash {
 impl StableHash for SimDuration {
     fn stable_hash(&self, h: &mut StableHasher) {
         h.write_u64(self.as_micros());
+    }
+}
+
+impl StableHash for FaultPlan {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        // Destructured like SimParams below: a new fault field that is
+        // not hashed would let the cache serve results for a different
+        // failure schedule.
+        let FaultPlan { crashes, outages, max_jitter, seed } = self;
+        h.write_u64(crashes.len() as u64);
+        for c in crashes {
+            h.write_u32(c.site.0);
+            h.write_u64(c.at.as_micros());
+            h.write_bool(c.restart.is_some());
+            h.write_u64(c.restart.map_or(0, |r| r.as_micros()));
+        }
+        h.write_u64(outages.len() as u64);
+        for o in outages {
+            h.write_u32(o.from.0);
+            h.write_u32(o.to.0);
+            h.write_u64(o.start.as_micros());
+            h.write_u64(o.end.as_micros());
+        }
+        max_jitter.stable_hash(h);
+        h.write_u64(*seed);
     }
 }
 
@@ -242,6 +267,11 @@ pub struct SimParams {
     pub victimize_eager_holders: bool,
     /// Safety valve: the run aborts if virtual time exceeds this.
     pub max_virtual_time: SimDuration,
+    /// Injected faults: site crash/restart windows, link outages, delay
+    /// jitter. The empty plan (the default) is the reliable §1.1 network.
+    pub faults: FaultPlan,
+    /// CPU cost of replaying one WAL record during crash recovery.
+    pub replay_cpu: SimDuration,
 }
 
 impl Default for SimParams {
@@ -264,6 +294,8 @@ impl Default for SimParams {
             eager_wait_timeout_factor: 1,
             victimize_eager_holders: true,
             max_virtual_time: SimDuration::secs(36_000),
+            faults: FaultPlan::none(),
+            replay_cpu: SimDuration::micros(50),
         }
     }
 }
@@ -299,6 +331,8 @@ impl StableHash for SimParams {
             eager_wait_timeout_factor,
             victimize_eager_holders,
             max_virtual_time,
+            faults,
+            replay_cpu,
         } = self;
         protocol.stable_hash(h);
         tree.stable_hash(h);
@@ -317,6 +351,8 @@ impl StableHash for SimParams {
         h.write_u64(*eager_wait_timeout_factor);
         h.write_bool(*victimize_eager_holders);
         max_virtual_time.stable_hash(h);
+        faults.stable_hash(h);
+        replay_cpu.stable_hash(h);
     }
 }
 
@@ -351,6 +387,19 @@ mod tests {
             SimParams { txns_per_thread: 999, ..base.clone() },
             SimParams { network_latency: SimDuration::micros(151), ..base.clone() },
             SimParams { victimize_eager_holders: false, ..base.clone() },
+            SimParams {
+                faults: FaultPlan::none().crash(
+                    repl_types::SiteId(0),
+                    repl_sim::SimTime(1_000),
+                    None,
+                ),
+                ..base.clone()
+            },
+            SimParams {
+                faults: FaultPlan::none().jitter(SimDuration::micros(10)).seeded(3),
+                ..base.clone()
+            },
+            SimParams { replay_cpu: SimDuration::micros(51), ..base.clone() },
         ];
         for v in &variants {
             assert_ne!(digest(&base), digest(v), "digest blind to a field: {v:?}");

@@ -215,11 +215,15 @@ pub enum Event {
     EpochTick {
         /// The source site.
         site: SiteId,
+        /// Tick-chain generation (stale after a crash).
+        gen: u64,
     },
     /// DAG(T): check idle links and send dummy subtransactions (§3.3).
     HeartbeatTick {
         /// The sending site.
         site: SiteId,
+        /// Tick-chain generation (stale after a crash).
+        gen: u64,
     },
     /// The site's applier should try to start the next secondary.
     PumpSecondary {
@@ -236,4 +240,41 @@ pub enum Event {
         /// Write index the slice covered (stale-event guard).
         idx: usize,
     },
+    /// The site fails abruptly (fault plan): in-flight local work is
+    /// aborted via the undo log, volatile state is lost, and its event
+    /// stream parks until the matching [`Event::SiteRestart`].
+    SiteCrash {
+        /// The failing site.
+        site: SiteId,
+    },
+    /// The site rejoins: it replays its WAL, drains the message backlog
+    /// buffered while it was down, and (DAG(T)) bumps its epoch so
+    /// post-recovery timestamps dominate (§3.3).
+    SiteRestart {
+        /// The recovering site.
+        site: SiteId,
+    },
+}
+
+impl Event {
+    /// The site at which this event executes (the crash gate uses this to
+    /// park a down site's event stream).
+    pub fn site(&self) -> SiteId {
+        match *self {
+            Event::StartThreadTxn { site, .. }
+            | Event::PrimaryOpDone { site, .. }
+            | Event::PrimaryCommitDone { site, .. }
+            | Event::Timeout { site, .. }
+            | Event::SecondaryStepDone { site, .. }
+            | Event::SecondaryCommitDone { site, .. }
+            | Event::RetryThread { site, .. }
+            | Event::EpochTick { site, .. }
+            | Event::HeartbeatTick { site, .. }
+            | Event::PumpSecondary { site }
+            | Event::BackedgeStepDone { site, .. }
+            | Event::SiteCrash { site }
+            | Event::SiteRestart { site } => site,
+            Event::Deliver { to, .. } => to,
+        }
+    }
 }

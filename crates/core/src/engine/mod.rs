@@ -16,6 +16,7 @@ pub mod event;
 pub mod site;
 
 mod backedge;
+mod fault;
 mod primary;
 mod remote;
 mod secondary;
@@ -225,7 +226,9 @@ impl Engine {
             jitter_state: 0x243F_6A88_85A3_08D3,
             stalled: false,
         };
+        engine.net.set_faults(params.faults.clone());
         engine.seed_events();
+        engine.seed_fault_events();
         Ok(engine)
     }
 
@@ -275,7 +278,7 @@ impl Engine {
             for s in sources {
                 self.queue.push_at(
                     SimTime::ZERO + self.params.epoch_period,
-                    Event::EpochTick { site: s },
+                    Event::EpochTick { site: s, gen: 0 },
                 );
             }
             for s in 0..self.sites.len() as u32 {
@@ -283,7 +286,7 @@ impl Engine {
                 if self.graph.children(site).next().is_some() {
                     self.queue.push_at(
                         SimTime::ZERO + SimDuration::micros(1),
-                        Event::HeartbeatTick { site },
+                        Event::HeartbeatTick { site, gen: 0 },
                     );
                 }
             }
@@ -305,7 +308,11 @@ impl Engine {
         }
         let check = self.history.check_serializability();
         RunReport {
-            summary: self.metrics.summarize(self.queue.now(), self.net.total_messages()),
+            summary: self.metrics.summarize(
+                self.queue.now(),
+                self.net.total_messages(),
+                self.net.stall_time(),
+            ),
             serializable: check.is_ok(),
             cycle: check.err(),
             stalled: self.stalled,
@@ -320,6 +327,22 @@ impl Engine {
     }
 
     fn dispatch(&mut self, now: SimTime, ev: Event) {
+        // Crash gate: fault events always run; everything else at a down
+        // site is parked. Deliveries are buffered (the sender's message
+        // is not lost, §1.1's reliable links) and drained inline at
+        // restart; local events (CPU completions, timeouts, ticks) died
+        // with the crash and are dropped — their state was rolled back.
+        match ev {
+            Event::SiteCrash { site } => return self.site_crash(now, site),
+            Event::SiteRestart { site } => return self.site_restart(now, site),
+            _ => {}
+        }
+        if !self.sites[ev.site().index()].up {
+            if let Event::Deliver { to, msg } = ev {
+                self.sites[to.index()].backlog.push(msg);
+            }
+            return;
+        }
         match ev {
             Event::StartThreadTxn { site, thread } => self.start_thread_txn(now, site, thread),
             Event::PrimaryOpDone { site, thread, gid } => {
@@ -335,12 +358,13 @@ impl Engine {
             Event::SecondaryStepDone { site, gen } => self.secondary_step_done(now, site, gen),
             Event::SecondaryCommitDone { site, gen } => self.secondary_commit_done(now, site, gen),
             Event::RetryThread { site, thread } => self.retry_thread(now, site, thread),
-            Event::EpochTick { site } => self.epoch_tick(now, site),
-            Event::HeartbeatTick { site } => self.heartbeat_tick(now, site),
+            Event::EpochTick { site, gen } => self.epoch_tick(now, site, gen),
+            Event::HeartbeatTick { site, gen } => self.heartbeat_tick(now, site, gen),
             Event::PumpSecondary { site } => self.pump_secondary(now, site),
             Event::BackedgeStepDone { site, gid, idx } => {
                 self.backedge_step_done(now, site, gid, idx)
             }
+            Event::SiteCrash { .. } | Event::SiteRestart { .. } => unreachable!("handled above"),
         }
     }
 

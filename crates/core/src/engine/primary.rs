@@ -277,6 +277,7 @@ impl Engine {
         let writes = info.write_set();
         self.history.record_commit(gid, reads, writes.iter().map(|(i, _)| *i).collect());
         self.metrics.on_commit(site, now, a.first_started);
+        self.sites[site.index()].wal_len += writes.len() as u64;
 
         // Protocol-specific propagation.
         let dests = self.destinations_of(site, &writes);

@@ -56,7 +56,12 @@ impl Engine {
                 self.sites[site.index()].in_queues.iter().position(|(_, q)| !q.is_empty())
             }
         };
-        let Some(qi) = picked else { return };
+        let Some(qi) = picked else {
+            // Nothing to apply: a restarted site that has drained its
+            // queues has finished recovering.
+            self.maybe_mark_recovered(now, site);
+            return;
+        };
         let sub = self.sites[site.index()].in_queues[qi]
             .1
             .pop_front()
@@ -289,6 +294,7 @@ impl Engine {
 
         if !a.applicable.is_empty() {
             self.metrics.on_apply(a.msg.gid, now);
+            self.sites[site.index()].wal_len += a.applicable.len() as u64;
         }
 
         match self.params.protocol {
@@ -301,13 +307,12 @@ impl Engine {
                 let ts = a.msg.ts.as_ref().expect("DAG(T) subtxn has a timestamp");
                 let st = &mut self.sites[site.index()];
                 let new_ts = ts.concat_site(site, st.lts, ts.epoch);
-                debug_assert!(
-                    new_ts >= st.site_ts,
-                    "site timestamp regressed: {:?} -> {:?}",
-                    st.site_ts,
-                    new_ts
-                );
-                st.site_ts = new_ts;
+                // Guarded: after a crash-induced epoch bump (§3.3) the
+                // backlog still carries pre-crash-epoch subtransactions
+                // whose timestamps must not regress the recovered site.
+                if new_ts > st.site_ts {
+                    st.site_ts = new_ts;
+                }
             }
             _ => {}
         }
@@ -425,19 +430,19 @@ impl Engine {
     }
 
     /// Source sites periodically increment their epoch.
-    pub(crate) fn epoch_tick(&mut self, now: SimTime, site: SiteId) {
-        if !self.ticks_needed() {
-            return;
+    pub(crate) fn epoch_tick(&mut self, now: SimTime, site: SiteId, gen: u64) {
+        if !self.ticks_needed() || gen != self.sites[site.index()].tick_gen {
+            return; // done, or a tick chain orphaned by a crash
         }
         self.sites[site.index()].site_ts.epoch += 1;
-        self.queue.push_at(now + self.params.epoch_period, Event::EpochTick { site });
+        self.queue.push_at(now + self.params.epoch_period, Event::EpochTick { site, gen });
     }
 
     /// Send dummy subtransactions on links idle longer than the
     /// heartbeat period so children can always compute their minimum.
-    pub(crate) fn heartbeat_tick(&mut self, now: SimTime, site: SiteId) {
-        if !self.ticks_needed() {
-            return;
+    pub(crate) fn heartbeat_tick(&mut self, now: SimTime, site: SiteId, gen: u64) {
+        if !self.ticks_needed() || gen != self.sites[site.index()].tick_gen {
+            return; // done, or a tick chain orphaned by a crash
         }
         let children: Vec<SiteId> = self.graph.children(site).collect();
         for c in children {
@@ -461,6 +466,6 @@ impl Engine {
                 self.sites[site.index()].last_sent.insert(c, now);
             }
         }
-        self.queue.push_at(now + self.params.heartbeat_period, Event::HeartbeatTick { site });
+        self.queue.push_at(now + self.params.heartbeat_period, Event::HeartbeatTick { site, gen });
     }
 }

@@ -8,7 +8,7 @@ use repl_types::{GlobalTxnId, ItemId, Op, SiteId};
 
 use crate::timestamp::Timestamp;
 
-use super::event::SubtxnMsg;
+use super::event::{Message, SubtxnMsg};
 
 /// Who a site-local storage transaction belongs to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -206,6 +206,24 @@ pub struct SiteState {
     /// BackEdge: executing or prepared backedge/special subtransactions
     /// keyed by transaction.
     pub backedge_txns: HashMap<GlobalTxnId, BackedgeRun>,
+    /// False while the site is crashed (fault plan); its event stream is
+    /// parked and deliveries are buffered into `backlog`.
+    pub up: bool,
+    /// Messages that arrived while the site was down, in delivery order;
+    /// drained inline at restart so per-link FIFO survives the outage.
+    pub backlog: Vec<Message>,
+    /// Committed item-writes logged at this site — the redo-WAL length
+    /// that prices crash recovery (`replay_cpu` per record).
+    pub wal_len: u64,
+    /// When the most recent WAL replay finishes (recovery-latency floor).
+    pub replay_done: SimTime,
+    /// True between a restart and the moment the site has caught up
+    /// (applier idle, queues drained).
+    pub recovering: bool,
+    /// Generation of the site's DAG(T) tick chains (epoch/heartbeat);
+    /// bumped at crash so pre-crash ticks die and the restart can re-arm
+    /// exactly one chain of each.
+    pub tick_gen: u64,
 }
 
 impl SiteState {
@@ -232,6 +250,12 @@ impl SiteState {
             next_seq: 0,
             proxies: HashMap::new(),
             backedge_txns: HashMap::new(),
+            up: true,
+            backlog: Vec::new(),
+            wal_len: 0,
+            replay_done: SimTime::ZERO,
+            recovering: false,
+            tick_gen: 0,
         }
     }
 
@@ -256,5 +280,19 @@ impl SiteState {
     /// True when every queue is empty and no applier is active.
     pub fn secondaries_idle(&self) -> bool {
         self.applier.is_none() && self.in_queues.iter().all(|(_, q)| q.is_empty())
+    }
+
+    /// True when no *update-carrying* secondary work is pending: the
+    /// applier is idle and the queues hold at most DAG(T) dummies.
+    /// Dummies are progress chatter that flows continuously while the
+    /// workload runs, so a recovering site with several parents would
+    /// never see fully-empty queues — but once only dummies remain, its
+    /// backlog of real updates has been applied.
+    pub fn no_pending_updates(&self) -> bool {
+        self.applier.is_none()
+            && self
+                .in_queues
+                .iter()
+                .all(|(_, q)| q.iter().all(|m| m.kind == super::event::SubtxnKind::Dummy))
     }
 }

@@ -33,6 +33,7 @@ pub fn lint_config(params: &SimParams) -> LintConfig {
         deadlock_timeout_us: params.deadlock_timeout.as_micros(),
         retry_backoff_us: params.retry_backoff.as_micros(),
         epoch_period_us: params.epoch_period.as_micros(),
+        crash_faults: !params.faults.crashes.is_empty(),
     }
 }
 
@@ -105,6 +106,20 @@ mod tests {
     fn assert_clean_panics_on_cycle() {
         let params = SimParams { protocol: ProtocolKind::DagWt, ..SimParams::default() };
         assert_clean(&scenario::example_4_1_placement(), &params);
+    }
+
+    #[test]
+    fn crash_plan_rejected_for_protocols_without_recovery() {
+        use repl_sim::{FaultPlan, SimTime};
+        let faults =
+            FaultPlan::none().crash(repl_types::SiteId(0), SimTime(1_000), Some(SimTime(2_000)));
+        for protocol in ProtocolKind::ALL {
+            let params = SimParams { protocol, faults: faults.clone(), ..SimParams::default() };
+            let diags = lint(&scenario::example_1_1_placement(), &params);
+            let flagged = diags.iter().any(|d| d.code == "RA010");
+            let eager = matches!(protocol, ProtocolKind::BackEdge | ProtocolKind::Eager);
+            assert_eq!(flagged, eager, "{}: {:?}", protocol.name(), diags);
+        }
     }
 
     #[test]

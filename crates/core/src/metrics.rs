@@ -27,6 +27,12 @@ pub struct Metrics {
     prop_count: u64,
     prop_max_us: u64,
     last_commit: SimTime,
+    crashes: u64,
+    down_since: Vec<Option<SimTime>>,
+    downtime_us: Vec<u64>,
+    recovering_since: Vec<Option<SimTime>>,
+    recovery_total_us: u64,
+    recovery_count: u64,
 }
 
 impl Metrics {
@@ -43,6 +49,35 @@ impl Metrics {
             prop_count: 0,
             prop_max_us: 0,
             last_commit: SimTime::ZERO,
+            crashes: 0,
+            down_since: vec![None; num_sites as usize],
+            downtime_us: vec![0; num_sites as usize],
+            recovering_since: vec![None; num_sites as usize],
+            recovery_total_us: 0,
+            recovery_count: 0,
+        }
+    }
+
+    /// `site` crashed at `now` (fault plan).
+    pub fn on_crash(&mut self, site: SiteId, now: SimTime) {
+        self.crashes += 1;
+        self.down_since[site.index()] = Some(now);
+    }
+
+    /// `site` restarted at `now`; the recovery interval (restart to
+    /// caught-up) opens here.
+    pub fn on_restart(&mut self, site: SiteId, now: SimTime) {
+        if let Some(down) = self.down_since[site.index()].take() {
+            self.downtime_us[site.index()] += (now - down).as_micros();
+        }
+        self.recovering_since[site.index()] = Some(now);
+    }
+
+    /// `site` finished recovering (WAL replayed, backlog drained) at `at`.
+    pub fn on_recovered(&mut self, site: SiteId, at: SimTime) {
+        if let Some(since) = self.recovering_since[site.index()].take() {
+            self.recovery_total_us += (at - since).as_micros();
+            self.recovery_count += 1;
         }
     }
 
@@ -114,8 +149,10 @@ impl Metrics {
         self.pending.len()
     }
 
-    /// Produce the final summary. `now` is the end of the measured run.
-    pub fn summarize(&self, now: SimTime, messages: u64) -> MetricsSummary {
+    /// Produce the final summary. `now` is the end of the measured run;
+    /// `stall` is the cumulative extra delay the fault plan injected on
+    /// the network.
+    pub fn summarize(&self, now: SimTime, messages: u64, stall: SimDuration) -> MetricsSummary {
         let commits = self.total_commits();
         // §5.3 metric 1: "the average of the transaction throughputs at
         // each site" — each site's rate over *its own* horizon (up to its
@@ -130,7 +167,12 @@ impl Metrics {
         }
         let throughput =
             if rates.is_empty() { 0.0 } else { rates.iter().sum::<f64>() / rates.len() as f64 };
-        let _ = now;
+        // Downtime of sites still down at run end accrues to the end.
+        let mut down_us: u64 = self.downtime_us.iter().sum();
+        for since in self.down_since.iter().flatten() {
+            down_us += (now - *since).as_micros();
+        }
+        let site_time_us = self.commits_per_site.len() as u64 * now.as_micros();
         MetricsSummary {
             commits,
             aborts: self.aborts,
@@ -154,6 +196,18 @@ impl Metrics {
             incomplete_propagations: self.pending.len() as u64,
             messages,
             virtual_duration: SimDuration::micros(now.as_micros()),
+            crashes: self.crashes,
+            availability_pct: if site_time_us > 0 {
+                100.0 * (1.0 - down_us as f64 / site_time_us as f64)
+            } else {
+                100.0
+            },
+            mean_recovery_ms: if self.recovery_count > 0 {
+                self.recovery_total_us as f64 / self.recovery_count as f64 / 1_000.0
+            } else {
+                0.0
+            },
+            stall_ms: stall.as_micros() as f64 / 1_000.0,
         }
     }
 }
@@ -184,6 +238,17 @@ pub struct MetricsSummary {
     pub messages: u64,
     /// Virtual run length.
     pub virtual_duration: SimDuration,
+    /// Site crashes injected by the fault plan.
+    pub crashes: u64,
+    /// Percentage of site-time the sites were up: `100 · (1 − downtime /
+    /// (sites × run length))`. 100 when no faults were injected.
+    pub availability_pct: f64,
+    /// Mean time from a site's restart until it caught up (WAL replayed,
+    /// buffered backlog drained), ms.
+    pub mean_recovery_ms: f64,
+    /// Cumulative extra message delay injected by link outages and
+    /// jitter, ms.
+    pub stall_ms: f64,
 }
 
 #[cfg(test)]
@@ -200,7 +265,7 @@ mod tests {
         m.on_commit(s(0), SimTime(1_000_000), SimTime(0));
         m.on_commit(s(1), SimTime(2_000_000), SimTime(1_000_000));
         m.on_abort();
-        let sum = m.summarize(SimTime(4_000_000), 7);
+        let sum = m.summarize(SimTime(4_000_000), 7, SimDuration::ZERO);
         // Per-site rates over each site's own horizon: s0 = 1 commit/1 s,
         // s1 = 1 commit/2 s; average = 0.75 (§5.3 metric 1).
         assert!((sum.throughput_per_site - 0.75).abs() < 1e-9);
@@ -221,7 +286,7 @@ mod tests {
         assert_eq!(m.unpropagated(), 1);
         m.on_apply(gid, SimTime(5_000));
         assert_eq!(m.unpropagated(), 0);
-        let sum = m.summarize(SimTime(10_000), 0);
+        let sum = m.summarize(SimTime(10_000), 0, SimDuration::ZERO);
         assert!((sum.mean_propagation_ms - 4.0).abs() < 1e-9);
         assert!((sum.max_propagation_ms - 4.0).abs() < 1e-9);
         assert_eq!(sum.incomplete_propagations, 0);
@@ -235,16 +300,38 @@ mod tests {
         assert_eq!(m.unpropagated(), 0);
         // Applying for an untracked gid is a no-op.
         m.on_apply(gid, SimTime(2_000));
-        let sum = m.summarize(SimTime(3_000), 0);
+        let sum = m.summarize(SimTime(3_000), 0, SimDuration::ZERO);
         assert_eq!(sum.mean_propagation_ms, 0.0);
     }
 
     #[test]
     fn empty_run_summary_is_finite() {
         let m = Metrics::new(3);
-        let sum = m.summarize(SimTime::ZERO, 0);
+        let sum = m.summarize(SimTime::ZERO, 0, SimDuration::ZERO);
         assert_eq!(sum.throughput_per_site, 0.0);
         assert_eq!(sum.abort_rate_pct, 0.0);
         assert_eq!(sum.mean_response_ms, 0.0);
+        assert_eq!(sum.crashes, 0);
+        assert_eq!(sum.availability_pct, 100.0);
+        assert_eq!(sum.mean_recovery_ms, 0.0);
+        assert_eq!(sum.stall_ms, 0.0);
+    }
+
+    #[test]
+    fn crash_windows_shape_availability_and_recovery() {
+        let mut m = Metrics::new(2);
+        // Site 0: down [1s, 2s), recovered 0.5 s after restart.
+        m.on_crash(s(0), SimTime(1_000_000));
+        m.on_restart(s(0), SimTime(2_000_000));
+        m.on_recovered(s(0), SimTime(2_500_000));
+        // Site 1: crashes at 3 s and never restarts.
+        m.on_crash(s(1), SimTime(3_000_000));
+        let sum = m.summarize(SimTime(4_000_000), 0, SimDuration::millis(7));
+        assert_eq!(sum.crashes, 2);
+        // Downtime: 1 s (site 0) + 1 s (site 1, accrued to run end) over
+        // 2 sites × 4 s of site-time.
+        assert!((sum.availability_pct - 75.0).abs() < 1e-9);
+        assert!((sum.mean_recovery_ms - 500.0).abs() < 1e-9);
+        assert!((sum.stall_ms - 7.0).abs() < 1e-9);
     }
 }

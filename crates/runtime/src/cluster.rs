@@ -1,7 +1,7 @@
-//! Cluster assembly and the client API.
+//! Cluster assembly, the client API, and live crash/recovery.
 
 use std::fmt;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -10,10 +10,12 @@ use parking_lot::Mutex;
 
 use repl_copygraph::{CopyGraph, DataPlacement, PropagationTree};
 use repl_core::history::{History, SerializationCycle};
-use repl_storage::Store;
+use repl_storage::{recover, Checkpoint, Store, WriteAheadLog};
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
 
 use crate::chan::{traced_unbounded, TracedSender};
+use crate::durable::DurableSite;
+use crate::link::{self, Links, Routes};
 use crate::site::{Command, SiteRuntime};
 
 /// Protocols the threaded runtime deploys.
@@ -39,7 +41,9 @@ pub enum ClusterError {
     NotPrimary(SiteId, ItemId),
     /// Site id out of range.
     NoSuchSite(SiteId),
-    /// The site thread is gone (cluster shut down).
+    /// The site thread is gone (crashed, or the cluster shut down). A
+    /// transaction that got this reply may still have committed — the
+    /// usual at-most-once ambiguity of a server dying mid-request.
     Disconnected,
 }
 
@@ -52,7 +56,7 @@ impl fmt::Display for ClusterError {
                 write!(f, "site {s} does not own the primary copy of {i}")
             }
             ClusterError::NoSuchSite(s) => write!(f, "no such site {s}"),
-            ClusterError::Disconnected => write!(f, "cluster is shut down"),
+            ClusterError::Disconnected => write!(f, "site is down or cluster is shut down"),
         }
     }
 }
@@ -67,12 +71,35 @@ pub struct TxnHandle {
 }
 
 /// A running multi-threaded replication cluster.
+///
+/// Fault tolerance: [`Cluster::crash`] kills a site's thread abruptly
+/// (its store and queued inbox are lost) and [`Cluster::restart`]
+/// rejoins a replacement rebuilt from the site's durable WAL, with
+/// every lost delivery retransmitted from the senders' outboxes.
+/// Dropping the cluster — including during a test panic — sets every
+/// site's crash flag before joining, so threads exit at their next
+/// command instead of draining arbitrarily long queues.
 pub struct Cluster {
-    senders: Vec<TracedSender<Command>>,
-    threads: Vec<JoinHandle<()>>,
+    routes: Arc<Routes>,
+    links: Arc<Links>,
+    durables: Vec<Arc<Mutex<DurableSite>>>,
+    crash_flags: Vec<Arc<AtomicBool>>,
+    threads: Vec<Option<JoinHandle<()>>>,
     history: Arc<Mutex<History>>,
     outstanding: Arc<AtomicI64>,
-    placement: DataPlacement,
+    protocol: RuntimeProtocol,
+    tree: Option<Arc<PropagationTree>>,
+    placement: Arc<DataPlacement>,
+}
+
+/// A site's store rebuilt from stable storage: an initial checkpoint of
+/// its item set plus a redo-WAL replay. With an empty WAL this is the
+/// boot image; after a crash it is the recovery image.
+fn recovered_store(placement: &DataPlacement, site: SiteId, wal: &WriteAheadLog) -> Store {
+    let checkpoint = Checkpoint {
+        cells: placement.items_at(site).iter().map(|&i| (i, Value::Initial, None)).collect(),
+    };
+    recover(&checkpoint, wal)
 }
 
 impl Cluster {
@@ -91,53 +118,120 @@ impl Cluster {
         };
 
         let n = placement.num_sites() as usize;
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            // Traced so the repl-analysis race detector sees the
-            // cross-site synchronization edges.
-            let (tx, rx) = traced_unbounded();
-            senders.push(tx);
-            receivers.push(rx);
+        let mut cluster = Cluster {
+            // Placeholder routes (their receivers are dropped at once);
+            // every slot is replaced before any site can send.
+            routes: Arc::new(Routes::new((0..n).map(|_| traced_unbounded().0).collect())),
+            links: Arc::new(Links::new(n)),
+            durables: (0..n).map(|_| Arc::new(Mutex::new(DurableSite::new(n)))).collect(),
+            crash_flags: (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect(),
+            threads: (0..n).map(|_| None).collect(),
+            history: Arc::new(Mutex::new(History::new())),
+            outstanding: Arc::new(AtomicI64::new(0)),
+            protocol,
+            tree,
+            placement: Arc::new(placement.clone()),
+        };
+        for i in 0..n {
+            cluster.spawn_site(SiteId(i as u32));
         }
-        let history = Arc::new(Mutex::new(History::new()));
-        let outstanding = Arc::new(AtomicI64::new(0));
-        let placement_arc = Arc::new(placement.clone());
-
-        let mut threads = Vec::with_capacity(n);
-        for (i, rx) in receivers.into_iter().enumerate() {
-            let id = SiteId(i as u32);
-            let mut store = Store::new();
-            for item in placement.items() {
-                if placement.has_copy(id, item) {
-                    store.create_item(item, Value::Initial);
-                }
-            }
-            let site = SiteRuntime {
-                id,
-                store,
-                rx,
-                peers: senders.clone(),
-                protocol,
-                tree: tree.clone(),
-                placement: placement_arc.clone(),
-                history: history.clone(),
-                outstanding: outstanding.clone(),
-                next_seq: 0,
-                wal: repl_storage::WriteAheadLog::new(),
-            };
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("site-{i}"))
-                    .spawn(move || site.run())
-                    .expect("spawn site thread"),
-            );
-        }
-        Ok(Cluster { senders, threads, history, outstanding, placement: placement.clone() })
+        Ok(cluster)
     }
 
-    fn sender(&self, site: SiteId) -> Result<&TracedSender<Command>, ClusterError> {
-        self.senders.get(site.index()).ok_or(ClusterError::NoSuchSite(site))
+    /// (Re)boot one site: rebuild its store from stable storage, wire a
+    /// fresh inbox into the routing table and start its thread.
+    fn spawn_site(&mut self, site: SiteId) {
+        let i = site.index();
+        self.crash_flags[i].store(false, Ordering::SeqCst);
+        let (tx, rx) = traced_unbounded();
+        let routes = self.routes.clone();
+        let links = self.links.clone();
+        let protocol = self.protocol;
+        let tree = self.tree.clone();
+        let placement = self.placement.clone();
+        let history = self.history.clone();
+        let outstanding = self.outstanding.clone();
+        let durable = self.durables[i].clone();
+        let crashed = self.crash_flags[i].clone();
+        self.routes.replace(site, tx);
+        self.threads[i] = Some(
+            std::thread::Builder::new()
+                .name(format!("site-{}", site.0))
+                .spawn(move || {
+                    // Recovery runs *on the site thread* so the race
+                    // detector sees the replayed store confined to its
+                    // owner (the replacement store has a fresh trace
+                    // scope; replay writes from another thread would be
+                    // unordered with the thread's own first accesses).
+                    let store = recovered_store(&placement, site, &durable.lock().wal);
+                    let runtime = SiteRuntime {
+                        id: site,
+                        store,
+                        rx,
+                        routes,
+                        links,
+                        protocol,
+                        tree,
+                        placement,
+                        history,
+                        outstanding,
+                        durable,
+                        crashed,
+                    };
+                    runtime.run()
+                })
+                .expect("spawn site thread"),
+        );
+    }
+
+    fn check_site(&self, site: SiteId) -> Result<(), ClusterError> {
+        if site.index() < self.threads.len() {
+            Ok(())
+        } else {
+            Err(ClusterError::NoSuchSite(site))
+        }
+    }
+
+    fn sender(&self, site: SiteId) -> Result<TracedSender<Command>, ClusterError> {
+        self.check_site(site)?;
+        Ok(self.routes.to(site))
+    }
+
+    /// Abruptly kill `site`: its thread exits at the next command
+    /// without draining its queue, losing its store, its in-memory
+    /// state and every undelivered message. Only the durable image
+    /// ([`DurableSite`]: WAL, id counter, per-link high-water marks)
+    /// survives for [`Cluster::restart`]. Idempotent while down.
+    ///
+    /// Clients of a crashed site get [`ClusterError::Disconnected`];
+    /// updates destined for it park in their senders' outboxes (after a
+    /// bounded retry) until the site rejoins.
+    pub fn crash(&mut self, site: SiteId) -> Result<(), ClusterError> {
+        self.check_site(site)?;
+        if self.crash_flags[site.index()].swap(true, Ordering::SeqCst) {
+            return Ok(()); // already down
+        }
+        // Wake the thread if it is idle; the flag does the killing.
+        let _ = self.routes.to(site).send(Command::Crash);
+        if let Some(t) = self.threads[site.index()].take() {
+            let _ = t.join();
+        }
+        Ok(())
+    }
+
+    /// Rejoin a crashed `site`: replay its WAL over an initial
+    /// checkpoint of its item set, start a replacement thread on a
+    /// fresh channel, and retransmit every unacknowledged delivery
+    /// from the other sites' outboxes (in per-link FIFO order). A
+    /// no-op if the site is up.
+    pub fn restart(&mut self, site: SiteId) -> Result<(), ClusterError> {
+        self.check_site(site)?;
+        if self.threads[site.index()].is_some() {
+            return Ok(()); // not crashed
+        }
+        self.spawn_site(site);
+        link::retransmit_to(&self.links, &self.routes, site);
+        Ok(())
     }
 
     /// Execute a transaction at `site`, blocking until it commits.
@@ -152,15 +246,23 @@ impl Cluster {
     /// A cloneable handle for submitting transactions to `site` from
     /// other threads (concurrency tests, load generators).
     pub fn client(&self, site: SiteId) -> Result<SiteClient, ClusterError> {
-        Ok(SiteClient { sender: self.sender(site)?.clone() })
+        Ok(SiteClient { sender: self.sender(site)? })
     }
 
     /// Block until every committed update has been applied at every
-    /// destination replica.
+    /// destination replica. While a site is down this waits for its
+    /// restart — deliveries parked for it count as outstanding.
     pub fn quiesce(&self) {
         while self.outstanding.load(Ordering::SeqCst) > 0 {
             std::thread::sleep(std::time::Duration::from_micros(200));
         }
+    }
+
+    /// Updates sent to `site` but not yet durably applied there —
+    /// non-zero while the site is down and senders are holding its
+    /// traffic for retransmission (observability for tests and demos).
+    pub fn pending_deliveries(&self, site: SiteId) -> usize {
+        self.links.queued_for(site)
     }
 
     /// Non-transactional read of one copy (for tests and demos).
@@ -195,23 +297,29 @@ impl Cluster {
         &self.placement
     }
 
-    /// Stop every site thread and join them.
+    /// Stop every site thread gracefully (queues drain) and join them.
     pub fn shutdown(mut self) {
-        for tx in &self.senders {
-            let _ = tx.send(Command::Shutdown);
+        for i in 0..self.threads.len() {
+            let _ = self.routes.to(SiteId(i as u32)).send(Command::Shutdown);
         }
-        for t in self.threads.drain(..) {
+        for t in self.threads.iter_mut().filter_map(Option::take) {
             let _ = t.join();
         }
     }
 }
 
 impl Drop for Cluster {
+    /// Abrupt teardown: crash-flag every site so threads exit at their
+    /// next command rather than draining what may be a deep queue.
+    /// This is the panic path — a failing test must never hang here —
+    /// so it must not block on anything unbounded. The graceful path
+    /// is [`Cluster::shutdown`], after which this is a no-op.
     fn drop(&mut self) {
-        for tx in &self.senders {
-            let _ = tx.send(Command::Shutdown);
+        for (i, flag) in self.crash_flags.iter().enumerate() {
+            flag.store(true, Ordering::SeqCst);
+            let _ = self.routes.to(SiteId(i as u32)).send(Command::Crash);
         }
-        for t in self.threads.drain(..) {
+        for t in self.threads.iter_mut().filter_map(Option::take) {
             let _ = t.join();
         }
     }
@@ -281,11 +389,42 @@ mod tests {
     #[test]
     fn unknown_site_rejected() {
         let placement = scenario::example_1_1_placement();
-        let cluster = Cluster::start(&placement, RuntimeProtocol::DagWt).unwrap();
+        let mut cluster = Cluster::start(&placement, RuntimeProtocol::DagWt).unwrap();
         assert_eq!(
             cluster.execute(SiteId(9), vec![]).unwrap_err(),
             ClusterError::NoSuchSite(SiteId(9))
         );
+        assert_eq!(cluster.crash(SiteId(9)).unwrap_err(), ClusterError::NoSuchSite(SiteId(9)));
+        assert_eq!(cluster.restart(SiteId(9)).unwrap_err(), ClusterError::NoSuchSite(SiteId(9)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crashed_site_rejects_clients_until_restart() {
+        let placement = scenario::example_1_1_placement();
+        let mut cluster = Cluster::start(&placement, RuntimeProtocol::DagWt).unwrap();
+        cluster.crash(SiteId(2)).unwrap();
+        assert_eq!(
+            cluster.execute(SiteId(2), vec![Op::read(ItemId(0))]).unwrap_err(),
+            ClusterError::Disconnected
+        );
+        assert_eq!(cluster.peek(SiteId(2), ItemId(0)), None);
+        cluster.restart(SiteId(2)).unwrap();
+        assert!(cluster.peek(SiteId(2), ItemId(0)).is_some());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crash_and_restart_are_idempotent() {
+        let placement = scenario::example_1_1_placement();
+        let mut cluster = Cluster::start(&placement, RuntimeProtocol::DagWt).unwrap();
+        cluster.restart(SiteId(1)).unwrap(); // up: no-op
+        cluster.crash(SiteId(1)).unwrap();
+        cluster.crash(SiteId(1)).unwrap(); // down: no-op
+        cluster.restart(SiteId(1)).unwrap();
+        cluster.execute(SiteId(1), vec![Op::write(ItemId(1), 9)]).unwrap();
+        cluster.quiesce();
+        assert!(cluster.check_serializability().is_ok());
         cluster.shutdown();
     }
 }

@@ -1,0 +1,36 @@
+//! The durable ("on disk") slice of a site's state.
+//!
+//! A crashed site loses its thread, its store and everything queued in
+//! its inbox; what it keeps is exactly what a real deployment would
+//! have forced to stable storage. The cluster owns one [`DurableSite`]
+//! per site and hands the site thread a shared handle, so the image
+//! survives the thread and seeds its replacement:
+//!
+//! * the **redo WAL** — replaying it over an initial checkpoint of the
+//!   site's item set reproduces every committed copy (see
+//!   [`repl_storage::recover`]);
+//! * the **transaction-id counter** — id allocation is logged so a
+//!   restarted site can never re-issue a pre-crash [`GlobalTxnId`] and
+//!   corrupt the history oracle;
+//! * the **per-link high-water marks** — the highest link sequence
+//!   durably applied from each peer, which makes redelivery after
+//!   retransmission idempotent (duplicates are at or below the mark,
+//!   gaps are ahead of it).
+
+use repl_storage::WriteAheadLog;
+
+/// State of one site that survives its crash.
+pub(crate) struct DurableSite {
+    /// Redo log of every commit applied at this site, in commit order.
+    pub wal: WriteAheadLog,
+    /// Next local sequence number for [`repl_types::GlobalTxnId`]s.
+    pub next_seq: u64,
+    /// Highest link sequence applied from each peer site.
+    pub applied_from: Vec<u64>,
+}
+
+impl DurableSite {
+    pub fn new(sites: usize) -> Self {
+        DurableSite { wal: WriteAheadLog::new(), next_seq: 0, applied_from: vec![0; sites] }
+    }
+}

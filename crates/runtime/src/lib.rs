@@ -19,6 +19,12 @@
 //! are checked against the same [`repl_core::History`] oracle as the
 //! simulator.
 //!
+//! Faults are first-class: [`Cluster::crash`] kills a site thread
+//! abruptly (volatile state and queued messages are lost) and
+//! [`Cluster::restart`] rejoins a replacement recovered from the
+//! site's durable WAL, with lost deliveries retransmitted from
+//! sender-side outboxes — see the `link` and `durable` modules.
+//!
 //! ```
 //! use repl_core::scenario;
 //! use repl_runtime::{Cluster, RuntimeProtocol};
@@ -38,6 +44,8 @@
 
 mod chan;
 mod cluster;
+mod durable;
+mod link;
 mod site;
 
 pub use cluster::{Cluster, ClusterError, RuntimeProtocol, TxnHandle};

@@ -1,6 +1,6 @@
 //! The per-site worker thread.
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::Sender;
@@ -8,11 +8,13 @@ use parking_lot::Mutex;
 
 use repl_copygraph::{DataPlacement, PropagationTree};
 use repl_core::history::History;
-use repl_storage::{Store, WriteAheadLog};
+use repl_storage::Store;
 use repl_types::{GlobalTxnId, ItemId, Op, OpKind, SiteId, Value};
 
-use crate::chan::{TracedReceiver, TracedSender};
+use crate::chan::TracedReceiver;
 use crate::cluster::{ClusterError, RuntimeProtocol};
+use crate::durable::DurableSite;
+use crate::link::{self, Links, Routes};
 
 /// A secondary subtransaction on the wire.
 #[derive(Clone, Debug)]
@@ -24,17 +26,31 @@ pub(crate) struct RtSubtxn {
     pub dest_sites: Vec<SiteId>,
 }
 
+/// A subtransaction stamped with its link identity: which directed
+/// link carried it and its sequence number on that link. The receiver
+/// acks, deduplicates and gap-drops by `(from, seq)`.
+#[derive(Clone, Debug)]
+pub(crate) struct LinkMsg {
+    pub from: SiteId,
+    pub seq: u64,
+    pub sub: RtSubtxn,
+}
+
 /// Commands a site thread processes.
 pub(crate) enum Command {
     /// Execute a whole transaction and reply with its outcome.
     Execute { ops: Vec<Op>, reply: Sender<Result<GlobalTxnId, ClusterError>> },
     /// Apply (and possibly forward) a secondary subtransaction.
-    Subtxn(RtSubtxn),
+    Subtxn(LinkMsg),
     /// Non-transactional inspection of one copy.
     Peek { item: ItemId, reply: Sender<Option<(Value, Option<GlobalTxnId>)>> },
     /// Serialize the site's redo log (crash-recovery support: replaying
     /// the returned image over an empty store reproduces the site).
     SnapshotWal { reply: Sender<bytes::Bytes> },
+    /// Wake the thread so it notices its crash flag. Carries no state:
+    /// the flag, not the command, is the kill switch, so a crash takes
+    /// effect at the *next* command rather than after the queue drains.
+    Crash,
     /// Drain and exit.
     Shutdown,
 }
@@ -43,35 +59,50 @@ pub(crate) struct SiteRuntime {
     pub id: SiteId,
     pub store: Store,
     pub rx: TracedReceiver<Command>,
-    /// Senders to every site, indexed by site id.
-    pub peers: Vec<TracedSender<Command>>,
+    /// The cluster routing table (senders are re-resolved per delivery
+    /// so a restarted peer's fresh channel is picked up).
+    pub routes: Arc<Routes>,
+    /// Sender-side outboxes for reliable delivery.
+    pub links: Arc<Links>,
     pub protocol: RuntimeProtocol,
     pub tree: Option<Arc<PropagationTree>>,
     pub placement: Arc<DataPlacement>,
     pub history: Arc<Mutex<History>>,
     /// Replica applications still in flight, cluster-wide.
     pub outstanding: Arc<AtomicI64>,
-    pub next_seq: u64,
-    /// Redo log of every commit applied at this site, in commit order.
-    pub wal: WriteAheadLog,
+    /// The site's stable storage, shared with the cluster so it
+    /// survives this thread.
+    pub durable: Arc<Mutex<DurableSite>>,
+    /// Set by [`crate::Cluster::crash`]: abandon ship at the next
+    /// command, losing the store and everything still queued.
+    pub crashed: Arc<AtomicBool>,
 }
 
 impl SiteRuntime {
-    /// The thread body: process commands until shutdown.
+    /// The thread body: process commands until shutdown or crash.
+    ///
+    /// A crash exit is abrupt by design: the command that woke us is
+    /// *not* processed and the channel queue is dropped un-drained.
+    /// Whatever was lost is exactly what retransmission from the
+    /// senders' outboxes must recover.
     pub fn run(mut self) {
         while let Ok(cmd) = self.rx.recv() {
+            if self.crashed.load(Ordering::SeqCst) {
+                return;
+            }
             match cmd {
                 Command::Execute { ops, reply } => {
                     let result = self.execute(ops);
                     let _ = reply.send(result);
                 }
-                Command::Subtxn(sub) => self.apply_subtxn(sub),
+                Command::Subtxn(msg) => self.apply_subtxn(msg),
                 Command::Peek { item, reply } => {
                     let _ = reply.send(self.store.peek(item).map(|r| (r.value, r.writer)));
                 }
                 Command::SnapshotWal { reply } => {
-                    let _ = reply.send(self.wal.encode());
+                    let _ = reply.send(self.durable.lock().wal.encode());
                 }
+                Command::Crash => return,
                 Command::Shutdown => break,
             }
         }
@@ -96,8 +127,14 @@ impl SiteRuntime {
                 }
             }
         }
-        let gid = GlobalTxnId::new(self.id, self.next_seq);
-        self.next_seq += 1;
+        // Id allocation is durable: a restarted site must never reuse a
+        // pre-crash gid (the history oracle keys on them).
+        let gid = {
+            let mut d = self.durable.lock();
+            let gid = GlobalTxnId::new(self.id, d.next_seq);
+            d.next_seq += 1;
+            gid
+        };
         let txn = self.store.begin();
         for op in &ops {
             match op.kind {
@@ -113,7 +150,7 @@ impl SiteRuntime {
         }
         let (info, _) = self.store.commit(txn).expect("commit serial txn");
         let writes = info.write_set();
-        self.wal.append_commit(gid, &writes);
+        self.durable.lock().wal.append_commit(gid, &writes);
         let dests = self.destinations(&writes);
 
         // Record the commit *before* any subtransaction can be applied
@@ -158,7 +195,7 @@ impl SiteRuntime {
                             .collect(),
                         dest_sites: vec![d],
                     };
-                    let _ = self.peers[d.index()].send(Command::Subtxn(sub));
+                    link::send_subtxn(&self.links, &self.routes, self.id, d, sub);
                 }
             }
             RuntimeProtocol::DagWt => {
@@ -171,14 +208,35 @@ impl SiteRuntime {
     fn forward_down_tree(&self, sub: &RtSubtxn) {
         let tree = self.tree.as_ref().expect("DAG(WT) runtime has a tree");
         for child in tree.relevant_children(self.id, &sub.dest_sites) {
-            let _ = self.peers[child.index()].send(Command::Subtxn(sub.clone()));
+            link::send_subtxn(&self.links, &self.routes, self.id, child, sub.clone());
         }
     }
 
     /// Apply a secondary subtransaction: §2 — commit locally, then
     /// forward to relevant children (DAG(WT)); commit order per parent is
     /// arrival order because the site thread is serial.
-    fn apply_subtxn(&mut self, sub: RtSubtxn) {
+    ///
+    /// Delivery is exactly-once against the durable per-link high-water
+    /// mark: a sequence at or below it is a retransmitted duplicate
+    /// (already applied and forwarded — just re-ack it); one ahead of
+    /// `mark + 1` raced past a message lost in a crash (still in its
+    /// sender's outbox) and is dropped so the retransmission can arrive
+    /// in FIFO order.
+    fn apply_subtxn(&mut self, msg: LinkMsg) {
+        let LinkMsg { from, seq, sub } = msg;
+        {
+            let mut d = self.durable.lock();
+            let mark = d.applied_from[from.index()];
+            if seq <= mark {
+                drop(d);
+                link::ack(&self.links, from, self.id, seq);
+                return;
+            }
+            if seq > mark + 1 {
+                return;
+            }
+            d.applied_from[from.index()] = seq;
+        }
         debug_assert!(
             sub.writes.iter().all(|(item, _)| self.placement.primary_of(*item) == sub.origin),
             "subtransaction carries writes the origin does not own"
@@ -197,11 +255,12 @@ impl SiteRuntime {
                     .expect("serial site: no conflicts");
             }
             self.store.commit(txn).expect("commit secondary");
-            self.wal.append_commit(sub.gid, &applicable);
+            self.durable.lock().wal.append_commit(sub.gid, &applicable);
             self.outstanding.fetch_sub(1, Ordering::SeqCst);
         }
         if self.protocol == RuntimeProtocol::DagWt {
             self.forward_down_tree(&sub);
         }
+        link::ack(&self.links, from, self.id, seq);
     }
 }

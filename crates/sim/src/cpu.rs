@@ -44,6 +44,13 @@ impl CpuQueue {
         self.horizon
     }
 
+    /// Discard all queued-but-unserved work as of `now` (a site crash
+    /// wipes the CPU's run queue): the next request starts no earlier
+    /// than `now`, not at the stale pre-crash horizon.
+    pub fn reset(&mut self, now: SimTime) {
+        self.horizon = now;
+    }
+
     /// Total busy time accumulated (for utilization reporting).
     pub fn busy_time(&self) -> SimDuration {
         self.busy
@@ -102,5 +109,14 @@ mod tests {
     fn utilization_at_time_zero_is_zero() {
         let cpu = CpuQueue::new();
         assert_eq!(cpu.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_the_backlog() {
+        let mut cpu = CpuQueue::new();
+        cpu.run(SimTime(0), SimDuration::micros(10_000));
+        cpu.reset(SimTime(100));
+        let done = cpu.run(SimTime(100), SimDuration::micros(10));
+        assert_eq!(done, SimTime(110), "post-reset work must not wait for pre-reset work");
     }
 }

@@ -16,6 +16,10 @@
 //! * [`net::Network`] — reliable FIFO point-to-point links with
 //!   configurable latency (the §1.1 model assumes reliable FIFO message
 //!   delivery between any two sites);
+//! * [`fault::FaultPlan`] — seeded, declarative fault injection: site
+//!   crash/restart windows, transient link outages, and delay jitter.
+//!   Faults stall messages but never reorder a link, so §1.1's FIFO
+//!   invariant degrades gracefully;
 //! * [`cpu::CpuQueue`] — a single-server FIFO queue per site, modelling
 //!   the shared processor: protocol work (applying secondary
 //!   subtransactions, serving remote reads) competes with primary
@@ -25,11 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod fault;
 pub mod net;
 pub mod queue;
 pub mod time;
 
 pub use cpu::CpuQueue;
+pub use fault::{CrashWindow, FaultPlan, LinkOutage};
 pub use net::Network;
 pub use queue::EventQueue;
 pub use time::{SimDuration, SimTime};

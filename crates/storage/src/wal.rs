@@ -126,7 +126,10 @@ impl WriteAheadLog {
             return Err(WalError::Truncated);
         }
         let n = buf.get_u64() as usize;
-        let mut records = Vec::with_capacity(n.min(1 << 20));
+        // Distrust the claimed count: a corrupt or adversarial header can
+        // claim 2^64 records. Pre-allocate at most what the remaining
+        // bytes could possibly hold (17 bytes is the smallest record).
+        let mut records = Vec::with_capacity(n.min(buf.remaining() / 17));
         for _ in 0..n {
             if buf.remaining() < 4 + 4 + 8 + 1 {
                 return Err(WalError::Truncated);
@@ -289,7 +292,67 @@ mod tests {
         assert_eq!(twice.peek(ItemId(0)).unwrap().value, once.peek(ItemId(0)).unwrap().value);
     }
 
+    /// Arbitrary values covering every wire tag.
+    fn value_strategy() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Initial),
+            (i64::MIN..=i64::MAX).prop_map(Value::Int),
+            prop::collection::vec(0u8..=u8::MAX, 0..24).prop_map(Value::Bytes),
+        ]
+    }
+
+    /// Arbitrary record tuples for fuzzing image corruption.
+    fn entries_strategy(max: usize) -> impl Strategy<Value = Vec<(u32, Value, u32, u64)>> {
+        prop::collection::vec((0u32..100, value_strategy(), 0u32..5, 0u64..50), 1..max)
+    }
+
+    fn wal_from(entries: Vec<(u32, Value, u32, u64)>) -> WriteAheadLog {
+        let mut wal = WriteAheadLog::new();
+        for (item, value, site, seq) in entries {
+            wal.append(LogRecord { item: ItemId(item), value, writer: gid(site, seq) });
+        }
+        wal
+    }
+
     proptest! {
+        /// Decode is total: arbitrary bytes — including headers claiming
+        /// absurd record counts — produce `Ok` or a clean `Err`, never a
+        /// panic or an overallocation.
+        #[test]
+        fn decode_never_panics_on_arbitrary_bytes(
+            raw in prop::collection::vec(0u8..=u8::MAX, 0..256),
+        ) {
+            let _ = WriteAheadLog::decode(Bytes::from(raw));
+        }
+
+        /// A single flipped bit anywhere in a valid image (the classic
+        /// torn-write corruption) never panics the decoder, and whatever
+        /// still decodes re-encodes cleanly.
+        #[test]
+        fn decode_survives_bit_flips(
+            entries in entries_strategy(20),
+            flip in (0usize..usize::MAX, 0u8..8),
+        ) {
+            let mut raw = wal_from(entries).encode().to_vec();
+            let pos = flip.0 % raw.len();
+            raw[pos] ^= 1 << flip.1;
+            if let Ok(decoded) = WriteAheadLog::decode(Bytes::from(raw)) {
+                let _ = decoded.encode();
+            }
+        }
+
+        /// Truncation at any offset of any image is always detected
+        /// (generalizes the single-record unit test above).
+        #[test]
+        fn decode_rejects_arbitrary_truncations(
+            entries in entries_strategy(12),
+            cut_seed in 0usize..usize::MAX,
+        ) {
+            let bytes = wal_from(entries).encode();
+            let cut = cut_seed % bytes.len();
+            prop_assert!(WriteAheadLog::decode(bytes.slice(0..cut)).is_err());
+        }
+
         /// encode/decode is the identity for arbitrary logs.
         #[test]
         fn roundtrip_arbitrary(entries in prop::collection::vec(

@@ -75,6 +75,48 @@ fn clean_dag_wt_threaded_run_has_no_races() {
     assert!(races.is_empty(), "unexpected races:\n{}", repl_analysis::render(&races));
 }
 
+/// The fault path must be as race-clean as the steady state: an abrupt
+/// site crash, WAL recovery on the replacement thread and outbox
+/// retransmission introduce no unordered conflicting accesses (the
+/// replacement store has a fresh trace scope, and recovery replay runs
+/// on the owning thread).
+#[test]
+fn crash_recovery_cycle_traces_race_free() {
+    let _guard = trace_guard();
+    let events = traced(|| {
+        let placement = scenario::example_1_1_placement();
+        let mut cluster = Cluster::start(&placement, RuntimeProtocol::DagWt).unwrap();
+        let c1 = cluster.client(SiteId(1)).unwrap();
+        let hammer = std::thread::spawn(move || {
+            for i in 0..60 {
+                c1.execute(vec![Op::write(ItemId(1), 500 + i)]).unwrap();
+            }
+        });
+        for i in 0..20 {
+            cluster.execute(SiteId(0), vec![Op::write(ItemId(0), i)]).unwrap();
+        }
+        cluster.crash(SiteId(2)).unwrap();
+        for i in 20..40 {
+            cluster.execute(SiteId(0), vec![Op::write(ItemId(0), i)]).unwrap();
+        }
+        cluster.restart(SiteId(2)).unwrap();
+        for i in 40..60 {
+            cluster.execute(SiteId(0), vec![Op::write(ItemId(0), i)]).unwrap();
+        }
+        hammer.join().unwrap();
+        cluster.quiesce();
+        assert!(cluster.check_serializability().is_ok());
+        cluster.shutdown();
+    });
+
+    assert!(
+        events.iter().any(|e| matches!(e.event, TraceEvent::Access { .. })),
+        "expected store accesses in the trace"
+    );
+    let races = detect_races(&events);
+    assert!(races.is_empty(), "crash/recovery raced:\n{}", repl_analysis::render(&races));
+}
+
 #[test]
 fn release_before_commit_discipline_is_reported() {
     let _guard = trace_guard();

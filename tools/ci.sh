@@ -22,4 +22,7 @@ cargo test -q
 echo "==> smoke sweep (quick fig2a on the 4-worker pool, cache off)"
 REPRO_SCALE=quick REPRO_WORKERS=4 REPRO_NO_CACHE=1 ./target/release/fig2a > /dev/null
 
+echo "==> fault smoke sweep (seeded crash plans, cache off)"
+REPRO_SCALE=quick REPRO_WORKERS=4 REPRO_NO_CACHE=1 ./target/release/fault_sweep > /dev/null
+
 echo "ci: all gates passed"
