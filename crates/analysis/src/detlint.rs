@@ -13,6 +13,13 @@
 //! | RL003 | `thread_rng` / `rand::rng()` (ambient, unseeded RNGs) |
 //! | RL004 | iteration over a `HashMap`/`HashSet` binding (unordered) |
 //! | RL005 | entropy-seeded RNG construction (`from_entropy`, `from_os_rng`, `OsRng`, `getrandom`) |
+//! | RL006 | blocking network I/O (`std::net`, `TcpStream`, `TcpListener`, `UdpSocket`) |
+//!
+//! RL006 keeps real sockets out of the deterministic layers: the
+//! simulator models the network in virtual time, so any code under
+//! `crates/sim`, `crates/core` or `crates/copygraph` that touches
+//! `std::net` both blocks on real I/O and injects wall-clock timing into
+//! results. Socket code belongs in `repl-net`/`repl-runtime`.
 //!
 //! RL004 is a heuristic: the scanner collects names declared with a
 //! `HashMap<…>`/`HashSet<…>` type ascription in the same file and flags
@@ -82,6 +89,22 @@ pub fn scan_file(path_label: &str, src: &str) -> Vec<Diagnostic> {
                 lineno,
                 line,
             ));
+        }
+        for pat in ["std::net", "TcpStream", "TcpListener", "UdpSocket"] {
+            if code_part.contains(pat) {
+                diags.push(source_diag(
+                    "RL006",
+                    &format!(
+                        "blocking network I/O ({pat}): real sockets have no place in \
+                         the deterministic layers; put socket code in repl-net or \
+                         repl-runtime"
+                    ),
+                    path_label,
+                    lineno,
+                    line,
+                ));
+                break;
+            }
         }
         if !allowed {
             for name in &hash_names {
@@ -293,5 +316,14 @@ mod tests {
     fn field_access_iteration_flagged() {
         let src = "struct S { pending: HashMap<u64, u64>, }\nfn f(s: &S) { for x in s.pending.iter() {} }\n";
         assert_eq!(codes(src), vec!["RL004"]);
+    }
+
+    #[test]
+    fn blocking_network_io_flagged() {
+        let src = "use std::net::TcpListener;\nlet s = TcpStream::connect(addr)?;\nlet u = UdpSocket::bind(addr)?;\n";
+        // One diagnostic per line, even when a line matches two patterns.
+        assert_eq!(codes(src), vec!["RL006", "RL006", "RL006"]);
+        let comment_only = "// TcpStream is banned here\nlet x = 1; // std::net\n";
+        assert!(codes(comment_only).is_empty());
     }
 }

@@ -22,5 +22,5 @@ pub mod lint;
 pub mod race;
 
 pub use diag::{has_errors, render, Diagnostic, Severity, Witness};
-pub use lint::{lint_scenario, LintConfig, LintProtocol, LintTree};
+pub use lint::{check_address_map, lint_scenario, LintConfig, LintProtocol, LintTree};
 pub use race::detect_races;

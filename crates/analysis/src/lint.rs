@@ -18,6 +18,7 @@
 //! | RA008 | warning  | retry backoff at or above the deadlock timeout |
 //! | RA009 | error    | DAG(T) site numbering is not a topological order (§3.1) |
 //! | RA010 | error    | crash faults injected under a protocol without crash recovery |
+//! | RA011 | error    | malformed cluster address map (duplicate/out-of-range site, missing peer, shared address, bad host:port) |
 //!
 //! The structural checks are also exported individually
 //! ([`check_copy_graph`], [`check_tree`], [`check_backedge_set`],
@@ -25,7 +26,7 @@
 //! corrupted inputs.
 
 use repl_copygraph::{BackEdgeSet, CopyGraph, DataPlacement, PropagationTree};
-use repl_types::SiteId;
+use repl_types::{AddressMap, SiteId};
 
 use crate::diag::{Diagnostic, Witness};
 
@@ -386,6 +387,87 @@ pub fn check_fault_plan(cfg: &LintConfig) -> Vec<Diagnostic> {
     Vec::new()
 }
 
+/// RA011: validate a cluster address map before any socket is opened.
+///
+/// A process-per-site deployment dials every peer from this map, so a
+/// malformed map produces confusing runtime failures (two sites
+/// answering for one id, a dialer spinning forever on a missing peer, a
+/// site handshaking with itself). Each problem is reported as an error:
+///
+/// - a site id listed more than once,
+/// - a site id outside `0..num_sites`,
+/// - a site in `0..num_sites` with no entry (the dialer would wait for
+///   an address that never arrives),
+/// - one address shared by two different sites (a dialer would reach the
+///   wrong peer — or itself, the self-dial case),
+/// - an address that is not `host:port` with a numeric port.
+pub fn check_address_map(map: &AddressMap, num_sites: u32) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let entries = map.entries();
+    for window in entries.windows(2) {
+        // Entries are kept sorted by site id, so duplicates are adjacent.
+        if window[0].0 == window[1].0 {
+            diags.push(Diagnostic::error(
+                "RA011",
+                format!(
+                    "site {} has multiple addresses ({:?} and {:?}); a dialer would \
+                     pick one arbitrarily",
+                    window[0].0 .0, window[0].1, window[1].1,
+                ),
+                Witness::None,
+            ));
+        }
+    }
+    for (site, addr) in entries {
+        if site.0 >= num_sites {
+            diags.push(Diagnostic::error(
+                "RA011",
+                format!(
+                    "address map names site {} but the placement has only {num_sites} \
+                     sites (0..{num_sites})",
+                    site.0,
+                ),
+                Witness::None,
+            ));
+        }
+        let well_formed = addr
+            .rsplit_once(':')
+            .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+        if !well_formed {
+            diags.push(Diagnostic::error(
+                "RA011",
+                format!("site {} address {addr:?} is not host:port with a numeric port", site.0),
+                Witness::None,
+            ));
+        }
+    }
+    for site in (0..num_sites).map(SiteId) {
+        if map.get(site).is_none() {
+            diags.push(Diagnostic::error(
+                "RA011",
+                format!("site {} has no address; its peers could never dial it", site.0),
+                Witness::None,
+            ));
+        }
+    }
+    for (i, (site_a, addr_a)) in entries.iter().enumerate() {
+        for (site_b, addr_b) in &entries[i + 1..] {
+            if site_a != site_b && addr_a == addr_b {
+                diags.push(Diagnostic::error(
+                    "RA011",
+                    format!(
+                        "sites {} and {} share address {addr_a:?}; site {} dialing \
+                         that address would reach the wrong process (self-dial)",
+                        site_a.0, site_b.0, site_a.0,
+                    ),
+                    Witness::Edge { from: *site_a, to: *site_b },
+                ));
+            }
+        }
+    }
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,5 +645,58 @@ mod tests {
         let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
         assert_eq!(codes, vec!["RA006", "RA007", "RA008"]);
         assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn address_map_lint_accepts_well_formed_map() {
+        let map: AddressMap = (0..3).map(|i| (s(i), format!("127.0.0.1:710{i}"))).collect();
+        assert!(check_address_map(&map, 3).is_empty());
+    }
+
+    #[test]
+    fn address_map_lint_rejects_malformed_maps() {
+        let full = |n: u32| -> AddressMap {
+            (0..n).map(|i| (s(i), format!("127.0.0.1:710{i}"))).collect()
+        };
+        // Duplicate site id.
+        let mut map = full(2);
+        map.insert(s(1), "127.0.0.1:7199".to_string());
+        assert!(check_address_map(&map, 2)
+            .iter()
+            .any(|d| d.code == "RA011" && d.message.contains("multiple addresses")));
+        // Out-of-range site id.
+        let mut map = full(2);
+        map.insert(s(9), "127.0.0.1:7109".to_string());
+        assert!(check_address_map(&map, 2)
+            .iter()
+            .any(|d| d.code == "RA011" && d.message.contains("only 2 sites")));
+        // Missing peer.
+        let map: AddressMap = [(s(0), "127.0.0.1:7100".to_string())].into_iter().collect();
+        assert!(check_address_map(&map, 2)
+            .iter()
+            .any(|d| d.code == "RA011" && d.message.contains("no address")));
+        // Shared address (self-dial).
+        let map: AddressMap =
+            [(s(0), "127.0.0.1:7100".to_string()), (s(1), "127.0.0.1:7100".to_string())]
+                .into_iter()
+                .collect();
+        let diags = check_address_map(&map, 2);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "RA011" && matches!(d.witness, Witness::Edge { .. })));
+        // Malformed host:port.
+        for bad in ["localhost", ":7100", "host:", "host:notaport", "host:99999"] {
+            let mut map = full(2);
+            map.insert(s(1), bad.to_string());
+            // The duplicate entry for site 1 also fires; look only for the
+            // host:port message.
+            assert!(
+                check_address_map(&map, 2)
+                    .iter()
+                    .any(|d| d.code == "RA011" && d.message.contains("host:port")),
+                "{bad:?} accepted"
+            );
+        }
+        assert!(has_errors(&check_address_map(&full(1), 2)));
     }
 }

@@ -1,0 +1,71 @@
+//! Transport micro-benchmark: commit round-trip latency of a one-write
+//! transaction through the in-process channel cluster vs the loopback
+//! TCP process-per-site cluster, on the same placement and protocol.
+//!
+//! The commit path is identical above the transport seam (client →
+//! site thread → outbox enroll → reply), so the delta is the cost of
+//! the wire: frame encode/decode plus two loopback socket hops versus
+//! two channel sends. Expect channels in the very low microseconds and
+//! TCP in the tens of microseconds.
+//!
+//! Environment: `NET_LAT_ITERS` overrides the per-transport sample
+//! count (default 2000).
+
+use std::time::Instant;
+
+use repl_core::scenario;
+use repl_runtime::{Cluster, ProcCluster, RuntimeProtocol};
+use repl_types::{ItemId, Op, SiteId};
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn report(label: &str, mut samples: Vec<u128>) {
+    samples.sort_unstable();
+    let mean = samples.iter().sum::<u128>() / samples.len() as u128;
+    println!(
+        "{label:<22} n={:<6} mean={:>6}ns  p50={:>6}ns  p95={:>6}ns  p99={:>6}ns",
+        samples.len(),
+        mean,
+        percentile(&samples, 0.50),
+        percentile(&samples, 0.95),
+        percentile(&samples, 0.99),
+    );
+}
+
+fn main() {
+    let iters: usize =
+        std::env::var("NET_LAT_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(2000);
+    let placement = scenario::example_1_1_placement();
+    let site = SiteId(0);
+    let item = ItemId(0); // primary at site 0, replicas at 1 and 2
+
+    {
+        let cluster = Cluster::start(&placement, RuntimeProtocol::DagWt).expect("channel cluster");
+        let mut samples = Vec::with_capacity(iters);
+        for i in 0..iters {
+            let t = Instant::now();
+            cluster.execute(site, vec![Op::write(item, i as i64)]).expect("commit");
+            samples.push(t.elapsed().as_nanos());
+        }
+        cluster.quiesce();
+        report("channel commit RTT", samples);
+        cluster.shutdown();
+    }
+
+    {
+        let cluster =
+            ProcCluster::launch(&placement, RuntimeProtocol::DagWt).expect("launch repld x3");
+        let mut samples = Vec::with_capacity(iters);
+        for i in 0..iters {
+            let t = Instant::now();
+            cluster.execute(site, vec![Op::write(item, i as i64)]).expect("io").expect("commit");
+            samples.push(t.elapsed().as_nanos());
+        }
+        cluster.quiesce();
+        report("loopback TCP commit RTT", samples);
+        cluster.shutdown();
+    }
+}

@@ -106,6 +106,69 @@ impl DataPlacement {
     pub fn total_replicas(&self) -> usize {
         self.replicas.iter().map(Vec::len).sum()
     }
+
+    /// A compact single-line description of the placement, parsable by
+    /// [`DataPlacement::from_spec`], used to hand a placement to a
+    /// `repld` process on its command line or config file. Format:
+    /// `sites|primary[:r1,r2]|primary[:r1]|…` with one `|`-separated
+    /// field per item in item-id order, e.g. Example 1.1 is `3|0:1,2|1:2`.
+    pub fn to_spec(&self) -> String {
+        let mut out = self.num_sites().to_string();
+        for item in self.items() {
+            out.push('|');
+            out.push_str(&self.primary_of(item).0.to_string());
+            let reps = self.replicas_of(item);
+            if !reps.is_empty() {
+                out.push(':');
+                let list: Vec<String> = reps.iter().map(|s| s.0.to_string()).collect();
+                out.push_str(&list.join(","));
+            }
+        }
+        out
+    }
+
+    /// Parse a spec produced by [`DataPlacement::to_spec`].
+    pub fn from_spec(spec: &str) -> Result<DataPlacement, String> {
+        let mut fields = spec.split('|');
+        let sites: u32 = fields
+            .next()
+            .ok_or("empty placement spec")?
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad site count in placement spec {spec:?}"))?;
+        if sites == 0 {
+            return Err("placement spec has zero sites".into());
+        }
+        let mut p = DataPlacement::new(sites);
+        for field in fields {
+            let (primary, reps) = match field.split_once(':') {
+                Some((p, r)) => (p, Some(r)),
+                None => (field, None),
+            };
+            let primary: u32 = primary
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad primary site {primary:?} in placement spec"))?;
+            let mut replicas = Vec::new();
+            if let Some(reps) = reps {
+                for r in reps.split(',') {
+                    let r: u32 = r
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad replica site {r:?} in placement spec"))?;
+                    replicas.push(SiteId(r));
+                }
+            }
+            if primary >= sites || replicas.iter().any(|r| r.0 >= sites) {
+                return Err(format!("site out of range in placement field {field:?}"));
+            }
+            if replicas.contains(&SiteId(primary)) {
+                return Err(format!("replica equals primary in placement field {field:?}"));
+            }
+            p.add_item(SiteId(primary), &replicas);
+        }
+        Ok(p)
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +212,26 @@ mod tests {
     fn out_of_range_primary_panics() {
         let mut p = DataPlacement::new(2);
         p.add_item(SiteId(5), &[]);
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        let mut p = DataPlacement::new(3);
+        p.add_item(SiteId(0), &[SiteId(1), SiteId(2)]);
+        p.add_item(SiteId(1), &[SiteId(2)]);
+        p.add_item(SiteId(2), &[]);
+        assert_eq!(p.to_spec(), "3|0:1,2|1:2|2");
+        let q = DataPlacement::from_spec(&p.to_spec()).unwrap();
+        assert_eq!(q.to_spec(), p.to_spec());
+        assert_eq!(q.num_sites(), 3);
+        assert_eq!(q.replicas_of(ItemId(0)), &[SiteId(1), SiteId(2)]);
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        for bad in ["", "x", "0", "2|5", "2|0:9", "2|0:0", "2|0:a"] {
+            assert!(DataPlacement::from_spec(bad).is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Deployment configuration for process-per-site clusters: which site
+//! this process is, where it listens, where its peers are, and which
+//! protocol/placement the cluster runs.
+//!
+//! The on-disk format is a deliberately tiny TOML subset (top-level
+//! `key = value` pairs plus one `[peers]` table mapping site ids to
+//! addresses) so the `repld` binary needs no external parser crate.
+//! Command-line flags override file values field by field.
+
+use repl_types::{AddressMap, SiteId};
+
+/// Which transport a deployment uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TransportKind {
+    /// In-process crossbeam channels (the single-process `Cluster`).
+    #[default]
+    Channel,
+    /// Loopback/remote TCP with one OS process per site (`repld`).
+    Tcp,
+}
+
+impl TransportKind {
+    /// Parse a config/flag spelling.
+    pub fn parse(s: &str) -> Result<TransportKind, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "channel" | "chan" | "inproc" => Ok(TransportKind::Channel),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!("unknown transport {other:?} (expected \"channel\" or \"tcp\")")),
+        }
+    }
+}
+
+/// Parsed deployment config for one `repld` process. All fields are
+/// optional here — `repld` decides which are mandatory after merging
+/// flags over the file.
+#[derive(Clone, Debug, Default)]
+pub struct DeployConfig {
+    /// This process's site id.
+    pub site: Option<u32>,
+    /// Listen address, e.g. `127.0.0.1:0` (port 0 = pick an ephemeral
+    /// port and announce it on stdout).
+    pub listen: Option<String>,
+    /// Protocol name (`dagwt`, `dagt`, `backedge`, `naive`).
+    pub protocol: Option<String>,
+    /// Placement spec string (`DataPlacement::to_spec` format).
+    pub placement: Option<String>,
+    /// Transport selection.
+    pub transport: Option<TransportKind>,
+    /// Site id → dial address for every peer. May be left empty when a
+    /// launcher pushes the map over the client protocol instead.
+    pub peers: AddressMap,
+}
+
+impl DeployConfig {
+    /// Parse the TOML-lite deployment format. Returns
+    /// `Err(line-number-prefixed message)` on the first malformed line.
+    pub fn parse(text: &str) -> Result<DeployConfig, String> {
+        let mut cfg = DeployConfig::default();
+        let mut in_peers = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let section = section
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {lineno}: unterminated section header"))?
+                    .trim();
+                match section {
+                    "peers" => in_peers = true,
+                    other => return Err(format!("line {lineno}: unknown section [{other}]")),
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            if in_peers {
+                let site: u32 = key
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: peer key {key:?} is not a site id"))?;
+                let addr = unquote(value).ok_or_else(|| {
+                    format!("line {lineno}: peer address must be a \"quoted\" string")
+                })?;
+                cfg.peers.insert(SiteId(site), addr);
+                continue;
+            }
+            match key {
+                "site" => {
+                    cfg.site = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("line {lineno}: site must be an integer"))?,
+                    );
+                }
+                "listen" => {
+                    cfg.listen = Some(unquote(value).ok_or_else(|| {
+                        format!("line {lineno}: listen must be a \"quoted\" string")
+                    })?);
+                }
+                "protocol" => {
+                    cfg.protocol = Some(unquote(value).ok_or_else(|| {
+                        format!("line {lineno}: protocol must be a \"quoted\" string")
+                    })?);
+                }
+                "placement" => {
+                    cfg.placement = Some(unquote(value).ok_or_else(|| {
+                        format!("line {lineno}: placement must be a \"quoted\" string")
+                    })?);
+                }
+                "transport" => {
+                    let s = unquote(value).ok_or_else(|| {
+                        format!("line {lineno}: transport must be a \"quoted\" string")
+                    })?;
+                    cfg.transport =
+                        Some(TransportKind::parse(&s).map_err(|e| format!("line {lineno}: {e}"))?);
+                }
+                other => return Err(format!("line {lineno}: unknown key {other:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Overlay `flags` over `self`: any field set in `flags` wins, and
+    /// peer entries from `flags` are appended.
+    pub fn merged_with(mut self, flags: DeployConfig) -> DeployConfig {
+        if flags.site.is_some() {
+            self.site = flags.site;
+        }
+        if flags.listen.is_some() {
+            self.listen = flags.listen;
+        }
+        if flags.protocol.is_some() {
+            self.protocol = flags.protocol;
+        }
+        if flags.placement.is_some() {
+            self.placement = flags.placement;
+        }
+        if flags.transport.is_some() {
+            self.transport = flags.transport;
+        }
+        for (site, addr) in flags.peers.entries() {
+            self.peers.insert(*site, addr.clone());
+        }
+        self
+    }
+}
+
+/// Drop a `#`-to-end-of-line comment, but not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Strip surrounding double quotes. No escape sequences — addresses
+/// and protocol names never need them.
+fn unquote(value: &str) -> Option<String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .filter(|v| !v.contains('"'))
+        .map(str::to_owned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let text = r#"
+            # three-site loopback cluster, this process is site 1
+            site = 1
+            listen = "127.0.0.1:7101"  # announced port
+            protocol = "dagwt"
+            transport = "tcp"
+            placement = "3;0:0,1,2;1:1,2;2:2"
+
+            [peers]
+            0 = "127.0.0.1:7100"
+            1 = "127.0.0.1:7101"
+            2 = "127.0.0.1:7102"
+        "#;
+        let cfg = DeployConfig::parse(text).unwrap();
+        assert_eq!(cfg.site, Some(1));
+        assert_eq!(cfg.listen.as_deref(), Some("127.0.0.1:7101"));
+        assert_eq!(cfg.protocol.as_deref(), Some("dagwt"));
+        assert_eq!(cfg.transport, Some(TransportKind::Tcp));
+        assert_eq!(cfg.peers.len(), 3);
+        assert_eq!(cfg.peers.get(SiteId(2)), Some("127.0.0.1:7102"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (text, needle) in [
+            ("site = x", "integer"),
+            ("listen = 127.0.0.1:7100", "quoted"),
+            ("[peers\n0 = \"a:1\"", "unterminated"),
+            ("[cluster]", "unknown section"),
+            ("frobnicate = 3", "unknown key"),
+            ("just a line", "key = value"),
+            ("[peers]\nzero = \"a:1\"", "site id"),
+            ("transport = \"carrier-pigeon\"", "unknown transport"),
+        ] {
+            let err = DeployConfig::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} → {err:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn flags_override_file() {
+        let file = DeployConfig::parse("site = 0\nlisten = \"a:1\"").unwrap();
+        let mut flags = DeployConfig { site: Some(2), ..Default::default() };
+        flags.peers.insert(SiteId(0), "b:2".to_string());
+        let merged = file.merged_with(flags);
+        assert_eq!(merged.site, Some(2));
+        assert_eq!(merged.listen.as_deref(), Some("a:1"));
+        assert_eq!(merged.peers.get(SiteId(0)), Some("b:2"));
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let cfg = DeployConfig::parse("listen = \"host#0:99\" # trailing").unwrap();
+        assert_eq!(cfg.listen.as_deref(), Some("host#0:99"));
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod deploy;
 pub mod engine;
 pub mod history;
 pub mod lint;
@@ -47,6 +48,7 @@ pub mod scenario;
 pub mod timestamp;
 
 pub use config::{DeadlockMode, ProtocolKind, SimParams, TreeKind};
+pub use deploy::{DeployConfig, TransportKind};
 pub use engine::{Engine, RunReport};
 pub use history::History;
 pub use metrics::Metrics;

@@ -1,0 +1,152 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! A frame is a `u32` big-endian length `L` (0 < L ≤ [`MAX_FRAME_LEN`])
+//! followed by `L` bytes holding exactly one encoded [`WireMsg`]. The
+//! length is validated *before* any allocation, so a hostile or corrupt
+//! peer claiming a multi-gigabyte frame costs four bytes of reading, not
+//! memory.
+
+use std::io::{self, Read, Write};
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::msg::{NetError, WireMsg};
+
+/// Upper bound on a frame body. Generously above any legitimate message
+/// (a propagation record is bounded by transaction size), far below
+/// anything that could act as an allocation amplifier.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Errors raised while reading a frame from a stream.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The underlying stream failed or closed.
+    Io(io::Error),
+    /// The frame arrived intact but its body did not decode.
+    Decode(NetError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "read failed: {e}"),
+            ReadError::Decode(e) => write!(f, "frame malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<NetError> for ReadError {
+    fn from(e: NetError) -> Self {
+        ReadError::Decode(e)
+    }
+}
+
+/// Encode `msg` as one frame: length prefix plus body.
+pub fn encode_framed(msg: &WireMsg) -> Bytes {
+    let body = msg.encode();
+    debug_assert!(body.len() as u64 <= u64::from(MAX_FRAME_LEN));
+    let mut buf = BytesMut::with_capacity(4 + body.len());
+    buf.put_u32(body.len() as u32);
+    buf.put_slice(&body);
+    buf.freeze()
+}
+
+/// Decode one frame from `buf`, if a complete one is present.
+///
+/// Returns `Ok(None)` when more bytes are needed, `Ok(Some(msg))` after
+/// consuming a whole frame, and an error for an invalid length prefix or
+/// body — the connection should then be dropped, since framing is lost.
+pub fn decode_framed(buf: &mut BytesMut) -> Result<Option<WireMsg>, NetError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(NetError::Oversized(u64::from(len)));
+    }
+    let len = len as usize;
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let body = buf.split_to(len).freeze();
+    WireMsg::decode(body).map(Some)
+}
+
+/// Write one framed message to a stream.
+pub fn write_msg(w: &mut impl Write, msg: &WireMsg) -> io::Result<()> {
+    w.write_all(&encode_framed(msg))?;
+    w.flush()
+}
+
+/// Read one framed message from a stream (blocking).
+///
+/// The length prefix is validated before the body buffer is allocated.
+pub fn read_msg(r: &mut impl Read) -> Result<WireMsg, ReadError> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(ReadError::Decode(NetError::Oversized(u64::from(len))));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(WireMsg::decode(Bytes::from(body))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framed_roundtrip_through_incremental_buffer() {
+        let msgs =
+            vec![WireMsg::Ack { seq: 1 }, WireMsg::Ack { seq: 2 }, WireMsg::Reject("x".into())];
+        let mut stream = BytesMut::new();
+        for m in &msgs {
+            stream.put_slice(&encode_framed(m));
+        }
+        // Feed the bytes one at a time, as a socket might deliver them.
+        let mut rx = BytesMut::new();
+        let mut out = Vec::new();
+        for &b in stream.freeze().as_slice() {
+            rx.put_u8(b);
+            while let Some(m) = decode_framed(&mut rx).unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_rejected() {
+        let mut zero = BytesMut::from(&[0u8, 0, 0, 0, 9][..]);
+        assert!(matches!(decode_framed(&mut zero), Err(NetError::Oversized(0))));
+        let mut big = BytesMut::from(&u32::MAX.to_be_bytes()[..]);
+        assert!(matches!(decode_framed(&mut big), Err(NetError::Oversized(_))));
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let msg = WireMsg::Ack { seq: 42 };
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &msg).unwrap();
+        let mut reader = &wire[..];
+        assert_eq!(read_msg(&mut reader).unwrap(), msg);
+    }
+
+    #[test]
+    fn stream_read_rejects_oversized_prefix_without_allocating() {
+        let wire = u32::MAX.to_be_bytes();
+        let mut reader = &wire[..];
+        assert!(matches!(read_msg(&mut reader), Err(ReadError::Decode(NetError::Oversized(_)))));
+    }
+}

@@ -1,0 +1,777 @@
+//! Message types and their binary encoding.
+//!
+//! One tag space covers every message that can appear on a connection;
+//! which tags are *expected* depends on the connection's role (peer
+//! link vs. client session), but decoding is uniform so a misdirected
+//! message fails loudly at the protocol layer, not in the parser.
+//!
+//! | tag | message | direction |
+//! |-----|---------|-----------|
+//! | 1 | [`Hello`] | dialer → accepter, first frame of a peer link |
+//! | 2 | [`HelloAck`] | accepter → dialer |
+//! | 3 | `Reject` | accepter → dialer (handshake refused) |
+//! | 4 | `Link` (seq + [`Payload`]) | dialer → accepter |
+//! | 5 | `Ack` (seq) | accepter → dialer |
+//! | 6 | [`ClientMsg`] | client → repld |
+//! | 7 | [`ClientReply`] | repld → client |
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use repl_core::timestamp::Timestamp;
+use repl_storage::codec::{self, CodecError};
+use repl_types::{GlobalTxnId, ItemId, Op, OpKind, SiteId, Value};
+
+use crate::conn::MAGIC;
+
+/// Errors raised while decoding wire bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The frame ended mid-field.
+    Truncated,
+    /// Unknown message, payload, kind or value tag.
+    BadTag(u8),
+    /// A length prefix exceeds [`crate::frame::MAX_FRAME_LEN`].
+    Oversized(u64),
+    /// A `Hello` whose magic number is not [`MAGIC`].
+    BadMagic(u32),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Truncated => write!(f, "frame truncated"),
+            NetError::BadTag(t) => write!(f, "unknown wire tag {t}"),
+            NetError::Oversized(n) => write!(f, "frame length {n} exceeds the frame cap"),
+            NetError::BadMagic(m) => write!(f, "bad protocol magic {m:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Truncated => NetError::Truncated,
+            CodecError::BadTag(t) => NetError::BadTag(t),
+        }
+    }
+}
+
+/// What a propagation record is, protocol-wise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubtxnKind {
+    /// An ordinary secondary subtransaction.
+    Normal,
+    /// A DAG(T) dummy: timestamp only, no writes (§3.3).
+    Dummy,
+    /// A BackEdge special riding the eager phase (§4.1).
+    Special,
+}
+
+/// A secondary subtransaction as shipped between sites.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Subtxn {
+    /// Global id of the originating transaction.
+    pub gid: GlobalTxnId,
+    /// Site where the transaction committed (or is committing, for
+    /// BackEdge specials).
+    pub origin: SiteId,
+    /// Record kind.
+    pub kind: SubtxnKind,
+    /// DAG(T) timestamp; `None` for protocols that do not stamp.
+    pub ts: Option<Timestamp>,
+    /// The writes to install.
+    pub writes: Vec<(ItemId, Value)>,
+    /// Replica sites still to be reached (tree routing).
+    pub dest_sites: Vec<SiteId>,
+}
+
+/// The reliable-link payload: everything that flows through sender-side
+/// outboxes with sequence numbers, retransmission and dedup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// A propagation record.
+    Subtxn(Subtxn),
+    /// A BackEdge commit/abort decision for a prepared special (§4.1).
+    Decision {
+        /// The transaction the decision is about.
+        gid: GlobalTxnId,
+        /// True to commit the prepared writes, false to discard them.
+        commit: bool,
+    },
+}
+
+/// First frame of a peer connection, sent by the dialer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Dialing site.
+    pub site: SiteId,
+    /// Lowest protocol version the dialer speaks.
+    pub version_min: u16,
+    /// Highest protocol version the dialer speaks.
+    pub version_max: u16,
+    /// Fingerprint of (placement, protocol); both ends must agree they
+    /// are in the same cluster before any propagation record flows.
+    pub cluster: u64,
+}
+
+/// The accepter's handshake reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HelloAck {
+    /// Negotiated protocol version (≤ both sides' max).
+    pub version: u16,
+    /// Accepting site.
+    pub site: SiteId,
+    /// The accepter's durable high-water mark for the dialer's link:
+    /// every sequence ≤ this is already applied, so the dialer prunes
+    /// its outbox to here and retransmits the rest (the rejoin
+    /// handshake).
+    pub resume_seq: u64,
+}
+
+/// A typed transaction-execution error carried over the client protocol
+/// (mirrors the runtime's `ClusterError` without depending on it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The site holds no copy of an item the transaction reads.
+    NoCopy(SiteId, ItemId),
+    /// The transaction writes an item whose primary is elsewhere.
+    NotPrimary(SiteId, ItemId),
+    /// Site id out of range.
+    NoSuchSite(SiteId),
+    /// The site is down or shutting down.
+    Disconnected,
+    /// Anything else, as text.
+    Other(String),
+}
+
+/// Requests a client session sends to a `repld` process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientMsg {
+    /// Execute a transaction and reply [`ClientReply::Executed`].
+    Execute(Vec<Op>),
+    /// Non-transactional read of one copy; reply [`ClientReply::Cell`].
+    Peek(ItemId),
+    /// Progress counters; reply [`ClientReply::Stats`].
+    Stats,
+    /// Canonical bytes of the site's copy state; reply
+    /// [`ClientReply::State`].
+    CopyState,
+    /// Install the peer address map and start dialing; reply
+    /// [`ClientReply::Ok`]. Used by launchers that bind listeners on
+    /// ephemeral ports and only then learn the cluster's addresses.
+    Peers(Vec<(SiteId, String)>),
+    /// Fault injection: drop both connections to/from `peer`, forcing a
+    /// reconnect + retransmission cycle; reply [`ClientReply::Ok`].
+    KillConn(SiteId),
+    /// Stop the site process gracefully; reply [`ClientReply::Ok`].
+    Shutdown,
+}
+
+/// Replies a `repld` process sends on a client session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientReply {
+    /// Outcome of [`ClientMsg::Execute`].
+    Executed(Result<GlobalTxnId, ExecError>),
+    /// Outcome of [`ClientMsg::Peek`].
+    Cell(Option<(Value, Option<GlobalTxnId>)>),
+    /// Outcome of [`ClientMsg::Stats`].
+    Stats {
+        /// This process's contribution to the cluster-wide count of
+        /// replica applications still in flight (commits here add the
+        /// destination count, applications here subtract one; may be
+        /// negative per process, sums to ≥ 0 cluster-wide).
+        outstanding: i64,
+        /// Transactions committed at this site.
+        committed: u64,
+    },
+    /// Outcome of [`ClientMsg::CopyState`].
+    State(Bytes),
+    /// Generic success.
+    Ok,
+    /// Generic failure, as text.
+    Err(String),
+}
+
+/// Any message that can appear on a connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Peer handshake request.
+    Hello(Hello),
+    /// Peer handshake reply.
+    HelloAck(HelloAck),
+    /// Handshake refused (version ranges disjoint, wrong cluster, …).
+    Reject(String),
+    /// One reliable-link message: the link's sequence number plus the
+    /// payload. The sending site is the connection's dialer, established
+    /// by its `Hello` — it is not repeated per frame.
+    Link {
+        /// Sequence number on the dialer → accepter link.
+        seq: u64,
+        /// The payload.
+        payload: Payload,
+    },
+    /// Cumulative acknowledgement: every `Link` frame with sequence ≤
+    /// `seq` received on this connection has been accepted durably.
+    Ack {
+        /// The acknowledged high-water mark.
+        seq: u64,
+    },
+    /// A client request.
+    Client(ClientMsg),
+    /// A client reply.
+    Reply(ClientReply),
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_timestamp(buf: &mut BytesMut, ts: &Timestamp) {
+    buf.put_u64(ts.epoch);
+    buf.put_u32(ts.tuples.len() as u32);
+    for (site, lts) in &ts.tuples {
+        buf.put_u32(site.0);
+        buf.put_u64(*lts);
+    }
+}
+
+fn get_timestamp(buf: &mut Bytes) -> Result<Timestamp, NetError> {
+    let epoch = codec::get_u64(buf)?;
+    let n = codec::get_u32(buf)? as usize;
+    let mut tuples = Vec::with_capacity(n.min(buf.len() / 12));
+    for _ in 0..n {
+        let site = SiteId(codec::get_u32(buf)?);
+        let lts = codec::get_u64(buf)?;
+        tuples.push((site, lts));
+    }
+    Ok(Timestamp { epoch, tuples })
+}
+
+fn put_subtxn(buf: &mut BytesMut, sub: &Subtxn) {
+    codec::put_gid(buf, sub.gid);
+    buf.put_u32(sub.origin.0);
+    buf.put_u8(match sub.kind {
+        SubtxnKind::Normal => 0,
+        SubtxnKind::Dummy => 1,
+        SubtxnKind::Special => 2,
+    });
+    match &sub.ts {
+        None => buf.put_u8(0),
+        Some(ts) => {
+            buf.put_u8(1);
+            put_timestamp(buf, ts);
+        }
+    }
+    buf.put_u32(sub.writes.len() as u32);
+    for (item, value) in &sub.writes {
+        buf.put_u32(item.0);
+        codec::put_value(buf, value);
+    }
+    buf.put_u32(sub.dest_sites.len() as u32);
+    for d in &sub.dest_sites {
+        buf.put_u32(d.0);
+    }
+}
+
+fn get_subtxn(buf: &mut Bytes) -> Result<Subtxn, NetError> {
+    let gid = codec::get_gid(buf)?;
+    let origin = SiteId(codec::get_u32(buf)?);
+    let kind = match codec::get_u8(buf)? {
+        0 => SubtxnKind::Normal,
+        1 => SubtxnKind::Dummy,
+        2 => SubtxnKind::Special,
+        t => return Err(NetError::BadTag(t)),
+    };
+    let ts = match codec::get_u8(buf)? {
+        0 => None,
+        1 => Some(get_timestamp(buf)?),
+        t => return Err(NetError::BadTag(t)),
+    };
+    let n_writes = codec::get_u32(buf)? as usize;
+    let mut writes = Vec::with_capacity(n_writes.min(buf.len() / 5));
+    for _ in 0..n_writes {
+        let item = ItemId(codec::get_u32(buf)?);
+        let value = codec::get_value(buf)?;
+        writes.push((item, value));
+    }
+    let n_dests = codec::get_u32(buf)? as usize;
+    let mut dest_sites = Vec::with_capacity(n_dests.min(buf.len() / 4));
+    for _ in 0..n_dests {
+        dest_sites.push(SiteId(codec::get_u32(buf)?));
+    }
+    Ok(Subtxn { gid, origin, kind, ts, writes, dest_sites })
+}
+
+fn put_payload(buf: &mut BytesMut, payload: &Payload) {
+    match payload {
+        Payload::Subtxn(sub) => {
+            buf.put_u8(1);
+            put_subtxn(buf, sub);
+        }
+        Payload::Decision { gid, commit } => {
+            buf.put_u8(2);
+            codec::put_gid(buf, *gid);
+            buf.put_u8(u8::from(*commit));
+        }
+    }
+}
+
+fn get_payload(buf: &mut Bytes) -> Result<Payload, NetError> {
+    match codec::get_u8(buf)? {
+        1 => Ok(Payload::Subtxn(get_subtxn(buf)?)),
+        2 => {
+            let gid = codec::get_gid(buf)?;
+            let commit = match codec::get_u8(buf)? {
+                0 => false,
+                1 => true,
+                t => return Err(NetError::BadTag(t)),
+            };
+            Ok(Payload::Decision { gid, commit })
+        }
+        t => Err(NetError::BadTag(t)),
+    }
+}
+
+fn put_ops(buf: &mut BytesMut, ops: &[Op]) {
+    buf.put_u32(ops.len() as u32);
+    for op in ops {
+        buf.put_u8(match op.kind {
+            OpKind::Read => 0,
+            OpKind::Write => 1,
+        });
+        buf.put_u32(op.item.0);
+        codec::put_value(buf, &op.value);
+    }
+}
+
+fn get_ops(buf: &mut Bytes) -> Result<Vec<Op>, NetError> {
+    let n = codec::get_u32(buf)? as usize;
+    let mut ops = Vec::with_capacity(n.min(buf.len() / 6));
+    for _ in 0..n {
+        let kind = match codec::get_u8(buf)? {
+            0 => OpKind::Read,
+            1 => OpKind::Write,
+            t => return Err(NetError::BadTag(t)),
+        };
+        let item = ItemId(codec::get_u32(buf)?);
+        let value = codec::get_value(buf)?;
+        ops.push(Op { item, kind, value });
+    }
+    Ok(ops)
+}
+
+fn put_exec_error(buf: &mut BytesMut, e: &ExecError) {
+    match e {
+        ExecError::NoCopy(s, i) => {
+            buf.put_u8(1);
+            buf.put_u32(s.0);
+            buf.put_u32(i.0);
+        }
+        ExecError::NotPrimary(s, i) => {
+            buf.put_u8(2);
+            buf.put_u32(s.0);
+            buf.put_u32(i.0);
+        }
+        ExecError::NoSuchSite(s) => {
+            buf.put_u8(3);
+            buf.put_u32(s.0);
+        }
+        ExecError::Disconnected => buf.put_u8(4),
+        ExecError::Other(msg) => {
+            buf.put_u8(5);
+            codec::put_str(buf, msg);
+        }
+    }
+}
+
+fn get_exec_error(buf: &mut Bytes) -> Result<ExecError, NetError> {
+    Ok(match codec::get_u8(buf)? {
+        1 => ExecError::NoCopy(SiteId(codec::get_u32(buf)?), ItemId(codec::get_u32(buf)?)),
+        2 => ExecError::NotPrimary(SiteId(codec::get_u32(buf)?), ItemId(codec::get_u32(buf)?)),
+        3 => ExecError::NoSuchSite(SiteId(codec::get_u32(buf)?)),
+        4 => ExecError::Disconnected,
+        5 => ExecError::Other(codec::get_str(buf)?),
+        t => return Err(NetError::BadTag(t)),
+    })
+}
+
+fn put_client(buf: &mut BytesMut, msg: &ClientMsg) {
+    match msg {
+        ClientMsg::Execute(ops) => {
+            buf.put_u8(1);
+            put_ops(buf, ops);
+        }
+        ClientMsg::Peek(item) => {
+            buf.put_u8(2);
+            buf.put_u32(item.0);
+        }
+        ClientMsg::Stats => buf.put_u8(3),
+        ClientMsg::CopyState => buf.put_u8(4),
+        ClientMsg::Peers(addrs) => {
+            buf.put_u8(5);
+            buf.put_u32(addrs.len() as u32);
+            for (site, addr) in addrs {
+                buf.put_u32(site.0);
+                codec::put_str(buf, addr);
+            }
+        }
+        ClientMsg::KillConn(peer) => {
+            buf.put_u8(6);
+            buf.put_u32(peer.0);
+        }
+        ClientMsg::Shutdown => buf.put_u8(7),
+    }
+}
+
+fn get_client(buf: &mut Bytes) -> Result<ClientMsg, NetError> {
+    Ok(match codec::get_u8(buf)? {
+        1 => ClientMsg::Execute(get_ops(buf)?),
+        2 => ClientMsg::Peek(ItemId(codec::get_u32(buf)?)),
+        3 => ClientMsg::Stats,
+        4 => ClientMsg::CopyState,
+        5 => {
+            let n = codec::get_u32(buf)? as usize;
+            let mut addrs = Vec::with_capacity(n.min(buf.len() / 8));
+            for _ in 0..n {
+                let site = SiteId(codec::get_u32(buf)?);
+                let addr = codec::get_str(buf)?;
+                addrs.push((site, addr));
+            }
+            ClientMsg::Peers(addrs)
+        }
+        6 => ClientMsg::KillConn(SiteId(codec::get_u32(buf)?)),
+        7 => ClientMsg::Shutdown,
+        t => return Err(NetError::BadTag(t)),
+    })
+}
+
+fn put_reply(buf: &mut BytesMut, reply: &ClientReply) {
+    match reply {
+        ClientReply::Executed(Ok(gid)) => {
+            buf.put_u8(1);
+            codec::put_gid(buf, *gid);
+        }
+        ClientReply::Executed(Err(e)) => {
+            buf.put_u8(2);
+            put_exec_error(buf, e);
+        }
+        ClientReply::Cell(cell) => {
+            buf.put_u8(3);
+            match cell {
+                None => buf.put_u8(0),
+                Some((value, writer)) => {
+                    buf.put_u8(1);
+                    codec::put_value(buf, value);
+                    match writer {
+                        None => buf.put_u8(0),
+                        Some(gid) => {
+                            buf.put_u8(1);
+                            codec::put_gid(buf, *gid);
+                        }
+                    }
+                }
+            }
+        }
+        ClientReply::Stats { outstanding, committed } => {
+            buf.put_u8(4);
+            buf.put_i64(*outstanding);
+            buf.put_u64(*committed);
+        }
+        ClientReply::State(bytes) => {
+            buf.put_u8(5);
+            buf.put_u64(bytes.len() as u64);
+            buf.put_slice(bytes);
+        }
+        ClientReply::Ok => buf.put_u8(6),
+        ClientReply::Err(msg) => {
+            buf.put_u8(7);
+            codec::put_str(buf, msg);
+        }
+    }
+}
+
+fn get_reply(buf: &mut Bytes) -> Result<ClientReply, NetError> {
+    Ok(match codec::get_u8(buf)? {
+        1 => ClientReply::Executed(Ok(codec::get_gid(buf)?)),
+        2 => ClientReply::Executed(Err(get_exec_error(buf)?)),
+        3 => match codec::get_u8(buf)? {
+            0 => ClientReply::Cell(None),
+            1 => {
+                let value = codec::get_value(buf)?;
+                let writer = match codec::get_u8(buf)? {
+                    0 => None,
+                    1 => Some(codec::get_gid(buf)?),
+                    t => return Err(NetError::BadTag(t)),
+                };
+                ClientReply::Cell(Some((value, writer)))
+            }
+            t => return Err(NetError::BadTag(t)),
+        },
+        4 => {
+            if buf.len() < 16 {
+                return Err(NetError::Truncated);
+            }
+            let outstanding = buf.get_i64();
+            let committed = buf.get_u64();
+            ClientReply::Stats { outstanding, committed }
+        }
+        5 => {
+            let len = codec::get_u64(buf)? as usize;
+            if buf.len() < len {
+                return Err(NetError::Truncated);
+            }
+            ClientReply::State(buf.copy_to_bytes(len))
+        }
+        6 => ClientReply::Ok,
+        7 => ClientReply::Err(codec::get_str(buf)?),
+        t => return Err(NetError::BadTag(t)),
+    })
+}
+
+impl WireMsg {
+    /// Encode the message body (tag + fields), without a length prefix.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            WireMsg::Hello(h) => {
+                buf.put_u8(1);
+                buf.put_u32(MAGIC);
+                buf.put_u32(h.site.0);
+                buf.put_u16(h.version_min);
+                buf.put_u16(h.version_max);
+                buf.put_u64(h.cluster);
+            }
+            WireMsg::HelloAck(a) => {
+                buf.put_u8(2);
+                buf.put_u16(a.version);
+                buf.put_u32(a.site.0);
+                buf.put_u64(a.resume_seq);
+            }
+            WireMsg::Reject(reason) => {
+                buf.put_u8(3);
+                codec::put_str(&mut buf, reason);
+            }
+            WireMsg::Link { seq, payload } => {
+                buf.put_u8(4);
+                buf.put_u64(*seq);
+                put_payload(&mut buf, payload);
+            }
+            WireMsg::Ack { seq } => {
+                buf.put_u8(5);
+                buf.put_u64(*seq);
+            }
+            WireMsg::Client(msg) => {
+                buf.put_u8(6);
+                put_client(&mut buf, msg);
+            }
+            WireMsg::Reply(reply) => {
+                buf.put_u8(7);
+                put_reply(&mut buf, reply);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode one message body (tag + fields). Total: every input yields
+    /// `Ok` or a clean error. Trailing bytes after a well-formed message
+    /// are an error — frames carry exactly one message.
+    pub fn decode(mut buf: Bytes) -> Result<WireMsg, NetError> {
+        let msg = match codec::get_u8(&mut buf)? {
+            1 => {
+                let magic = codec::get_u32(&mut buf)?;
+                if magic != MAGIC {
+                    return Err(NetError::BadMagic(magic));
+                }
+                let site = SiteId(codec::get_u32(&mut buf)?);
+                if buf.len() < 4 {
+                    return Err(NetError::Truncated);
+                }
+                let version_min = buf.get_u16();
+                let version_max = buf.get_u16();
+                let cluster = codec::get_u64(&mut buf)?;
+                WireMsg::Hello(Hello { site, version_min, version_max, cluster })
+            }
+            2 => {
+                if buf.len() < 2 {
+                    return Err(NetError::Truncated);
+                }
+                let version = buf.get_u16();
+                let site = SiteId(codec::get_u32(&mut buf)?);
+                let resume_seq = codec::get_u64(&mut buf)?;
+                WireMsg::HelloAck(HelloAck { version, site, resume_seq })
+            }
+            3 => WireMsg::Reject(codec::get_str(&mut buf)?),
+            4 => {
+                let seq = codec::get_u64(&mut buf)?;
+                let payload = get_payload(&mut buf)?;
+                WireMsg::Link { seq, payload }
+            }
+            5 => WireMsg::Ack { seq: codec::get_u64(&mut buf)? },
+            6 => WireMsg::Client(get_client(&mut buf)?),
+            7 => WireMsg::Reply(get_reply(&mut buf)?),
+            t => return Err(NetError::BadTag(t)),
+        };
+        if !buf.is_empty() {
+            // Trailing garbage means the sender and receiver disagree on
+            // the layout; surface it rather than silently dropping bytes.
+            return Err(NetError::BadTag(0));
+        }
+        Ok(msg)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Copy-state images and cluster fingerprints
+// ---------------------------------------------------------------------
+
+/// Encode a site's copy state as canonical bytes: cell count, then
+/// `(item, value, writer)` cells which the caller must supply in
+/// ascending item order. Two sites replaying the same committed history
+/// produce byte-identical images — the equivalence oracle of the
+/// transport tests.
+pub fn encode_cells(cells: &[(ItemId, Value, Option<GlobalTxnId>)]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + cells.len() * 24);
+    buf.put_u32(cells.len() as u32);
+    for (item, value, writer) in cells {
+        codec::put_cell(&mut buf, *item, value, *writer);
+    }
+    buf.freeze()
+}
+
+/// Decode an image produced by [`encode_cells`].
+pub fn decode_cells(mut buf: Bytes) -> Result<Vec<(ItemId, Value, Option<GlobalTxnId>)>, NetError> {
+    let n = codec::get_u32(&mut buf)? as usize;
+    let mut cells = Vec::with_capacity(n.min(buf.len() / 6));
+    for _ in 0..n {
+        cells.push(codec::get_cell(&mut buf)?);
+    }
+    Ok(cells)
+}
+
+/// Fingerprint of a cluster's identity — FNV-1a over the placement spec
+/// and protocol name. Carried in [`Hello`] so two processes configured
+/// for different clusters refuse to exchange propagation records.
+pub fn cluster_fingerprint(placement_spec: &str, protocol: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in placement_spec.bytes().chain([0u8]).chain(protocol.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: WireMsg) {
+        let decoded = WireMsg::decode(msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn handshake_roundtrips() {
+        roundtrip(WireMsg::Hello(Hello {
+            site: SiteId(2),
+            version_min: 1,
+            version_max: 3,
+            cluster: 0xDEADBEEF,
+        }));
+        roundtrip(WireMsg::HelloAck(HelloAck { version: 1, site: SiteId(0), resume_seq: 17 }));
+        roundtrip(WireMsg::Reject("version ranges disjoint".into()));
+    }
+
+    #[test]
+    fn link_roundtrips() {
+        let ts = Timestamp { epoch: 3, tuples: vec![(SiteId(0), 5), (SiteId(2), 1)] };
+        roundtrip(WireMsg::Link {
+            seq: 9,
+            payload: Payload::Subtxn(Subtxn {
+                gid: GlobalTxnId::new(SiteId(1), 44),
+                origin: SiteId(1),
+                kind: SubtxnKind::Normal,
+                ts: Some(ts),
+                writes: vec![(ItemId(0), Value::int(-3)), (ItemId(4), Value::Bytes(vec![1]))],
+                dest_sites: vec![SiteId(0), SiteId(2)],
+            }),
+        });
+        roundtrip(WireMsg::Link {
+            seq: 1,
+            payload: Payload::Decision { gid: GlobalTxnId::new(SiteId(0), 7), commit: true },
+        });
+        roundtrip(WireMsg::Ack { seq: 12 });
+    }
+
+    #[test]
+    fn client_roundtrips() {
+        roundtrip(WireMsg::Client(ClientMsg::Execute(vec![
+            Op::write(ItemId(1), 9),
+            Op::read(ItemId(0)),
+        ])));
+        roundtrip(WireMsg::Client(ClientMsg::Peek(ItemId(3))));
+        roundtrip(WireMsg::Client(ClientMsg::Stats));
+        roundtrip(WireMsg::Client(ClientMsg::CopyState));
+        roundtrip(WireMsg::Client(ClientMsg::Peers(vec![
+            (SiteId(0), "127.0.0.1:9000".into()),
+            (SiteId(1), "127.0.0.1:9001".into()),
+        ])));
+        roundtrip(WireMsg::Client(ClientMsg::KillConn(SiteId(1))));
+        roundtrip(WireMsg::Client(ClientMsg::Shutdown));
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        roundtrip(WireMsg::Reply(ClientReply::Executed(Ok(GlobalTxnId::new(SiteId(0), 3)))));
+        roundtrip(WireMsg::Reply(ClientReply::Executed(Err(ExecError::NotPrimary(
+            SiteId(1),
+            ItemId(2),
+        )))));
+        roundtrip(WireMsg::Reply(ClientReply::Executed(Err(ExecError::Other("boom".into())))));
+        roundtrip(WireMsg::Reply(ClientReply::Cell(None)));
+        roundtrip(WireMsg::Reply(ClientReply::Cell(Some((
+            Value::int(5),
+            Some(GlobalTxnId::new(SiteId(2), 1)),
+        )))));
+        roundtrip(WireMsg::Reply(ClientReply::Stats { outstanding: -2, committed: 10 }));
+        roundtrip(WireMsg::Reply(ClientReply::State(Bytes::from_static(&[1, 2, 3]))));
+        roundtrip(WireMsg::Reply(ClientReply::Ok));
+        roundtrip(WireMsg::Reply(ClientReply::Err("nope".into())));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let hello =
+            WireMsg::Hello(Hello { site: SiteId(0), version_min: 1, version_max: 1, cluster: 1 });
+        let mut raw = hello.encode().to_vec();
+        raw[1] ^= 0xFF; // corrupt the magic
+        assert!(matches!(WireMsg::decode(Bytes::from(raw)), Err(NetError::BadMagic(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut raw = WireMsg::Ack { seq: 1 }.encode().to_vec();
+        raw.push(0);
+        assert!(WireMsg::decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn cells_roundtrip_and_are_canonical() {
+        let cells = vec![
+            (ItemId(0), Value::int(5), Some(GlobalTxnId::new(SiteId(0), 1))),
+            (ItemId(3), Value::Initial, None),
+        ];
+        let img = encode_cells(&cells);
+        assert_eq!(decode_cells(img.clone()).unwrap(), cells);
+        assert_eq!(img, encode_cells(&cells));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_clusters() {
+        let a = cluster_fingerprint("3|0:1,2|1:2", "dagwt");
+        assert_eq!(a, cluster_fingerprint("3|0:1,2|1:2", "dagwt"));
+        assert_ne!(a, cluster_fingerprint("3|0:1,2|1:2", "dagt"));
+        assert_ne!(a, cluster_fingerprint("3|0:1,2", "dagwt"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Frame-decode fuzzing: arbitrary bytes, bit flips, truncations and
+//! hostile length prefixes must produce clean errors — never a panic,
+//! never an allocation sized from attacker-controlled headers.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use proptest::prelude::*;
+
+use repl_core::timestamp::Timestamp;
+use repl_net::{
+    decode_framed, encode_framed, ClientMsg, ClientReply, ExecError, Hello, HelloAck, Payload,
+    Subtxn, SubtxnKind, WireMsg, MAX_FRAME_LEN,
+};
+use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
+
+fn arb_value() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Initial),
+        (i64::MIN..i64::MAX).prop_map(Value::Int),
+        prop::collection::vec(0u8..=u8::MAX, 0..32).prop_map(Value::Bytes),
+    ]
+    .boxed()
+}
+
+fn arb_gid() -> BoxedStrategy<GlobalTxnId> {
+    (0u32..8, 0u64..u64::MAX).prop_map(|(s, q)| GlobalTxnId::new(SiteId(s), q)).boxed()
+}
+
+fn arb_string() -> BoxedStrategy<String> {
+    prop::collection::vec(32u8..127, 0..24)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("ascii"))
+        .boxed()
+}
+
+fn arb_timestamp() -> BoxedStrategy<Timestamp> {
+    (0u64..u64::MAX, prop::collection::vec((0u32..8, 0u64..u64::MAX), 0..4))
+        .prop_map(|(epoch, tuples)| Timestamp {
+            epoch,
+            tuples: tuples.into_iter().map(|(s, l)| (SiteId(s), l)).collect(),
+        })
+        .boxed()
+}
+
+fn arb_subtxn() -> BoxedStrategy<Subtxn> {
+    (
+        arb_gid(),
+        0u32..8,
+        prop_oneof![Just(SubtxnKind::Normal), Just(SubtxnKind::Dummy), Just(SubtxnKind::Special)],
+        prop_oneof![Just(None), arb_timestamp().prop_map(Some),],
+        prop::collection::vec((0u32..16, arb_value()), 0..4),
+        prop::collection::vec(0u32..8, 0..4),
+    )
+        .prop_map(|(gid, origin, kind, ts, writes, dests)| Subtxn {
+            gid,
+            origin: SiteId(origin),
+            kind,
+            ts,
+            writes: writes.into_iter().map(|(i, v)| (ItemId(i), v)).collect(),
+            dest_sites: dests.into_iter().map(SiteId).collect(),
+        })
+        .boxed()
+}
+
+fn arb_msg() -> BoxedStrategy<WireMsg> {
+    prop_oneof![
+        (0u32..8, 0u16..8, 0u16..8, 0u64..u64::MAX).prop_map(|(s, lo, hi, c)| {
+            WireMsg::Hello(Hello { site: SiteId(s), version_min: lo, version_max: hi, cluster: c })
+        }),
+        (0u16..8, 0u32..8, 0u64..u64::MAX).prop_map(|(v, s, q)| {
+            WireMsg::HelloAck(HelloAck { version: v, site: SiteId(s), resume_seq: q })
+        }),
+        arb_string().prop_map(WireMsg::Reject),
+        (0u64..u64::MAX, arb_subtxn())
+            .prop_map(|(seq, sub)| WireMsg::Link { seq, payload: Payload::Subtxn(sub) }),
+        (0u64..u64::MAX, arb_gid(), prop::bool::ANY).prop_map(|(seq, gid, commit)| {
+            WireMsg::Link { seq, payload: Payload::Decision { gid, commit } }
+        }),
+        (0u64..u64::MAX).prop_map(|seq| WireMsg::Ack { seq }),
+        prop::collection::vec((0u32..16, i64::MIN..i64::MAX), 0..4).prop_map(|ws| {
+            WireMsg::Client(ClientMsg::Execute(
+                ws.into_iter().map(|(i, v)| Op::write(ItemId(i), v)).collect(),
+            ))
+        }),
+        Just(WireMsg::Client(ClientMsg::Stats)),
+        (0u32..16).prop_map(|i| WireMsg::Client(ClientMsg::Peek(ItemId(i)))),
+        arb_gid().prop_map(|g| WireMsg::Reply(ClientReply::Executed(Ok(g)))),
+        arb_string().prop_map(|m| WireMsg::Reply(ClientReply::Executed(Err(ExecError::Other(m))))),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the decoder, and anything that does
+    /// decode re-encodes to an equal message.
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=u8::MAX, 0..256),
+    ) {
+        if let Ok(msg) = WireMsg::decode(Bytes::from(bytes)) {
+            let again = WireMsg::decode(msg.encode()).unwrap();
+            prop_assert_eq!(again, msg);
+        }
+    }
+
+    /// Well-formed messages survive an encode/decode round trip.
+    #[test]
+    fn roundtrip_arbitrary(msg in arb_msg()) {
+        let decoded = WireMsg::decode(msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Flipping any single bit of a valid body either still decodes (to
+    /// possibly different content) or fails cleanly — never panics.
+    #[test]
+    fn decode_survives_bit_flips(
+        msg in arb_msg(),
+        flip in (0usize..usize::MAX, 0u8..8),
+    ) {
+        let mut raw = msg.encode().to_vec();
+        let idx = flip.0 % raw.len();
+        raw[idx] ^= 1 << flip.1;
+        let _ = WireMsg::decode(Bytes::from(raw));
+    }
+
+    /// Every strict prefix of a valid body fails cleanly.
+    #[test]
+    fn decode_rejects_arbitrary_truncations(
+        msg in arb_msg(),
+        cut_seed in 0usize..usize::MAX,
+    ) {
+        let raw = msg.encode();
+        let cut = cut_seed % raw.len();
+        prop_assert!(WireMsg::decode(raw.slice(0..cut)).is_err());
+    }
+
+    /// Stream framing: arbitrary bytes fed through the incremental frame
+    /// decoder never panic and never over-allocate.
+    #[test]
+    fn frame_decoder_never_panics(
+        bytes in prop::collection::vec(0u8..=u8::MAX, 0..512),
+    ) {
+        let mut buf = BytesMut::from(&bytes[..]);
+        while let Ok(Some(_)) = decode_framed(&mut buf) {}
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_without_allocation() {
+    // A 4 GiB claimed frame with only a few real bytes behind it: the
+    // frame layer must refuse before sizing any buffer from the header.
+    let mut buf = BytesMut::new();
+    buf.put_u32(u32::MAX);
+    buf.put_slice(&[1, 2, 3]);
+    assert!(decode_framed(&mut buf).is_err());
+
+    let mut over = BytesMut::new();
+    over.put_u32(MAX_FRAME_LEN + 1);
+    assert!(decode_framed(&mut over).is_err());
+
+    // Exactly at the cap with an incomplete body: wait for more bytes.
+    let mut at_cap = BytesMut::new();
+    at_cap.put_u32(MAX_FRAME_LEN);
+    at_cap.put_slice(&[0; 64]);
+    assert!(matches!(decode_framed(&mut at_cap), Ok(None)));
+}
+
+#[test]
+fn inner_count_headers_are_distrusted() {
+    // A Link/Subtxn body claiming 2^32-1 writes with no bytes behind the
+    // claim must fail with Truncated, not attempt the allocation.
+    let mut buf = BytesMut::new();
+    buf.put_u8(4); // Link
+    buf.put_u64(1); // seq
+    buf.put_u8(1); // Payload::Subtxn
+    buf.put_u32(0); // gid.origin
+    buf.put_u64(0); // gid.seq
+    buf.put_u32(0); // origin
+    buf.put_u8(0); // kind Normal
+    buf.put_u8(0); // ts None
+    buf.put_u32(u32::MAX); // writes count — hostile
+    assert!(WireMsg::decode(buf.freeze()).is_err());
+}
+
+#[test]
+fn framed_messages_obey_the_cap() {
+    let msg = WireMsg::Reply(ClientReply::State(Bytes::from(vec![7u8; 1024])));
+    let framed = encode_framed(&msg);
+    assert!(framed.len() as u64 <= 4 + u64::from(MAX_FRAME_LEN));
+    let mut buf = BytesMut::from(&framed[..]);
+    assert_eq!(decode_framed(&mut buf).unwrap(), Some(msg));
+}

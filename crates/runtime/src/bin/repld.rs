@@ -1,0 +1,110 @@
+//! `repld` — one replicated-database site per OS process.
+//!
+//! Serves one site of a cluster over TCP: dials every peer from the
+//! address map, accepts peer and client connections, and runs the
+//! selected propagation protocol against a recovered local store.
+//!
+//! Configuration comes from an optional TOML-lite file (`--config`)
+//! overridden field-by-field by flags:
+//!
+//! ```text
+//! repld --config site0.toml
+//! repld --site 0 --listen 127.0.0.1:7100 --protocol dagwt \
+//!       --placement "3;0:0,1,2;1:1,2" \
+//!       --peer 0=127.0.0.1:7100 --peer 1=127.0.0.1:7101 --peer 2=127.0.0.1:7102
+//! ```
+//!
+//! With `--listen 127.0.0.1:0` the kernel picks the port and the chosen
+//! address is announced as the first stdout line
+//! (`repld: site N listening on ADDR`) — the launcher contract used by
+//! `ProcCluster`, which then pushes the full address map over the client
+//! protocol instead of `--peer` flags.
+//!
+//! A non-empty address map is linted (RA011) before any socket opens;
+//! lint errors abort the process with the rendered diagnostics.
+
+use std::process::ExitCode;
+
+use repl_analysis::{check_address_map, has_errors, render};
+use repl_copygraph::DataPlacement;
+use repl_core::deploy::DeployConfig;
+use repl_runtime::{serve, RuntimeProtocol, ServeConfig};
+use repl_types::SiteId;
+
+const USAGE: &str = "\
+usage: repld [--config FILE] [--site N] [--listen HOST:PORT]
+             [--protocol dagwt|dagt|backedge|naive] [--placement SPEC]
+             [--peer N=HOST:PORT]...
+
+Flags override --config values. --listen HOST:0 picks an ephemeral port
+and announces it on stdout as `repld: site N listening on ADDR`.";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("repld: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let cfg = parse_args(std::env::args().skip(1))?;
+
+    let site = cfg.site.ok_or("missing site id (--site or `site =` in the config)")?;
+    let listen = cfg.listen.ok_or("missing listen address (--listen)")?.clone();
+    let proto_name = cfg.protocol.as_deref().ok_or("missing protocol (--protocol)")?;
+    let protocol = RuntimeProtocol::parse(proto_name)
+        .ok_or_else(|| format!("unknown protocol {proto_name:?}"))?;
+    let spec = cfg.placement.as_deref().ok_or("missing placement (--placement)")?;
+    let placement =
+        DataPlacement::from_spec(spec).map_err(|e| format!("bad placement spec: {e}"))?;
+
+    if !cfg.peers.is_empty() {
+        let diags = check_address_map(&cfg.peers, placement.num_sites());
+        if has_errors(&diags) {
+            return Err(format!("malformed address map:\n{}", render(&diags)));
+        }
+    }
+
+    serve(ServeConfig { site: SiteId(site), placement, protocol, listen, peers: cfg.peers })
+        .map_err(|e| e.to_string())
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<DeployConfig, String> {
+    let mut args = args.peekable();
+    let mut file_cfg = DeployConfig::default();
+    let mut flags = DeployConfig::default();
+    while let Some(arg) = args.next() {
+        let mut value =
+            |name: &str| args.next().ok_or_else(|| format!("{name} needs a value\n\n{USAGE}"));
+        match arg.as_str() {
+            "--config" => {
+                let path = value("--config")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                file_cfg = DeployConfig::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            }
+            "--site" => {
+                flags.site =
+                    Some(value("--site")?.parse().map_err(|_| "site id must be an integer")?);
+            }
+            "--listen" => flags.listen = Some(value("--listen")?),
+            "--protocol" => flags.protocol = Some(value("--protocol")?),
+            "--placement" => flags.placement = Some(value("--placement")?),
+            "--peer" => {
+                let spec = value("--peer")?;
+                let (site, addr) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--peer wants N=HOST:PORT, got {spec:?}"))?;
+                let site: u32 =
+                    site.parse().map_err(|_| format!("bad site id in --peer {spec:?}"))?;
+                flags.peers.insert(SiteId(site), addr.to_string());
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(file_cfg.merged_with(flags))
+}

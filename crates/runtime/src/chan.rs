@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, RecvError, SendError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, SendError, Sender};
 use repl_types::trace::{self, TraceEvent};
 
 /// Sending half: stamps messages and records `ChanSend`.
@@ -50,9 +50,12 @@ pub(crate) struct TracedReceiver<T> {
 }
 
 impl<T> TracedReceiver<T> {
-    /// Block for the next message, recording the edge's target.
-    pub fn recv(&self) -> Result<T, RecvError> {
-        let (seq, value) = self.inner.recv()?;
+    /// Block for the next message up to `timeout` (protocol tick
+    /// driving: DAG(T) heartbeats and epochs run between commands). A
+    /// timeout records nothing — no message moved, so there is no
+    /// synchronization edge.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let (seq, value) = self.inner.recv_timeout(timeout)?;
         trace::record(TraceEvent::ChanRecv { channel: self.channel, seq });
         Ok(value)
     }

@@ -8,32 +8,64 @@ use std::thread::JoinHandle;
 use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 
-use repl_copygraph::{CopyGraph, DataPlacement, PropagationTree};
+use repl_copygraph::{BackEdgeSet, CopyGraph, DataPlacement, PropagationTree};
 use repl_core::history::{History, SerializationCycle};
 use repl_storage::{recover, Checkpoint, Store, WriteAheadLog};
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
 
 use crate::chan::{traced_unbounded, TracedSender};
 use crate::durable::DurableSite;
-use crate::link::{self, Links, Routes};
-use crate::site::{Command, SiteRuntime};
+use crate::link::Links;
+use crate::site::{BackedgeState, Command, DagtState, SiteRuntime};
+use crate::transport::{ChannelRaw, Net, Routes};
 
 /// Protocols the threaded runtime deploys.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RuntimeProtocol {
     /// DAG(WT) (§2): tree-routed, FIFO, serializable (Theorem 2.1).
     DagWt,
+    /// DAG(T) (§3): timestamped direct propagation, per-parent merge.
+    DagT,
+    /// BackEdge (§4): eager specials along backedges, lazy elsewhere.
+    BackEdge,
     /// Indiscriminate lazy propagation — the Example 1.1 strawman; can
     /// produce genuinely non-serializable interleavings on a real
     /// scheduler.
     NaiveLazy,
 }
 
+impl RuntimeProtocol {
+    /// Stable display name (also feeds the wire handshake's cluster
+    /// fingerprint, so both ends agree on what they are running).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeProtocol::DagWt => "DAG(WT)",
+            RuntimeProtocol::DagT => "DAG(T)",
+            RuntimeProtocol::BackEdge => "BackEdge",
+            RuntimeProtocol::NaiveLazy => "NaiveLazy",
+        }
+    }
+
+    /// Parse a command-line/config spelling.
+    pub fn parse(s: &str) -> Option<RuntimeProtocol> {
+        match s.to_ascii_lowercase().as_str() {
+            "dagwt" | "dag(wt)" | "dag-wt" => Some(RuntimeProtocol::DagWt),
+            "dagt" | "dag(t)" | "dag-t" => Some(RuntimeProtocol::DagT),
+            "backedge" | "back-edge" => Some(RuntimeProtocol::BackEdge),
+            "naive" | "naivelazy" | "naive-lazy" => Some(RuntimeProtocol::NaiveLazy),
+            _ => None,
+        }
+    }
+}
+
 /// Errors from cluster assembly and transaction execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ClusterError {
-    /// DAG(WT) requires an acyclic copy graph (§2).
+    /// DAG(WT) and DAG(T) require an acyclic copy graph (§2, §3).
     CopyGraphCyclic,
+    /// DAG(T) additionally requires site ids to be a topological order
+    /// of the copy graph (§3 assigns timestamps by site order).
+    SiteOrderNotTopological,
     /// The site holds no copy of the item the transaction reads.
     NoCopy(SiteId, ItemId),
     /// The transaction writes an item whose primary copy is elsewhere
@@ -41,6 +73,11 @@ pub enum ClusterError {
     NotPrimary(SiteId, ItemId),
     /// Site id out of range.
     NoSuchSite(SiteId),
+    /// Crash/restart faults are only modeled for protocols whose
+    /// per-site state is fully recoverable from the durable image;
+    /// DAG(T) timestamps and BackEdge prepared sets are volatile in
+    /// this runtime.
+    FaultsUnsupported,
     /// The site thread is gone (crashed, or the cluster shut down). A
     /// transaction that got this reply may still have committed — the
     /// usual at-most-once ambiguity of a server dying mid-request.
@@ -50,12 +87,20 @@ pub enum ClusterError {
 impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ClusterError::CopyGraphCyclic => write!(f, "copy graph is cyclic; DAG(WT) needs a DAG"),
+            ClusterError::CopyGraphCyclic => {
+                write!(f, "copy graph is cyclic; DAG protocols need a DAG")
+            }
+            ClusterError::SiteOrderNotTopological => {
+                write!(f, "DAG(T) requires site ids in topological order of the copy graph")
+            }
             ClusterError::NoCopy(s, i) => write!(f, "site {s} has no copy of {i}"),
             ClusterError::NotPrimary(s, i) => {
                 write!(f, "site {s} does not own the primary copy of {i}")
             }
             ClusterError::NoSuchSite(s) => write!(f, "no such site {s}"),
+            ClusterError::FaultsUnsupported => {
+                write!(f, "crash faults are not supported under this protocol")
+            }
             ClusterError::Disconnected => write!(f, "site is down or cluster is shut down"),
         }
     }
@@ -70,6 +115,52 @@ pub struct TxnHandle {
     pub gid: GlobalTxnId,
 }
 
+/// The propagation structures a deployment runs on: the copy graph and
+/// (for tree-routed protocols) the propagation tree. Shared by the
+/// in-process [`Cluster`] and the `repld` TCP server so both transports
+/// route identically.
+pub(crate) struct Structure {
+    pub tree: Option<Arc<PropagationTree>>,
+    pub graph: Arc<CopyGraph>,
+}
+
+/// Validate `placement` for `protocol` and build its routing structure.
+pub(crate) fn build_structure(
+    placement: &DataPlacement,
+    protocol: RuntimeProtocol,
+) -> Result<Structure, ClusterError> {
+    let graph = CopyGraph::from_placement(placement);
+    let tree = match protocol {
+        RuntimeProtocol::DagWt => Some(Arc::new(
+            PropagationTree::chain(&graph).map_err(|_| ClusterError::CopyGraphCyclic)?,
+        )),
+        RuntimeProtocol::NaiveLazy => None,
+        RuntimeProtocol::DagT => {
+            // §3's timestamp construction assumes site ids already form
+            // a topological order — same check as the simulation engine.
+            let order = graph.topo_order().ok_or(ClusterError::CopyGraphCyclic)?;
+            if order.windows(2).any(|w| w[0] > w[1]) {
+                return Err(ClusterError::SiteOrderNotTopological);
+            }
+            None
+        }
+        RuntimeProtocol::BackEdge => {
+            // §4: break cycles with a backedge set, then route lazy
+            // traffic on a tree over the augmented (always acyclic)
+            // constraint graph.
+            let backedges = BackEdgeSet::by_site_order(&graph);
+            let mut dag = CopyGraph::empty(placement.num_sites());
+            for (u, v) in backedges.augmented_constraints(&graph) {
+                dag.add_edge(u, v, 1);
+            }
+            Some(Arc::new(
+                PropagationTree::chain(&dag).expect("augmented constraint graph is acyclic"),
+            ))
+        }
+    };
+    Ok(Structure { tree, graph: Arc::new(graph) })
+}
+
 /// A running multi-threaded replication cluster.
 ///
 /// Fault tolerance: [`Cluster::crash`] kills a site's thread abruptly
@@ -81,7 +172,7 @@ pub struct TxnHandle {
 /// command instead of draining arbitrarily long queues.
 pub struct Cluster {
     routes: Arc<Routes>,
-    links: Arc<Links>,
+    net: Arc<Net>,
     durables: Vec<Arc<Mutex<DurableSite>>>,
     crash_flags: Vec<Arc<AtomicBool>>,
     threads: Vec<Option<JoinHandle<()>>>,
@@ -89,13 +180,18 @@ pub struct Cluster {
     outstanding: Arc<AtomicI64>,
     protocol: RuntimeProtocol,
     tree: Option<Arc<PropagationTree>>,
+    graph: Arc<CopyGraph>,
     placement: Arc<DataPlacement>,
 }
 
 /// A site's store rebuilt from stable storage: an initial checkpoint of
 /// its item set plus a redo-WAL replay. With an empty WAL this is the
 /// boot image; after a crash it is the recovery image.
-fn recovered_store(placement: &DataPlacement, site: SiteId, wal: &WriteAheadLog) -> Store {
+pub(crate) fn recovered_store(
+    placement: &DataPlacement,
+    site: SiteId,
+    wal: &WriteAheadLog,
+) -> Store {
     let checkpoint = Checkpoint {
         cells: placement.items_at(site).iter().map(|&i| (i, Value::Initial, None)).collect(),
     };
@@ -109,20 +205,20 @@ impl Cluster {
         placement: &DataPlacement,
         protocol: RuntimeProtocol,
     ) -> Result<Self, ClusterError> {
-        let graph = CopyGraph::from_placement(placement);
-        let tree = match protocol {
-            RuntimeProtocol::DagWt => Some(Arc::new(
-                PropagationTree::chain(&graph).map_err(|_| ClusterError::CopyGraphCyclic)?,
-            )),
-            RuntimeProtocol::NaiveLazy => None,
-        };
+        let Structure { tree, graph } = build_structure(placement, protocol)?;
 
         let n = placement.num_sites() as usize;
+        // Placeholder routes (their receivers are dropped at once);
+        // every slot is replaced before any site can send.
+        let routes = Arc::new(Routes::new((0..n).map(|_| traced_unbounded().0).collect()));
+        let links = Arc::new(Links::new(n));
+        let net = Arc::new(Net::new(
+            links.clone(),
+            Box::new(ChannelRaw { routes: routes.clone(), links }),
+        ));
         let mut cluster = Cluster {
-            // Placeholder routes (their receivers are dropped at once);
-            // every slot is replaced before any site can send.
-            routes: Arc::new(Routes::new((0..n).map(|_| traced_unbounded().0).collect())),
-            links: Arc::new(Links::new(n)),
+            routes,
+            net,
             durables: (0..n).map(|_| Arc::new(Mutex::new(DurableSite::new(n)))).collect(),
             crash_flags: (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect(),
             threads: (0..n).map(|_| None).collect(),
@@ -130,6 +226,7 @@ impl Cluster {
             outstanding: Arc::new(AtomicI64::new(0)),
             protocol,
             tree,
+            graph,
             placement: Arc::new(placement.clone()),
         };
         for i in 0..n {
@@ -144,10 +241,10 @@ impl Cluster {
         let i = site.index();
         self.crash_flags[i].store(false, Ordering::SeqCst);
         let (tx, rx) = traced_unbounded();
-        let routes = self.routes.clone();
-        let links = self.links.clone();
+        let net = self.net.clone();
         let protocol = self.protocol;
         let tree = self.tree.clone();
+        let graph = self.graph.clone();
         let placement = self.placement.clone();
         let history = self.history.clone();
         let outstanding = self.outstanding.clone();
@@ -168,8 +265,7 @@ impl Cluster {
                         id: site,
                         store,
                         rx,
-                        routes,
-                        links,
+                        net,
                         protocol,
                         tree,
                         placement,
@@ -177,6 +273,11 @@ impl Cluster {
                         outstanding,
                         durable,
                         crashed,
+                        dagt: (protocol == RuntimeProtocol::DagT)
+                            .then(|| DagtState::new(site, &graph)),
+                        backedge: (protocol == RuntimeProtocol::BackEdge)
+                            .then(BackedgeState::default),
+                        pending: Default::default(),
                     };
                     runtime.run()
                 })
@@ -197,6 +298,15 @@ impl Cluster {
         Ok(self.routes.to(site))
     }
 
+    fn check_faults_supported(&self) -> Result<(), ClusterError> {
+        match self.protocol {
+            RuntimeProtocol::DagWt | RuntimeProtocol::NaiveLazy => Ok(()),
+            RuntimeProtocol::DagT | RuntimeProtocol::BackEdge => {
+                Err(ClusterError::FaultsUnsupported)
+            }
+        }
+    }
+
     /// Abruptly kill `site`: its thread exits at the next command
     /// without draining its queue, losing its store, its in-memory
     /// state and every undelivered message. Only the durable image
@@ -208,6 +318,7 @@ impl Cluster {
     /// bounded retry) until the site rejoins.
     pub fn crash(&mut self, site: SiteId) -> Result<(), ClusterError> {
         self.check_site(site)?;
+        self.check_faults_supported()?;
         if self.crash_flags[site.index()].swap(true, Ordering::SeqCst) {
             return Ok(()); // already down
         }
@@ -226,11 +337,12 @@ impl Cluster {
     /// no-op if the site is up.
     pub fn restart(&mut self, site: SiteId) -> Result<(), ClusterError> {
         self.check_site(site)?;
+        self.check_faults_supported()?;
         if self.threads[site.index()].is_some() {
             return Ok(()); // not crashed
         }
         self.spawn_site(site);
-        link::retransmit_to(&self.links, &self.routes, site);
+        self.net.retransmit_to(site);
         Ok(())
     }
 
@@ -262,7 +374,7 @@ impl Cluster {
     /// non-zero while the site is down and senders are holding its
     /// traffic for retransmission (observability for tests and demos).
     pub fn pending_deliveries(&self, site: SiteId) -> usize {
-        self.links.queued_for(site)
+        self.net.queued_for(site)
     }
 
     /// Non-transactional read of one copy (for tests and demos).
@@ -270,6 +382,15 @@ impl Cluster {
         let (reply_tx, reply_rx) = bounded(1);
         self.sender(site).ok()?.send(Command::Peek { item, reply: reply_tx }).ok()?;
         reply_rx.recv().ok()?
+    }
+
+    /// Serialize `site`'s full copy state (ascending items, values and
+    /// writers) with the shared wire codec — byte-comparable against
+    /// any other deployment of the same placement and workload.
+    pub fn copy_state(&self, site: SiteId) -> Option<bytes::Bytes> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.sender(site).ok()?.send(Command::CopyState { reply: reply_tx }).ok()?;
+        reply_rx.recv().ok()
     }
 
     /// Fetch the serialized redo log of `site` (everything it has
@@ -426,5 +547,16 @@ mod tests {
         cluster.quiesce();
         assert!(cluster.check_serializability().is_ok());
         cluster.shutdown();
+    }
+
+    #[test]
+    fn faults_rejected_for_dagt_and_backedge() {
+        let placement = scenario::example_1_1_placement();
+        for protocol in [RuntimeProtocol::DagT, RuntimeProtocol::BackEdge] {
+            let mut cluster = Cluster::start(&placement, protocol).unwrap();
+            assert_eq!(cluster.crash(SiteId(0)).unwrap_err(), ClusterError::FaultsUnsupported);
+            assert_eq!(cluster.restart(SiteId(0)).unwrap_err(), ClusterError::FaultsUnsupported);
+            cluster.shutdown();
+        }
     }
 }

@@ -25,6 +25,15 @@
 //! site's durable WAL, with lost deliveries retransmitted from
 //! sender-side outboxes — see the `link` and `durable` modules.
 //!
+//! Two deployments share the site runtime through one transport seam
+//! (the `transport` module): [`Cluster`] wires sites with in-process
+//! channels, while [`serve`] runs one site per OS process speaking the
+//! `repl-net` wire protocol over TCP (the `repld` binary), with
+//! [`ProcCluster`] as the matching multi-process launcher. The
+//! sender-side outboxes and receiver-side dedup/gap marks are the same
+//! code in both, so exactly-once in-order delivery survives real
+//! connection drops the same way it survives [`Cluster::crash`].
+//!
 //! ```
 //! use repl_core::scenario;
 //! use repl_runtime::{Cluster, RuntimeProtocol};
@@ -46,6 +55,11 @@ mod chan;
 mod cluster;
 mod durable;
 mod link;
+mod proc;
 mod site;
+mod tcp;
+mod transport;
 
 pub use cluster::{Cluster, ClusterError, RuntimeProtocol, TxnHandle};
+pub use proc::{repld_bin, ProcCluster};
+pub use tcp::{serve, ServeConfig};

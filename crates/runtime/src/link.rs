@@ -1,64 +1,54 @@
-//! Reliable inter-site links: sender-side outboxes, bounded-backoff
-//! delivery, and crash retransmission.
+//! Reliable inter-site links: the transport-independent half.
 //!
 //! The original runtime sent subtransactions fail-fast into crossbeam
 //! channels; a crashed receiver dropped its queue and every message in
 //! it silently vanished, wedging quiescence and diverging replicas.
-//! This module replaces that with the classic reliable-FIFO-link
+//! This module holds the state of the classic reliable-FIFO-link
 //! construction the paper assumes of its network (§2 "messages sent
 //! from one site to another are received in the same order"):
 //!
 //! * Every directed site pair has a [`LinkState`]: a monotone sequence
-//!   counter and an **outbox** of unacknowledged subtransactions. The
-//!   outbox lives in the [`Links`] table owned by the cluster, not the
+//!   counter and an **outbox** of unacknowledged payloads. The outbox
+//!   lives in the [`Links`] table owned by the deployment, not the
 //!   sending thread, so it survives the *sender* crashing too — it
 //!   models the durable commit record from which a recovering site can
 //!   always re-derive its propagation obligations.
-//! * [`send_subtxn`] assigns the sequence number and enrolls the
-//!   message in the outbox *before* the first delivery attempt, then
-//!   tries the current route with a bounded exponential backoff
-//!   ([`deliver`]). If the destination is down, the attempt gives up
-//!   quickly and the message simply stays in the outbox — the sender is
-//!   never blocked for more than ~1 ms per message on a dead peer.
-//! * When a crashed site rejoins, [`retransmit_to`] replays every
-//!   outbox targeting it, in sequence order, under the lane lock; fresh
-//!   sends racing with the replay are ordered after it because sequence
-//!   assignment takes the same lock. The receiver drops anything ahead
-//!   of its durable per-link high-water mark (a gap: the missing
-//!   message is still in the outbox and will arrive in order) and
-//!   re-acks anything at or below it (a duplicate), so delivery is
-//!   exactly-once and per-link FIFO even across crash/retransmit races.
+//! * The receiver drops anything ahead of its durable per-link
+//!   high-water mark (a gap: the missing message is still in the outbox
+//!   and will arrive in order) and re-acks anything at or below it (a
+//!   duplicate), so delivery is exactly-once and per-link FIFO even
+//!   across crash/retransmit and reconnect/replay races.
 //! * Acknowledgement is receiver-driven: after durably applying
-//!   sequence `s`, the receiver calls [`ack`], which prunes the outbox
-//!   prefix `<= s`. (An in-memory pop stands in for the ack message a
-//!   networked deployment would send.)
+//!   sequence `s`, the receiver acks it, which prunes the outbox prefix
+//!   `<= s` at the sender.
+//!
+//! Everything here is shared verbatim by both transports — in-process
+//! channels and TCP ([`crate::transport`], [`crate::tcp`]). Only the
+//! "one attempt to put bytes on the wire" step differs; that is the
+//! [`crate::transport::RawTransport`] trait, and the sequencing,
+//! outboxing, acking and replay logic exists exactly once, here and in
+//! [`crate::transport::Net`].
 
 use std::collections::VecDeque;
-use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use repl_net::Payload;
 use repl_types::SiteId;
-
-use crate::chan::TracedSender;
-use crate::site::{Command, LinkMsg, RtSubtxn};
-
-/// Delivery attempts per send before parking the message in the outbox.
-const DELIVERY_ATTEMPTS: u32 = 4;
-/// First retry delay; doubles per attempt (50, 100, 200 µs ≈ 350 µs cap).
-const BACKOFF_FLOOR: Duration = Duration::from_micros(50);
 
 /// Sender-side state of one directed link.
 #[derive(Default)]
 pub(crate) struct LinkState {
     /// Next sequence number to assign (first message is 1).
-    next_seq: u64,
+    pub(crate) next_seq: u64,
     /// Sent but not yet durably applied at the destination, in sequence
     /// order.
-    unacked: VecDeque<(u64, RtSubtxn)>,
+    pub(crate) unacked: VecDeque<(u64, Payload)>,
 }
 
-/// The cluster-wide table of directed links.
+/// The deployment-wide table of directed links. Under channels the
+/// whole cluster shares one table; under TCP each process owns a table
+/// of which only its own outgoing row is populated.
 pub(crate) struct Links {
     /// `lanes[from][to]`.
     lanes: Vec<Vec<Mutex<LinkState>>>,
@@ -73,91 +63,32 @@ impl Links {
         }
     }
 
-    fn lane(&self, from: SiteId, to: SiteId) -> &Mutex<LinkState> {
+    /// Number of sites the table is dimensioned for.
+    pub fn num_sites(&self) -> usize {
+        self.lanes.len()
+    }
+
+    pub(crate) fn lane(&self, from: SiteId, to: SiteId) -> &Mutex<LinkState> {
         &self.lanes[from.index()][to.index()]
     }
 
-    /// Total messages awaiting acknowledgement towards `to` (tests).
+    /// Acknowledge everything up to `seq` on the `from -> to` link,
+    /// pruning the outbox prefix. Idempotent.
+    pub fn prune(&self, from: SiteId, to: SiteId, seq: u64) {
+        let mut lane = self.lane(from, to).lock();
+        while lane.unacked.front().is_some_and(|(s, _)| *s <= seq) {
+            lane.unacked.pop_front();
+        }
+    }
+
+    /// Messages awaiting acknowledgement on the `from -> to` lane.
+    pub fn lane_len(&self, from: SiteId, to: SiteId) -> usize {
+        self.lane(from, to).lock().unacked.len()
+    }
+
+    /// Total messages awaiting acknowledgement towards `to` (tests,
+    /// observability).
     pub fn queued_for(&self, to: SiteId) -> usize {
         self.lanes.iter().map(|row| row[to.index()].lock().unacked.len()).sum()
-    }
-}
-
-/// The mutable routing table: the current command sender of every site.
-/// A restarted site gets a fresh channel, so senders look the route up
-/// per delivery instead of caching a channel handle.
-pub(crate) struct Routes {
-    slots: Vec<Mutex<TracedSender<Command>>>,
-}
-
-impl Routes {
-    pub fn new(senders: Vec<TracedSender<Command>>) -> Self {
-        Routes { slots: senders.into_iter().map(Mutex::new).collect() }
-    }
-
-    pub fn to(&self, dest: SiteId) -> TracedSender<Command> {
-        self.slots[dest.index()].lock().clone()
-    }
-
-    pub fn replace(&self, dest: SiteId, tx: TracedSender<Command>) {
-        *self.slots[dest.index()].lock() = tx;
-    }
-}
-
-/// Enroll `sub` on the `from -> to` link and attempt delivery. The
-/// message is in the outbox before the first attempt, so a failed (or
-/// half-failed: queued at a receiver that dies before applying)
-/// delivery is always recoverable by retransmission.
-pub(crate) fn send_subtxn(links: &Links, routes: &Routes, from: SiteId, to: SiteId, sub: RtSubtxn) {
-    let seq = {
-        let mut lane = links.lane(from, to).lock();
-        lane.next_seq += 1;
-        let seq = lane.next_seq;
-        lane.unacked.push_back((seq, sub.clone()));
-        seq
-    };
-    deliver(routes, to, LinkMsg { from, seq, sub });
-}
-
-/// Try to hand `msg` to `to`'s current inbox, retrying with bounded
-/// exponential backoff (a quick restart is caught by re-reading the
-/// route). Returns false when every attempt failed; the message remains
-/// in its outbox for [`retransmit_to`].
-fn deliver(routes: &Routes, to: SiteId, mut msg: LinkMsg) -> bool {
-    let mut backoff = BACKOFF_FLOOR;
-    for attempt in 0..DELIVERY_ATTEMPTS {
-        if attempt > 0 {
-            std::thread::sleep(backoff);
-            backoff *= 2;
-        }
-        match routes.to(to).send(Command::Subtxn(msg)) {
-            Ok(()) => return true,
-            Err(crossbeam::channel::SendError(Command::Subtxn(m))) => msg = m,
-            Err(_) => unreachable!("send returns the message it was given"),
-        }
-    }
-    false
-}
-
-/// Acknowledge everything up to `seq` on the `from -> to` link,
-/// pruning the outbox prefix. Idempotent.
-pub(crate) fn ack(links: &Links, from: SiteId, to: SiteId, seq: u64) {
-    let mut lane = links.lane(from, to).lock();
-    while lane.unacked.front().is_some_and(|(s, _)| *s <= seq) {
-        lane.unacked.pop_front();
-    }
-}
-
-/// Replay every outbox targeting `dest` after its restart, in sequence
-/// order. Holding each lane lock across the replay orders it before
-/// any racing fresh send on that lane (sequence assignment takes the
-/// same lock), and channel FIFO preserves that order downstream.
-pub(crate) fn retransmit_to(links: &Links, routes: &Routes, dest: SiteId) {
-    for from in 0..links.lanes.len() {
-        let from = SiteId(from as u32);
-        let lane = links.lane(from, dest).lock();
-        for (seq, sub) in &lane.unacked {
-            deliver(routes, dest, LinkMsg { from, seq: *seq, sub: sub.clone() });
-        }
     }
 }

@@ -1,30 +1,51 @@
 //! The per-site worker thread.
+//!
+//! One thread (or, under `repld`, one process) per site, executing
+//! client transactions serially and applying inbound subtransactions in
+//! per-link FIFO order. The protocol-specific machinery lives here:
+//!
+//! * **NaiveLazy** — indiscriminate direct propagation (Example 1.1).
+//! * **DAG(WT)** (§2) — tree-routed forwarding to relevant children.
+//! * **DAG(T)** (§3) — timestamped per-destination propagation with one
+//!   inbound queue per copy-graph parent, merged in timestamp order;
+//!   dummy (heartbeat) subtransactions and epoch bumps keep the merge
+//!   live through idle parents.
+//! * **BackEdge** (§4) — updates with destinations *above* the origin
+//!   in the propagation tree run an eager phase first: a special
+//!   subtransaction climbs to the farthest ancestor destination, is
+//!   prepared (not committed) at every site on the path back down, and
+//!   the origin commits only after it returns home, then sends commit
+//!   decisions up the path and propagates lazily to descendants.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::Sender;
+use crossbeam::channel::{RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
-use repl_copygraph::{DataPlacement, PropagationTree};
+use repl_copygraph::{CopyGraph, DataPlacement, PropagationTree};
 use repl_core::history::History;
+use repl_core::timestamp::Timestamp;
+use repl_net::{Payload, Subtxn, SubtxnKind};
 use repl_storage::Store;
 use repl_types::{GlobalTxnId, ItemId, Op, OpKind, SiteId, Value};
 
 use crate::chan::TracedReceiver;
 use crate::cluster::{ClusterError, RuntimeProtocol};
 use crate::durable::DurableSite;
-use crate::link::{self, Links, Routes};
+use crate::transport::Net;
 
-/// A secondary subtransaction on the wire.
-#[derive(Clone, Debug)]
-pub(crate) struct RtSubtxn {
-    pub gid: GlobalTxnId,
-    pub origin: SiteId,
-    pub writes: Vec<(ItemId, Value)>,
-    /// Replica sites still to be reached (tree routing).
-    pub dest_sites: Vec<SiteId>,
-}
+/// Idle-receive window after which protocol timers run.
+pub(crate) const TICK: Duration = Duration::from_millis(1);
+/// DAG(T): send a dummy on a copy-graph child link idle this long.
+const HEARTBEAT_PERIOD: Duration = Duration::from_millis(2);
+/// DAG(T): bump the epoch component this often.
+const EPOCH_PERIOD: Duration = Duration::from_millis(20);
+/// DAG(T): skip heartbeats into a lane already this deep (a down or
+/// slow peer must not accumulate unbounded dummies).
+const HEARTBEAT_LANE_CAP: usize = 64;
 
 /// A subtransaction stamped with its link identity: which directed
 /// link carried it and its sequence number on that link. The receiver
@@ -33,17 +54,21 @@ pub(crate) struct RtSubtxn {
 pub(crate) struct LinkMsg {
     pub from: SiteId,
     pub seq: u64,
-    pub sub: RtSubtxn,
+    pub payload: Payload,
 }
 
 /// Commands a site thread processes.
 pub(crate) enum Command {
     /// Execute a whole transaction and reply with its outcome.
     Execute { ops: Vec<Op>, reply: Sender<Result<GlobalTxnId, ClusterError>> },
-    /// Apply (and possibly forward) a secondary subtransaction.
-    Subtxn(LinkMsg),
+    /// Apply (and possibly forward) an inter-site link message.
+    Link(LinkMsg),
     /// Non-transactional inspection of one copy.
     Peek { item: ItemId, reply: Sender<Option<(Value, Option<GlobalTxnId>)>> },
+    /// Serialize the site's full copy state (every item it holds, in
+    /// ascending item order, with values and writer ids) — the
+    /// byte-comparable convergence oracle across deployments.
+    CopyState { reply: Sender<bytes::Bytes> },
     /// Serialize the site's redo log (crash-recovery support: replaying
     /// the returned image over an empty store reproduces the site).
     SnapshotWal { reply: Sender<bytes::Bytes> },
@@ -55,20 +80,63 @@ pub(crate) enum Command {
     Shutdown,
 }
 
+/// DAG(T) per-site state (§3). Volatile by design: this PR rejects
+/// crash faults under DAG(T) because `site_ts`/`lts` are not yet
+/// journaled.
+pub(crate) struct DagtState {
+    /// Local timestamp counter (one tick per local update txn).
+    lts: u64,
+    /// The site timestamp, advanced by local commits and by the merge.
+    site_ts: Timestamp,
+    /// One inbound queue per copy-graph parent, in ascending parent
+    /// order; the merge fires only when every queue is non-empty.
+    in_queues: Vec<(SiteId, VecDeque<Subtxn>)>,
+    /// Copy-graph children: heartbeat targets.
+    children: Vec<SiteId>,
+    /// Last send (real or dummy) per child, same indexing as
+    /// `children`.
+    last_sent: Vec<Instant>,
+    last_epoch: Instant,
+}
+
+impl DagtState {
+    pub fn new(me: SiteId, graph: &CopyGraph) -> Self {
+        let now = Instant::now();
+        let children: Vec<SiteId> = graph.children(me).collect();
+        DagtState {
+            lts: 0,
+            site_ts: Timestamp::initial(me),
+            in_queues: graph.parents(me).map(|p| (p, VecDeque::new())).collect(),
+            last_sent: vec![now; children.len()],
+            children,
+            last_epoch: now,
+        }
+    }
+}
+
+/// BackEdge per-site state (§4).
+#[derive(Default)]
+pub(crate) struct BackedgeState {
+    /// Writes prepared here by an in-flight special subtransaction,
+    /// applied when the origin's commit decision arrives.
+    prepared: BTreeMap<GlobalTxnId, Vec<(ItemId, Value)>>,
+    /// Set when a special returns home to its waiting origin.
+    home: Option<GlobalTxnId>,
+}
+
 pub(crate) struct SiteRuntime {
     pub id: SiteId,
     pub store: Store,
     pub rx: TracedReceiver<Command>,
-    /// The cluster routing table (senders are re-resolved per delivery
-    /// so a restarted peer's fresh channel is picked up).
-    pub routes: Arc<Routes>,
-    /// Sender-side outboxes for reliable delivery.
-    pub links: Arc<Links>,
+    /// The reliable-link engine (outboxes + whichever wire this
+    /// deployment runs on).
+    pub net: Arc<Net>,
     pub protocol: RuntimeProtocol,
     pub tree: Option<Arc<PropagationTree>>,
     pub placement: Arc<DataPlacement>,
     pub history: Arc<Mutex<History>>,
-    /// Replica applications still in flight, cluster-wide.
+    /// Replica applications still in flight, cluster-wide (under TCP:
+    /// this process's share; clients sum across processes).
     pub outstanding: Arc<AtomicI64>,
     /// The site's stable storage, shared with the cluster so it
     /// survives this thread.
@@ -76,6 +144,13 @@ pub(crate) struct SiteRuntime {
     /// Set by [`crate::Cluster::crash`]: abandon ship at the next
     /// command, losing the store and everything still queued.
     pub crashed: Arc<AtomicBool>,
+    /// DAG(T) state, present iff the protocol is DAG(T).
+    pub dagt: Option<DagtState>,
+    /// BackEdge state, present iff the protocol is BackEdge.
+    pub backedge: Option<BackedgeState>,
+    /// Commands deferred while an eager phase was waiting for its
+    /// special to return home (BackEdge only).
+    pub pending: VecDeque<Command>,
 }
 
 impl SiteRuntime {
@@ -86,7 +161,22 @@ impl SiteRuntime {
     /// Whatever was lost is exactly what retransmission from the
     /// senders' outboxes must recover.
     pub fn run(mut self) {
-        while let Ok(cmd) = self.rx.recv() {
+        loop {
+            if self.crashed.load(Ordering::SeqCst) {
+                return;
+            }
+            let cmd = if let Some(cmd) = self.pending.pop_front() {
+                cmd
+            } else {
+                match self.rx.recv_timeout(TICK) {
+                    Ok(cmd) => cmd,
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.tick();
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            };
             if self.crashed.load(Ordering::SeqCst) {
                 return;
             }
@@ -95,9 +185,12 @@ impl SiteRuntime {
                     let result = self.execute(ops);
                     let _ = reply.send(result);
                 }
-                Command::Subtxn(msg) => self.apply_subtxn(msg),
+                Command::Link(msg) => self.apply_link(msg),
                 Command::Peek { item, reply } => {
                     let _ = reply.send(self.store.peek(item).map(|r| (r.value, r.writer)));
+                }
+                Command::CopyState { reply } => {
+                    let _ = reply.send(self.copy_state());
                 }
                 Command::SnapshotWal { reply } => {
                     let _ = reply.send(self.durable.lock().wal.encode());
@@ -105,10 +198,55 @@ impl SiteRuntime {
                 Command::Crash => return,
                 Command::Shutdown => break,
             }
+            self.tick();
         }
     }
 
-    /// Execute a primary subtransaction. Sites run one transaction at a
+    /// Protocol timers; cheap no-op outside DAG(T).
+    fn tick(&mut self) {
+        if self.protocol != RuntimeProtocol::DagT {
+            return;
+        }
+        let now = Instant::now();
+        let mut dummies: Vec<(usize, SiteId, Subtxn)> = Vec::new();
+        {
+            let d = self.dagt.as_mut().expect("DAG(T) state");
+            if now.duration_since(d.last_epoch) >= EPOCH_PERIOD {
+                d.site_ts.epoch += 1;
+                d.last_epoch = now;
+            }
+            for (i, &child) in d.children.iter().enumerate() {
+                if now.duration_since(d.last_sent[i]) >= HEARTBEAT_PERIOD {
+                    // §3: a dummy carries the current site timestamp and
+                    // nothing else. The sentinel gid keeps the durable
+                    // transaction-id counter identical across transports
+                    // and timings.
+                    dummies.push((
+                        i,
+                        child,
+                        Subtxn {
+                            gid: GlobalTxnId::new(self.id, u64::MAX),
+                            origin: self.id,
+                            kind: SubtxnKind::Dummy,
+                            ts: Some(d.site_ts.clone()),
+                            writes: Vec::new(),
+                            dest_sites: vec![child],
+                        },
+                    ));
+                }
+            }
+        }
+        for (i, child, dummy) in dummies {
+            if self.net.lane_len(self.id, child) >= HEARTBEAT_LANE_CAP {
+                continue;
+            }
+            self.net.send(self.id, child, Payload::Subtxn(dummy));
+            self.dagt.as_mut().expect("DAG(T) state").last_sent[i] = now;
+        }
+        self.pump_dagt();
+    }
+
+    /// Execute a primary transaction. Sites run one transaction at a
     /// time, so locks are always free; validation and the §1.1 ownership
     /// rule still apply.
     fn execute(&mut self, ops: Vec<Op>) -> Result<GlobalTxnId, ClusterError> {
@@ -127,16 +265,46 @@ impl SiteRuntime {
                 }
             }
         }
-        // Id allocation is durable: a restarted site must never reuse a
-        // pre-crash gid (the history oracle keys on them).
-        let gid = {
-            let mut d = self.durable.lock();
-            let gid = GlobalTxnId::new(self.id, d.next_seq);
-            d.next_seq += 1;
-            gid
-        };
+        if self.protocol == RuntimeProtocol::BackEdge {
+            // The write set is known up front (last write per item), so
+            // the eager-vs-lazy split can be decided before execution.
+            let planned = planned_writes(&ops);
+            let dests = self.destinations(&planned);
+            let tree = self.tree.as_ref().expect("BackEdge runtime has a tree").clone();
+            let ancestors: Vec<SiteId> =
+                dests.iter().copied().filter(|&d| tree.is_ancestor(d, self.id)).collect();
+            if !ancestors.is_empty() {
+                return self.execute_eager(ops, planned, dests, ancestors, &tree);
+            }
+        }
+        let gid = self.fresh_gid();
+        let (writes, reads) = self.run_local_txn(&ops, gid);
+        self.finish_commit(gid, reads, &writes);
+        self.propagate(gid, writes);
+        Ok(gid)
+    }
+
+    /// Id allocation is durable: a restarted site must never reuse a
+    /// pre-crash gid (the history oracle keys on them).
+    fn fresh_gid(&self) -> GlobalTxnId {
+        let mut d = self.durable.lock();
+        let gid = GlobalTxnId::new(self.id, d.next_seq);
+        d.next_seq += 1;
+        gid
+    }
+}
+
+/// Write set of a local commit: item → final value.
+type Writes = Vec<(ItemId, Value)>;
+/// Read set of a local commit: item → version (writer gid) read.
+type Reads = Vec<(ItemId, Option<GlobalTxnId>)>;
+
+impl SiteRuntime {
+    /// Run `ops` as one local transaction; returns the write set and
+    /// read set of the commit.
+    fn run_local_txn(&mut self, ops: &[Op], gid: GlobalTxnId) -> (Writes, Reads) {
         let txn = self.store.begin();
-        for op in &ops {
+        for op in ops {
             match op.kind {
                 OpKind::Read => {
                     self.store.read(txn, op.item).expect("serial site: no conflicts");
@@ -149,19 +317,20 @@ impl SiteRuntime {
             }
         }
         let (info, _) = self.store.commit(txn).expect("commit serial txn");
-        let writes = info.write_set();
-        self.durable.lock().wal.append_commit(gid, &writes);
-        let dests = self.destinations(&writes);
+        (info.write_set(), info.reads)
+    }
 
-        // Record the commit *before* any subtransaction can be applied
-        // elsewhere, so readers-from always find the writer recorded.
+    /// WAL, history and outstanding-counter bookkeeping of a local
+    /// commit. The commit is recorded *before* any subtransaction can
+    /// be applied elsewhere, so readers-from always find the writer.
+    fn finish_commit(&mut self, gid: GlobalTxnId, reads: Reads, writes: &[(ItemId, Value)]) {
+        self.durable.lock().wal.append_commit(gid, writes);
+        let dests = self.destinations(writes);
         {
             let mut h = self.history.lock();
-            h.record_commit(gid, info.reads, writes.iter().map(|(i, _)| *i).collect());
+            h.record_commit(gid, reads, writes.iter().map(|(i, _)| *i).collect());
         }
         self.outstanding.fetch_add(dests.len() as i64, Ordering::SeqCst);
-        self.propagate(gid, writes, dests);
-        Ok(gid)
     }
 
     fn destinations(&self, writes: &[(ItemId, Value)]) -> Vec<SiteId> {
@@ -175,61 +344,194 @@ impl SiteRuntime {
         dests
     }
 
-    fn propagate(&self, gid: GlobalTxnId, writes: Vec<(ItemId, Value)>, dests: Vec<SiteId>) {
+    fn propagate(&mut self, gid: GlobalTxnId, writes: Vec<(ItemId, Value)>) {
+        let dests = self.destinations(&writes);
         if dests.is_empty() {
             return;
         }
         match self.protocol {
             RuntimeProtocol::NaiveLazy => {
                 // Indiscriminate: straight to every replica holder. The
-                // per-link FIFO of the channels does NOT order deliveries
+                // per-link FIFO of the wire does NOT order deliveries
                 // *across* links — exactly the Example 1.1 race.
                 for d in dests {
-                    let sub = RtSubtxn {
+                    let sub = Subtxn {
                         gid,
                         origin: self.id,
-                        writes: writes
-                            .iter()
-                            .filter(|(i, _)| self.placement.has_copy(d, *i))
-                            .cloned()
-                            .collect(),
+                        kind: SubtxnKind::Normal,
+                        ts: None,
+                        writes: self.filtered_writes(&writes, d),
                         dest_sites: vec![d],
                     };
-                    link::send_subtxn(&self.links, &self.routes, self.id, d, sub);
+                    self.net.send(self.id, d, Payload::Subtxn(sub));
                 }
             }
-            RuntimeProtocol::DagWt => {
-                let sub = RtSubtxn { gid, origin: self.id, writes, dest_sites: dests };
+            RuntimeProtocol::DagWt | RuntimeProtocol::BackEdge => {
+                let sub = Subtxn {
+                    gid,
+                    origin: self.id,
+                    kind: SubtxnKind::Normal,
+                    ts: None,
+                    writes,
+                    dest_sites: dests,
+                };
                 self.forward_down_tree(&sub);
+            }
+            RuntimeProtocol::DagT => {
+                // §3: stamp with the post-commit site timestamp and send
+                // directly (copy-graph edges, not tree routing).
+                let ts = {
+                    let d = self.dagt.as_mut().expect("DAG(T) state");
+                    d.lts += 1;
+                    d.site_ts.bump_local(self.id);
+                    d.site_ts.clone()
+                };
+                let now = Instant::now();
+                for dst in dests {
+                    let sub = Subtxn {
+                        gid,
+                        origin: self.id,
+                        kind: SubtxnKind::Normal,
+                        ts: Some(ts.clone()),
+                        writes: self.filtered_writes(&writes, dst),
+                        dest_sites: vec![dst],
+                    };
+                    self.net.send(self.id, dst, Payload::Subtxn(sub));
+                    let d = self.dagt.as_mut().expect("DAG(T) state");
+                    if let Some(i) = d.children.iter().position(|&c| c == dst) {
+                        d.last_sent[i] = now;
+                    }
+                }
             }
         }
     }
 
-    fn forward_down_tree(&self, sub: &RtSubtxn) {
-        let tree = self.tree.as_ref().expect("DAG(WT) runtime has a tree");
+    fn filtered_writes(&self, writes: &[(ItemId, Value)], dest: SiteId) -> Vec<(ItemId, Value)> {
+        writes.iter().filter(|(i, _)| self.placement.has_copy(dest, *i)).cloned().collect()
+    }
+
+    fn forward_down_tree(&self, sub: &Subtxn) {
+        let tree = self.tree.as_ref().expect("tree-routed protocol has a tree");
         for child in tree.relevant_children(self.id, &sub.dest_sites) {
-            link::send_subtxn(&self.links, &self.routes, self.id, child, sub.clone());
+            self.net.send(self.id, child, Payload::Subtxn(sub.clone()));
         }
     }
 
-    /// Apply a secondary subtransaction: §2 — commit locally, then
-    /// forward to relevant children (DAG(WT)); commit order per parent is
-    /// arrival order because the site thread is serial.
-    ///
-    /// Delivery is exactly-once against the durable per-link high-water
-    /// mark: a sequence at or below it is a retransmitted duplicate
-    /// (already applied and forwarded — just re-ack it); one ahead of
-    /// `mark + 1` raced past a message lost in a crash (still in its
-    /// sender's outbox) and is dropped so the retransmission can arrive
-    /// in FIFO order.
-    fn apply_subtxn(&mut self, msg: LinkMsg) {
-        let LinkMsg { from, seq, sub } = msg;
+    /// §4 eager phase: route a special subtransaction to the farthest
+    /// ancestor destination, let it snake back down the tree path
+    /// preparing each site, and commit at home only once it returns —
+    /// at that point every ancestor destination has the writes prepared
+    /// *behind* all earlier traffic on the same tree links, so no later
+    /// reader above us can miss this update.
+    fn execute_eager(
+        &mut self,
+        ops: Vec<Op>,
+        planned: Vec<(ItemId, Value)>,
+        dests: Vec<SiteId>,
+        ancestors: Vec<SiteId>,
+        tree: &PropagationTree,
+    ) -> Result<GlobalTxnId, ClusterError> {
+        let gid = self.fresh_gid();
+        let farthest = ancestors
+            .iter()
+            .copied()
+            .min_by_key(|&a| (tree.depth(a), a))
+            .expect("non-empty ancestors");
+        // The decision recipients: the whole tree path from the farthest
+        // ancestor back down to (excluding) this site.
+        let mut path = vec![farthest];
+        let mut cur = farthest;
+        while let Some(next) = tree.next_hop_toward(cur, self.id) {
+            if next == self.id {
+                break;
+            }
+            path.push(next);
+            cur = next;
+        }
+        let special = Subtxn {
+            gid,
+            origin: self.id,
+            kind: SubtxnKind::Special,
+            ts: None,
+            writes: planned,
+            dest_sites: Vec::new(),
+        };
+        self.net.send(self.id, farthest, Payload::Subtxn(special));
+        if !self.wait_for_home(gid) {
+            // Crashed or torn down mid-phase; the transaction never
+            // committed anywhere (prepared writes are not applied
+            // without a decision).
+            return Err(ClusterError::Disconnected);
+        }
+        let (writes, reads) = self.run_local_txn(&ops, gid);
+        self.finish_commit(gid, reads, &writes);
+        for p in path {
+            self.net.send(self.id, p, Payload::Decision { gid, commit: true });
+        }
+        let descendants: Vec<SiteId> =
+            dests.into_iter().filter(|&d| tree.is_ancestor(self.id, d)).collect();
+        if !descendants.is_empty() {
+            let sub = Subtxn {
+                gid,
+                origin: self.id,
+                kind: SubtxnKind::Normal,
+                ts: None,
+                writes,
+                dest_sites: descendants,
+            };
+            self.forward_down_tree(&sub);
+        }
+        Ok(gid)
+    }
+
+    /// Serve the inbox until our special returns home. Client
+    /// transactions and shutdown are deferred (the site is inside a
+    /// commit); link traffic, reads and snapshots proceed. Returns
+    /// false if the site was crashed or torn down while waiting.
+    fn wait_for_home(&mut self, gid: GlobalTxnId) -> bool {
+        loop {
+            if self.backedge.as_mut().expect("BackEdge state").home.take() == Some(gid) {
+                return true;
+            }
+            if self.crashed.load(Ordering::SeqCst) {
+                return false;
+            }
+            let cmd = match self.rx.recv_timeout(TICK) {
+                Ok(cmd) => cmd,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return false,
+            };
+            match cmd {
+                Command::Link(msg) => self.apply_link(msg),
+                Command::Peek { item, reply } => {
+                    let _ = reply.send(self.store.peek(item).map(|r| (r.value, r.writer)));
+                }
+                Command::CopyState { reply } => {
+                    let _ = reply.send(self.copy_state());
+                }
+                Command::SnapshotWal { reply } => {
+                    let _ = reply.send(self.durable.lock().wal.encode());
+                }
+                Command::Crash => return false,
+                cmd @ (Command::Execute { .. } | Command::Shutdown) => self.pending.push_back(cmd),
+            }
+        }
+    }
+
+    /// Apply one link message. Delivery is exactly-once against the
+    /// durable per-link high-water mark: a sequence at or below it is a
+    /// retransmitted duplicate (already applied and forwarded — just
+    /// re-ack it); one ahead of `mark + 1` raced past a message lost on
+    /// the wire (still in its sender's outbox) and is dropped so the
+    /// retransmission can arrive in FIFO order.
+    fn apply_link(&mut self, msg: LinkMsg) {
+        let LinkMsg { from, seq, payload } = msg;
         {
             let mut d = self.durable.lock();
             let mark = d.applied_from[from.index()];
             if seq <= mark {
                 drop(d);
-                link::ack(&self.links, from, self.id, seq);
+                self.net.ack_received(from, self.id, seq);
                 return;
             }
             if seq > mark + 1 {
@@ -237,30 +539,174 @@ impl SiteRuntime {
             }
             d.applied_from[from.index()] = seq;
         }
+        match payload {
+            Payload::Subtxn(sub) => match sub.kind {
+                SubtxnKind::Normal if self.protocol == RuntimeProtocol::DagT => {
+                    self.dagt_enqueue(from, sub);
+                    self.pump_dagt();
+                }
+                SubtxnKind::Dummy => {
+                    self.dagt_enqueue(from, sub);
+                    self.pump_dagt();
+                }
+                SubtxnKind::Normal => self.apply_normal(&sub),
+                SubtxnKind::Special => self.apply_special(sub),
+            },
+            Payload::Decision { gid, commit } => self.apply_decision(gid, commit),
+        }
+        self.net.ack_received(from, self.id, seq);
+    }
+
+    /// Commit a normal secondary subtransaction locally and, under
+    /// tree-routed protocols, forward it to relevant children; commit
+    /// order per parent is arrival order because the site is serial.
+    fn apply_normal(&mut self, sub: &Subtxn) {
         debug_assert!(
             sub.writes.iter().all(|(item, _)| self.placement.primary_of(*item) == sub.origin),
             "subtransaction carries writes the origin does not own"
         );
-        let applicable: Vec<_> = sub
-            .writes
-            .iter()
-            .filter(|(item, _)| self.placement.has_copy(self.id, *item))
-            .cloned()
-            .collect();
-        if !applicable.is_empty() {
-            let txn = self.store.begin();
-            for (item, value) in &applicable {
-                self.store
-                    .write(txn, *item, value.clone(), sub.gid)
-                    .expect("serial site: no conflicts");
-            }
-            self.store.commit(txn).expect("commit secondary");
-            self.durable.lock().wal.append_commit(sub.gid, &applicable);
-            self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        self.apply_secondary_writes(sub);
+        if matches!(self.protocol, RuntimeProtocol::DagWt | RuntimeProtocol::BackEdge) {
+            self.forward_down_tree(sub);
         }
-        if self.protocol == RuntimeProtocol::DagWt {
-            self.forward_down_tree(&sub);
-        }
-        link::ack(&self.links, from, self.id, seq);
     }
+
+    /// The shared "apply at a replica" step: one local txn over the
+    /// writes this site holds copies of, a WAL record, and one tick off
+    /// the cluster-wide outstanding counter.
+    fn apply_secondary_writes(&mut self, sub: &Subtxn) {
+        let applicable = self.filtered_writes(&sub.writes, self.id);
+        if applicable.is_empty() {
+            return;
+        }
+        let txn = self.store.begin();
+        for (item, value) in &applicable {
+            self.store
+                .write(txn, *item, value.clone(), sub.gid)
+                .expect("serial site: no conflicts");
+        }
+        self.store.commit(txn).expect("commit secondary");
+        self.durable.lock().wal.append_commit(sub.gid, &applicable);
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// §4: a special subtransaction either returned home (wake the
+    /// waiting primary) or is passing through — prepare its writes and
+    /// forward it one hop further down the path toward its origin.
+    fn apply_special(&mut self, sub: Subtxn) {
+        if sub.origin == self.id {
+            let b = self.backedge.as_mut().expect("BackEdge state");
+            debug_assert!(b.home.is_none(), "one eager phase at a time per site");
+            b.home = Some(sub.gid);
+            return;
+        }
+        let applicable = self.filtered_writes(&sub.writes, self.id);
+        self.backedge.as_mut().expect("BackEdge state").prepared.insert(sub.gid, applicable);
+        let tree = self.tree.as_ref().expect("BackEdge runtime has a tree");
+        let next = tree
+            .next_hop_toward(self.id, sub.origin)
+            .expect("special travels the tree path to its origin");
+        self.net.send(self.id, next, Payload::Subtxn(sub));
+    }
+
+    /// §4: the origin's decision for a prepared special. Only commits
+    /// are ever sent — sites are serial, so the eager phase cannot
+    /// deadlock and nothing aborts.
+    fn apply_decision(&mut self, gid: GlobalTxnId, commit: bool) {
+        let Some(writes) = self.backedge.as_mut().expect("BackEdge state").prepared.remove(&gid)
+        else {
+            return;
+        };
+        if !commit || writes.is_empty() {
+            return;
+        }
+        let txn = self.store.begin();
+        for (item, value) in &writes {
+            self.store.write(txn, *item, value.clone(), gid).expect("serial site: no conflicts");
+        }
+        self.store.commit(txn).expect("commit prepared special");
+        self.durable.lock().wal.append_commit(gid, &writes);
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// §3: queue an inbound subtransaction on its copy-graph-parent
+    /// queue. Every DAG(T) sender is a copy-graph parent of every
+    /// destination it sends to.
+    fn dagt_enqueue(&mut self, from: SiteId, sub: Subtxn) {
+        let d = self.dagt.as_mut().expect("DAG(T) state");
+        if let Some((_, q)) = d.in_queues.iter_mut().find(|(p, _)| *p == from) {
+            q.push_back(sub);
+        } else {
+            debug_assert!(false, "DAG(T) subtransaction from a non-parent site");
+        }
+    }
+
+    /// §3 merge: while every parent queue is non-empty, consume the
+    /// minimum-timestamp head (strict order; ties fall to the lowest
+    /// queue index, matching the simulation engine exactly).
+    fn pump_dagt(&mut self) {
+        loop {
+            let best = {
+                let d = self.dagt.as_ref().expect("DAG(T) state");
+                if d.in_queues.is_empty() || d.in_queues.iter().any(|(_, q)| q.is_empty()) {
+                    return;
+                }
+                let mut best = 0usize;
+                for i in 1..d.in_queues.len() {
+                    let ts_i = dagt_head_ts(&d.in_queues[i].1);
+                    let ts_b = dagt_head_ts(&d.in_queues[best].1);
+                    if ts_i < ts_b {
+                        best = i;
+                    }
+                }
+                best
+            };
+            let sub = self.dagt.as_mut().expect("DAG(T) state").in_queues[best]
+                .1
+                .pop_front()
+                .expect("checked non-empty");
+            let ts = sub.ts.clone().expect("DAG(T) subtransaction carries a timestamp");
+            if sub.kind == SubtxnKind::Normal {
+                self.apply_secondary_writes(&sub);
+            }
+            let d = self.dagt.as_mut().expect("DAG(T) state");
+            let new_ts = ts.concat_site(self.id, d.lts, ts.epoch);
+            if new_ts > d.site_ts {
+                d.site_ts = new_ts;
+            }
+        }
+    }
+
+    /// Every copy this site holds, ascending by item, with value and
+    /// writer — serialized with the shared wire codec so deployments
+    /// can be compared byte-for-byte.
+    fn copy_state(&self) -> bytes::Bytes {
+        let mut items: Vec<ItemId> = self.placement.items_at(self.id).to_vec();
+        items.sort_unstable();
+        let cells: Vec<(ItemId, Value, Option<GlobalTxnId>)> = items
+            .into_iter()
+            .map(|i| {
+                let r = self.store.peek(i).expect("placement copy exists in store");
+                (i, r.value, r.writer)
+            })
+            .collect();
+        repl_net::encode_cells(&cells)
+    }
+}
+
+fn dagt_head_ts(q: &VecDeque<Subtxn>) -> &Timestamp {
+    q.front().and_then(|s| s.ts.as_ref()).expect("DAG(T) queue heads are timestamped")
+}
+
+/// The transaction's write set as known before execution: last write
+/// per item wins, ascending item order (deterministic across
+/// deployments).
+fn planned_writes(ops: &[Op]) -> Vec<(ItemId, Value)> {
+    let mut map: BTreeMap<ItemId, Value> = BTreeMap::new();
+    for op in ops {
+        if op.kind == OpKind::Write {
+            map.insert(op.item, op.value.clone());
+        }
+    }
+    map.into_iter().collect()
 }

@@ -1,0 +1,456 @@
+//! The TCP deployment: one OS process per site, real sockets between
+//! them, the same reliable-link engine as the in-process cluster.
+//!
+//! Topology: every site dials every peer it has an address for. The
+//! connection `C(S → T)` is established by `S` with a
+//! [`repl_net::Hello`] / [`repl_net::HelloAck`] handshake (protocol
+//! version negotiation plus a cluster fingerprint check) and is used
+//! bidirectionally: `S` writes `Link` frames carrying propagation
+//! payloads, `T` writes cumulative `Ack` frames back on the same
+//! socket, consumed by `S`'s per-connection ack-reader thread.
+//!
+//! Reconnect: when either side observes an error, `S`'s outgoing slot
+//! for `T` is cleared and the dialer thread re-establishes the
+//! connection with bounded backoff. The `HelloAck.resume_seq` —
+//! `T`'s durable per-link high-water mark — prunes `S`'s outbox, and
+//! everything above it is replayed in sequence order under the lane
+//! lock ([`crate::transport::Net::resume`]), so delivery stays
+//! exactly-once in-order across real connection drops. This is the
+//! same machinery (and the same code) that recovers site crashes under
+//! the channel transport.
+//!
+//! Threads per `repld` process, beyond the site worker: one accept
+//! loop, one dialer, one reader per accepted connection, one ack
+//! reader per dialed connection, one per client session.
+
+use std::io;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::bounded;
+use parking_lot::Mutex;
+
+use repl_copygraph::DataPlacement;
+use repl_core::history::History;
+use repl_net::{
+    client_handshake, cluster_fingerprint, negotiate, read_msg, write_msg, ClientMsg, ClientReply,
+    ExecError, Hello, HelloAck, Payload, WireMsg, VERSION_MAX, VERSION_MIN,
+};
+use repl_types::{AddressMap, SiteId};
+
+use crate::chan::{traced_unbounded, TracedSender};
+use crate::cluster::{build_structure, recovered_store, ClusterError, RuntimeProtocol};
+use crate::durable::DurableSite;
+use crate::link::Links;
+use crate::site::{BackedgeState, Command, DagtState, LinkMsg, SiteRuntime};
+use crate::transport::{Net, RawTransport};
+
+/// Dialer poll interval: how often missing peer connections are retried.
+const DIAL_RETRY: Duration = Duration::from_millis(20);
+
+/// Per-peer socket slots. `out[p]` is the connection *we* dialed to
+/// `p` (we write `Link` frames, a reader thread consumes `p`'s acks);
+/// `acks[p]` is the write half of the connection `p` dialed to us (we
+/// write `Ack` frames back on it).
+pub(crate) struct TcpRaw {
+    out: Vec<Mutex<Option<TcpStream>>>,
+    /// Generation counter per out-slot, so a stale connection's reader
+    /// thread does not clear a successor connection on its way out.
+    out_gen: Vec<AtomicU64>,
+    acks: Vec<Mutex<Option<TcpStream>>>,
+}
+
+impl TcpRaw {
+    fn new(sites: usize) -> Self {
+        TcpRaw {
+            out: (0..sites).map(|_| Mutex::new(None)).collect(),
+            out_gen: (0..sites).map(|_| AtomicU64::new(0)).collect(),
+            acks: (0..sites).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Fault injection: drop both connections to/from `peer`. Writes on
+    /// the dead sockets fail, readers on both ends unblock with errors,
+    /// and the two dialers re-establish and replay.
+    fn kill_conn(&self, peer: SiteId) {
+        if let Some(s) = self.out[peer.index()].lock().take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(s) = self.acks[peer.index()].lock().take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// [`RawTransport`] over the shared socket slots. A failed write clears
+/// the slot (the dialer reconnects); the payload stays in the outbox
+/// either way, and replay-on-reconnect recovers anything the kernel
+/// accepted but the dead connection never delivered.
+struct TcpWire(Arc<TcpRaw>);
+
+impl RawTransport for TcpWire {
+    fn try_send(&self, _from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> bool {
+        let mut slot = self.0.out[to.index()].lock();
+        let Some(stream) = slot.as_mut() else { return false };
+        let msg = WireMsg::Link { seq, payload: payload.clone() };
+        if write_msg(stream, &msg).is_err() {
+            *slot = None;
+            return false;
+        }
+        true
+    }
+
+    fn send_ack(&self, from: SiteId, _me: SiteId, seq: u64) {
+        let mut slot = self.0.acks[from.index()].lock();
+        if let Some(stream) = slot.as_mut() {
+            // Best-effort: a lost ack is re-synchronized by the next
+            // handshake's resume_seq.
+            if write_msg(stream, &WireMsg::Ack { seq }).is_err() {
+                *slot = None;
+            }
+        }
+    }
+}
+
+/// Configuration of one `repld` site process.
+pub struct ServeConfig {
+    /// This process's site.
+    pub site: SiteId,
+    /// The cluster-wide placement (identical in every process).
+    pub placement: DataPlacement,
+    /// The propagation protocol (identical in every process).
+    pub protocol: RuntimeProtocol,
+    /// Listen address; use port 0 to bind ephemerally — the bound
+    /// address is printed to stdout for launchers to harvest.
+    pub listen: String,
+    /// Peer addresses. May be incomplete (even empty) at start; a
+    /// launcher can push the full map later with [`ClientMsg::Peers`].
+    pub peers: AddressMap,
+}
+
+/// Everything the connection-handling threads share.
+struct Shared {
+    me: SiteId,
+    fingerprint: u64,
+    tcp: Arc<TcpRaw>,
+    net: Arc<Net>,
+    site_tx: TracedSender<Command>,
+    durable: Arc<Mutex<DurableSite>>,
+    history: Arc<Mutex<History>>,
+    outstanding: Arc<AtomicI64>,
+    peers: Mutex<AddressMap>,
+    shutdown: AtomicBool,
+}
+
+/// Run one site as this process: bind, print the listen address, serve
+/// peer and client connections until a client sends
+/// [`ClientMsg::Shutdown`] (which stops the site thread and returns).
+pub fn serve(cfg: ServeConfig) -> io::Result<()> {
+    let structure = build_structure(&cfg.placement, cfg.protocol)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let n = cfg.placement.num_sites() as usize;
+    if cfg.site.index() >= n {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "site id out of range"));
+    }
+
+    let tcp = Arc::new(TcpRaw::new(n));
+    let links = Arc::new(Links::new(n));
+    let net = Arc::new(Net::new(links, Box::new(TcpWire(tcp.clone()))));
+    let durable = Arc::new(Mutex::new(DurableSite::new(n)));
+    let history = Arc::new(Mutex::new(History::new()));
+    let outstanding = Arc::new(AtomicI64::new(0));
+    let crashed = Arc::new(AtomicBool::new(false));
+
+    let (site_tx, site_rx) = traced_unbounded();
+    let site_thread = {
+        let placement = cfg.placement.clone();
+        let site = cfg.site;
+        let protocol = cfg.protocol;
+        let tree = structure.tree.clone();
+        let graph = structure.graph.clone();
+        let net = net.clone();
+        let history = history.clone();
+        let outstanding = outstanding.clone();
+        let durable = durable.clone();
+        let crashed = crashed.clone();
+        std::thread::Builder::new()
+            .name(format!("site-{}", site.0))
+            .spawn(move || {
+                let store = recovered_store(&placement, site, &durable.lock().wal);
+                let runtime = SiteRuntime {
+                    id: site,
+                    store,
+                    rx: site_rx,
+                    net,
+                    protocol,
+                    tree,
+                    placement: Arc::new(placement),
+                    history,
+                    outstanding,
+                    durable,
+                    crashed,
+                    dagt: (protocol == RuntimeProtocol::DagT).then(|| DagtState::new(site, &graph)),
+                    backedge: (protocol == RuntimeProtocol::BackEdge).then(BackedgeState::default),
+                    pending: Default::default(),
+                };
+                runtime.run()
+            })
+            .expect("spawn site thread")
+    };
+
+    let listener = TcpListener::bind(&cfg.listen)?;
+    // The launcher contract: exactly this line, first, on stdout.
+    println!("repld: site {} listening on {}", cfg.site.0, listener.local_addr()?);
+
+    let shared = Arc::new(Shared {
+        me: cfg.site,
+        fingerprint: cluster_fingerprint(&cfg.placement.to_spec(), cfg.protocol.name()),
+        tcp,
+        net,
+        site_tx,
+        durable,
+        history,
+        outstanding,
+        peers: Mutex::new(cfg.peers),
+        shutdown: AtomicBool::new(false),
+    });
+
+    // Dialer: keep every addressed peer connected.
+    let dialer = {
+        let shared = shared.clone();
+        let n = n as u32;
+        std::thread::Builder::new()
+            .name("dialer".into())
+            .spawn(move || {
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    for p in (0..n).map(SiteId) {
+                        if p == shared.me || shared.tcp.out[p.index()].lock().is_some() {
+                            continue;
+                        }
+                        let addr = shared.peers.lock().get(p).map(str::to_owned);
+                        if let Some(addr) = addr {
+                            dial_peer(&shared, p, &addr);
+                        }
+                    }
+                    std::thread::sleep(DIAL_RETRY);
+                }
+            })
+            .expect("spawn dialer")
+    };
+
+    // Accept loop. `Shutdown` unblocks it by dialing the listener.
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = shared.clone();
+        let _ = std::thread::Builder::new()
+            .name("conn".into())
+            .spawn(move || handle_conn(&shared, stream));
+    }
+
+    let _ = shared.site_tx.send(Command::Shutdown);
+    crashed.store(true, Ordering::SeqCst); // in case the queue is wedged
+    let _ = site_thread.join();
+    let _ = dialer.join();
+    Ok(())
+}
+
+/// Establish `me -> peer`: connect, handshake, install the stream,
+/// prune to the peer's durable mark and replay the rest, then leave an
+/// ack reader behind.
+fn dial_peer(shared: &Arc<Shared>, peer: SiteId, addr: &str) {
+    let Ok(stream) = TcpStream::connect(addr) else { return };
+    let hello = Hello {
+        site: shared.me,
+        version_min: VERSION_MIN,
+        version_max: VERSION_MAX,
+        cluster: shared.fingerprint,
+    };
+    let mut hs = &stream;
+    let ack: HelloAck = match client_handshake(&mut hs, &hello) {
+        Ok(ack) => ack,
+        Err(_) => return,
+    };
+    if ack.site != peer {
+        return; // mis-addressed: the process at `addr` is another site
+    }
+    let Ok(write_half) = stream.try_clone() else { return };
+    let generation = {
+        let mut slot = shared.tcp.out[peer.index()].lock();
+        *slot = Some(write_half);
+        shared.tcp.out_gen[peer.index()].fetch_add(1, Ordering::SeqCst) + 1
+    };
+    // Prune + replay under the lane lock; a racing fresh send either
+    // waits for the replay or is itself replayed (its early duplicate
+    // is gap-dropped by the receiver).
+    shared.net.resume(shared.me, peer, ack.resume_seq);
+
+    let shared = shared.clone();
+    let _ = std::thread::Builder::new().name(format!("ack-{}", peer.0)).spawn(move || {
+        let mut reader = stream;
+        // Any non-Ack frame is a protocol violation and also ends the loop.
+        while let Ok(WireMsg::Ack { seq }) = read_msg(&mut reader) {
+            shared.net.on_ack(shared.me, peer, seq);
+        }
+        // The connection died; clear the slot (unless a newer
+        // connection already took it) so the dialer reconnects.
+        if shared.tcp.out_gen[peer.index()].load(Ordering::SeqCst) == generation {
+            *shared.tcp.out[peer.index()].lock() = None;
+        }
+    });
+}
+
+/// Classify an inbound connection by its first frame: a peer (`Hello`)
+/// or a client session (`Client`).
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let first = match read_msg(&mut reader) {
+        Ok(msg) => msg,
+        Err(_) => return,
+    };
+    match first {
+        WireMsg::Hello(hello) => handle_peer(shared, stream, reader, hello),
+        WireMsg::Client(msg) => client_session(shared, stream, reader, msg),
+        _ => (), // protocol violation; drop the connection
+    }
+}
+
+/// Accepter side of a peer connection: validate, reply `HelloAck` with
+/// our durable resume point, then pump `Link` frames into the site
+/// inbox until the connection dies.
+fn handle_peer(shared: &Arc<Shared>, stream: TcpStream, mut reader: TcpStream, hello: Hello) {
+    let mut writer = stream;
+    if hello.cluster != shared.fingerprint {
+        let _ = write_msg(&mut writer, &WireMsg::Reject("cluster fingerprint mismatch".into()));
+        return;
+    }
+    let Some(version) =
+        negotiate((VERSION_MIN, VERSION_MAX), (hello.version_min, hello.version_max))
+    else {
+        let _ = write_msg(&mut writer, &WireMsg::Reject("no common protocol version".into()));
+        return;
+    };
+    let from = hello.site;
+    if from == shared.me || from.index() >= shared.tcp.out.len() {
+        let _ = write_msg(&mut writer, &WireMsg::Reject("bad peer site id".into()));
+        return;
+    }
+    let resume_seq = shared.durable.lock().applied_from[from.index()];
+    let ack = HelloAck { version, site: shared.me, resume_seq };
+    if write_msg(&mut writer, &WireMsg::HelloAck(ack)).is_err() {
+        return;
+    }
+    // Future acks for this link go out on this connection. A superseded
+    // connection's stale entry is cleared by its first failing write.
+    *shared.tcp.acks[from.index()].lock() = Some(writer);
+    // Any non-Link frame is a protocol violation and also ends the loop.
+    while let Ok(WireMsg::Link { seq, payload }) = read_msg(&mut reader) {
+        let msg = Command::Link(LinkMsg { from, seq, payload });
+        if shared.site_tx.send(msg).is_err() {
+            break;
+        }
+    }
+}
+
+/// Serve one client session: a request/reply loop over framed
+/// [`ClientMsg`]/[`ClientReply`] pairs.
+fn client_session(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    mut reader: TcpStream,
+    first: ClientMsg,
+) {
+    let mut writer = stream;
+    let mut next = Some(first);
+    loop {
+        let msg = match next.take() {
+            Some(msg) => msg,
+            None => match read_msg(&mut reader) {
+                Ok(WireMsg::Client(msg)) => msg,
+                Ok(_) | Err(_) => break,
+            },
+        };
+        let stop = matches!(msg, ClientMsg::Shutdown);
+        let reply = handle_client(shared, msg);
+        if write_msg(&mut writer, &WireMsg::Reply(reply)).is_err() {
+            break;
+        }
+        if stop {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so `serve` can return.
+            if let Ok(addr) = writer.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            break;
+        }
+    }
+}
+
+fn handle_client(shared: &Arc<Shared>, msg: ClientMsg) -> ClientReply {
+    match msg {
+        ClientMsg::Execute(ops) => {
+            let (reply_tx, reply_rx) = bounded(1);
+            if shared.site_tx.send(Command::Execute { ops, reply: reply_tx }).is_err() {
+                return ClientReply::Executed(Err(ExecError::Disconnected));
+            }
+            match reply_rx.recv() {
+                Ok(Ok(gid)) => ClientReply::Executed(Ok(gid)),
+                Ok(Err(e)) => ClientReply::Executed(Err(exec_error(e))),
+                Err(_) => ClientReply::Executed(Err(ExecError::Disconnected)),
+            }
+        }
+        ClientMsg::Peek(item) => {
+            let (reply_tx, reply_rx) = bounded(1);
+            if shared.site_tx.send(Command::Peek { item, reply: reply_tx }).is_err() {
+                return ClientReply::Cell(None);
+            }
+            ClientReply::Cell(reply_rx.recv().ok().flatten())
+        }
+        ClientMsg::Stats => ClientReply::Stats {
+            outstanding: shared.outstanding.load(Ordering::SeqCst),
+            committed: shared.history.lock().committed_count() as u64,
+        },
+        ClientMsg::CopyState => {
+            let (reply_tx, reply_rx) = bounded(1);
+            if shared.site_tx.send(Command::CopyState { reply: reply_tx }).is_err() {
+                return ClientReply::Err("site is down".into());
+            }
+            match reply_rx.recv() {
+                Ok(bytes) => ClientReply::State(bytes),
+                Err(_) => ClientReply::Err("site is down".into()),
+            }
+        }
+        ClientMsg::Peers(entries) => {
+            let mut peers = shared.peers.lock();
+            for (site, addr) in entries {
+                peers.insert(site, addr);
+            }
+            ClientReply::Ok
+        }
+        ClientMsg::KillConn(peer) => {
+            if peer.index() >= shared.tcp.out.len() {
+                return ClientReply::Err(format!("no such peer {peer}"));
+            }
+            shared.tcp.kill_conn(peer);
+            ClientReply::Ok
+        }
+        ClientMsg::Shutdown => ClientReply::Ok,
+    }
+}
+
+fn exec_error(e: ClusterError) -> ExecError {
+    match e {
+        ClusterError::NoCopy(s, i) => ExecError::NoCopy(s, i),
+        ClusterError::NotPrimary(s, i) => ExecError::NotPrimary(s, i),
+        ClusterError::NoSuchSite(s) => ExecError::NoSuchSite(s),
+        ClusterError::Disconnected => ExecError::Disconnected,
+        other => ExecError::Other(other.to_string()),
+    }
+}

@@ -1,0 +1,185 @@
+//! The transport abstraction: one reliable-link engine, two wires.
+//!
+//! [`Net`] owns the sequencing/outbox/ack/replay logic (state in
+//! [`crate::link::Links`]) and delegates the single step that differs
+//! between deployments — one attempt to put a payload on the wire — to
+//! a [`RawTransport`]:
+//!
+//! * [`ChannelRaw`]: the in-process deployment. "The wire" is the
+//!   destination site's command channel, and an ack is a direct prune
+//!   of the shared outbox table (standing in for the ack message a
+//!   networked deployment would send).
+//! * [`crate::tcp::TcpRaw`]: real sockets. A send is a framed
+//!   [`repl_net::WireMsg::Link`] write, an ack is a framed
+//!   [`repl_net::WireMsg::Ack`] written back on the same connection,
+//!   and a connection drop parks traffic in the outbox until the dialer
+//!   reconnects and replays it.
+//!
+//! Lock discipline: [`Net::send`] assigns the sequence number, enrolls
+//! the payload and performs every delivery attempt *while holding the
+//! lane lock*. That makes wire order equal sequence order per link — a
+//! reconnect replay ([`Net::resume`]) takes the same lock, so a fresh
+//! send can never jump ahead of a replayed predecessor on the stream.
+//! Delivery attempts are bounded (a dead peer costs the sender ~350 µs,
+//! not a hang), and nothing slow happens under the lock: a channel send
+//! is lock-free, a TCP send is a buffered write into the kernel, drained
+//! by the peer's reader thread independently of its site thread.
+
+use std::time::Duration;
+
+use std::sync::Arc;
+
+use repl_net::Payload;
+use repl_types::SiteId;
+
+use crate::chan::TracedSender;
+use crate::link::Links;
+use crate::site::{Command, LinkMsg};
+
+/// Delivery attempts per send before parking the message in the outbox.
+const DELIVERY_ATTEMPTS: u32 = 4;
+/// First retry delay; doubles per attempt (50, 100, 200 µs ≈ 350 µs cap).
+const BACKOFF_FLOOR: Duration = Duration::from_micros(50);
+
+/// One attempt to move a payload (or an ack) between two sites. The
+/// implementation is free to fail; the caller keeps the message in its
+/// outbox and retransmission recovers it.
+pub(crate) trait RawTransport: Send + Sync {
+    /// Try once to hand `(seq, payload)` to `to` on the `from -> to`
+    /// link. `false` means the wire is down right now.
+    fn try_send(&self, from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> bool;
+
+    /// Convey the receiver-side acknowledgement of `seq` on the
+    /// `from -> me` link back to the sender. Best-effort: a lost ack
+    /// only delays pruning (the handshake `resume_seq` re-synchronizes
+    /// on reconnect) and a duplicate delivery is re-acked.
+    fn send_ack(&self, from: SiteId, me: SiteId, seq: u64);
+}
+
+/// The reliable-link engine shared by every transport.
+pub(crate) struct Net {
+    links: Arc<Links>,
+    raw: Box<dyn RawTransport>,
+}
+
+impl Net {
+    pub fn new(links: Arc<Links>, raw: Box<dyn RawTransport>) -> Self {
+        Net { links, raw }
+    }
+
+    /// Enroll `payload` on the `from -> to` link and attempt delivery
+    /// with bounded exponential backoff. The message is in the outbox
+    /// before the first attempt, so a failed (or half-failed: queued at
+    /// a receiver that dies before applying) delivery is always
+    /// recoverable by replay.
+    pub fn send(&self, from: SiteId, to: SiteId, payload: Payload) {
+        let mut lane = self.links.lane(from, to).lock();
+        lane.next_seq += 1;
+        let seq = lane.next_seq;
+        lane.unacked.push_back((seq, payload));
+        let (_, payload) = lane.unacked.back().expect("just pushed");
+        let mut backoff = BACKOFF_FLOOR;
+        for attempt in 0..DELIVERY_ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            if self.raw.try_send(from, to, seq, payload) {
+                return;
+            }
+        }
+    }
+
+    /// Receiver side: report `seq` on the `from -> me` link durably
+    /// applied, so the sender can prune its outbox.
+    pub fn ack_received(&self, from: SiteId, me: SiteId, seq: u64) {
+        self.raw.send_ack(from, me, seq);
+    }
+
+    /// Sender side: the destination acknowledged everything up to `seq`
+    /// on the `from -> to` link.
+    pub fn on_ack(&self, from: SiteId, to: SiteId, seq: u64) {
+        self.links.prune(from, to, seq);
+    }
+
+    /// Re-synchronize the `from -> to` link after the destination
+    /// rejoined (site restart) or the connection was re-established
+    /// (TCP reconnect): prune everything the destination reports
+    /// durably applied (`acked`, the handshake's `resume_seq`), then
+    /// replay the rest in sequence order.
+    ///
+    /// Holding the lane lock across the replay orders it before any
+    /// racing fresh send on the lane (sequence assignment and delivery
+    /// take the same lock), and per-link FIFO of the wire preserves
+    /// that order downstream.
+    pub fn resume(&self, from: SiteId, to: SiteId, acked: u64) {
+        let mut lane = self.links.lane(from, to).lock();
+        while lane.unacked.front().is_some_and(|(s, _)| *s <= acked) {
+            lane.unacked.pop_front();
+        }
+        for (seq, payload) in &lane.unacked {
+            self.raw.try_send(from, to, *seq, payload);
+        }
+    }
+
+    /// Replay every outbox targeting `dest` (site restart under the
+    /// channel transport: nothing was acked while it was down).
+    pub fn retransmit_to(&self, dest: SiteId) {
+        for from in 0..self.links.num_sites() {
+            self.resume(SiteId(from as u32), dest, 0);
+        }
+    }
+
+    /// Messages awaiting acknowledgement on one lane (send throttling).
+    pub fn lane_len(&self, from: SiteId, to: SiteId) -> usize {
+        self.links.lane_len(from, to)
+    }
+
+    /// Total messages awaiting acknowledgement towards `to`.
+    pub fn queued_for(&self, to: SiteId) -> usize {
+        self.links.queued_for(to)
+    }
+}
+
+/// The mutable routing table: the current command sender of every site.
+/// A restarted site gets a fresh channel, so senders look the route up
+/// per delivery instead of caching a channel handle.
+pub(crate) struct Routes {
+    slots: Vec<parking_lot::Mutex<TracedSender<Command>>>,
+}
+
+impl Routes {
+    pub fn new(senders: Vec<TracedSender<Command>>) -> Self {
+        Routes { slots: senders.into_iter().map(parking_lot::Mutex::new).collect() }
+    }
+
+    pub fn to(&self, dest: SiteId) -> TracedSender<Command> {
+        self.slots[dest.index()].lock().clone()
+    }
+
+    pub fn replace(&self, dest: SiteId, tx: TracedSender<Command>) {
+        *self.slots[dest.index()].lock() = tx;
+    }
+}
+
+/// In-process wire: crossbeam channels between site threads, acks as
+/// direct prunes of the cluster-shared outbox table.
+pub(crate) struct ChannelRaw {
+    pub routes: Arc<Routes>,
+    pub links: Arc<Links>,
+}
+
+impl RawTransport for ChannelRaw {
+    fn try_send(&self, from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> bool {
+        // The route is re-read per attempt so a quick restart's fresh
+        // channel is picked up by the retry loop.
+        self.routes
+            .to(to)
+            .send(Command::Link(LinkMsg { from, seq, payload: payload.clone() }))
+            .is_ok()
+    }
+
+    fn send_ack(&self, from: SiteId, me: SiteId, seq: u64) {
+        self.links.prune(from, me, seq);
+    }
+}

@@ -1,0 +1,127 @@
+//! Protocol coverage for the threaded runtime beyond DAG(WT): DAG(T)'s
+//! timestamp/epoch ordering and BackEdge's eager specials, each run on
+//! real threads and checked against the serializability oracle.
+
+use repl_copygraph::DataPlacement;
+use repl_core::scenario::{self, WorkloadMix};
+use repl_runtime::{Cluster, RuntimeProtocol};
+use repl_types::SiteId;
+
+/// A 4-site forward-edge placement (site numbering is topological, as
+/// DAG(T) requires).
+fn dag_placement() -> DataPlacement {
+    let mut p = DataPlacement::new(4);
+    for i in 0..16u32 {
+        let primary = SiteId(i % 4);
+        let replicas: Vec<SiteId> =
+            (primary.0 + 1..4).filter(|s| (i + s) % 2 == 0).map(SiteId).collect();
+        p.add_item(primary, &replicas);
+    }
+    p
+}
+
+/// Three sites with a cyclic copy graph: the backedge 2→0 forces the
+/// eager path while 0→1→2 stays lazy.
+fn cyclic_placement() -> DataPlacement {
+    let mut p = DataPlacement::new(3);
+    p.add_item(SiteId(0), &[SiteId(1), SiteId(2)]);
+    p.add_item(SiteId(1), &[SiteId(2)]);
+    p.add_item(SiteId(2), &[SiteId(0)]);
+    p
+}
+
+/// Round-robin a seeded §5.2 workload through the cluster, one
+/// transaction per site per round.
+fn run_workload(cluster: &Cluster, placement: &DataPlacement, txns_per_site: u32, seed: u64) {
+    let mix = WorkloadMix { ops_per_txn: 4, read_txn_prob: 0.3, read_op_prob: 0.5 };
+    let mut programs: Vec<std::collections::VecDeque<Vec<repl_types::Op>>> =
+        scenario::generate_programs(placement, &mix, 1, txns_per_site, seed)
+            .into_iter()
+            .map(|mut site| site.remove(0).into())
+            .collect();
+    for _ in 0..txns_per_site {
+        for (site, prog) in programs.iter_mut().enumerate() {
+            let ops = prog.pop_front().expect("txns_per_site entries per site");
+            if !ops.is_empty() {
+                cluster.execute(SiteId(site as u32), ops).unwrap();
+            }
+        }
+    }
+    cluster.quiesce();
+}
+
+/// Every replica must hold the same (value, writer) as its primary once
+/// the cluster is quiescent.
+fn assert_converged(cluster: &Cluster, placement: &DataPlacement) {
+    for site in 0..placement.num_sites() {
+        for &item in placement.items_at(SiteId(site)) {
+            let primary = placement.primary_of(item);
+            assert_eq!(
+                cluster.peek(SiteId(site), item),
+                cluster.peek(primary, item),
+                "item {item:?} diverged at site {site}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dagt_converges_and_is_serializable() {
+    let placement = dag_placement();
+    let cluster = Cluster::start(&placement, RuntimeProtocol::DagT).unwrap();
+    run_workload(&cluster, &placement, 40, 0xDA97);
+    assert_converged(&cluster, &placement);
+    cluster.check_serializability().expect("Theorem 3.1: DAG(T) histories are serializable");
+    cluster.shutdown();
+}
+
+#[test]
+fn dagt_idle_links_converge_via_heartbeats() {
+    // A single writer: every other inbound queue at the replicas only
+    // ever sees dummy subtransactions, so convergence below proves the
+    // §3.3 heartbeat path unblocks the timestamp merge.
+    let placement = dag_placement();
+    let cluster = Cluster::start(&placement, RuntimeProtocol::DagT).unwrap();
+    for &item in placement.items_at(SiteId(0)) {
+        if placement.primary_of(item) == SiteId(0) {
+            cluster.execute(SiteId(0), vec![repl_types::Op::write(item, 7)]).unwrap();
+        }
+    }
+    cluster.quiesce();
+    assert_converged(&cluster, &placement);
+    cluster.shutdown();
+}
+
+#[test]
+fn backedge_cyclic_graph_converges_and_is_serializable() {
+    let placement = cyclic_placement();
+    let cluster = Cluster::start(&placement, RuntimeProtocol::BackEdge).unwrap();
+    run_workload(&cluster, &placement, 40, 0xBE);
+    assert_converged(&cluster, &placement);
+    cluster.check_serializability().expect("Theorem 4.1: BackEdge histories are serializable");
+    cluster.shutdown();
+}
+
+#[test]
+fn backedge_on_a_dag_degenerates_to_lazy_and_converges() {
+    // No backedges → no eager specials; BackEdge must behave like
+    // DAG(WT) on the augmented (= original) DAG.
+    let placement = dag_placement();
+    let cluster = Cluster::start(&placement, RuntimeProtocol::BackEdge).unwrap();
+    run_workload(&cluster, &placement, 30, 0xD46);
+    assert_converged(&cluster, &placement);
+    cluster.check_serializability().unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn dagt_rejects_non_topological_site_numbering() {
+    // Edge 1→0: acyclic, but the identity order is not topological.
+    let mut p = DataPlacement::new(2);
+    p.add_item(SiteId(1), &[SiteId(0)]);
+    match Cluster::start(&p, RuntimeProtocol::DagT) {
+        Err(repl_runtime::ClusterError::SiteOrderNotTopological) => {}
+        Err(other) => panic!("wrong error: {other}"),
+        Ok(_) => panic!("non-topological numbering accepted"),
+    }
+}

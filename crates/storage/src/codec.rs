@@ -1,0 +1,225 @@
+//! Shared binary codec helpers for values and transaction ids.
+//!
+//! The WAL image format ([`crate::wal`]) and the network wire format
+//! (`repl-net`) serialize the same primitives — [`Value`] payloads and
+//! [`GlobalTxnId`]s — and must agree on their byte layout so a WAL
+//! record and a propagation record describing the same write are
+//! bit-compatible. This module is that single source of truth.
+//!
+//! Decoding is *total*: any input produces `Ok` or a clean
+//! [`CodecError`], never a panic, and length headers are distrusted —
+//! a claimed length is checked against the bytes actually remaining
+//! before any allocation sized from it.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use repl_types::{GlobalTxnId, ItemId, SiteId, Value};
+
+/// Errors raised while decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended mid-field.
+    Truncated,
+    /// Unknown discriminant tag.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encode a value: tag byte, then the payload.
+/// Tags: `0` Initial, `1` Int (i64), `2` Bytes (u64 length + bytes).
+pub fn put_value(buf: &mut BytesMut, value: &Value) {
+    match value {
+        Value::Initial => buf.put_u8(0),
+        Value::Int(v) => {
+            buf.put_u8(1);
+            buf.put_i64(*v);
+        }
+        Value::Bytes(b) => {
+            buf.put_u8(2);
+            buf.put_u64(b.len() as u64);
+            buf.put_slice(b);
+        }
+    }
+}
+
+/// Decode a value written by [`put_value`].
+pub fn get_value(buf: &mut Bytes) -> Result<Value, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    match buf.get_u8() {
+        0 => Ok(Value::Initial),
+        1 => {
+            if buf.remaining() < 8 {
+                return Err(CodecError::Truncated);
+            }
+            Ok(Value::Int(buf.get_i64()))
+        }
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(CodecError::Truncated);
+            }
+            let len = buf.get_u64() as usize;
+            if buf.remaining() < len {
+                return Err(CodecError::Truncated);
+            }
+            Ok(Value::Bytes(buf.copy_to_bytes(len).to_vec()))
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+/// Encode a global transaction id: origin site (u32) + sequence (u64).
+pub fn put_gid(buf: &mut BytesMut, gid: GlobalTxnId) {
+    buf.put_u32(gid.origin.0);
+    buf.put_u64(gid.seq);
+}
+
+/// Decode a global transaction id written by [`put_gid`].
+pub fn get_gid(buf: &mut Bytes) -> Result<GlobalTxnId, CodecError> {
+    if buf.remaining() < 12 {
+        return Err(CodecError::Truncated);
+    }
+    let origin = SiteId(buf.get_u32());
+    let seq = buf.get_u64();
+    Ok(GlobalTxnId::new(origin, seq))
+}
+
+/// Decode a `u32` with a truncation check.
+pub fn get_u32(buf: &mut Bytes) -> Result<u32, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u32())
+}
+
+/// Decode a `u64` with a truncation check.
+pub fn get_u64(buf: &mut Bytes) -> Result<u64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u64())
+}
+
+/// Decode a `u8` with a truncation check.
+pub fn get_u8(buf: &mut Bytes) -> Result<u8, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+/// Encode a UTF-8 string: u32 length + bytes.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Decode a string written by [`put_str`]. Invalid UTF-8 is a
+/// [`CodecError::BadTag`]-class error (the input is hostile, not short).
+pub fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(CodecError::Truncated);
+    }
+    String::from_utf8(buf.copy_to_bytes(len).to_vec()).map_err(|_| CodecError::BadTag(0xFF))
+}
+
+/// Encode one copy-state cell: `(item, value, writer)`.
+pub fn put_cell(buf: &mut BytesMut, item: ItemId, value: &Value, writer: Option<GlobalTxnId>) {
+    buf.put_u32(item.0);
+    put_value(buf, value);
+    match writer {
+        None => buf.put_u8(0),
+        Some(gid) => {
+            buf.put_u8(1);
+            put_gid(buf, gid);
+        }
+    }
+}
+
+/// Decode one cell written by [`put_cell`].
+pub fn get_cell(buf: &mut Bytes) -> Result<(ItemId, Value, Option<GlobalTxnId>), CodecError> {
+    let item = ItemId(get_u32(buf)?);
+    let value = get_value(buf)?;
+    let writer = match get_u8(buf)? {
+        0 => None,
+        1 => Some(get_gid(buf)?),
+        t => return Err(CodecError::BadTag(t)),
+    };
+    Ok((item, value, writer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_value(v: Value) {
+        let mut buf = BytesMut::new();
+        put_value(&mut buf, &v);
+        let mut bytes = buf.freeze();
+        assert_eq!(get_value(&mut bytes).unwrap(), v);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        roundtrip_value(Value::Initial);
+        roundtrip_value(Value::int(i64::MIN));
+        roundtrip_value(Value::Bytes(vec![0, 255, 7]));
+        roundtrip_value(Value::Bytes(Vec::new()));
+    }
+
+    #[test]
+    fn gid_and_cell_roundtrip() {
+        let gid = GlobalTxnId::new(SiteId(3), 42);
+        let mut buf = BytesMut::new();
+        put_gid(&mut buf, gid);
+        put_cell(&mut buf, ItemId(7), &Value::int(9), Some(gid));
+        put_cell(&mut buf, ItemId(8), &Value::Initial, None);
+        let mut bytes = buf.freeze();
+        assert_eq!(get_gid(&mut bytes).unwrap(), gid);
+        assert_eq!(get_cell(&mut bytes).unwrap(), (ItemId(7), Value::int(9), Some(gid)));
+        assert_eq!(get_cell(&mut bytes).unwrap(), (ItemId(8), Value::Initial, None));
+    }
+
+    #[test]
+    fn truncations_are_errors() {
+        let mut buf = BytesMut::new();
+        put_value(&mut buf, &Value::Bytes(vec![1, 2, 3, 4]));
+        let bytes = buf.freeze();
+        for cut in 0..bytes.len() {
+            let mut sliced = bytes.slice(0..cut);
+            assert!(get_value(&mut sliced).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_errors() {
+        let mut bytes = Bytes::from_static(&[9]);
+        assert_eq!(get_value(&mut bytes), Err(CodecError::BadTag(9)));
+        let mut s = Bytes::from_static(&[0, 0, 0, 2, 0xFF, 0xFE]);
+        assert!(get_str(&mut s).is_err());
+    }
+
+    #[test]
+    fn oversized_length_header_is_truncation_not_allocation() {
+        // Claims a 2^60-byte payload with 2 bytes present.
+        let mut buf = BytesMut::new();
+        buf.put_u8(2);
+        buf.put_u64(1 << 60);
+        buf.put_slice(&[1, 2]);
+        let mut bytes = buf.freeze();
+        assert_eq!(get_value(&mut bytes), Err(CodecError::Truncated));
+    }
+}

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod hash_index;
 pub mod lock;
 pub mod store;

@@ -22,8 +22,9 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use repl_types::{GlobalTxnId, ItemId, SiteId, Value};
+use repl_types::{GlobalTxnId, ItemId, Value};
 
+use crate::codec::{self, CodecError};
 use crate::store::Store;
 
 /// One committed write, as replayed during recovery.
@@ -62,6 +63,15 @@ impl std::fmt::Display for WalError {
 }
 
 impl std::error::Error for WalError {}
+
+impl From<CodecError> for WalError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Truncated => WalError::Truncated,
+            CodecError::BadTag(t) => WalError::BadTag(t),
+        }
+    }
+}
 
 impl WriteAheadLog {
     /// An empty log.
@@ -102,20 +112,8 @@ impl WriteAheadLog {
         buf.put_u64(self.records.len() as u64);
         for r in &self.records {
             buf.put_u32(r.item.0);
-            buf.put_u32(r.writer.origin.0);
-            buf.put_u64(r.writer.seq);
-            match &r.value {
-                Value::Initial => buf.put_u8(0),
-                Value::Int(v) => {
-                    buf.put_u8(1);
-                    buf.put_i64(*v);
-                }
-                Value::Bytes(b) => {
-                    buf.put_u8(2);
-                    buf.put_u64(b.len() as u64);
-                    buf.put_slice(b);
-                }
-            }
+            codec::put_gid(&mut buf, r.writer);
+            codec::put_value(&mut buf, &r.value);
         }
         buf.freeze()
     }
@@ -131,33 +129,10 @@ impl WriteAheadLog {
         // bytes could possibly hold (17 bytes is the smallest record).
         let mut records = Vec::with_capacity(n.min(buf.remaining() / 17));
         for _ in 0..n {
-            if buf.remaining() < 4 + 4 + 8 + 1 {
-                return Err(WalError::Truncated);
-            }
-            let item = ItemId(buf.get_u32());
-            let origin = SiteId(buf.get_u32());
-            let seq = buf.get_u64();
-            let value = match buf.get_u8() {
-                0 => Value::Initial,
-                1 => {
-                    if buf.remaining() < 8 {
-                        return Err(WalError::Truncated);
-                    }
-                    Value::Int(buf.get_i64())
-                }
-                2 => {
-                    if buf.remaining() < 8 {
-                        return Err(WalError::Truncated);
-                    }
-                    let len = buf.get_u64() as usize;
-                    if buf.remaining() < len {
-                        return Err(WalError::Truncated);
-                    }
-                    Value::Bytes(buf.copy_to_bytes(len).to_vec())
-                }
-                t => return Err(WalError::BadTag(t)),
-            };
-            records.push(LogRecord { item, value, writer: GlobalTxnId::new(origin, seq) });
+            let item = ItemId(codec::get_u32(&mut buf)?);
+            let writer = codec::get_gid(&mut buf)?;
+            let value = codec::get_value(&mut buf)?;
+            records.push(LogRecord { item, value, writer });
         }
         Ok(WriteAheadLog { records })
     }
@@ -207,6 +182,7 @@ pub fn recover(checkpoint: &Checkpoint, log: &WriteAheadLog) -> Store {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use repl_types::SiteId;
 
     fn gid(site: u32, seq: u64) -> GlobalTxnId {
         GlobalTxnId::new(SiteId(site), seq)

@@ -61,6 +61,12 @@ impl Bytes {
         self.start += n;
         &self.data[s..s + n]
     }
+
+    /// A view of a static byte slice (allocates in this shim; the real
+    /// crate is zero-copy here, which callers must not rely on).
+    pub fn from_static(v: &'static [u8]) -> Self {
+        Bytes::from(v)
+    }
 }
 
 impl Default for Bytes {
@@ -140,6 +146,38 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
+
+    /// Discard the first `n` bytes.
+    ///
+    /// # Panics
+    /// Panics if `n > len()`.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.data.len(), "advance past end of buffer");
+        self.data.drain(..n);
+    }
+
+    /// Split off and return the first `n` bytes, leaving the rest.
+    ///
+    /// # Panics
+    /// Panics if `n > len()`.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.data.len(), "split past end of buffer");
+        let rest = self.data.split_off(n);
+        BytesMut { data: std::mem::replace(&mut self.data, rest) }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut { data: v.to_vec() }
+    }
 }
 
 /// Read access to a byte cursor; all integers are big-endian.
@@ -148,6 +186,8 @@ pub trait Buf {
     fn remaining(&self) -> usize;
     /// Consume one byte.
     fn get_u8(&mut self) -> u8;
+    /// Consume a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
     /// Consume a big-endian `u32`.
     fn get_u32(&mut self) -> u32;
     /// Consume a big-endian `u64`.
@@ -165,6 +205,10 @@ impl Buf for Bytes {
 
     fn get_u8(&mut self) -> u8 {
         self.take(1)[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2).try_into().expect("2 bytes"))
     }
 
     fn get_u32(&mut self) -> u32 {
@@ -188,6 +232,8 @@ impl Buf for Bytes {
 pub trait BufMut {
     /// Append one byte.
     fn put_u8(&mut self, v: u8);
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
     /// Append a big-endian `u32`.
     fn put_u32(&mut self, v: u32);
     /// Append a big-endian `u64`.
@@ -201,6 +247,10 @@ pub trait BufMut {
 impl BufMut for BytesMut {
     fn put_u8(&mut self, v: u8) {
         self.data.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
     }
 
     fn put_u32(&mut self, v: u32) {

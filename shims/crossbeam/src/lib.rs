@@ -62,6 +62,15 @@ pub mod channel {
     #[derive(Clone, Copy, PartialEq, Eq, Debug)]
     pub struct RecvError;
 
+    /// Returned by [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum RecvTimeoutError {
+        /// The wait elapsed with no message.
+        Timeout,
+        /// The channel is empty and every sender is dropped.
+        Disconnected,
+    }
+
     impl<T> std::fmt::Debug for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             f.write_str("SendError(..)")
@@ -118,6 +127,32 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.chan.recv_ready.wait(st).expect("channel poisoned");
+            }
+        }
+
+        /// Dequeue the next message, waiting at most `timeout` for one to
+        /// arrive.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.chan.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.chan.send_ready.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .chan
+                    .recv_ready
+                    .wait_timeout(st, deadline - now)
+                    .expect("channel poisoned");
+                st = guard;
             }
         }
     }

@@ -25,4 +25,7 @@ REPRO_SCALE=quick REPRO_WORKERS=4 REPRO_NO_CACHE=1 ./target/release/fig2a > /dev
 echo "==> fault smoke sweep (seeded crash plans, cache off)"
 REPRO_SCALE=quick REPRO_WORKERS=4 REPRO_NO_CACHE=1 ./target/release/fault_sweep > /dev/null
 
+echo "==> loopback TCP smoke (3 repld processes, mid-run connection kill)"
+./target/release/tcp_smoke > /dev/null
+
 echo "ci: all gates passed"
