@@ -3,10 +3,10 @@
 //! Usage: `cargo run -p repl-analysis --bin replint [--json] [DIR…]`
 //!
 //! Recursively scans every `.rs` file under the given directories
-//! (default: `crates/sim crates/core crates/copygraph`, the crates whose
-//! behaviour must be a pure function of the run's seeds) with the rules
-//! of [`repl_analysis::detlint`]. Exits 1 if any finding is produced,
-//! 0 on a clean tree.
+//! (default: `crates/sim crates/core crates/copygraph crates/protocol`,
+//! the crates whose behaviour must be a pure function of their inputs)
+//! with the rules of [`repl_analysis::detlint`]. Exits 1 if any finding
+//! is produced, 0 on a clean tree.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -28,8 +28,10 @@ fn main() {
         }
     }
     if dirs.is_empty() {
-        dirs =
-            ["crates/sim", "crates/core", "crates/copygraph"].iter().map(PathBuf::from).collect();
+        dirs = ["crates/sim", "crates/core", "crates/copygraph", "crates/protocol"]
+            .iter()
+            .map(PathBuf::from)
+            .collect();
     }
 
     let mut files = Vec::new();

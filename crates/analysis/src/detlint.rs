@@ -14,12 +14,20 @@
 //! | RL004 | iteration over a `HashMap`/`HashSet` binding (unordered) |
 //! | RL005 | entropy-seeded RNG construction (`from_entropy`, `from_os_rng`, `OsRng`, `getrandom`) |
 //! | RL006 | blocking network I/O (`std::net`, `TcpStream`, `TcpListener`, `UdpSocket`) |
+//! | RL007 | any I/O, threading, or clock import inside `crates/protocol` |
 //!
 //! RL006 keeps real sockets out of the deterministic layers: the
 //! simulator models the network in virtual time, so any code under
 //! `crates/sim`, `crates/core` or `crates/copygraph` that touches
 //! `std::net` both blocks on real I/O and injects wall-clock timing into
 //! results. Socket code belongs in `repl-net`/`repl-runtime`.
+//!
+//! RL007 enforces the sans-I/O contract of `repl-protocol`: the crate is
+//! the single propagation state machine shared by the simulator and the
+//! live runtime, and it stays shareable only while it owns no clocks,
+//! threads, channels, or sockets. Files whose path lies under
+//! `crates/protocol` may not mention `std::thread`, `std::time`,
+//! `std::net`, or `crossbeam` — drivers own all of those.
 //!
 //! RL004 is a heuristic: the scanner collects names declared with a
 //! `HashMap<…>`/`HashSet<…>` type ascription in the same file and flags
@@ -37,6 +45,7 @@ const ALLOW_HASH_ITER: &str = "replint: allow(hash-iter)";
 pub fn scan_file(path_label: &str, src: &str) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let hash_names = collect_hash_bindings(src);
+    let sans_io = path_label.contains("crates/protocol");
     let mut prev_allows = false;
 
     for (idx, raw) in src.lines().enumerate() {
@@ -104,6 +113,25 @@ pub fn scan_file(path_label: &str, src: &str) -> Vec<Diagnostic> {
                     line,
                 ));
                 break;
+            }
+        }
+        if sans_io {
+            for pat in ["std::thread", "std::time", "std::net", "crossbeam"] {
+                if code_part.contains(pat) {
+                    diags.push(source_diag(
+                        "RL007",
+                        &format!(
+                            "{pat} inside the sans-I/O protocol core: repl-protocol \
+                             is shared by the simulator and the live runtime, so \
+                             clocks, threads, channels, and sockets belong to the \
+                             drivers, never the state machine"
+                        ),
+                        path_label,
+                        lineno,
+                        line,
+                    ));
+                    break;
+                }
             }
         }
         if !allowed {
@@ -325,5 +353,31 @@ mod tests {
         assert_eq!(codes(src), vec!["RL006", "RL006", "RL006"]);
         let comment_only = "// TcpStream is banned here\nlet x = 1; // std::net\n";
         assert!(codes(comment_only).is_empty());
+    }
+
+    #[test]
+    fn sans_io_imports_flagged_only_under_crates_protocol() {
+        let src = "use std::thread;\nuse std::time::Duration;\nuse crossbeam::channel;\n";
+        let in_protocol: Vec<_> =
+            scan_file("crates/protocol/src/machine.rs", src).into_iter().map(|d| d.code).collect();
+        assert_eq!(in_protocol, vec!["RL007", "RL007", "RL007"]);
+        // The same imports are fine in a driver crate.
+        assert!(scan_file("crates/runtime/src/site.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sans_io_net_import_flagged_alongside_rl006() {
+        // std::net in the protocol core violates both the general
+        // no-sockets rule and the sans-I/O contract.
+        let src = "use std::net::TcpStream;\n";
+        let codes: Vec<_> =
+            scan_file("crates/protocol/src/wire.rs", src).into_iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["RL006", "RL007"]);
+    }
+
+    #[test]
+    fn sans_io_comments_not_flagged() {
+        let src = "// drivers own std::time and std::thread\nlet x = 1;\n";
+        assert!(scan_file("crates/protocol/src/lib.rs", src).is_empty());
     }
 }

@@ -1,4 +1,4 @@
-//! The BackEdge protocol's eager phase (§4.1).
+//! The BackEdge protocol's eager phase (§4.1) — driver half.
 //!
 //! When a transaction `Ti` at site `si` has updates destined for sites
 //! that are its *ancestors* in the propagation tree (backedge
@@ -15,111 +15,40 @@
 //!    2PC degenerates to this);
 //! 4. updates for descendant sites then propagate lazily à la DAG(WT).
 //!
-//! Global deadlocks (Example 4.1) are broken by the origin's lock
-//! timeout: the waiting primary aborts, a global abort decision releases
-//! every prepared subtransaction, and in-flight specials are discarded.
+//! Routing, path bookkeeping and decisions are the machine's job; this
+//! module executes its `Prepare`/`CommitPrepared`/`AbortPrepared`
+//! commands against the store, and owns what the machine cannot see:
+//! lock waits, the timeout escape hatches (Example 4.1's global-deadlock
+//! rule), and CPU costing.
 
+use repl_protocol::Input;
 use repl_sim::{SimDuration, SimTime};
 use repl_types::{GlobalTxnId, ItemId, SiteId, StorageError, Value};
 
-use super::event::{Event, Message, SubtxnKind, SubtxnMsg, TimeoutScope};
+use super::event::{Event, Message, TimeoutScope};
 use super::site::{BackedgeRun, Owner, PrimaryPhase};
 use super::Engine;
 
 impl Engine {
-    /// §4.1 step 1: ship `S1` to the farthest tree ancestor and wait.
-    pub(crate) fn start_eager_phase(
+    /// Execute a machine-issued direct `Prepare`: `S1` arrived at the
+    /// farthest ancestor, run it as an independent (non-applier)
+    /// subtransaction. The writes are already filtered to this site.
+    pub(crate) fn start_direct_special(
         &mut self,
         now: SimTime,
         site: SiteId,
-        thread: u32,
+        gid: GlobalTxnId,
+        origin: SiteId,
         writes: Vec<(ItemId, Value)>,
-        ancestors: Vec<SiteId>,
     ) {
-        let tree = self.tree.as_ref().expect("BackEdge has a tree");
-        // Farthest ancestor = smallest depth among the backedge targets.
-        let farthest = ancestors
-            .iter()
-            .copied()
-            .min_by_key(|&a| (tree.depth(a), a))
-            .expect("non-empty ancestor set");
-        // The special's route: every site strictly between `farthest` and
-        // `site` on the tree path, plus `farthest` itself. These are the
-        // decision targets.
-        let mut path = vec![farthest];
-        let mut cur = farthest;
-        while let Some(next) = tree.next_hop_toward(cur, site) {
-            if next == site {
-                break;
-            }
-            path.push(next);
-            cur = next;
-        }
-
-        let (gid, wait_seq) = {
-            let a = self.active_mut(site, thread).expect("eager phase without txn");
-            a.phase = PrimaryPhase::WaitingBackedge;
-            a.wait_seq += 1;
-            a.backedge_path = path;
-            (a.gid, a.wait_seq)
-        };
-        let sub = SubtxnMsg {
-            gid,
-            origin: site,
-            writes,
-            dest_sites: Vec::new(),
-            ts: None,
-            kind: SubtxnKind::Special,
-        };
-        self.send(now, site, farthest, Message::BackedgeExec { sub, origin_thread: thread });
-        // No aggressive timeout on the eager wait itself: only *lock*
-        // waits time out (§5). Global deadlocks resolve through blocker
-        // inspection (see `break_backedge_blockers`); a generous safety
-        // timeout guards against protocol bugs only.
-        let factor = self.params.eager_wait_timeout_factor.max(1);
-        let wait = self.params.deadlock_timeout.times(factor);
-        let extra = self.jitter(SimDuration::micros(wait.as_micros() / 10 + 1));
-        self.queue.push_at(
-            now + wait + extra,
-            Event::Timeout { site, scope: TimeoutScope::PrimaryEager { thread }, wait_seq },
-        );
-    }
-
-    /// `S1` arrives at the farthest ancestor: execute it as an
-    /// independent (non-applier) subtransaction.
-    pub(crate) fn recv_backedge_exec(
-        &mut self,
-        now: SimTime,
-        to: SiteId,
-        sub: SubtxnMsg,
-        origin_thread: u32,
-    ) {
-        if self.aborted_eager.contains(&sub.gid) {
-            return; // origin already gave up
-        }
-        let applicable: Vec<_> = sub
-            .writes
-            .iter()
-            .filter(|(item, _)| self.placement.has_copy(to, *item))
-            .cloned()
-            .collect();
-        let st = &mut self.sites[to.index()];
+        let st = &mut self.sites[site.index()];
         let local = st.store.begin();
-        st.owner.insert(local, Owner::Backedge { gid: sub.gid });
-        let gid = sub.gid;
+        st.owner.insert(local, Owner::Backedge { gid });
         st.backedge_txns.insert(
             gid,
-            BackedgeRun {
-                local,
-                sub,
-                origin_thread,
-                applicable,
-                idx: 0,
-                prepared: false,
-                blocked: false,
-            },
+            BackedgeRun { local, origin, writes, idx: 0, prepared: false, blocked: false },
         );
-        self.exec_backedge_step(now, to, gid);
+        self.exec_backedge_step(now, site, gid);
     }
 
     /// Apply the next write of a direct backedge subtransaction.
@@ -128,7 +57,7 @@ impl Engine {
             let Some(run) = self.sites[site.index()].backedge_txns.get(&gid) else {
                 return; // aborted by a decision meanwhile
             };
-            (run.local, run.applicable.get(run.idx).cloned(), run.idx)
+            (run.local, run.writes.get(run.idx).cloned(), run.idx)
         };
         match next {
             Some((item, value)) => {
@@ -195,152 +124,115 @@ impl Engine {
         }
     }
 
-    /// §4.1 step 2: execution finished — hold locks, forward the special
-    /// toward the origin.
+    /// §4.1 step 2: execution finished — hold locks and tell the machine,
+    /// which forwards the special one hop toward its origin.
     fn backedge_prepared(&mut self, now: SimTime, site: SiteId, gid: GlobalTxnId) {
-        let (sub, local) = {
+        let local = {
             let run =
                 self.sites[site.index()].backedge_txns.get_mut(&gid).expect("prepared run exists");
             run.prepared = true;
-            (run.sub.clone(), run.local)
+            run.local
         };
         let _ = self.sites[site.index()].store.prepare(local);
-        let tree = self.tree.as_ref().expect("BackEdge has a tree");
-        let next = tree
-            .next_hop_toward(site, sub.origin)
-            .expect("origin is a tree descendant of every backedge site");
-        self.send(now, site, next, Message::Subtxn { from: site, sub });
+        let cmds = self.machine_input(site, Input::Prepared { gid });
+        self.run_commands(now, site, cmds);
     }
 
     /// The applier at an intermediate site finished executing a special
     /// subtransaction: transfer it to the prepared table (keeping its
-    /// locks) and forward; the applier moves on.
+    /// locks) and tell the machine, which forwards the special and pumps
+    /// the next queued subtransaction into the freed applier.
     pub(crate) fn special_executed(&mut self, now: SimTime, site: SiteId) {
         let a = self.sites[site.index()].applier.take().expect("special in applier");
         self.sites[site.index()].applier_gen += 1;
-        let gid = a.msg.gid;
+        let gid = a.gid;
         self.sites[site.index()].owner.insert(a.local, Owner::Backedge { gid });
         let _ = self.sites[site.index()].store.prepare(a.local);
+        let idx = a.writes.len();
         self.sites[site.index()].backedge_txns.insert(
             gid,
             BackedgeRun {
                 local: a.local,
-                sub: a.msg.clone(),
-                origin_thread: 0,
-                applicable: a.applicable.clone(),
-                idx: a.applicable.len(),
+                origin: gid.origin,
+                writes: a.writes,
+                idx,
                 prepared: true,
                 blocked: false,
             },
         );
-        let tree = self.tree.as_ref().expect("BackEdge has a tree");
-        let next =
-            tree.next_hop_toward(site, a.msg.origin).expect("origin below every special site");
-        self.send(now, site, next, Message::Subtxn { from: site, sub: a.msg });
-        self.pump_secondary(now, site);
+        let cmds = self.machine_input(site, Input::Prepared { gid });
+        self.run_commands(now, site, cmds);
     }
 
-    /// §4.1 step 3: the special arrived back at the origin through the
-    /// FIFO queue (so everything received before it has committed).
-    /// Commit the waiting primary.
-    pub(crate) fn backedge_home_arrival(&mut self, now: SimTime, site: SiteId, sub: SubtxnMsg) {
-        let thread = (0..self.sites[site.index()].threads.len() as u32).find(|&t| {
-            self.active(site, t)
-                .map(|a| a.gid == sub.gid && a.phase == PrimaryPhase::WaitingBackedge)
-                .unwrap_or(false)
-        });
-        if let Some(thread) = thread {
-            self.schedule_commit_cpu(now, site, thread);
-        }
-        // Applier stays free either way; the origin does not re-apply its
-        // own writes.
-        self.queue.push_at(now, Event::PumpSecondary { site });
+    /// Execute a machine-issued `ArmEagerTimeout`: a generous safety
+    /// backstop on the eager wait. No aggressive timeout here — only
+    /// *lock* waits time out (§5); global deadlocks resolve through
+    /// blocker inspection (see `break_backedge_blockers`).
+    pub(crate) fn arm_eager_timeout(&mut self, now: SimTime, site: SiteId, gid: GlobalTxnId) {
+        let Some(thread) = self.thread_waiting_backedge(site, gid) else { return };
+        let wait_seq =
+            self.active(site, thread).expect("found by thread_waiting_backedge").wait_seq;
+        let factor = self.params.eager_wait_timeout_factor.max(1);
+        let wait = self.params.deadlock_timeout.times(factor);
+        let extra = self.jitter(SimDuration::micros(wait.as_micros() / 10 + 1));
+        self.queue.push_at(
+            now + wait + extra,
+            Event::Timeout { site, scope: TimeoutScope::PrimaryEager { thread }, wait_seq },
+        );
     }
 
-    /// After the origin's local commit: broadcast the commit decision to
-    /// the path sites and propagate lazily to descendants (§4.1 step 4).
-    pub(crate) fn backedge_after_commit(
-        &mut self,
-        now: SimTime,
-        site: SiteId,
-        gid: GlobalTxnId,
-        a: &super::site::ActivePrimary,
-        writes: &[(ItemId, Value)],
-        dests: &[SiteId],
-    ) {
-        for &p in &a.backedge_path {
-            self.send(now, site, p, Message::BackedgeDecision { gid, commit: true });
+    /// Execute a machine-issued `CommitPrepared`: the commit decision for
+    /// a prepared backedge/special subtransaction at this site.
+    pub(crate) fn commit_prepared(&mut self, now: SimTime, site: SiteId, gid: GlobalTxnId) {
+        let Some(run) = self.sites[site.index()].backedge_txns.remove(&gid) else {
+            debug_assert!(false, "commit decision with no prepared subtransaction at {site}");
+            return;
+        };
+        debug_assert!(run.prepared, "commit decision for an unprepared subtransaction");
+        self.sites[site.index()].owner.remove(&run.local);
+        let (_, granted) =
+            self.sites[site.index()].store.commit(run.local).expect("commit prepared backedge txn");
+        if !run.writes.is_empty() {
+            self.metrics.on_apply(gid, now);
         }
-        let tree = self.tree.as_ref().expect("BackEdge has a tree");
-        let descendants: Vec<SiteId> =
-            dests.iter().copied().filter(|&d| tree.is_ancestor(site, d)).collect();
-        if !descendants.is_empty() {
-            let sub = SubtxnMsg {
-                gid,
-                origin: site,
-                writes: writes.to_vec(),
-                dest_sites: descendants,
-                ts: None,
-                kind: SubtxnKind::Normal,
-            };
-            self.forward_down_tree(now, site, &sub);
-        }
+        self.resume_granted(now, site, granted);
     }
 
-    /// The origin's eager timeout fired: global-deadlock abort (the
-    /// Example 4.1 resolution).
-    pub(crate) fn abort_eager_primary(&mut self, now: SimTime, site: SiteId, thread: u32) {
-        let Some(a) = self.active(site, thread).cloned() else { return };
-        self.aborted_eager.insert(a.gid);
-        for &p in &a.backedge_path {
-            self.send(now, site, p, Message::BackedgeDecision { gid: a.gid, commit: false });
-        }
-        self.abort_primary(now, site, thread, false);
-    }
-
-    /// A commit/abort decision arrives at a path site.
-    pub(crate) fn recv_backedge_decision(
-        &mut self,
-        now: SimTime,
-        to: SiteId,
-        gid: GlobalTxnId,
-        commit: bool,
-    ) {
-        if let Some(run) = self.sites[to.index()].backedge_txns.remove(&gid) {
-            self.sites[to.index()].owner.remove(&run.local);
-            let granted = if commit {
-                debug_assert!(run.prepared, "commit decision for an unprepared subtransaction");
-                let (_, granted) = self.sites[to.index()]
-                    .store
-                    .commit(run.local)
-                    .expect("commit prepared backedge txn");
-                if !run.applicable.is_empty() {
-                    self.metrics.on_apply(gid, now);
-                }
-                granted
-            } else {
-                self.sites[to.index()].store.abort(run.local).expect("abort backedge txn")
-            };
-            self.resume_granted(now, to, granted);
+    /// Execute a machine-issued `AbortPrepared`: release a backedge/
+    /// special subtransaction — prepared, still executing directly, or
+    /// (for a queued special) still sitting in the applier slot.
+    pub(crate) fn abort_prepared(&mut self, now: SimTime, site: SiteId, gid: GlobalTxnId) {
+        if let Some(run) = self.sites[site.index()].backedge_txns.remove(&gid) {
+            self.sites[site.index()].owner.remove(&run.local);
+            let granted =
+                self.sites[site.index()].store.abort(run.local).expect("abort backedge txn");
+            self.resume_granted(now, site, granted);
             return;
         }
-        // Not in the table: maybe the special is still sitting in the
-        // applier (only possible for an abort — commits are sent after
-        // the special has passed through every path site).
-        debug_assert!(!commit, "commit decision with no prepared subtransaction at {to}");
+        // The machine already cleared its busy slot; free the driver's.
         let in_applier =
-            self.sites[to.index()].applier.as_ref().map(|ap| ap.msg.gid == gid).unwrap_or(false);
+            self.sites[site.index()].applier.as_ref().map(|ap| ap.gid == gid).unwrap_or(false);
         if in_applier {
-            let ap = self.sites[to.index()].applier.take().expect("checked");
-            self.sites[to.index()].applier_gen += 1;
-            self.sites[to.index()].owner.remove(&ap.local);
+            let ap = self.sites[site.index()].applier.take().expect("checked");
+            self.sites[site.index()].applier_gen += 1;
+            self.sites[site.index()].owner.remove(&ap.local);
             let granted =
-                self.sites[to.index()].store.abort(ap.local).expect("abort special in applier");
-            self.resume_granted(now, to, granted);
-            self.pump_secondary(now, to);
+                self.sites[site.index()].store.abort(ap.local).expect("abort special in applier");
+            self.resume_granted(now, site, granted);
         }
-        // Otherwise the special has not arrived yet; the aborted_eager set
-        // discards it on arrival.
+        // Otherwise the special has not arrived yet; the machine's
+        // tombstone discards it on arrival.
+    }
+
+    /// The origin's eager timeout fired (or a remote abort request came
+    /// in): global-deadlock abort, the Example 4.1 resolution. The
+    /// machine broadcasts the abort decision and tombstones the special.
+    pub(crate) fn abort_eager_primary(&mut self, now: SimTime, site: SiteId, thread: u32) {
+        let Some(a) = self.active(site, thread) else { return };
+        let gid = a.gid;
+        let cmds = self.machine_input(site, Input::AbortEager { gid });
+        self.run_commands(now, site, cmds);
+        self.abort_primary(now, site, thread, false);
     }
 
     /// A blocked backedge subtransaction timed out: break its blockers if
@@ -398,8 +290,7 @@ impl Engine {
                     }
                 }
                 Some(Owner::Backedge { gid }) => {
-                    let origin =
-                        self.sites[site.index()].backedge_txns.get(&gid).map(|r| r.sub.origin);
+                    let origin = self.sites[site.index()].backedge_txns.get(&gid).map(|r| r.origin);
                     if let Some(origin) = origin {
                         self.send(now, site, origin, Message::BackedgeAbortReq { gid });
                     }
@@ -412,13 +303,18 @@ impl Engine {
     /// A remote site asked us to abort `gid`'s eager phase because its
     /// prepared subtransaction blocks a timed-out lock wait there.
     pub(crate) fn recv_backedge_abort_req(&mut self, now: SimTime, to: SiteId, gid: GlobalTxnId) {
-        let thread = (0..self.sites[to.index()].threads.len() as u32).find(|&t| {
-            self.active(to, t)
-                .map(|a| a.gid == gid && a.phase == PrimaryPhase::WaitingBackedge)
-                .unwrap_or(false)
-        });
-        if let Some(thread) = thread {
+        if let Some(thread) = self.thread_waiting_backedge(to, gid) {
             self.abort_eager_primary(now, to, thread);
         }
+    }
+
+    /// The thread at `site` whose active attempt is `gid`, waiting in its
+    /// eager phase.
+    fn thread_waiting_backedge(&self, site: SiteId, gid: GlobalTxnId) -> Option<u32> {
+        (0..self.sites[site.index()].threads.len() as u32).find(|&t| {
+            self.active(site, t)
+                .map(|a| a.gid == gid && a.phase == PrimaryPhase::WaitingBackedge)
+                .unwrap_or(false)
+        })
     }
 }

@@ -1,70 +1,24 @@
 //! Events on the simulation calendar and messages on the network.
+//!
+//! The propagation vocabulary (subtransactions, dummies, specials,
+//! decisions) lives in `repl-protocol`; the engine ships it between
+//! sites as [`Message::Link`] and keeps only the simulator-specific
+//! remote-locking and deadlock-resolution messages here.
 
+use repl_protocol::Payload;
 use repl_types::{GlobalTxnId, ItemId, SiteId, Value};
-
-use crate::timestamp::Timestamp;
-
-/// What kind of secondary subtransaction a message carries.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum SubtxnKind {
-    /// An ordinary secondary subtransaction: commits at the receiving
-    /// site, then (DAG(WT)/BackEdge) is forwarded to relevant children.
-    Normal,
-    /// A BackEdge "special" subtransaction (§4.1): executed and forwarded
-    /// down the tree toward `origin` *without committing*; locks are held
-    /// until the distributed-commit decision.
-    Special,
-    /// A DAG(T) dummy (§3.3): no updates, only pushes the receiving
-    /// site's timestamp/epoch forward.
-    Dummy,
-}
-
-/// A secondary subtransaction in flight or queued.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct SubtxnMsg {
-    /// The logical transaction whose updates this carries.
-    pub gid: GlobalTxnId,
-    /// Site where the primary subtransaction ran.
-    pub origin: SiteId,
-    /// Full deduplicated write set of the primary; each receiving site
-    /// applies the subset it holds replicas of (§2).
-    pub writes: Vec<(ItemId, Value)>,
-    /// All replica sites that must eventually apply these updates (used
-    /// for tree routing in DAG(WT)/BackEdge; empty for DAG(T)/naive,
-    /// which send point-to-point).
-    pub dest_sites: Vec<SiteId>,
-    /// DAG(T) timestamp; `None` for the other protocols.
-    pub ts: Option<Timestamp>,
-    /// Normal / special / dummy.
-    pub kind: SubtxnKind,
-}
 
 /// Network messages.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Message {
-    /// A secondary subtransaction travelling a copy-graph or tree edge;
-    /// `from` identifies the sending parent (selects the incoming queue).
-    Subtxn {
+    /// A protocol payload (subtransaction, dummy, special or decision)
+    /// travelling a copy-graph or tree edge; `from` identifies the
+    /// sending site (the incoming-queue key at the receiver).
+    Link {
         /// Sending site (the queue key at the receiver).
         from: SiteId,
-        /// The subtransaction payload.
-        sub: SubtxnMsg,
-    },
-    /// BackEdge step 1 (§4.1): the backedge subtransaction `S1` sent
-    /// directly from the origin to the farthest tree ancestor.
-    BackedgeExec {
-        /// The subtransaction payload (kind = `Special`).
-        sub: SubtxnMsg,
-        /// Thread at the origin waiting for the eager phase.
-        origin_thread: u32,
-    },
-    /// BackEdge step 3: the distributed-commit decision for the prepared
-    /// backedge/special subtransactions of `gid`.
-    BackedgeDecision {
-        /// Transaction the decision applies to.
-        gid: GlobalTxnId,
-        /// True = commit, false = abort.
-        commit: bool,
+        /// The protocol payload.
+        payload: Payload,
     },
     /// PSL / Eager: request a lock at the primary site of `item` on
     /// behalf of remote transaction `gid`.
@@ -225,11 +179,6 @@ pub enum Event {
         /// Tick-chain generation (stale after a crash).
         gen: u64,
     },
-    /// The site's applier should try to start the next secondary.
-    PumpSecondary {
-        /// The site to pump.
-        site: SiteId,
-    },
     /// CPU slice for one write of a directly-sent backedge
     /// subtransaction (`S1`, §4.1) finished.
     BackedgeStepDone {
@@ -270,7 +219,6 @@ impl Event {
             | Event::RetryThread { site, .. }
             | Event::EpochTick { site, .. }
             | Event::HeartbeatTick { site, .. }
-            | Event::PumpSecondary { site }
             | Event::BackedgeStepDone { site, .. }
             | Event::SiteCrash { site }
             | Event::SiteRestart { site } => site,

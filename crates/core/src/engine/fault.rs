@@ -31,6 +31,7 @@
 //! stall), so the `repl-analysis` linter rejects crash plans for them
 //! at error severity.
 
+use repl_protocol::Input;
 use repl_sim::{SimDuration, SimTime};
 use repl_types::{GlobalTxnId, SiteId};
 
@@ -80,8 +81,9 @@ impl Engine {
         self.metrics.on_crash(site, now);
 
         // The applier's partial work is undone, but its message was
-        // durably received: put it back at the head of its queue so the
-        // restarted site re-applies it in order.
+        // durably received: the machine puts it back at the head of its
+        // queue so the restarted site re-applies it in order, and drops
+        // its volatile prepare/eager state.
         {
             let st = &mut self.sites[site.index()];
             if let Some(a) = st.applier.take() {
@@ -90,9 +92,11 @@ impl Engine {
                 if st.owner.remove(&a.local).is_some() {
                     let _ = st.store.abort(a.local);
                 }
-                let qi = a.from_queue;
-                st.in_queues[qi].1.push_front(a.msg);
             }
+        }
+        if self.sites[site.index()].machine.is_some() {
+            let _cmds = self.machine_input(site, Input::Crashed);
+            debug_assert!(_cmds.is_empty(), "a crash notification produces no commands");
         }
 
         // In-flight primary attempts die with their undo log. A thread
@@ -183,7 +187,8 @@ impl Engine {
                 // rely on their durable tuple counters, which already
                 // order every post-recovery timestamp above their own
                 // pre-crash ones.
-                self.sites[site.index()].site_ts.epoch += 1;
+                let _cmds = self.machine_input(site, Input::EpochTick);
+                debug_assert!(_cmds.is_empty(), "an epoch tick produces no commands");
                 self.queue.push_at(now + self.params.epoch_period, Event::EpochTick { site, gen });
             }
             if self.graph.children(site).next().is_some() {

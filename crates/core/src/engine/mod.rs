@@ -1,16 +1,20 @@
 //! The protocol engine: an event-driven multi-site simulator.
 //!
 //! One [`Engine`] owns every site, the network, the calendar, the recorded
-//! history and the metrics. Protocol behaviour is selected by
-//! [`crate::config::ProtocolKind`]; the shared machinery (transaction
-//! driving, locking, timeouts, commit bookkeeping) lives here and in the
-//! sibling modules:
+//! history and the metrics. Propagation *decisions* — what to enqueue,
+//! apply, stamp, forward or prepare — are made by the shared sans-I/O
+//! [`repl_protocol::SiteMachine`]; the engine is a driver that costs the
+//! resulting commands onto the simulated CPUs, locks and links. Protocol
+//! behaviour is selected by [`crate::config::ProtocolKind`]; the shared
+//! machinery (transaction driving, locking, timeouts, commit bookkeeping)
+//! lives here and in the sibling modules:
 //!
 //! * [`primary`] — worker threads executing primary subtransactions;
-//! * [`secondary`] — incoming queues and the per-site applier (DAG(WT),
-//!   DAG(T), NaiveLazy, and BackEdge's lazy half);
+//! * [`secondary`] — the per-site applier executing machine-issued
+//!   `Apply` commands (DAG(WT), DAG(T), NaiveLazy, BackEdge's lazy half);
 //! * [`remote`] — PSL/Eager remote locking via proxy transactions;
-//! * [`backedge`] — the BackEdge eager phase (§4.1).
+//! * [`backedge`] — the BackEdge eager phase (§4.1): executing machine-
+//!   issued `Prepare` commands and the deadlock-breaking escape hatches.
 
 pub mod event;
 pub mod site;
@@ -21,9 +25,10 @@ mod primary;
 mod remote;
 mod secondary;
 
-use std::collections::HashSet;
+use std::sync::Arc;
 
 use repl_copygraph::{BackEdgeSet, CopyGraph, DataPlacement, PropagationTree};
+use repl_protocol::{Command as ProtoCommand, Input, Payload, ProtocolId, SiteMachine};
 use repl_sim::{EventQueue, Network, SimDuration, SimTime};
 use repl_storage::TxnId;
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
@@ -89,10 +94,10 @@ pub struct RunReport {
 /// The multi-site protocol engine.
 pub struct Engine {
     pub(crate) params: SimParams,
-    pub(crate) placement: DataPlacement,
-    pub(crate) graph: CopyGraph,
+    pub(crate) placement: Arc<DataPlacement>,
+    pub(crate) graph: Arc<CopyGraph>,
     /// Propagation tree (DAG(WT)/BackEdge).
-    pub(crate) tree: Option<PropagationTree>,
+    pub(crate) tree: Option<Arc<PropagationTree>>,
     /// Backedge set (BackEdge protocol).
     pub(crate) backedges: Option<BackEdgeSet>,
     pub(crate) queue: EventQueue<Event>,
@@ -100,9 +105,6 @@ pub struct Engine {
     pub(crate) sites: Vec<SiteState>,
     pub(crate) history: History,
     pub(crate) metrics: Metrics,
-    /// Attempts aborted during a BackEdge eager phase; in-flight special
-    /// subtransactions for these are discarded on arrival.
-    pub(crate) aborted_eager: HashSet<GlobalTxnId>,
     /// Threads that have not yet finished their programs.
     pub(crate) live_threads: u64,
     /// Deterministic jitter source (see [`Engine::jitter`]).
@@ -175,7 +177,7 @@ impl Engine {
             ProtocolKind::NaiveLazy | ProtocolKind::Psl | ProtocolKind::Eager => {}
         }
 
-        // Sites, stores, queues.
+        // Sites and stores.
         let mut sites: Vec<SiteState> = programs
             .into_iter()
             .enumerate()
@@ -188,31 +190,32 @@ impl Engine {
                 sites[r.index()].store.create_item(item, Value::Initial);
             }
         }
-        // Incoming queues.
-        match params.protocol {
-            ProtocolKind::DagWt | ProtocolKind::BackEdge => {
-                let t = tree.as_ref().expect("tree built above");
-                for s in &mut sites {
-                    if let Some(p) = t.parent(s.id) {
-                        s.in_queues.push((p, Default::default()));
-                    }
-                }
+
+        // The shared propagation machines (lazy protocols only; PSL and
+        // Eager never ship subtransactions).
+        let placement = Arc::new(placement.clone());
+        let graph = Arc::new(graph);
+        let tree = tree.map(Arc::new);
+        let machine_protocol = match params.protocol {
+            ProtocolKind::NaiveLazy => Some(ProtocolId::NaiveLazy),
+            ProtocolKind::DagWt => Some(ProtocolId::DagWt),
+            ProtocolKind::DagT => Some(ProtocolId::DagT),
+            ProtocolKind::BackEdge => Some(ProtocolId::BackEdge),
+            ProtocolKind::Psl | ProtocolKind::Eager => None,
+        };
+        if let Some(pid) = machine_protocol {
+            for s in &mut sites {
+                s.machine = Some(
+                    SiteMachine::new(s.id, pid, placement.clone(), graph.clone(), tree.clone())
+                        .expect("engine builds a tree for tree-routed protocols"),
+                );
             }
-            ProtocolKind::DagT => {
-                for s in &mut sites {
-                    let parents: Vec<SiteId> = graph.parents(s.id).collect();
-                    for p in parents {
-                        s.in_queues.push((p, Default::default()));
-                    }
-                }
-            }
-            _ => {}
         }
 
         let num_sites = placement.num_sites();
         let mut engine = Engine {
             params: params.clone(),
-            placement: placement.clone(),
+            placement,
             graph,
             tree,
             backedges,
@@ -221,7 +224,6 @@ impl Engine {
             sites,
             history: History::new(),
             metrics: Metrics::new(num_sites),
-            aborted_eager: HashSet::new(),
             live_threads: 0,
             jitter_state: 0x243F_6A88_85A3_08D3,
             stalled: false,
@@ -360,7 +362,6 @@ impl Engine {
             Event::RetryThread { site, thread } => self.retry_thread(now, site, thread),
             Event::EpochTick { site, gen } => self.epoch_tick(now, site, gen),
             Event::HeartbeatTick { site, gen } => self.heartbeat_tick(now, site, gen),
-            Event::PumpSecondary { site } => self.pump_secondary(now, site),
             Event::BackedgeStepDone { site, gid, idx } => {
                 self.backedge_step_done(now, site, gid, idx)
             }
@@ -373,12 +374,9 @@ impl Engine {
         // site) even when handling is otherwise instantaneous.
         self.sites[to.index()].cpu.run(now, self.params.msg_cpu);
         match msg {
-            Message::Subtxn { from, sub } => self.recv_subtxn(now, to, from, sub),
-            Message::BackedgeExec { sub, origin_thread } => {
-                self.recv_backedge_exec(now, to, sub, origin_thread)
-            }
-            Message::BackedgeDecision { gid, commit } => {
-                self.recv_backedge_decision(now, to, gid, commit)
+            Message::Link { from, payload } => {
+                let cmds = self.machine_input(to, Input::Deliver { from, payload });
+                self.run_commands(now, to, cmds);
             }
             Message::BackedgeAbortReq { gid } => self.recv_backedge_abort_req(now, to, gid),
             Message::RemoteLockReq { item, exclusive, value, gid, origin_site, origin_thread } => {
@@ -397,6 +395,61 @@ impl Engine {
                 self.recv_remote_lock_grant(now, to, gid, origin_thread, item, ok, writer)
             }
             Message::ProxyRelease { gid, commit } => self.recv_proxy_release(now, to, gid, commit),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The protocol-machine adapter.
+    // ------------------------------------------------------------------
+
+    /// Feed `input` to `site`'s propagation machine and return the
+    /// commands to execute. A [`repl_protocol::ProtocolError`] here means
+    /// the engine fed the machine inconsistent structure — an internal
+    /// invariant violation, so it aborts the simulation loudly.
+    pub(crate) fn machine_input(&mut self, site: SiteId, input: Input) -> Vec<ProtoCommand> {
+        let st = &mut self.sites[site.index()];
+        let m = st.machine.as_mut().expect("lazy-protocol site has a machine");
+        m.on_input(input).unwrap_or_else(|e| panic!("protocol invariant violated at {site}: {e}"))
+    }
+
+    /// Execute machine commands: cost them onto the simulated CPUs, locks
+    /// and links. Completions (apply/prepare finishing) come back later
+    /// as calendar events, which feed the machine again.
+    pub(crate) fn run_commands(&mut self, now: SimTime, site: SiteId, cmds: Vec<ProtoCommand>) {
+        for cmd in cmds {
+            match cmd {
+                ProtoCommand::Send { to, payload } => {
+                    self.note_sent(now, site, to, &payload);
+                    self.send(now, site, to, Message::Link { from: site, payload });
+                }
+                ProtoCommand::CommitLocal { gid } => self.commit_local_ready(now, site, gid),
+                ProtoCommand::Apply { gid, writes } => {
+                    self.start_applier(now, site, gid, writes, false)
+                }
+                ProtoCommand::Prepare { gid, origin, writes, queued } => {
+                    if queued {
+                        self.start_applier(now, site, gid, writes, true);
+                    } else {
+                        self.start_direct_special(now, site, gid, origin, writes);
+                    }
+                }
+                ProtoCommand::CommitPrepared { gid, .. } => self.commit_prepared(now, site, gid),
+                ProtoCommand::AbortPrepared { gid } => self.abort_prepared(now, site, gid),
+                ProtoCommand::ArmEagerTimeout { gid } => self.arm_eager_timeout(now, site, gid),
+            }
+        }
+        // Machine inputs can drain the last real update at a recovering
+        // site (e.g. a dummy consumed inline), so check here.
+        self.maybe_mark_recovered(now, site);
+    }
+
+    /// DAG(T) dummy suppression: remember when this link last carried a
+    /// subtransaction, so heartbeats skip busy links (§3.3).
+    fn note_sent(&mut self, now: SimTime, site: SiteId, to: SiteId, payload: &Payload) {
+        if self.params.protocol == ProtocolKind::DagT {
+            if let Payload::Subtxn(_) = payload {
+                self.sites[site.index()].last_sent.insert(to, now);
+            }
         }
     }
 
@@ -517,7 +570,7 @@ impl Engine {
 
     /// The propagation tree, if the protocol uses one.
     pub fn tree(&self) -> Option<&PropagationTree> {
-        self.tree.as_ref()
+        self.tree.as_deref()
     }
 
     /// The backedge set, if the protocol is BackEdge.
@@ -545,12 +598,15 @@ impl Engine {
             self.queue.len()
         );
         for st in &self.sites {
-            let queues: Vec<String> =
-                st.in_queues.iter().map(|(from, q)| format!("{from}:{}", q.len())).collect();
+            let queues: Vec<String> = st
+                .machine
+                .as_ref()
+                .map(|m| m.queue_summary().iter().map(|(from, n)| format!("{from}:{n}")).collect())
+                .unwrap_or_default();
             eprintln!(
                 "site {}: applier={:?} queues=[{}] backedge_txns={:?} blocked_locks={}",
                 st.id,
-                st.applier.as_ref().map(|a| (a.msg.gid, a.msg.kind.clone(), a.blocked)),
+                st.applier.as_ref().map(|a| (a.gid, a.special, a.blocked)),
                 queues.join(","),
                 st.backedge_txns
                     .iter()
@@ -561,8 +617,8 @@ impl Engine {
             for (t, th) in st.threads.iter().enumerate() {
                 if let Some(a) = &th.active {
                     eprintln!(
-                        "  thread {t}: txn {} pc={} phase={:?} wait_seq={} path={:?}",
-                        a.gid, a.pc, a.phase, a.wait_seq, a.backedge_path
+                        "  thread {t}: txn {} pc={} phase={:?} wait_seq={}",
+                        a.gid, a.pc, a.phase, a.wait_seq
                     );
                 }
             }

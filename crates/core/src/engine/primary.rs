@@ -1,10 +1,9 @@
 //! Primary-subtransaction driving: worker threads, operation execution,
 //! local locking, timeouts, commit and retry.
 
-use std::collections::HashMap;
-
+use repl_protocol::{destinations, write_set_in_order, Command as ProtoCommand, Input};
 use repl_sim::SimTime;
-use repl_types::{GlobalTxnId, ItemId, Op, OpKind, SiteId, StorageError, Value};
+use repl_types::{GlobalTxnId, OpKind, SiteId, StorageError};
 
 use crate::config::{DeadlockMode, ProtocolKind};
 
@@ -12,44 +11,7 @@ use super::event::{Event, Message, TimeoutScope};
 use super::site::{ActivePrimary, Owner, PrimaryPhase};
 use super::Engine;
 
-/// The deduplicated write set of an op prefix: last value per item, in
-/// first-write order.
-pub(crate) fn write_set_of(ops: &[Op]) -> Vec<(ItemId, Value)> {
-    let mut order: Vec<ItemId> = Vec::new();
-    let mut last: HashMap<ItemId, Value> = HashMap::new();
-    for op in ops.iter().filter(|o| o.is_write()) {
-        if !last.contains_key(&op.item) {
-            order.push(op.item);
-        }
-        last.insert(op.item, op.value.clone());
-    }
-    order
-        .into_iter()
-        .map(|i| {
-            let v = last.remove(&i).expect("inserted above");
-            (i, v)
-        })
-        .collect()
-}
-
 impl Engine {
-    /// The distinct replica sites (excluding `origin`) that must apply a
-    /// write set — the propagation destinations.
-    pub(crate) fn destinations_of(
-        &self,
-        origin: SiteId,
-        writes: &[(ItemId, Value)],
-    ) -> Vec<SiteId> {
-        let mut dests: Vec<SiteId> = writes
-            .iter()
-            .flat_map(|(item, _)| self.placement.replicas_of(*item).iter().copied())
-            .filter(|&s| s != origin)
-            .collect();
-        dests.sort_unstable();
-        dests.dedup();
-        dests
-    }
-
     pub(crate) fn start_thread_txn(&mut self, now: SimTime, site: SiteId, thread: u32) {
         let st = &mut self.sites[site.index()];
         let ts = &mut st.threads[thread as usize];
@@ -57,11 +19,7 @@ impl Engine {
         if ts.finished() {
             return;
         }
-        let gid = {
-            let g = GlobalTxnId::new(site, self.sites[site.index()].next_seq);
-            self.sites[site.index()].next_seq += 1;
-            g
-        };
+        let gid = self.sites[site.index()].fresh_gid();
         let local = self.sites[site.index()].store.begin();
         self.sites[site.index()].owner.insert(local, Owner::Primary { thread });
         self.sites[site.index()].threads[thread as usize].active = Some(ActivePrimary {
@@ -73,7 +31,6 @@ impl Engine {
             wait_seq: 0,
             remote_reads: Vec::new(),
             proxy_sites: Vec::new(),
-            backedge_path: Vec::new(),
         });
         self.try_op(now, site, thread);
     }
@@ -87,8 +44,7 @@ impl Engine {
             return;
         };
         debug_assert_eq!(prev.phase, PrimaryPhase::WaitingLock, "retry from a live txn");
-        let gid = GlobalTxnId::new(site, st.next_seq);
-        st.next_seq += 1;
+        let gid = st.fresh_gid();
         let local = st.store.begin();
         st.owner.insert(local, Owner::Primary { thread });
         st.threads[thread as usize].active = Some(ActivePrimary {
@@ -100,7 +56,6 @@ impl Engine {
             wait_seq: 0,
             remote_reads: Vec::new(),
             proxy_sites: Vec::new(),
-            backedge_path: Vec::new(),
         });
         self.try_op(now, site, thread);
     }
@@ -218,22 +173,52 @@ impl Engine {
         self.try_op(now, site, thread);
     }
 
-    /// All operations executed: enter the protocol-specific commit path.
+    /// All operations executed: ask the machine whether the commit may
+    /// proceed now ([`ProtoCommand::CommitLocal`]) or must first run a
+    /// BackEdge eager phase (§4.1). PSL/Eager have no machine — their
+    /// replica coordination happened per-op through proxies — and commit
+    /// immediately.
     fn begin_commit_phase(&mut self, now: SimTime, site: SiteId, thread: u32) {
-        if self.params.protocol == ProtocolKind::BackEdge {
-            let ops: Vec<Op> =
-                self.sites[site.index()].threads[thread as usize].current_ops().to_vec();
-            let writes = write_set_of(&ops);
-            let dests = self.destinations_of(site, &writes);
-            let tree = self.tree.as_ref().expect("BackEdge has a tree");
-            let ancestors: Vec<SiteId> =
-                dests.iter().copied().filter(|&d| tree.is_ancestor(d, site)).collect();
-            if !ancestors.is_empty() {
-                self.start_eager_phase(now, site, thread, writes, ancestors);
-                return;
-            }
+        if self.sites[site.index()].machine.is_none() {
+            self.schedule_commit_cpu(now, site, thread);
+            return;
         }
-        self.schedule_commit_cpu(now, site, thread);
+        let (gid, writes) = {
+            let ops = self.sites[site.index()].threads[thread as usize].current_ops();
+            let writes = write_set_in_order(ops);
+            (self.active(site, thread).expect("commit without txn").gid, writes)
+        };
+        let cmds = self.machine_input(site, Input::CommitIntent { gid, writes });
+        let immediate = cmds.iter().any(|c| matches!(c, ProtoCommand::CommitLocal { .. }));
+        if !immediate {
+            // BackEdge eager phase: park the thread *before* running the
+            // machine's Send/ArmEagerTimeout commands, which read the
+            // bumped wait sequence.
+            let a = self.active_mut(site, thread).expect("checked above");
+            a.phase = PrimaryPhase::WaitingBackedge;
+            a.wait_seq += 1;
+        }
+        self.run_commands(now, site, cmds);
+    }
+
+    /// Execute a machine-issued `CommitLocal`: the transaction may commit
+    /// now — either immediately at commit intent, or because its BackEdge
+    /// special arrived home through the FIFO queue (§4.1 step 3).
+    pub(crate) fn commit_local_ready(&mut self, now: SimTime, site: SiteId, gid: GlobalTxnId) {
+        let thread = (0..self.sites[site.index()].threads.len() as u32).find(|&t| {
+            self.active(site, t)
+                .map(|a| {
+                    a.gid == gid
+                        && matches!(
+                            a.phase,
+                            PrimaryPhase::Executing | PrimaryPhase::WaitingBackedge
+                        )
+                })
+                .unwrap_or(false)
+        });
+        if let Some(thread) = thread {
+            self.schedule_commit_cpu(now, site, thread);
+        }
     }
 
     pub(crate) fn schedule_commit_cpu(&mut self, now: SimTime, site: SiteId, thread: u32) {
@@ -279,25 +264,9 @@ impl Engine {
         self.metrics.on_commit(site, now, a.first_started);
         self.sites[site.index()].wal_len += writes.len() as u64;
 
-        // Protocol-specific propagation.
-        let dests = self.destinations_of(site, &writes);
+        // Propagation: the machine decides what to ship where.
+        let dests = destinations(&self.placement, site, &writes);
         match self.params.protocol {
-            ProtocolKind::NaiveLazy => {
-                self.metrics.expect_propagation(gid, dests.len(), now);
-                self.naive_propagate(now, site, gid, &writes, &dests);
-            }
-            ProtocolKind::DagWt => {
-                self.metrics.expect_propagation(gid, dests.len(), now);
-                self.dagwt_propagate(now, site, gid, &writes, &dests);
-            }
-            ProtocolKind::DagT => {
-                self.metrics.expect_propagation(gid, dests.len(), now);
-                self.dagt_propagate(now, site, gid, &writes, &dests);
-            }
-            ProtocolKind::BackEdge => {
-                self.metrics.expect_propagation(gid, dests.len(), now);
-                self.backedge_after_commit(now, site, gid, &a, &writes, &dests);
-            }
             ProtocolKind::Psl => {
                 // Replica reads are served from primaries; no propagation.
                 self.release_proxies(now, site, &a, true);
@@ -305,6 +274,11 @@ impl Engine {
             ProtocolKind::Eager => {
                 self.metrics.expect_propagation(gid, dests.len(), now);
                 self.release_proxies(now, site, &a, true);
+            }
+            _ => {
+                self.metrics.expect_propagation(gid, dests.len(), now);
+                let cmds = self.machine_input(site, Input::Committed { gid, writes });
+                self.run_commands(now, site, cmds);
             }
         }
 

@@ -1,135 +1,43 @@
-//! Secondary subtransactions: incoming queues, the per-site applier,
-//! DAG(T) timestamp scheduling, dummies and epochs.
+//! The per-site applier: the driver half of secondary subtransactions.
 //!
-//! Each site applies one secondary subtransaction at a time (§3.2.3's
-//! simplifying assumption, also what FIFO commit order in DAG(WT)
-//! requires). Selection policy:
-//!
-//! * **NaiveLazy** — a single arrival-ordered queue (indiscriminate);
-//! * **DAG(WT) / BackEdge** — the single tree-parent queue, strict FIFO
-//!   (§2: "committed at a site in the order in which they are received");
-//! * **DAG(T)** — one queue per copy-graph parent; when *every* queue is
-//!   non-empty, the minimum-timestamp head runs (§3.2.3). Progress under
-//!   quiet links comes from dummy subtransactions and source-site epoch
-//!   increments (§3.3).
+//! Which subtransaction runs next — queue admission, DAG(T)'s
+//! minimum-timestamp rule, dummy consumption, forwarding — is decided by
+//! the shared [`repl_protocol::SiteMachine`]. This module executes the
+//! machine's `Apply` commands against the simulated store: one secondary
+//! at a time (§3.2.3's simplifying assumption, also what FIFO commit
+//! order in DAG(WT) requires), CPU-costed per item write, blocking on
+//! the local lock manager.
 //!
 //! A secondary aborted by a local deadlock is resubmitted until it
 //! succeeds, keeping its original arrival ordinal so the fair victim
-//! policy eventually lets it win (§2).
+//! policy eventually lets it win (§2). The machine is not told about
+//! resubmissions: its `Apply` stays outstanding until the commit finally
+//! lands and the driver reports [`Input::Applied`].
 
+use repl_protocol::Input;
 use repl_sim::SimTime;
-use repl_types::{SiteId, StorageError};
+use repl_types::{GlobalTxnId, ItemId, SiteId, StorageError, Value};
 
 use crate::config::{DeadlockMode, ProtocolKind};
 
-use super::event::{Event, Message, SubtxnKind, SubtxnMsg, TimeoutScope};
+use super::event::{Event, TimeoutScope};
 use super::site::{ActiveSecondary, Owner};
 use super::Engine;
 
 impl Engine {
-    /// A subtransaction message arrives: enqueue it and try to schedule.
-    pub(crate) fn recv_subtxn(&mut self, now: SimTime, to: SiteId, from: SiteId, sub: SubtxnMsg) {
-        let qi = match self.params.protocol {
-            ProtocolKind::NaiveLazy => self.sites[to.index()].queue_index(to),
-            _ => {
-                let st = &self.sites[to.index()];
-                st.in_queues
-                    .iter()
-                    .position(|(s, _)| *s == from)
-                    .unwrap_or_else(|| panic!("{to} has no incoming queue from {from}"))
-            }
-        };
-        self.sites[to.index()].in_queues[qi].1.push_back(sub);
-        self.pump_secondary(now, to);
-    }
-
-    /// If the applier is idle and the protocol's scheduling rule admits a
-    /// subtransaction, start applying it.
-    pub(crate) fn pump_secondary(&mut self, now: SimTime, site: SiteId) {
-        if self.sites[site.index()].applier.is_some() {
-            return;
-        }
-        let picked = match self.params.protocol {
-            ProtocolKind::DagT => self.pick_min_timestamp(site),
-            _ => {
-                // First (only) non-empty queue, strict FIFO.
-                self.sites[site.index()].in_queues.iter().position(|(_, q)| !q.is_empty())
-            }
-        };
-        let Some(qi) = picked else {
-            // Nothing to apply: a restarted site that has drained its
-            // queues has finished recovering.
-            self.maybe_mark_recovered(now, site);
-            return;
-        };
-        let sub = self.sites[site.index()].in_queues[qi]
-            .1
-            .pop_front()
-            .expect("picked queue is non-empty");
-        self.start_secondary(now, site, qi, sub);
-    }
-
-    /// DAG(T) §3.2.3: only when every incoming queue is non-empty, pick
-    /// the minimum-timestamp head.
-    fn pick_min_timestamp(&self, site: SiteId) -> Option<usize> {
-        let st = &self.sites[site.index()];
-        if st.in_queues.is_empty() {
-            return None;
-        }
-        let mut best: Option<usize> = None;
-        for (i, (_, q)) in st.in_queues.iter().enumerate() {
-            let head = q.front()?; // any empty queue ⇒ wait (progress via dummies)
-            let ts = head.ts.as_ref().expect("DAG(T) subtxns carry timestamps");
-            match best {
-                None => best = Some(i),
-                Some(b) => {
-                    let bts = st.in_queues[b].1.front().unwrap().ts.as_ref().unwrap();
-                    if ts < bts {
-                        best = Some(i);
-                    }
-                }
-            }
-        }
-        best
-    }
-
-    fn start_secondary(&mut self, now: SimTime, site: SiteId, qi: usize, sub: SubtxnMsg) {
-        // DAG(T) dummies carry no updates: consume them without opening a
-        // storage transaction (they only push the site timestamp forward,
-        // §3.3). They were popped in timestamp order like everything
-        // else, so the fast path preserves the §3.2.3 semantics.
-        if sub.kind == SubtxnKind::Dummy {
-            let ts = sub.ts.as_ref().expect("dummies carry timestamps");
-            let st = &mut self.sites[site.index()];
-            let new_ts = ts.concat_site(site, st.lts, ts.epoch);
-            if new_ts > st.site_ts {
-                st.site_ts = new_ts;
-            }
-            let _ = qi;
-            self.queue.push_at(now, Event::PumpSecondary { site });
-            return;
-        }
-        // BackEdge special subtransactions have their own fates.
-        if sub.kind == SubtxnKind::Special {
-            if self.aborted_eager.contains(&sub.gid) {
-                // Its origin aborted the eager phase; drop it.
-                self.queue.push_at(now, Event::PumpSecondary { site });
-                return;
-            }
-            if sub.origin == site {
-                // It came home: commit the waiting primary (§4.1 step 3).
-                self.backedge_home_arrival(now, site, sub);
-                return;
-            }
-        }
-
-        let applicable: Vec<_> = sub
-            .writes
-            .iter()
-            .filter(|(item, _)| self.placement.has_copy(site, *item))
-            .cloned()
-            .collect();
+    /// Execute a machine-issued `Apply` (or queued `Prepare`) command:
+    /// open a storage transaction in the applier slot and start writing.
+    /// The writes are already filtered to this site's copies.
+    pub(crate) fn start_applier(
+        &mut self,
+        now: SimTime,
+        site: SiteId,
+        gid: GlobalTxnId,
+        writes: Vec<(ItemId, Value)>,
+        special: bool,
+    ) {
         let st = &mut self.sites[site.index()];
+        debug_assert!(st.applier.is_none(), "machine issued Apply while the applier is busy");
         let local = st.store.begin();
         st.owner.insert(local, Owner::Secondary);
         let arrival_ord = st.next_arrival;
@@ -138,10 +46,10 @@ impl Engine {
         st.applier_gen += 1;
         let gen = st.applier_gen;
         st.applier = Some(ActiveSecondary {
-            msg: sub,
-            from_queue: qi,
+            gid,
+            writes,
+            special,
             local,
-            applicable,
             write_idx: 0,
             arrival_ord,
             gen,
@@ -153,9 +61,9 @@ impl Engine {
     /// Apply the next item write of the active secondary, or move to
     /// commit/prepare when all writes are in.
     fn exec_secondary_step(&mut self, now: SimTime, site: SiteId) {
-        let (local, gid, next, gen, kind) = {
+        let (local, gid, next, gen, special) = {
             let a = self.sites[site.index()].applier.as_ref().expect("applier active");
-            (a.local, a.msg.gid, a.applicable.get(a.write_idx).cloned(), a.gen, a.msg.kind.clone())
+            (a.local, a.gid, a.writes.get(a.write_idx).cloned(), a.gen, a.special)
         };
         match next {
             Some((item, value)) => {
@@ -179,7 +87,7 @@ impl Engine {
                 }
             }
             None => {
-                if kind == SubtxnKind::Special {
+                if special {
                     // BackEdge: prepare + forward, never commit here.
                     self.special_executed(now, site);
                 } else {
@@ -245,7 +153,8 @@ impl Engine {
 
     /// Deadlock-abort the active secondary and immediately resubmit it
     /// (§2: "repeatedly resubmitted until it succeeds"), keeping its
-    /// arrival ordinal for fair victim selection.
+    /// arrival ordinal for fair victim selection. The machine's `Apply`
+    /// stays outstanding across resubmissions, so it needs no input here.
     pub(crate) fn abort_and_resubmit_secondary(&mut self, now: SimTime, site: SiteId) {
         let (old_local, arrival_ord) = {
             let st = &mut self.sites[site.index()];
@@ -274,8 +183,9 @@ impl Engine {
         self.exec_secondary_step(now, site);
     }
 
-    /// The active secondary committed: update protocol state, forward if
-    /// the protocol says so, and free the applier.
+    /// The active secondary committed: free the applier, record metrics,
+    /// and tell the machine — it merges timestamps, forwards down the
+    /// tree, and pumps the next subtransaction.
     pub(crate) fn secondary_commit_done(&mut self, now: SimTime, site: SiteId, gen: u64) {
         let valid = self.sites[site.index()]
             .applier
@@ -292,134 +202,17 @@ impl Engine {
             self.sites[site.index()].store.commit(a.local).expect("commit live secondary");
         self.resume_granted(now, site, granted);
 
-        if !a.applicable.is_empty() {
-            self.metrics.on_apply(a.msg.gid, now);
-            self.sites[site.index()].wal_len += a.applicable.len() as u64;
+        if !a.writes.is_empty() {
+            self.metrics.on_apply(a.gid, now);
+            self.sites[site.index()].wal_len += a.writes.len() as u64;
         }
 
-        match self.params.protocol {
-            ProtocolKind::DagWt | ProtocolKind::BackEdge => {
-                // §2: committed secondaries are forwarded to relevant
-                // children, atomically with commit order.
-                self.forward_down_tree(now, site, &a.msg);
-            }
-            ProtocolKind::DagT => {
-                let ts = a.msg.ts.as_ref().expect("DAG(T) subtxn has a timestamp");
-                let st = &mut self.sites[site.index()];
-                let new_ts = ts.concat_site(site, st.lts, ts.epoch);
-                // Guarded: after a crash-induced epoch bump (§3.3) the
-                // backlog still carries pre-crash-epoch subtransactions
-                // whose timestamps must not regress the recovered site.
-                if new_ts > st.site_ts {
-                    st.site_ts = new_ts;
-                }
-            }
-            _ => {}
-        }
-        self.pump_secondary(now, site);
-    }
-
-    /// Forward a (committed) subtransaction to the tree children whose
-    /// subtrees contain destinations (§2 relevant children).
-    pub(crate) fn forward_down_tree(&mut self, now: SimTime, site: SiteId, sub: &SubtxnMsg) {
-        let tree = self.tree.as_ref().expect("tree protocol");
-        let children = tree.relevant_children(site, &sub.dest_sites);
-        for c in children {
-            self.send(now, site, c, Message::Subtxn { from: site, sub: sub.clone() });
-        }
+        let cmds = self.machine_input(site, Input::Applied { gid: a.gid });
+        self.run_commands(now, site, cmds);
     }
 
     // ------------------------------------------------------------------
-    // Commit-time propagation (called from primary_commit_done).
-    // ------------------------------------------------------------------
-
-    /// NaiveLazy: blast the write set directly to every replica site, in
-    /// whatever order the network delivers — Example 1.1's failure mode.
-    pub(crate) fn naive_propagate(
-        &mut self,
-        now: SimTime,
-        origin: SiteId,
-        gid: repl_types::GlobalTxnId,
-        writes: &[(repl_types::ItemId, repl_types::Value)],
-        dests: &[SiteId],
-    ) {
-        for &d in dests {
-            let sub = SubtxnMsg {
-                gid,
-                origin,
-                writes: writes
-                    .iter()
-                    .filter(|(i, _)| self.placement.has_copy(d, *i))
-                    .cloned()
-                    .collect(),
-                dest_sites: vec![d],
-                ts: None,
-                kind: SubtxnKind::Normal,
-            };
-            self.send(now, origin, d, Message::Subtxn { from: origin, sub });
-        }
-    }
-
-    /// DAG(WT) §2: forward once down the tree to relevant children.
-    pub(crate) fn dagwt_propagate(
-        &mut self,
-        now: SimTime,
-        origin: SiteId,
-        gid: repl_types::GlobalTxnId,
-        writes: &[(repl_types::ItemId, repl_types::Value)],
-        dests: &[SiteId],
-    ) {
-        let sub = SubtxnMsg {
-            gid,
-            origin,
-            writes: writes.to_vec(),
-            dest_sites: dests.to_vec(),
-            ts: None,
-            kind: SubtxnKind::Normal,
-        };
-        self.forward_down_tree(now, origin, &sub);
-    }
-
-    /// DAG(T) §3.2.2: bump LTS, stamp, send directly to every relevant
-    /// copy-graph child (every destination is one, by construction).
-    pub(crate) fn dagt_propagate(
-        &mut self,
-        now: SimTime,
-        origin: SiteId,
-        gid: repl_types::GlobalTxnId,
-        writes: &[(repl_types::ItemId, repl_types::Value)],
-        dests: &[SiteId],
-    ) {
-        let ts = {
-            let st = &mut self.sites[origin.index()];
-            st.lts += 1;
-            st.site_ts.bump_local(origin);
-            st.site_ts.clone()
-        };
-        for &d in dests {
-            debug_assert!(
-                self.graph.has_edge(origin, d),
-                "DAG(T) destination {d} is not a copy-graph child of {origin}"
-            );
-            let sub = SubtxnMsg {
-                gid,
-                origin,
-                writes: writes
-                    .iter()
-                    .filter(|(i, _)| self.placement.has_copy(d, *i))
-                    .cloned()
-                    .collect(),
-                dest_sites: vec![d],
-                ts: Some(ts.clone()),
-                kind: SubtxnKind::Normal,
-            };
-            self.send(now, origin, d, Message::Subtxn { from: origin, sub });
-            self.sites[origin.index()].last_sent.insert(d, now);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // DAG(T) progress machinery (§3.3).
+    // DAG(T) progress machinery (§3.3) — the driver owns the clocks.
     // ------------------------------------------------------------------
 
     /// True while the DAG(T) progress machinery still has work to push
@@ -434,37 +227,32 @@ impl Engine {
         if !self.ticks_needed() || gen != self.sites[site.index()].tick_gen {
             return; // done, or a tick chain orphaned by a crash
         }
-        self.sites[site.index()].site_ts.epoch += 1;
+        let cmds = self.machine_input(site, Input::EpochTick);
+        self.run_commands(now, site, cmds);
         self.queue.push_at(now + self.params.epoch_period, Event::EpochTick { site, gen });
     }
 
-    /// Send dummy subtransactions on links idle longer than the
-    /// heartbeat period so children can always compute their minimum.
+    /// Report links idle longer than the heartbeat period; the machine
+    /// emits dummy subtransactions for them so children can always
+    /// compute their minimum.
     pub(crate) fn heartbeat_tick(&mut self, now: SimTime, site: SiteId, gen: u64) {
         if !self.ticks_needed() || gen != self.sites[site.index()].tick_gen {
             return; // done, or a tick chain orphaned by a crash
         }
-        let children: Vec<SiteId> = self.graph.children(site).collect();
-        for c in children {
-            let idle = self.sites[site.index()]
-                .last_sent
-                .get(&c)
-                .map(|&t| now - t >= self.params.heartbeat_period)
-                .unwrap_or(true);
-            if idle {
-                let gid = self.sites[site.index()].fresh_gid();
-                let ts = self.sites[site.index()].site_ts.clone();
-                let sub = SubtxnMsg {
-                    gid,
-                    origin: site,
-                    writes: Vec::new(),
-                    dest_sites: vec![c],
-                    ts: Some(ts),
-                    kind: SubtxnKind::Dummy,
-                };
-                self.send(now, site, c, Message::Subtxn { from: site, sub });
-                self.sites[site.index()].last_sent.insert(c, now);
-            }
+        let idle_children: Vec<SiteId> = self
+            .graph
+            .children(site)
+            .filter(|c| {
+                self.sites[site.index()]
+                    .last_sent
+                    .get(c)
+                    .map(|&t| now - t >= self.params.heartbeat_period)
+                    .unwrap_or(true)
+            })
+            .collect();
+        if !idle_children.is_empty() {
+            let cmds = self.machine_input(site, Input::HeartbeatTick { idle_children });
+            self.run_commands(now, site, cmds);
         }
         self.queue.push_at(now + self.params.heartbeat_period, Event::HeartbeatTick { site, gen });
     }

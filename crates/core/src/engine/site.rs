@@ -1,14 +1,18 @@
 //! Per-site runtime state.
+//!
+//! Propagation decisions (queues, timestamps, routing) live in the
+//! shared `repl_protocol::SiteMachine`; this module keeps only the
+//! driver-side state the simulator owns — storage transactions, CPU
+//! accounting, threads, lock waits and crash/recovery bookkeeping.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
+use repl_protocol::SiteMachine;
 use repl_sim::{CpuQueue, SimTime};
 use repl_storage::{Store, TxnId};
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId};
 
-use crate::timestamp::Timestamp;
-
-use super::event::{Message, SubtxnMsg};
+use super::event::Message;
 
 /// Who a site-local storage transaction belongs to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -68,9 +72,6 @@ pub struct ActivePrimary {
     pub remote_reads: Vec<(ItemId, Option<GlobalTxnId>)>,
     /// Sites where a proxy holds locks for this attempt.
     pub proxy_sites: Vec<SiteId>,
-    /// BackEdge: ancestor path sites holding prepared subtransactions
-    /// (set when the eager phase starts; decision targets).
-    pub backedge_path: Vec<SiteId>,
 }
 
 /// The program a worker thread executes: a fixed list of transactions,
@@ -97,18 +98,21 @@ impl ThreadState {
     }
 }
 
-/// The secondary subtransaction currently being applied at a site.
+/// The secondary subtransaction currently being applied at a site. The
+/// machine picked it and pre-filtered the writes to this site's copies;
+/// the driver just executes them under the local lock manager.
 #[derive(Clone, Debug)]
 pub struct ActiveSecondary {
-    /// The message being applied.
-    pub msg: SubtxnMsg,
-    /// Queue index it was popped from (for diagnostics).
-    pub from_queue: usize,
+    /// The transaction whose writes these are.
+    pub gid: GlobalTxnId,
+    /// Writes applicable at this site (pre-filtered by the machine).
+    pub writes: Vec<(ItemId, repl_types::Value)>,
+    /// True for a BackEdge special occupying the applier slot: on
+    /// completion it is *prepared*, not committed (§4.1).
+    pub special: bool,
     /// Local storage transaction of the current execution attempt.
     pub local: TxnId,
-    /// Writes applicable at this site (items with a local replica).
-    pub applicable: Vec<(ItemId, repl_types::Value)>,
-    /// Progress through `applicable`.
+    /// Progress through `writes`.
     pub write_idx: usize,
     /// Arrival ordinal retained across deadlock resubmissions, for the
     /// fair victim policy (§2).
@@ -126,13 +130,12 @@ pub struct ActiveSecondary {
 pub struct BackedgeRun {
     /// The local storage transaction holding the locks.
     pub local: TxnId,
-    /// The subtransaction payload (for forwarding after execution).
-    pub sub: SubtxnMsg,
-    /// Thread waiting at the origin (carried for completeness).
-    pub origin_thread: u32,
-    /// Writes applicable at this site.
-    pub applicable: Vec<(ItemId, repl_types::Value)>,
-    /// Progress through `applicable`.
+    /// The site whose eager phase this special belongs to (deadlock
+    /// breaking routes abort requests there).
+    pub origin: SiteId,
+    /// Writes applicable at this site (pre-filtered by the machine).
+    pub writes: Vec<(ItemId, repl_types::Value)>,
+    /// Progress through `writes`.
     pub idx: usize,
     /// True once execution finished and the special was forwarded; the
     /// transaction then only awaits its commit/abort decision.
@@ -180,10 +183,9 @@ pub struct SiteState {
     pub threads: Vec<ThreadState>,
     /// Owner map for local storage transactions.
     pub owner: HashMap<TxnId, Owner>,
-    /// Incoming secondary queues, keyed by sending parent. DAG(WT) and
-    /// BackEdge have one (the tree parent); DAG(T) one per copy-graph
-    /// parent; NaiveLazy a single catch-all queue.
-    pub in_queues: Vec<(SiteId, VecDeque<SubtxnMsg>)>,
+    /// The sans-I/O propagation state machine for this site. `None` for
+    /// PSL/Eager, which do not propagate lazily.
+    pub machine: Option<SiteMachine>,
     /// The subtransaction currently being applied, if any.
     pub applier: Option<ActiveSecondary>,
     /// Monotone generation counter for applier guards.
@@ -192,10 +194,6 @@ pub struct SiteState {
     pub sec_wait_seq: u64,
     /// Arrival ordinal source for secondaries (fair victim policy).
     pub next_arrival: u64,
-    /// DAG(T): the site timestamp TS(si) (§3.2.1).
-    pub site_ts: Timestamp,
-    /// DAG(T): local primary-commit counter LTSi.
-    pub lts: u64,
     /// DAG(T): last time anything was sent to each copy-graph child
     /// (drives dummy generation, §3.3).
     pub last_sent: HashMap<SiteId, SimTime>,
@@ -239,13 +237,11 @@ impl SiteState {
                 .map(|p| ThreadState { programs: p, next_txn: 0, active: None })
                 .collect(),
             owner: HashMap::new(),
-            in_queues: Vec::new(),
+            machine: None,
             applier: None,
             applier_gen: 0,
             sec_wait_seq: 0,
             next_arrival: 0,
-            site_ts: Timestamp::initial(id),
-            lts: 0,
             last_sent: HashMap::new(),
             next_seq: 0,
             proxies: HashMap::new(),
@@ -266,20 +262,9 @@ impl SiteState {
         gid
     }
 
-    /// Index of the incoming queue fed by `from`, creating it on demand
-    /// (used by NaiveLazy, whose senders are not known up front).
-    pub fn queue_index(&mut self, from: SiteId) -> usize {
-        if let Some(i) = self.in_queues.iter().position(|(s, _)| *s == from) {
-            i
-        } else {
-            self.in_queues.push((from, VecDeque::new()));
-            self.in_queues.len() - 1
-        }
-    }
-
-    /// True when every queue is empty and no applier is active.
+    /// True when every incoming queue is empty and no applier is active.
     pub fn secondaries_idle(&self) -> bool {
-        self.applier.is_none() && self.in_queues.iter().all(|(_, q)| q.is_empty())
+        self.applier.is_none() && self.machine.as_ref().is_none_or(SiteMachine::secondaries_idle)
     }
 
     /// True when no *update-carrying* secondary work is pending: the
@@ -289,10 +274,6 @@ impl SiteState {
     /// never see fully-empty queues — but once only dummies remain, its
     /// backlog of real updates has been applied.
     pub fn no_pending_updates(&self) -> bool {
-        self.applier.is_none()
-            && self
-                .in_queues
-                .iter()
-                .all(|(_, q)| q.iter().all(|m| m.kind == super::event::SubtxnKind::Dummy))
+        self.applier.is_none() && self.machine.as_ref().is_none_or(SiteMachine::no_pending_updates)
     }
 }

@@ -17,7 +17,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use repl_core::timestamp::Timestamp;
+use repl_protocol::timestamp::Timestamp;
 use repl_storage::codec::{self, CodecError};
 use repl_types::{GlobalTxnId, ItemId, Op, OpKind, SiteId, Value};
 
@@ -58,49 +58,10 @@ impl From<CodecError> for NetError {
     }
 }
 
-/// What a propagation record is, protocol-wise.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SubtxnKind {
-    /// An ordinary secondary subtransaction.
-    Normal,
-    /// A DAG(T) dummy: timestamp only, no writes (§3.3).
-    Dummy,
-    /// A BackEdge special riding the eager phase (§4.1).
-    Special,
-}
-
-/// A secondary subtransaction as shipped between sites.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Subtxn {
-    /// Global id of the originating transaction.
-    pub gid: GlobalTxnId,
-    /// Site where the transaction committed (or is committing, for
-    /// BackEdge specials).
-    pub origin: SiteId,
-    /// Record kind.
-    pub kind: SubtxnKind,
-    /// DAG(T) timestamp; `None` for protocols that do not stamp.
-    pub ts: Option<Timestamp>,
-    /// The writes to install.
-    pub writes: Vec<(ItemId, Value)>,
-    /// Replica sites still to be reached (tree routing).
-    pub dest_sites: Vec<SiteId>,
-}
-
-/// The reliable-link payload: everything that flows through sender-side
-/// outboxes with sequence numbers, retransmission and dedup.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Payload {
-    /// A propagation record.
-    Subtxn(Subtxn),
-    /// A BackEdge commit/abort decision for a prepared special (§4.1).
-    Decision {
-        /// The transaction the decision is about.
-        gid: GlobalTxnId,
-        /// True to commit the prepared writes, false to discard them.
-        commit: bool,
-    },
-}
+// The propagation-record vocabulary (Subtxn, SubtxnKind, Payload) is
+// defined by the sans-I/O protocol core; this crate owns only its wire
+// encoding, and re-exports the types for existing users.
+pub use repl_protocol::{Payload, Subtxn, SubtxnKind};
 
 /// First frame of a peer connection, sent by the dialer.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -5,11 +5,11 @@
 use bytes::{BufMut, Bytes, BytesMut};
 use proptest::prelude::*;
 
-use repl_core::timestamp::Timestamp;
 use repl_net::{
     decode_framed, encode_framed, ClientMsg, ClientReply, ExecError, Hello, HelloAck, Payload,
     Subtxn, SubtxnKind, WireMsg, MAX_FRAME_LEN,
 };
+use repl_protocol::timestamp::Timestamp;
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
 
 fn arb_value() -> BoxedStrategy<Value> {

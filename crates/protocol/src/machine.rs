@@ -1,0 +1,823 @@
+//! The per-site protocol state machine.
+//!
+//! One [`SiteMachine`] holds everything a site needs to *decide* what the
+//! propagation protocol does next — incoming subtransaction queues, the
+//! DAG(T) site timestamp, BackEdge prepared-special bookkeeping — and
+//! nothing it needs to *do* it. Every state transition is a call to
+//! [`SiteMachine::on_input`], which returns the [`Command`]s the driver
+//! must carry out. The machine never blocks, never sleeps, never
+//! allocates a transaction id, and never looks at a clock: timers are
+//! inputs ([`Input::HeartbeatTick`], [`Input::EpochTick`]) fired by the
+//! driver, and durations live entirely on the driver's side.
+//!
+//! The split of responsibilities:
+//!
+//! * **machine** — queue admission (which parent link feeds which queue),
+//!   the DAG(T) §3.2.3 minimum-timestamp scheduling rule, dummy and epoch
+//!   handling (§3.3), tree routing (§2 relevant children), the BackEdge
+//!   eager special phase (§4.1: farthest-ancestor targeting, the
+//!   prepare/forward snake, home arrival through the FIFO queue,
+//!   decisions), and abort tombstones.
+//! * **driver** — executing [`Command::Apply`] against a real store
+//!   (locks, CPU cost, WAL, metrics), shipping [`Command::Send`] payloads
+//!   over a transport with reliable-FIFO delivery, allocating transaction
+//!   ids, measuring idleness for heartbeats, and arming real timeouts.
+//!
+//! The driver reports completion of the slow commands back as inputs
+//! ([`Input::Applied`], [`Input::Prepared`]), which is what lets the
+//! simulator stretch an apply over simulated lock waits while the live
+//! runtime finishes it synchronously — same machine, same decisions.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use repl_copygraph::{CopyGraph, DataPlacement, PropagationTree};
+use repl_types::{GlobalTxnId, ItemId, SiteId, Value};
+
+use crate::route::{destinations, dummy_gid, writes_for_site};
+use crate::timestamp::Timestamp;
+use crate::wire::{Payload, Subtxn, SubtxnKind};
+
+/// Which propagation protocol a machine runs.
+///
+/// Only the four *propagation* protocols live here; the PSL and Eager
+/// baselines are synchronous locking schemes with no propagation state
+/// machine and remain simulator-only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolId {
+    /// Indiscriminate direct propagation (Example 1.1's failure mode).
+    NaiveLazy,
+    /// DAG(WT): tree-routed FIFO forwarding (§2).
+    DagWt,
+    /// DAG(T): timestamped propagation with dummies and epochs (§3).
+    DagT,
+    /// BackEdge: DAG(WT) plus the eager special phase for back edges (§4).
+    BackEdge,
+}
+
+impl ProtocolId {
+    /// The protocol's display name (shared by figures and fingerprints).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolId::NaiveLazy => "NaiveLazy",
+            ProtocolId::DagWt => "DAG(WT)",
+            ProtocolId::DagT => "DAG(T)",
+            ProtocolId::BackEdge => "BackEdge",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed protocol violation. Construction errors (a tree protocol
+/// without a tree) surface at cluster build time; step errors (a frame
+/// from a site the protocol has no link from) indicate a routing bug or
+/// a misconfigured peer and poison the affected site rather than
+/// panicking the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A tree-routed protocol was built without a propagation tree.
+    MissingTree {
+        /// The protocol that required the tree.
+        protocol: ProtocolId,
+    },
+    /// A subtransaction arrived from a site this machine has no incoming
+    /// protocol link from.
+    UnknownLink {
+        /// The receiving site.
+        at: SiteId,
+        /// The claimed sender.
+        from: SiteId,
+    },
+    /// A DAG(T) subtransaction arrived without a timestamp.
+    MissingTimestamp {
+        /// The unstamped record.
+        gid: GlobalTxnId,
+    },
+    /// A prepared BackEdge special found no tree route back toward its
+    /// origin.
+    NoRouteToOrigin {
+        /// The site holding the prepared special.
+        at: SiteId,
+        /// The origin it must reach.
+        origin: SiteId,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::MissingTree { protocol } => {
+                write!(f, "{protocol} requires a propagation tree")
+            }
+            ProtocolError::UnknownLink { at, from } => {
+                write!(f, "{at} has no incoming protocol link from {from}")
+            }
+            ProtocolError::MissingTimestamp { gid } => {
+                write!(f, "DAG(T) record {gid} carries no timestamp")
+            }
+            ProtocolError::NoRouteToOrigin { at, origin } => {
+                write!(f, "{at} has no tree route toward origin {origin}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// An event fed into the machine by its driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Input {
+    /// A local transaction finished executing and wants to commit.
+    /// `writes` is its final write set (one entry per item). The machine
+    /// answers with [`Command::CommitLocal`] when the commit may proceed
+    /// immediately, or starts the BackEdge eager phase (§4.1) and
+    /// withholds `CommitLocal` until the special comes home.
+    CommitIntent {
+        /// The committing transaction.
+        gid: GlobalTxnId,
+        /// Its write set.
+        writes: Vec<(ItemId, Value)>,
+    },
+    /// The local commit of `gid` is durable; propagate it.
+    Committed {
+        /// The committed transaction.
+        gid: GlobalTxnId,
+        /// Its write set.
+        writes: Vec<(ItemId, Value)>,
+    },
+    /// A payload arrived on the reliable FIFO link from `from`.
+    Deliver {
+        /// The sending site.
+        from: SiteId,
+        /// The delivered payload.
+        payload: Payload,
+    },
+    /// The driver finished a [`Command::Apply`] for `gid`.
+    Applied {
+        /// The applied subtransaction.
+        gid: GlobalTxnId,
+    },
+    /// The driver finished a [`Command::Prepare`] for `gid`: writes are
+    /// executed and the prepared state is held (locks in the simulator).
+    Prepared {
+        /// The prepared special.
+        gid: GlobalTxnId,
+    },
+    /// The driver aborted the eager phase of local transaction `gid`
+    /// (deadlock victimization or timeout).
+    AbortEager {
+        /// The abandoned eager transaction.
+        gid: GlobalTxnId,
+    },
+    /// DAG(T) heartbeat timer: `idle_children` are the copy-graph
+    /// children whose links have been quiet for at least one heartbeat
+    /// period (idleness is a clock question, so the driver computes it).
+    HeartbeatTick {
+        /// Children due for a dummy.
+        idle_children: Vec<SiteId>,
+    },
+    /// DAG(T) epoch timer (§3.3): increment the epoch number.
+    EpochTick,
+    /// The site crashed: volatile protocol state (in-flight applies,
+    /// prepared specials, pending eager phases) is lost; queue contents
+    /// survive because the reliable link layer redelivers anything not
+    /// durably applied.
+    Crashed,
+}
+
+/// An effect the driver must carry out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Commit the locally waiting transaction `gid` now.
+    CommitLocal {
+        /// The transaction to commit.
+        gid: GlobalTxnId,
+    },
+    /// Apply `writes` (already filtered to this site's copies; possibly
+    /// empty) as secondary subtransaction `gid`, then feed back
+    /// [`Input::Applied`].
+    Apply {
+        /// The subtransaction to apply.
+        gid: GlobalTxnId,
+        /// The writes relevant at this site.
+        writes: Vec<(ItemId, Value)>,
+    },
+    /// Execute `writes` for BackEdge special `gid` and hold them
+    /// prepared (§4.1), then feed back [`Input::Prepared`]. `queued` is
+    /// true when the special occupied the applier slot (it arrived
+    /// through the FIFO queue rather than directly from its origin).
+    Prepare {
+        /// The special to prepare.
+        gid: GlobalTxnId,
+        /// The site whose eager phase this special belongs to (drivers
+        /// that break deadlocks route abort requests there).
+        origin: SiteId,
+        /// The writes relevant at this site.
+        writes: Vec<(ItemId, Value)>,
+        /// Whether the applier slot is held while preparing.
+        queued: bool,
+    },
+    /// Commit the prepared writes of special `gid`.
+    CommitPrepared {
+        /// The decided special.
+        gid: GlobalTxnId,
+        /// The writes that were held prepared.
+        writes: Vec<(ItemId, Value)>,
+    },
+    /// Discard the prepared (or still-preparing) state of special `gid`.
+    AbortPrepared {
+        /// The aborted special.
+        gid: GlobalTxnId,
+    },
+    /// Ship `payload` on the reliable FIFO link to `to`.
+    Send {
+        /// The destination site.
+        to: SiteId,
+        /// The payload to ship.
+        payload: Payload,
+    },
+    /// Arm a safety timeout for the eager phase of `gid` (drivers
+    /// without timeout machinery may ignore this).
+    ArmEagerTimeout {
+        /// The transaction whose eager phase just started.
+        gid: GlobalTxnId,
+    },
+}
+
+/// The subtransaction currently occupying the single applier slot.
+struct InFlight {
+    sub: Subtxn,
+    queue: usize,
+    prepare: bool,
+}
+
+/// The pure protocol state machine for one site. See the module docs for
+/// the machine/driver split.
+pub struct SiteMachine {
+    me: SiteId,
+    protocol: ProtocolId,
+    placement: Arc<DataPlacement>,
+    graph: Arc<CopyGraph>,
+    tree: Option<Arc<PropagationTree>>,
+    /// Incoming subtransaction queues, keyed by sender. NaiveLazy: one
+    /// arrival-ordered catch-all (keyed by `me`). DAG(WT)/BackEdge: the
+    /// tree parent's queue. DAG(T): one per copy-graph parent.
+    queues: Vec<(SiteId, VecDeque<Subtxn>)>,
+    /// The applier slot: at most one subtransaction applies at a time
+    /// (§3.2.3's simplifying assumption; what FIFO commit order in
+    /// DAG(WT) requires).
+    busy: Option<InFlight>,
+    /// DAG(T) local transaction counter (§3.1).
+    lts: u64,
+    /// DAG(T) site timestamp (§3.2).
+    site_ts: Timestamp,
+    /// BackEdge specials executing toward prepared, by gid (direct
+    /// arrivals from the origin; queued ones live in `busy`).
+    preparing: BTreeMap<GlobalTxnId, Subtxn>,
+    /// BackEdge specials holding prepared writes, awaiting a decision.
+    prepared: BTreeMap<GlobalTxnId, Vec<(ItemId, Value)>>,
+    /// Eager phases this site originated: gid → the path of sites that
+    /// prepared the special and must receive the decision (§4.1).
+    pending_eager: BTreeMap<GlobalTxnId, Vec<SiteId>>,
+    /// Aborted eager gids whose special may still arrive; consumed on
+    /// arrival.
+    tombstones: BTreeSet<GlobalTxnId>,
+}
+
+impl fmt::Debug for SiteMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SiteMachine")
+            .field("me", &self.me)
+            .field("protocol", &self.protocol)
+            .field("queues", &self.queue_summary())
+            .field("busy", &self.busy_gid())
+            .field("site_ts", &self.site_ts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SiteMachine {
+    /// Build the machine for site `me`. Fails with
+    /// [`ProtocolError::MissingTree`] if a tree-routed protocol is
+    /// configured without a propagation tree.
+    pub fn new(
+        me: SiteId,
+        protocol: ProtocolId,
+        placement: Arc<DataPlacement>,
+        graph: Arc<CopyGraph>,
+        tree: Option<Arc<PropagationTree>>,
+    ) -> Result<Self, ProtocolError> {
+        if matches!(protocol, ProtocolId::DagWt | ProtocolId::BackEdge) && tree.is_none() {
+            return Err(ProtocolError::MissingTree { protocol });
+        }
+        let queues: Vec<(SiteId, VecDeque<Subtxn>)> = match protocol {
+            // A single arrival-ordered catch-all queue (indiscriminate).
+            ProtocolId::NaiveLazy => vec![(me, VecDeque::new())],
+            // The tree parent's strict-FIFO queue (§2).
+            ProtocolId::DagWt | ProtocolId::BackEdge => tree
+                .as_ref()
+                .and_then(|t| t.parent(me))
+                .map(|p| (p, VecDeque::new()))
+                .into_iter()
+                .collect(),
+            // One queue per copy-graph parent (§3.2.3).
+            ProtocolId::DagT => graph.parents(me).map(|p| (p, VecDeque::new())).collect(),
+        };
+        Ok(SiteMachine {
+            me,
+            protocol,
+            placement,
+            graph,
+            tree,
+            queues,
+            busy: None,
+            lts: 0,
+            site_ts: Timestamp::initial(me),
+            preparing: BTreeMap::new(),
+            prepared: BTreeMap::new(),
+            pending_eager: BTreeMap::new(),
+            tombstones: BTreeSet::new(),
+        })
+    }
+
+    /// This machine's site.
+    pub fn me(&self) -> SiteId {
+        self.me
+    }
+
+    /// This machine's protocol.
+    pub fn protocol(&self) -> ProtocolId {
+        self.protocol
+    }
+
+    /// The current DAG(T) site timestamp.
+    pub fn site_ts(&self) -> &Timestamp {
+        &self.site_ts
+    }
+
+    /// True when the applier slot is free and every incoming queue is
+    /// empty (the quiescence test drivers poll).
+    pub fn secondaries_idle(&self) -> bool {
+        self.busy.is_none() && self.queues.iter().all(|(_, q)| q.is_empty())
+    }
+
+    /// True when nothing but DAG(T) dummies is queued and nothing is
+    /// applying: a recovering site with this property has caught up.
+    pub fn no_pending_updates(&self) -> bool {
+        self.busy.is_none()
+            && self.queues.iter().all(|(_, q)| q.iter().all(|sub| sub.kind == SubtxnKind::Dummy))
+    }
+
+    /// Queue occupancy by sender, for stall diagnostics.
+    pub fn queue_summary(&self) -> Vec<(SiteId, usize)> {
+        self.queues.iter().map(|(s, q)| (*s, q.len())).collect()
+    }
+
+    /// The subtransaction occupying the applier slot, if any.
+    pub fn busy_gid(&self) -> Option<GlobalTxnId> {
+        self.busy.as_ref().map(|b| b.sub.gid)
+    }
+
+    /// Advance the machine by one input. The returned commands must be
+    /// carried out in order.
+    pub fn on_input(&mut self, input: Input) -> Result<Vec<Command>, ProtocolError> {
+        let mut out = Vec::new();
+        match input {
+            Input::CommitIntent { gid, writes } => self.commit_intent(gid, writes, &mut out),
+            Input::Committed { gid, writes } => self.committed(gid, &writes, &mut out)?,
+            Input::Deliver { from, payload } => self.deliver(from, payload, &mut out)?,
+            Input::Applied { gid } => self.applied(gid, &mut out)?,
+            Input::Prepared { gid } => self.prepared_done(gid, &mut out)?,
+            Input::AbortEager { gid } => self.abort_eager(gid, &mut out),
+            Input::HeartbeatTick { idle_children } => self.heartbeat(&idle_children, &mut out),
+            Input::EpochTick => self.site_ts.epoch += 1,
+            Input::Crashed => self.crashed(),
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Local commits.
+    // ------------------------------------------------------------------
+
+    /// §4.1 step 1: if any destination is a tree ancestor, the commit
+    /// must wait for the eager special phase; otherwise it may proceed
+    /// immediately (every protocol but BackEdge always may).
+    fn commit_intent(
+        &mut self,
+        gid: GlobalTxnId,
+        writes: Vec<(ItemId, Value)>,
+        out: &mut Vec<Command>,
+    ) {
+        if self.protocol == ProtocolId::BackEdge {
+            let tree = self.tree.as_ref().expect("validated at construction");
+            let dests = destinations(&self.placement, self.me, &writes);
+            let ancestors: Vec<SiteId> =
+                dests.iter().copied().filter(|&d| tree.is_ancestor(d, self.me)).collect();
+            if let Some(&farthest) = ancestors.iter().min_by_key(|&&a| (tree.depth(a), a)) {
+                // The special visits every site on the tree path from the
+                // farthest ancestor back down to (but excluding) us; each
+                // prepares it and passes it along (§4.1 step 2).
+                let mut path = vec![farthest];
+                let mut cur = farthest;
+                while let Some(next) = tree.next_hop_toward(cur, self.me) {
+                    if next == self.me {
+                        break;
+                    }
+                    path.push(next);
+                    cur = next;
+                }
+                self.pending_eager.insert(gid, path);
+                let special = Subtxn {
+                    gid,
+                    origin: self.me,
+                    kind: SubtxnKind::Special,
+                    ts: None,
+                    writes,
+                    dest_sites: Vec::new(),
+                };
+                out.push(Command::Send { to: farthest, payload: Payload::Subtxn(special) });
+                out.push(Command::ArmEagerTimeout { gid });
+                return;
+            }
+        }
+        out.push(Command::CommitLocal { gid });
+    }
+
+    /// Commit-time propagation (§2 / §3.2.2 / §4.1 step 4).
+    fn committed(
+        &mut self,
+        gid: GlobalTxnId,
+        writes: &[(ItemId, Value)],
+        out: &mut Vec<Command>,
+    ) -> Result<(), ProtocolError> {
+        let dests = destinations(&self.placement, self.me, writes);
+        if let Some(path) = self.pending_eager.remove(&gid) {
+            // The eager phase succeeded: decisions to the prepared path,
+            // ordinary lazy propagation to tree descendants.
+            let tree = self.tree.as_ref().expect("validated at construction");
+            for p in path {
+                out.push(Command::Send { to: p, payload: Payload::Decision { gid, commit: true } });
+            }
+            let descendants: Vec<SiteId> =
+                dests.iter().copied().filter(|&d| tree.is_ancestor(self.me, d)).collect();
+            if !descendants.is_empty() {
+                let sub = Subtxn {
+                    gid,
+                    origin: self.me,
+                    kind: SubtxnKind::Normal,
+                    ts: None,
+                    writes: writes.to_vec(),
+                    dest_sites: descendants,
+                };
+                self.forward_down_tree(&sub, out);
+            }
+            return Ok(());
+        }
+        match self.protocol {
+            ProtocolId::NaiveLazy => {
+                // Blast directly to every replica site, in whatever order
+                // the network delivers — Example 1.1's failure mode.
+                for d in dests {
+                    let sub = Subtxn {
+                        gid,
+                        origin: self.me,
+                        kind: SubtxnKind::Normal,
+                        ts: None,
+                        writes: writes_for_site(&self.placement, d, writes),
+                        dest_sites: vec![d],
+                    };
+                    out.push(Command::Send { to: d, payload: Payload::Subtxn(sub) });
+                }
+            }
+            ProtocolId::DagWt | ProtocolId::BackEdge => {
+                // §2: forward once down the tree to relevant children.
+                let sub = Subtxn {
+                    gid,
+                    origin: self.me,
+                    kind: SubtxnKind::Normal,
+                    ts: None,
+                    writes: writes.to_vec(),
+                    dest_sites: dests,
+                };
+                self.forward_down_tree(&sub, out);
+            }
+            ProtocolId::DagT => {
+                // §3.2.2: bump LTS, stamp, send directly to every
+                // relevant copy-graph child (every destination is one, by
+                // construction).
+                self.lts += 1;
+                self.site_ts.bump_local(self.me);
+                let ts = self.site_ts.clone();
+                for d in dests {
+                    debug_assert!(
+                        self.graph.has_edge(self.me, d),
+                        "DAG(T) destination {d} is not a copy-graph child of {}",
+                        self.me
+                    );
+                    let sub = Subtxn {
+                        gid,
+                        origin: self.me,
+                        kind: SubtxnKind::Normal,
+                        ts: Some(ts.clone()),
+                        writes: writes_for_site(&self.placement, d, writes),
+                        dest_sites: vec![d],
+                    };
+                    out.push(Command::Send { to: d, payload: Payload::Subtxn(sub) });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Tear down an eager phase this site originated: abort decisions to
+    /// every path site, and a tombstone in case the special still comes
+    /// home through the queue.
+    fn abort_eager(&mut self, gid: GlobalTxnId, out: &mut Vec<Command>) {
+        if let Some(path) = self.pending_eager.remove(&gid) {
+            self.tombstones.insert(gid);
+            for p in path {
+                out.push(Command::Send {
+                    to: p,
+                    payload: Payload::Decision { gid, commit: false },
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Link deliveries.
+    // ------------------------------------------------------------------
+
+    fn deliver(
+        &mut self,
+        from: SiteId,
+        payload: Payload,
+        out: &mut Vec<Command>,
+    ) -> Result<(), ProtocolError> {
+        match payload {
+            Payload::Decision { gid, commit } => self.decision(gid, commit, out),
+            Payload::Subtxn(sub) => {
+                // A special arriving from anywhere but our queue parent is
+                // the origin's direct send to its farthest ancestor
+                // (§4.1 step 1): prepare it without the applier slot.
+                if sub.kind == SubtxnKind::Special && !self.queues.iter().any(|(s, _)| *s == from) {
+                    return self.direct_special(sub, out);
+                }
+                let qi = match self.protocol {
+                    ProtocolId::NaiveLazy => 0,
+                    _ => self
+                        .queues
+                        .iter()
+                        .position(|(s, _)| *s == from)
+                        .ok_or(ProtocolError::UnknownLink { at: self.me, from })?,
+                };
+                self.queues[qi].1.push_back(sub);
+                self.pump(out)
+            }
+        }
+    }
+
+    /// A commit/abort decision for a prepared (or still-preparing)
+    /// special (§4.1 step 4).
+    fn decision(
+        &mut self,
+        gid: GlobalTxnId,
+        commit: bool,
+        out: &mut Vec<Command>,
+    ) -> Result<(), ProtocolError> {
+        if let Some(writes) = self.prepared.remove(&gid) {
+            out.push(if commit {
+                Command::CommitPrepared { gid, writes }
+            } else {
+                Command::AbortPrepared { gid }
+            });
+        } else if self.preparing.remove(&gid).is_some() {
+            // Still executing toward prepared: only an abort can race the
+            // Prepared report (a commit decision is triggered by the
+            // special coming home, which requires our forward first).
+            debug_assert!(!commit, "commit decision for a special not yet prepared");
+            out.push(Command::AbortPrepared { gid });
+        } else if self.busy.as_ref().is_some_and(|b| b.prepare && b.sub.gid == gid) {
+            debug_assert!(!commit, "commit decision for a special not yet prepared");
+            self.busy = None;
+            out.push(Command::AbortPrepared { gid });
+            // The applier slot is free again; schedule the next arrival.
+            self.pump(out)?;
+        } else if !commit {
+            // The special has not arrived yet: leave a tombstone so it is
+            // dropped on arrival.
+            self.tombstones.insert(gid);
+        }
+        Ok(())
+    }
+
+    /// §4.1 step 2 at the farthest ancestor (or any site the origin
+    /// addresses directly): execute and hold prepared, off the queue.
+    fn direct_special(&mut self, sub: Subtxn, out: &mut Vec<Command>) -> Result<(), ProtocolError> {
+        if self.tombstones.remove(&sub.gid) {
+            return Ok(());
+        }
+        let writes = writes_for_site(&self.placement, self.me, &sub.writes);
+        let gid = sub.gid;
+        let origin = sub.origin;
+        self.preparing.insert(gid, sub);
+        out.push(Command::Prepare { gid, origin, writes, queued: false });
+        Ok(())
+    }
+
+    /// The driver holds `gid` prepared: forward the special one hop down
+    /// the tree path toward its origin (§4.1 step 2).
+    fn prepared_done(
+        &mut self,
+        gid: GlobalTxnId,
+        out: &mut Vec<Command>,
+    ) -> Result<(), ProtocolError> {
+        let (sub, from_queue) = if self.busy.as_ref().is_some_and(|b| b.prepare && b.sub.gid == gid)
+        {
+            (self.busy.take().expect("just checked").sub, true)
+        } else if let Some(sub) = self.preparing.remove(&gid) {
+            (sub, false)
+        } else {
+            // Aborted while the driver was executing it; nothing to hold.
+            return Ok(());
+        };
+        let writes = writes_for_site(&self.placement, self.me, &sub.writes);
+        self.prepared.insert(gid, writes);
+        let tree = self.tree.as_ref().expect("validated at construction");
+        let next = tree
+            .next_hop_toward(self.me, sub.origin)
+            .ok_or(ProtocolError::NoRouteToOrigin { at: self.me, origin: sub.origin })?;
+        out.push(Command::Send { to: next, payload: Payload::Subtxn(sub) });
+        if from_queue {
+            self.pump(out)?;
+        }
+        Ok(())
+    }
+
+    /// The driver finished applying the in-flight subtransaction:
+    /// forward (DAG(WT)/BackEdge) or merge the timestamp (DAG(T)), then
+    /// schedule the next one.
+    fn applied(&mut self, gid: GlobalTxnId, out: &mut Vec<Command>) -> Result<(), ProtocolError> {
+        let Some(inflight) = self.busy.take() else {
+            debug_assert!(false, "Applied {gid} with an idle applier");
+            return Ok(());
+        };
+        debug_assert_eq!(inflight.sub.gid, gid, "Applied gid does not match the applier slot");
+        match self.protocol {
+            ProtocolId::DagWt | ProtocolId::BackEdge => {
+                // §2: committed secondaries are forwarded to relevant
+                // children, atomically with commit order.
+                self.forward_down_tree(&inflight.sub, out);
+            }
+            ProtocolId::DagT => self.merge_ts(&inflight.sub)?,
+            ProtocolId::NaiveLazy => {}
+        }
+        self.pump(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Queue scheduling.
+    // ------------------------------------------------------------------
+
+    /// If the applier slot is free and the protocol's scheduling rule
+    /// admits a subtransaction, start it. Dummies and home-coming
+    /// specials are consumed inline (they occupy no applier time), so
+    /// this loops until a real subtransaction starts or nothing is
+    /// admissible.
+    fn pump(&mut self, out: &mut Vec<Command>) -> Result<(), ProtocolError> {
+        while self.busy.is_none() {
+            let picked = match self.protocol {
+                ProtocolId::DagT => self.pick_min_timestamp()?,
+                // First (only) non-empty queue, strict FIFO.
+                _ => self.queues.iter().position(|(_, q)| !q.is_empty()),
+            };
+            let Some(qi) = picked else { return Ok(()) };
+            let sub = self.queues[qi].1.pop_front().expect("picked queue is non-empty");
+            match sub.kind {
+                SubtxnKind::Dummy => {
+                    // §3.3: dummies only push the site timestamp forward.
+                    self.merge_ts(&sub)?;
+                }
+                SubtxnKind::Special => {
+                    if self.tombstones.remove(&sub.gid) {
+                        // Its origin aborted the eager phase; drop it.
+                        continue;
+                    }
+                    if sub.origin == self.me {
+                        // It came home through the FIFO queue — everything
+                        // received before it has committed, so the waiting
+                        // primary may now commit (§4.1 step 3).
+                        if self.pending_eager.contains_key(&sub.gid) {
+                            out.push(Command::CommitLocal { gid: sub.gid });
+                        }
+                        continue;
+                    }
+                    // A mid-path special: prepare it in the applier slot
+                    // (it holds the slot until the driver reports
+                    // Prepared, keeping FIFO commit order behind it).
+                    let writes = writes_for_site(&self.placement, self.me, &sub.writes);
+                    let gid = sub.gid;
+                    let origin = sub.origin;
+                    self.busy = Some(InFlight { sub, queue: qi, prepare: true });
+                    out.push(Command::Prepare { gid, origin, writes, queued: true });
+                }
+                SubtxnKind::Normal => {
+                    let writes = writes_for_site(&self.placement, self.me, &sub.writes);
+                    let gid = sub.gid;
+                    self.busy = Some(InFlight { sub, queue: qi, prepare: false });
+                    out.push(Command::Apply { gid, writes });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// DAG(T) §3.2.3: only when every incoming queue is non-empty, pick
+    /// the minimum-timestamp head (ties to the lowest queue index).
+    fn pick_min_timestamp(&self) -> Result<Option<usize>, ProtocolError> {
+        if self.queues.is_empty() {
+            return Ok(None);
+        }
+        let mut best: Option<(usize, &Timestamp)> = None;
+        for (i, (_, q)) in self.queues.iter().enumerate() {
+            // Any empty queue ⇒ wait (progress via dummies, §3.3).
+            let Some(head) = q.front() else { return Ok(None) };
+            let ts = head.ts.as_ref().ok_or(ProtocolError::MissingTimestamp { gid: head.gid })?;
+            match best {
+                Some((_, bts)) if ts >= bts => {}
+                _ => best = Some((i, ts)),
+            }
+        }
+        Ok(best.map(|(i, _)| i))
+    }
+
+    /// §3.2.3: merge a subtransaction's timestamp into the site
+    /// timestamp, guarded so a crash-induced epoch bump (§3.3) is not
+    /// regressed by pre-crash-epoch stragglers.
+    fn merge_ts(&mut self, sub: &Subtxn) -> Result<(), ProtocolError> {
+        let ts = sub.ts.as_ref().ok_or(ProtocolError::MissingTimestamp { gid: sub.gid })?;
+        let new_ts = ts.concat_site(self.me, self.lts, ts.epoch);
+        if new_ts > self.site_ts {
+            self.site_ts = new_ts;
+        }
+        Ok(())
+    }
+
+    /// Forward a subtransaction to the tree children whose subtrees
+    /// contain destinations (§2 relevant children).
+    fn forward_down_tree(&self, sub: &Subtxn, out: &mut Vec<Command>) {
+        let tree = self.tree.as_ref().expect("tree protocol");
+        for c in tree.relevant_children(self.me, &sub.dest_sites) {
+            out.push(Command::Send { to: c, payload: Payload::Subtxn(sub.clone()) });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers and faults.
+    // ------------------------------------------------------------------
+
+    /// §3.3: dummy subtransactions on idle links so children can always
+    /// compute their minimum.
+    fn heartbeat(&mut self, idle_children: &[SiteId], out: &mut Vec<Command>) {
+        if self.protocol != ProtocolId::DagT {
+            return;
+        }
+        for &c in idle_children {
+            debug_assert!(self.graph.has_edge(self.me, c), "heartbeat to non-child {c}");
+            let sub = Subtxn {
+                gid: dummy_gid(self.me),
+                origin: self.me,
+                kind: SubtxnKind::Dummy,
+                ts: Some(self.site_ts.clone()),
+                writes: Vec::new(),
+                dest_sites: vec![c],
+            };
+            out.push(Command::Send { to: c, payload: Payload::Subtxn(sub) });
+        }
+    }
+
+    /// Crash semantics: the in-flight subtransaction goes back to the
+    /// front of its queue (the driver's store rolled it back; the link
+    /// layer's durable high-water mark means it will not be redelivered,
+    /// so the machine must keep it). All prepare/eager bookkeeping is
+    /// volatile and lost. Queue contents and the site timestamp survive:
+    /// the former are re-fed by the reliable link layer's replay against
+    /// the durable applied marks, the latter is reconstructed by WAL
+    /// replay before the machine is consulted again. Tombstones persist
+    /// so a post-restart special arrival is still dropped.
+    fn crashed(&mut self) {
+        if let Some(inflight) = self.busy.take() {
+            self.queues[inflight.queue].1.push_front(inflight.sub);
+        }
+        self.preparing.clear();
+        self.prepared.clear();
+        self.pending_eager.clear();
+    }
+}

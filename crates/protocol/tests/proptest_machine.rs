@@ -1,0 +1,648 @@
+//! Property tests on the sans-I/O machines directly.
+//!
+//! A *model driver* — per-link FIFO queues, a single applier slot per
+//! site, no clocks — feeds randomized seeded interleavings of commit,
+//! deliver, and timer inputs into a fleet of [`SiteMachine`]s over
+//! generated placements, and checks the two contracts every real driver
+//! relies on:
+//!
+//! 1. **Convergence:** once the network and appliers drain, every copy
+//!    of every item equals its primary's copy.
+//! 2. **Link discipline:** the machine never emits a `Send` referencing
+//!    an unknown link — destinations are always the protocol's legal
+//!    neighbours (tree children for DAG(WT), copy-graph children for
+//!    DAG(T), tree-path relatives for BackEdge, replica holders for
+//!    NaiveLazy), never the site itself, never out of range.
+//!
+//! The simulator's own proptests cover the same theorems end to end
+//! *through* the engine; this suite pins the extracted core in
+//! isolation, so a future driver bug cannot hide a protocol bug.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use repl_copygraph::{BackEdgeSet, CopyGraph, DataPlacement, PropagationTree};
+use repl_protocol::{Command, Input, Payload, ProtocolId, SiteMachine};
+use repl_types::{GlobalTxnId, ItemId, SiteId, Value};
+
+// ---------------------------------------------------------------------
+// Generated inputs.
+// ---------------------------------------------------------------------
+
+/// A generated placement: site count plus per-item (primary, replica
+/// bitmask) pairs, mirroring the simulator's proptest generator.
+#[derive(Debug, Clone)]
+struct ArbPlacement {
+    num_sites: u32,
+    items: Vec<(u32, u32)>,
+    forward_only: bool,
+}
+
+impl ArbPlacement {
+    fn build(&self) -> DataPlacement {
+        let mut p = DataPlacement::new(self.num_sites);
+        for &(primary, mask) in &self.items {
+            let primary = primary % self.num_sites;
+            let replicas: Vec<SiteId> = (0..self.num_sites)
+                .filter(|&s| {
+                    s != primary && mask & (1 << s) != 0 && (!self.forward_only || s > primary)
+                })
+                .map(SiteId)
+                .collect();
+            p.add_item(SiteId(primary), &replicas);
+        }
+        p
+    }
+}
+
+fn arb_placement(forward_only: bool) -> impl Strategy<Value = ArbPlacement> {
+    (2u32..=5, prop::collection::vec((0u32..5, 0u32..32), 3..12))
+        .prop_map(move |(num_sites, items)| ArbPlacement { num_sites, items, forward_only })
+}
+
+/// Transaction plan entries: (site choice, item choice, width choice).
+/// Each becomes one commit at `site % n` writing one or two of that
+/// site's primary items; entries landing on primary-less sites are
+/// dropped.
+fn arb_txns() -> impl Strategy<Value = Vec<(u16, u16, u16)>> {
+    prop::collection::vec((0u16..64, 0u16..64, 0u16..4), 4..24)
+}
+
+/// The scheduler's coin flips: each value picks one enabled action.
+fn arb_schedule() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(0u16..u16::MAX, 40..400)
+}
+
+// ---------------------------------------------------------------------
+// The model driver.
+// ---------------------------------------------------------------------
+
+/// A transaction's write set.
+type WriteSet = Vec<(ItemId, Value)>;
+
+/// An `Apply`/queued-`Prepare` occupying a site's single applier slot.
+struct PendingApply {
+    gid: GlobalTxnId,
+    writes: WriteSet,
+    prepare: bool,
+}
+
+/// One schedulable step of the model driver.
+#[derive(Clone, Debug)]
+enum Action {
+    /// Issue the next planned commit at this site.
+    Commit(SiteId),
+    /// Pop one payload off the (from, to) FIFO link.
+    Deliver(SiteId, SiteId),
+    /// Complete the applier-slot work at this site.
+    Complete(SiteId),
+    /// Complete this site's oldest direct (non-queued) prepare.
+    Prep(SiteId),
+    /// DAG(T): fire a heartbeat declaring every child idle.
+    Heartbeat(SiteId),
+    /// DAG(T): fire a source's epoch timer.
+    Epoch(SiteId),
+    /// BackEdge: an eager-phase timeout victimizes this transaction.
+    AbortEager(GlobalTxnId),
+}
+
+struct Model {
+    protocol: ProtocolId,
+    placement: Arc<DataPlacement>,
+    graph: Arc<CopyGraph>,
+    tree: Option<Arc<PropagationTree>>,
+    machines: Vec<SiteMachine>,
+    /// Committed copy state per site (missing key = `Value::Initial`).
+    stores: Vec<BTreeMap<ItemId, Value>>,
+    /// Per-directed-link FIFO queues (reliable, ordered).
+    links: BTreeMap<(SiteId, SiteId), VecDeque<Payload>>,
+    /// The single applier slot per site.
+    applier: Vec<Option<PendingApply>>,
+    /// Direct (non-queued) BackEdge prepares awaiting completion.
+    direct_preps: Vec<VecDeque<(GlobalTxnId, WriteSet)>>,
+    /// Planned commits per site, and the per-site issue cursor.
+    txns: Vec<Vec<(GlobalTxnId, WriteSet)>>,
+    next_txn: Vec<usize>,
+    /// Write sets by gid (`CommitLocal` looks the writes up).
+    writes_of: BTreeMap<GlobalTxnId, WriteSet>,
+    /// Gids whose `CommitLocal` has been executed.
+    committed: BTreeSet<GlobalTxnId>,
+    /// BackEdge commits whose eager phase is still in flight.
+    eager_waiting: BTreeSet<GlobalTxnId>,
+    /// Eager transactions the scheduler victimized.
+    aborted: BTreeSet<GlobalTxnId>,
+}
+
+impl Model {
+    fn new(
+        protocol: ProtocolId,
+        placement: DataPlacement,
+        plan: &[(u16, u16, u16)],
+    ) -> Result<Self, TestCaseError> {
+        let graph = CopyGraph::from_placement(&placement);
+        let tree = match protocol {
+            ProtocolId::DagWt => Some(
+                PropagationTree::chain(&graph)
+                    .map_err(|_| TestCaseError::fail("chain tree on a non-DAG"))?,
+            ),
+            ProtocolId::BackEdge => {
+                // The engine's recipe: tree over Gdag plus reversed
+                // backedges, so backedge targets are tree ancestors.
+                let b = BackEdgeSet::by_site_order(&graph);
+                let constraints = b.augmented_constraints(&graph);
+                let mut cg = CopyGraph::empty(placement.num_sites());
+                for &(u, v) in &constraints {
+                    cg.add_edge(u, v, 1);
+                }
+                Some(
+                    PropagationTree::chain(&cg)
+                        .map_err(|_| TestCaseError::fail("augmented constraints cyclic"))?,
+                )
+            }
+            ProtocolId::NaiveLazy | ProtocolId::DagT => None,
+        };
+        let placement = Arc::new(placement);
+        let graph = Arc::new(graph);
+        let tree = tree.map(Arc::new);
+        let n = placement.num_sites() as usize;
+
+        let mut machines = Vec::with_capacity(n);
+        for s in 0..n {
+            machines.push(
+                SiteMachine::new(
+                    SiteId(s as u32),
+                    protocol,
+                    placement.clone(),
+                    graph.clone(),
+                    tree.clone(),
+                )
+                .map_err(|e| TestCaseError::fail(format!("machine build failed: {e}")))?,
+            );
+        }
+
+        // Expand the plan into concrete per-site commit lists. Values
+        // are unique per (txn, item) so convergence is a real equality.
+        let mut txns: Vec<Vec<(GlobalTxnId, WriteSet)>> = vec![Vec::new(); n];
+        let mut seq = vec![1u64; n];
+        for (k, &(site_c, item_c, width_c)) in plan.iter().enumerate() {
+            let site = SiteId(site_c as u32 % placement.num_sites());
+            let primaries = placement.primaries_at(site);
+            if primaries.is_empty() {
+                continue;
+            }
+            let gid = GlobalTxnId::new(site, seq[site.index()]);
+            seq[site.index()] += 1;
+            let mut writes = Vec::new();
+            for w in 0..(1 + (width_c as usize % 2)) {
+                let item = primaries[(item_c as usize + w) % primaries.len()];
+                let value = Value::int((k as i64) * 1000 + w as i64 + 1);
+                if !writes.iter().any(|(i, _)| *i == item) {
+                    writes.push((item, value));
+                }
+            }
+            txns[site.index()].push((gid, writes));
+        }
+
+        Ok(Model {
+            protocol,
+            placement,
+            graph,
+            tree,
+            machines,
+            stores: vec![BTreeMap::new(); n],
+            links: BTreeMap::new(),
+            applier: (0..n).map(|_| None).collect(),
+            direct_preps: vec![VecDeque::new(); n],
+            txns,
+            next_txn: vec![0; n],
+            writes_of: BTreeMap::new(),
+            committed: BTreeSet::new(),
+            eager_waiting: BTreeSet::new(),
+            aborted: BTreeSet::new(),
+        })
+    }
+
+    fn num_sites(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Feed one input to `site`'s machine and carry out its commands.
+    fn feed(&mut self, site: SiteId, input: Input) -> Result<(), TestCaseError> {
+        let cmds = self.machines[site.index()]
+            .on_input(input)
+            .map_err(|e| TestCaseError::fail(format!("protocol error at {site}: {e}")))?;
+        self.run_commands(site, cmds)
+    }
+
+    /// Execute machine commands in order, checking link discipline.
+    fn run_commands(&mut self, site: SiteId, cmds: Vec<Command>) -> Result<(), TestCaseError> {
+        for cmd in cmds {
+            match cmd {
+                Command::Send { to, payload } => {
+                    self.check_link(site, to, &payload)?;
+                    self.links.entry((site, to)).or_default().push_back(payload);
+                }
+                Command::CommitLocal { gid } => {
+                    let writes =
+                        self.writes_of.get(&gid).cloned().expect("CommitLocal for unknown gid");
+                    for (item, value) in writes.iter() {
+                        self.stores[site.index()].insert(*item, value.clone());
+                    }
+                    self.committed.insert(gid);
+                    self.eager_waiting.remove(&gid);
+                    self.feed(site, Input::Committed { gid, writes })?;
+                }
+                Command::Apply { gid, writes } => {
+                    prop_assert!(
+                        self.applier[site.index()].is_none(),
+                        "machine issued Apply at {} while the applier is busy",
+                        site
+                    );
+                    for (item, _) in &writes {
+                        prop_assert!(
+                            self.placement.has_copy(site, *item),
+                            "Apply at {} carries {} which has no copy there",
+                            site,
+                            item
+                        );
+                    }
+                    self.applier[site.index()] = Some(PendingApply { gid, writes, prepare: false });
+                }
+                Command::Prepare { gid, writes, queued, .. } => {
+                    if queued {
+                        prop_assert!(
+                            self.applier[site.index()].is_none(),
+                            "machine issued queued Prepare at {} while the applier is busy",
+                            site
+                        );
+                        self.applier[site.index()] =
+                            Some(PendingApply { gid, writes, prepare: true });
+                    } else {
+                        self.direct_preps[site.index()].push_back((gid, writes));
+                    }
+                }
+                Command::CommitPrepared { gid: _, writes } => {
+                    for (item, value) in writes {
+                        self.stores[site.index()].insert(item, value);
+                    }
+                }
+                Command::AbortPrepared { gid } => {
+                    // Still mid-prepare: discard the pending completion;
+                    // already prepared: nothing was applied, nothing to do.
+                    if self.applier[site.index()].as_ref().is_some_and(|p| p.gid == gid) {
+                        self.applier[site.index()] = None;
+                    } else {
+                        self.direct_preps[site.index()].retain(|(g, _)| *g != gid);
+                    }
+                }
+                Command::ArmEagerTimeout { .. } => {} // the scheduler is the clock
+            }
+        }
+        Ok(())
+    }
+
+    /// The link-discipline property: every `Send` targets a legal
+    /// neighbour for the protocol.
+    fn check_link(&self, from: SiteId, to: SiteId, payload: &Payload) -> Result<(), TestCaseError> {
+        prop_assert!(
+            to.index() < self.num_sites() && to != from,
+            "{:?}: send {} -> {} references an unknown link",
+            self.protocol,
+            from,
+            to
+        );
+        match self.protocol {
+            ProtocolId::NaiveLazy => {
+                if let Payload::Subtxn(sub) = payload {
+                    prop_assert!(
+                        !sub.writes.is_empty()
+                            && sub.writes.iter().all(|(i, _)| self.placement.has_copy(to, *i)),
+                        "NaiveLazy send {} -> {} carries writes {} holds no copy of",
+                        from,
+                        to,
+                        to
+                    );
+                }
+            }
+            ProtocolId::DagWt => {
+                let tree = self.tree.as_ref().expect("DAG(WT) has a tree");
+                prop_assert!(
+                    tree.parent(to) == Some(from),
+                    "DAG(WT) send {} -> {} is not a tree edge",
+                    from,
+                    to
+                );
+            }
+            ProtocolId::DagT => {
+                prop_assert!(
+                    self.graph.has_edge(from, to),
+                    "DAG(T) send {} -> {} is not a copy-graph edge",
+                    from,
+                    to
+                );
+            }
+            ProtocolId::BackEdge => {
+                let tree = self.tree.as_ref().expect("BackEdge has a tree");
+                prop_assert!(
+                    tree.is_ancestor(from, to) || tree.is_ancestor(to, from),
+                    "BackEdge send {} -> {} is neither up nor down the tree",
+                    from,
+                    to
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Issue the next planned commit at `site`.
+    fn issue_commit(&mut self, site: SiteId) -> Result<(), TestCaseError> {
+        let idx = self.next_txn[site.index()];
+        let (gid, writes) = self.txns[site.index()][idx].clone();
+        self.next_txn[site.index()] += 1;
+        self.writes_of.insert(gid, writes.clone());
+        self.feed(site, Input::CommitIntent { gid, writes })?;
+        if !self.committed.contains(&gid) && !self.aborted.contains(&gid) {
+            // BackEdge withheld CommitLocal: the eager phase is running.
+            self.eager_waiting.insert(gid);
+        }
+        Ok(())
+    }
+
+    /// Complete the applier slot: apply (or hold prepared) and ack.
+    fn complete_applier(&mut self, site: SiteId) -> Result<(), TestCaseError> {
+        let p = self.applier[site.index()].take().expect("slot occupied");
+        if p.prepare {
+            self.feed(site, Input::Prepared { gid: p.gid })
+        } else {
+            for (item, value) in p.writes {
+                self.stores[site.index()].insert(item, value);
+            }
+            self.feed(site, Input::Applied { gid: p.gid })
+        }
+    }
+
+    /// Complete a direct (non-queued) prepare.
+    fn complete_prep(&mut self, site: SiteId) -> Result<(), TestCaseError> {
+        let (gid, _writes) = self.direct_preps[site.index()].pop_front().expect("prep pending");
+        self.feed(site, Input::Prepared { gid })
+    }
+
+    /// True while another commit may be issued at `site`. BackEdge
+    /// mirrors the simulator's two worker threads: at most two eager
+    /// phases of one origin are in flight at once.
+    fn can_commit(&self, site: SiteId) -> bool {
+        self.next_txn[site.index()] < self.txns[site.index()].len()
+            && self.eager_waiting.iter().filter(|g| g.origin == site).count() < 2
+    }
+
+    /// Every action the scheduler may take right now, in a fixed
+    /// deterministic order.
+    fn enabled_actions(&self) -> Vec<Action> {
+        let mut acts = Vec::new();
+        for s in 0..self.num_sites() {
+            let site = SiteId(s as u32);
+            if self.can_commit(site) {
+                acts.push(Action::Commit(site));
+            }
+            if self.applier[s].is_some() {
+                acts.push(Action::Complete(site));
+            }
+            if !self.direct_preps[s].is_empty() {
+                acts.push(Action::Prep(site));
+            }
+            if self.protocol == ProtocolId::DagT {
+                if self.graph.children(site).next().is_some() {
+                    acts.push(Action::Heartbeat(site));
+                }
+                if self.graph.parents(site).next().is_none() {
+                    acts.push(Action::Epoch(site));
+                }
+            }
+        }
+        for (&(from, to), q) in &self.links {
+            if !q.is_empty() {
+                acts.push(Action::Deliver(from, to));
+            }
+        }
+        for &gid in &self.eager_waiting {
+            acts.push(Action::AbortEager(gid));
+        }
+        acts
+    }
+
+    fn run_action(&mut self, action: Action) -> Result<(), TestCaseError> {
+        match action {
+            Action::Commit(site) => self.issue_commit(site),
+            Action::Deliver(from, to) => {
+                let payload =
+                    self.links.get_mut(&(from, to)).and_then(VecDeque::pop_front).expect("queued");
+                self.feed(to, Input::Deliver { from, payload })
+            }
+            Action::Complete(site) => self.complete_applier(site),
+            Action::Prep(site) => self.complete_prep(site),
+            Action::Heartbeat(site) => {
+                let idle_children: Vec<SiteId> = self.graph.children(site).collect();
+                self.feed(site, Input::HeartbeatTick { idle_children })
+            }
+            Action::Epoch(site) => self.feed(site, Input::EpochTick),
+            Action::AbortEager(gid) => {
+                self.eager_waiting.remove(&gid);
+                self.aborted.insert(gid);
+                self.feed(gid.origin, Input::AbortEager { gid })
+            }
+        }
+    }
+
+    /// The randomized phase: consume the schedule, one enabled action
+    /// per coin flip. Timeouts (`AbortEager`) only fire here.
+    fn run_schedule(&mut self, schedule: &[u16]) -> Result<(), TestCaseError> {
+        for &coin in schedule {
+            let acts = self.enabled_actions();
+            if acts.is_empty() {
+                break;
+            }
+            self.run_action(acts[coin as usize % acts.len()].clone())?;
+        }
+        Ok(())
+    }
+
+    /// Deterministic drain: finish all work. DAG(T) needs heartbeat
+    /// rounds to unstick minimum-timestamp merges whose queues ran dry.
+    fn drain(&mut self) -> Result<(), TestCaseError> {
+        let mut guard = 0usize;
+        let mut heartbeat_rounds = 0usize;
+        let max_rounds = 16 + 4 * self.num_sites() + self.txns.iter().map(Vec::len).sum::<usize>();
+        loop {
+            let mut progressed = false;
+            loop {
+                guard += 1;
+                prop_assert!(guard < 200_000, "{:?}: drain did not terminate", self.protocol);
+                let acts: Vec<Action> = self
+                    .enabled_actions()
+                    .into_iter()
+                    .filter(|a| {
+                        !matches!(
+                            a,
+                            Action::AbortEager(_) | Action::Heartbeat(_) | Action::Epoch(_)
+                        )
+                    })
+                    .collect();
+                if acts.is_empty() {
+                    break;
+                }
+                for a in acts {
+                    // Re-check: an earlier action in this batch may have
+                    // consumed or created work.
+                    let still = match &a {
+                        Action::Commit(s) => self.can_commit(*s),
+                        Action::Deliver(f, t) => {
+                            self.links.get(&(*f, *t)).is_some_and(|q| !q.is_empty())
+                        }
+                        Action::Complete(s) => self.applier[s.index()].is_some(),
+                        Action::Prep(s) => !self.direct_preps[s.index()].is_empty(),
+                        _ => false,
+                    };
+                    if still {
+                        self.run_action(a)?;
+                        progressed = true;
+                    }
+                }
+            }
+            if self.quiescent() {
+                return Ok(());
+            }
+            if self.protocol == ProtocolId::DagT && heartbeat_rounds < max_rounds {
+                // Queues waiting on an idle parent: a heartbeat round
+                // injects dummies so every merge can pick its minimum.
+                heartbeat_rounds += 1;
+                for s in 0..self.num_sites() {
+                    let site = SiteId(s as u32);
+                    let idle_children: Vec<SiteId> = self.graph.children(site).collect();
+                    if !idle_children.is_empty() {
+                        self.feed(site, Input::HeartbeatTick { idle_children })?;
+                    }
+                }
+                continue;
+            }
+            prop_assert!(
+                progressed,
+                "{:?}: stalled before quiescence (links {:?})",
+                self.protocol,
+                self.links.iter().map(|(k, q)| (*k, q.len())).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// All planned work done, network empty, appliers idle, machines
+    /// holding nothing but (for DAG(T)) unconsumed dummies.
+    fn quiescent(&self) -> bool {
+        (0..self.num_sites()).all(|s| {
+            self.next_txn[s] == self.txns[s].len()
+                && self.applier[s].is_none()
+                && self.direct_preps[s].is_empty()
+        }) && self.links.values().all(VecDeque::is_empty)
+            && self.eager_waiting.is_empty()
+            && self.machines.iter().all(|m| {
+                if self.protocol == ProtocolId::DagT {
+                    m.no_pending_updates()
+                } else {
+                    m.secondaries_idle()
+                }
+            })
+    }
+
+    /// The convergence property: every replica equals its primary.
+    fn check_convergence(&self) -> Result<(), TestCaseError> {
+        for item in self.placement.items() {
+            let primary = self.placement.primary_of(item);
+            let want = self.stores[primary.index()].get(&item).cloned().unwrap_or_default();
+            for &r in self.placement.replicas_of(item) {
+                let got = self.stores[r.index()].get(&item).cloned().unwrap_or_default();
+                prop_assert!(
+                    got == want,
+                    "{:?}: {} diverged at {} (primary {}: {:?}, replica: {:?})",
+                    self.protocol,
+                    item,
+                    r,
+                    primary,
+                    want,
+                    got
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+fn check_machine_fleet(
+    protocol: ProtocolId,
+    placement: DataPlacement,
+    plan: &[(u16, u16, u16)],
+    schedule: &[u16],
+) -> Result<(), TestCaseError> {
+    let mut model = Model::new(protocol, placement, plan)?;
+    model.run_schedule(schedule)?;
+    model.drain()?;
+    model.check_convergence()
+}
+
+// ---------------------------------------------------------------------
+// The properties.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// NaiveLazy converges on arbitrary placements under arbitrary
+    /// interleavings (per-link FIFO is all it needs for single-primary
+    /// items), and only ever sends to replica holders.
+    #[test]
+    fn naive_lazy_machine_converges(
+        p in arb_placement(false),
+        plan in arb_txns(),
+        schedule in arb_schedule(),
+    ) {
+        check_machine_fleet(ProtocolId::NaiveLazy, p.build(), &plan, &schedule)?;
+    }
+
+    /// DAG(WT) machines converge on DAG placements and route strictly
+    /// along propagation-tree edges.
+    #[test]
+    fn dag_wt_machine_converges(
+        p in arb_placement(true),
+        plan in arb_txns(),
+        schedule in arb_schedule(),
+    ) {
+        let placement = p.build();
+        prop_assume!(CopyGraph::from_placement(&placement).is_dag());
+        check_machine_fleet(ProtocolId::DagWt, placement, &plan, &schedule)?;
+    }
+
+    /// DAG(T) machines converge — including schedules where heartbeat
+    /// and epoch timers fire at arbitrary points — and send only along
+    /// copy-graph edges.
+    #[test]
+    fn dag_t_machine_converges(
+        p in arb_placement(true),
+        plan in arb_txns(),
+        schedule in arb_schedule(),
+    ) {
+        let placement = p.build();
+        prop_assume!(CopyGraph::from_placement(&placement).is_dag());
+        check_machine_fleet(ProtocolId::DagT, placement, &plan, &schedule)?;
+    }
+
+    /// BackEdge machines converge on arbitrary (possibly cyclic)
+    /// placements even when the scheduler victimizes eager phases at
+    /// random, and every send stays on this site's tree path.
+    #[test]
+    fn backedge_machine_converges(
+        p in arb_placement(false),
+        plan in arb_txns(),
+        schedule in arb_schedule(),
+    ) {
+        check_machine_fleet(ProtocolId::BackEdge, p.build(), &plan, &schedule)?;
+    }
+}

@@ -10,13 +10,14 @@ use parking_lot::Mutex;
 
 use repl_copygraph::{BackEdgeSet, CopyGraph, DataPlacement, PropagationTree};
 use repl_core::history::{History, SerializationCycle};
+use repl_protocol::{ProtocolError, ProtocolId};
 use repl_storage::{recover, Checkpoint, Store, WriteAheadLog};
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
 
 use crate::chan::{traced_unbounded, TracedSender};
 use crate::durable::DurableSite;
 use crate::link::Links;
-use crate::site::{BackedgeState, Command, DagtState, SiteRuntime};
+use crate::site::{Command, SiteSetup};
 use crate::transport::{ChannelRaw, Net, Routes};
 
 /// Protocols the threaded runtime deploys.
@@ -43,6 +44,16 @@ impl RuntimeProtocol {
             RuntimeProtocol::DagT => "DAG(T)",
             RuntimeProtocol::BackEdge => "BackEdge",
             RuntimeProtocol::NaiveLazy => "NaiveLazy",
+        }
+    }
+
+    /// The corresponding state machine in the shared protocol core.
+    pub fn protocol_id(self) -> ProtocolId {
+        match self {
+            RuntimeProtocol::DagWt => ProtocolId::DagWt,
+            RuntimeProtocol::DagT => ProtocolId::DagT,
+            RuntimeProtocol::BackEdge => ProtocolId::BackEdge,
+            RuntimeProtocol::NaiveLazy => ProtocolId::NaiveLazy,
         }
     }
 
@@ -82,6 +93,11 @@ pub enum ClusterError {
     /// transaction that got this reply may still have committed — the
     /// usual at-most-once ambiguity of a server dying mid-request.
     Disconnected,
+    /// The protocol core rejected the deployment's structure, or a
+    /// link delivered something the protocol state machine cannot
+    /// account for (the site refuses further transactions rather than
+    /// guessing).
+    Protocol(ProtocolError),
 }
 
 impl fmt::Display for ClusterError {
@@ -102,6 +118,7 @@ impl fmt::Display for ClusterError {
                 write!(f, "crash faults are not supported under this protocol")
             }
             ClusterError::Disconnected => write!(f, "site is down or cluster is shut down"),
+            ClusterError::Protocol(e) => write!(f, "protocol error: {e}"),
         }
     }
 }
@@ -230,21 +247,28 @@ impl Cluster {
             placement: Arc::new(placement.clone()),
         };
         for i in 0..n {
-            cluster.spawn_site(SiteId(i as u32));
+            cluster.spawn_site(SiteId(i as u32))?;
         }
         Ok(cluster)
     }
 
-    /// (Re)boot one site: rebuild its store from stable storage, wire a
-    /// fresh inbox into the routing table and start its thread.
-    fn spawn_site(&mut self, site: SiteId) {
+    /// (Re)boot one site: build its protocol machine (fallibly, on this
+    /// thread, so a structural violation is a typed startup error),
+    /// rebuild its store from stable storage, wire a fresh inbox into
+    /// the routing table and start its thread.
+    fn spawn_site(&mut self, site: SiteId) -> Result<(), ClusterError> {
         let i = site.index();
+        let setup = SiteSetup::new(
+            site,
+            self.protocol,
+            self.placement.clone(),
+            self.graph.clone(),
+            self.tree.clone(),
+        )
+        .map_err(ClusterError::Protocol)?;
         self.crash_flags[i].store(false, Ordering::SeqCst);
         let (tx, rx) = traced_unbounded();
         let net = self.net.clone();
-        let protocol = self.protocol;
-        let tree = self.tree.clone();
-        let graph = self.graph.clone();
         let placement = self.placement.clone();
         let history = self.history.clone();
         let outstanding = self.outstanding.clone();
@@ -261,28 +285,22 @@ impl Cluster {
                     // scope; replay writes from another thread would be
                     // unordered with the thread's own first accesses).
                     let store = recovered_store(&placement, site, &durable.lock().wal);
-                    let runtime = SiteRuntime {
-                        id: site,
-                        store,
-                        rx,
-                        net,
-                        protocol,
-                        tree,
-                        placement,
-                        history,
-                        outstanding,
-                        durable,
-                        crashed,
-                        dagt: (protocol == RuntimeProtocol::DagT)
-                            .then(|| DagtState::new(site, &graph)),
-                        backedge: (protocol == RuntimeProtocol::BackEdge)
-                            .then(BackedgeState::default),
-                        pending: Default::default(),
-                    };
-                    runtime.run()
+                    setup
+                        .into_runtime(
+                            store,
+                            rx,
+                            net,
+                            placement,
+                            history,
+                            outstanding,
+                            durable,
+                            crashed,
+                        )
+                        .run()
                 })
                 .expect("spawn site thread"),
         );
+        Ok(())
     }
 
     fn check_site(&self, site: SiteId) -> Result<(), ClusterError> {
@@ -341,7 +359,7 @@ impl Cluster {
         if self.threads[site.index()].is_some() {
             return Ok(()); // not crashed
         }
-        self.spawn_site(site);
+        self.spawn_site(site)?;
         self.net.retransmit_to(site);
         Ok(())
     }

@@ -1,23 +1,23 @@
-//! The per-site worker thread.
+//! The per-site worker thread: a thin shell around the shared protocol
+//! core.
 //!
-//! One thread (or, under `repld`, one process) per site, executing
-//! client transactions serially and applying inbound subtransactions in
-//! per-link FIFO order. The protocol-specific machinery lives here:
+//! One thread (or, under `repld`, one process) per site. All propagation
+//! *decisions* — queue admission, DAG(T) timestamp merging, tree
+//! routing, the BackEdge eager phase — are made by the sans-I/O
+//! [`SiteMachine`] from `repl-protocol`, the same machine the simulation
+//! engine drives. This shell only:
 //!
-//! * **NaiveLazy** — indiscriminate direct propagation (Example 1.1).
-//! * **DAG(WT)** (§2) — tree-routed forwarding to relevant children.
-//! * **DAG(T)** (§3) — timestamped per-destination propagation with one
-//!   inbound queue per copy-graph parent, merged in timestamp order;
-//!   dummy (heartbeat) subtransactions and epoch bumps keep the merge
-//!   live through idle parents.
-//! * **BackEdge** (§4) — updates with destinations *above* the origin
-//!   in the propagation tree run an eager phase first: a special
-//!   subtransaction climbs to the farthest ancestor destination, is
-//!   prepared (not committed) at every site on the path back down, and
-//!   the origin commits only after it returns home, then sends commit
-//!   decisions up the path and propagates lazily to descendants.
+//! * feeds transport frames and client commits into the machine as
+//!   [`Input`]s,
+//! * carries out the returned [`ProtoCommand`]s — local transactions
+//!   against the store, WAL records, outstanding-counter bookkeeping,
+//!   and handing [`Payload`]s to the shared reliable link layer
+//!   ([`Net`], channel or TCP), and
+//! * owns everything clock-shaped: the DAG(T) heartbeat/epoch timers
+//!   (idleness is measured here and reported to the machine as timer
+//!   inputs) and the eager-phase wait loop.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,8 +27,10 @@ use parking_lot::Mutex;
 
 use repl_copygraph::{CopyGraph, DataPlacement, PropagationTree};
 use repl_core::history::History;
-use repl_core::timestamp::Timestamp;
-use repl_net::{Payload, Subtxn, SubtxnKind};
+use repl_net::Payload;
+use repl_protocol::{
+    destinations, planned_writes, Command as ProtoCommand, Input, ProtocolError, SiteMachine,
+};
 use repl_storage::Store;
 use repl_types::{GlobalTxnId, ItemId, Op, OpKind, SiteId, Value};
 
@@ -80,48 +82,24 @@ pub(crate) enum Command {
     Shutdown,
 }
 
-/// DAG(T) per-site state (§3). Volatile by design: this PR rejects
-/// crash faults under DAG(T) because `site_ts`/`lts` are not yet
-/// journaled.
-pub(crate) struct DagtState {
-    /// Local timestamp counter (one tick per local update txn).
-    lts: u64,
-    /// The site timestamp, advanced by local commits and by the merge.
-    site_ts: Timestamp,
-    /// One inbound queue per copy-graph parent, in ascending parent
-    /// order; the merge fires only when every queue is non-empty.
-    in_queues: Vec<(SiteId, VecDeque<Subtxn>)>,
+/// The clock side of DAG(T)'s progress machinery (§3.3): when the last
+/// real send per copy-graph child happened and when the epoch last
+/// bumped. The *decision* of what a heartbeat or epoch tick does lives
+/// in the machine; durations cannot, so they live here.
+struct DagtTimers {
     /// Copy-graph children: heartbeat targets.
     children: Vec<SiteId>,
-    /// Last send (real or dummy) per child, same indexing as
-    /// `children`.
+    /// Last send (real or dummy) per child, same indexing as `children`.
     last_sent: Vec<Instant>,
     last_epoch: Instant,
 }
 
-impl DagtState {
-    pub fn new(me: SiteId, graph: &CopyGraph) -> Self {
+impl DagtTimers {
+    fn new(me: SiteId, graph: &CopyGraph) -> Self {
         let now = Instant::now();
         let children: Vec<SiteId> = graph.children(me).collect();
-        DagtState {
-            lts: 0,
-            site_ts: Timestamp::initial(me),
-            in_queues: graph.parents(me).map(|p| (p, VecDeque::new())).collect(),
-            last_sent: vec![now; children.len()],
-            children,
-            last_epoch: now,
-        }
+        DagtTimers { last_sent: vec![now; children.len()], children, last_epoch: now }
     }
-}
-
-/// BackEdge per-site state (§4).
-#[derive(Default)]
-pub(crate) struct BackedgeState {
-    /// Writes prepared here by an in-flight special subtransaction,
-    /// applied when the origin's commit decision arrives.
-    prepared: BTreeMap<GlobalTxnId, Vec<(ItemId, Value)>>,
-    /// Set when a special returns home to its waiting origin.
-    home: Option<GlobalTxnId>,
 }
 
 pub(crate) struct SiteRuntime {
@@ -131,8 +109,6 @@ pub(crate) struct SiteRuntime {
     /// The reliable-link engine (outboxes + whichever wire this
     /// deployment runs on).
     pub net: Arc<Net>,
-    pub protocol: RuntimeProtocol,
-    pub tree: Option<Arc<PropagationTree>>,
     pub placement: Arc<DataPlacement>,
     pub history: Arc<Mutex<History>>,
     /// Replica applications still in flight, cluster-wide (under TCP:
@@ -144,13 +120,75 @@ pub(crate) struct SiteRuntime {
     /// Set by [`crate::Cluster::crash`]: abandon ship at the next
     /// command, losing the store and everything still queued.
     pub crashed: Arc<AtomicBool>,
-    /// DAG(T) state, present iff the protocol is DAG(T).
-    pub dagt: Option<DagtState>,
-    /// BackEdge state, present iff the protocol is BackEdge.
-    pub backedge: Option<BackedgeState>,
+    /// The shared protocol state machine (also driven by the sim).
+    machine: SiteMachine,
+    /// DAG(T) timers, present iff the protocol is DAG(T).
+    timers: Option<DagtTimers>,
     /// Commands deferred while an eager phase was waiting for its
     /// special to return home (BackEdge only).
-    pub pending: VecDeque<Command>,
+    pending: VecDeque<Command>,
+    /// Set by a [`ProtoCommand::CommitLocal`] while an eager phase
+    /// waits for its special to come home.
+    home: Option<GlobalTxnId>,
+    /// First protocol violation observed on the link path; reported to
+    /// the next client instead of panicking the site thread.
+    poisoned: Option<ProtocolError>,
+}
+
+/// The protocol half of a site, built *before* its thread spawns so a
+/// structural protocol violation is a typed startup error (surfaced as
+/// [`ClusterError::Protocol`] / a `repld` boot failure), not a mid-run
+/// panic. The store half is recovered on the site thread itself (see
+/// the note in `Cluster::spawn_site`) and joined in
+/// [`SiteSetup::into_runtime`].
+pub(crate) struct SiteSetup {
+    machine: SiteMachine,
+    timers: Option<DagtTimers>,
+}
+
+impl SiteSetup {
+    pub(crate) fn new(
+        id: SiteId,
+        protocol: RuntimeProtocol,
+        placement: Arc<DataPlacement>,
+        graph: Arc<CopyGraph>,
+        tree: Option<Arc<PropagationTree>>,
+    ) -> Result<Self, ProtocolError> {
+        let timers = (protocol == RuntimeProtocol::DagT).then(|| DagtTimers::new(id, &graph));
+        let machine = SiteMachine::new(id, protocol.protocol_id(), placement, graph, tree)?;
+        Ok(SiteSetup { machine, timers })
+    }
+
+    /// Join the protocol half with the I/O half into a runnable site.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn into_runtime(
+        self,
+        store: Store,
+        rx: TracedReceiver<Command>,
+        net: Arc<Net>,
+        placement: Arc<DataPlacement>,
+        history: Arc<Mutex<History>>,
+        outstanding: Arc<AtomicI64>,
+        durable: Arc<Mutex<DurableSite>>,
+        crashed: Arc<AtomicBool>,
+    ) -> SiteRuntime {
+        SiteRuntime {
+            id: self.machine.me(),
+            store,
+            rx,
+            net,
+            placement,
+            history,
+            outstanding,
+            durable,
+            crashed,
+            machine: self.machine,
+            timers: self.timers,
+            pending: VecDeque::new(),
+            home: None,
+            poisoned: None,
+        }
+    }
 }
 
 impl SiteRuntime {
@@ -202,54 +240,39 @@ impl SiteRuntime {
         }
     }
 
-    /// Protocol timers; cheap no-op outside DAG(T).
+    /// Protocol timers; cheap no-op outside DAG(T). The shell measures
+    /// idleness and period expiry, the machine decides what (if
+    /// anything) to send.
     fn tick(&mut self) {
-        if self.protocol != RuntimeProtocol::DagT {
-            return;
-        }
+        let Some(t) = self.timers.as_mut() else { return };
         let now = Instant::now();
-        let mut dummies: Vec<(usize, SiteId, Subtxn)> = Vec::new();
-        {
-            let d = self.dagt.as_mut().expect("DAG(T) state");
-            if now.duration_since(d.last_epoch) >= EPOCH_PERIOD {
-                d.site_ts.epoch += 1;
-                d.last_epoch = now;
-            }
-            for (i, &child) in d.children.iter().enumerate() {
-                if now.duration_since(d.last_sent[i]) >= HEARTBEAT_PERIOD {
-                    // §3: a dummy carries the current site timestamp and
-                    // nothing else. The sentinel gid keeps the durable
-                    // transaction-id counter identical across transports
-                    // and timings.
-                    dummies.push((
-                        i,
-                        child,
-                        Subtxn {
-                            gid: GlobalTxnId::new(self.id, u64::MAX),
-                            origin: self.id,
-                            kind: SubtxnKind::Dummy,
-                            ts: Some(d.site_ts.clone()),
-                            writes: Vec::new(),
-                            dest_sites: vec![child],
-                        },
-                    ));
-                }
-            }
+        if now.duration_since(t.last_epoch) >= EPOCH_PERIOD {
+            t.last_epoch = now;
+            let cmds = self.machine_input(Input::EpochTick);
+            self.run_commands(cmds);
         }
-        for (i, child, dummy) in dummies {
-            if self.net.lane_len(self.id, child) >= HEARTBEAT_LANE_CAP {
-                continue;
-            }
-            self.net.send(self.id, child, Payload::Subtxn(dummy));
-            self.dagt.as_mut().expect("DAG(T) state").last_sent[i] = now;
+        let t = self.timers.as_ref().expect("still DAG(T)");
+        let idle_children: Vec<SiteId> = t
+            .children
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| now.duration_since(t.last_sent[i]) >= HEARTBEAT_PERIOD)
+            .filter(|&(_, &c)| self.net.lane_len(self.id, c) < HEARTBEAT_LANE_CAP)
+            .map(|(_, &c)| c)
+            .collect();
+        if !idle_children.is_empty() {
+            let cmds = self.machine_input(Input::HeartbeatTick { idle_children });
+            self.run_commands(cmds);
         }
-        self.pump_dagt();
     }
 
     /// Execute a primary transaction. Sites run one transaction at a
     /// time, so locks are always free; validation and the §1.1 ownership
     /// rule still apply.
     fn execute(&mut self, ops: Vec<Op>) -> Result<GlobalTxnId, ClusterError> {
+        if let Some(e) = &self.poisoned {
+            return Err(ClusterError::Protocol(e.clone()));
+        }
         // Validate before touching the store.
         for op in &ops {
             match op.kind {
@@ -265,22 +288,31 @@ impl SiteRuntime {
                 }
             }
         }
-        if self.protocol == RuntimeProtocol::BackEdge {
-            // The write set is known up front (last write per item), so
-            // the eager-vs-lazy split can be decided before execution.
-            let planned = planned_writes(&ops);
-            let dests = self.destinations(&planned);
-            let tree = self.tree.as_ref().expect("BackEdge runtime has a tree").clone();
-            let ancestors: Vec<SiteId> =
-                dests.iter().copied().filter(|&d| tree.is_ancestor(d, self.id)).collect();
-            if !ancestors.is_empty() {
-                return self.execute_eager(ops, planned, dests, ancestors, &tree);
-            }
-        }
         let gid = self.fresh_gid();
+        // The write set is known up front (last write per item), so the
+        // machine can decide eager-vs-immediate before execution.
+        let planned = planned_writes(&ops);
+        let cmds = match self.machine.on_input(Input::CommitIntent { gid, writes: planned }) {
+            Ok(cmds) => cmds,
+            Err(e) => {
+                self.poisoned.get_or_insert(e.clone());
+                return Err(ClusterError::Protocol(e));
+            }
+        };
+        let immediate = cmds.iter().any(|c| matches!(c, ProtoCommand::CommitLocal { .. }));
+        self.run_commands(cmds);
+        if immediate {
+            self.home = None;
+        } else if !self.wait_for_home(gid) {
+            // Crashed or torn down mid-eager-phase; the transaction
+            // never committed anywhere (prepared writes are not applied
+            // without a decision).
+            return Err(ClusterError::Disconnected);
+        }
         let (writes, reads) = self.run_local_txn(&ops, gid);
         self.finish_commit(gid, reads, &writes);
-        self.propagate(gid, writes);
+        let cmds = self.machine_input(Input::Committed { gid, writes });
+        self.run_commands(cmds);
         Ok(gid)
     }
 
@@ -300,6 +332,86 @@ type Writes = Vec<(ItemId, Value)>;
 type Reads = Vec<(ItemId, Option<GlobalTxnId>)>;
 
 impl SiteRuntime {
+    /// Feed one input to the machine; a protocol error poisons the site
+    /// (reported to the next client) instead of panicking the thread.
+    fn machine_input(&mut self, input: Input) -> Vec<ProtoCommand> {
+        match self.machine.on_input(input) {
+            Ok(cmds) => cmds,
+            Err(e) => {
+                self.poisoned.get_or_insert(e);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Carry out machine commands in order. Commands whose completion
+    /// the machine waits for (`Apply`, `Prepare`) finish synchronously
+    /// here, and their completion inputs' follow-up commands run
+    /// depth-first — preserving the apply-then-forward order per
+    /// subtransaction that per-link FIFO commit order relies on.
+    fn run_commands(&mut self, cmds: Vec<ProtoCommand>) {
+        let mut work: VecDeque<ProtoCommand> = cmds.into();
+        while let Some(cmd) = work.pop_front() {
+            let responses = match cmd {
+                ProtoCommand::Send { to, payload } => {
+                    self.note_sent(to, &payload);
+                    self.net.send(self.id, to, payload);
+                    Vec::new()
+                }
+                ProtoCommand::Apply { gid, writes } => {
+                    if !writes.is_empty() {
+                        self.commit_replica_txn(gid, &writes);
+                    }
+                    self.machine_input(Input::Applied { gid })
+                }
+                // A serial site holds no locks: preparing is pure
+                // bookkeeping (the machine retains the writes), so the
+                // completion report is immediate.
+                ProtoCommand::Prepare { gid, .. } => self.machine_input(Input::Prepared { gid }),
+                ProtoCommand::CommitPrepared { gid, writes } => {
+                    if !writes.is_empty() {
+                        self.commit_replica_txn(gid, &writes);
+                    }
+                    Vec::new()
+                }
+                ProtoCommand::AbortPrepared { .. } => Vec::new(),
+                ProtoCommand::CommitLocal { gid } => {
+                    self.home = Some(gid);
+                    Vec::new()
+                }
+                // Serial sites cannot deadlock inside the eager phase;
+                // the wait loop already watches the crash flag.
+                ProtoCommand::ArmEagerTimeout { .. } => Vec::new(),
+            };
+            for r in responses.into_iter().rev() {
+                work.push_front(r);
+            }
+        }
+    }
+
+    /// Refresh the DAG(T) idle-tracking when a real subtransaction (or
+    /// dummy) goes out to a copy-graph child.
+    fn note_sent(&mut self, to: SiteId, payload: &Payload) {
+        if let (Some(t), Payload::Subtxn(_)) = (self.timers.as_mut(), payload) {
+            if let Some(i) = t.children.iter().position(|&c| c == to) {
+                t.last_sent[i] = Instant::now();
+            }
+        }
+    }
+
+    /// The shared "apply at a replica" step: one local txn over the
+    /// writes this site holds copies of, a WAL record, and one tick off
+    /// the cluster-wide outstanding counter.
+    fn commit_replica_txn(&mut self, gid: GlobalTxnId, writes: &[(ItemId, Value)]) {
+        let txn = self.store.begin();
+        for (item, value) in writes {
+            self.store.write(txn, *item, value.clone(), gid).expect("serial site: no conflicts");
+        }
+        self.store.commit(txn).expect("commit secondary");
+        self.durable.lock().wal.append_commit(gid, writes);
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+
     /// Run `ops` as one local transaction; returns the write set and
     /// read set of the commit.
     fn run_local_txn(&mut self, ops: &[Op], gid: GlobalTxnId) -> (Writes, Reads) {
@@ -325,7 +437,7 @@ impl SiteRuntime {
     /// be applied elsewhere, so readers-from always find the writer.
     fn finish_commit(&mut self, gid: GlobalTxnId, reads: Reads, writes: &[(ItemId, Value)]) {
         self.durable.lock().wal.append_commit(gid, writes);
-        let dests = self.destinations(writes);
+        let dests = destinations(&self.placement, self.id, writes);
         {
             let mut h = self.history.lock();
             h.record_commit(gid, reads, writes.iter().map(|(i, _)| *i).collect());
@@ -333,164 +445,15 @@ impl SiteRuntime {
         self.outstanding.fetch_add(dests.len() as i64, Ordering::SeqCst);
     }
 
-    fn destinations(&self, writes: &[(ItemId, Value)]) -> Vec<SiteId> {
-        let mut dests: Vec<SiteId> = writes
-            .iter()
-            .flat_map(|(item, _)| self.placement.replicas_of(*item).iter().copied())
-            .filter(|&s| s != self.id)
-            .collect();
-        dests.sort_unstable();
-        dests.dedup();
-        dests
-    }
-
-    fn propagate(&mut self, gid: GlobalTxnId, writes: Vec<(ItemId, Value)>) {
-        let dests = self.destinations(&writes);
-        if dests.is_empty() {
-            return;
-        }
-        match self.protocol {
-            RuntimeProtocol::NaiveLazy => {
-                // Indiscriminate: straight to every replica holder. The
-                // per-link FIFO of the wire does NOT order deliveries
-                // *across* links — exactly the Example 1.1 race.
-                for d in dests {
-                    let sub = Subtxn {
-                        gid,
-                        origin: self.id,
-                        kind: SubtxnKind::Normal,
-                        ts: None,
-                        writes: self.filtered_writes(&writes, d),
-                        dest_sites: vec![d],
-                    };
-                    self.net.send(self.id, d, Payload::Subtxn(sub));
-                }
-            }
-            RuntimeProtocol::DagWt | RuntimeProtocol::BackEdge => {
-                let sub = Subtxn {
-                    gid,
-                    origin: self.id,
-                    kind: SubtxnKind::Normal,
-                    ts: None,
-                    writes,
-                    dest_sites: dests,
-                };
-                self.forward_down_tree(&sub);
-            }
-            RuntimeProtocol::DagT => {
-                // §3: stamp with the post-commit site timestamp and send
-                // directly (copy-graph edges, not tree routing).
-                let ts = {
-                    let d = self.dagt.as_mut().expect("DAG(T) state");
-                    d.lts += 1;
-                    d.site_ts.bump_local(self.id);
-                    d.site_ts.clone()
-                };
-                let now = Instant::now();
-                for dst in dests {
-                    let sub = Subtxn {
-                        gid,
-                        origin: self.id,
-                        kind: SubtxnKind::Normal,
-                        ts: Some(ts.clone()),
-                        writes: self.filtered_writes(&writes, dst),
-                        dest_sites: vec![dst],
-                    };
-                    self.net.send(self.id, dst, Payload::Subtxn(sub));
-                    let d = self.dagt.as_mut().expect("DAG(T) state");
-                    if let Some(i) = d.children.iter().position(|&c| c == dst) {
-                        d.last_sent[i] = now;
-                    }
-                }
-            }
-        }
-    }
-
-    fn filtered_writes(&self, writes: &[(ItemId, Value)], dest: SiteId) -> Vec<(ItemId, Value)> {
-        writes.iter().filter(|(i, _)| self.placement.has_copy(dest, *i)).cloned().collect()
-    }
-
-    fn forward_down_tree(&self, sub: &Subtxn) {
-        let tree = self.tree.as_ref().expect("tree-routed protocol has a tree");
-        for child in tree.relevant_children(self.id, &sub.dest_sites) {
-            self.net.send(self.id, child, Payload::Subtxn(sub.clone()));
-        }
-    }
-
-    /// §4 eager phase: route a special subtransaction to the farthest
-    /// ancestor destination, let it snake back down the tree path
-    /// preparing each site, and commit at home only once it returns —
-    /// at that point every ancestor destination has the writes prepared
-    /// *behind* all earlier traffic on the same tree links, so no later
-    /// reader above us can miss this update.
-    fn execute_eager(
-        &mut self,
-        ops: Vec<Op>,
-        planned: Vec<(ItemId, Value)>,
-        dests: Vec<SiteId>,
-        ancestors: Vec<SiteId>,
-        tree: &PropagationTree,
-    ) -> Result<GlobalTxnId, ClusterError> {
-        let gid = self.fresh_gid();
-        let farthest = ancestors
-            .iter()
-            .copied()
-            .min_by_key(|&a| (tree.depth(a), a))
-            .expect("non-empty ancestors");
-        // The decision recipients: the whole tree path from the farthest
-        // ancestor back down to (excluding) this site.
-        let mut path = vec![farthest];
-        let mut cur = farthest;
-        while let Some(next) = tree.next_hop_toward(cur, self.id) {
-            if next == self.id {
-                break;
-            }
-            path.push(next);
-            cur = next;
-        }
-        let special = Subtxn {
-            gid,
-            origin: self.id,
-            kind: SubtxnKind::Special,
-            ts: None,
-            writes: planned,
-            dest_sites: Vec::new(),
-        };
-        self.net.send(self.id, farthest, Payload::Subtxn(special));
-        if !self.wait_for_home(gid) {
-            // Crashed or torn down mid-phase; the transaction never
-            // committed anywhere (prepared writes are not applied
-            // without a decision).
-            return Err(ClusterError::Disconnected);
-        }
-        let (writes, reads) = self.run_local_txn(&ops, gid);
-        self.finish_commit(gid, reads, &writes);
-        for p in path {
-            self.net.send(self.id, p, Payload::Decision { gid, commit: true });
-        }
-        let descendants: Vec<SiteId> =
-            dests.into_iter().filter(|&d| tree.is_ancestor(self.id, d)).collect();
-        if !descendants.is_empty() {
-            let sub = Subtxn {
-                gid,
-                origin: self.id,
-                kind: SubtxnKind::Normal,
-                ts: None,
-                writes,
-                dest_sites: descendants,
-            };
-            self.forward_down_tree(&sub);
-        }
-        Ok(gid)
-    }
-
-    /// Serve the inbox until our special returns home. Client
-    /// transactions and shutdown are deferred (the site is inside a
-    /// commit); link traffic, reads and snapshots proceed. Returns
-    /// false if the site was crashed or torn down while waiting.
+    /// Serve the inbox until our special returns home (§4: the machine
+    /// emits `CommitLocal` when it pops our special off the FIFO
+    /// queue). Client transactions and shutdown are deferred (the site
+    /// is inside a commit); link traffic, reads and snapshots proceed.
+    /// Returns false if the site was crashed or torn down while
+    /// waiting.
     fn wait_for_home(&mut self, gid: GlobalTxnId) -> bool {
         loop {
-            if self.backedge.as_mut().expect("BackEdge state").home.take() == Some(gid) {
+            if self.home.take() == Some(gid) {
                 return true;
             }
             if self.crashed.load(Ordering::SeqCst) {
@@ -539,142 +502,9 @@ impl SiteRuntime {
             }
             d.applied_from[from.index()] = seq;
         }
-        match payload {
-            Payload::Subtxn(sub) => match sub.kind {
-                SubtxnKind::Normal if self.protocol == RuntimeProtocol::DagT => {
-                    self.dagt_enqueue(from, sub);
-                    self.pump_dagt();
-                }
-                SubtxnKind::Dummy => {
-                    self.dagt_enqueue(from, sub);
-                    self.pump_dagt();
-                }
-                SubtxnKind::Normal => self.apply_normal(&sub),
-                SubtxnKind::Special => self.apply_special(sub),
-            },
-            Payload::Decision { gid, commit } => self.apply_decision(gid, commit),
-        }
+        let cmds = self.machine_input(Input::Deliver { from, payload });
+        self.run_commands(cmds);
         self.net.ack_received(from, self.id, seq);
-    }
-
-    /// Commit a normal secondary subtransaction locally and, under
-    /// tree-routed protocols, forward it to relevant children; commit
-    /// order per parent is arrival order because the site is serial.
-    fn apply_normal(&mut self, sub: &Subtxn) {
-        debug_assert!(
-            sub.writes.iter().all(|(item, _)| self.placement.primary_of(*item) == sub.origin),
-            "subtransaction carries writes the origin does not own"
-        );
-        self.apply_secondary_writes(sub);
-        if matches!(self.protocol, RuntimeProtocol::DagWt | RuntimeProtocol::BackEdge) {
-            self.forward_down_tree(sub);
-        }
-    }
-
-    /// The shared "apply at a replica" step: one local txn over the
-    /// writes this site holds copies of, a WAL record, and one tick off
-    /// the cluster-wide outstanding counter.
-    fn apply_secondary_writes(&mut self, sub: &Subtxn) {
-        let applicable = self.filtered_writes(&sub.writes, self.id);
-        if applicable.is_empty() {
-            return;
-        }
-        let txn = self.store.begin();
-        for (item, value) in &applicable {
-            self.store
-                .write(txn, *item, value.clone(), sub.gid)
-                .expect("serial site: no conflicts");
-        }
-        self.store.commit(txn).expect("commit secondary");
-        self.durable.lock().wal.append_commit(sub.gid, &applicable);
-        self.outstanding.fetch_sub(1, Ordering::SeqCst);
-    }
-
-    /// §4: a special subtransaction either returned home (wake the
-    /// waiting primary) or is passing through — prepare its writes and
-    /// forward it one hop further down the path toward its origin.
-    fn apply_special(&mut self, sub: Subtxn) {
-        if sub.origin == self.id {
-            let b = self.backedge.as_mut().expect("BackEdge state");
-            debug_assert!(b.home.is_none(), "one eager phase at a time per site");
-            b.home = Some(sub.gid);
-            return;
-        }
-        let applicable = self.filtered_writes(&sub.writes, self.id);
-        self.backedge.as_mut().expect("BackEdge state").prepared.insert(sub.gid, applicable);
-        let tree = self.tree.as_ref().expect("BackEdge runtime has a tree");
-        let next = tree
-            .next_hop_toward(self.id, sub.origin)
-            .expect("special travels the tree path to its origin");
-        self.net.send(self.id, next, Payload::Subtxn(sub));
-    }
-
-    /// §4: the origin's decision for a prepared special. Only commits
-    /// are ever sent — sites are serial, so the eager phase cannot
-    /// deadlock and nothing aborts.
-    fn apply_decision(&mut self, gid: GlobalTxnId, commit: bool) {
-        let Some(writes) = self.backedge.as_mut().expect("BackEdge state").prepared.remove(&gid)
-        else {
-            return;
-        };
-        if !commit || writes.is_empty() {
-            return;
-        }
-        let txn = self.store.begin();
-        for (item, value) in &writes {
-            self.store.write(txn, *item, value.clone(), gid).expect("serial site: no conflicts");
-        }
-        self.store.commit(txn).expect("commit prepared special");
-        self.durable.lock().wal.append_commit(gid, &writes);
-        self.outstanding.fetch_sub(1, Ordering::SeqCst);
-    }
-
-    /// §3: queue an inbound subtransaction on its copy-graph-parent
-    /// queue. Every DAG(T) sender is a copy-graph parent of every
-    /// destination it sends to.
-    fn dagt_enqueue(&mut self, from: SiteId, sub: Subtxn) {
-        let d = self.dagt.as_mut().expect("DAG(T) state");
-        if let Some((_, q)) = d.in_queues.iter_mut().find(|(p, _)| *p == from) {
-            q.push_back(sub);
-        } else {
-            debug_assert!(false, "DAG(T) subtransaction from a non-parent site");
-        }
-    }
-
-    /// §3 merge: while every parent queue is non-empty, consume the
-    /// minimum-timestamp head (strict order; ties fall to the lowest
-    /// queue index, matching the simulation engine exactly).
-    fn pump_dagt(&mut self) {
-        loop {
-            let best = {
-                let d = self.dagt.as_ref().expect("DAG(T) state");
-                if d.in_queues.is_empty() || d.in_queues.iter().any(|(_, q)| q.is_empty()) {
-                    return;
-                }
-                let mut best = 0usize;
-                for i in 1..d.in_queues.len() {
-                    let ts_i = dagt_head_ts(&d.in_queues[i].1);
-                    let ts_b = dagt_head_ts(&d.in_queues[best].1);
-                    if ts_i < ts_b {
-                        best = i;
-                    }
-                }
-                best
-            };
-            let sub = self.dagt.as_mut().expect("DAG(T) state").in_queues[best]
-                .1
-                .pop_front()
-                .expect("checked non-empty");
-            let ts = sub.ts.clone().expect("DAG(T) subtransaction carries a timestamp");
-            if sub.kind == SubtxnKind::Normal {
-                self.apply_secondary_writes(&sub);
-            }
-            let d = self.dagt.as_mut().expect("DAG(T) state");
-            let new_ts = ts.concat_site(self.id, d.lts, ts.epoch);
-            if new_ts > d.site_ts {
-                d.site_ts = new_ts;
-            }
-        }
     }
 
     /// Every copy this site holds, ascending by item, with value and
@@ -692,21 +522,4 @@ impl SiteRuntime {
             .collect();
         repl_net::encode_cells(&cells)
     }
-}
-
-fn dagt_head_ts(q: &VecDeque<Subtxn>) -> &Timestamp {
-    q.front().and_then(|s| s.ts.as_ref()).expect("DAG(T) queue heads are timestamped")
-}
-
-/// The transaction's write set as known before execution: last write
-/// per item wins, ascending item order (deterministic across
-/// deployments).
-fn planned_writes(ops: &[Op]) -> Vec<(ItemId, Value)> {
-    let mut map: BTreeMap<ItemId, Value> = BTreeMap::new();
-    for op in ops {
-        if op.kind == OpKind::Write {
-            map.insert(op.item, op.value.clone());
-        }
-    }
-    map.into_iter().collect()
 }

@@ -44,7 +44,7 @@ use crate::chan::{traced_unbounded, TracedSender};
 use crate::cluster::{build_structure, recovered_store, ClusterError, RuntimeProtocol};
 use crate::durable::DurableSite;
 use crate::link::Links;
-use crate::site::{BackedgeState, Command, DagtState, LinkMsg, SiteRuntime};
+use crate::site::{Command, LinkMsg, SiteSetup};
 use crate::transport::{Net, RawTransport};
 
 /// Dialer poll interval: how often missing peer connections are retried.
@@ -162,14 +162,23 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
     let history = Arc::new(Mutex::new(History::new()));
     let outstanding = Arc::new(AtomicI64::new(0));
     let crashed = Arc::new(AtomicBool::new(false));
+    let shared_placement = Arc::new(cfg.placement.clone());
+
+    // Built here, before the site thread spawns, so a structural
+    // protocol violation aborts `repld` startup with a typed error.
+    let setup = SiteSetup::new(
+        cfg.site,
+        cfg.protocol,
+        shared_placement.clone(),
+        structure.graph.clone(),
+        structure.tree.clone(),
+    )
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
 
     let (site_tx, site_rx) = traced_unbounded();
     let site_thread = {
-        let placement = cfg.placement.clone();
+        let placement = shared_placement;
         let site = cfg.site;
-        let protocol = cfg.protocol;
-        let tree = structure.tree.clone();
-        let graph = structure.graph.clone();
         let net = net.clone();
         let history = history.clone();
         let outstanding = outstanding.clone();
@@ -179,23 +188,18 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
             .name(format!("site-{}", site.0))
             .spawn(move || {
                 let store = recovered_store(&placement, site, &durable.lock().wal);
-                let runtime = SiteRuntime {
-                    id: site,
-                    store,
-                    rx: site_rx,
-                    net,
-                    protocol,
-                    tree,
-                    placement: Arc::new(placement),
-                    history,
-                    outstanding,
-                    durable,
-                    crashed,
-                    dagt: (protocol == RuntimeProtocol::DagT).then(|| DagtState::new(site, &graph)),
-                    backedge: (protocol == RuntimeProtocol::BackEdge).then(BackedgeState::default),
-                    pending: Default::default(),
-                };
-                runtime.run()
+                setup
+                    .into_runtime(
+                        store,
+                        site_rx,
+                        net,
+                        placement,
+                        history,
+                        outstanding,
+                        durable,
+                        crashed,
+                    )
+                    .run()
             })
             .expect("spawn site thread")
     };

@@ -1,0 +1,331 @@
+//! The differential matrix: one seeded workload, three deployments.
+//!
+//! Since the propagation decisions of every protocol live in one shared
+//! sans-I/O [`repl_protocol::SiteMachine`], the discrete-event simulator,
+//! the in-process channel cluster, and a process-per-site loopback TCP
+//! cluster must all end in **byte-identical** final copy state — same
+//! values, same writer transaction ids, same wire encoding — for every
+//! protocol on every placement.
+//!
+//! The workloads are conflict-free by construction (write-only, one
+//! submitting thread per site, each site writing only its own primary
+//! items), so the final state is fixed by the per-site submission order
+//! alone: simulated lock schedules, OS thread interleavings, and TCP
+//! framing may differ, the bytes may not. A run where the engine and the
+//! runtime drifted apart — a gid allocated differently, a write set
+//! filtered differently, a subtransaction routed to the wrong place —
+//! shows up here as a byte diff.
+//!
+//! `tools/ci.sh` runs this file as an explicit gate after the build.
+
+use std::path::Path;
+
+use repl_copygraph::DataPlacement;
+use repl_core::config::{ProtocolKind, SimParams};
+use repl_core::engine::Engine;
+use repl_net::{decode_cells, encode_cells};
+use repl_runtime::{Cluster, ProcCluster, RuntimeProtocol};
+use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
+
+fn repld() -> &'static Path {
+    Path::new(env!("CARGO_BIN_EXE_repld"))
+}
+
+// ---------------------------------------------------------------------
+// Seeded topologies.
+// ---------------------------------------------------------------------
+
+/// Three sites, forward edges only: 0 → {1,2}, 1 → 2. Valid for every
+/// protocol (site numbering is topological).
+fn fan_placement() -> DataPlacement {
+    let mut p = DataPlacement::new(3);
+    p.add_item(SiteId(0), &[SiteId(1), SiteId(2)]);
+    p.add_item(SiteId(1), &[SiteId(2)]);
+    p.add_item(SiteId(0), &[SiteId(2)]);
+    p.add_item(SiteId(2), &[]);
+    p
+}
+
+/// Four sites in a diamond: 0 → {1,2} → 3, plus a 1 → 2 chord. Deeper
+/// routing, multiple parents at 2 and 3 (exercises DAG(T)'s per-parent
+/// merge).
+fn diamond_placement() -> DataPlacement {
+    let mut p = DataPlacement::new(4);
+    p.add_item(SiteId(0), &[SiteId(1), SiteId(2)]);
+    p.add_item(SiteId(0), &[SiteId(3)]);
+    p.add_item(SiteId(1), &[SiteId(2), SiteId(3)]);
+    p.add_item(SiteId(2), &[SiteId(3)]);
+    p.add_item(SiteId(1), &[SiteId(3)]);
+    p.add_item(SiteId(3), &[]);
+    p
+}
+
+/// Three sites with the backedge 2 → 0: exercises BackEdge's eager
+/// special phase (and NaiveLazy's indifference to cycles).
+fn cyclic_placement() -> DataPlacement {
+    let mut p = DataPlacement::new(3);
+    p.add_item(SiteId(0), &[SiteId(1), SiteId(2)]);
+    p.add_item(SiteId(1), &[SiteId(2)]);
+    p.add_item(SiteId(2), &[SiteId(0)]);
+    p
+}
+
+// ---------------------------------------------------------------------
+// Seeded conflict-free programs.
+// ---------------------------------------------------------------------
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One thread per site; each transaction writes one or two of the
+/// site's *own primary* items with seed-derived values. No item is ever
+/// written by two sites, so all three deployments are order-equivalent.
+fn programs(placement: &DataPlacement, txns_per_site: u32, seed: u64) -> Vec<Vec<Vec<Vec<Op>>>> {
+    let mut state = seed;
+    (0..placement.num_sites())
+        .map(|s| {
+            let primaries = placement.primaries_at(SiteId(s));
+            let txns: Vec<Vec<Op>> = if primaries.is_empty() {
+                Vec::new()
+            } else {
+                (0..txns_per_site)
+                    .map(|_| {
+                        let width = 1 + (splitmix64(&mut state) % 2) as usize;
+                        let mut ops: Vec<Op> = Vec::new();
+                        for _ in 0..width {
+                            let item = primaries[splitmix64(&mut state) as usize % primaries.len()];
+                            let value = (splitmix64(&mut state) % 100_000) as i64;
+                            if !ops.iter().any(|o| o.item == item) {
+                                ops.push(Op::write(item, value));
+                            }
+                        }
+                        ops
+                    })
+                    .collect()
+            };
+            vec![txns]
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// The three deployments.
+// ---------------------------------------------------------------------
+
+/// Run the programs through the discrete-event simulator and serialize
+/// each site's copy state with the shared wire codec — the same bytes
+/// `Cluster::copy_state` / `ProcCluster::copy_state` produce.
+fn sim_final_state(
+    placement: &DataPlacement,
+    protocol: ProtocolKind,
+    progs: &[Vec<Vec<Vec<Op>>>],
+    txns_per_site: u32,
+) -> Vec<bytes::Bytes> {
+    let mut params = SimParams::quick_test(protocol);
+    params.threads_per_site = 1;
+    params.txns_per_thread = txns_per_site;
+    // The runtime's `wait_for_home` has no timeout, so a sim-side eager
+    // timeout (which retries under a fresh gid) would skew the writer
+    // ids. The workload is conflict-free; the timeout can never be
+    // load-bearing here.
+    params.eager_wait_timeout_factor = 1_000_000;
+    let mut engine = Engine::new(placement, &params, progs.to_vec()).expect("engine builds");
+    let report = engine.run();
+    assert!(!report.stalled, "{protocol:?} sim stalled");
+    assert_eq!(report.summary.incomplete_propagations, 0);
+    assert_eq!(report.summary.aborts, 0, "{protocol:?}: conflict-free workload aborted");
+    (0..placement.num_sites())
+        .map(|s| {
+            let site = SiteId(s);
+            let mut items: Vec<ItemId> = placement.items_at(site).to_vec();
+            items.sort_unstable();
+            let cells: Vec<(ItemId, Value, Option<GlobalTxnId>)> = items
+                .into_iter()
+                .map(|i| {
+                    let (value, writer) = engine.value_at(site, i).expect("copy exists");
+                    (i, value, writer)
+                })
+                .collect();
+            encode_cells(&cells)
+        })
+        .collect()
+}
+
+/// Round-robin the programs through the in-process channel cluster.
+fn channel_final_state(
+    placement: &DataPlacement,
+    protocol: RuntimeProtocol,
+    progs: &[Vec<Vec<Vec<Op>>>],
+) -> Vec<bytes::Bytes> {
+    let cluster = Cluster::start(placement, protocol).unwrap();
+    let rounds = progs.iter().map(|site| site[0].len()).max().unwrap_or(0);
+    for round in 0..rounds {
+        for (site, prog) in progs.iter().enumerate() {
+            if let Some(ops) = prog[0].get(round) {
+                if !ops.is_empty() {
+                    cluster.execute(SiteId(site as u32), ops.clone()).unwrap();
+                }
+            }
+        }
+    }
+    cluster.quiesce();
+    let states = (0..placement.num_sites())
+        .map(|s| cluster.copy_state(SiteId(s)).expect("copy state"))
+        .collect();
+    cluster.shutdown();
+    states
+}
+
+/// Same programs on one `repld` OS process per site over loopback TCP.
+fn tcp_final_state(
+    placement: &DataPlacement,
+    protocol: RuntimeProtocol,
+    progs: &[Vec<Vec<Vec<Op>>>],
+) -> Vec<bytes::Bytes> {
+    let cluster = ProcCluster::launch_with_bin(repld(), placement, protocol).unwrap();
+    let rounds = progs.iter().map(|site| site[0].len()).max().unwrap_or(0);
+    for round in 0..rounds {
+        for (site, prog) in progs.iter().enumerate() {
+            if let Some(ops) = prog[0].get(round) {
+                if !ops.is_empty() {
+                    cluster
+                        .execute(SiteId(site as u32), ops.clone())
+                        .expect("client io")
+                        .expect("commit");
+                }
+            }
+        }
+    }
+    cluster.quiesce();
+    let states = (0..placement.num_sites())
+        .map(|s| cluster.copy_state(SiteId(s)).expect("copy state"))
+        .collect();
+    cluster.shutdown();
+    states
+}
+
+// ---------------------------------------------------------------------
+// The matrix.
+// ---------------------------------------------------------------------
+
+/// Number of transactions per site; `DIFF_MATRIX_TXNS` overrides (the
+/// ci.sh quick gate and soak runs tune this without a rebuild).
+fn txns_per_site() -> u32 {
+    std::env::var("DIFF_MATRIX_TXNS").ok().and_then(|v| v.parse().ok()).unwrap_or(10)
+}
+
+/// Byte equality with a decoded cell-level diff on failure.
+fn assert_states_identical(label: &str, other: &str, a: &[bytes::Bytes], b: &[bytes::Bytes]) {
+    if a == b {
+        return;
+    }
+    for (s, (x, y)) in a.iter().zip(b).enumerate() {
+        if x != y {
+            let xc = decode_cells(x.clone()).expect("sim image decodes");
+            let yc = decode_cells(y.clone()).expect("cluster image decodes");
+            for (cx, cy) in xc.iter().zip(&yc) {
+                if cx != cy {
+                    eprintln!("{label}: site {s}: sim {cx:?} vs {other} {cy:?}");
+                }
+            }
+        }
+    }
+    panic!("{label}: sim and {other} final copy state differ");
+}
+
+fn assert_matrix_cell(
+    label: &str,
+    placement: &DataPlacement,
+    sim: ProtocolKind,
+    runtime: RuntimeProtocol,
+    seed: u64,
+) {
+    let txns = txns_per_site();
+    let progs = programs(placement, txns, seed);
+    let sim_state = sim_final_state(placement, sim, &progs, txns);
+    let chan_state = channel_final_state(placement, runtime, &progs);
+    assert_states_identical(label, "channel cluster", &sim_state, &chan_state);
+    let tcp_state = tcp_final_state(placement, runtime, &progs);
+    assert_states_identical(label, "TCP cluster", &sim_state, &tcp_state);
+    // Non-degenerate: the workload must actually have written something.
+    assert!(sim_state.iter().any(|b| b.len() > 4), "{label}: empty workload");
+}
+
+#[test]
+fn naive_lazy_matrix() {
+    assert_matrix_cell(
+        "naive-lazy/fan",
+        &fan_placement(),
+        ProtocolKind::NaiveLazy,
+        RuntimeProtocol::NaiveLazy,
+        0xD1F1,
+    );
+    assert_matrix_cell(
+        "naive-lazy/diamond",
+        &diamond_placement(),
+        ProtocolKind::NaiveLazy,
+        RuntimeProtocol::NaiveLazy,
+        0xD1F2,
+    );
+}
+
+#[test]
+fn dag_wt_matrix() {
+    assert_matrix_cell(
+        "dag-wt/fan",
+        &fan_placement(),
+        ProtocolKind::DagWt,
+        RuntimeProtocol::DagWt,
+        0xD1F3,
+    );
+    assert_matrix_cell(
+        "dag-wt/diamond",
+        &diamond_placement(),
+        ProtocolKind::DagWt,
+        RuntimeProtocol::DagWt,
+        0xD1F4,
+    );
+}
+
+#[test]
+fn dag_t_matrix() {
+    assert_matrix_cell(
+        "dag-t/fan",
+        &fan_placement(),
+        ProtocolKind::DagT,
+        RuntimeProtocol::DagT,
+        0xD1F5,
+    );
+    assert_matrix_cell(
+        "dag-t/diamond",
+        &diamond_placement(),
+        ProtocolKind::DagT,
+        RuntimeProtocol::DagT,
+        0xD1F6,
+    );
+}
+
+#[test]
+fn backedge_matrix() {
+    // A DAG placement (degenerates to lazy tree routing) and a cyclic
+    // one (forces the eager special phase).
+    assert_matrix_cell(
+        "backedge/fan",
+        &fan_placement(),
+        ProtocolKind::BackEdge,
+        RuntimeProtocol::BackEdge,
+        0xD1F7,
+    );
+    assert_matrix_cell(
+        "backedge/cyclic",
+        &cyclic_placement(),
+        ProtocolKind::BackEdge,
+        RuntimeProtocol::BackEdge,
+        0xD1F8,
+    );
+}

@@ -10,7 +10,7 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> replint (determinism lint over sim/core/copygraph)"
+echo "==> replint (determinism lint over sim/core/copygraph + sans-I/O gate on protocol)"
 cargo run -q -p repl-analysis --bin replint
 
 echo "==> cargo build --release"
@@ -18,6 +18,9 @@ cargo build --release
 
 echo "==> cargo test"
 cargo test -q
+
+echo "==> differential matrix gate (sim vs channel vs TCP, quick)"
+DIFF_MATRIX_TXNS=6 cargo test -q -p repl-runtime --test differential_matrix
 
 echo "==> smoke sweep (quick fig2a on the 4-worker pool, cache off)"
 REPRO_SCALE=quick REPRO_WORKERS=4 REPRO_NO_CACHE=1 ./target/release/fig2a > /dev/null
