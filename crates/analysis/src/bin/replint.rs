@@ -1,12 +1,17 @@
-//! `replint` — the determinism lint gate.
+//! `replint` — the determinism and panic-freedom lint gate.
 //!
-//! Usage: `cargo run -p repl-analysis --bin replint [--json] [DIR…]`
+//! Usage: `cargo run -p repl-analysis --bin replint [--json] [PATH…]`
 //!
-//! Recursively scans every `.rs` file under the given directories
-//! (default: `crates/sim crates/core crates/copygraph crates/protocol`,
-//! the crates whose behaviour must be a pure function of their inputs)
-//! with the rules of [`repl_analysis::detlint`]. Exits 1 if any finding
-//! is produced, 0 on a clean tree.
+//! Recursively scans every `.rs` file under the given paths (a path may
+//! also name a single file). The default set covers the crates whose
+//! behaviour must be a pure function of their inputs (`crates/sim`,
+//! `crates/core`, `crates/copygraph`, `crates/protocol`, plus the model
+//! checker and history oracle in `crates/analysis`) with the
+//! determinism rules, and the long-running runtime crates
+//! (`crates/runtime`, `crates/net`) with the panic-freedom rule — see
+//! [`repl_analysis::detlint`] for the path classification. Exits 1 if
+//! any error-severity finding is produced; warnings (stale
+//! suppressions, RL000) are printed but do not fail the gate.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -16,27 +21,40 @@ use repl_analysis::diag::Diagnostic;
 
 fn main() {
     let mut json = false;
-    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut paths: Vec<PathBuf> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
             "--help" | "-h" => {
-                eprintln!("usage: replint [--json] [DIR...]");
+                eprintln!("usage: replint [--json] [PATH...]");
                 return;
             }
-            other => dirs.push(PathBuf::from(other)),
+            other => paths.push(PathBuf::from(other)),
         }
     }
-    if dirs.is_empty() {
-        dirs = ["crates/sim", "crates/core", "crates/copygraph", "crates/protocol"]
-            .iter()
-            .map(PathBuf::from)
-            .collect();
+    if paths.is_empty() {
+        paths = [
+            "crates/sim",
+            "crates/core",
+            "crates/copygraph",
+            "crates/protocol",
+            "crates/analysis/src/mc",
+            "crates/analysis/src/history.rs",
+            "crates/runtime",
+            "crates/net",
+        ]
+        .iter()
+        .map(PathBuf::from)
+        .collect();
     }
 
     let mut files = Vec::new();
-    for dir in &dirs {
-        collect_rs_files(dir, &mut files);
+    for path in &paths {
+        if path.is_file() {
+            files.push(path.clone());
+        } else {
+            collect_rs_files(path, &mut files);
+        }
     }
     files.sort();
 
@@ -52,17 +70,18 @@ fn main() {
         }
     }
 
+    let errors = diags.iter().filter(|d| d.severity == repl_analysis::Severity::Error).count();
     if json {
         println!("{}", serde::to_json(&diags));
     } else {
         print!("{}", repl_analysis::render(&diags));
         eprintln!(
-            "replint: scanned {scanned} files in {} dir(s), {} finding(s)",
-            dirs.len(),
+            "replint: scanned {scanned} files in {} path(s), {} finding(s) ({errors} error(s))",
+            paths.len(),
             diags.len()
         );
     }
-    if !diags.is_empty() {
+    if errors > 0 {
         std::process::exit(1);
     }
 }

@@ -3,11 +3,12 @@
 //! Simulation results must be a pure function of their seeds; the paper's
 //! experiments are only reproducible if no wall-clock time, ambient
 //! randomness, or hash-order iteration leaks into the simulator. The
-//! `replint` binary runs these rules over `crates/sim`, `crates/core` and
-//! `crates/copygraph`:
+//! `replint` binary runs these rules over the deterministic crates, and a
+//! separate panic-freedom rule over the long-running runtime crates:
 //!
 //! | code  | rejects |
 //! |-------|---------|
+//! | RL000 | (warning) a `replint: allow(…)` comment that matches no diagnostic |
 //! | RL001 | `SystemTime::now` |
 //! | RL002 | `Instant::now` |
 //! | RL003 | `thread_rng` / `rand::rng()` (ambient, unseeded RNGs) |
@@ -15,12 +16,20 @@
 //! | RL005 | entropy-seeded RNG construction (`from_entropy`, `from_os_rng`, `OsRng`, `getrandom`) |
 //! | RL006 | blocking network I/O (`std::net`, `TcpStream`, `TcpListener`, `UdpSocket`) |
 //! | RL007 | any I/O, threading, or clock import inside `crates/protocol` |
+//! | RL008 | `unwrap`/`expect`/`panic!`/`unreachable!` in non-test runtime code |
+//!
+//! Files are classified by path ([`FileClass`]): paths under
+//! `crates/runtime` or `crates/net` get only the panic-freedom rule
+//! RL008 (they legitimately own sockets, clocks and threads — a
+//! long-running site process just must not die on a stray `unwrap`);
+//! every other path gets the determinism rules, and paths under
+//! `crates/protocol` additionally get the sans-I/O rule RL007.
 //!
 //! RL006 keeps real sockets out of the deterministic layers: the
-//! simulator models the network in virtual time, so any code under
-//! `crates/sim`, `crates/core` or `crates/copygraph` that touches
-//! `std::net` both blocks on real I/O and injects wall-clock timing into
-//! results. Socket code belongs in `repl-net`/`repl-runtime`.
+//! simulator models the network in virtual time, so any code under the
+//! deterministic crates that touches `std::net` both blocks on real I/O
+//! and injects wall-clock timing into results. Socket code belongs in
+//! `repl-net`/`repl-runtime`.
 //!
 //! RL007 enforces the sans-I/O contract of `repl-protocol`: the crate is
 //! the single propagation state machine shared by the simulator and the
@@ -31,94 +40,226 @@
 //!
 //! RL004 is a heuristic: the scanner collects names declared with a
 //! `HashMap<…>`/`HashSet<…>` type ascription in the same file and flags
-//! `.iter()`, `.keys()`, `.values()`, `.drain()`, `.into_iter()` calls on
-//! those names as well as `for … in &name` loops. A deliberate unordered
-//! iteration (e.g. one whose results are re-sorted) is silenced with
-//! `// replint: allow(hash-iter)` on the same line or the line above.
-//! Comment-only lines are never flagged.
+//! iteration calls (`.iter()`, `.keys()`, `.values()`, `.drain()`,
+//! `.into_keys()`, `.into_values()`, …) on those names — directly,
+//! through a chain of intermediate calls (`m.lock().keys()`), on a
+//! continuation line of a builder-style chain, and in `for … in &name`
+//! loops. Comment-only lines are never flagged.
+//!
+//! RL008 skips `#[cfg(test)]` regions (tracked by brace depth): tests
+//! may unwrap freely, the site loop may not.
+//!
+//! Any rule is silenced for one finding with a suppression comment on
+//! the same line or the line above: `// replint: allow(RL004)` (several
+//! codes comma-separated; the historical spelling `allow(hash-iter)` is
+//! an alias for RL004). Suppressions that match no diagnostic are
+//! themselves reported as RL000 warnings so stale escapes get cleaned
+//! up instead of silently rotting.
 
 use crate::diag::{Diagnostic, Witness};
 
-const ALLOW_HASH_ITER: &str = "replint: allow(hash-iter)";
+const ALLOW_MARK: &str = "replint: allow(";
 
-/// Scan one source file; `path_label` is used verbatim in witnesses.
+/// Which rule set a file gets, decided by its path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileClass {
+    /// Determinism rules RL001–RL006; `sans_io` adds RL007.
+    Determinism {
+        /// The file lies inside the sans-I/O protocol core.
+        sans_io: bool,
+    },
+    /// Panic-freedom rule RL008 only (long-running runtime crates).
+    PanicFree,
+    /// No rules (integration tests of the runtime crates: test code may
+    /// unwrap freely, and driver tests legitimately use clocks).
+    Exempt,
+}
+
+/// Classify a path into the rule set it must satisfy.
+pub fn classify(path_label: &str) -> FileClass {
+    if path_label.contains("crates/runtime") || path_label.contains("crates/net") {
+        if path_label.contains("/tests/") || path_label.contains("\\tests\\") {
+            FileClass::Exempt
+        } else {
+            FileClass::PanicFree
+        }
+    } else {
+        FileClass::Determinism { sans_io: path_label.contains("crates/protocol") }
+    }
+}
+
+/// One `replint: allow(…)` comment.
+struct Suppression {
+    /// 1-based line the comment sits on; it covers this line and the next.
+    line: u32,
+    /// Canonical codes it names (aliases resolved).
+    codes: Vec<String>,
+    used: bool,
+}
+
+fn canonical_code(raw: &str) -> String {
+    let raw = raw.trim();
+    if raw.eq_ignore_ascii_case("hash-iter") {
+        "RL004".to_owned()
+    } else {
+        raw.to_ascii_uppercase()
+    }
+}
+
+fn collect_suppressions(src: &str) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        if let Some(pos) = raw.find(ALLOW_MARK) {
+            let rest = &raw[pos + ALLOW_MARK.len()..];
+            if let Some(end) = rest.find(')') {
+                let codes: Vec<String> =
+                    rest[..end].split(',').map(canonical_code).filter(|c| !c.is_empty()).collect();
+                if !codes.is_empty() {
+                    out.push(Suppression { line: idx as u32 + 1, codes, used: false });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// RL008's `#[cfg(test)]` region tracker.
+enum TestRegion {
+    Outside,
+    /// Saw the attribute, waiting for the item's opening brace.
+    AwaitBrace,
+    /// Inside the item, at this brace depth.
+    Inside(i32),
+}
+
+/// Scan one source file; `path_label` selects the rule set
+/// ([`classify`]) and is used verbatim in witnesses.
 pub fn scan_file(path_label: &str, src: &str) -> Vec<Diagnostic> {
+    let class = classify(path_label);
+    let mut suppressions = collect_suppressions(src);
     let mut diags = Vec::new();
+    {
+        // Emit a finding unless a suppression on the same line or the
+        // line above names its code.
+        let mut emit = |diags: &mut Vec<Diagnostic>,
+                        code: &'static str,
+                        message: &str,
+                        lineno: u32,
+                        text: &str| {
+            for s in suppressions.iter_mut() {
+                if (s.line == lineno || s.line + 1 == lineno) && s.codes.iter().any(|c| c == code) {
+                    s.used = true;
+                    return;
+                }
+            }
+            diags.push(source_diag(code, message, path_label, lineno, text));
+        };
+        match class {
+            FileClass::Determinism { sans_io } => {
+                scan_determinism(path_label, src, sans_io, &mut |c, m, l, t| {
+                    emit(&mut diags, c, m, l, t)
+                });
+            }
+            FileClass::PanicFree => {
+                scan_panic_free(src, &mut |c, m, l, t| emit(&mut diags, c, m, l, t));
+            }
+            FileClass::Exempt => return Vec::new(),
+        }
+    }
+    for s in &suppressions {
+        if !s.used {
+            diags.push(Diagnostic::warning(
+                "RL000",
+                format!(
+                    "{path_label}:{}: suppression `allow({})` matches no diagnostic; remove it",
+                    s.line,
+                    s.codes.join(",")
+                ),
+                Witness::Source {
+                    file: path_label.to_owned(),
+                    line: s.line,
+                    text: src.lines().nth(s.line as usize - 1).unwrap_or("").trim().to_owned(),
+                },
+            ));
+        }
+    }
+    diags.sort_by_key(|d| match &d.witness {
+        Witness::Source { line, .. } => *line,
+        _ => 0,
+    });
+    diags
+}
+
+fn scan_determinism(
+    _path_label: &str,
+    src: &str,
+    sans_io: bool,
+    emit: &mut dyn FnMut(&'static str, &str, u32, &str),
+) {
     let hash_names = collect_hash_bindings(src);
-    let sans_io = path_label.contains("crates/protocol");
-    let mut prev_allows = false;
+    // A builder-style chain left hanging at end-of-line, rooted (possibly
+    // several continuation lines back) at a tracked hash binding.
+    let mut open_chain: Option<String> = None;
 
     for (idx, raw) in src.lines().enumerate() {
         let line = raw.trim();
         let lineno = idx as u32 + 1;
-        let allowed = prev_allows || raw.contains(ALLOW_HASH_ITER);
-        prev_allows = raw.contains(ALLOW_HASH_ITER);
         if line.starts_with("//") {
             continue;
         }
         let code_part = strip_line_comment(raw);
 
         if code_part.contains("SystemTime::now") {
-            diags.push(source_diag(
+            emit(
                 "RL001",
                 "wall-clock read: SystemTime::now is not a function of the seed",
-                path_label,
                 lineno,
                 line,
-            ));
+            );
         }
         if code_part.contains("Instant::now") {
-            diags.push(source_diag(
+            emit(
                 "RL002",
                 "wall-clock read: Instant::now is not a function of the seed",
-                path_label,
                 lineno,
                 line,
-            ));
+            );
         }
         if code_part.contains("thread_rng") || code_part.contains("rand::rng()") {
-            diags.push(source_diag(
-                "RL003",
-                "ambient RNG: use an explicitly seeded generator",
-                path_label,
-                lineno,
-                line,
-            ));
+            emit("RL003", "ambient RNG: use an explicitly seeded generator", lineno, line);
         }
         if code_part.contains("from_entropy")
             || code_part.contains("from_os_rng")
             || code_part.contains("OsRng")
             || code_part.contains("getrandom")
         {
-            diags.push(source_diag(
+            emit(
                 "RL005",
                 "entropy-seeded RNG: OS entropy varies across runs; derive the seed \
                  from the experiment parameters instead",
-                path_label,
                 lineno,
                 line,
-            ));
+            );
         }
         for pat in ["std::net", "TcpStream", "TcpListener", "UdpSocket"] {
             if code_part.contains(pat) {
-                diags.push(source_diag(
+                emit(
                     "RL006",
                     &format!(
                         "blocking network I/O ({pat}): real sockets have no place in \
                          the deterministic layers; put socket code in repl-net or \
                          repl-runtime"
                     ),
-                    path_label,
                     lineno,
                     line,
-                ));
+                );
                 break;
             }
         }
         if sans_io {
             for pat in ["std::thread", "std::time", "std::net", "crossbeam"] {
                 if code_part.contains(pat) {
-                    diags.push(source_diag(
+                    emit(
                         "RL007",
                         &format!(
                             "{pat} inside the sans-I/O protocol core: repl-protocol \
@@ -126,34 +267,127 @@ pub fn scan_file(path_label: &str, src: &str) -> Vec<Diagnostic> {
                              clocks, threads, channels, and sockets belong to the \
                              drivers, never the state machine"
                         ),
-                        path_label,
                         lineno,
                         line,
-                    ));
+                    );
                     break;
                 }
             }
         }
-        if !allowed {
+        let trimmed_code = code_part.trim();
+        let continues_chain = trimmed_code.starts_with('.');
+        let mut flagged = false;
+        if continues_chain {
+            if let Some(name) = &open_chain {
+                if starts_with_iteration_method(trimmed_code) {
+                    let name = name.clone();
+                    emit_hash_iter(emit, &name, lineno, line);
+                    flagged = true;
+                }
+            }
+        }
+        if !flagged {
             for name in &hash_names {
                 if iterates_hash_binding(code_part, name) {
-                    diags.push(source_diag(
-                        "RL004",
-                        &format!(
-                            "iteration over hash-ordered `{name}`: order varies across \
-                             runs; use BTreeMap/BTreeSet, sort first, or annotate \
-                             `// {ALLOW_HASH_ITER}`"
-                        ),
-                        path_label,
-                        lineno,
-                        line,
-                    ));
+                    emit_hash_iter(emit, name, lineno, line);
                     break;
                 }
+            }
+        }
+        // Track chain roots for continuation lines: a line ending in a
+        // tracked binding opens a chain; a continuation line keeps it
+        // open; anything else closes it.
+        let ends_open = trimmed_code
+            .ends_with(|c: char| c.is_alphanumeric() || c == '_' || c == ')' || c == '?');
+        if let Some(name) = hash_names.iter().find(|n| chain_root_ends_with(trimmed_code, n)) {
+            open_chain = Some(name.clone());
+        } else if !(continues_chain && ends_open && open_chain.is_some()) {
+            open_chain = None;
+        }
+    }
+}
+
+fn emit_hash_iter(
+    emit: &mut dyn FnMut(&'static str, &str, u32, &str),
+    name: &str,
+    lineno: u32,
+    line: &str,
+) {
+    emit(
+        "RL004",
+        &format!(
+            "iteration over hash-ordered `{name}`: order varies across \
+             runs; use BTreeMap/BTreeSet, sort first, or annotate \
+             `// replint: allow(RL004)`"
+        ),
+        lineno,
+        line,
+    );
+}
+
+fn scan_panic_free(src: &str, emit: &mut dyn FnMut(&'static str, &str, u32, &str)) {
+    let mut region = TestRegion::Outside;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx as u32 + 1;
+        if line.starts_with("//") {
+            continue;
+        }
+        let code_part = strip_line_comment(raw);
+        let (opens, closes) = brace_count(code_part);
+        match region {
+            TestRegion::Outside => {
+                if code_part.contains("#[cfg(test)]") {
+                    region = TestRegion::AwaitBrace;
+                    continue;
+                }
+            }
+            TestRegion::AwaitBrace => {
+                if opens > 0 {
+                    let depth = opens - closes;
+                    region =
+                        if depth > 0 { TestRegion::Inside(depth) } else { TestRegion::Outside };
+                }
+                continue;
+            }
+            TestRegion::Inside(depth) => {
+                let depth = depth + opens - closes;
+                region = if depth > 0 { TestRegion::Inside(depth) } else { TestRegion::Outside };
+                continue;
+            }
+        }
+        for pat in [".unwrap()", ".expect(", "panic!(", "unreachable!("] {
+            if code_part.contains(pat) {
+                emit(
+                    "RL008",
+                    &format!(
+                        "panicking call ({pat}) in long-running runtime code: a site \
+                         process must survive bad input; handle the error or justify \
+                         with `// replint: allow(RL008)`"
+                    ),
+                    lineno,
+                    line,
+                );
+                break;
             }
         }
     }
-    diags
+}
+
+fn brace_count(code: &str) -> (i32, i32) {
+    let mut opens = 0;
+    let mut closes = 0;
+    let mut in_str = false;
+    let bytes = code.as_bytes();
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'"' if i == 0 || bytes[i - 1] != b'\\' => in_str = !in_str,
+            b'{' if !in_str => opens += 1,
+            b'}' if !in_str => closes += 1,
+            _ => {}
+        }
+    }
+    (opens, closes)
 }
 
 fn source_diag(code: &'static str, message: &str, file: &str, line: u32, text: &str) -> Diagnostic {
@@ -211,25 +445,47 @@ fn trailing_ident(s: &str) -> Option<String> {
     }
 }
 
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+];
+
+fn starts_with_iteration_method(s: &str) -> bool {
+    ITER_METHODS.iter().any(|m| s.starts_with(m))
+}
+
+/// True if `trimmed` ends with the bare binding `name` (a hanging chain
+/// root, e.g. `let v: Vec<_> = pending` before a `.keys()` line).
+fn chain_root_ends_with(trimmed: &str, name: &str) -> bool {
+    trimmed.ends_with(name) && {
+        let before = &trimmed[..trimmed.len() - name.len()];
+        !before.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
+    }
+}
+
 fn iterates_hash_binding(line: &str, name: &str) -> bool {
-    const METHODS: &[&str] = &[
-        ".iter()",
-        ".iter_mut()",
-        ".keys()",
-        ".values()",
-        ".values_mut()",
-        ".into_iter()",
-        ".drain(",
-    ];
-    for m in METHODS {
-        for (pos, _) in line.match_indices(&format!("{name}{m}")) {
-            if !ident_continues_left(line, pos) {
+    // Direct or field-access iteration: `name.keys()`, `self.name.iter()`,
+    // or through a chain of intermediate calls: `name.lock().keys()`.
+    for (pos, _) in line.match_indices(name) {
+        if ident_continues_left(line, pos) && !line[..pos].ends_with('.') {
+            continue;
+        }
+        let mut rest = &line[pos + name.len()..];
+        loop {
+            if starts_with_iteration_method(rest) {
                 return true;
             }
-        }
-        // also `self.name.iter()` style
-        if line.contains(&format!(".{name}{m}")) {
-            return true;
+            match skip_chain_segment(rest) {
+                Some(next) => rest = next,
+                None => break,
+            }
         }
     }
     for pat in [format!("in &{name}"), format!("in &mut {name}"), format!("in {name} ")] {
@@ -241,6 +497,35 @@ fn iterates_hash_binding(line: &str, name: &str) -> bool {
         }
     }
     false
+}
+
+/// Skip one `.method(args)` (or `?`) chain segment, returning the rest
+/// of the line after it, or `None` if the chain ends here.
+fn skip_chain_segment(s: &str) -> Option<&str> {
+    if let Some(rest) = s.strip_prefix('?') {
+        return Some(rest);
+    }
+    let rest = s.strip_prefix('.')?;
+    let ident_len = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').count();
+    if ident_len == 0 {
+        return None;
+    }
+    let rest = &rest[ident_len..];
+    let rest = rest.strip_prefix('(')?;
+    let mut depth = 1usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[i + 1..]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 fn ident_continues_left(line: &str, pos: usize) -> bool {
@@ -329,6 +614,40 @@ mod tests {
     }
 
     #[test]
+    fn per_code_allow_silences_any_rule() {
+        let src = "let t = SystemTime::now(); // replint: allow(RL001)\n";
+        assert!(codes(src).is_empty());
+        let above = "// replint: allow(RL002)\nlet i = Instant::now();\n";
+        assert!(codes(above).is_empty());
+        let multi =
+            "// replint: allow(RL001, RL002)\nlet t = (SystemTime::now(), Instant::now());\n";
+        assert!(codes(multi).is_empty());
+    }
+
+    #[test]
+    fn allow_for_wrong_code_does_not_silence() {
+        let src = "let t = SystemTime::now(); // replint: allow(RL002)\n";
+        // The finding survives and the suppression is reported stale.
+        assert_eq!(codes(src), vec!["RL001", "RL000"]);
+    }
+
+    #[test]
+    fn stale_suppression_warns_rl000() {
+        let src = "// replint: allow(RL004)\nlet x = 1;\n";
+        let diags = scan_file("y.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "RL000");
+        assert_eq!(diags[0].severity, crate::diag::Severity::Warning);
+    }
+
+    #[test]
+    fn used_suppression_does_not_warn() {
+        let src =
+            "let m: HashSet<u32> = HashSet::new();\nlet v: Vec<_> = m.iter().collect(); // replint: allow(RL004)\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
     fn btree_iteration_not_flagged() {
         let src = "let m: BTreeMap<u32, u32> = BTreeMap::new();\nfor x in m.iter() {\n";
         assert!(codes(src).is_empty());
@@ -347,6 +666,42 @@ mod tests {
     }
 
     #[test]
+    fn chained_keys_values_drain_flagged() {
+        let decl = "let m: HashMap<u64, u64> = HashMap::new();\n";
+        for iter in ["m.keys()", "m.values()", "m.drain()", "m.into_keys()", "m.into_values()"] {
+            let src = format!("{decl}let v: Vec<_> = {iter}.collect();\n");
+            assert_eq!(codes(&src), vec!["RL004"], "{iter}");
+        }
+    }
+
+    #[test]
+    fn iteration_through_intermediate_calls_flagged() {
+        let src = "let m: HashMap<u64, u64> = HashMap::new();\nlet v: Vec<_> = m.clone().keys().collect();\n";
+        assert_eq!(codes(src), vec!["RL004"]);
+        let locked =
+            "struct S { m: HashMap<u64, u64>, }\nfn f(s: &S) { for k in s.m.borrow().keys() {} }\n";
+        assert_eq!(codes(locked), vec!["RL004"]);
+    }
+
+    #[test]
+    fn multiline_chain_iteration_flagged() {
+        let src = "let pending: HashMap<u64, u64> = HashMap::new();\nlet v: Vec<_> = pending\n    .keys()\n    .collect();\n";
+        let diags = scan_file("z.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "RL004");
+        match &diags[0].witness {
+            Witness::Source { line, .. } => assert_eq!(*line, 3),
+            w => panic!("wrong witness {w:?}"),
+        }
+    }
+
+    #[test]
+    fn multiline_chain_on_unrelated_root_not_flagged() {
+        let src = "let m: HashMap<u64, u64> = HashMap::new();\nlet v: Vec<_> = rows\n    .iter()\n    .collect();\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
     fn blocking_network_io_flagged() {
         let src = "use std::net::TcpListener;\nlet s = TcpStream::connect(addr)?;\nlet u = UdpSocket::bind(addr)?;\n";
         // One diagnostic per line, even when a line matches two patterns.
@@ -361,7 +716,7 @@ mod tests {
         let in_protocol: Vec<_> =
             scan_file("crates/protocol/src/machine.rs", src).into_iter().map(|d| d.code).collect();
         assert_eq!(in_protocol, vec!["RL007", "RL007", "RL007"]);
-        // The same imports are fine in a driver crate.
+        // The same imports are fine in a driver crate (PanicFree class).
         assert!(scan_file("crates/runtime/src/site.rs", src).is_empty());
     }
 
@@ -379,5 +734,36 @@ mod tests {
     fn sans_io_comments_not_flagged() {
         let src = "// drivers own std::time and std::thread\nlet x = 1;\n";
         assert!(scan_file("crates/protocol/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn runtime_panics_flagged() {
+        let src = "let v = map.get(&k).unwrap();\nlet w = rx.recv().expect(\"closed\");\npanic!(\"boom\");\nunreachable!(\"no\");\n";
+        let codes: Vec<_> =
+            scan_file("crates/runtime/src/site.rs", src).into_iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["RL008", "RL008", "RL008", "RL008"]);
+        // The same source is not a determinism concern elsewhere.
+        assert!(scan_file("crates/sim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn runtime_panics_in_cfg_test_not_flagged() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\nfn after() { y.unwrap(); }\n";
+        let codes: Vec<_> =
+            scan_file("crates/net/src/tcp.rs", src).into_iter().map(|d| d.code).collect();
+        // Only the post-module unwrap fires.
+        assert_eq!(codes, vec!["RL008"]);
+    }
+
+    #[test]
+    fn runtime_panic_allow_comment_honored() {
+        let src = "// replint: allow(RL008) -- lock poisoning is fatal by design\nlet g = mu.lock().unwrap();\n";
+        assert!(scan_file("crates/runtime/src/cluster.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_not_flagged() {
+        let src = "let v = map.get(&k).unwrap_or(&0);\nlet w = o.unwrap_or_else(Vec::new);\nlet x = r.expect_err(\"want failure\");\n";
+        assert!(scan_file("crates/runtime/src/proc.rs", src).is_empty());
     }
 }

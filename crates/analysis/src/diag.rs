@@ -1,7 +1,8 @@
 //! Diagnostic records shared by every analysis pass.
 //!
 //! A [`Diagnostic`] carries a stable code (`RA…` for configuration lints,
-//! `RC…` for race reports, `RL…` for the source determinism lint), a
+//! `RC…` for race reports, `RL…` for the source determinism lint, `MC…`
+//! for model-checker violations), a
 //! severity, a human-readable message and a machine-readable
 //! [`Witness`] — the concrete structure that proves the finding (a cycle,
 //! an edge, a pair of unordered accesses). Diagnostics serialize to JSON
@@ -71,6 +72,14 @@ pub enum Witness {
         line: u32,
         /// The offending source line, trimmed.
         text: String,
+    },
+    /// A model-checker counterexample: the (shrunk) scheduler trace that
+    /// reproduces the violation, one rendered action per step. Replaying
+    /// the steps in order from the scenario's initial state reaches the
+    /// violating state.
+    McTrace {
+        /// Rendered scheduler actions, in execution order.
+        steps: Vec<String>,
     },
     /// Two conflicting slot accesses with no happens-before order.
     RacePair {

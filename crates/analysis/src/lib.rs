@@ -14,13 +14,27 @@
 //! 3. **Determinism lint** ([`detlint`], `replint` binary) — a source
 //!    scanner that rejects wall-clock reads, ambient randomness and
 //!    hash-order iteration in the simulator crates (codes `RL001`–`RL004`),
-//!    keeping runs reproducible from their seeds.
+//!    forbids panicking calls in the long-running runtime crates
+//!    (`RL008`), and warns on stale suppressions (`RL000`), keeping runs
+//!    reproducible from their seeds.
+//! 4. **Model checker** ([`mc`], `replmc` binary) — a stateless DFS
+//!    explorer that drives the sans-I/O `SiteMachine`s through *every*
+//!    interleaving of deliverable inputs for bounded workloads, with
+//!    sleep-set pruning and state-fingerprint dedup, and checks
+//!    convergence, one-copy serializability, link FIFO discipline, epoch
+//!    monotonicity and crash silence (codes `MC001`–`MC006`). The
+//!    serializability oracle reuses [`history::History`], which lives
+//!    here (re-exported by `repl-core`) so both the engine and the model
+//!    checker can share it.
 
 pub mod detlint;
 pub mod diag;
+pub mod history;
 pub mod lint;
+pub mod mc;
 pub mod race;
 
 pub use diag::{has_errors, render, Diagnostic, Severity, Witness};
+pub use history::History;
 pub use lint::{check_address_map, lint_scenario, LintConfig, LintProtocol, LintTree};
 pub use race::detect_races;

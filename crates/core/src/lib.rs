@@ -41,11 +41,15 @@
 pub mod config;
 pub mod deploy;
 pub mod engine;
-pub mod history;
 pub mod lint;
 pub mod metrics;
 pub mod scenario;
 pub mod timestamp;
+
+// The serializability checker lives in `repl-analysis` (so the `replmc`
+// model checker can reuse it without a dependency cycle); re-export it
+// here to keep the historical `repl_core::history` path stable.
+pub use repl_analysis::history;
 
 pub use config::{DeadlockMode, ProtocolKind, SimParams, TreeKind};
 pub use deploy::{DeployConfig, TransportKind};

@@ -35,6 +35,8 @@ use std::sync::Arc;
 use repl_copygraph::{CopyGraph, DataPlacement, PropagationTree};
 use repl_types::{GlobalTxnId, ItemId, SiteId, Value};
 
+use crate::digest::StableDigest;
+use crate::digest::{digest_gid, digest_site, digest_subtxn, digest_timestamp, digest_writes};
 use crate::route::{destinations, dummy_gid, writes_for_site};
 use crate::timestamp::Timestamp;
 use crate::wire::{Payload, Subtxn, SubtxnKind};
@@ -250,7 +252,30 @@ pub enum Command {
     },
 }
 
+/// A deliberately seeded protocol bug, for verifying that the `replmc`
+/// model checker (and any other correctness harness) actually detects
+/// protocol violations.
+///
+/// Production drivers never set one of these; they exist so a test can
+/// ask "if the machine *were* wrong in this known way, would the
+/// checker catch it?" — the protocol-machine analogue of the fault
+/// plans the simulator uses for crash testing. Each variant disables
+/// one load-bearing rule of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeededBug {
+    /// DAG(T): ignore the §3.2.3 minimum-timestamp scheduling rule and
+    /// greedily run the first non-empty queue, even while other queues
+    /// are empty. Breaks the total-order apply discipline Theorem 3.1
+    /// rests on.
+    SkipMinTimestamp,
+    /// DAG(WT)/BackEdge: "forget" to forward an applied subtransaction
+    /// to the relevant tree children (§2's atomic commit-and-forward).
+    /// Updates strand at interior sites and replicas diverge.
+    SkipForward,
+}
+
 /// The subtransaction currently occupying the single applier slot.
+#[derive(Clone)]
 struct InFlight {
     sub: Subtxn,
     queue: usize,
@@ -259,6 +284,7 @@ struct InFlight {
 
 /// The pure protocol state machine for one site. See the module docs for
 /// the machine/driver split.
+#[derive(Clone)]
 pub struct SiteMachine {
     me: SiteId,
     protocol: ProtocolId,
@@ -288,6 +314,9 @@ pub struct SiteMachine {
     /// Aborted eager gids whose special may still arrive; consumed on
     /// arrival.
     tombstones: BTreeSet<GlobalTxnId>,
+    /// A deliberately injected protocol bug ([`SeededBug`]), used only
+    /// by correctness harnesses; `None` in every production driver.
+    bug: Option<SeededBug>,
 }
 
 impl fmt::Debug for SiteMachine {
@@ -343,7 +372,14 @@ impl SiteMachine {
             prepared: BTreeMap::new(),
             pending_eager: BTreeMap::new(),
             tombstones: BTreeSet::new(),
+            bug: None,
         })
+    }
+
+    /// Seed a known protocol bug into this machine (verification
+    /// harnesses only — see [`SeededBug`]).
+    pub fn inject_bug(&mut self, bug: SeededBug) {
+        self.bug = Some(bug);
     }
 
     /// This machine's site.
@@ -382,6 +418,71 @@ impl SiteMachine {
     /// The subtransaction occupying the applier slot, if any.
     pub fn busy_gid(&self) -> Option<GlobalTxnId> {
         self.busy.as_ref().map(|b| b.sub.gid)
+    }
+
+    /// Absorb this machine's full protocol state into `d`, canonically.
+    ///
+    /// Two machines with equal state produce equal digests regardless of
+    /// how that state was reached: every internal collection iterates in
+    /// a deterministic order (`Vec` insertion order for queues, key
+    /// order for the BTree maps/sets) and every variable-length field is
+    /// length-prefixed. The static configuration (placement, copy graph,
+    /// tree) is *not* hashed — callers fingerprinting a fleet share one
+    /// configuration and hash the things that vary.
+    ///
+    /// This is the state-identity the `replmc` model checker
+    /// deduplicates on; widening the machine with a new piece of mutable
+    /// state without extending this method would silently merge distinct
+    /// states, so keep the two in lockstep.
+    pub fn fingerprint(&self, d: &mut StableDigest) {
+        digest_site(d, self.me);
+        d.write_u8(match self.protocol {
+            ProtocolId::NaiveLazy => 0,
+            ProtocolId::DagWt => 1,
+            ProtocolId::DagT => 2,
+            ProtocolId::BackEdge => 3,
+        });
+        d.write_usize(self.queues.len());
+        for (sender, q) in &self.queues {
+            digest_site(d, *sender);
+            d.write_usize(q.len());
+            for sub in q {
+                digest_subtxn(d, sub);
+            }
+        }
+        match &self.busy {
+            None => d.write_u8(0),
+            Some(inflight) => {
+                d.write_u8(1);
+                digest_subtxn(d, &inflight.sub);
+                d.write_usize(inflight.queue);
+                d.write_u8(u8::from(inflight.prepare));
+            }
+        }
+        d.write_u64(self.lts);
+        digest_timestamp(d, &self.site_ts);
+        d.write_usize(self.preparing.len());
+        for (gid, sub) in &self.preparing {
+            digest_gid(d, *gid);
+            digest_subtxn(d, sub);
+        }
+        d.write_usize(self.prepared.len());
+        for (gid, writes) in &self.prepared {
+            digest_gid(d, *gid);
+            digest_writes(d, writes);
+        }
+        d.write_usize(self.pending_eager.len());
+        for (gid, path) in &self.pending_eager {
+            digest_gid(d, *gid);
+            d.write_usize(path.len());
+            for s in path {
+                digest_site(d, *s);
+            }
+        }
+        d.write_usize(self.tombstones.len());
+        for gid in &self.tombstones {
+            digest_gid(d, *gid);
+        }
     }
 
     /// Advance the machine by one input. The returned commands must be
@@ -673,8 +774,11 @@ impl SiteMachine {
         match self.protocol {
             ProtocolId::DagWt | ProtocolId::BackEdge => {
                 // §2: committed secondaries are forwarded to relevant
-                // children, atomically with commit order.
-                self.forward_down_tree(&inflight.sub, out);
+                // children, atomically with commit order — unless the
+                // seeded forwarding bug is strand-testing the checker.
+                if self.bug != Some(SeededBug::SkipForward) {
+                    self.forward_down_tree(&inflight.sub, out);
+                }
             }
             ProtocolId::DagT => self.merge_ts(&inflight.sub)?,
             ProtocolId::NaiveLazy => {}
@@ -744,6 +848,11 @@ impl SiteMachine {
     fn pick_min_timestamp(&self) -> Result<Option<usize>, ProtocolError> {
         if self.queues.is_empty() {
             return Ok(None);
+        }
+        if self.bug == Some(SeededBug::SkipMinTimestamp) {
+            // Seeded bug: greedy FIFO without the wait-for-all-queues
+            // minimum rule (what the checker must catch).
+            return Ok(self.queues.iter().position(|(_, q)| !q.is_empty()));
         }
         let mut best: Option<(usize, &Timestamp)> = None;
         for (i, (_, q)) in self.queues.iter().enumerate() {

@@ -171,6 +171,7 @@ pub(crate) fn build_structure(
                 dag.add_edge(u, v, 1);
             }
             Some(Arc::new(
+                // replint: allow(RL008) -- augmented_constraints is acyclic by construction
                 PropagationTree::chain(&dag).expect("augmented constraint graph is acyclic"),
             ))
         }
@@ -298,6 +299,7 @@ impl Cluster {
                         )
                         .run()
                 })
+                // replint: allow(RL008) -- OS thread exhaustion at startup is fatal by design
                 .expect("spawn site thread"),
         );
         Ok(())

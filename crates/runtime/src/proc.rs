@@ -101,6 +101,7 @@ impl ProcCluster {
                 ])
                 .stdout(Stdio::piped())
                 .spawn()?;
+            // replint: allow(RL008) -- stdout is piped two lines up
             let stdout = child.stdout.take().expect("stdout piped");
             cluster.children.push(child);
             let mut lines = BufReader::new(stdout).lines();

@@ -251,6 +251,7 @@ impl SiteRuntime {
             let cmds = self.machine_input(Input::EpochTick);
             self.run_commands(cmds);
         }
+        // replint: allow(RL008) -- timers is Some for the lifetime of a DAG(T) site
         let t = self.timers.as_ref().expect("still DAG(T)");
         let idle_children: Vec<SiteId> = t
             .children
@@ -405,8 +406,10 @@ impl SiteRuntime {
     fn commit_replica_txn(&mut self, gid: GlobalTxnId, writes: &[(ItemId, Value)]) {
         let txn = self.store.begin();
         for (item, value) in writes {
+            // replint: allow(RL008) -- one store txn at a time: conflicts are impossible
             self.store.write(txn, *item, value.clone(), gid).expect("serial site: no conflicts");
         }
+        // replint: allow(RL008) -- same single-txn invariant
         self.store.commit(txn).expect("commit secondary");
         self.durable.lock().wal.append_commit(gid, writes);
         self.outstanding.fetch_sub(1, Ordering::SeqCst);
@@ -419,15 +422,18 @@ impl SiteRuntime {
         for op in ops {
             match op.kind {
                 OpKind::Read => {
+                    // replint: allow(RL008) -- one store txn at a time: conflicts are impossible
                     self.store.read(txn, op.item).expect("serial site: no conflicts");
                 }
                 OpKind::Write => {
                     self.store
                         .write(txn, op.item, op.value.clone(), gid)
+                        // replint: allow(RL008) -- one store txn at a time: conflicts are impossible
                         .expect("serial site: no conflicts");
                 }
             }
         }
+        // replint: allow(RL008) -- one store txn at a time: conflicts are impossible
         let (info, _) = self.store.commit(txn).expect("commit serial txn");
         (info.write_set(), info.reads)
     }
@@ -516,6 +522,7 @@ impl SiteRuntime {
         let cells: Vec<(ItemId, Value, Option<GlobalTxnId>)> = items
             .into_iter()
             .map(|i| {
+                // replint: allow(RL008) -- every placement copy was seeded at site start
                 let r = self.store.peek(i).expect("placement copy exists in store");
                 (i, r.value, r.writer)
             })

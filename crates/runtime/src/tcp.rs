@@ -201,6 +201,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
                     )
                     .run()
             })
+            // replint: allow(RL008) -- OS thread exhaustion at startup is fatal by design
             .expect("spawn site thread")
     };
 
@@ -241,6 +242,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
                     std::thread::sleep(DIAL_RETRY);
                 }
             })
+            // replint: allow(RL008) -- OS thread exhaustion at startup is fatal by design
             .expect("spawn dialer")
     };
 

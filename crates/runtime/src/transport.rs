@@ -77,6 +77,7 @@ impl Net {
         lane.next_seq += 1;
         let seq = lane.next_seq;
         lane.unacked.push_back((seq, payload));
+        // replint: allow(RL008) -- back() of a deque pushed to on the previous line
         let (_, payload) = lane.unacked.back().expect("just pushed");
         let mut backoff = BACKOFF_FLOOR;
         for attempt in 0..DELIVERY_ATTEMPTS {

@@ -10,7 +10,7 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> replint (determinism lint over sim/core/copygraph + sans-I/O gate on protocol)"
+echo "==> replint (determinism lint + sans-I/O gate + runtime panic-freedom)"
 cargo run -q -p repl-analysis --bin replint
 
 echo "==> cargo build --release"
@@ -18,6 +18,9 @@ cargo build --release
 
 echo "==> cargo test"
 cargo test -q
+
+echo "==> mc_smoke (exhaustive bounded model check, 3 sites / 2 txns, all four protocols)"
+./target/release/replmc --stats --max-states 2000000
 
 echo "==> differential matrix gate (sim vs channel vs TCP, quick)"
 DIFF_MATRIX_TXNS=6 cargo test -q -p repl-runtime --test differential_matrix
