@@ -17,6 +17,7 @@
 //! | RL006 | blocking network I/O (`std::net`, `TcpStream`, `TcpListener`, `UdpSocket`) |
 //! | RL007 | any I/O, threading, or clock import inside `crates/protocol` |
 //! | RL008 | `unwrap`/`expect`/`panic!`/`unreachable!` in non-test runtime code |
+//! | RL009 | blocking socket call patterns inside the epoll reactor |
 //!
 //! Files are classified by path ([`FileClass`]): paths under
 //! `crates/runtime` or `crates/net` get only the panic-freedom rule
@@ -24,6 +25,14 @@
 //! long-running site process just must not die on a stray `unwrap`);
 //! every other path gets the determinism rules, and paths under
 //! `crates/protocol` additionally get the sans-I/O rule RL007.
+//!
+//! RL009 guards the single-threaded readiness loop: one blocking
+//! `accept`/`read`/`write` anywhere in `runtime/src/reactor.rs` parks
+//! the whole site — every peer link, every client — so raw socket
+//! calls are rejected there by pattern. The three sanctioned
+//! nonblocking helpers at the bottom of the module carry
+//! `// replint: allow(RL009)` comments; everything else must funnel
+//! through them.
 //!
 //! RL006 keeps real sockets out of the deterministic layers: the
 //! simulator models the network in virtual time, so any code under the
@@ -68,8 +77,12 @@ pub enum FileClass {
         /// The file lies inside the sans-I/O protocol core.
         sans_io: bool,
     },
-    /// Panic-freedom rule RL008 only (long-running runtime crates).
-    PanicFree,
+    /// Panic-freedom rule RL008 (long-running runtime crates);
+    /// `reactor` adds the no-blocking-I/O rule RL009.
+    PanicFree {
+        /// The file is the epoll reactor's readiness loop.
+        reactor: bool,
+    },
     /// No rules (integration tests of the runtime crates: test code may
     /// unwrap freely, and driver tests legitimately use clocks).
     Exempt,
@@ -81,7 +94,9 @@ pub fn classify(path_label: &str) -> FileClass {
         if path_label.contains("/tests/") || path_label.contains("\\tests\\") {
             FileClass::Exempt
         } else {
-            FileClass::PanicFree
+            let reactor = path_label.contains("runtime/src/reactor.rs")
+                || path_label.contains("runtime\\src\\reactor.rs");
+            FileClass::PanicFree { reactor }
         }
     } else {
         FileClass::Determinism { sans_io: path_label.contains("crates/protocol") }
@@ -160,8 +175,11 @@ pub fn scan_file(path_label: &str, src: &str) -> Vec<Diagnostic> {
                     emit(&mut diags, c, m, l, t)
                 });
             }
-            FileClass::PanicFree => {
+            FileClass::PanicFree { reactor } => {
                 scan_panic_free(src, &mut |c, m, l, t| emit(&mut diags, c, m, l, t));
+                if reactor {
+                    scan_reactor_nonblocking(src, &mut |c, m, l, t| emit(&mut diags, c, m, l, t));
+                }
             }
             FileClass::Exempt => return Vec::new(),
         }
@@ -364,6 +382,49 @@ fn scan_panic_free(src: &str, emit: &mut dyn FnMut(&'static str, &str, u32, &str
                         "panicking call ({pat}) in long-running runtime code: a site \
                          process must survive bad input; handle the error or justify \
                          with `// replint: allow(RL008)`"
+                    ),
+                    lineno,
+                    line,
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Raw socket call patterns that would park the readiness loop if the
+/// fd were (or ever became) blocking. The reactor funnels all raw I/O
+/// through three nonblocking helpers, each carrying an
+/// `// replint: allow(RL009)` justification; any other match is a bug.
+const BLOCKING_IO_PATTERNS: &[&str] = &[
+    ".accept(",
+    ".read(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read_to_string(",
+    ".write(",
+    ".write_all(",
+    "read_msg(",
+    "write_msg(",
+];
+
+fn scan_reactor_nonblocking(src: &str, emit: &mut dyn FnMut(&'static str, &str, u32, &str)) {
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx as u32 + 1;
+        if line.starts_with("//") {
+            continue;
+        }
+        let code_part = strip_line_comment(raw);
+        for pat in BLOCKING_IO_PATTERNS {
+            if code_part.contains(pat) {
+                emit(
+                    "RL009",
+                    &format!(
+                        "raw socket call ({pat}) in the reactor: one blocking \
+                         syscall parks every connection of the site; route it \
+                         through the nonblocking read_some/write_some/accept_some \
+                         helpers or justify with `// replint: allow(RL009)`"
                     ),
                     lineno,
                     line,
@@ -759,6 +820,32 @@ mod tests {
     fn runtime_panic_allow_comment_honored() {
         let src = "// replint: allow(RL008) -- lock poisoning is fatal by design\nlet g = mu.lock().unwrap();\n";
         assert!(scan_file("crates/runtime/src/cluster.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reactor_blocking_calls_flagged() {
+        let src = "let (s, _) = listener.accept()?;\nlet n = stream.read(&mut buf)?;\nstream.write_all(&bytes)?;\nlet msg = read_msg(&mut conn)?;\n";
+        let codes: Vec<_> =
+            scan_file("crates/runtime/src/reactor.rs", src).into_iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["RL009", "RL009", "RL009", "RL009"]);
+        // The same calls are legitimate in the threaded runtime.
+        assert!(scan_file("crates/runtime/src/tcp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reactor_allow_comment_honored() {
+        let src =
+            "// replint: allow(RL009) -- nonblocking fd: returns WouldBlock\nstream.read(buf)\n";
+        assert!(scan_file("crates/runtime/src/reactor.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reactor_helper_calls_not_flagged() {
+        // Calls routed through the sanctioned helpers don't match the
+        // dotted patterns, and nonblocking epoll/buffer machinery is
+        // untouched.
+        let src = "let n = read_some(&mut c.stream, &mut scratch)?;\nwrite_some(&mut c.stream, chunk)?;\nepoll.wait(&mut events, TICK_MS)?;\nc.reader.feed(&scratch[..n]);\n";
+        assert!(scan_file("crates/runtime/src/reactor.rs", src).is_empty());
     }
 
     #[test]

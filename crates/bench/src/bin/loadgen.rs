@@ -1,0 +1,396 @@
+//! `loadgen` — closed-loop client fleet against a live `repld` cluster.
+//!
+//! Launches the paper's Example 1.1 placement as three `repld` OS
+//! processes under a chosen I/O driver (`--reactor threads|epoll`),
+//! opens `--conns` concurrent client connections spread round-robin
+//! over the sites, and drives `--txns` read-heavy transactions per
+//! connection, one outstanding request per connection at a time. The
+//! fleet itself is a single nonblocking epoll loop, so one core
+//! sustains thousands of concurrent connections on both ends.
+//!
+//! Reports per-transaction commit latency (p50/p99) and aggregate
+//! throughput, and appends one run object per invocation to a JSON
+//! report (`--out`, default `BENCH_reactor.json`). With no `--reactor`
+//! flag it benchmarks both drivers in one invocation — the threaded
+//! driver at a thread-friendly connection count, the epoll driver at
+//! 1000 connections — producing the paper-style comparison in one file.
+//!
+//! ```text
+//! loadgen [--conns N] [--txns N] [--reactor threads|epoll] [--out FILE]
+//! ```
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use epoll::{Epoll, Event, Interest};
+use repl_copygraph::DataPlacement;
+use repl_core::deploy::ReactorKind;
+use repl_core::scenario;
+use repl_net::{encode_framed, ClientMsg, ClientReply, FrameReader, WireMsg};
+use repl_runtime::{ProcCluster, RuntimeProtocol};
+use repl_types::{Op, SiteId};
+
+const USAGE: &str = "\
+usage: loadgen [--conns N] [--txns N] [--reactor threads|epoll] [--out FILE]
+
+Defaults: --txns 10, --out BENCH_reactor.json. Without --reactor, both
+drivers are benchmarked in one invocation (threads at 64 connections,
+epoll at 1000); --conns overrides the connection count for whichever
+runs.";
+
+/// Default connection counts per driver: the threaded `repld` spends
+/// one OS thread per connection, so its default stays thread-friendly;
+/// the epoll reactor is expected to hold four digits of connections.
+const DEFAULT_CONNS_THREADS: usize = 64;
+const DEFAULT_CONNS_EPOLL: usize = 1000;
+const DEFAULT_TXNS: u32 = 10;
+/// Probability that a generated op is a read (the workload is
+/// read-heavy, as client traffic against a replicated database is).
+const READ_PERMILLE: u64 = 900;
+const OPS_PER_TXN: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct Config {
+    conns: Option<usize>,
+    txns: u32,
+    reactor: Option<ReactorKind>,
+    out: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Config, String> {
+    let mut cfg = Config {
+        conns: None,
+        txns: DEFAULT_TXNS,
+        reactor: None,
+        out: "BENCH_reactor.json".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().ok_or_else(|| format!("{name} needs a value\n\n{USAGE}"));
+        match arg.as_str() {
+            "--conns" => {
+                cfg.conns =
+                    Some(value("--conns")?.parse().map_err(|_| "--conns must be an integer")?);
+            }
+            "--txns" => {
+                cfg.txns = value("--txns")?.parse().map_err(|_| "--txns must be an integer")?;
+            }
+            "--reactor" => cfg.reactor = Some(ReactorKind::parse(value("--reactor")?)?),
+            "--out" => cfg.out = value("--out")?.clone(),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cfg = parse_args(args)?;
+    let runs: Vec<(ReactorKind, usize)> = match cfg.reactor {
+        Some(kind) => vec![(kind, cfg.conns.unwrap_or(default_conns(kind)))],
+        None => vec![
+            (ReactorKind::Threads, cfg.conns.unwrap_or(DEFAULT_CONNS_THREADS)),
+            (ReactorKind::Epoll, cfg.conns.unwrap_or(DEFAULT_CONNS_EPOLL)),
+        ],
+    };
+
+    let placement = scenario::example_1_1_placement();
+    let mut reports = Vec::new();
+    for (kind, conns) in runs {
+        eprintln!("loadgen: {} reactor, {conns} connections x {} txns each", kind.name(), cfg.txns);
+        let report = bench_one(&placement, kind, conns, cfg.txns).map_err(|e| e.to_string())?;
+        eprintln!(
+            "loadgen: {}: {:.0} txn/s, p50 {:.3} ms, p99 {:.3} ms",
+            kind.name(),
+            report.throughput,
+            report.p50_ms,
+            report.p99_ms
+        );
+        reports.push(report);
+    }
+
+    let json = render_json(&reports, cfg.txns);
+    std::fs::write(&cfg.out, &json).map_err(|e| format!("cannot write {}: {e}", cfg.out))?;
+    println!("{json}");
+    eprintln!("loadgen: wrote {}", cfg.out);
+    Ok(())
+}
+
+fn default_conns(kind: ReactorKind) -> usize {
+    match kind {
+        ReactorKind::Threads => DEFAULT_CONNS_THREADS,
+        ReactorKind::Epoll => DEFAULT_CONNS_EPOLL,
+    }
+}
+
+// ---------------------------------------------------------------------
+// One benchmark run.
+// ---------------------------------------------------------------------
+
+struct RunReport {
+    reactor: ReactorKind,
+    conns: usize,
+    total_txns: u64,
+    elapsed_s: f64,
+    throughput: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+/// One client of the closed loop: a nonblocking stream with at most one
+/// outstanding transaction.
+struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Request bytes not yet accepted by the kernel.
+    wbuf: Vec<u8>,
+    woff: usize,
+    sent_at: Instant,
+    done: u32,
+    rng: u64,
+    site: SiteId,
+    finished: bool,
+    registered_write: bool,
+}
+
+fn bench_one(
+    placement: &DataPlacement,
+    kind: ReactorKind,
+    conns: usize,
+    txns: u32,
+) -> io::Result<RunReport> {
+    let cluster = ProcCluster::launch_reactor(placement, RuntimeProtocol::DagWt, kind)?;
+    let addrs: Vec<String> = cluster.addrs().to_vec();
+
+    let epoll = Epoll::new()?;
+    let mut clients: Vec<Client> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let site = SiteId((i % addrs.len()) as u32);
+        let stream = TcpStream::connect(&addrs[site.index()])?;
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        clients.push(Client {
+            stream,
+            reader: FrameReader::new(),
+            wbuf: Vec::new(),
+            woff: 0,
+            sent_at: Instant::now(),
+            done: 0,
+            rng: 0x10AD_9E4E_u64.wrapping_add(i as u64),
+            site,
+            finished: false,
+            registered_write: false,
+        });
+    }
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(conns * txns as usize);
+    let started = Instant::now();
+    for (i, c) in clients.iter_mut().enumerate() {
+        use std::os::fd::AsRawFd;
+        epoll.add(c.stream.as_raw_fd(), i as u64, Interest::READ)?;
+        submit_next(c, placement);
+        flush_client(c, &epoll, i as u64)?;
+    }
+
+    let mut remaining = conns;
+    let mut events: Vec<Event> = Vec::new();
+    while remaining > 0 {
+        epoll.wait(&mut events, 50)?;
+        for ev in events.drain(..) {
+            let i = ev.token as usize;
+            let c = &mut clients[i];
+            if c.finished {
+                continue;
+            }
+            if ev.writable {
+                flush_client(c, &epoll, ev.token)?;
+            }
+            if ev.readable || ev.error {
+                if drain_replies(c, placement, &mut latencies, txns)? {
+                    // Client finished its quota (or the server dropped
+                    // it — treated as fatal below).
+                    use std::os::fd::AsRawFd;
+                    epoll.delete(c.stream.as_raw_fd())?;
+                    c.finished = true;
+                    remaining -= 1;
+                    continue;
+                }
+                flush_client(c, &epoll, ev.token)?;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    cluster.quiesce();
+    cluster.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let total = latencies.len() as u64;
+    assert_eq!(total, conns as u64 * u64::from(txns), "every transaction must commit");
+    Ok(RunReport {
+        reactor: kind,
+        conns,
+        total_txns: total,
+        elapsed_s: elapsed,
+        throughput: total as f64 / elapsed,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+    })
+}
+
+/// Queue the client's next transaction request and stamp its start.
+fn submit_next(c: &mut Client, placement: &DataPlacement) {
+    let ops = gen_txn(&mut c.rng, placement, c.site);
+    let frame = encode_framed(&WireMsg::Client(ClientMsg::Execute(ops)));
+    debug_assert!(c.wbuf.len() == c.woff, "one outstanding request per connection");
+    c.wbuf.clear();
+    c.woff = 0;
+    c.wbuf.extend_from_slice(&frame);
+    c.sent_at = Instant::now();
+}
+
+/// Read-heavy transaction: reads of random local copies, occasional
+/// writes of the site's own primaries (conflict-free across sites).
+fn gen_txn(rng: &mut u64, placement: &DataPlacement, site: SiteId) -> Vec<Op> {
+    let copies = placement.items_at(site);
+    let primaries = placement.primaries_at(site);
+    let mut ops = Vec::with_capacity(OPS_PER_TXN);
+    for _ in 0..OPS_PER_TXN {
+        let roll = splitmix64(rng);
+        if primaries.is_empty() || roll % 1000 < READ_PERMILLE {
+            let item = copies[(splitmix64(rng) % copies.len() as u64) as usize];
+            if !ops.iter().any(|o: &Op| o.item == item) {
+                ops.push(Op::read(item));
+            }
+        } else {
+            let item = primaries[(splitmix64(rng) % primaries.len() as u64) as usize];
+            let value = (splitmix64(rng) % 1_000_000) as i64;
+            ops.retain(|o: &Op| o.item != item);
+            ops.push(Op::write(item, value));
+        }
+    }
+    ops
+}
+
+/// Push pending request bytes; register for EPOLLOUT only while the
+/// kernel buffer is full.
+fn flush_client(c: &mut Client, epoll: &Epoll, token: u64) -> io::Result<()> {
+    use std::os::fd::AsRawFd;
+    while c.woff < c.wbuf.len() {
+        match c.stream.write(&c.wbuf[c.woff..]) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "server closed")),
+            Ok(n) => c.woff += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let want_write = c.woff < c.wbuf.len();
+    if want_write != c.registered_write {
+        let interest = if want_write { Interest::READ_WRITE } else { Interest::READ };
+        epoll.modify(c.stream.as_raw_fd(), token, interest)?;
+        c.registered_write = want_write;
+    }
+    Ok(())
+}
+
+/// Drain readable bytes and complete transactions; returns `true` once
+/// the client has committed its whole quota.
+fn drain_replies(
+    c: &mut Client,
+    placement: &DataPlacement,
+    latencies: &mut Vec<f64>,
+    txns: u32,
+) -> io::Result<bool> {
+    let mut scratch = [0u8; 4096];
+    loop {
+        match c.stream.read(&mut scratch) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed")),
+            Ok(n) => c.reader.feed(&scratch[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+        loop {
+            match c.reader.next_msg() {
+                Ok(Some(WireMsg::Reply(ClientReply::Executed(Ok(_))))) => {
+                    latencies.push(c.sent_at.elapsed().as_secs_f64() * 1000.0);
+                    c.done += 1;
+                    if c.done >= txns {
+                        return Ok(true);
+                    }
+                    submit_next(c, placement);
+                }
+                Ok(Some(other)) => {
+                    return Err(io::Error::other(format!("unexpected reply: {other:?}")))
+                }
+                Ok(None) => break,
+                Err(e) => return Err(io::Error::other(format!("reply decode: {e}"))),
+            }
+        }
+    }
+    Ok(false)
+}
+
+// ---------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Nearest-rank percentile over an ascending slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn render_json(reports: &[RunReport], txns: u32) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"reactor_loadgen\",\n");
+    out.push_str("  \"placement\": \"example_1_1\",\n");
+    out.push_str("  \"protocol\": \"dagwt\",\n");
+    out.push_str(&format!("  \"txns_per_conn\": {txns},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"reactor\": \"{}\", \"conns\": {}, \"total_txns\": {}, \
+             \"elapsed_s\": {:.3}, \"throughput_txn_s\": {:.1}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}{}\n",
+            r.reactor.name(),
+            r.conns,
+            r.total_txns,
+            r.elapsed_s,
+            r.throughput,
+            r.p50_ms,
+            r.p99_ms,
+            r.max_ms,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -30,6 +30,37 @@ impl TransportKind {
     }
 }
 
+/// Which I/O driver a `repld` process runs its site on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ReactorKind {
+    /// Blocking I/O, one OS thread per connection (plus dialer and
+    /// accept threads).
+    #[default]
+    Threads,
+    /// A single-threaded nonblocking epoll readiness loop owning every
+    /// connection — the scalable choice for large client counts.
+    Epoll,
+}
+
+impl ReactorKind {
+    /// Parse a config/flag spelling.
+    pub fn parse(s: &str) -> Result<ReactorKind, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "threads" | "thread" | "blocking" => Ok(ReactorKind::Threads),
+            "epoll" | "reactor" => Ok(ReactorKind::Epoll),
+            other => Err(format!("unknown reactor {other:?} (expected \"threads\" or \"epoll\")")),
+        }
+    }
+
+    /// The canonical flag spelling (what `--reactor` accepts back).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReactorKind::Threads => "threads",
+            ReactorKind::Epoll => "epoll",
+        }
+    }
+}
+
 /// Parsed deployment config for one `repld` process. All fields are
 /// optional here — `repld` decides which are mandatory after merging
 /// flags over the file.
@@ -46,6 +77,8 @@ pub struct DeployConfig {
     pub placement: Option<String>,
     /// Transport selection.
     pub transport: Option<TransportKind>,
+    /// I/O driver selection (TCP deployments only).
+    pub reactor: Option<ReactorKind>,
     /// Site id → dial address for every peer. May be left empty when a
     /// launcher pushes the map over the client protocol instead.
     pub peers: AddressMap,
@@ -118,6 +151,13 @@ impl DeployConfig {
                     cfg.transport =
                         Some(TransportKind::parse(&s).map_err(|e| format!("line {lineno}: {e}"))?);
                 }
+                "reactor" => {
+                    let s = unquote(value).ok_or_else(|| {
+                        format!("line {lineno}: reactor must be a \"quoted\" string")
+                    })?;
+                    cfg.reactor =
+                        Some(ReactorKind::parse(&s).map_err(|e| format!("line {lineno}: {e}"))?);
+                }
                 other => return Err(format!("line {lineno}: unknown key {other:?}")),
             }
         }
@@ -141,6 +181,9 @@ impl DeployConfig {
         }
         if flags.transport.is_some() {
             self.transport = flags.transport;
+        }
+        if flags.reactor.is_some() {
+            self.reactor = flags.reactor;
         }
         for (site, addr) in flags.peers.entries() {
             self.peers.insert(*site, addr.clone());
@@ -184,6 +227,7 @@ mod tests {
             listen = "127.0.0.1:7101"  # announced port
             protocol = "dagwt"
             transport = "tcp"
+            reactor = "epoll"
             placement = "3;0:0,1,2;1:1,2;2:2"
 
             [peers]
@@ -196,6 +240,7 @@ mod tests {
         assert_eq!(cfg.listen.as_deref(), Some("127.0.0.1:7101"));
         assert_eq!(cfg.protocol.as_deref(), Some("dagwt"));
         assert_eq!(cfg.transport, Some(TransportKind::Tcp));
+        assert_eq!(cfg.reactor, Some(ReactorKind::Epoll));
         assert_eq!(cfg.peers.len(), 3);
         assert_eq!(cfg.peers.get(SiteId(2)), Some("127.0.0.1:7102"));
     }
@@ -211,6 +256,7 @@ mod tests {
             ("just a line", "key = value"),
             ("[peers]\nzero = \"a:1\"", "site id"),
             ("transport = \"carrier-pigeon\"", "unknown transport"),
+            ("reactor = \"fibers\"", "unknown reactor"),
         ] {
             let err = DeployConfig::parse(text).unwrap_err();
             assert!(err.contains(needle), "{text:?} → {err:?} missing {needle:?}");

@@ -81,6 +81,46 @@ pub fn decode_framed(buf: &mut BytesMut) -> Result<Option<WireMsg>, NetError> {
     WireMsg::decode(body).map(Some)
 }
 
+/// An incremental frame decoder for nonblocking readers.
+///
+/// A reactor reads whatever bytes the socket has ready, [`feed`]s them
+/// in, and pulls complete messages with [`next_msg`] — the
+/// sans-I/O counterpart of the blocking [`read_msg`]. Partial frames
+/// simply stay buffered until more bytes arrive; a decode error means
+/// framing is lost and the connection should be dropped.
+///
+/// [`feed`]: FrameReader::feed
+/// [`next_msg`]: FrameReader::next_msg
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: BytesMut,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Append bytes received from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.put_slice(bytes);
+    }
+
+    /// Decode the next complete message, if one is buffered.
+    ///
+    /// `Ok(None)` means more bytes are needed. Call in a loop after each
+    /// [`FrameReader::feed`] — one read may complete several frames.
+    pub fn next_msg(&mut self) -> Result<Option<WireMsg>, NetError> {
+        decode_framed(&mut self.buf)
+    }
+
+    /// Bytes buffered but not yet decoded (observability, tests).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
 /// Write one framed message to a stream.
 pub fn write_msg(w: &mut impl Write, msg: &WireMsg) -> io::Result<()> {
     w.write_all(&encode_framed(msg))?;
@@ -132,6 +172,34 @@ mod tests {
         assert!(matches!(decode_framed(&mut zero), Err(NetError::Oversized(0))));
         let mut big = BytesMut::from(&u32::MAX.to_be_bytes()[..]);
         assert!(matches!(decode_framed(&mut big), Err(NetError::Oversized(_))));
+    }
+
+    #[test]
+    fn frame_reader_reassembles_split_frames() {
+        let msgs =
+            vec![WireMsg::Ack { seq: 7 }, WireMsg::Reject("busy".into()), WireMsg::Ack { seq: 8 }];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_framed(m));
+        }
+        // Feed in ragged chunks, as a nonblocking read would deliver.
+        let mut reader = FrameReader::new();
+        let mut out = Vec::new();
+        for chunk in wire.chunks(3) {
+            reader.feed(chunk);
+            while let Some(m) = reader.next_msg().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, msgs);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_reader_surfaces_bad_prefix() {
+        let mut reader = FrameReader::new();
+        reader.feed(&u32::MAX.to_be_bytes());
+        assert!(matches!(reader.next_msg(), Err(NetError::Oversized(_))));
     }
 
     #[test]

@@ -146,6 +146,10 @@ pub enum ClientReply {
         outstanding: i64,
         /// Transactions committed at this site.
         committed: u64,
+        /// Malformed, oversized or mis-typed client frames this process
+        /// has refused (each one also got a typed [`ClientReply::Err`]
+        /// before its connection was dropped).
+        decode_errors: u64,
     },
     /// Outcome of [`ClientMsg::CopyState`].
     State(Bytes),
@@ -183,6 +187,21 @@ pub enum WireMsg {
     Client(ClientMsg),
     /// A client reply.
     Reply(ClientReply),
+}
+
+impl WireMsg {
+    /// The message's kind, for error reporting ("expected X, got Y").
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WireMsg::Hello(_) => "Hello",
+            WireMsg::HelloAck(_) => "HelloAck",
+            WireMsg::Reject(_) => "Reject",
+            WireMsg::Link { .. } => "Link",
+            WireMsg::Ack { .. } => "Ack",
+            WireMsg::Client(_) => "Client",
+            WireMsg::Reply(_) => "Reply",
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -435,10 +454,11 @@ fn put_reply(buf: &mut BytesMut, reply: &ClientReply) {
                 }
             }
         }
-        ClientReply::Stats { outstanding, committed } => {
+        ClientReply::Stats { outstanding, committed, decode_errors } => {
             buf.put_u8(4);
             buf.put_i64(*outstanding);
             buf.put_u64(*committed);
+            buf.put_u64(*decode_errors);
         }
         ClientReply::State(bytes) => {
             buf.put_u8(5);
@@ -471,12 +491,13 @@ fn get_reply(buf: &mut Bytes) -> Result<ClientReply, NetError> {
             t => return Err(NetError::BadTag(t)),
         },
         4 => {
-            if buf.len() < 16 {
+            if buf.len() < 24 {
                 return Err(NetError::Truncated);
             }
             let outstanding = buf.get_i64();
             let committed = buf.get_u64();
-            ClientReply::Stats { outstanding, committed }
+            let decode_errors = buf.get_u64();
+            ClientReply::Stats { outstanding, committed, decode_errors }
         }
         5 => {
             let len = codec::get_u64(buf)? as usize;
@@ -695,7 +716,11 @@ mod tests {
             Value::int(5),
             Some(GlobalTxnId::new(SiteId(2), 1)),
         )))));
-        roundtrip(WireMsg::Reply(ClientReply::Stats { outstanding: -2, committed: 10 }));
+        roundtrip(WireMsg::Reply(ClientReply::Stats {
+            outstanding: -2,
+            committed: 10,
+            decode_errors: 3,
+        }));
         roundtrip(WireMsg::Reply(ClientReply::State(Bytes::from_static(&[1, 2, 3]))));
         roundtrip(WireMsg::Reply(ClientReply::Ok));
         roundtrip(WireMsg::Reply(ClientReply::Err("nope".into())));

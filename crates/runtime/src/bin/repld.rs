@@ -27,17 +27,20 @@ use std::process::ExitCode;
 
 use repl_analysis::{check_address_map, has_errors, render};
 use repl_copygraph::DataPlacement;
-use repl_core::deploy::DeployConfig;
-use repl_runtime::{serve, RuntimeProtocol, ServeConfig};
+use repl_core::deploy::{DeployConfig, ReactorKind};
+use repl_runtime::{serve, serve_epoll, RuntimeProtocol, ServeConfig};
 use repl_types::SiteId;
 
 const USAGE: &str = "\
 usage: repld [--config FILE] [--site N] [--listen HOST:PORT]
              [--protocol dagwt|dagt|backedge|naive] [--placement SPEC]
-             [--peer N=HOST:PORT]...
+             [--reactor threads|epoll] [--peer N=HOST:PORT]...
 
 Flags override --config values. --listen HOST:0 picks an ephemeral port
-and announces it on stdout as `repld: site N listening on ADDR`.";
+and announces it on stdout as `repld: site N listening on ADDR`.
+--reactor threads (default) spends one blocking OS thread per
+connection; --reactor epoll serves every connection from one
+nonblocking readiness loop.";
 
 fn main() -> ExitCode {
     match run() {
@@ -68,8 +71,12 @@ fn run() -> Result<(), String> {
         }
     }
 
-    serve(ServeConfig { site: SiteId(site), placement, protocol, listen, peers: cfg.peers })
-        .map_err(|e| e.to_string())
+    let serve_cfg =
+        ServeConfig { site: SiteId(site), placement, protocol, listen, peers: cfg.peers };
+    match cfg.reactor.unwrap_or_default() {
+        ReactorKind::Threads => serve(serve_cfg).map_err(|e| e.to_string()),
+        ReactorKind::Epoll => serve_epoll(serve_cfg).map_err(|e| e.to_string()),
+    }
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<DeployConfig, String> {
@@ -93,6 +100,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<DeployConfig, String
             "--listen" => flags.listen = Some(value("--listen")?),
             "--protocol" => flags.protocol = Some(value("--protocol")?),
             "--placement" => flags.placement = Some(value("--placement")?),
+            "--reactor" => flags.reactor = Some(ReactorKind::parse(&value("--reactor")?)?),
             "--peer" => {
                 let spec = value("--peer")?;
                 let (site, addr) = spec

@@ -98,6 +98,12 @@ pub enum ClusterError {
     /// account for (the site refuses further transactions rather than
     /// guessing).
     Protocol(ProtocolError),
+    /// An I/O failure on the path to the site (process-per-site
+    /// deployments; the in-process cluster never produces this).
+    Io(String),
+    /// The operation is not meaningful for this deployment (e.g.
+    /// killing a TCP connection of an in-process cluster).
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for ClusterError {
@@ -119,6 +125,10 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::Disconnected => write!(f, "site is down or cluster is shut down"),
             ClusterError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClusterError::Io(e) => write!(f, "i/o error: {e}"),
+            ClusterError::Unsupported(what) => {
+                write!(f, "operation not supported by this deployment: {what}")
+            }
         }
     }
 }
@@ -230,10 +240,8 @@ impl Cluster {
         // every slot is replaced before any site can send.
         let routes = Arc::new(Routes::new((0..n).map(|_| traced_unbounded().0).collect()));
         let links = Arc::new(Links::new(n));
-        let net = Arc::new(Net::new(
-            links.clone(),
-            Box::new(ChannelRaw { routes: routes.clone(), links }),
-        ));
+        let net =
+            Arc::new(Net::new(links.clone(), Box::new(ChannelRaw::new(routes.clone(), links))));
         let mut cluster = Cluster {
             routes,
             net,
@@ -426,6 +434,11 @@ impl Cluster {
     /// so far.
     pub fn check_serializability(&self) -> Result<(), SerializationCycle> {
         self.history.lock().check_serializability()
+    }
+
+    /// Replica applications still in flight, cluster-wide.
+    pub(crate) fn outstanding_count(&self) -> i64 {
+        self.outstanding.load(Ordering::SeqCst)
     }
 
     /// Number of transactions committed so far.

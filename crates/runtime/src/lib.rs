@@ -25,14 +25,18 @@
 //! site's durable WAL, with lost deliveries retransmitted from
 //! sender-side outboxes — see the `link` and `durable` modules.
 //!
-//! Two deployments share the site runtime through one transport seam
-//! (the `transport` module): [`Cluster`] wires sites with in-process
-//! channels, while [`serve`] runs one site per OS process speaking the
-//! `repl-net` wire protocol over TCP (the `repld` binary), with
-//! [`ProcCluster`] as the matching multi-process launcher. The
-//! sender-side outboxes and receiver-side dedup/gap marks are the same
-//! code in both, so exactly-once in-order delivery survives real
-//! connection drops the same way it survives [`Cluster::crash`].
+//! Three deployments share the site runtime through one event-oriented
+//! transport seam (the `transport` module): [`Cluster`] wires sites
+//! with in-process channels; [`serve`] runs one site per OS process
+//! speaking the `repl-net` wire protocol over blocking TCP with a
+//! thread per connection; and [`serve_epoll`] runs the same site on a
+//! single-threaded nonblocking epoll reactor (`repld --reactor epoll`).
+//! [`ProcCluster`] is the matching multi-process launcher for both
+//! `repld` modes, and [`ClusterHandle`] the deployment-generic client
+//! API drivers are written against. The sender-side outboxes and
+//! receiver-side dedup/gap marks are the same code everywhere, so
+//! exactly-once in-order delivery survives real connection drops the
+//! same way it survives [`Cluster::crash`].
 //!
 //! ```
 //! use repl_core::scenario;
@@ -54,12 +58,16 @@
 mod chan;
 mod cluster;
 mod durable;
+mod handle;
 mod link;
 mod proc;
+mod reactor;
 mod site;
 mod tcp;
 mod transport;
 
 pub use cluster::{Cluster, ClusterError, RuntimeProtocol, TxnHandle};
+pub use handle::{ClusterHandle, SiteStats};
 pub use proc::{repld_bin, ProcCluster};
+pub use reactor::serve_epoll;
 pub use tcp::{serve, ServeConfig};

@@ -22,10 +22,11 @@
 //!   sequence `s`, the receiver acks it, which prunes the outbox prefix
 //!   `<= s` at the sender.
 //!
-//! Everything here is shared verbatim by both transports — in-process
-//! channels and TCP ([`crate::transport`], [`crate::tcp`]). Only the
-//! "one attempt to put bytes on the wire" step differs; that is the
-//! [`crate::transport::RawTransport`] trait, and the sequencing,
+//! Everything here is shared verbatim by every transport — in-process
+//! channels, threaded TCP, and the epoll reactor ([`crate::transport`],
+//! [`crate::tcp`], [`crate::reactor`]). Only the "one nonblocking
+//! attempt to put bytes on the wire" step differs; that is the
+//! [`crate::transport::Transport`] trait, and the sequencing,
 //! outboxing, acking and replay logic exists exactly once, here and in
 //! [`crate::transport::Net`].
 

@@ -19,10 +19,12 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use repl_copygraph::DataPlacement;
+use repl_core::deploy::ReactorKind;
 use repl_net::{read_msg, write_msg, ClientMsg, ClientReply, ExecError, WireMsg};
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
 
 use crate::cluster::RuntimeProtocol;
+use crate::handle::SiteStats;
 
 /// How long to keep retrying the initial client connection to a child.
 const CONNECT_WINDOW: Duration = Duration::from_secs(10);
@@ -62,9 +64,20 @@ pub struct ProcCluster {
 impl ProcCluster {
     /// Spawn one `repld` process per site of `placement` (binary found
     /// via [`repld_bin`]), wire the mesh, and connect a client session
-    /// to each.
+    /// to each. Children run the default threaded I/O driver; see
+    /// [`ProcCluster::launch_reactor`] to choose.
     pub fn launch(placement: &DataPlacement, protocol: RuntimeProtocol) -> io::Result<Self> {
         Self::launch_with_bin(&repld_bin()?, placement, protocol)
+    }
+
+    /// [`ProcCluster::launch`] with an explicit I/O driver: children
+    /// are started with `--reactor <kind>`.
+    pub fn launch_reactor(
+        placement: &DataPlacement,
+        protocol: RuntimeProtocol,
+        reactor: ReactorKind,
+    ) -> io::Result<Self> {
+        Self::launch_inner(&repld_bin()?, placement, protocol, reactor)
     }
 
     /// [`ProcCluster::launch`] with an explicit `repld` path.
@@ -72,6 +85,26 @@ impl ProcCluster {
         bin: &std::path::Path,
         placement: &DataPlacement,
         protocol: RuntimeProtocol,
+    ) -> io::Result<Self> {
+        Self::launch_inner(bin, placement, protocol, ReactorKind::Threads)
+    }
+
+    /// Explicit `repld` path *and* explicit I/O driver — what the test
+    /// suites use (`CARGO_BIN_EXE_repld` plus a reactor column).
+    pub fn launch_with_bin_reactor(
+        bin: &std::path::Path,
+        placement: &DataPlacement,
+        protocol: RuntimeProtocol,
+        reactor: ReactorKind,
+    ) -> io::Result<Self> {
+        Self::launch_inner(bin, placement, protocol, reactor)
+    }
+
+    fn launch_inner(
+        bin: &std::path::Path,
+        placement: &DataPlacement,
+        protocol: RuntimeProtocol,
+        reactor: ReactorKind,
     ) -> io::Result<Self> {
         let n = placement.num_sites() as usize;
         let spec = placement.to_spec();
@@ -98,6 +131,8 @@ impl ProcCluster {
                     proto,
                     "--placement",
                     &spec,
+                    "--reactor",
+                    reactor.name(),
                 ])
                 .stdout(Stdio::piped())
                 .spawn()?;
@@ -176,10 +211,12 @@ impl ProcCluster {
         }
     }
 
-    /// `(outstanding, committed)` counters of one site process.
-    pub fn stats(&self, site: SiteId) -> io::Result<(i64, u64)> {
+    /// The counters of one site process ([`SiteStats`]).
+    pub fn stats(&self, site: SiteId) -> io::Result<SiteStats> {
         match self.request(site, ClientMsg::Stats)? {
-            ClientReply::Stats { outstanding, committed } => Ok((outstanding, committed)),
+            ClientReply::Stats { outstanding, committed, decode_errors } => {
+                Ok(SiteStats { outstanding, committed, decode_errors })
+            }
             other => Err(io::Error::other(format!("unexpected stats reply: {other:?}"))),
         }
     }
@@ -215,7 +252,8 @@ impl ProcCluster {
         loop {
             let mut total = 0i64;
             for i in 0..self.conns.len() {
-                total += self.stats(SiteId(i as u32)).map(|(o, _)| o).unwrap_or(i64::MAX / 2);
+                total +=
+                    self.stats(SiteId(i as u32)).map(|s| s.outstanding).unwrap_or(i64::MAX / 2);
             }
             if total == 0 {
                 return;

@@ -1,0 +1,928 @@
+//! The epoll deployment: one site, one thread, one readiness loop.
+//!
+//! [`serve_epoll`] runs the same [`SiteCore`] as the threaded `repld`
+//! (`crate::tcp::serve`), but where that mode spends an OS thread per
+//! connection, this one owns *every* connection — the listener, the
+//! dialed peer links, the accepted peer links, and an arbitrary number
+//! of client sessions — from a single nonblocking thread driving a
+//! level-triggered epoll set (the `epoll` shim). That is what lets one
+//! `repld` process hold thousands of concurrent client connections
+//! (see the `loadgen` bench) on a couple of megabytes of buffers
+//! instead of thousands of stacks.
+//!
+//! Structure of the loop, in the order each iteration runs it:
+//!
+//! 1. `epoll_wait` (1 ms timeout — the protocol tick). For each ready
+//!    fd: accept new connections, or read-until-`WouldBlock` through a
+//!    [`FrameReader`] and act on every decoded frame, or flush a
+//!    write-blocked connection.
+//! 2. Re-dial missing peer connections (paced, nonblocking after
+//!    connect) and run the DAG(T) timers ([`SiteCore::tick`]).
+//! 3. Apply queued link frames ([`SiteCore::drain_net`]), finish an
+//!    eager-phase transaction whose BackEdge special came home, and
+//!    start queued client transactions ([`Reactor::pump_exec`]).
+//! 4. Flush every connection's pending bytes; register `EPOLLOUT`
+//!    interest only while something is actually buffered (the
+//!    level-triggered discipline — otherwise an idle writable socket
+//!    would wake the loop forever).
+//!
+//! **Backpressure.** Sends never block and never retry: a
+//! [`Transport::try_send`] into a full per-peer buffer returns
+//! [`SendStatus::Backpressure`] and the payload simply stays in the
+//! shared outbox ([`crate::link`]). When the buffer drains below half
+//! capacity the reactor replays the outbox ([`Net::resume`]); the
+//! receiver's durable dedup marks make the overlap exactly-once. The
+//! same replay path serves reconnects (`HelloAck.resume_seq`) — one
+//! recovery mechanism for both stalls and drops.
+//!
+//! **Eager phases.** A BackEdge transaction waits for its special to
+//! come home. A thread can park; the reactor instead parks the
+//! *transaction*: `in_flight` holds it (serializing clients exactly
+//! like the one-command-at-a-time site thread does), link frames keep
+//! flowing, and when [`SiteCore::take_home`] fires the loop completes
+//! the commit and replies.
+//!
+//! **Blocking discipline.** Every fd is nonblocking; all raw socket
+//! calls funnel through three audited helpers at the bottom of this
+//! file. replint rule RL009 rejects any other `read`/`write`/`accept`
+//! call site in this file, so the no-blocking property is mechanically
+//! enforced. The two deliberate exceptions are startup-shaped:
+//! `TcpListener::bind` and the paced, timeout-capped
+//! `TcpStream::connect_timeout` in the dialer.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use epoll::{Epoll, Interest};
+use parking_lot::Mutex;
+
+use repl_net::{
+    cluster_fingerprint, encode_framed, negotiate, ClientMsg, ClientReply, FrameReader, Hello,
+    HelloAck, NetError, Payload, WireMsg, VERSION_MAX, VERSION_MIN,
+};
+use repl_types::{AddressMap, GlobalTxnId, Op, SiteId};
+
+use crate::cluster::{build_structure, recovered_store};
+use crate::durable::DurableSite;
+use crate::link::Links;
+use crate::site::{SiteCore, SiteSetup, Started};
+use crate::tcp::{exec_error, ServeConfig};
+use crate::transport::{Net, SendStatus, Transport, TransportEvent};
+
+/// The epoll token of the listening socket; connection tokens are slab
+/// indices, far below.
+const LISTENER: u64 = u64::MAX;
+/// `epoll_wait` timeout — the protocol tick granularity.
+const TICK_MS: i32 = 1;
+/// Dialer pacing: how often missing peer connections are retried.
+const DIAL_RETRY: Duration = Duration::from_millis(20);
+/// Cap on one blocking `connect` attempt in the dialer (loopback
+/// connects resolve in microseconds; this bounds the pathological
+/// case, e.g. a peer address that routes to a black hole).
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(50);
+/// Per-peer write-buffer cap: a `try_send` that would grow a lane past
+/// this returns [`SendStatus::Backpressure`] instead.
+const LANE_BUF_CAP: usize = 1 << 20;
+/// A stalled lane resumes outbox replay once its buffer drains below
+/// this (half the cap, so drain and replay don't thrash at the edge).
+const LANE_RESUME_AT: usize = LANE_BUF_CAP / 2;
+/// A client connection whose reply buffer exceeds this is not reading
+/// its replies; it is dropped rather than allowed to grow the buffer
+/// unboundedly.
+const CLIENT_WBUF_CAP: usize = 1 << 20;
+/// After a client `Shutdown`, how long the loop keeps flushing before
+/// exiting regardless.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(1);
+/// Stack scratch buffer for socket reads.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A byte queue in front of one socket: filled by frame encoders,
+/// drained by nonblocking writes.
+#[derive(Default)]
+struct WriteBuf {
+    buf: VecDeque<u8>,
+}
+
+impl WriteBuf {
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes.iter().copied());
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Write as much as the socket accepts. `Ok` with a non-empty
+    /// buffer means the kernel buffer is full (`WouldBlock`) — register
+    /// write interest and try again on readiness. `Err` means the
+    /// connection is broken.
+    fn flush(&mut self, stream: &mut TcpStream) -> io::Result<()> {
+        while !self.buf.is_empty() {
+            let (head, _) = self.buf.as_slices();
+            match write_some(stream, head) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.buf.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One directed byte lane the transport writes into and the reactor
+/// flushes: link frames toward a dialed peer, or ack frames back on an
+/// accepted peer connection.
+#[derive(Default)]
+struct OutLane {
+    /// A connection is installed and handshaken.
+    connected: bool,
+    /// A `try_send` was refused for want of buffer space; the next
+    /// sub-half-cap drain triggers an outbox replay.
+    stalled: bool,
+    buf: WriteBuf,
+}
+
+/// The reactor's [`Transport`]: sends are memcpys into per-peer lanes
+/// (never syscalls — the readiness loop owns all socket I/O), and
+/// inbound frames queue in the inbox the reactor drains via
+/// [`SiteCore::drain_net`]. The mutexes are uncontended formality: the
+/// whole deployment is single-threaded, but the `Transport` trait is
+/// shared with genuinely multi-threaded deployments and so requires
+/// `Send + Sync`.
+struct ReactorWire {
+    /// `lanes[p]`: link frames awaiting the connection we dialed to `p`.
+    lanes: Vec<Mutex<OutLane>>,
+    /// `ack_lanes[p]`: ack frames awaiting the connection `p` dialed to
+    /// us.
+    ack_lanes: Vec<Mutex<OutLane>>,
+    /// Link frames decoded off accepted peer connections, in read
+    /// order.
+    inbox: Mutex<VecDeque<TransportEvent>>,
+}
+
+impl ReactorWire {
+    fn new(sites: usize) -> Self {
+        ReactorWire {
+            lanes: (0..sites).map(|_| Mutex::new(OutLane::default())).collect(),
+            ack_lanes: (0..sites).map(|_| Mutex::new(OutLane::default())).collect(),
+            inbox: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+impl Transport for ReactorWire {
+    fn try_send(&self, _from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> SendStatus {
+        let mut lane = self.lanes[to.index()].lock();
+        if !lane.connected {
+            return SendStatus::Down;
+        }
+        if lane.buf.len() >= LANE_BUF_CAP {
+            lane.stalled = true;
+            return SendStatus::Backpressure;
+        }
+        lane.buf.push_bytes(&encode_framed(&WireMsg::Link { seq, payload: payload.clone() }));
+        SendStatus::Sent
+    }
+
+    fn send_ack(&self, from: SiteId, _me: SiteId, seq: u64) -> SendStatus {
+        let mut lane = self.ack_lanes[from.index()].lock();
+        if !lane.connected {
+            return SendStatus::Down;
+        }
+        if lane.buf.len() >= LANE_BUF_CAP {
+            // A refused ack is only a delay: the next ack is cumulative,
+            // and the handshake resume_seq resynchronizes after drops.
+            return SendStatus::Backpressure;
+        }
+        lane.buf.push_bytes(&encode_framed(&WireMsg::Ack { seq }));
+        SendStatus::Sent
+    }
+
+    fn poll_events(&self, _me: SiteId) -> Vec<TransportEvent> {
+        std::mem::take(&mut *self.inbox.lock()).into()
+    }
+}
+
+impl Transport for Arc<ReactorWire> {
+    fn try_send(&self, from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> SendStatus {
+        (**self).try_send(from, to, seq, payload)
+    }
+
+    fn send_ack(&self, from: SiteId, me: SiteId, seq: u64) -> SendStatus {
+        (**self).send_ack(from, me, seq)
+    }
+
+    fn poll_events(&self, me: SiteId) -> Vec<TransportEvent> {
+        (**self).poll_events(me)
+    }
+}
+
+/// What one registered connection currently is.
+#[derive(Clone, Copy, Debug)]
+enum Role {
+    /// Accepted, nothing read yet: the first frame decides (peer
+    /// `Hello` or a client request).
+    Pending,
+    /// Accepted peer link: we read `Link` frames from `from` and write
+    /// `Ack` frames back.
+    PeerIn { from: SiteId },
+    /// Dialed peer link, `Hello` sent, `HelloAck` not yet received.
+    PeerOutHs { peer: SiteId },
+    /// Dialed peer link, established: we write `Link` frames and read
+    /// cumulative `Ack`s.
+    PeerOut { peer: SiteId },
+    /// A client session speaking framed `ClientMsg`/`ClientReply`.
+    Client,
+}
+
+/// Per-connection state in the reactor's slab.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Connection-private outgoing bytes: handshakes and client
+    /// replies. Peer traffic lives in the shared lanes instead, so the
+    /// outbox/backpressure accounting sees one number per peer.
+    wbuf: WriteBuf,
+    role: Role,
+    /// Whether the current epoll registration includes `EPOLLOUT`.
+    want_write: bool,
+    /// Close once `wbuf` drains (used to land a final error reply).
+    closing: bool,
+}
+
+/// A client transaction parked in its BackEdge eager phase: committed
+/// nowhere yet, waiting for [`SiteCore::take_home`].
+struct InFlight {
+    /// Slab token of the client connection awaiting the reply
+    /// (`usize::MAX` once that connection died — the commit still
+    /// completes; the reply is dropped).
+    token: usize,
+    gid: GlobalTxnId,
+    ops: Vec<Op>,
+}
+
+/// Run one site as this process on a single-threaded nonblocking epoll
+/// reactor — `repld --reactor epoll`. Same contract as
+/// [`crate::serve`]: binds `cfg.listen`, prints the
+/// `repld: site N listening on ADDR` banner first on stdout, serves
+/// peer and client connections until a client sends
+/// [`ClientMsg::Shutdown`].
+pub fn serve_epoll(cfg: ServeConfig) -> io::Result<()> {
+    let structure = build_structure(&cfg.placement, cfg.protocol)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let n = cfg.placement.num_sites() as usize;
+    if cfg.site.index() >= n {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "site id out of range"));
+    }
+
+    let wire = Arc::new(ReactorWire::new(n));
+    let links = Arc::new(Links::new(n));
+    let net = Arc::new(Net::new(links, Box::new(wire.clone())));
+    let durable = Arc::new(Mutex::new(DurableSite::new(n)));
+    let history = Arc::new(Mutex::new(repl_core::history::History::new()));
+    let outstanding = Arc::new(std::sync::atomic::AtomicI64::new(0));
+    let placement = Arc::new(cfg.placement.clone());
+
+    let setup = SiteSetup::new(
+        cfg.site,
+        cfg.protocol,
+        placement.clone(),
+        structure.graph.clone(),
+        structure.tree.clone(),
+    )
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let store = recovered_store(&placement, cfg.site, &durable.lock().wal);
+    let core = setup.into_core(store, net, placement, history, outstanding, durable);
+
+    let listener = TcpListener::bind(&cfg.listen)?;
+    listener.set_nonblocking(true)?;
+    // The launcher contract: exactly this line, first, on stdout.
+    println!("repld: site {} listening on {}", cfg.site.0, listener.local_addr()?);
+
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), LISTENER, Interest::READ)?;
+
+    let mut reactor = Reactor {
+        epoll,
+        listener,
+        me: cfg.site,
+        num_sites: n,
+        fingerprint: cluster_fingerprint(&cfg.placement.to_spec(), cfg.protocol.name()),
+        core,
+        wire,
+        conns: Vec::new(),
+        free: Vec::new(),
+        out_conn: vec![None; n],
+        in_conn: vec![None; n],
+        peers: cfg.peers,
+        exec_queue: VecDeque::new(),
+        in_flight: None,
+        decode_errors: 0,
+        last_dial: Instant::now() - DIAL_RETRY,
+        shutdown: None,
+        events: Vec::new(),
+    };
+    reactor.run()
+}
+
+struct Reactor {
+    epoll: Epoll,
+    listener: TcpListener,
+    me: SiteId,
+    num_sites: usize,
+    fingerprint: u64,
+    core: SiteCore,
+    wire: Arc<ReactorWire>,
+    /// Slab of connections; the epoll token of a connection is its
+    /// index here.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Token of the connection we dialed to each peer (reserved from
+    /// dial time, through the handshake, until close).
+    out_conn: Vec<Option<usize>>,
+    /// Token of the connection each peer dialed to us.
+    in_conn: Vec<Option<usize>>,
+    peers: AddressMap,
+    /// Client transactions not yet started (FIFO — the site is serial).
+    exec_queue: VecDeque<(usize, Vec<Op>)>,
+    /// The one transaction inside its eager phase, if any.
+    in_flight: Option<InFlight>,
+    /// Client request frames refused because they did not decode.
+    decode_errors: u64,
+    last_dial: Instant,
+    /// Set when a client requested shutdown: drain-and-exit deadline.
+    shutdown: Option<Instant>,
+    events: Vec<epoll::Event>,
+}
+
+impl Reactor {
+    fn run(&mut self) -> io::Result<()> {
+        loop {
+            let mut events = std::mem::take(&mut self.events);
+            events.clear();
+            self.epoll.wait(&mut events, TICK_MS)?;
+            for ev in &events {
+                self.on_event(*ev);
+            }
+            self.events = events;
+
+            if self.last_dial.elapsed() >= DIAL_RETRY {
+                self.dial_missing();
+            }
+            self.core.tick();
+            self.core.drain_net();
+            self.finish_in_flight();
+            self.pump_exec();
+            self.flush_all();
+
+            if let Some(deadline) = self.shutdown {
+                let drained = self.conns.iter().flatten().all(|c| c.wbuf.is_empty());
+                if drained || Instant::now() >= deadline {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn on_event(&mut self, ev: epoll::Event) {
+        if ev.token == LISTENER {
+            self.accept_all();
+            return;
+        }
+        let tok = ev.token as usize;
+        if self.conns.get(tok).is_none_or(Option::is_none) {
+            return; // closed earlier this iteration; stale readiness
+        }
+        if ev.readable || ev.error {
+            // Errors are discovered by reading: a reset surfaces as a
+            // read error, a clean FIN as EOF — both close the slot.
+            self.handle_readable(tok);
+        }
+        if ev.writable {
+            self.flush_conn(tok);
+        }
+    }
+
+    fn accept_all(&mut self) {
+        loop {
+            match accept_some(&self.listener) {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.install_conn(stream, Role::Pending);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient per-connection accept failures (aborted
+                // handshake, fd pressure): drop that connection, keep
+                // listening.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn install_conn(&mut self, stream: TcpStream, role: Role) -> Option<usize> {
+        let tok = match self.free.pop() {
+            Some(tok) => tok,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        if self.epoll.add(stream.as_raw_fd(), tok as u64, Interest::READ).is_err() {
+            self.free.push(tok);
+            return None;
+        }
+        self.conns[tok] = Some(Conn {
+            stream,
+            reader: FrameReader::new(),
+            wbuf: WriteBuf::default(),
+            role,
+            want_write: false,
+            closing: false,
+        });
+        Some(tok)
+    }
+
+    /// Read until `WouldBlock`/EOF, then act on every decoded frame.
+    fn handle_readable(&mut self, tok: usize) {
+        let mut scratch = [0u8; READ_CHUNK];
+        let mut msgs = Vec::new();
+        let mut dead = false;
+        let mut decode_err: Option<NetError> = None;
+        {
+            let Some(conn) = self.conns[tok].as_mut() else { return };
+            'read: loop {
+                match read_some(&mut conn.stream, &mut scratch) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(count) => {
+                        conn.reader.feed(&scratch[..count]);
+                        loop {
+                            match conn.reader.next_msg() {
+                                Ok(Some(msg)) => msgs.push(msg),
+                                Ok(None) => break,
+                                Err(e) => {
+                                    decode_err = Some(e);
+                                    break 'read;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        for msg in msgs {
+            if !self.process_msg(tok, msg) {
+                return; // the connection was closed or re-fated
+            }
+        }
+        if let Some(e) = decode_err {
+            self.on_decode_error(tok, e);
+        } else if dead {
+            self.close_conn(tok);
+        }
+    }
+
+    /// Act on one decoded frame. Returns false if `tok` is no longer a
+    /// live connection afterwards.
+    fn process_msg(&mut self, tok: usize, msg: WireMsg) -> bool {
+        let Some(role) = self.conns[tok].as_ref().map(|c| c.role) else { return false };
+        match role {
+            Role::Pending => match msg {
+                WireMsg::Hello(hello) => self.setup_peer_in(tok, hello),
+                WireMsg::Client(m) => {
+                    if let Some(conn) = self.conns[tok].as_mut() {
+                        conn.role = Role::Client;
+                    }
+                    self.handle_client_msg(tok, m)
+                }
+                other => self.refuse_client_frame(tok, &other),
+            },
+            Role::PeerIn { from } => match msg {
+                WireMsg::Link { seq, payload } => {
+                    self.wire.inbox.lock().push_back(TransportEvent::Frame { from, seq, payload });
+                    true
+                }
+                _ => {
+                    // Protocol violation; drop the link, let it re-dial.
+                    self.close_conn(tok);
+                    false
+                }
+            },
+            Role::PeerOutHs { peer } => match msg {
+                WireMsg::HelloAck(ack) => self.establish_peer_out(tok, peer, ack),
+                // Reject, or anything else: this link cannot come up.
+                _ => {
+                    self.close_conn(tok);
+                    false
+                }
+            },
+            Role::PeerOut { peer } => match msg {
+                WireMsg::Ack { seq } => {
+                    self.core.net.on_ack(self.me, peer, seq);
+                    true
+                }
+                _ => {
+                    self.close_conn(tok);
+                    false
+                }
+            },
+            Role::Client => match msg {
+                WireMsg::Client(m) => self.handle_client_msg(tok, m),
+                other => self.refuse_client_frame(tok, &other),
+            },
+        }
+    }
+
+    /// Accepter side of the peer handshake, mirroring the threaded
+    /// `handle_peer` validations.
+    fn setup_peer_in(&mut self, tok: usize, hello: Hello) -> bool {
+        let reject = |this: &mut Self, tok: usize, why: &str| {
+            this.queue_msg(tok, &WireMsg::Reject(why.into()));
+            if let Some(conn) = this.conns[tok].as_mut() {
+                conn.closing = true;
+            }
+            false
+        };
+        if hello.cluster != self.fingerprint {
+            return reject(self, tok, "cluster fingerprint mismatch");
+        }
+        let Some(version) =
+            negotiate((VERSION_MIN, VERSION_MAX), (hello.version_min, hello.version_max))
+        else {
+            return reject(self, tok, "no common protocol version");
+        };
+        let from = hello.site;
+        if from == self.me || from.index() >= self.num_sites {
+            return reject(self, tok, "bad peer site id");
+        }
+        // A reconnecting peer supersedes its old link.
+        if let Some(old) = self.in_conn[from.index()] {
+            if old != tok {
+                self.close_conn(old);
+            }
+        }
+        let resume_seq = self.core.durable.lock().applied_from[from.index()];
+        self.queue_msg(tok, &WireMsg::HelloAck(HelloAck { version, site: self.me, resume_seq }));
+        if let Some(conn) = self.conns[tok].as_mut() {
+            conn.role = Role::PeerIn { from };
+        }
+        self.in_conn[from.index()] = Some(tok);
+        let mut lane = self.wire.ack_lanes[from.index()].lock();
+        lane.connected = true;
+        lane.buf.clear(); // acks for the dead predecessor are moot
+        true
+    }
+
+    /// Dialer side: `HelloAck` received — the link is up; prune to the
+    /// peer's durable mark and replay the outbox tail into the lane.
+    fn establish_peer_out(&mut self, tok: usize, peer: SiteId, ack: HelloAck) -> bool {
+        if ack.site != peer {
+            // Mis-addressed: the process at that address is another site.
+            self.close_conn(tok);
+            return false;
+        }
+        if let Some(conn) = self.conns[tok].as_mut() {
+            conn.role = Role::PeerOut { peer };
+        }
+        {
+            let mut lane = self.wire.lanes[peer.index()].lock();
+            lane.connected = true;
+            lane.stalled = false;
+            lane.buf.clear();
+        }
+        self.core.net.resume(self.me, peer, ack.resume_seq);
+        true
+    }
+
+    /// Paced dial pass: one nonblocking-after-connect attempt per peer
+    /// missing its outgoing link.
+    fn dial_missing(&mut self) {
+        self.last_dial = Instant::now();
+        for p in (0..self.num_sites as u32).map(SiteId) {
+            if p == self.me || self.out_conn[p.index()].is_some() {
+                continue;
+            }
+            let Some(addr) = self.peers.get(p).map(str::to_owned) else { continue };
+            let Ok(mut addrs) = addr.to_socket_addrs() else { continue };
+            let Some(sockaddr) = addrs.next() else { continue };
+            let Ok(stream) = TcpStream::connect_timeout(&sockaddr, CONNECT_TIMEOUT) else {
+                continue;
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let Some(tok) = self.install_conn(stream, Role::PeerOutHs { peer: p }) else {
+                continue;
+            };
+            // Reserve the slot through the handshake so the next dial
+            // pass does not double-dial.
+            self.out_conn[p.index()] = Some(tok);
+            self.queue_msg(
+                tok,
+                &WireMsg::Hello(Hello {
+                    site: self.me,
+                    version_min: VERSION_MIN,
+                    version_max: VERSION_MAX,
+                    cluster: self.fingerprint,
+                }),
+            );
+        }
+    }
+
+    /// One client request. Execute is queued (the site is serial and an
+    /// eager phase may be parked); everything else answers immediately.
+    fn handle_client_msg(&mut self, tok: usize, msg: ClientMsg) -> bool {
+        match msg {
+            ClientMsg::Execute(ops) => {
+                self.exec_queue.push_back((tok, ops));
+                true
+            }
+            ClientMsg::Peek(item) => {
+                self.queue_reply(tok, ClientReply::Cell(self.core.peek(item)));
+                true
+            }
+            ClientMsg::Stats => {
+                let reply = ClientReply::Stats {
+                    outstanding: self.core.outstanding.load(Ordering::SeqCst),
+                    committed: self.core.history.lock().committed_count() as u64,
+                    decode_errors: self.decode_errors,
+                };
+                self.queue_reply(tok, reply);
+                true
+            }
+            ClientMsg::CopyState => {
+                let state = self.core.copy_state();
+                self.queue_reply(tok, ClientReply::State(state));
+                true
+            }
+            ClientMsg::Peers(entries) => {
+                for (site, addr) in entries {
+                    self.peers.insert(site, addr);
+                }
+                self.queue_reply(tok, ClientReply::Ok);
+                true
+            }
+            ClientMsg::KillConn(peer) => {
+                if peer.index() >= self.num_sites {
+                    self.queue_reply(tok, ClientReply::Err(format!("no such peer {peer}")));
+                } else {
+                    if let Some(out) = self.out_conn[peer.index()] {
+                        self.close_conn(out);
+                    }
+                    if let Some(inc) = self.in_conn[peer.index()] {
+                        self.close_conn(inc);
+                    }
+                    self.queue_reply(tok, ClientReply::Ok);
+                }
+                true
+            }
+            ClientMsg::Shutdown => {
+                self.queue_reply(tok, ClientReply::Ok);
+                self.shutdown = Some(Instant::now() + SHUTDOWN_GRACE);
+                true
+            }
+        }
+    }
+
+    /// A frame a client connection should not have sent: count it,
+    /// answer with a typed error, close after the reply flushes.
+    fn refuse_client_frame(&mut self, tok: usize, got: &WireMsg) -> bool {
+        self.decode_errors += 1;
+        let reply =
+            ClientReply::Err(format!("expected a client request frame, got {}", got.kind_name()));
+        self.queue_reply(tok, reply);
+        if let Some(conn) = self.conns[tok].as_mut() {
+            conn.closing = true;
+        }
+        false
+    }
+
+    /// The connection's byte stream stopped decoding (bad prefix,
+    /// oversized claim, malformed body). For clients that is a typed,
+    /// counted refusal; for peers the link just drops and re-dials.
+    fn on_decode_error(&mut self, tok: usize, e: NetError) {
+        let Some(role) = self.conns[tok].as_ref().map(|c| c.role) else { return };
+        match role {
+            Role::Pending | Role::Client => {
+                self.decode_errors += 1;
+                self.queue_reply(tok, ClientReply::Err(format!("malformed request: {e}")));
+                if let Some(conn) = self.conns[tok].as_mut() {
+                    conn.closing = true;
+                }
+            }
+            _ => self.close_conn(tok),
+        }
+    }
+
+    /// Start queued client transactions until one parks in an eager
+    /// phase (or the queue empties). Mirrors the serial site thread:
+    /// at most one transaction is past `start_txn` at a time.
+    fn pump_exec(&mut self) {
+        while self.in_flight.is_none() {
+            let Some((tok, ops)) = self.exec_queue.pop_front() else { return };
+            match self.core.start_txn(&ops) {
+                Err(e) => {
+                    self.queue_reply(tok, ClientReply::Executed(Err(exec_error(e))));
+                }
+                Ok(Started { gid, immediate: true }) => {
+                    self.core.complete_txn(gid, &ops);
+                    self.queue_reply(tok, ClientReply::Executed(Ok(gid)));
+                }
+                Ok(Started { gid, immediate: false }) => {
+                    self.in_flight = Some(InFlight { token: tok, gid, ops });
+                }
+            }
+        }
+    }
+
+    /// Complete the parked eager-phase transaction if its special came
+    /// home with the frames just applied.
+    fn finish_in_flight(&mut self) {
+        let Some(inflight) = &self.in_flight else { return };
+        if !self.core.take_home(inflight.gid) {
+            return;
+        }
+        // replint: allow(RL008) -- checked Some two lines up; single-threaded loop
+        let inflight = self.in_flight.take().expect("in_flight present");
+        self.core.complete_txn(inflight.gid, &inflight.ops);
+        self.queue_reply(inflight.token, ClientReply::Executed(Ok(inflight.gid)));
+        self.pump_exec();
+    }
+
+    fn queue_reply(&mut self, tok: usize, reply: ClientReply) {
+        self.queue_msg(tok, &WireMsg::Reply(reply));
+    }
+
+    fn queue_msg(&mut self, tok: usize, msg: &WireMsg) {
+        let overfull = {
+            let Some(conn) = self.conns.get_mut(tok).and_then(Option::as_mut) else { return };
+            conn.wbuf.push_bytes(&encode_framed(msg));
+            conn.wbuf.len() > CLIENT_WBUF_CAP
+        };
+        if overfull {
+            // Not reading its replies; cut it loose rather than buffer
+            // without bound.
+            self.close_conn(tok);
+        }
+    }
+
+    /// Flush every connection with buffered bytes and keep the
+    /// `EPOLLOUT` registrations honest.
+    fn flush_all(&mut self) {
+        for tok in 0..self.conns.len() {
+            self.flush_conn(tok);
+        }
+    }
+
+    /// Flush one connection: private bytes first (handshakes, client
+    /// replies), then — once those are through — the shared lane its
+    /// role drains (link frames out, or acks back). Adjust `EPOLLOUT`
+    /// interest to "buffered bytes remain", close broken or completed
+    /// `closing` connections, and kick outbox replay when a stalled
+    /// lane drains below the resume mark.
+    fn flush_conn(&mut self, tok: usize) {
+        let mut broken = false;
+        let mut resume_peer: Option<SiteId> = None;
+        let mut drained_closing = false;
+        {
+            let Some(conn) = self.conns[tok].as_mut() else { return };
+            if !conn.wbuf.is_empty() && conn.wbuf.flush(&mut conn.stream).is_err() {
+                broken = true;
+            }
+            let mut lane_pending = false;
+            if !broken && conn.wbuf.is_empty() {
+                let lane_slot = match conn.role {
+                    Role::PeerOut { peer } => Some(&self.wire.lanes[peer.index()]),
+                    Role::PeerIn { from } => Some(&self.wire.ack_lanes[from.index()]),
+                    _ => None,
+                };
+                if let Some(slot) = lane_slot {
+                    let mut lane = slot.lock();
+                    if lane.buf.flush(&mut conn.stream).is_err() {
+                        broken = true;
+                    } else {
+                        if lane.stalled && lane.buf.len() < LANE_RESUME_AT {
+                            lane.stalled = false;
+                            if let Role::PeerOut { peer } = conn.role {
+                                resume_peer = Some(peer);
+                            }
+                        }
+                        lane_pending = !lane.buf.is_empty();
+                    }
+                }
+            }
+            if !broken {
+                let want = lane_pending || !conn.wbuf.is_empty();
+                if want != conn.want_write {
+                    conn.want_write = want;
+                    let interest = if want { Interest::READ_WRITE } else { Interest::READ };
+                    if self.epoll.modify(conn.stream.as_raw_fd(), tok as u64, interest).is_err() {
+                        broken = true;
+                    }
+                }
+                drained_closing = conn.closing && conn.wbuf.is_empty();
+            }
+        }
+        if broken || drained_closing {
+            self.close_conn(tok);
+            return;
+        }
+        if let Some(peer) = resume_peer {
+            // Replay the outbox tail the stall refused. Entries already
+            // on the wire are replayed too (resume cannot know which
+            // made it); the receiver's dedup marks re-ack those. The
+            // refilled lane flushes on the next readiness/tick pass.
+            self.core.net.resume(self.me, peer, 0);
+        }
+    }
+
+    /// Tear down one connection and the routing that pointed at it.
+    fn close_conn(&mut self, tok: usize) {
+        let Some(conn) = self.conns[tok].take() else { return };
+        let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        match conn.role {
+            Role::PeerOutHs { peer } | Role::PeerOut { peer } => {
+                if self.out_conn[peer.index()] == Some(tok) {
+                    self.out_conn[peer.index()] = None;
+                    let mut lane = self.wire.lanes[peer.index()].lock();
+                    lane.connected = false;
+                    lane.stalled = false;
+                    // Buffered frames die with the connection; the
+                    // outbox replays them after the next handshake.
+                    lane.buf.clear();
+                }
+            }
+            Role::PeerIn { from } => {
+                if self.in_conn[from.index()] == Some(tok) {
+                    self.in_conn[from.index()] = None;
+                    let mut lane = self.wire.ack_lanes[from.index()].lock();
+                    lane.connected = false;
+                    lane.buf.clear();
+                }
+            }
+            Role::Pending | Role::Client => {}
+        }
+        // Un-queue the dead client's transactions that have not started;
+        // a parked in-flight one still commits, its reply is dropped.
+        self.exec_queue.retain(|(t, _)| *t != tok);
+        if let Some(inflight) = self.in_flight.as_mut() {
+            if inflight.token == tok {
+                inflight.token = usize::MAX;
+            }
+        }
+        self.free.push(tok);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The only raw socket calls in this module. Every fd handed to these is
+// nonblocking, so the syscalls return `WouldBlock` instead of parking
+// the reactor. replint rule RL009 rejects blocking-call patterns
+// anywhere else in this file.
+// ---------------------------------------------------------------------
+
+fn read_some(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+    // replint: allow(RL009) -- nonblocking fd: returns WouldBlock, never parks the reactor
+    stream.read(buf)
+}
+
+fn write_some(stream: &mut TcpStream, buf: &[u8]) -> io::Result<usize> {
+    // replint: allow(RL009) -- nonblocking fd: returns WouldBlock, never parks the reactor
+    stream.write(buf)
+}
+
+fn accept_some(listener: &TcpListener) -> io::Result<(TcpStream, std::net::SocketAddr)> {
+    // replint: allow(RL009) -- nonblocking listener: returns WouldBlock, never parks the reactor
+    listener.accept()
+}

@@ -1,21 +1,29 @@
-//! The per-site worker thread: a thin shell around the shared protocol
-//! core.
+//! The per-site driver: a deployment-independent core plus a thin
+//! threaded shell.
 //!
-//! One thread (or, under `repld`, one process) per site. All propagation
-//! *decisions* — queue admission, DAG(T) timestamp merging, tree
-//! routing, the BackEdge eager phase — are made by the sans-I/O
-//! [`SiteMachine`] from `repl-protocol`, the same machine the simulation
-//! engine drives. This shell only:
+//! All propagation *decisions* — queue admission, DAG(T) timestamp
+//! merging, tree routing, the BackEdge eager phase — are made by the
+//! sans-I/O [`SiteMachine`] from `repl-protocol`, the same machine the
+//! simulation engine drives. Around it, this module is split the same
+//! way:
 //!
-//! * feeds transport frames and client commits into the machine as
-//!   [`Input`]s,
-//! * carries out the returned [`ProtoCommand`]s — local transactions
-//!   against the store, WAL records, outstanding-counter bookkeeping,
-//!   and handing [`Payload`]s to the shared reliable link layer
-//!   ([`Net`], channel or TCP), and
-//! * owns everything clock-shaped: the DAG(T) heartbeat/epoch timers
-//!   (idleness is measured here and reported to the machine as timer
-//!   inputs) and the eager-phase wait loop.
+//! * [`SiteCore`] is the *nonblocking* half every deployment shares: it
+//!   feeds transport frames and client commits into the machine as
+//!   [`Input`]s and carries out the returned [`ProtoCommand`]s — local
+//!   transactions against the store, WAL records, outstanding-counter
+//!   bookkeeping, handing [`Payload`]s to the reliable link layer
+//!   ([`Net`]) — plus the clock side of the DAG(T) heartbeat/epoch
+//!   timers. Nothing in it blocks, sleeps or waits, so the epoll
+//!   reactor (`crate::reactor`) can drive it from a readiness loop.
+//! * [`SiteRuntime`] is the threaded shell used by the in-process
+//!   cluster and `repld --reactor threads`: one OS thread owning the
+//!   core, a command channel, and the blocking eager-phase wait loop.
+//!
+//! The split mirrors the eager phase's two shapes: a thread can park in
+//! [`SiteRuntime::wait_for_home`] until the BackEdge special returns,
+//! while a reactor parks the *transaction* ([`Started::immediate`] =
+//! false) and completes it from the readiness loop when the special's
+//! `CommitLocal` surfaces.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -37,7 +45,7 @@ use repl_types::{GlobalTxnId, ItemId, Op, OpKind, SiteId, Value};
 use crate::chan::TracedReceiver;
 use crate::cluster::{ClusterError, RuntimeProtocol};
 use crate::durable::DurableSite;
-use crate::transport::Net;
+use crate::transport::{Net, TransportEvent};
 
 /// Idle-receive window after which protocol timers run.
 pub(crate) const TICK: Duration = Duration::from_millis(1);
@@ -49,22 +57,13 @@ const EPOCH_PERIOD: Duration = Duration::from_millis(20);
 /// slow peer must not accumulate unbounded dummies).
 const HEARTBEAT_LANE_CAP: usize = 64;
 
-/// A subtransaction stamped with its link identity: which directed
-/// link carried it and its sequence number on that link. The receiver
-/// acks, deduplicates and gap-drops by `(from, seq)`.
-#[derive(Clone, Debug)]
-pub(crate) struct LinkMsg {
-    pub from: SiteId,
-    pub seq: u64,
-    pub payload: Payload,
-}
-
-/// Commands a site thread processes.
+/// Commands a site thread processes. Link frames do not appear here:
+/// they flow through the transport's event inbox
+/// ([`Net::poll_events`]), and [`Command::Wake`] just nudges the thread
+/// to drain it.
 pub(crate) enum Command {
     /// Execute a whole transaction and reply with its outcome.
     Execute { ops: Vec<Op>, reply: Sender<Result<GlobalTxnId, ClusterError>> },
-    /// Apply (and possibly forward) an inter-site link message.
-    Link(LinkMsg),
     /// Non-transactional inspection of one copy.
     Peek { item: ItemId, reply: Sender<Option<(Value, Option<GlobalTxnId>)>> },
     /// Serialize the site's full copy state (every item it holds, in
@@ -74,6 +73,8 @@ pub(crate) enum Command {
     /// Serialize the site's redo log (crash-recovery support: replaying
     /// the returned image over an empty store reproduces the site).
     SnapshotWal { reply: Sender<bytes::Bytes> },
+    /// The transport queued events for this site; wake and drain them.
+    Wake,
     /// Wake the thread so it notices its crash flag. Carries no state:
     /// the flag, not the command, is the kill switch, so a crash takes
     /// effect at the *next* command rather than after the queue drains.
@@ -102,10 +103,21 @@ impl DagtTimers {
     }
 }
 
-pub(crate) struct SiteRuntime {
+/// Outcome of [`SiteCore::start_txn`]: the allocated gid, and whether
+/// the machine committed locally at once (`immediate`) or opened a
+/// BackEdge eager phase the driver must wait out before calling
+/// [`SiteCore::complete_txn`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Started {
+    pub gid: GlobalTxnId,
+    pub immediate: bool,
+}
+
+/// The nonblocking per-site engine shared by the threaded shell and the
+/// epoll reactor.
+pub(crate) struct SiteCore {
     pub id: SiteId,
     pub store: Store,
-    pub rx: TracedReceiver<Command>,
     /// The reliable-link engine (outboxes + whichever wire this
     /// deployment runs on).
     pub net: Arc<Net>,
@@ -115,32 +127,26 @@ pub(crate) struct SiteRuntime {
     /// this process's share; clients sum across processes).
     pub outstanding: Arc<AtomicI64>,
     /// The site's stable storage, shared with the cluster so it
-    /// survives this thread.
+    /// survives this driver.
     pub durable: Arc<Mutex<DurableSite>>,
-    /// Set by [`crate::Cluster::crash`]: abandon ship at the next
-    /// command, losing the store and everything still queued.
-    pub crashed: Arc<AtomicBool>,
     /// The shared protocol state machine (also driven by the sim).
     machine: SiteMachine,
     /// DAG(T) timers, present iff the protocol is DAG(T).
     timers: Option<DagtTimers>,
-    /// Commands deferred while an eager phase was waiting for its
-    /// special to return home (BackEdge only).
-    pending: VecDeque<Command>,
     /// Set by a [`ProtoCommand::CommitLocal`] while an eager phase
     /// waits for its special to come home.
     home: Option<GlobalTxnId>,
     /// First protocol violation observed on the link path; reported to
-    /// the next client instead of panicking the site thread.
+    /// the next client instead of panicking the driver.
     poisoned: Option<ProtocolError>,
 }
 
-/// The protocol half of a site, built *before* its thread spawns so a
+/// The protocol half of a site, built *before* its driver starts so a
 /// structural protocol violation is a typed startup error (surfaced as
 /// [`ClusterError::Protocol`] / a `repld` boot failure), not a mid-run
-/// panic. The store half is recovered on the site thread itself (see
-/// the note in `Cluster::spawn_site`) and joined in
-/// [`SiteSetup::into_runtime`].
+/// panic. The store half is recovered on the driver itself (see the
+/// note in `Cluster::spawn_site`) and joined in
+/// [`SiteSetup::into_core`] / [`SiteSetup::into_runtime`].
 pub(crate) struct SiteSetup {
     machine: SiteMachine,
     timers: Option<DagtTimers>,
@@ -159,7 +165,34 @@ impl SiteSetup {
         Ok(SiteSetup { machine, timers })
     }
 
-    /// Join the protocol half with the I/O half into a runnable site.
+    /// Join the protocol half with the I/O half into the shared core.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn into_core(
+        self,
+        store: Store,
+        net: Arc<Net>,
+        placement: Arc<DataPlacement>,
+        history: Arc<Mutex<History>>,
+        outstanding: Arc<AtomicI64>,
+        durable: Arc<Mutex<DurableSite>>,
+    ) -> SiteCore {
+        SiteCore {
+            id: self.machine.me(),
+            store,
+            net,
+            placement,
+            history,
+            outstanding,
+            durable,
+            machine: self.machine,
+            timers: self.timers,
+            home: None,
+            poisoned: None,
+        }
+    }
+
+    /// Join the protocol half with the I/O half into a runnable
+    /// threaded site.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn into_runtime(
         self,
@@ -172,78 +205,21 @@ impl SiteSetup {
         durable: Arc<Mutex<DurableSite>>,
         crashed: Arc<AtomicBool>,
     ) -> SiteRuntime {
-        SiteRuntime {
-            id: self.machine.me(),
-            store,
-            rx,
-            net,
-            placement,
-            history,
-            outstanding,
-            durable,
-            crashed,
-            machine: self.machine,
-            timers: self.timers,
-            pending: VecDeque::new(),
-            home: None,
-            poisoned: None,
-        }
+        let core = self.into_core(store, net, placement, history, outstanding, durable);
+        SiteRuntime { core, rx, crashed, pending: VecDeque::new() }
     }
 }
 
-impl SiteRuntime {
-    /// The thread body: process commands until shutdown or crash.
-    ///
-    /// A crash exit is abrupt by design: the command that woke us is
-    /// *not* processed and the channel queue is dropped un-drained.
-    /// Whatever was lost is exactly what retransmission from the
-    /// senders' outboxes must recover.
-    pub fn run(mut self) {
-        loop {
-            if self.crashed.load(Ordering::SeqCst) {
-                return;
-            }
-            let cmd = if let Some(cmd) = self.pending.pop_front() {
-                cmd
-            } else {
-                match self.rx.recv_timeout(TICK) {
-                    Ok(cmd) => cmd,
-                    Err(RecvTimeoutError::Timeout) => {
-                        self.tick();
-                        continue;
-                    }
-                    Err(RecvTimeoutError::Disconnected) => return,
-                }
-            };
-            if self.crashed.load(Ordering::SeqCst) {
-                return;
-            }
-            match cmd {
-                Command::Execute { ops, reply } => {
-                    let result = self.execute(ops);
-                    let _ = reply.send(result);
-                }
-                Command::Link(msg) => self.apply_link(msg),
-                Command::Peek { item, reply } => {
-                    let _ = reply.send(self.store.peek(item).map(|r| (r.value, r.writer)));
-                }
-                Command::CopyState { reply } => {
-                    let _ = reply.send(self.copy_state());
-                }
-                Command::SnapshotWal { reply } => {
-                    let _ = reply.send(self.durable.lock().wal.encode());
-                }
-                Command::Crash => return,
-                Command::Shutdown => break,
-            }
-            self.tick();
-        }
-    }
+/// Write set of a local commit: item → final value.
+type Writes = Vec<(ItemId, Value)>;
+/// Read set of a local commit: item → version (writer gid) read.
+type Reads = Vec<(ItemId, Option<GlobalTxnId>)>;
 
-    /// Protocol timers; cheap no-op outside DAG(T). The shell measures
+impl SiteCore {
+    /// Protocol timers; cheap no-op outside DAG(T). The driver measures
     /// idleness and period expiry, the machine decides what (if
     /// anything) to send.
-    fn tick(&mut self) {
+    pub fn tick(&mut self) {
         let Some(t) = self.timers.as_mut() else { return };
         let now = Instant::now();
         if now.duration_since(t.last_epoch) >= EPOCH_PERIOD {
@@ -267,15 +243,26 @@ impl SiteRuntime {
         }
     }
 
-    /// Execute a primary transaction. Sites run one transaction at a
-    /// time, so locks are always free; validation and the §1.1 ownership
-    /// rule still apply.
-    fn execute(&mut self, ops: Vec<Op>) -> Result<GlobalTxnId, ClusterError> {
+    /// Drain the transport inbox and apply every queued frame.
+    pub fn drain_net(&mut self) {
+        for event in self.net.poll_events(self.id) {
+            let TransportEvent::Frame { from, seq, payload } = event;
+            self.apply_frame(from, seq, payload);
+        }
+    }
+
+    /// Begin a primary transaction: validate, allocate its durable gid,
+    /// and feed the commit intent to the machine. Sites run one
+    /// transaction at a time, so locks are always free; validation and
+    /// the §1.1 ownership rule still apply. When `immediate` is false
+    /// the driver must wait for [`SiteCore::take_home`] before calling
+    /// [`SiteCore::complete_txn`].
+    pub fn start_txn(&mut self, ops: &[Op]) -> Result<Started, ClusterError> {
         if let Some(e) = &self.poisoned {
             return Err(ClusterError::Protocol(e.clone()));
         }
         // Validate before touching the store.
-        for op in &ops {
+        for op in ops {
             match op.kind {
                 OpKind::Read => {
                     if !self.placement.has_copy(self.id, op.item) {
@@ -292,7 +279,7 @@ impl SiteRuntime {
         let gid = self.fresh_gid();
         // The write set is known up front (last write per item), so the
         // machine can decide eager-vs-immediate before execution.
-        let planned = planned_writes(&ops);
+        let planned = planned_writes(ops);
         let cmds = match self.machine.on_input(Input::CommitIntent { gid, writes: planned }) {
             Ok(cmds) => cmds,
             Err(e) => {
@@ -304,17 +291,40 @@ impl SiteRuntime {
         self.run_commands(cmds);
         if immediate {
             self.home = None;
-        } else if !self.wait_for_home(gid) {
-            // Crashed or torn down mid-eager-phase; the transaction
-            // never committed anywhere (prepared writes are not applied
-            // without a decision).
-            return Err(ClusterError::Disconnected);
         }
-        let (writes, reads) = self.run_local_txn(&ops, gid);
+        Ok(Started { gid, immediate })
+    }
+
+    /// True exactly once after the machine emitted `CommitLocal` for
+    /// `gid` — the BackEdge special came home and the eager phase may
+    /// complete.
+    pub fn take_home(&mut self, gid: GlobalTxnId) -> bool {
+        if self.home == Some(gid) {
+            self.home = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Finish a started transaction: run it against the store, record
+    /// WAL/history/outstanding, and hand the committed write set to the
+    /// machine for propagation.
+    pub fn complete_txn(&mut self, gid: GlobalTxnId, ops: &[Op]) {
+        let (writes, reads) = self.run_local_txn(ops, gid);
         self.finish_commit(gid, reads, &writes);
         let cmds = self.machine_input(Input::Committed { gid, writes });
         self.run_commands(cmds);
-        Ok(gid)
+    }
+
+    /// Non-transactional read of one copy.
+    pub fn peek(&self, item: ItemId) -> Option<(Value, Option<GlobalTxnId>)> {
+        self.store.peek(item).map(|r| (r.value, r.writer))
+    }
+
+    /// The serialized redo log (crash-recovery image).
+    pub fn snapshot_wal(&self) -> bytes::Bytes {
+        self.durable.lock().wal.encode()
     }
 
     /// Id allocation is durable: a restarted site must never reuse a
@@ -325,16 +335,9 @@ impl SiteRuntime {
         d.next_seq += 1;
         gid
     }
-}
 
-/// Write set of a local commit: item → final value.
-type Writes = Vec<(ItemId, Value)>;
-/// Read set of a local commit: item → version (writer gid) read.
-type Reads = Vec<(ItemId, Option<GlobalTxnId>)>;
-
-impl SiteRuntime {
     /// Feed one input to the machine; a protocol error poisons the site
-    /// (reported to the next client) instead of panicking the thread.
+    /// (reported to the next client) instead of panicking the driver.
     fn machine_input(&mut self, input: Input) -> Vec<ProtoCommand> {
         match self.machine.on_input(input) {
             Ok(cmds) => cmds,
@@ -356,7 +359,7 @@ impl SiteRuntime {
             let responses = match cmd {
                 ProtoCommand::Send { to, payload } => {
                     self.note_sent(to, &payload);
-                    self.net.send(self.id, to, payload);
+                    let _ = self.net.send(self.id, to, payload);
                     Vec::new()
                 }
                 ProtoCommand::Apply { gid, writes } => {
@@ -381,7 +384,7 @@ impl SiteRuntime {
                     Vec::new()
                 }
                 // Serial sites cannot deadlock inside the eager phase;
-                // the wait loop already watches the crash flag.
+                // the drivers already watch their crash/shutdown flags.
                 ProtoCommand::ArmEagerTimeout { .. } => Vec::new(),
             };
             for r in responses.into_iter().rev() {
@@ -451,50 +454,13 @@ impl SiteRuntime {
         self.outstanding.fetch_add(dests.len() as i64, Ordering::SeqCst);
     }
 
-    /// Serve the inbox until our special returns home (§4: the machine
-    /// emits `CommitLocal` when it pops our special off the FIFO
-    /// queue). Client transactions and shutdown are deferred (the site
-    /// is inside a commit); link traffic, reads and snapshots proceed.
-    /// Returns false if the site was crashed or torn down while
-    /// waiting.
-    fn wait_for_home(&mut self, gid: GlobalTxnId) -> bool {
-        loop {
-            if self.home.take() == Some(gid) {
-                return true;
-            }
-            if self.crashed.load(Ordering::SeqCst) {
-                return false;
-            }
-            let cmd = match self.rx.recv_timeout(TICK) {
-                Ok(cmd) => cmd,
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => return false,
-            };
-            match cmd {
-                Command::Link(msg) => self.apply_link(msg),
-                Command::Peek { item, reply } => {
-                    let _ = reply.send(self.store.peek(item).map(|r| (r.value, r.writer)));
-                }
-                Command::CopyState { reply } => {
-                    let _ = reply.send(self.copy_state());
-                }
-                Command::SnapshotWal { reply } => {
-                    let _ = reply.send(self.durable.lock().wal.encode());
-                }
-                Command::Crash => return false,
-                cmd @ (Command::Execute { .. } | Command::Shutdown) => self.pending.push_back(cmd),
-            }
-        }
-    }
-
-    /// Apply one link message. Delivery is exactly-once against the
+    /// Apply one link frame. Delivery is exactly-once against the
     /// durable per-link high-water mark: a sequence at or below it is a
     /// retransmitted duplicate (already applied and forwarded — just
     /// re-ack it); one ahead of `mark + 1` raced past a message lost on
     /// the wire (still in its sender's outbox) and is dropped so the
     /// retransmission can arrive in FIFO order.
-    fn apply_link(&mut self, msg: LinkMsg) {
-        let LinkMsg { from, seq, payload } = msg;
+    pub fn apply_frame(&mut self, from: SiteId, seq: u64, payload: Payload) {
         {
             let mut d = self.durable.lock();
             let mark = d.applied_from[from.index()];
@@ -516,7 +482,7 @@ impl SiteRuntime {
     /// Every copy this site holds, ascending by item, with value and
     /// writer — serialized with the shared wire codec so deployments
     /// can be compared byte-for-byte.
-    fn copy_state(&self) -> bytes::Bytes {
+    pub fn copy_state(&self) -> bytes::Bytes {
         let mut items: Vec<ItemId> = self.placement.items_at(self.id).to_vec();
         items.sort_unstable();
         let cells: Vec<(ItemId, Value, Option<GlobalTxnId>)> = items
@@ -528,5 +494,120 @@ impl SiteRuntime {
             })
             .collect();
         repl_net::encode_cells(&cells)
+    }
+}
+
+/// The threaded shell: one OS thread owning a [`SiteCore`], fed by a
+/// command channel.
+pub(crate) struct SiteRuntime {
+    core: SiteCore,
+    rx: TracedReceiver<Command>,
+    /// Set by [`crate::Cluster::crash`]: abandon ship at the next
+    /// command, losing the store and everything still queued.
+    crashed: Arc<AtomicBool>,
+    /// Commands deferred while an eager phase was waiting for its
+    /// special to return home (BackEdge only).
+    pending: VecDeque<Command>,
+}
+
+impl SiteRuntime {
+    /// The thread body: process commands until shutdown or crash.
+    ///
+    /// A crash exit is abrupt by design: the command that woke us is
+    /// *not* processed and the channel queue is dropped un-drained.
+    /// Whatever was lost is exactly what retransmission from the
+    /// senders' outboxes must recover.
+    pub fn run(mut self) {
+        loop {
+            if self.crashed.load(Ordering::SeqCst) {
+                return;
+            }
+            self.core.drain_net();
+            let cmd = if let Some(cmd) = self.pending.pop_front() {
+                cmd
+            } else {
+                match self.rx.recv_timeout(TICK) {
+                    Ok(cmd) => cmd,
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.core.tick();
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            };
+            if self.crashed.load(Ordering::SeqCst) {
+                return;
+            }
+            match cmd {
+                Command::Execute { ops, reply } => {
+                    let result = self.execute(ops);
+                    let _ = reply.send(result);
+                }
+                Command::Peek { item, reply } => {
+                    let _ = reply.send(self.core.peek(item));
+                }
+                Command::CopyState { reply } => {
+                    let _ = reply.send(self.core.copy_state());
+                }
+                Command::SnapshotWal { reply } => {
+                    let _ = reply.send(self.core.snapshot_wal());
+                }
+                Command::Wake => {} // events were drained at the loop head
+                Command::Crash => return,
+                Command::Shutdown => break,
+            }
+            self.core.tick();
+        }
+    }
+
+    /// Execute a primary transaction, blocking through the eager phase
+    /// if the machine opens one.
+    fn execute(&mut self, ops: Vec<Op>) -> Result<GlobalTxnId, ClusterError> {
+        let started = self.core.start_txn(&ops)?;
+        if !started.immediate && !self.wait_for_home(started.gid) {
+            // Crashed or torn down mid-eager-phase; the transaction
+            // never committed anywhere (prepared writes are not applied
+            // without a decision).
+            return Err(ClusterError::Disconnected);
+        }
+        self.core.complete_txn(started.gid, &ops);
+        Ok(started.gid)
+    }
+
+    /// Serve the inbox until our special returns home (§4: the machine
+    /// emits `CommitLocal` when it pops our special off the FIFO
+    /// queue). Client transactions and shutdown are deferred (the site
+    /// is inside a commit); link traffic, reads and snapshots proceed.
+    /// Returns false if the site was crashed or torn down while
+    /// waiting.
+    fn wait_for_home(&mut self, gid: GlobalTxnId) -> bool {
+        loop {
+            self.core.drain_net();
+            if self.core.take_home(gid) {
+                return true;
+            }
+            if self.crashed.load(Ordering::SeqCst) {
+                return false;
+            }
+            let cmd = match self.rx.recv_timeout(TICK) {
+                Ok(cmd) => cmd,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return false,
+            };
+            match cmd {
+                Command::Wake => {} // drained at the loop head
+                Command::Peek { item, reply } => {
+                    let _ = reply.send(self.core.peek(item));
+                }
+                Command::CopyState { reply } => {
+                    let _ = reply.send(self.core.copy_state());
+                }
+                Command::SnapshotWal { reply } => {
+                    let _ = reply.send(self.core.snapshot_wal());
+                }
+                Command::Crash => return false,
+                cmd @ (Command::Execute { .. } | Command::Shutdown) => self.pending.push_back(cmd),
+            }
+        }
     }
 }

@@ -23,6 +23,7 @@
 //! loop, one dialer, one reader per accepted connection, one ack
 //! reader per dialed connection, one per client session.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -36,7 +37,7 @@ use repl_copygraph::DataPlacement;
 use repl_core::history::History;
 use repl_net::{
     client_handshake, cluster_fingerprint, negotiate, read_msg, write_msg, ClientMsg, ClientReply,
-    ExecError, Hello, HelloAck, Payload, WireMsg, VERSION_MAX, VERSION_MIN,
+    ExecError, Hello, HelloAck, Payload, ReadError, WireMsg, VERSION_MAX, VERSION_MIN,
 };
 use repl_types::{AddressMap, SiteId};
 
@@ -44,8 +45,8 @@ use crate::chan::{traced_unbounded, TracedSender};
 use crate::cluster::{build_structure, recovered_store, ClusterError, RuntimeProtocol};
 use crate::durable::DurableSite;
 use crate::link::Links;
-use crate::site::{Command, LinkMsg, SiteSetup};
-use crate::transport::{Net, RawTransport};
+use crate::site::{Command, SiteSetup};
+use crate::transport::{Net, SendStatus, Transport, TransportEvent};
 
 /// Dialer poll interval: how often missing peer connections are retried.
 const DIAL_RETRY: Duration = Duration::from_millis(20);
@@ -60,6 +61,11 @@ pub(crate) struct TcpRaw {
     /// thread does not clear a successor connection on its way out.
     out_gen: Vec<AtomicU64>,
     acks: Vec<Mutex<Option<TcpStream>>>,
+    /// Frames decoded by the peer-reader threads, awaiting the site
+    /// thread (this process hosts exactly one site, hence one inbox).
+    /// Each reader is the only writer for its link and pushes in read
+    /// order, so per-link FIFO survives the shared queue.
+    inbox: Mutex<VecDeque<TransportEvent>>,
 }
 
 impl TcpRaw {
@@ -68,6 +74,7 @@ impl TcpRaw {
             out: (0..sites).map(|_| Mutex::new(None)).collect(),
             out_gen: (0..sites).map(|_| AtomicU64::new(0)).collect(),
             acks: (0..sites).map(|_| Mutex::new(None)).collect(),
+            inbox: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -84,33 +91,42 @@ impl TcpRaw {
     }
 }
 
-/// [`RawTransport`] over the shared socket slots. A failed write clears
-/// the slot (the dialer reconnects); the payload stays in the outbox
-/// either way, and replay-on-reconnect recovers anything the kernel
-/// accepted but the dead connection never delivered.
+/// [`Transport`] over the shared socket slots. A failed write clears
+/// the slot (the dialer reconnects) and reports [`SendStatus::Down`];
+/// the payload stays in the outbox either way, and replay-on-reconnect
+/// recovers anything the kernel accepted but the dead connection never
+/// delivered. Writes land in the kernel's socket buffer — under this
+/// (threaded) deployment a full buffer blocks the writer briefly rather
+/// than surfacing [`SendStatus::Backpressure`]; the epoll reactor's
+/// wire is the one that must never block.
 struct TcpWire(Arc<TcpRaw>);
 
-impl RawTransport for TcpWire {
-    fn try_send(&self, _from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> bool {
+impl Transport for TcpWire {
+    fn try_send(&self, _from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> SendStatus {
         let mut slot = self.0.out[to.index()].lock();
-        let Some(stream) = slot.as_mut() else { return false };
+        let Some(stream) = slot.as_mut() else { return SendStatus::Down };
         let msg = WireMsg::Link { seq, payload: payload.clone() };
         if write_msg(stream, &msg).is_err() {
             *slot = None;
-            return false;
+            return SendStatus::Down;
         }
-        true
+        SendStatus::Sent
     }
 
-    fn send_ack(&self, from: SiteId, _me: SiteId, seq: u64) {
+    fn send_ack(&self, from: SiteId, _me: SiteId, seq: u64) -> SendStatus {
         let mut slot = self.0.acks[from.index()].lock();
-        if let Some(stream) = slot.as_mut() {
-            // Best-effort: a lost ack is re-synchronized by the next
-            // handshake's resume_seq.
-            if write_msg(stream, &WireMsg::Ack { seq }).is_err() {
-                *slot = None;
-            }
+        let Some(stream) = slot.as_mut() else { return SendStatus::Down };
+        // Best-effort: a lost ack is re-synchronized by the next
+        // handshake's resume_seq.
+        if write_msg(stream, &WireMsg::Ack { seq }).is_err() {
+            *slot = None;
+            return SendStatus::Down;
         }
+        SendStatus::Sent
+    }
+
+    fn poll_events(&self, _me: SiteId) -> Vec<TransportEvent> {
+        std::mem::take(&mut *self.0.inbox.lock()).into()
     }
 }
 
@@ -142,6 +158,10 @@ struct Shared {
     outstanding: Arc<AtomicI64>,
     peers: Mutex<AddressMap>,
     shutdown: AtomicBool,
+    /// Client request frames refused because they did not decode
+    /// (malformed, oversized, or mis-typed). Surfaced via
+    /// [`ClientMsg::Stats`].
+    decode_errors: AtomicU64,
 }
 
 /// Run one site as this process: bind, print the listen address, serve
@@ -220,6 +240,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
         outstanding,
         peers: Mutex::new(cfg.peers),
         shutdown: AtomicBool::new(false),
+        decode_errors: AtomicU64::new(0),
     });
 
     // Dialer: keep every addressed peer connected.
@@ -358,8 +379,8 @@ fn handle_peer(shared: &Arc<Shared>, stream: TcpStream, mut reader: TcpStream, h
     *shared.tcp.acks[from.index()].lock() = Some(writer);
     // Any non-Link frame is a protocol violation and also ends the loop.
     while let Ok(WireMsg::Link { seq, payload }) = read_msg(&mut reader) {
-        let msg = Command::Link(LinkMsg { from, seq, payload });
-        if shared.site_tx.send(msg).is_err() {
+        shared.tcp.inbox.lock().push_back(TransportEvent::Frame { from, seq, payload });
+        if shared.site_tx.send(Command::Wake).is_err() {
             break;
         }
     }
@@ -380,7 +401,28 @@ fn client_session(
             Some(msg) => msg,
             None => match read_msg(&mut reader) {
                 Ok(WireMsg::Client(msg)) => msg,
-                Ok(_) | Err(_) => break,
+                // A well-framed but mis-typed frame on a client
+                // connection, or a frame that does not decode at all
+                // (malformed or oversized): refuse it with a typed
+                // error so the client learns *why*, count it, and
+                // close — framing may be lost, so the stream cannot
+                // be trusted further.
+                Ok(other) => {
+                    shared.decode_errors.fetch_add(1, Ordering::SeqCst);
+                    let reply = ClientReply::Err(format!(
+                        "expected a client request frame, got {}",
+                        other.kind_name()
+                    ));
+                    let _ = write_msg(&mut writer, &WireMsg::Reply(reply));
+                    break;
+                }
+                Err(ReadError::Decode(e)) => {
+                    shared.decode_errors.fetch_add(1, Ordering::SeqCst);
+                    let reply = ClientReply::Err(format!("malformed request: {e}"));
+                    let _ = write_msg(&mut writer, &WireMsg::Reply(reply));
+                    break;
+                }
+                Err(ReadError::Io(_)) => break,
             },
         };
         let stop = matches!(msg, ClientMsg::Shutdown);
@@ -422,6 +464,7 @@ fn handle_client(shared: &Arc<Shared>, msg: ClientMsg) -> ClientReply {
         ClientMsg::Stats => ClientReply::Stats {
             outstanding: shared.outstanding.load(Ordering::SeqCst),
             committed: shared.history.lock().committed_count() as u64,
+            decode_errors: shared.decode_errors.load(Ordering::SeqCst),
         },
         ClientMsg::CopyState => {
             let (reply_tx, reply_rx) = bounded(1);
@@ -451,7 +494,9 @@ fn handle_client(shared: &Arc<Shared>, msg: ClientMsg) -> ClientReply {
     }
 }
 
-fn exec_error(e: ClusterError) -> ExecError {
+/// Map the typed client error to its wire spelling (shared with the
+/// epoll reactor, so both `repld` modes reply identically).
+pub(crate) fn exec_error(e: ClusterError) -> ExecError {
     match e {
         ClusterError::NoCopy(s, i) => ExecError::NoCopy(s, i),
         ClusterError::NotPrimary(s, i) => ExecError::NotPrimary(s, i),

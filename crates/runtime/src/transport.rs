@@ -1,31 +1,42 @@
-//! The transport abstraction: one reliable-link engine, two wires.
+//! The transport abstraction: one reliable-link engine, three wires.
 //!
 //! [`Net`] owns the sequencing/outbox/ack/replay logic (state in
-//! [`crate::link::Links`]) and delegates the single step that differs
-//! between deployments — one attempt to put a payload on the wire — to
-//! a [`RawTransport`]:
+//! [`crate::link::Links`]) and delegates the steps that differ between
+//! deployments to a [`Transport`] — an *event-oriented, nonblocking*
+//! seam shared by all three back ends:
 //!
-//! * [`ChannelRaw`]: the in-process deployment. "The wire" is the
-//!   destination site's command channel, and an ack is a direct prune
+//! * [`ChannelRaw`]: the in-process deployment. "The wire" is a
+//!   per-site event inbox drained by the destination's site thread
+//!   (woken through its command channel), and an ack is a direct prune
 //!   of the shared outbox table (standing in for the ack message a
 //!   networked deployment would send).
-//! * [`crate::tcp::TcpRaw`]: real sockets. A send is a framed
-//!   [`repl_net::WireMsg::Link`] write, an ack is a framed
+//! * [`crate::tcp::TcpRaw`]: real sockets, one blocking reader thread
+//!   per connection. A send is a framed [`repl_net::WireMsg::Link`]
+//!   write into the kernel's socket buffer, an ack is a framed
 //!   [`repl_net::WireMsg::Ack`] written back on the same connection,
-//!   and a connection drop parks traffic in the outbox until the dialer
-//!   reconnects and replays it.
+//!   and reader threads park decoded frames in the process's inbox.
+//! * the epoll reactor's wire (`crate::reactor`): sends append to
+//!   per-peer write buffers flushed by the readiness loop, with typed
+//!   [`SendStatus::Backpressure`] once a buffer is full — nothing in
+//!   the send path can block or sleep.
+//!
+//! Every attempt is **single-shot and nonblocking**: a send either
+//! reaches the wire ([`SendStatus::Sent`]), is refused by a full buffer
+//! ([`SendStatus::Backpressure`]), or finds the wire down
+//! ([`SendStatus::Down`]). In all three cases the payload is already
+//! enrolled in the outbox, so delivery is recovered by replay — a
+//! reconnect ([`Net::resume`]), a site restart
+//! ([`Net::retransmit_to`]), or a backpressure drain — and the
+//! receiver's durable dedup/gap marks make the replays exactly-once.
 //!
 //! Lock discipline: [`Net::send`] assigns the sequence number, enrolls
-//! the payload and performs every delivery attempt *while holding the
+//! the payload and performs the delivery attempt *while holding the
 //! lane lock*. That makes wire order equal sequence order per link — a
 //! reconnect replay ([`Net::resume`]) takes the same lock, so a fresh
 //! send can never jump ahead of a replayed predecessor on the stream.
-//! Delivery attempts are bounded (a dead peer costs the sender ~350 µs,
-//! not a hang), and nothing slow happens under the lock: a channel send
-//! is lock-free, a TCP send is a buffered write into the kernel, drained
-//! by the peer's reader thread independently of its site thread.
-
-use std::time::Duration;
+//! Nothing slow happens under the lock: a channel send is lock-free, a
+//! TCP send is a buffered write into the kernel, and a reactor send is
+//! a memcpy into a write buffer.
 
 use std::sync::Arc;
 
@@ -34,67 +45,88 @@ use repl_types::SiteId;
 
 use crate::chan::TracedSender;
 use crate::link::Links;
-use crate::site::{Command, LinkMsg};
+use crate::site::Command;
 
-/// Delivery attempts per send before parking the message in the outbox.
-const DELIVERY_ATTEMPTS: u32 = 4;
-/// First retry delay; doubles per attempt (50, 100, 200 µs ≈ 350 µs cap).
-const BACKOFF_FLOOR: Duration = Duration::from_micros(50);
+/// Typed outcome of one nonblocking delivery attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum SendStatus {
+    /// The message reached the wire (or a buffer the wire will drain).
+    Sent,
+    /// The wire is up but its buffer is full; the message stays in the
+    /// outbox and a later drain replays it.
+    Backpressure,
+    /// The wire is down; the message stays in the outbox and the next
+    /// reconnect/restart replays it.
+    Down,
+}
 
-/// One attempt to move a payload (or an ack) between two sites. The
-/// implementation is free to fail; the caller keeps the message in its
-/// outbox and retransmission recovers it.
-pub(crate) trait RawTransport: Send + Sync {
-    /// Try once to hand `(seq, payload)` to `to` on the `from -> to`
-    /// link. `false` means the wire is down right now.
-    fn try_send(&self, from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> bool;
+/// Something the wire delivered to this site, surfaced by
+/// [`Transport::poll_events`] and fed into the protocol machine by the
+/// site driver (thread or reactor).
+#[derive(Debug)]
+pub(crate) enum TransportEvent {
+    /// One reliable-link message on the `from -> me` link.
+    Frame {
+        /// Sending site.
+        from: SiteId,
+        /// Sequence number on that link.
+        seq: u64,
+        /// The propagation payload.
+        payload: Payload,
+    },
+}
+
+/// One wire between sites: nonblocking single-attempt sends plus an
+/// event inbox. Implementations own whatever readers/buffers the wire
+/// needs; the reliable-link engine ([`Net`]) and the site drivers stay
+/// byte-identical across deployments.
+pub(crate) trait Transport: Send + Sync {
+    /// Try once, without blocking, to hand `(seq, payload)` to `to` on
+    /// the `from -> to` link.
+    fn try_send(&self, from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> SendStatus;
 
     /// Convey the receiver-side acknowledgement of `seq` on the
     /// `from -> me` link back to the sender. Best-effort: a lost ack
     /// only delays pruning (the handshake `resume_seq` re-synchronizes
     /// on reconnect) and a duplicate delivery is re-acked.
-    fn send_ack(&self, from: SiteId, me: SiteId, seq: u64);
+    fn send_ack(&self, from: SiteId, me: SiteId, seq: u64) -> SendStatus;
+
+    /// Drain every event the wire has queued for `me`, in per-link
+    /// arrival order. Nonblocking; an empty vec means nothing pending.
+    fn poll_events(&self, me: SiteId) -> Vec<TransportEvent>;
 }
 
 /// The reliable-link engine shared by every transport.
 pub(crate) struct Net {
     links: Arc<Links>,
-    raw: Box<dyn RawTransport>,
+    raw: Box<dyn Transport>,
 }
 
 impl Net {
-    pub fn new(links: Arc<Links>, raw: Box<dyn RawTransport>) -> Self {
+    pub fn new(links: Arc<Links>, raw: Box<dyn Transport>) -> Self {
         Net { links, raw }
     }
 
     /// Enroll `payload` on the `from -> to` link and attempt delivery
-    /// with bounded exponential backoff. The message is in the outbox
-    /// before the first attempt, so a failed (or half-failed: queued at
-    /// a receiver that dies before applying) delivery is always
-    /// recoverable by replay.
-    pub fn send(&self, from: SiteId, to: SiteId, payload: Payload) {
+    /// once. The message is in the outbox before the attempt, so a
+    /// failed (or half-failed: queued at a receiver that dies before
+    /// applying) delivery is always recoverable by replay — there is no
+    /// retry loop and no sleeping here, which is what lets the same
+    /// engine run inside a single-threaded reactor.
+    pub fn send(&self, from: SiteId, to: SiteId, payload: Payload) -> SendStatus {
         let mut lane = self.links.lane(from, to).lock();
         lane.next_seq += 1;
         let seq = lane.next_seq;
         lane.unacked.push_back((seq, payload));
         // replint: allow(RL008) -- back() of a deque pushed to on the previous line
         let (_, payload) = lane.unacked.back().expect("just pushed");
-        let mut backoff = BACKOFF_FLOOR;
-        for attempt in 0..DELIVERY_ATTEMPTS {
-            if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff *= 2;
-            }
-            if self.raw.try_send(from, to, seq, payload) {
-                return;
-            }
-        }
+        self.raw.try_send(from, to, seq, payload)
     }
 
     /// Receiver side: report `seq` on the `from -> me` link durably
     /// applied, so the sender can prune its outbox.
     pub fn ack_received(&self, from: SiteId, me: SiteId, seq: u64) {
-        self.raw.send_ack(from, me, seq);
+        let _ = self.raw.send_ack(from, me, seq);
     }
 
     /// Sender side: the destination acknowledged everything up to `seq`
@@ -103,11 +135,20 @@ impl Net {
         self.links.prune(from, to, seq);
     }
 
+    /// Drain the wire's pending events for `me` (frames to feed the
+    /// protocol machine).
+    pub fn poll_events(&self, me: SiteId) -> Vec<TransportEvent> {
+        self.raw.poll_events(me)
+    }
+
     /// Re-synchronize the `from -> to` link after the destination
-    /// rejoined (site restart) or the connection was re-established
-    /// (TCP reconnect): prune everything the destination reports
-    /// durably applied (`acked`, the handshake's `resume_seq`), then
-    /// replay the rest in sequence order.
+    /// rejoined (site restart), the connection was re-established (TCP
+    /// reconnect), or a backpressured buffer drained: prune everything
+    /// the destination reports durably applied (`acked`, the
+    /// handshake's `resume_seq`), then replay the rest in sequence
+    /// order. Replay stops at the first non-[`SendStatus::Sent`]
+    /// attempt — the receiver would gap-drop everything after the hole
+    /// anyway, and the next resume picks the tail up.
     ///
     /// Holding the lane lock across the replay orders it before any
     /// racing fresh send on the lane (sequence assignment and delivery
@@ -119,7 +160,9 @@ impl Net {
             lane.unacked.pop_front();
         }
         for (seq, payload) in &lane.unacked {
-            self.raw.try_send(from, to, *seq, payload);
+            if self.raw.try_send(from, to, *seq, payload) != SendStatus::Sent {
+                break;
+            }
         }
     }
 
@@ -163,24 +206,58 @@ impl Routes {
     }
 }
 
-/// In-process wire: crossbeam channels between site threads, acks as
-/// direct prunes of the cluster-shared outbox table.
+/// In-process wire: per-site event inboxes drained by the site threads,
+/// wake-ups through the command channels, acks as direct prunes of the
+/// cluster-shared outbox table.
 pub(crate) struct ChannelRaw {
     pub routes: Arc<Routes>,
     pub links: Arc<Links>,
+    /// `inboxes[s]`: frames awaiting site `s`. Pushed under the sender's
+    /// lane lock, so per-link FIFO order is preserved into the queue.
+    pub inboxes: Vec<parking_lot::Mutex<std::collections::VecDeque<TransportEvent>>>,
 }
 
-impl RawTransport for ChannelRaw {
-    fn try_send(&self, from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> bool {
-        // The route is re-read per attempt so a quick restart's fresh
-        // channel is picked up by the retry loop.
-        self.routes
-            .to(to)
-            .send(Command::Link(LinkMsg { from, seq, payload: payload.clone() }))
-            .is_ok()
+impl ChannelRaw {
+    pub fn new(routes: Arc<Routes>, links: Arc<Links>) -> Self {
+        let n = links.num_sites();
+        ChannelRaw {
+            routes,
+            links,
+            inboxes: (0..n)
+                .map(|_| parking_lot::Mutex::new(std::collections::VecDeque::new()))
+                .collect(),
+        }
+    }
+}
+
+impl Transport for ChannelRaw {
+    fn try_send(&self, from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> SendStatus {
+        // The inbox outlives crash/restart cycles; stale frames from a
+        // pre-crash generation are deduplicated (or gap-dropped and
+        // later replayed) against the durable per-link marks, exactly
+        // like retransmitted duplicates. The wake-up is the only part
+        // that can fail — a crashed site's channel is gone — and the
+        // restart path replays the outbox anyway, so report Down only
+        // to keep the status honest for observers.
+        self.inboxes[to.index()].lock().push_back(TransportEvent::Frame {
+            from,
+            seq,
+            payload: payload.clone(),
+        });
+        // The route is re-read per send so a restart's fresh channel is
+        // picked up immediately.
+        match self.routes.to(to).send(Command::Wake) {
+            Ok(()) => SendStatus::Sent,
+            Err(_) => SendStatus::Down,
+        }
     }
 
-    fn send_ack(&self, from: SiteId, me: SiteId, seq: u64) {
+    fn send_ack(&self, from: SiteId, me: SiteId, seq: u64) -> SendStatus {
         self.links.prune(from, me, seq);
+        SendStatus::Sent
+    }
+
+    fn poll_events(&self, me: SiteId) -> Vec<TransportEvent> {
+        std::mem::take(&mut *self.inboxes[me.index()].lock()).into()
     }
 }

@@ -1,11 +1,12 @@
-//! The differential matrix: one seeded workload, three deployments.
+//! The differential matrix: one seeded workload, four deployments.
 //!
 //! Since the propagation decisions of every protocol live in one shared
 //! sans-I/O [`repl_protocol::SiteMachine`], the discrete-event simulator,
-//! the in-process channel cluster, and a process-per-site loopback TCP
-//! cluster must all end in **byte-identical** final copy state — same
-//! values, same writer transaction ids, same wire encoding — for every
-//! protocol on every placement.
+//! the in-process channel cluster, and process-per-site loopback TCP
+//! clusters under **both** I/O drivers (`--reactor threads` and
+//! `--reactor epoll`) must all end in **byte-identical** final copy
+//! state — same values, same writer transaction ids, same wire encoding
+//! — for every protocol on every placement.
 //!
 //! The workloads are conflict-free by construction (write-only, one
 //! submitting thread per site, each site writing only its own primary
@@ -22,9 +23,10 @@ use std::path::Path;
 
 use repl_copygraph::DataPlacement;
 use repl_core::config::{ProtocolKind, SimParams};
+use repl_core::deploy::ReactorKind;
 use repl_core::engine::Engine;
 use repl_net::{decode_cells, encode_cells};
-use repl_runtime::{Cluster, ProcCluster, RuntimeProtocol};
+use repl_runtime::{Cluster, ClusterHandle, ProcCluster, RuntimeProtocol};
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
 
 fn repld() -> &'static Path {
@@ -156,55 +158,50 @@ fn sim_final_state(
         .collect()
 }
 
-/// Round-robin the programs through the in-process channel cluster.
+/// Round-robin the programs through any deployment and capture every
+/// site's quiescent copy state. One driver for the channel cluster and
+/// both TCP reactors — the [`ClusterHandle`] seam under test.
+fn drive_final_state(
+    cluster: &dyn ClusterHandle,
+    progs: &[Vec<Vec<Vec<Op>>>],
+) -> Vec<bytes::Bytes> {
+    let rounds = progs.iter().map(|site| site[0].len()).max().unwrap_or(0);
+    for round in 0..rounds {
+        for (site, prog) in progs.iter().enumerate() {
+            if let Some(ops) = prog[0].get(round) {
+                if !ops.is_empty() {
+                    cluster.execute(SiteId(site as u32), ops.clone()).expect("commit");
+                }
+            }
+        }
+    }
+    cluster.quiesce();
+    (0..cluster.num_sites()).map(|s| cluster.copy_state(SiteId(s)).expect("copy state")).collect()
+}
+
+/// The in-process channel cluster column.
 fn channel_final_state(
     placement: &DataPlacement,
     protocol: RuntimeProtocol,
     progs: &[Vec<Vec<Vec<Op>>>],
 ) -> Vec<bytes::Bytes> {
     let cluster = Cluster::start(placement, protocol).unwrap();
-    let rounds = progs.iter().map(|site| site[0].len()).max().unwrap_or(0);
-    for round in 0..rounds {
-        for (site, prog) in progs.iter().enumerate() {
-            if let Some(ops) = prog[0].get(round) {
-                if !ops.is_empty() {
-                    cluster.execute(SiteId(site as u32), ops.clone()).unwrap();
-                }
-            }
-        }
-    }
-    cluster.quiesce();
-    let states = (0..placement.num_sites())
-        .map(|s| cluster.copy_state(SiteId(s)).expect("copy state"))
-        .collect();
+    let states = drive_final_state(&cluster, progs);
     cluster.shutdown();
     states
 }
 
-/// Same programs on one `repld` OS process per site over loopback TCP.
-fn tcp_final_state(
+/// One `repld` OS process per site over loopback TCP, under the chosen
+/// I/O driver (`--reactor threads` or `--reactor epoll`).
+fn proc_final_state(
     placement: &DataPlacement,
     protocol: RuntimeProtocol,
     progs: &[Vec<Vec<Vec<Op>>>],
+    reactor: ReactorKind,
 ) -> Vec<bytes::Bytes> {
-    let cluster = ProcCluster::launch_with_bin(repld(), placement, protocol).unwrap();
-    let rounds = progs.iter().map(|site| site[0].len()).max().unwrap_or(0);
-    for round in 0..rounds {
-        for (site, prog) in progs.iter().enumerate() {
-            if let Some(ops) = prog[0].get(round) {
-                if !ops.is_empty() {
-                    cluster
-                        .execute(SiteId(site as u32), ops.clone())
-                        .expect("client io")
-                        .expect("commit");
-                }
-            }
-        }
-    }
-    cluster.quiesce();
-    let states = (0..placement.num_sites())
-        .map(|s| cluster.copy_state(SiteId(s)).expect("copy state"))
-        .collect();
+    let cluster =
+        ProcCluster::launch_with_bin_reactor(repld(), placement, protocol, reactor).unwrap();
+    let states = drive_final_state(&cluster, progs);
     cluster.shutdown();
     states
 }
@@ -250,8 +247,10 @@ fn assert_matrix_cell(
     let sim_state = sim_final_state(placement, sim, &progs, txns);
     let chan_state = channel_final_state(placement, runtime, &progs);
     assert_states_identical(label, "channel cluster", &sim_state, &chan_state);
-    let tcp_state = tcp_final_state(placement, runtime, &progs);
-    assert_states_identical(label, "TCP cluster", &sim_state, &tcp_state);
+    let tcp_state = proc_final_state(placement, runtime, &progs, ReactorKind::Threads);
+    assert_states_identical(label, "TCP cluster (threads)", &sim_state, &tcp_state);
+    let epoll_state = proc_final_state(placement, runtime, &progs, ReactorKind::Epoll);
+    assert_states_identical(label, "TCP cluster (epoll)", &sim_state, &epoll_state);
     // Non-degenerate: the workload must actually have written something.
     assert!(sim_state.iter().any(|b| b.len() > 4), "{label}: empty workload");
 }

@@ -159,13 +159,16 @@ fn stats_reach_zero_outstanding() {
     // −1 per application elsewhere); only the cluster-wide sum is zero.
     let mut outstanding_sum = 0;
     let mut committed = 0;
+    let mut decode_errors = 0;
     for s in 0..3 {
-        let (outstanding, c) = cluster.stats(SiteId(s)).unwrap();
-        outstanding_sum += outstanding;
-        committed += c;
+        let stats = cluster.stats(SiteId(s)).unwrap();
+        outstanding_sum += stats.outstanding;
+        committed += stats.committed;
+        decode_errors += stats.decode_errors;
     }
     assert_eq!(outstanding_sum, 0);
     assert_eq!(committed, 1);
+    assert_eq!(decode_errors, 0, "no client sent a malformed frame");
     let cell = cluster.peek(SiteId(2), repl_types::ItemId(0)).expect("replica readable");
     assert_eq!(cell.0, repl_types::Value::int(9));
     cluster.shutdown();

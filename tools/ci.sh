@@ -22,7 +22,7 @@ cargo test -q
 echo "==> mc_smoke (exhaustive bounded model check, 3 sites / 2 txns, all four protocols)"
 ./target/release/replmc --stats --max-states 2000000
 
-echo "==> differential matrix gate (sim vs channel vs TCP, quick)"
+echo "==> differential matrix gate (sim vs channel vs TCP threads vs TCP epoll, quick)"
 DIFF_MATRIX_TXNS=6 cargo test -q -p repl-runtime --test differential_matrix
 
 echo "==> smoke sweep (quick fig2a on the 4-worker pool, cache off)"
@@ -33,5 +33,9 @@ REPRO_SCALE=quick REPRO_WORKERS=4 REPRO_NO_CACHE=1 ./target/release/fault_sweep 
 
 echo "==> loopback TCP smoke (3 repld processes, mid-run connection kill)"
 ./target/release/tcp_smoke > /dev/null
+
+echo "==> epoll smoke (repld --reactor epoll, 64-connection closed-loop loadgen)"
+REPLD_BIN=./target/release/repld ./target/release/loadgen \
+    --reactor epoll --conns 64 --txns 3 --out /tmp/bench_reactor_smoke.json > /dev/null
 
 echo "ci: all gates passed"
