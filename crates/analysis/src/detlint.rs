@@ -18,13 +18,16 @@
 //! | RL007 | any I/O, threading, or clock import inside `crates/protocol` |
 //! | RL008 | `unwrap`/`expect`/`panic!`/`unreachable!` in non-test runtime code |
 //! | RL009 | blocking socket call patterns inside the epoll reactor |
+//! | RL010 | bare `thread::sleep` or hardcoded retry-duration consts in `crates/runtime` outside the policy module |
 //!
 //! Files are classified by path ([`FileClass`]): paths under
-//! `crates/runtime` or `crates/net` get only the panic-freedom rule
+//! `crates/runtime` or `crates/net` get the panic-freedom rule
 //! RL008 (they legitimately own sockets, clocks and threads — a
-//! long-running site process just must not die on a stray `unwrap`);
-//! every other path gets the determinism rules, and paths under
-//! `crates/protocol` additionally get the sans-I/O rule RL007.
+//! long-running site process just must not die on a stray `unwrap`),
+//! and `crates/runtime` sources outside `src/policy.rs` additionally
+//! get the timing-policy rule RL010; every other path gets the
+//! determinism rules, and paths under `crates/protocol` additionally
+//! get the sans-I/O rule RL007.
 //!
 //! RL009 guards the single-threaded readiness loop: one blocking
 //! `accept`/`read`/`write` anywhere in `runtime/src/reactor.rs` parks
@@ -57,6 +60,14 @@
 //!
 //! RL008 skips `#[cfg(test)]` regions (tracked by brace depth): tests
 //! may unwrap freely, the site loop may not.
+//!
+//! RL010 keeps retry timing in one place: every sleep and every
+//! retry/timeout/backoff duration in `crates/runtime` must route
+//! through `runtime/src/policy.rs` (`policy::pace`, `RetryPolicy`),
+//! where the knobs are configurable and jittered, instead of being
+//! hardcoded at the call site. The policy module itself is the one
+//! sanctioned home for the real `thread::sleep`, and `#[cfg(test)]`
+//! regions are skipped the same way RL008 skips them.
 //!
 //! Any rule is silenced for one finding with a suppression comment on
 //! the same line or the line above: `// replint: allow(RL004)` (several
@@ -179,6 +190,13 @@ pub fn scan_file(path_label: &str, src: &str) -> Vec<Diagnostic> {
                 scan_panic_free(src, &mut |c, m, l, t| emit(&mut diags, c, m, l, t));
                 if reactor {
                     scan_reactor_nonblocking(src, &mut |c, m, l, t| emit(&mut diags, c, m, l, t));
+                }
+                let in_runtime =
+                    path_label.contains("crates/runtime") || path_label.contains("crates\\runtime");
+                let is_policy = path_label.contains("runtime/src/policy.rs")
+                    || path_label.contains("runtime\\src\\policy.rs");
+                if in_runtime && !is_policy {
+                    scan_timing(src, &mut |c, m, l, t| emit(&mut diags, c, m, l, t));
                 }
             }
             FileClass::Exempt => return Vec::new(),
@@ -432,6 +450,93 @@ fn scan_reactor_nonblocking(src: &str, emit: &mut dyn FnMut(&'static str, &str, 
                 break;
             }
         }
+    }
+}
+
+/// Identifier fragments that mark a duration constant as a retry knob:
+/// a `const …RETRY…: Duration` hardcodes what `RetryPolicy` should own.
+const RETRY_KNOB_FRAGMENTS: &[&str] = &["RETRY", "TIMEOUT", "BACKOFF"];
+
+/// RL010: timing policy must live in `runtime/src/policy.rs`. Flags
+/// bare `thread::sleep` calls and hardcoded retry/timeout/backoff
+/// `Duration` constants anywhere else under `crates/runtime`, skipping
+/// `#[cfg(test)]` regions the same way RL008 does.
+fn scan_timing(src: &str, emit: &mut dyn FnMut(&'static str, &str, u32, &str)) {
+    let mut region = TestRegion::Outside;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx as u32 + 1;
+        if line.starts_with("//") {
+            continue;
+        }
+        let code_part = strip_line_comment(raw);
+        let (opens, closes) = brace_count(code_part);
+        match region {
+            TestRegion::Outside => {
+                if code_part.contains("#[cfg(test)]") {
+                    region = TestRegion::AwaitBrace;
+                    continue;
+                }
+            }
+            TestRegion::AwaitBrace => {
+                if opens > 0 {
+                    let depth = opens - closes;
+                    region =
+                        if depth > 0 { TestRegion::Inside(depth) } else { TestRegion::Outside };
+                }
+                continue;
+            }
+            TestRegion::Inside(depth) => {
+                let depth = depth + opens - closes;
+                region = if depth > 0 { TestRegion::Inside(depth) } else { TestRegion::Outside };
+                continue;
+            }
+        }
+        if code_part.contains("thread::sleep") {
+            emit(
+                "RL010",
+                "bare thread::sleep in runtime code: pacing belongs to the policy \
+                 module (policy::pace, RetryPolicy::delay) so every wait is \
+                 configurable and jittered in one place; justify with \
+                 `// replint: allow(RL010)`",
+                lineno,
+                line,
+            );
+        }
+        if let Some(name) = hardcoded_retry_const(code_part) {
+            emit(
+                "RL010",
+                &format!(
+                    "hardcoded retry-duration constant `{name}`: timing knobs \
+                     belong on RetryPolicy in runtime/src/policy.rs, not as \
+                     per-module constants; justify with `// replint: allow(RL010)`"
+                ),
+                lineno,
+                line,
+            );
+        }
+    }
+}
+
+/// The name of a `const …RETRY/TIMEOUT/BACKOFF…: Duration` declared on
+/// this line, if any.
+fn hardcoded_retry_const(code: &str) -> Option<String> {
+    let pos = code.find("const ")?;
+    let rest = code[pos + "const ".len()..].trim_start();
+    let ident: String = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if ident.is_empty() {
+        return None;
+    }
+    let after = rest[ident.len()..].trim_start();
+    let ty = after.strip_prefix(':')?.trim_start();
+    if !ty.starts_with("Duration") && !ty.starts_with("std::time::Duration") {
+        return None;
+    }
+    let upper = ident.to_ascii_uppercase();
+    if RETRY_KNOB_FRAGMENTS.iter().any(|frag| upper.contains(frag)) {
+        Some(ident)
+    } else {
+        None
     }
 }
 
@@ -852,5 +957,59 @@ mod tests {
     fn unwrap_or_not_flagged() {
         let src = "let v = map.get(&k).unwrap_or(&0);\nlet w = o.unwrap_or_else(Vec::new);\nlet x = r.expect_err(\"want failure\");\n";
         assert!(scan_file("crates/runtime/src/proc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn runtime_sleep_flagged_outside_policy() {
+        let src = "std::thread::sleep(Duration::from_millis(5));\nthread::sleep(backoff);\n";
+        let codes: Vec<_> =
+            scan_file("crates/runtime/src/tcp.rs", src).into_iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["RL010", "RL010"]);
+        // The policy module is the sanctioned home of the real sleep.
+        assert!(scan_file("crates/runtime/src/policy.rs", src).is_empty());
+        // Other runtime crates (repl-net) are out of RL010's scope.
+        assert!(scan_file("crates/net/src/frame.rs", src).is_empty());
+        // And so are the deterministic crates (no thread::sleep rule there).
+        assert!(scan_file("crates/sim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hardcoded_retry_consts_flagged() {
+        for decl in [
+            "const DIAL_RETRY: Duration = Duration::from_millis(20);",
+            "pub const CONNECT_TIMEOUT: Duration = Duration::from_millis(50);",
+            "pub(crate) const BACKOFF_BASE: std::time::Duration = Duration::from_millis(5);",
+        ] {
+            let codes: Vec<_> = scan_file("crates/runtime/src/reactor.rs", decl)
+                .into_iter()
+                .map(|d| d.code)
+                .collect();
+            assert_eq!(codes, vec!["RL010"], "{decl}");
+        }
+    }
+
+    #[test]
+    fn unrelated_consts_and_durations_not_flagged() {
+        // Not retry knobs: plain period constants, non-Duration consts
+        // with knob-ish names, and Duration expressions in ordinary code.
+        let src = "const TICK: Duration = Duration::from_millis(1);\n\
+                   const MAX_RETRIES: u32 = 5;\n\
+                   let d = Duration::from_millis(ms);\n";
+        assert!(scan_file("crates/runtime/src/site.rs", src).is_empty());
+    }
+
+    #[test]
+    fn timing_in_cfg_test_not_flagged() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::sleep(D); }\n}\n";
+        assert!(scan_file("crates/runtime/src/link.rs", src).is_empty());
+    }
+
+    #[test]
+    fn timing_allow_comment_honored() {
+        let src = "// replint: allow(RL010) -- test-only heal wait\nstd::thread::sleep(HEAL);\n";
+        assert!(scan_file("crates/runtime/src/cluster.rs", src).is_empty());
+        let const_src =
+            "const WARMUP_TIMEOUT: Duration = Duration::ZERO; // replint: allow(RL010)\n";
+        assert!(scan_file("crates/runtime/src/proc.rs", const_src).is_empty());
     }
 }

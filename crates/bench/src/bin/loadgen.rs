@@ -234,7 +234,7 @@ fn bench_one(
     }
     let elapsed = started.elapsed().as_secs_f64();
 
-    cluster.quiesce();
+    cluster.quiesce().expect("quiesce");
     cluster.shutdown();
 
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));

@@ -64,7 +64,7 @@ fn main() {
             cluster.execute(site, vec![Op::write(item, i as i64)]).expect("io").expect("commit");
             samples.push(t.elapsed().as_nanos());
         }
-        cluster.quiesce();
+        cluster.quiesce().expect("quiesce");
         report("loopback TCP commit RTT", samples);
         cluster.shutdown();
     }

@@ -40,7 +40,7 @@ fn main() {
         }
     }
     chan.quiesce();
-    tcp.quiesce();
+    tcp.quiesce().expect("tcp quiesce");
 
     for site in 0..placement.num_sites() {
         let a = chan.copy_state(SiteId(site)).expect("channel state");

@@ -79,6 +79,14 @@ pub struct DeployConfig {
     pub transport: Option<TransportKind>,
     /// I/O driver selection (TCP deployments only).
     pub reactor: Option<ReactorKind>,
+    /// Deterministic network-fault schedule, in the runtime's
+    /// `NetFaultPlan` spec format (opaque to this parser; validated by
+    /// `repld`). Every site of a cluster must be given the same spec.
+    pub nemesis: Option<String>,
+    /// Eager-phase abort deadline override, in milliseconds.
+    pub eager_timeout_ms: Option<u64>,
+    /// Per-link outbox high-water mark override, in frames.
+    pub outbox_high_water: Option<u64>,
     /// Site id → dial address for every peer. May be left empty when a
     /// launcher pushes the map over the client protocol instead.
     pub peers: AddressMap,
@@ -158,6 +166,21 @@ impl DeployConfig {
                     cfg.reactor =
                         Some(ReactorKind::parse(&s).map_err(|e| format!("line {lineno}: {e}"))?);
                 }
+                "nemesis" => {
+                    cfg.nemesis = Some(unquote(value).ok_or_else(|| {
+                        format!("line {lineno}: nemesis must be a \"quoted\" string")
+                    })?);
+                }
+                "eager_timeout_ms" => {
+                    cfg.eager_timeout_ms = Some(value.parse().map_err(|_| {
+                        format!("line {lineno}: eager_timeout_ms must be an integer")
+                    })?);
+                }
+                "outbox_high_water" => {
+                    cfg.outbox_high_water = Some(value.parse().map_err(|_| {
+                        format!("line {lineno}: outbox_high_water must be an integer")
+                    })?);
+                }
                 other => return Err(format!("line {lineno}: unknown key {other:?}")),
             }
         }
@@ -184,6 +207,15 @@ impl DeployConfig {
         }
         if flags.reactor.is_some() {
             self.reactor = flags.reactor;
+        }
+        if flags.nemesis.is_some() {
+            self.nemesis = flags.nemesis;
+        }
+        if flags.eager_timeout_ms.is_some() {
+            self.eager_timeout_ms = flags.eager_timeout_ms;
+        }
+        if flags.outbox_high_water.is_some() {
+            self.outbox_high_water = flags.outbox_high_water;
         }
         for (site, addr) in flags.peers.entries() {
             self.peers.insert(*site, addr.clone());
@@ -229,6 +261,9 @@ mod tests {
             transport = "tcp"
             reactor = "epoll"
             placement = "3;0:0,1,2;1:1,2;2:2"
+            nemesis = "seed=7;part=0-1@100..400"
+            eager_timeout_ms = 250
+            outbox_high_water = 4096
 
             [peers]
             0 = "127.0.0.1:7100"
@@ -241,6 +276,9 @@ mod tests {
         assert_eq!(cfg.protocol.as_deref(), Some("dagwt"));
         assert_eq!(cfg.transport, Some(TransportKind::Tcp));
         assert_eq!(cfg.reactor, Some(ReactorKind::Epoll));
+        assert_eq!(cfg.nemesis.as_deref(), Some("seed=7;part=0-1@100..400"));
+        assert_eq!(cfg.eager_timeout_ms, Some(250));
+        assert_eq!(cfg.outbox_high_water, Some(4096));
         assert_eq!(cfg.peers.len(), 3);
         assert_eq!(cfg.peers.get(SiteId(2)), Some("127.0.0.1:7102"));
     }
@@ -257,6 +295,9 @@ mod tests {
             ("[peers]\nzero = \"a:1\"", "site id"),
             ("transport = \"carrier-pigeon\"", "unknown transport"),
             ("reactor = \"fibers\"", "unknown reactor"),
+            ("nemesis = seed=1", "quoted"),
+            ("eager_timeout_ms = \"soon\"", "integer"),
+            ("outbox_high_water = lots", "integer"),
         ] {
             let err = DeployConfig::parse(text).unwrap_err();
             assert!(err.contains(needle), "{text:?} → {err:?} missing {needle:?}");
@@ -265,12 +306,19 @@ mod tests {
 
     #[test]
     fn flags_override_file() {
-        let file = DeployConfig::parse("site = 0\nlisten = \"a:1\"").unwrap();
-        let mut flags = DeployConfig { site: Some(2), ..Default::default() };
+        let file = DeployConfig::parse("site = 0\nlisten = \"a:1\"\nnemesis = \"seed=1\"").unwrap();
+        let mut flags = DeployConfig {
+            site: Some(2),
+            nemesis: Some("seed=2;drop=50".to_string()),
+            outbox_high_water: Some(64),
+            ..Default::default()
+        };
         flags.peers.insert(SiteId(0), "b:2".to_string());
         let merged = file.merged_with(flags);
         assert_eq!(merged.site, Some(2));
         assert_eq!(merged.listen.as_deref(), Some("a:1"));
+        assert_eq!(merged.nemesis.as_deref(), Some("seed=2;drop=50"));
+        assert_eq!(merged.outbox_high_water, Some(64));
         assert_eq!(merged.peers.get(SiteId(0)), Some("b:2"));
     }
 

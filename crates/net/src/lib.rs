@@ -38,5 +38,5 @@ pub use frame::{
 };
 pub use msg::{
     cluster_fingerprint, decode_cells, encode_cells, ClientMsg, ClientReply, ExecError, Hello,
-    HelloAck, NetError, Payload, Subtxn, SubtxnKind, WireMsg,
+    HelloAck, HistoryTxn, NetError, Payload, Subtxn, SubtxnKind, WireMsg,
 };

@@ -103,6 +103,15 @@ pub enum ExecError {
     NoSuchSite(SiteId),
     /// The site is down or shutting down.
     Disconnected,
+    /// The site is shedding load: its outbox towards `peer` holds
+    /// `queued` unacknowledged messages, at or past the configured
+    /// high-water mark. Retry later; the transaction was not admitted.
+    Backpressure {
+        /// The congested peer.
+        peer: SiteId,
+        /// Messages queued towards it when the transaction was refused.
+        queued: u64,
+    },
     /// Anything else, as text.
     Other(String),
 }
@@ -128,7 +137,17 @@ pub enum ClientMsg {
     KillConn(SiteId),
     /// Stop the site process gracefully; reply [`ClientReply::Ok`].
     Shutdown,
+    /// The site's committed-transaction history (for the one-copy
+    /// serializability checker); reply [`ClientReply::History`].
+    History,
 }
+
+/// One committed transaction in a [`ClientReply::History`] reply:
+/// `(gid, reads, writes)` — `reads` pairing each item with the gid of
+/// the version read (`None` for the initial version). Plain tuples
+/// rather than the analysis crate's types so the wire layer stays
+/// dependency-free; the checker reassembles them.
+pub type HistoryTxn = (GlobalTxnId, Vec<(ItemId, Option<GlobalTxnId>)>, Vec<ItemId>);
 
 /// Replies a `repld` process sends on a client session.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -150,6 +169,14 @@ pub enum ClientReply {
         /// has refused (each one also got a typed [`ClientReply::Err`]
         /// before its connection was dropped).
         decode_errors: u64,
+        /// Peers this site currently classifies `Up`.
+        peers_up: u32,
+        /// Peers this site currently classifies `Suspect` (traffic
+        /// pending, no ack/frame progress for the suspect window).
+        peers_suspect: u32,
+        /// Peers this site currently classifies `Down` (no progress for
+        /// the down window; the retry policy keeps probing).
+        peers_down: u32,
     },
     /// Outcome of [`ClientMsg::CopyState`].
     State(Bytes),
@@ -157,6 +184,9 @@ pub enum ClientReply {
     Ok,
     /// Generic failure, as text.
     Err(String),
+    /// Outcome of [`ClientMsg::History`]: every transaction committed
+    /// at this site, in local commit order.
+    History(Vec<HistoryTxn>),
 }
 
 /// Any message that can appear on a connection.
@@ -363,6 +393,11 @@ fn put_exec_error(buf: &mut BytesMut, e: &ExecError) {
             buf.put_u8(5);
             codec::put_str(buf, msg);
         }
+        ExecError::Backpressure { peer, queued } => {
+            buf.put_u8(6);
+            buf.put_u32(peer.0);
+            buf.put_u64(*queued);
+        }
     }
 }
 
@@ -373,6 +408,10 @@ fn get_exec_error(buf: &mut Bytes) -> Result<ExecError, NetError> {
         3 => ExecError::NoSuchSite(SiteId(codec::get_u32(buf)?)),
         4 => ExecError::Disconnected,
         5 => ExecError::Other(codec::get_str(buf)?),
+        6 => ExecError::Backpressure {
+            peer: SiteId(codec::get_u32(buf)?),
+            queued: codec::get_u64(buf)?,
+        },
         t => return Err(NetError::BadTag(t)),
     })
 }
@@ -402,6 +441,7 @@ fn put_client(buf: &mut BytesMut, msg: &ClientMsg) {
             buf.put_u32(peer.0);
         }
         ClientMsg::Shutdown => buf.put_u8(7),
+        ClientMsg::History => buf.put_u8(8),
     }
 }
 
@@ -423,6 +463,7 @@ fn get_client(buf: &mut Bytes) -> Result<ClientMsg, NetError> {
         }
         6 => ClientMsg::KillConn(SiteId(codec::get_u32(buf)?)),
         7 => ClientMsg::Shutdown,
+        8 => ClientMsg::History,
         t => return Err(NetError::BadTag(t)),
     })
 }
@@ -454,11 +495,21 @@ fn put_reply(buf: &mut BytesMut, reply: &ClientReply) {
                 }
             }
         }
-        ClientReply::Stats { outstanding, committed, decode_errors } => {
+        ClientReply::Stats {
+            outstanding,
+            committed,
+            decode_errors,
+            peers_up,
+            peers_suspect,
+            peers_down,
+        } => {
             buf.put_u8(4);
             buf.put_i64(*outstanding);
             buf.put_u64(*committed);
             buf.put_u64(*decode_errors);
+            buf.put_u32(*peers_up);
+            buf.put_u32(*peers_suspect);
+            buf.put_u32(*peers_down);
         }
         ClientReply::State(bytes) => {
             buf.put_u8(5);
@@ -469,6 +520,28 @@ fn put_reply(buf: &mut BytesMut, reply: &ClientReply) {
         ClientReply::Err(msg) => {
             buf.put_u8(7);
             codec::put_str(buf, msg);
+        }
+        ClientReply::History(txns) => {
+            buf.put_u8(8);
+            buf.put_u32(txns.len() as u32);
+            for (gid, reads, writes) in txns {
+                codec::put_gid(buf, *gid);
+                buf.put_u32(reads.len() as u32);
+                for (item, version) in reads {
+                    buf.put_u32(item.0);
+                    match version {
+                        None => buf.put_u8(0),
+                        Some(writer) => {
+                            buf.put_u8(1);
+                            codec::put_gid(buf, *writer);
+                        }
+                    }
+                }
+                buf.put_u32(writes.len() as u32);
+                for item in writes {
+                    buf.put_u32(item.0);
+                }
+            }
         }
     }
 }
@@ -491,13 +564,23 @@ fn get_reply(buf: &mut Bytes) -> Result<ClientReply, NetError> {
             t => return Err(NetError::BadTag(t)),
         },
         4 => {
-            if buf.len() < 24 {
+            if buf.len() < 36 {
                 return Err(NetError::Truncated);
             }
             let outstanding = buf.get_i64();
             let committed = buf.get_u64();
             let decode_errors = buf.get_u64();
-            ClientReply::Stats { outstanding, committed, decode_errors }
+            let peers_up = buf.get_u32();
+            let peers_suspect = buf.get_u32();
+            let peers_down = buf.get_u32();
+            ClientReply::Stats {
+                outstanding,
+                committed,
+                decode_errors,
+                peers_up,
+                peers_suspect,
+                peers_down,
+            }
         }
         5 => {
             let len = codec::get_u64(buf)? as usize;
@@ -508,6 +591,32 @@ fn get_reply(buf: &mut Bytes) -> Result<ClientReply, NetError> {
         }
         6 => ClientReply::Ok,
         7 => ClientReply::Err(codec::get_str(buf)?),
+        8 => {
+            let n = codec::get_u32(buf)? as usize;
+            // Smallest possible txn: gid + two zero counts.
+            let mut txns = Vec::with_capacity(n.min(buf.len() / 20));
+            for _ in 0..n {
+                let gid = codec::get_gid(buf)?;
+                let reads_n = codec::get_u32(buf)? as usize;
+                let mut reads = Vec::with_capacity(reads_n.min(buf.len() / 5));
+                for _ in 0..reads_n {
+                    let item = ItemId(codec::get_u32(buf)?);
+                    let version = match codec::get_u8(buf)? {
+                        0 => None,
+                        1 => Some(codec::get_gid(buf)?),
+                        t => return Err(NetError::BadTag(t)),
+                    };
+                    reads.push((item, version));
+                }
+                let writes_n = codec::get_u32(buf)? as usize;
+                let mut writes = Vec::with_capacity(writes_n.min(buf.len() / 4));
+                for _ in 0..writes_n {
+                    writes.push(ItemId(codec::get_u32(buf)?));
+                }
+                txns.push((gid, reads, writes));
+            }
+            ClientReply::History(txns)
+        }
         t => return Err(NetError::BadTag(t)),
     })
 }
@@ -701,6 +810,7 @@ mod tests {
         ])));
         roundtrip(WireMsg::Client(ClientMsg::KillConn(SiteId(1))));
         roundtrip(WireMsg::Client(ClientMsg::Shutdown));
+        roundtrip(WireMsg::Client(ClientMsg::History));
     }
 
     #[test]
@@ -716,14 +826,29 @@ mod tests {
             Value::int(5),
             Some(GlobalTxnId::new(SiteId(2), 1)),
         )))));
+        roundtrip(WireMsg::Reply(ClientReply::Executed(Err(ExecError::Backpressure {
+            peer: SiteId(2),
+            queued: 100_000,
+        }))));
         roundtrip(WireMsg::Reply(ClientReply::Stats {
             outstanding: -2,
             committed: 10,
             decode_errors: 3,
+            peers_up: 2,
+            peers_suspect: 1,
+            peers_down: 1,
         }));
         roundtrip(WireMsg::Reply(ClientReply::State(Bytes::from_static(&[1, 2, 3]))));
         roundtrip(WireMsg::Reply(ClientReply::Ok));
         roundtrip(WireMsg::Reply(ClientReply::Err("nope".into())));
+        roundtrip(WireMsg::Reply(ClientReply::History(vec![
+            (
+                GlobalTxnId::new(SiteId(0), 1),
+                vec![(ItemId(0), None), (ItemId(1), Some(GlobalTxnId::new(SiteId(1), 4)))],
+                vec![ItemId(0)],
+            ),
+            (GlobalTxnId::new(SiteId(2), 9), vec![], vec![ItemId(2), ItemId(3)]),
+        ])));
     }
 
     #[test]

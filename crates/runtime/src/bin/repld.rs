@@ -28,19 +28,26 @@ use std::process::ExitCode;
 use repl_analysis::{check_address_map, has_errors, render};
 use repl_copygraph::DataPlacement;
 use repl_core::deploy::{DeployConfig, ReactorKind};
-use repl_runtime::{serve, serve_epoll, RuntimeProtocol, ServeConfig};
+use repl_runtime::{
+    serve, serve_epoll, NetFaultPlan, RuntimeOptions, RuntimeProtocol, ServeConfig,
+};
 use repl_types::SiteId;
 
 const USAGE: &str = "\
 usage: repld [--config FILE] [--site N] [--listen HOST:PORT]
              [--protocol dagwt|dagt|backedge|naive] [--placement SPEC]
              [--reactor threads|epoll] [--peer N=HOST:PORT]...
+             [--nemesis SPEC] [--eager-timeout-ms N] [--outbox-high-water N]
 
 Flags override --config values. --listen HOST:0 picks an ephemeral port
 and announces it on stdout as `repld: site N listening on ADDR`.
 --reactor threads (default) spends one blocking OS thread per
 connection; --reactor epoll serves every connection from one
-nonblocking readiness loop.";
+nonblocking readiness loop. --nemesis injects a deterministic network
+fault schedule (see NetFaultPlan::parse; give every site the same spec);
+--eager-timeout-ms bounds a BackEdge eager phase before it aborts;
+--outbox-high-water caps per-link outbox growth before writes are
+refused with a backpressure error.";
 
 fn main() -> ExitCode {
     match run() {
@@ -71,8 +78,20 @@ fn run() -> Result<(), String> {
         }
     }
 
+    let mut options = RuntimeOptions::default();
+    if let Some(spec) = cfg.nemesis.as_deref() {
+        options.nemesis =
+            Some(NetFaultPlan::parse(spec).map_err(|e| format!("bad nemesis spec: {e}"))?);
+    }
+    if let Some(ms) = cfg.eager_timeout_ms {
+        options.eager_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(hw) = cfg.outbox_high_water {
+        options.outbox_high_water = hw as usize;
+    }
+
     let serve_cfg =
-        ServeConfig { site: SiteId(site), placement, protocol, listen, peers: cfg.peers };
+        ServeConfig { site: SiteId(site), placement, protocol, listen, peers: cfg.peers, options };
     match cfg.reactor.unwrap_or_default() {
         ReactorKind::Threads => serve(serve_cfg).map_err(|e| e.to_string()),
         ReactorKind::Epoll => serve_epoll(serve_cfg).map_err(|e| e.to_string()),
@@ -101,6 +120,21 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<DeployConfig, String
             "--protocol" => flags.protocol = Some(value("--protocol")?),
             "--placement" => flags.placement = Some(value("--placement")?),
             "--reactor" => flags.reactor = Some(ReactorKind::parse(&value("--reactor")?)?),
+            "--nemesis" => flags.nemesis = Some(value("--nemesis")?),
+            "--eager-timeout-ms" => {
+                flags.eager_timeout_ms = Some(
+                    value("--eager-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "eager timeout must be an integer (milliseconds)")?,
+                );
+            }
+            "--outbox-high-water" => {
+                flags.outbox_high_water = Some(
+                    value("--outbox-high-water")?
+                        .parse()
+                        .map_err(|_| "outbox high water must be an integer (frames)")?,
+                );
+            }
             "--peer" => {
                 let spec = value("--peer")?;
                 let (site, addr) = spec

@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 
 use repl_copygraph::{BackEdgeSet, CopyGraph, DataPlacement, PropagationTree};
 use repl_core::history::{History, SerializationCycle};
+use repl_net::HistoryTxn;
 use repl_protocol::{ProtocolError, ProtocolId};
 use repl_storage::{recover, Checkpoint, Store, WriteAheadLog};
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
@@ -17,8 +18,10 @@ use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
 use crate::chan::{traced_unbounded, TracedSender};
 use crate::durable::DurableSite;
 use crate::link::Links;
+use crate::nemesis::ChaosWire;
+use crate::policy::{self, RuntimeOptions};
 use crate::site::{Command, SiteSetup};
-use crate::transport::{ChannelRaw, Net, Routes};
+use crate::transport::{ChannelRaw, Net, Routes, Transport};
 
 /// Protocols the threaded runtime deploys.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -104,6 +107,28 @@ pub enum ClusterError {
     /// The operation is not meaningful for this deployment (e.g.
     /// killing a TCP connection of an in-process cluster).
     Unsupported(&'static str),
+    /// Quiescence did not complete within the deadline; carries the
+    /// per-site outstanding deltas at expiry so a chaos run can report
+    /// where propagation stalled instead of panicking.
+    QuiesceTimeout {
+        /// `(site, outstanding)` at the deadline, every site.
+        outstanding: Vec<(SiteId, i64)>,
+    },
+    /// The site is shedding load: its outbox towards `peer` reached the
+    /// configured high-water mark, so the transaction was refused
+    /// *before* a gid was allocated. Retrying later commits it exactly
+    /// as if it had never been refused.
+    Backpressure {
+        /// The congested peer.
+        peer: SiteId,
+        /// Messages queued towards it at refusal.
+        queued: u64,
+    },
+    /// A BackEdge eager phase timed out: the special subtransaction (or
+    /// its decision) did not come home within the configured deadline,
+    /// and the transaction was aborted everywhere. Nothing committed;
+    /// the client may retry once the partition heals.
+    EagerTimeout(GlobalTxnId),
 }
 
 impl fmt::Display for ClusterError {
@@ -128,6 +153,19 @@ impl fmt::Display for ClusterError {
             ClusterError::Io(e) => write!(f, "i/o error: {e}"),
             ClusterError::Unsupported(what) => {
                 write!(f, "operation not supported by this deployment: {what}")
+            }
+            ClusterError::QuiesceTimeout { outstanding } => {
+                write!(f, "quiescence timed out; outstanding per site:")?;
+                for (site, n) in outstanding {
+                    write!(f, " {site}={n}")?;
+                }
+                Ok(())
+            }
+            ClusterError::Backpressure { peer, queued } => {
+                write!(f, "backpressure: {queued} messages queued towards {peer}")
+            }
+            ClusterError::EagerTimeout(gid) => {
+                write!(f, "eager phase of {gid} timed out and was aborted")
             }
         }
     }
@@ -210,6 +248,7 @@ pub struct Cluster {
     tree: Option<Arc<PropagationTree>>,
     graph: Arc<CopyGraph>,
     placement: Arc<DataPlacement>,
+    opts: Arc<RuntimeOptions>,
 }
 
 /// A site's store rebuilt from stable storage: an initial checkpoint of
@@ -228,20 +267,36 @@ pub(crate) fn recovered_store(
 
 impl Cluster {
     /// Spawn one thread per site of `placement`, wired with FIFO
-    /// channels, running `protocol`.
+    /// channels, running `protocol`, with default options (clean wire,
+    /// default timeouts and bounds).
     pub fn start(
         placement: &DataPlacement,
         protocol: RuntimeProtocol,
     ) -> Result<Self, ClusterError> {
+        Cluster::start_with(placement, protocol, RuntimeOptions::default())
+    }
+
+    /// [`Cluster::start`] with explicit [`RuntimeOptions`] — including,
+    /// when `options.nemesis` is set, a seeded fault-injection layer
+    /// wrapped around the channel wire.
+    pub fn start_with(
+        placement: &DataPlacement,
+        protocol: RuntimeProtocol,
+        options: RuntimeOptions,
+    ) -> Result<Self, ClusterError> {
         let Structure { tree, graph } = build_structure(placement, protocol)?;
+        let opts = Arc::new(options);
 
         let n = placement.num_sites() as usize;
         // Placeholder routes (their receivers are dropped at once);
         // every slot is replaced before any site can send.
         let routes = Arc::new(Routes::new((0..n).map(|_| traced_unbounded().0).collect()));
         let links = Arc::new(Links::new(n));
-        let net =
-            Arc::new(Net::new(links.clone(), Box::new(ChannelRaw::new(routes.clone(), links))));
+        let mut raw: Box<dyn Transport> = Box::new(ChannelRaw::new(routes.clone(), links.clone()));
+        if let Some(plan) = &opts.nemesis {
+            raw = Box::new(ChaosWire::new(raw, plan.clone(), n));
+        }
+        let net = Arc::new(Net::new(links, raw));
         let mut cluster = Cluster {
             routes,
             net,
@@ -254,6 +309,7 @@ impl Cluster {
             tree,
             graph,
             placement: Arc::new(placement.clone()),
+            opts,
         };
         for i in 0..n {
             cluster.spawn_site(SiteId(i as u32))?;
@@ -283,6 +339,7 @@ impl Cluster {
         let outstanding = self.outstanding.clone();
         let durable = self.durables[i].clone();
         let crashed = self.crash_flags[i].clone();
+        let opts = self.opts.clone();
         self.routes.replace(site, tx);
         self.threads[i] = Some(
             std::thread::Builder::new()
@@ -304,6 +361,7 @@ impl Cluster {
                             outstanding,
                             durable,
                             crashed,
+                            opts,
                         )
                         .run()
                 })
@@ -394,7 +452,7 @@ impl Cluster {
     /// restart — deliveries parked for it count as outstanding.
     pub fn quiesce(&self) {
         while self.outstanding.load(Ordering::SeqCst) > 0 {
-            std::thread::sleep(std::time::Duration::from_micros(200));
+            policy::pace(std::time::Duration::from_micros(200));
         }
     }
 
@@ -441,9 +499,26 @@ impl Cluster {
         self.outstanding.load(Ordering::SeqCst)
     }
 
+    /// `site`'s peer-health buckets `(up, suspect, down)`.
+    pub(crate) fn health_counts(&self, site: SiteId) -> (u32, u32, u32) {
+        self.net.health_counts(site, self.opts.suspect_after, self.opts.down_after)
+    }
+
     /// Number of transactions committed so far.
     pub fn committed_count(&self) -> usize {
         self.history.lock().committed_count()
+    }
+
+    /// Every committed transaction so far as `(gid, reads, writes)`
+    /// tuples — the deployment-generic history shape of
+    /// [`crate::ClusterHandle::history`].
+    pub(crate) fn history_txns(&self) -> Vec<HistoryTxn> {
+        self.history
+            .lock()
+            .txns()
+            .iter()
+            .map(|t| (t.gid, t.reads.clone(), t.writes.clone()))
+            .collect()
     }
 
     /// The placement this cluster serves.

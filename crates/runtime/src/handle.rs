@@ -14,7 +14,7 @@
 //! could be malformed (`decode_errors` is always zero), while a process
 //! cluster surfaces transport failures as [`ClusterError::Io`].
 
-use repl_net::ExecError;
+use repl_net::{ExecError, HistoryTxn};
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
 
 use crate::cluster::{Cluster, ClusterError};
@@ -35,6 +35,15 @@ pub struct SiteStats {
     /// (malformed, oversized, or mis-typed). Always zero in-process:
     /// there is no wire for a client frame to be malformed on.
     pub decode_errors: u64,
+    /// Peers this site currently classifies `Up` (recent ack/frame
+    /// progress, or nothing pending to judge by).
+    pub peers_up: u32,
+    /// Peers this site currently classifies `Suspect` (traffic pending
+    /// with no progress for the suspect window).
+    pub peers_suspect: u32,
+    /// Peers this site currently classifies `Down` (no progress for the
+    /// down window; retries continue with backoff).
+    pub peers_down: u32,
 }
 
 /// The operations every deployment answers: the common denominator of
@@ -65,8 +74,17 @@ pub trait ClusterHandle {
     fn kill_conn(&self, site: SiteId, peer: SiteId) -> Result<(), ClusterError>;
 
     /// Block until every committed update has been applied at every
-    /// destination replica.
-    fn quiesce(&self);
+    /// destination replica, or until the deployment's quiesce deadline
+    /// expires ([`ClusterError::QuiesceTimeout`], carrying where
+    /// propagation stalled).
+    fn quiesce(&self) -> Result<(), ClusterError>;
+
+    /// Every transaction committed anywhere in the deployment, as
+    /// `(gid, reads, writes)` tuples — `reads` pairing each item with
+    /// the gid of the version read. Feed into
+    /// `repl_core::history::History` to run the one-copy
+    /// serializability checker over a live run.
+    fn history(&self) -> Result<Vec<HistoryTxn>, ClusterError>;
 }
 
 impl ClusterHandle for Cluster {
@@ -86,10 +104,14 @@ impl ClusterHandle for Cluster {
         if site.index() >= self.num_sites() as usize {
             return Err(ClusterError::NoSuchSite(site));
         }
+        let (peers_up, peers_suspect, peers_down) = self.health_counts(site);
         Ok(SiteStats {
             outstanding: self.outstanding_count(),
             committed: self.committed_count() as u64,
             decode_errors: 0,
+            peers_up,
+            peers_suspect,
+            peers_down,
         })
     }
 
@@ -101,8 +123,16 @@ impl ClusterHandle for Cluster {
         Err(ClusterError::Unsupported("kill_conn: in-process cluster has no connections"))
     }
 
-    fn quiesce(&self) {
-        Cluster::quiesce(self)
+    fn quiesce(&self) -> Result<(), ClusterError> {
+        // The in-process quiesce has no deadline (tests that park
+        // deliveries for a crashed site rely on it blocking), so it
+        // cannot time out.
+        Cluster::quiesce(self);
+        Ok(())
+    }
+
+    fn history(&self) -> Result<Vec<HistoryTxn>, ClusterError> {
+        Ok(self.history_txns())
     }
 }
 
@@ -115,6 +145,7 @@ fn from_exec_error(e: ExecError) -> ClusterError {
         ExecError::NotPrimary(s, i) => ClusterError::NotPrimary(s, i),
         ExecError::NoSuchSite(s) => ClusterError::NoSuchSite(s),
         ExecError::Disconnected => ClusterError::Disconnected,
+        ExecError::Backpressure { peer, queued } => ClusterError::Backpressure { peer, queued },
         ExecError::Other(msg) => ClusterError::Io(msg),
     }
 }
@@ -148,7 +179,11 @@ impl ClusterHandle for ProcCluster {
         ProcCluster::kill_conn(self, site, peer).map_err(|e| ClusterError::Io(e.to_string()))
     }
 
-    fn quiesce(&self) {
+    fn quiesce(&self) -> Result<(), ClusterError> {
         ProcCluster::quiesce(self)
+    }
+
+    fn history(&self) -> Result<Vec<HistoryTxn>, ClusterError> {
+        ProcCluster::history(self).map_err(|e| ClusterError::Io(e.to_string()))
     }
 }

@@ -60,6 +60,8 @@ mod cluster;
 mod durable;
 mod handle;
 mod link;
+mod nemesis;
+mod policy;
 mod proc;
 mod reactor;
 mod site;
@@ -68,6 +70,10 @@ mod transport;
 
 pub use cluster::{Cluster, ClusterError, RuntimeProtocol, TxnHandle};
 pub use handle::{ClusterHandle, SiteStats};
-pub use proc::{repld_bin, ProcCluster};
+pub use nemesis::{NetFaultPlan, PartitionWindow, PauseWindow};
+pub use policy::{RetryPolicy, RuntimeOptions};
+pub use proc::{repld_bin, LaunchOptions, ProcCluster};
 pub use reactor::serve_epoll;
+pub use repl_net::HistoryTxn;
 pub use tcp::{serve, ServeConfig};
+pub use transport::PeerHealth;

@@ -87,6 +87,12 @@ impl Links {
         self.lane(from, to).lock().unacked.len()
     }
 
+    /// Sequence number of the oldest unacknowledged message on the
+    /// `from -> to` lane, `None` when fully acked.
+    pub fn front_seq(&self, from: SiteId, to: SiteId) -> Option<u64> {
+        self.lane(from, to).lock().unacked.front().map(|(s, _)| *s)
+    }
+
     /// Total messages awaiting acknowledgement towards `to` (tests,
     /// observability).
     pub fn queued_for(&self, to: SiteId) -> usize {

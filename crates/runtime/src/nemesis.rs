@@ -1,0 +1,525 @@
+//! Deterministic network-fault injection at the transport seam.
+//!
+//! [`NetFaultPlan`] is the live-runtime mirror of the simulator's
+//! `FaultPlan`: a declarative, splitmix64-seeded schedule of link
+//! faults — symmetric and one-way partitions, per-link delay/jitter,
+//! probabilistic frame drops and duplicates, byte corruption and
+//! truncation, and whole-site pauses. No OS entropy anywhere: the same
+//! plan against the same workload injects the same faults.
+//!
+//! [`ChaosWire`] interprets a plan as a [`Transport`] decorator. It
+//! composes over any of the three wires (in-process channels, threaded
+//! TCP, the epoll reactor) because it sits at the one seam they share:
+//! every fault is applied to the *attempt*, and the reliable-link
+//! engine above ([`crate::transport::Net`]) never learns the wire was
+//! lying. That is the point — drops, duplicates and partitions must be
+//! masked by the outbox/replay/dedup machinery, and corruption must be
+//! survived by `repl-net`'s panic-free decoding, or the runtime has a
+//! robustness bug the chaos suite should expose.
+//!
+//! Fault semantics, per attempted frame, in order:
+//!
+//! 1. **Partition / pause**: if the plan cuts `from → to` at this
+//!    moment (a partition window covering the directed pair, or a pause
+//!    window covering either endpoint), the frame is black-holed. The
+//!    outbox keeps it; the sender's periodic stall replay retries it
+//!    after heal. Acks crossing a cut are dropped the same way.
+//! 2. **Drop**: black-holed as above, drawn per-frame by seeded coin.
+//! 3. **Corrupt / truncate**: the frame is *encoded to wire bytes*, a
+//!    seeded byte is flipped (or a seeded tail cut off), and the bytes
+//!    are pushed through a real [`FrameReader`] — exercising the
+//!    decoder's panic-freedom end-to-end — then discarded, modeling a
+//!    link-layer checksum rejecting the damaged frame. Corruption never
+//!    *delivers* a wrong payload: the paper's model (and the dedup
+//!    layer's) is lossy-but-not-byzantine links.
+//! 4. **Delay/jitter**: the frame is parked in a per-link hold queue
+//!    with a seeded release time. Later frames on the same link are
+//!    parked behind it even when they draw no delay, preserving
+//!    per-link FIFO (a reordering nemesis would break the paper's §2
+//!    network assumption, which the protocols are allowed to rely on).
+//! 5. **Duplicate**: delivered twice back-to-back; the receiver's
+//!    durable dedup marks must absorb the copy.
+//!
+//! Time is wall-clock relative to [`ChaosWire`] construction (each
+//! `repld` process anchors its plan at serve start), quantized to
+//! milliseconds in the plan.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use repl_net::{encode_framed, FrameReader, Payload, WireMsg};
+use repl_types::SiteId;
+
+use crate::policy::splitmix64;
+use crate::transport::{SendStatus, Transport, TransportEvent};
+
+/// One partition window: the directed link `a → b` (and `b → a` when
+/// `symmetric`) is cut for `start_ms..end_ms`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// One endpoint (the sender, for one-way cuts).
+    pub a: SiteId,
+    /// The other endpoint (the receiver, for one-way cuts).
+    pub b: SiteId,
+    /// Cut both directions.
+    pub symmetric: bool,
+    /// Window start, ms since plan start (inclusive).
+    pub start_ms: u64,
+    /// Window end, ms since plan start (exclusive).
+    pub end_ms: u64,
+}
+
+/// One pause window: every link to and from `site` is cut for
+/// `start_ms..end_ms` — the site stalls (its process keeps running and
+/// keeps its volatile state) without crashing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PauseWindow {
+    /// The stalled site.
+    pub site: SiteId,
+    /// Window start, ms since plan start (inclusive).
+    pub start_ms: u64,
+    /// Window end, ms since plan start (exclusive).
+    pub end_ms: u64,
+}
+
+/// A declarative, seeded schedule of network faults. Built with the
+/// fluent constructors ([`NetFaultPlan::seeded`] etc.), or parsed from
+/// the compact one-line spec [`NetFaultPlan::parse`] accepts (what
+/// `repld --nemesis` takes on the command line).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    /// Seed of every per-frame draw.
+    pub seed: u64,
+    /// Max extra per-frame delay, ms (0 = no jitter).
+    pub max_jitter_ms: u64,
+    /// Per-frame drop probability, in permille.
+    pub drop_permille: u16,
+    /// Per-frame duplication probability, in permille.
+    pub dup_permille: u16,
+    /// Per-frame byte-corruption probability, in permille.
+    pub corrupt_permille: u16,
+    /// Per-frame truncation probability, in permille.
+    pub truncate_permille: u16,
+    /// Scheduled link cuts.
+    pub partitions: Vec<PartitionWindow>,
+    /// Scheduled site stalls.
+    pub pauses: Vec<PauseWindow>,
+}
+
+impl NetFaultPlan {
+    /// The empty plan: a clean wire.
+    pub fn none() -> Self {
+        NetFaultPlan::default()
+    }
+
+    /// An empty plan carrying `seed` for the per-frame draws.
+    pub fn seeded(seed: u64) -> Self {
+        NetFaultPlan { seed, ..NetFaultPlan::default() }
+    }
+
+    /// Set the per-frame drop probability (permille).
+    pub fn drop_frames(mut self, permille: u16) -> Self {
+        self.drop_permille = permille;
+        self
+    }
+
+    /// Set the per-frame duplication probability (permille).
+    pub fn duplicate_frames(mut self, permille: u16) -> Self {
+        self.dup_permille = permille;
+        self
+    }
+
+    /// Set the per-frame corruption probability (permille).
+    pub fn corrupt_frames(mut self, permille: u16) -> Self {
+        self.corrupt_permille = permille;
+        self
+    }
+
+    /// Set the per-frame truncation probability (permille).
+    pub fn truncate_frames(mut self, permille: u16) -> Self {
+        self.truncate_permille = permille;
+        self
+    }
+
+    /// Set the max per-frame delay (ms).
+    pub fn jitter(mut self, max_ms: u64) -> Self {
+        self.max_jitter_ms = max_ms;
+        self
+    }
+
+    /// Cut `a ↔ b` both ways for `start_ms..end_ms`.
+    pub fn partition(mut self, a: SiteId, b: SiteId, start_ms: u64, end_ms: u64) -> Self {
+        self.partitions.push(PartitionWindow { a, b, symmetric: true, start_ms, end_ms });
+        self
+    }
+
+    /// Cut only `from → to` for `start_ms..end_ms`.
+    pub fn oneway(mut self, from: SiteId, to: SiteId, start_ms: u64, end_ms: u64) -> Self {
+        self.partitions.push(PartitionWindow {
+            a: from,
+            b: to,
+            symmetric: false,
+            start_ms,
+            end_ms,
+        });
+        self
+    }
+
+    /// Stall `site` (cut all its links) for `start_ms..end_ms`.
+    pub fn pause(mut self, site: SiteId, start_ms: u64, end_ms: u64) -> Self {
+        self.pauses.push(PauseWindow { site, start_ms, end_ms });
+        self
+    }
+
+    /// When the last scheduled window ends (ms since plan start) — the
+    /// heal point after which only the probabilistic faults remain.
+    pub fn last_window_end_ms(&self) -> u64 {
+        let parts = self.partitions.iter().map(|w| w.end_ms);
+        let pauses = self.pauses.iter().map(|w| w.end_ms);
+        parts.chain(pauses).max().unwrap_or(0)
+    }
+
+    /// Is the directed link `from → to` cut at `now_ms`?
+    pub fn cuts(&self, from: SiteId, to: SiteId, now_ms: u64) -> bool {
+        let part = self.partitions.iter().any(|w| {
+            (now_ms >= w.start_ms && now_ms < w.end_ms)
+                && ((w.a == from && w.b == to) || (w.symmetric && w.a == to && w.b == from))
+        });
+        part || self
+            .pauses
+            .iter()
+            .any(|w| (w.site == from || w.site == to) && now_ms >= w.start_ms && now_ms < w.end_ms)
+    }
+
+    /// Render the compact spec string [`NetFaultPlan::parse`] reads
+    /// back (the `repld --nemesis` argument format).
+    pub fn to_spec(&self) -> String {
+        let mut s = format!("seed={}", self.seed);
+        if self.max_jitter_ms > 0 {
+            let _ = write!(s, ";jitter={}", self.max_jitter_ms);
+        }
+        for (key, v) in [
+            ("drop", self.drop_permille),
+            ("dup", self.dup_permille),
+            ("corrupt", self.corrupt_permille),
+            ("trunc", self.truncate_permille),
+        ] {
+            if v > 0 {
+                let _ = write!(s, ";{key}={v}");
+            }
+        }
+        for w in &self.partitions {
+            let kind = if w.symmetric { "part" } else { "oneway" };
+            let _ = write!(s, ";{kind}={}-{}@{}..{}", w.a.0, w.b.0, w.start_ms, w.end_ms);
+        }
+        for w in &self.pauses {
+            let _ = write!(s, ";pause={}@{}..{}", w.site.0, w.start_ms, w.end_ms);
+        }
+        s
+    }
+
+    /// Parse the spec format, e.g.
+    /// `seed=7;jitter=2;drop=50;dup=30;part=0-1@100..400;pause=2@150..250`.
+    /// Inverse of [`NetFaultPlan::to_spec`].
+    pub fn parse(spec: &str) -> Result<NetFaultPlan, String> {
+        let mut plan = NetFaultPlan::default();
+        for field in spec.split(';').map(str::trim).filter(|f| !f.is_empty()) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {field:?}"))?;
+            let num =
+                |v: &str| v.parse::<u64>().map_err(|_| format!("bad number {v:?} in {field:?}"));
+            match key {
+                "seed" => plan.seed = num(value)?,
+                "jitter" => plan.max_jitter_ms = num(value)?,
+                "drop" => plan.drop_permille = num(value)? as u16,
+                "dup" => plan.dup_permille = num(value)? as u16,
+                "corrupt" => plan.corrupt_permille = num(value)? as u16,
+                "trunc" => plan.truncate_permille = num(value)? as u16,
+                "part" | "oneway" => {
+                    let (pair, window) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("expected A-B@S..E in {field:?}"))?;
+                    let (a, b) = pair
+                        .split_once('-')
+                        .ok_or_else(|| format!("expected A-B site pair in {field:?}"))?;
+                    let (start, end) = parse_window(window, field)?;
+                    plan.partitions.push(PartitionWindow {
+                        a: SiteId(num(a)? as u32),
+                        b: SiteId(num(b)? as u32),
+                        symmetric: key == "part",
+                        start_ms: start,
+                        end_ms: end,
+                    });
+                }
+                "pause" => {
+                    let (site, window) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("expected SITE@S..E in {field:?}"))?;
+                    let (start, end) = parse_window(window, field)?;
+                    plan.pauses.push(PauseWindow {
+                        site: SiteId(num(site)? as u32),
+                        start_ms: start,
+                        end_ms: end,
+                    });
+                }
+                other => return Err(format!("unknown nemesis field {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_window(window: &str, field: &str) -> Result<(u64, u64), String> {
+    let (start, end) =
+        window.split_once("..").ok_or_else(|| format!("expected S..E window in {field:?}"))?;
+    let start = start.parse().map_err(|_| format!("bad window start in {field:?}"))?;
+    let end = end.parse().map_err(|_| format!("bad window end in {field:?}"))?;
+    if end < start {
+        return Err(format!("window ends before it starts in {field:?}"));
+    }
+    Ok((start, end))
+}
+
+/// Per-directed-link chaos state.
+#[derive(Default)]
+struct ChaosLane {
+    /// Frames attempted on this link so far (the per-frame draw index).
+    msg_index: u64,
+    /// Frames parked by delay: `(release_at, seq, payload)`, in FIFO
+    /// order with monotone release times.
+    held: VecDeque<(Duration, u64, Payload)>,
+}
+
+/// The [`Transport`] decorator interpreting a [`NetFaultPlan`] over any
+/// inner wire.
+pub(crate) struct ChaosWire {
+    inner: Box<dyn Transport>,
+    plan: NetFaultPlan,
+    start: Instant,
+    /// `lanes[from][to]`.
+    lanes: Vec<Vec<Mutex<ChaosLane>>>,
+}
+
+impl ChaosWire {
+    pub fn new(inner: Box<dyn Transport>, plan: NetFaultPlan, sites: usize) -> Self {
+        ChaosWire {
+            inner,
+            plan,
+            start: Instant::now(),
+            lanes: (0..sites)
+                .map(|_| (0..sites).map(|_| Mutex::new(ChaosLane::default())).collect())
+                .collect(),
+        }
+    }
+
+    fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Release every parked frame whose time has come. Called from all
+    /// three trait methods, so any wire activity (including the 1 ms
+    /// poll tick of every site driver) advances the delay queues.
+    fn pump(&self) {
+        let now = self.elapsed();
+        for (from, row) in self.lanes.iter().enumerate() {
+            for (to, slot) in row.iter().enumerate() {
+                let mut lane = slot.lock();
+                while lane.held.front().is_some_and(|(due, _, _)| *due <= now) {
+                    // replint: allow(RL008) -- front() checked Some on the previous line
+                    let (_, seq, payload) = lane.held.pop_front().expect("checked front");
+                    // A failed attempt is fine: the payload is still in
+                    // the outbox and the stall replay recovers it.
+                    let _ =
+                        self.inner.try_send(SiteId(from as u32), SiteId(to as u32), seq, &payload);
+                }
+            }
+        }
+    }
+
+    /// Push damaged wire bytes through a real frame decoder — the
+    /// end-to-end panic-freedom exercise — then discard the frame, as a
+    /// link-layer checksum would.
+    fn exercise_decoder(bytes: &[u8]) {
+        let mut reader = FrameReader::new();
+        reader.feed(bytes);
+        // Drain until the decoder either rejects the damage (typed
+        // error), yields a frame that happens to still parse, or wants
+        // more bytes. Whatever happens, it must not panic.
+        while let Ok(Some(_)) = reader.next_msg() {}
+    }
+}
+
+/// One permille draw off a chaos stream.
+fn draw(state: &mut u64) -> u64 {
+    *state = splitmix64(*state);
+    *state
+}
+
+impl Transport for ChaosWire {
+    fn try_send(&self, from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> SendStatus {
+        self.pump();
+        let now = self.elapsed();
+        let now_ms = now.as_millis() as u64;
+        if self.plan.cuts(from, to, now_ms) {
+            // Black hole. Report Sent: the wire accepted the frame and
+            // lost it, which is exactly what the outbox must mask.
+            return SendStatus::Sent;
+        }
+        let (index, held_behind) = {
+            let mut lane = self.lanes[from.index()][to.index()].lock();
+            lane.msg_index += 1;
+            (lane.msg_index, !lane.held.is_empty())
+        };
+        let mut stream = self
+            .plan
+            .seed
+            .wrapping_add((u64::from(from.0) << 40) ^ (u64::from(to.0) << 20) ^ index);
+        if self.plan.drop_permille > 0
+            && draw(&mut stream) % 1000 < u64::from(self.plan.drop_permille)
+        {
+            return SendStatus::Sent; // lost on the wire
+        }
+        let corrupt = self.plan.corrupt_permille > 0
+            && draw(&mut stream) % 1000 < u64::from(self.plan.corrupt_permille);
+        let truncate = !corrupt
+            && self.plan.truncate_permille > 0
+            && draw(&mut stream) % 1000 < u64::from(self.plan.truncate_permille);
+        if corrupt || truncate {
+            let mut bytes =
+                encode_framed(&WireMsg::Link { seq, payload: payload.clone() }).to_vec();
+            if corrupt {
+                let pos = (draw(&mut stream) as usize) % bytes.len();
+                bytes[pos] ^= 1 << (draw(&mut stream) % 8);
+            } else {
+                let keep = (draw(&mut stream) as usize) % bytes.len();
+                bytes.truncate(keep);
+            }
+            Self::exercise_decoder(&bytes);
+            return SendStatus::Sent; // checksum failure: frame discarded
+        }
+        let delay_ms = if self.plan.max_jitter_ms > 0 {
+            draw(&mut stream) % (self.plan.max_jitter_ms + 1)
+        } else {
+            0
+        };
+        if delay_ms > 0 || held_behind {
+            // Park it — behind any earlier parked frame, so per-link
+            // FIFO survives the jitter.
+            let mut lane = self.lanes[from.index()][to.index()].lock();
+            let mut due = now + Duration::from_millis(delay_ms);
+            if let Some((tail_due, _, _)) = lane.held.back() {
+                due = due.max(*tail_due);
+            }
+            lane.held.push_back((due, seq, payload.clone()));
+            return SendStatus::Sent;
+        }
+        if self.plan.dup_permille > 0
+            && draw(&mut stream) % 1000 < u64::from(self.plan.dup_permille)
+        {
+            let status = self.inner.try_send(from, to, seq, payload);
+            let _ = self.inner.try_send(from, to, seq, payload);
+            return status;
+        }
+        self.inner.try_send(from, to, seq, payload)
+    }
+
+    fn send_ack(&self, from: SiteId, me: SiteId, seq: u64) -> SendStatus {
+        self.pump();
+        // The ack physically travels me → from. Only a cut loses acks:
+        // they are cumulative, so anything subtler is invisible anyway.
+        if self.plan.cuts(me, from, self.elapsed().as_millis() as u64) {
+            return SendStatus::Sent;
+        }
+        self.inner.send_ack(from, me, seq)
+    }
+
+    fn poll_events(&self, me: SiteId) -> Vec<TransportEvent> {
+        self.pump();
+        self.inner.poll_events(me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrips() {
+        let plan = NetFaultPlan::seeded(7)
+            .jitter(2)
+            .drop_frames(50)
+            .duplicate_frames(30)
+            .corrupt_frames(20)
+            .truncate_frames(10)
+            .partition(SiteId(0), SiteId(1), 100, 400)
+            .oneway(SiteId(2), SiteId(0), 150, 450)
+            .pause(SiteId(1), 200, 300);
+        let spec = plan.to_spec();
+        assert_eq!(NetFaultPlan::parse(&spec).unwrap(), plan);
+        assert_eq!(plan.last_window_end_ms(), 450);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for (spec, needle) in [
+            ("frobnicate=1", "unknown nemesis field"),
+            ("seed", "key=value"),
+            ("seed=x", "bad number"),
+            ("part=0-1", "A-B@S..E"),
+            ("part=01@5..9", "site pair"),
+            ("part=0-1@9..5", "ends before"),
+            ("pause=1@5", "S..E"),
+        ] {
+            let err = NetFaultPlan::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "{spec:?} → {err:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn cuts_cover_partitions_and_pauses() {
+        let plan = NetFaultPlan::none()
+            .partition(SiteId(0), SiteId(1), 10, 20)
+            .oneway(SiteId(2), SiteId(0), 10, 20)
+            .pause(SiteId(3), 30, 40);
+        // Symmetric: both directions, only inside the window.
+        assert!(plan.cuts(SiteId(0), SiteId(1), 15));
+        assert!(plan.cuts(SiteId(1), SiteId(0), 15));
+        assert!(!plan.cuts(SiteId(0), SiteId(1), 20)); // end exclusive
+        assert!(!plan.cuts(SiteId(0), SiteId(1), 9));
+        // One-way: only the stated direction.
+        assert!(plan.cuts(SiteId(2), SiteId(0), 15));
+        assert!(!plan.cuts(SiteId(0), SiteId(2), 15));
+        // Pause: every link touching the site.
+        assert!(plan.cuts(SiteId(3), SiteId(0), 35));
+        assert!(plan.cuts(SiteId(1), SiteId(3), 35));
+        assert!(!plan.cuts(SiteId(1), SiteId(2), 35));
+    }
+
+    #[test]
+    fn decoder_exercise_survives_damage() {
+        use repl_net::Subtxn;
+        let payload = Payload::Subtxn(Subtxn {
+            gid: repl_types::GlobalTxnId::new(SiteId(0), 1),
+            origin: SiteId(0),
+            kind: repl_net::SubtxnKind::Normal,
+            ts: None,
+            writes: vec![(repl_types::ItemId(0), repl_types::Value::int(7))],
+            dest_sites: vec![SiteId(1)],
+        });
+        let clean = encode_framed(&WireMsg::Link { seq: 1, payload }).to_vec();
+        // Flip every byte position and truncate to every length: none
+        // may panic the decoder.
+        for pos in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0xFF;
+            ChaosWire::exercise_decoder(&bytes);
+        }
+        for keep in 0..clean.len() {
+            ChaosWire::exercise_decoder(&clean[..keep]);
+        }
+    }
+}

@@ -20,17 +20,34 @@ use parking_lot::Mutex;
 
 use repl_copygraph::DataPlacement;
 use repl_core::deploy::ReactorKind;
-use repl_net::{read_msg, write_msg, ClientMsg, ClientReply, ExecError, WireMsg};
+use repl_net::{read_msg, write_msg, ClientMsg, ClientReply, ExecError, HistoryTxn, WireMsg};
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
 
-use crate::cluster::RuntimeProtocol;
+use crate::cluster::{ClusterError, RuntimeProtocol};
 use crate::handle::SiteStats;
+use crate::policy;
 
 /// How long to keep retrying the initial client connection to a child.
 const CONNECT_WINDOW: Duration = Duration::from_secs(10);
-/// Safety net: `quiesce` panics (rather than hangs a test forever)
-/// after this long without reaching zero outstanding applications.
-const QUIESCE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Launch-time knobs beyond the placement and protocol: the I/O driver
+/// and the runtime-tolerance overrides forwarded to each `repld` child
+/// on its command line. [`Default`] matches [`ProcCluster::launch`]
+/// exactly (threaded driver, no nemesis, built-in timeouts).
+#[derive(Clone, Debug, Default)]
+pub struct LaunchOptions {
+    /// I/O driver for every child (`--reactor`).
+    pub reactor: ReactorKind,
+    /// Nemesis fault plan in `NetFaultPlan::to_spec` form
+    /// (`--nemesis`), applied identically by every child.
+    pub nemesis: Option<String>,
+    /// Override for the eager-phase abort deadline in milliseconds
+    /// (`--eager-timeout-ms`).
+    pub eager_timeout_ms: Option<u64>,
+    /// Override for the per-link outbox high-water mark
+    /// (`--outbox-high-water`).
+    pub outbox_high_water: Option<u64>,
+}
 
 /// Locate the `repld` binary: `$REPLD_BIN` if set, else next to the
 /// current executable (`target/<profile>/repld` for bench binaries),
@@ -77,7 +94,8 @@ impl ProcCluster {
         protocol: RuntimeProtocol,
         reactor: ReactorKind,
     ) -> io::Result<Self> {
-        Self::launch_inner(&repld_bin()?, placement, protocol, reactor)
+        let opts = LaunchOptions { reactor, ..LaunchOptions::default() };
+        Self::launch_inner(&repld_bin()?, placement, protocol, &opts)
     }
 
     /// [`ProcCluster::launch`] with an explicit `repld` path.
@@ -86,7 +104,7 @@ impl ProcCluster {
         placement: &DataPlacement,
         protocol: RuntimeProtocol,
     ) -> io::Result<Self> {
-        Self::launch_inner(bin, placement, protocol, ReactorKind::Threads)
+        Self::launch_inner(bin, placement, protocol, &LaunchOptions::default())
     }
 
     /// Explicit `repld` path *and* explicit I/O driver — what the test
@@ -97,14 +115,27 @@ impl ProcCluster {
         protocol: RuntimeProtocol,
         reactor: ReactorKind,
     ) -> io::Result<Self> {
-        Self::launch_inner(bin, placement, protocol, reactor)
+        let opts = LaunchOptions { reactor, ..LaunchOptions::default() };
+        Self::launch_inner(bin, placement, protocol, &opts)
+    }
+
+    /// Full-control launch: explicit `repld` path plus every
+    /// [`LaunchOptions`] knob — the chaos drivers use this to hand an
+    /// identical nemesis plan and tolerance overrides to every child.
+    pub fn launch_with_options(
+        bin: &std::path::Path,
+        placement: &DataPlacement,
+        protocol: RuntimeProtocol,
+        options: &LaunchOptions,
+    ) -> io::Result<Self> {
+        Self::launch_inner(bin, placement, protocol, options)
     }
 
     fn launch_inner(
         bin: &std::path::Path,
         placement: &DataPlacement,
         protocol: RuntimeProtocol,
-        reactor: ReactorKind,
+        options: &LaunchOptions,
     ) -> io::Result<Self> {
         let n = placement.num_sites() as usize;
         let spec = placement.to_spec();
@@ -121,21 +152,31 @@ impl ProcCluster {
             placement: placement.clone(),
         };
         for i in 0..n {
-            let mut child = Command::new(bin)
-                .args([
-                    "--site",
-                    &i.to_string(),
-                    "--listen",
-                    "127.0.0.1:0",
-                    "--protocol",
-                    proto,
-                    "--placement",
-                    &spec,
-                    "--reactor",
-                    reactor.name(),
-                ])
-                .stdout(Stdio::piped())
-                .spawn()?;
+            let mut args: Vec<String> = vec![
+                "--site".into(),
+                i.to_string(),
+                "--listen".into(),
+                "127.0.0.1:0".into(),
+                "--protocol".into(),
+                proto.into(),
+                "--placement".into(),
+                spec.clone(),
+                "--reactor".into(),
+                options.reactor.name().into(),
+            ];
+            if let Some(nemesis) = &options.nemesis {
+                args.push("--nemesis".into());
+                args.push(nemesis.clone());
+            }
+            if let Some(ms) = options.eager_timeout_ms {
+                args.push("--eager-timeout-ms".into());
+                args.push(ms.to_string());
+            }
+            if let Some(hw) = options.outbox_high_water {
+                args.push("--outbox-high-water".into());
+                args.push(hw.to_string());
+            }
+            let mut child = Command::new(bin).args(&args).stdout(Stdio::piped()).spawn()?;
             // replint: allow(RL008) -- stdout is piped two lines up
             let stdout = child.stdout.take().expect("stdout piped");
             cluster.children.push(child);
@@ -214,11 +255,40 @@ impl ProcCluster {
     /// The counters of one site process ([`SiteStats`]).
     pub fn stats(&self, site: SiteId) -> io::Result<SiteStats> {
         match self.request(site, ClientMsg::Stats)? {
-            ClientReply::Stats { outstanding, committed, decode_errors } => {
-                Ok(SiteStats { outstanding, committed, decode_errors })
-            }
+            ClientReply::Stats {
+                outstanding,
+                committed,
+                decode_errors,
+                peers_up,
+                peers_suspect,
+                peers_down,
+            } => Ok(SiteStats {
+                outstanding,
+                committed,
+                decode_errors,
+                peers_up,
+                peers_suspect,
+                peers_down,
+            }),
             other => Err(io::Error::other(format!("unexpected stats reply: {other:?}"))),
         }
+    }
+
+    /// Every transaction committed anywhere in the cluster, merged
+    /// across the per-process histories, as `(gid, reads, writes)`
+    /// tuples. Primaries record their own commits, so concatenating the
+    /// per-site fetches covers the cluster without duplicates.
+    pub fn history(&self) -> io::Result<Vec<HistoryTxn>> {
+        let mut all = Vec::new();
+        for i in 0..self.conns.len() {
+            match self.request(SiteId(i as u32), ClientMsg::History)? {
+                ClientReply::History(txns) => all.extend(txns),
+                other => {
+                    return Err(io::Error::other(format!("unexpected history reply: {other:?}")))
+                }
+            }
+        }
+        Ok(all)
     }
 
     /// Serialized copy state of `site` (ascending items, values,
@@ -247,22 +317,31 @@ impl ProcCluster {
     /// counters only ever decrease, and each read is an upper bound on
     /// the counter's later values — so a zero *sum* of sequential reads
     /// implies a zero cluster-wide count at the time of the last read.
-    pub fn quiesce(&self) {
+    ///
+    /// Returns [`ClusterError::QuiesceTimeout`] — with each stalled
+    /// site's residual outstanding count — if propagation has not
+    /// drained within the deployment deadline, so a chaos driver can
+    /// report *where* a partition left undelivered updates instead of
+    /// panicking the whole test process.
+    pub fn quiesce(&self) -> Result<(), ClusterError> {
         let start = Instant::now();
         loop {
+            let mut per_site = Vec::with_capacity(self.conns.len());
             let mut total = 0i64;
             for i in 0..self.conns.len() {
-                total +=
+                let outstanding =
                     self.stats(SiteId(i as u32)).map(|s| s.outstanding).unwrap_or(i64::MAX / 2);
+                total += outstanding;
+                per_site.push((SiteId(i as u32), outstanding));
             }
             if total == 0 {
-                return;
+                return Ok(());
             }
-            assert!(
-                start.elapsed() < QUIESCE_TIMEOUT,
-                "quiesce timed out with {total} outstanding applications"
-            );
-            std::thread::sleep(Duration::from_millis(1));
+            if start.elapsed() >= policy::QUIESCE_TIMEOUT {
+                per_site.retain(|(_, outstanding)| *outstanding != 0);
+                return Err(ClusterError::QuiesceTimeout { outstanding: per_site });
+            }
+            policy::pace(Duration::from_millis(1));
         }
     }
 
@@ -296,7 +375,7 @@ fn connect_retry(addr: &str) -> io::Result<TcpStream> {
             Ok(stream) => return Ok(stream),
             Err(e) if start.elapsed() < CONNECT_WINDOW => {
                 let _ = e;
-                std::thread::sleep(Duration::from_millis(5));
+                policy::pace(Duration::from_millis(5));
             }
             Err(e) => return Err(e),
         }

@@ -70,6 +70,7 @@ use repl_types::{AddressMap, GlobalTxnId, Op, SiteId};
 use crate::cluster::{build_structure, recovered_store};
 use crate::durable::DurableSite;
 use crate::link::Links;
+use crate::nemesis::ChaosWire;
 use crate::site::{SiteCore, SiteSetup, Started};
 use crate::tcp::{exec_error, ServeConfig};
 use crate::transport::{Net, SendStatus, Transport, TransportEvent};
@@ -79,12 +80,6 @@ use crate::transport::{Net, SendStatus, Transport, TransportEvent};
 const LISTENER: u64 = u64::MAX;
 /// `epoll_wait` timeout — the protocol tick granularity.
 const TICK_MS: i32 = 1;
-/// Dialer pacing: how often missing peer connections are retried.
-const DIAL_RETRY: Duration = Duration::from_millis(20);
-/// Cap on one blocking `connect` attempt in the dialer (loopback
-/// connects resolve in microseconds; this bounds the pathological
-/// case, e.g. a peer address that routes to a black hole).
-const CONNECT_TIMEOUT: Duration = Duration::from_millis(50);
 /// Per-peer write-buffer cap: a `try_send` that would grow a lane past
 /// this returns [`SendStatus::Backpressure`] instead.
 const LANE_BUF_CAP: usize = 1 << 20;
@@ -292,9 +287,14 @@ pub fn serve_epoll(cfg: ServeConfig) -> io::Result<()> {
         return Err(io::Error::new(io::ErrorKind::InvalidInput, "site id out of range"));
     }
 
+    let opts = Arc::new(cfg.options.clone());
     let wire = Arc::new(ReactorWire::new(n));
     let links = Arc::new(Links::new(n));
-    let net = Arc::new(Net::new(links, Box::new(wire.clone())));
+    let mut raw: Box<dyn Transport> = Box::new(wire.clone());
+    if let Some(plan) = &opts.nemesis {
+        raw = Box::new(ChaosWire::new(raw, plan.clone(), n));
+    }
+    let net = Arc::new(Net::new(links, raw));
     let durable = Arc::new(Mutex::new(DurableSite::new(n)));
     let history = Arc::new(Mutex::new(repl_core::history::History::new()));
     let outstanding = Arc::new(std::sync::atomic::AtomicI64::new(0));
@@ -309,7 +309,7 @@ pub fn serve_epoll(cfg: ServeConfig) -> io::Result<()> {
     )
     .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
     let store = recovered_store(&placement, cfg.site, &durable.lock().wal);
-    let core = setup.into_core(store, net, placement, history, outstanding, durable);
+    let core = setup.into_core(store, net, placement, history, outstanding, durable, opts.clone());
 
     let listener = TcpListener::bind(&cfg.listen)?;
     listener.set_nonblocking(true)?;
@@ -335,7 +335,8 @@ pub fn serve_epoll(cfg: ServeConfig) -> io::Result<()> {
         exec_queue: VecDeque::new(),
         in_flight: None,
         decode_errors: 0,
-        last_dial: Instant::now() - DIAL_RETRY,
+        dial_attempts: vec![0; n],
+        next_dial: vec![Instant::now(); n],
         shutdown: None,
         events: Vec::new(),
     };
@@ -366,7 +367,11 @@ struct Reactor {
     in_flight: Option<InFlight>,
     /// Client request frames refused because they did not decode.
     decode_errors: u64,
-    last_dial: Instant,
+    /// Consecutive failed dial attempts per peer — the exponent fed to
+    /// the [`crate::RetryPolicy`] backoff; reset on successful connect.
+    dial_attempts: Vec<u32>,
+    /// Per-peer earliest next dial time (jittered exponential backoff).
+    next_dial: Vec<Instant>,
     /// Set when a client requested shutdown: drain-and-exit deadline.
     shutdown: Option<Instant>,
     events: Vec<epoll::Event>,
@@ -383,9 +388,7 @@ impl Reactor {
             }
             self.events = events;
 
-            if self.last_dial.elapsed() >= DIAL_RETRY {
-                self.dial_missing();
-            }
+            self.dial_missing();
             self.core.tick();
             self.core.drain_net();
             self.finish_in_flight();
@@ -623,40 +626,60 @@ impl Reactor {
         true
     }
 
-    /// Paced dial pass: one nonblocking-after-connect attempt per peer
-    /// missing its outgoing link.
+    /// Dial pass: one nonblocking-after-connect attempt per peer
+    /// missing its outgoing link and past its per-peer backoff deadline
+    /// ([`crate::RetryPolicy`] jittered exponential — a dead peer is
+    /// probed ever less often, a fresh failure retries fast).
     fn dial_missing(&mut self) {
-        self.last_dial = Instant::now();
+        let now = Instant::now();
         for p in (0..self.num_sites as u32).map(SiteId) {
-            if p == self.me || self.out_conn[p.index()].is_some() {
+            if p == self.me || self.out_conn[p.index()].is_some() || now < self.next_dial[p.index()]
+            {
                 continue;
             }
-            let Some(addr) = self.peers.get(p).map(str::to_owned) else { continue };
-            let Ok(mut addrs) = addr.to_socket_addrs() else { continue };
-            let Some(sockaddr) = addrs.next() else { continue };
-            let Ok(stream) = TcpStream::connect_timeout(&sockaddr, CONNECT_TIMEOUT) else {
-                continue;
-            };
-            if stream.set_nonblocking(true).is_err() {
-                continue;
+            let ok = self.dial_one(p);
+            self.core.net.note_dial(self.me, p, ok);
+            if ok {
+                self.dial_attempts[p.index()] = 0;
+            } else {
+                let retry = &self.core.opts.retry;
+                self.next_dial[p.index()] = now + retry.delay(self.dial_attempts[p.index()]);
+                self.dial_attempts[p.index()] = self.dial_attempts[p.index()].saturating_add(1);
             }
-            let _ = stream.set_nodelay(true);
-            let Some(tok) = self.install_conn(stream, Role::PeerOutHs { peer: p }) else {
-                continue;
-            };
-            // Reserve the slot through the handshake so the next dial
-            // pass does not double-dial.
-            self.out_conn[p.index()] = Some(tok);
-            self.queue_msg(
-                tok,
-                &WireMsg::Hello(Hello {
-                    site: self.me,
-                    version_min: VERSION_MIN,
-                    version_max: VERSION_MAX,
-                    cluster: self.fingerprint,
-                }),
-            );
         }
+    }
+
+    /// One connect attempt toward `p`. True once the `Hello` is queued
+    /// on an installed connection (the handshake itself completes
+    /// asynchronously on the readiness loop).
+    fn dial_one(&mut self, p: SiteId) -> bool {
+        let Some(addr) = self.peers.get(p).map(str::to_owned) else { return false };
+        let Ok(mut addrs) = addr.to_socket_addrs() else { return false };
+        let Some(sockaddr) = addrs.next() else { return false };
+        let connect_timeout = self.core.opts.retry.connect_timeout;
+        let Ok(stream) = TcpStream::connect_timeout(&sockaddr, connect_timeout) else {
+            return false;
+        };
+        if stream.set_nonblocking(true).is_err() {
+            return false;
+        }
+        let _ = stream.set_nodelay(true);
+        let Some(tok) = self.install_conn(stream, Role::PeerOutHs { peer: p }) else {
+            return false;
+        };
+        // Reserve the slot through the handshake so the next dial
+        // pass does not double-dial.
+        self.out_conn[p.index()] = Some(tok);
+        self.queue_msg(
+            tok,
+            &WireMsg::Hello(Hello {
+                site: self.me,
+                version_min: VERSION_MIN,
+                version_max: VERSION_MAX,
+                cluster: self.fingerprint,
+            }),
+        );
+        true
     }
 
     /// One client request. Execute is queued (the site is serial and an
@@ -672,12 +695,28 @@ impl Reactor {
                 true
             }
             ClientMsg::Stats => {
+                let (peers_up, peers_suspect, peers_down) = self.core.health_counts();
                 let reply = ClientReply::Stats {
                     outstanding: self.core.outstanding.load(Ordering::SeqCst),
                     committed: self.core.history.lock().committed_count() as u64,
                     decode_errors: self.decode_errors,
+                    peers_up,
+                    peers_suspect,
+                    peers_down,
                 };
                 self.queue_reply(tok, reply);
+                true
+            }
+            ClientMsg::History => {
+                let txns = self
+                    .core
+                    .history
+                    .lock()
+                    .txns()
+                    .iter()
+                    .map(|t| (t.gid, t.reads.clone(), t.writes.clone()))
+                    .collect();
+                self.queue_reply(tok, ClientReply::History(txns));
                 true
             }
             ClientMsg::CopyState => {
@@ -766,10 +805,19 @@ impl Reactor {
     }
 
     /// Complete the parked eager-phase transaction if its special came
-    /// home with the frames just applied.
+    /// home with the frames just applied — or abort it if its armed
+    /// deadline expired first (a partitioned path site would otherwise
+    /// park the transaction, and every client behind it, forever).
     fn finish_in_flight(&mut self) {
         let Some(inflight) = &self.in_flight else { return };
         if !self.core.take_home(inflight.gid) {
+            if self.core.check_eager_timeout() == Some(inflight.gid) {
+                // replint: allow(RL008) -- checked Some above; single-threaded loop
+                let inflight = self.in_flight.take().expect("in_flight present");
+                let err = crate::cluster::ClusterError::EagerTimeout(inflight.gid);
+                self.queue_reply(inflight.token, ClientReply::Executed(Err(exec_error(err))));
+                self.pump_exec();
+            }
             return;
         }
         // replint: allow(RL008) -- checked Some two lines up; single-threaded loop

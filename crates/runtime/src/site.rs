@@ -45,6 +45,7 @@ use repl_types::{GlobalTxnId, ItemId, Op, OpKind, SiteId, Value};
 use crate::chan::TracedReceiver;
 use crate::cluster::{ClusterError, RuntimeProtocol};
 use crate::durable::DurableSite;
+use crate::policy::RuntimeOptions;
 use crate::transport::{Net, TransportEvent};
 
 /// Idle-receive window after which protocol timers run.
@@ -129,6 +130,9 @@ pub(crate) struct SiteCore {
     /// The site's stable storage, shared with the cluster so it
     /// survives this driver.
     pub durable: Arc<Mutex<DurableSite>>,
+    /// Deployment timing/bound knobs (retry, eager timeout, outbox
+    /// high-water, replay cadence, health windows).
+    pub opts: Arc<RuntimeOptions>,
     /// The shared protocol state machine (also driven by the sim).
     machine: SiteMachine,
     /// DAG(T) timers, present iff the protocol is DAG(T).
@@ -136,6 +140,14 @@ pub(crate) struct SiteCore {
     /// Set by a [`ProtoCommand::CommitLocal`] while an eager phase
     /// waits for its special to come home.
     home: Option<GlobalTxnId>,
+    /// Armed by [`ProtoCommand::ArmEagerTimeout`]: abort the eager
+    /// phase of `gid` if its special has not come home by the deadline.
+    eager_deadline: Option<(GlobalTxnId, Instant)>,
+    /// Last stall-replay sweep ([`SiteCore::tick`]).
+    last_replay: Instant,
+    /// Front-of-outbox sequence per peer at the last sweep; an
+    /// unchanged non-empty front means no ack progress → replay.
+    front_marks: Vec<u64>,
     /// First protocol violation observed on the link path; reported to
     /// the next client instead of panicking the driver.
     poisoned: Option<ProtocolError>,
@@ -175,7 +187,9 @@ impl SiteSetup {
         history: Arc<Mutex<History>>,
         outstanding: Arc<AtomicI64>,
         durable: Arc<Mutex<DurableSite>>,
+        opts: Arc<RuntimeOptions>,
     ) -> SiteCore {
+        let sites = placement.num_sites() as usize;
         SiteCore {
             id: self.machine.me(),
             store,
@@ -184,9 +198,13 @@ impl SiteSetup {
             history,
             outstanding,
             durable,
+            opts,
             machine: self.machine,
             timers: self.timers,
             home: None,
+            eager_deadline: None,
+            last_replay: Instant::now(),
+            front_marks: vec![0; sites],
             poisoned: None,
         }
     }
@@ -204,8 +222,9 @@ impl SiteSetup {
         outstanding: Arc<AtomicI64>,
         durable: Arc<Mutex<DurableSite>>,
         crashed: Arc<AtomicBool>,
+        opts: Arc<RuntimeOptions>,
     ) -> SiteRuntime {
-        let core = self.into_core(store, net, placement, history, outstanding, durable);
+        let core = self.into_core(store, net, placement, history, outstanding, durable, opts);
         SiteRuntime { core, rx, crashed, pending: VecDeque::new() }
     }
 }
@@ -216,10 +235,12 @@ type Writes = Vec<(ItemId, Value)>;
 type Reads = Vec<(ItemId, Option<GlobalTxnId>)>;
 
 impl SiteCore {
-    /// Protocol timers; cheap no-op outside DAG(T). The driver measures
-    /// idleness and period expiry, the machine decides what (if
-    /// anything) to send.
+    /// Periodic work every driver runs: the protocol-independent
+    /// stall-replay sweep, then the DAG(T) heartbeat/epoch timers. The
+    /// driver measures idleness and period expiry, the machine decides
+    /// what (if anything) to send.
     pub fn tick(&mut self) {
+        self.retransmit_tick();
         let Some(t) = self.timers.as_mut() else { return };
         let now = Instant::now();
         if now.duration_since(t.last_epoch) >= EPOCH_PERIOD {
@@ -241,6 +262,56 @@ impl SiteCore {
             let cmds = self.machine_input(Input::HeartbeatTick { idle_children });
             self.run_commands(cmds);
         }
+    }
+
+    /// Stall recovery: every `replay_period`, replay any outgoing lane
+    /// whose oldest unacknowledged sequence has not moved since the
+    /// last sweep. A frame a nemesis (or a dying connection) swallowed
+    /// is still in the outbox; the receiver's dedup/gap marks make the
+    /// replay exactly-once, so replaying a lane that was merely slow is
+    /// harmless. Lanes making ack progress are left alone — under a
+    /// healthy wire this sweep sends nothing.
+    fn retransmit_tick(&mut self) {
+        if self.last_replay.elapsed() < self.opts.replay_period {
+            return;
+        }
+        self.last_replay = Instant::now();
+        for p in 0..self.front_marks.len() {
+            let peer = SiteId(p as u32);
+            if peer == self.id {
+                continue;
+            }
+            match self.net.front_seq(self.id, peer) {
+                None => self.front_marks[p] = 0,
+                Some(front) => {
+                    if self.front_marks[p] == front {
+                        self.net.resume(self.id, peer, 0);
+                    }
+                    self.front_marks[p] = front;
+                }
+            }
+        }
+    }
+
+    /// Peer-health counts for this site's stats: `(up, suspect, down)`.
+    pub fn health_counts(&self) -> (u32, u32, u32) {
+        self.net.health_counts(self.id, self.opts.suspect_after, self.opts.down_after)
+    }
+
+    /// If an armed eager-phase deadline has expired, abort the waiting
+    /// transaction through the machine ([`Input::AbortEager`]: drop the
+    /// pending special, tombstone the gid, send abort decisions down
+    /// every path) and return its gid. The driver turns this into a
+    /// typed client error.
+    pub fn check_eager_timeout(&mut self) -> Option<GlobalTxnId> {
+        let (gid, deadline) = self.eager_deadline?;
+        if Instant::now() < deadline {
+            return None;
+        }
+        self.eager_deadline = None;
+        let cmds = self.machine_input(Input::AbortEager { gid });
+        self.run_commands(cmds);
+        Some(gid)
     }
 
     /// Drain the transport inbox and apply every queued frame.
@@ -273,6 +344,22 @@ impl SiteCore {
                     if self.placement.primary_of(op.item) != self.id {
                         return Err(ClusterError::NotPrimary(self.id, op.item));
                     }
+                }
+            }
+        }
+        // Admission control, after validation and before the gid is
+        // allocated: a refused transaction consumes no gid, so a client
+        // retry commits with the id the transaction would have had —
+        // convergence stays byte-identical to an unthrottled run.
+        if ops.iter().any(|op| op.kind == OpKind::Write) {
+            for p in 0..self.front_marks.len() {
+                let peer = SiteId(p as u32);
+                if peer == self.id {
+                    continue;
+                }
+                let queued = self.net.lane_len(self.id, peer);
+                if queued >= self.opts.outbox_high_water {
+                    return Err(ClusterError::Backpressure { peer, queued: queued as u64 });
                 }
             }
         }
@@ -381,11 +468,19 @@ impl SiteCore {
                 ProtoCommand::AbortPrepared { .. } => Vec::new(),
                 ProtoCommand::CommitLocal { gid } => {
                     self.home = Some(gid);
+                    if self.eager_deadline.is_some_and(|(g, _)| g == gid) {
+                        self.eager_deadline = None;
+                    }
                     Vec::new()
                 }
-                // Serial sites cannot deadlock inside the eager phase;
-                // the drivers already watch their crash/shutdown flags.
-                ProtoCommand::ArmEagerTimeout { .. } => Vec::new(),
+                // Serial sites cannot deadlock inside the eager phase,
+                // but a partitioned/down peer can swallow the special —
+                // arm a real deadline; the driver polls
+                // [`SiteCore::check_eager_timeout`] while waiting.
+                ProtoCommand::ArmEagerTimeout { gid } => {
+                    self.eager_deadline = Some((gid, Instant::now() + self.opts.eager_timeout));
+                    Vec::new()
+                }
             };
             for r in responses.into_iter().rev() {
                 work.push_front(r);
@@ -461,6 +556,8 @@ impl SiteCore {
     /// the wire (still in its sender's outbox) and is dropped so the
     /// retransmission can arrive in FIFO order.
     pub fn apply_frame(&mut self, from: SiteId, seq: u64, payload: Payload) {
+        // Any frame is liveness evidence, duplicates and gaps included.
+        self.net.note_peer_progress(self.id, from);
         {
             let mut d = self.durable.lock();
             let mark = d.applied_from[from.index()];
@@ -564,11 +661,18 @@ impl SiteRuntime {
     /// if the machine opens one.
     fn execute(&mut self, ops: Vec<Op>) -> Result<GlobalTxnId, ClusterError> {
         let started = self.core.start_txn(&ops)?;
-        if !started.immediate && !self.wait_for_home(started.gid) {
-            // Crashed or torn down mid-eager-phase; the transaction
-            // never committed anywhere (prepared writes are not applied
-            // without a decision).
-            return Err(ClusterError::Disconnected);
+        if !started.immediate {
+            match self.wait_for_home(started.gid) {
+                WaitOutcome::Home => {}
+                // The eager deadline expired: the machine aborted the
+                // phase (tombstone + abort decisions down every path),
+                // so nothing committed anywhere.
+                WaitOutcome::Aborted => return Err(ClusterError::EagerTimeout(started.gid)),
+                // Crashed or torn down mid-eager-phase; the transaction
+                // never committed anywhere (prepared writes are not
+                // applied without a decision).
+                WaitOutcome::Dead => return Err(ClusterError::Disconnected),
+            }
         }
         self.core.complete_txn(started.gid, &ops);
         Ok(started.gid)
@@ -578,21 +682,28 @@ impl SiteRuntime {
     /// emits `CommitLocal` when it pops our special off the FIFO
     /// queue). Client transactions and shutdown are deferred (the site
     /// is inside a commit); link traffic, reads and snapshots proceed.
-    /// Returns false if the site was crashed or torn down while
-    /// waiting.
-    fn wait_for_home(&mut self, gid: GlobalTxnId) -> bool {
+    fn wait_for_home(&mut self, gid: GlobalTxnId) -> WaitOutcome {
         loop {
             self.core.drain_net();
             if self.core.take_home(gid) {
-                return true;
+                return WaitOutcome::Home;
+            }
+            if self.core.check_eager_timeout() == Some(gid) {
+                return WaitOutcome::Aborted;
             }
             if self.crashed.load(Ordering::SeqCst) {
-                return false;
+                return WaitOutcome::Dead;
             }
             let cmd = match self.rx.recv_timeout(TICK) {
                 Ok(cmd) => cmd,
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => return false,
+                Err(RecvTimeoutError::Timeout) => {
+                    // Keep the stall replay running: the special (or
+                    // the decision coming back) may be exactly what a
+                    // partition swallowed.
+                    self.core.tick();
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return WaitOutcome::Dead,
             };
             match cmd {
                 Command::Wake => {} // drained at the loop head
@@ -605,9 +716,19 @@ impl SiteRuntime {
                 Command::SnapshotWal { reply } => {
                     let _ = reply.send(self.core.snapshot_wal());
                 }
-                Command::Crash => return false,
+                Command::Crash => return WaitOutcome::Dead,
                 cmd @ (Command::Execute { .. } | Command::Shutdown) => self.pending.push_back(cmd),
             }
         }
     }
+}
+
+/// How an eager-phase wait ended.
+enum WaitOutcome {
+    /// The special came home; complete the commit.
+    Home,
+    /// The eager deadline expired and the machine aborted the phase.
+    Aborted,
+    /// The site crashed or was torn down while waiting.
+    Dead,
 }

@@ -25,10 +25,10 @@
 
 use std::collections::VecDeque;
 use std::io;
-use std::net::{Shutdown, TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::Instant;
 
 use crossbeam::channel::bounded;
 use parking_lot::Mutex;
@@ -45,11 +45,10 @@ use crate::chan::{traced_unbounded, TracedSender};
 use crate::cluster::{build_structure, recovered_store, ClusterError, RuntimeProtocol};
 use crate::durable::DurableSite;
 use crate::link::Links;
+use crate::nemesis::ChaosWire;
+use crate::policy::{self, RuntimeOptions};
 use crate::site::{Command, SiteSetup};
 use crate::transport::{Net, SendStatus, Transport, TransportEvent};
-
-/// Dialer poll interval: how often missing peer connections are retried.
-const DIAL_RETRY: Duration = Duration::from_millis(20);
 
 /// Per-peer socket slots. `out[p]` is the connection *we* dialed to
 /// `p` (we write `Link` frames, a reader thread consumes `p`'s acks);
@@ -144,6 +143,10 @@ pub struct ServeConfig {
     /// Peer addresses. May be incomplete (even empty) at start; a
     /// launcher can push the full map later with [`ClientMsg::Peers`].
     pub peers: AddressMap,
+    /// Timing/bound knobs, including the optional nemesis plan
+    /// (`repld --nemesis`). [`RuntimeOptions::default`] for a clean
+    /// deployment.
+    pub options: RuntimeOptions,
 }
 
 /// Everything the connection-handling threads share.
@@ -157,6 +160,7 @@ struct Shared {
     history: Arc<Mutex<History>>,
     outstanding: Arc<AtomicI64>,
     peers: Mutex<AddressMap>,
+    opts: Arc<RuntimeOptions>,
     shutdown: AtomicBool,
     /// Client request frames refused because they did not decode
     /// (malformed, oversized, or mis-typed). Surfaced via
@@ -175,9 +179,14 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
         return Err(io::Error::new(io::ErrorKind::InvalidInput, "site id out of range"));
     }
 
+    let opts = Arc::new(cfg.options.clone());
     let tcp = Arc::new(TcpRaw::new(n));
     let links = Arc::new(Links::new(n));
-    let net = Arc::new(Net::new(links, Box::new(TcpWire(tcp.clone()))));
+    let mut raw: Box<dyn Transport> = Box::new(TcpWire(tcp.clone()));
+    if let Some(plan) = &opts.nemesis {
+        raw = Box::new(ChaosWire::new(raw, plan.clone(), n));
+    }
+    let net = Arc::new(Net::new(links, raw));
     let durable = Arc::new(Mutex::new(DurableSite::new(n)));
     let history = Arc::new(Mutex::new(History::new()));
     let outstanding = Arc::new(AtomicI64::new(0));
@@ -204,6 +213,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
         let outstanding = outstanding.clone();
         let durable = durable.clone();
         let crashed = crashed.clone();
+        let opts = opts.clone();
         std::thread::Builder::new()
             .name(format!("site-{}", site.0))
             .spawn(move || {
@@ -218,6 +228,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
                         outstanding,
                         durable,
                         crashed,
+                        opts,
                     )
                     .run()
             })
@@ -239,28 +250,45 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
         history,
         outstanding,
         peers: Mutex::new(cfg.peers),
+        opts,
         shutdown: AtomicBool::new(false),
         decode_errors: AtomicU64::new(0),
     });
 
-    // Dialer: keep every addressed peer connected.
+    // Dialer: keep every addressed peer connected, pacing each peer's
+    // reconnect attempts with the jittered-exponential retry policy (a
+    // partitioned peer is probed ever more slowly, up to the cap; a
+    // successful dial resets its backoff).
     let dialer = {
         let shared = shared.clone();
-        let n = n as u32;
         std::thread::Builder::new()
             .name("dialer".into())
             .spawn(move || {
+                let retry = &shared.opts.retry;
+                let mut attempts = vec![0u32; n];
+                let mut next_try = vec![Instant::now(); n];
                 while !shared.shutdown.load(Ordering::SeqCst) {
-                    for p in (0..n).map(SiteId) {
+                    for p in (0..n as u32).map(SiteId) {
                         if p == shared.me || shared.tcp.out[p.index()].lock().is_some() {
+                            attempts[p.index()] = 0;
+                            continue;
+                        }
+                        if Instant::now() < next_try[p.index()] {
                             continue;
                         }
                         let addr = shared.peers.lock().get(p).map(str::to_owned);
-                        if let Some(addr) = addr {
-                            dial_peer(&shared, p, &addr);
+                        let Some(addr) = addr else { continue };
+                        let ok = dial_peer(&shared, p, &addr);
+                        shared.net.note_dial(shared.me, p, ok);
+                        if ok {
+                            attempts[p.index()] = 0;
+                        } else {
+                            let delay = retry.delay(attempts[p.index()]);
+                            attempts[p.index()] = attempts[p.index()].saturating_add(1);
+                            next_try[p.index()] = Instant::now() + delay;
                         }
                     }
-                    std::thread::sleep(DIAL_RETRY);
+                    policy::pace(retry.base);
                 }
             })
             // replint: allow(RL008) -- OS thread exhaustion at startup is fatal by design
@@ -288,9 +316,15 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
 
 /// Establish `me -> peer`: connect, handshake, install the stream,
 /// prune to the peer's durable mark and replay the rest, then leave an
-/// ack reader behind.
-fn dial_peer(shared: &Arc<Shared>, peer: SiteId, addr: &str) {
-    let Ok(stream) = TcpStream::connect(addr) else { return };
+/// ack reader behind. Returns whether the connection was established
+/// (feeding the dial backoff and the peer-health table).
+fn dial_peer(shared: &Arc<Shared>, peer: SiteId, addr: &str) -> bool {
+    let Ok(mut candidates) = addr.to_socket_addrs() else { return false };
+    let Some(sockaddr) = candidates.next() else { return false };
+    let Ok(stream) = TcpStream::connect_timeout(&sockaddr, shared.opts.retry.connect_timeout)
+    else {
+        return false;
+    };
     let hello = Hello {
         site: shared.me,
         version_min: VERSION_MIN,
@@ -300,12 +334,12 @@ fn dial_peer(shared: &Arc<Shared>, peer: SiteId, addr: &str) {
     let mut hs = &stream;
     let ack: HelloAck = match client_handshake(&mut hs, &hello) {
         Ok(ack) => ack,
-        Err(_) => return,
+        Err(_) => return false,
     };
     if ack.site != peer {
-        return; // mis-addressed: the process at `addr` is another site
+        return false; // mis-addressed: the process at `addr` is another site
     }
-    let Ok(write_half) = stream.try_clone() else { return };
+    let Ok(write_half) = stream.try_clone() else { return false };
     let generation = {
         let mut slot = shared.tcp.out[peer.index()].lock();
         *slot = Some(write_half);
@@ -329,6 +363,7 @@ fn dial_peer(shared: &Arc<Shared>, peer: SiteId, addr: &str) {
             *shared.tcp.out[peer.index()].lock() = None;
         }
     });
+    true
 }
 
 /// Classify an inbound connection by its first frame: a peer (`Hello`)
@@ -461,11 +496,21 @@ fn handle_client(shared: &Arc<Shared>, msg: ClientMsg) -> ClientReply {
             }
             ClientReply::Cell(reply_rx.recv().ok().flatten())
         }
-        ClientMsg::Stats => ClientReply::Stats {
-            outstanding: shared.outstanding.load(Ordering::SeqCst),
-            committed: shared.history.lock().committed_count() as u64,
-            decode_errors: shared.decode_errors.load(Ordering::SeqCst),
-        },
+        ClientMsg::Stats => {
+            let (peers_up, peers_suspect, peers_down) = shared.net.health_counts(
+                shared.me,
+                shared.opts.suspect_after,
+                shared.opts.down_after,
+            );
+            ClientReply::Stats {
+                outstanding: shared.outstanding.load(Ordering::SeqCst),
+                committed: shared.history.lock().committed_count() as u64,
+                decode_errors: shared.decode_errors.load(Ordering::SeqCst),
+                peers_up,
+                peers_suspect,
+                peers_down,
+            }
+        }
         ClientMsg::CopyState => {
             let (reply_tx, reply_rx) = bounded(1);
             if shared.site_tx.send(Command::CopyState { reply: reply_tx }).is_err() {
@@ -491,6 +536,12 @@ fn handle_client(shared: &Arc<Shared>, msg: ClientMsg) -> ClientReply {
             ClientReply::Ok
         }
         ClientMsg::Shutdown => ClientReply::Ok,
+        ClientMsg::History => {
+            let h = shared.history.lock();
+            ClientReply::History(
+                h.txns().iter().map(|t| (t.gid, t.reads.clone(), t.writes.clone())).collect(),
+            )
+        }
     }
 }
 
@@ -502,6 +553,7 @@ pub(crate) fn exec_error(e: ClusterError) -> ExecError {
         ClusterError::NotPrimary(s, i) => ExecError::NotPrimary(s, i),
         ClusterError::NoSuchSite(s) => ExecError::NoSuchSite(s),
         ClusterError::Disconnected => ExecError::Disconnected,
+        ClusterError::Backpressure { peer, queued } => ExecError::Backpressure { peer, queued },
         other => ExecError::Other(other.to_string()),
     }
 }

@@ -39,6 +39,7 @@
 //! a memcpy into a write buffer.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use repl_net::Payload;
 use repl_types::SiteId;
@@ -46,6 +47,94 @@ use repl_types::SiteId;
 use crate::chan::TracedSender;
 use crate::link::Links;
 use crate::site::Command;
+
+/// Liveness classification of one peer, as seen from one site.
+///
+/// Driven by *progress*, not pings: receiving any frame from the peer,
+/// receiving an ack for traffic we sent it, or a successful dial all
+/// count as progress (heartbeats flow every `HEARTBEAT_PERIOD`, so a
+/// healthy idle link still makes progress). A peer is only demoted
+/// while we are actually trying to talk to it — a silent peer with
+/// nothing queued and no failing dials stays `Up`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeerHealth {
+    /// Progress recently, or nothing pending to judge by.
+    Up,
+    /// Traffic pending (or dials failing) with no progress for
+    /// `suspect_after`.
+    Suspect,
+    /// No progress for `down_after`; the retry policy keeps probing.
+    Down,
+}
+
+/// Per-(me, peer) progress record backing [`PeerHealth`].
+struct HealthCell {
+    last_progress: Instant,
+    dial_failures: u32,
+}
+
+/// `cells[me][peer]` — every site judges every peer independently (an
+/// asymmetric partition really does look different from each end).
+struct HealthTable {
+    cells: Vec<Vec<parking_lot::Mutex<HealthCell>>>,
+}
+
+impl HealthTable {
+    fn new(n: usize) -> Self {
+        HealthTable {
+            cells: (0..n)
+                .map(|_| {
+                    (0..n)
+                        .map(|_| {
+                            parking_lot::Mutex::new(HealthCell {
+                                last_progress: Instant::now(),
+                                dial_failures: 0,
+                            })
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    fn note_progress(&self, me: SiteId, peer: SiteId) {
+        let mut cell = self.cells[me.index()][peer.index()].lock();
+        cell.last_progress = Instant::now();
+        cell.dial_failures = 0;
+    }
+
+    fn note_dial(&self, me: SiteId, peer: SiteId, ok: bool) {
+        let mut cell = self.cells[me.index()][peer.index()].lock();
+        if ok {
+            cell.last_progress = Instant::now();
+            cell.dial_failures = 0;
+        } else {
+            cell.dial_failures = cell.dial_failures.saturating_add(1);
+        }
+    }
+
+    fn classify(
+        &self,
+        me: SiteId,
+        peer: SiteId,
+        pending: bool,
+        suspect_after: Duration,
+        down_after: Duration,
+    ) -> PeerHealth {
+        let cell = self.cells[me.index()][peer.index()].lock();
+        if !pending && cell.dial_failures == 0 {
+            return PeerHealth::Up;
+        }
+        let silent = cell.last_progress.elapsed();
+        if silent < suspect_after {
+            PeerHealth::Up
+        } else if silent < down_after {
+            PeerHealth::Suspect
+        } else {
+            PeerHealth::Down
+        }
+    }
+}
 
 /// Typed outcome of one nonblocking delivery attempt.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -100,11 +189,13 @@ pub(crate) trait Transport: Send + Sync {
 pub(crate) struct Net {
     links: Arc<Links>,
     raw: Box<dyn Transport>,
+    health: HealthTable,
 }
 
 impl Net {
     pub fn new(links: Arc<Links>, raw: Box<dyn Transport>) -> Self {
-        Net { links, raw }
+        let n = links.num_sites();
+        Net { links, raw, health: HealthTable::new(n) }
     }
 
     /// Enroll `payload` on the `from -> to` link and attempt delivery
@@ -133,6 +224,54 @@ impl Net {
     /// on the `from -> to` link.
     pub fn on_ack(&self, from: SiteId, to: SiteId, seq: u64) {
         self.links.prune(from, to, seq);
+        // An ack is proof the peer is alive and applying.
+        self.health.note_progress(from, to);
+    }
+
+    /// Receiver side: a frame from `from` arrived at `me` — progress
+    /// for `me`'s view of `from`, whatever the frame was.
+    pub fn note_peer_progress(&self, me: SiteId, from: SiteId) {
+        self.health.note_progress(me, from);
+    }
+
+    /// A dial attempt from `me` to `peer` finished (TCP deployments).
+    pub fn note_dial(&self, me: SiteId, peer: SiteId, ok: bool) {
+        self.health.note_dial(me, peer, ok);
+    }
+
+    /// Classify every peer of `me` and count them per
+    /// [`PeerHealth`] bucket: `(up, suspect, down)`. A peer only counts
+    /// as pending-judgement while its outgoing lane is non-empty or its
+    /// dials are failing.
+    pub fn health_counts(
+        &self,
+        me: SiteId,
+        suspect_after: Duration,
+        down_after: Duration,
+    ) -> (u32, u32, u32) {
+        let (mut up, mut suspect, mut down) = (0, 0, 0);
+        for peer in 0..self.links.num_sites() {
+            let peer = SiteId(peer as u32);
+            if peer == me {
+                continue;
+            }
+            let pending = self.links.lane_len(me, peer) > 0;
+            match self.health.classify(me, peer, pending, suspect_after, down_after) {
+                PeerHealth::Up => up += 1,
+                PeerHealth::Suspect => suspect += 1,
+                PeerHealth::Down => down += 1,
+            }
+        }
+        (up, suspect, down)
+    }
+
+    /// Sequence number at the head of the `from -> to` outbox (the
+    /// oldest unacknowledged message), or `None` when the lane is
+    /// empty. The stall-replay driver watches this: a non-empty lane
+    /// whose front does not move between checks has made no ack
+    /// progress and gets replayed.
+    pub fn front_seq(&self, from: SiteId, to: SiteId) -> Option<u64> {
+        self.links.front_seq(from, to)
     }
 
     /// Drain the wire's pending events for `me` (frames to feed the

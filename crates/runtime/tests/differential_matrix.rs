@@ -26,7 +26,10 @@ use repl_core::config::{ProtocolKind, SimParams};
 use repl_core::deploy::ReactorKind;
 use repl_core::engine::Engine;
 use repl_net::{decode_cells, encode_cells};
-use repl_runtime::{Cluster, ClusterHandle, ProcCluster, RuntimeProtocol};
+use repl_runtime::{
+    Cluster, ClusterHandle, LaunchOptions, NetFaultPlan, ProcCluster, RuntimeOptions,
+    RuntimeProtocol,
+};
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
 
 fn repld() -> &'static Path {
@@ -175,7 +178,7 @@ fn drive_final_state(
             }
         }
     }
-    cluster.quiesce();
+    cluster.quiesce().expect("quiesce");
     (0..cluster.num_sites()).map(|s| cluster.copy_state(SiteId(s)).expect("copy state")).collect()
 }
 
@@ -253,6 +256,55 @@ fn assert_matrix_cell(
     assert_states_identical(label, "TCP cluster (epoll)", &sim_state, &epoll_state);
     // Non-degenerate: the workload must actually have written something.
     assert!(sim_state.iter().any(|b| b.len() > 4), "{label}: empty workload");
+}
+
+/// The nemesis column: the same seeded workload driven through a
+/// partition-and-heal fault schedule (plus background jitter, drops,
+/// duplicates and corruption) on every live deployment must still end
+/// byte-identical to the fault-free simulator control. Partitions hold
+/// frames in the outbox, drops and corrupted frames are replayed,
+/// duplicates are deduped — none of it may leak into final state.
+#[test]
+fn partition_heal_matrix() {
+    let placement = fan_placement();
+    let txns = txns_per_site();
+    let progs = programs(&placement, txns, 0xD1F9);
+    let sim_state = sim_final_state(&placement, ProtocolKind::DagWt, &progs, txns);
+
+    // The partition opens immediately so it is guaranteed to overlap
+    // the (fast) workload; quiesce then cannot drain before the heal.
+    let plan = NetFaultPlan::seeded(0xC4A0_5EED)
+        .partition(SiteId(0), SiteId(1), 0, 300)
+        .jitter(2)
+        .drop_frames(50)
+        .duplicate_frames(30)
+        .corrupt_frames(20);
+
+    let options = RuntimeOptions { nemesis: Some(plan.clone()), ..RuntimeOptions::default() };
+    let cluster =
+        Cluster::start_with(&placement, RuntimeProtocol::DagWt, options).expect("cluster starts");
+    let chan_state = drive_final_state(&cluster, &progs);
+    cluster.shutdown();
+    assert_states_identical(
+        "partition-heal/fan",
+        "nemesis channel cluster",
+        &sim_state,
+        &chan_state,
+    );
+
+    for (reactor, label) in [
+        (ReactorKind::Threads, "nemesis TCP cluster (threads)"),
+        (ReactorKind::Epoll, "nemesis TCP cluster (epoll)"),
+    ] {
+        let launch =
+            LaunchOptions { reactor, nemesis: Some(plan.to_spec()), ..LaunchOptions::default() };
+        let cluster =
+            ProcCluster::launch_with_options(repld(), &placement, RuntimeProtocol::DagWt, &launch)
+                .expect("launch repld");
+        let state = drive_final_state(&cluster, &progs);
+        cluster.shutdown();
+        assert_states_identical("partition-heal/fan", label, &sim_state, &state);
+    }
 }
 
 #[test]

@@ -72,7 +72,7 @@ fn final_state(
             }
         }
     }
-    cluster.quiesce();
+    cluster.quiesce().expect("quiesce");
     (0..cluster.num_sites()).map(|s| cluster.copy_state(SiteId(s)).expect("copy state")).collect()
 }
 
@@ -83,7 +83,7 @@ fn epoll_commits_and_replicates() {
     let placement = dag_placement();
     let cluster = epoll_cluster(&placement, RuntimeProtocol::DagWt);
     cluster.execute(SiteId(0), vec![Op::write(ItemId(0), 41)]).unwrap().unwrap();
-    ProcCluster::quiesce(&cluster);
+    ProcCluster::quiesce(&cluster).expect("quiesce");
     for s in [0u32, 1, 2] {
         let cell = cluster.peek(SiteId(s), ItemId(0)).expect("copy readable");
         assert_eq!(cell.0, Value::int(41), "site {s} copy diverged");
@@ -152,7 +152,7 @@ fn epoll_serves_256_concurrent_clients() {
     }
     assert_eq!(committed, CONNS);
 
-    ProcCluster::quiesce(&cluster);
+    ProcCluster::quiesce(&cluster).expect("quiesce");
     // All copies converged on the same (last-committed) write.
     let origin = cluster.peek(SiteId(0), ItemId(0)).expect("primary readable");
     for s in [1u32, 2] {

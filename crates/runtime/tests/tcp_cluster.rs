@@ -98,7 +98,7 @@ fn tcp_final_state(
             }
         }
     }
-    cluster.quiesce();
+    cluster.quiesce().expect("quiesce");
     let states = (0..placement.num_sites())
         .map(|s| cluster.copy_state(SiteId(s)).expect("copy state"))
         .collect();
@@ -154,7 +154,7 @@ fn stats_reach_zero_outstanding() {
     let cluster =
         ProcCluster::launch_with_bin(repld(), &placement, RuntimeProtocol::DagWt).unwrap();
     cluster.execute(SiteId(0), vec![Op::write(repl_types::ItemId(0), 9)]).unwrap().unwrap();
-    cluster.quiesce();
+    cluster.quiesce().expect("quiesce");
     // Per-process outstanding counters are deltas (+dests at the origin,
     // −1 per application elsewhere); only the cluster-wide sum is zero.
     let mut outstanding_sum = 0;

@@ -38,4 +38,8 @@ echo "==> epoll smoke (repld --reactor epoll, 64-connection closed-loop loadgen)
 REPLD_BIN=./target/release/repld ./target/release/loadgen \
     --reactor epoll --conns 64 --txns 3 --out /tmp/bench_reactor_smoke.json > /dev/null
 
+echo "==> chaos smoke (seeded nemesis, 4 protocols on channel + tcp, convergence + 1SR)"
+REPLD_BIN=./target/release/repld ./target/release/chaos_soak \
+    --smoke --out /tmp/bench_chaos_smoke.json > /dev/null
+
 echo "ci: all gates passed"
