@@ -19,6 +19,7 @@
 //! | RL008 | `unwrap`/`expect`/`panic!`/`unreachable!` in non-test runtime code |
 //! | RL009 | blocking socket call patterns inside the epoll reactor |
 //! | RL010 | bare `thread::sleep` or hardcoded retry-duration consts in `crates/runtime` outside the policy module |
+//! | RL011 | lock-manager access on the MVCC snapshot-read path (storage `mvcc.rs`/`snapshot.rs`, and the `read_snapshot` body in `store.rs`) |
 //!
 //! Files are classified by path ([`FileClass`]): paths under
 //! `crates/runtime` or `crates/net` get the panic-freedom rule
@@ -67,6 +68,16 @@
 //! where the knobs are configurable and jittered, instead of being
 //! hardcoded at the call site. The policy module itself is the one
 //! sanctioned home for the real `thread::sleep`, and `#[cfg(test)]`
+//! regions are skipped the same way RL008 skips them.
+//!
+//! RL011 pins the MVCC subsystem's one structural invariant: snapshot
+//! reads never touch the lock manager, so a read-only transaction can
+//! neither block behind the write stream nor deadlock against it. The
+//! rule is path-gated inside the determinism class — `mvcc.rs` and
+//! `snapshot.rs` under `crates/storage` may not name `LockManager` (or
+//! reach it through `self.locks`) anywhere, and in `store.rs` the same
+//! ban covers the body of `fn read_snapshot`, tracked by brace depth.
+//! The rest of `store.rs` legitimately owns the 2PL path; `#[cfg(test)]`
 //! regions are skipped the same way RL008 skips them.
 //!
 //! Any rule is silenced for one finding with a suppression comment on
@@ -183,6 +194,9 @@ pub fn scan_file(path_label: &str, src: &str) -> Vec<Diagnostic> {
         match class {
             FileClass::Determinism { sans_io } => {
                 scan_determinism(path_label, src, sans_io, &mut |c, m, l, t| {
+                    emit(&mut diags, c, m, l, t)
+                });
+                scan_mvcc_lock_free(path_label, src, &mut |c, m, l, t| {
                     emit(&mut diags, c, m, l, t)
                 });
             }
@@ -537,6 +551,110 @@ fn hardcoded_retry_const(code: &str) -> Option<String> {
         Some(ident)
     } else {
         None
+    }
+}
+
+/// Lock-manager tokens banned from the MVCC snapshot-read path. Direct
+/// type mentions and every route to the `Store::locks` field.
+const LOCK_PATH_PATTERNS: &[&str] =
+    &["LockManager", "LockMode", "self.locks", ".locks()", ".locks_mut("];
+
+/// RL011: the MVCC snapshot-read path stays lock-free. In
+/// `storage/src/mvcc.rs` and `storage/src/snapshot.rs` the lock-manager
+/// tokens are banned everywhere; in `storage/src/store.rs` only inside
+/// the `fn read_snapshot` item, tracked by brace depth (the rest of the
+/// store legitimately owns the 2PL path). `#[cfg(test)]` regions are
+/// skipped the same way RL008 skips them; other determinism-class files
+/// are untouched.
+fn scan_mvcc_lock_free(
+    path_label: &str,
+    src: &str,
+    emit: &mut dyn FnMut(&'static str, &str, u32, &str),
+) {
+    let norm = path_label.replace('\\', "/");
+    let whole_file =
+        norm.contains("storage/src/mvcc.rs") || norm.contains("storage/src/snapshot.rs");
+    let read_fn_only = norm.contains("storage/src/store.rs");
+    if !whole_file && !read_fn_only {
+        return;
+    }
+    let mut region = TestRegion::Outside;
+    // Brace depth of `fn read_snapshot`'s body while inside it
+    // (`read_fn_only` files); the signature line itself is in scope.
+    let mut read_fn: Option<i32> = None;
+    let mut awaiting_read_fn_brace = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx as u32 + 1;
+        if line.starts_with("//") {
+            continue;
+        }
+        let code_part = strip_line_comment(raw);
+        let (opens, closes) = brace_count(code_part);
+        match region {
+            TestRegion::Outside => {
+                if code_part.contains("#[cfg(test)]") {
+                    region = TestRegion::AwaitBrace;
+                    continue;
+                }
+            }
+            TestRegion::AwaitBrace => {
+                if opens > 0 {
+                    let depth = opens - closes;
+                    region =
+                        if depth > 0 { TestRegion::Inside(depth) } else { TestRegion::Outside };
+                }
+                continue;
+            }
+            TestRegion::Inside(depth) => {
+                let depth = depth + opens - closes;
+                region = if depth > 0 { TestRegion::Inside(depth) } else { TestRegion::Outside };
+                continue;
+            }
+        }
+        let in_scope = if whole_file {
+            true
+        } else if let Some(depth) = read_fn {
+            let depth = depth + opens - closes;
+            read_fn = if depth > 0 { Some(depth) } else { None };
+            true
+        } else if awaiting_read_fn_brace {
+            if opens > 0 {
+                awaiting_read_fn_brace = false;
+                let depth = opens - closes;
+                read_fn = if depth > 0 { Some(depth) } else { None };
+            }
+            true
+        } else if code_part.contains("fn read_snapshot") {
+            if opens > 0 {
+                let depth = opens - closes;
+                read_fn = if depth > 0 { Some(depth) } else { None };
+            } else {
+                awaiting_read_fn_brace = true;
+            }
+            true
+        } else {
+            false
+        };
+        if !in_scope {
+            continue;
+        }
+        for pat in LOCK_PATH_PATTERNS {
+            if code_part.contains(pat) {
+                emit(
+                    "RL011",
+                    &format!(
+                        "lock-manager access ({pat}) on the MVCC snapshot-read \
+                         path: snapshot reads must never block behind the write \
+                         stream; serve them from the version chains or justify \
+                         with `// replint: allow(RL011)`"
+                    ),
+                    lineno,
+                    line,
+                );
+                break;
+            }
+        }
     }
 }
 
@@ -1011,5 +1129,59 @@ mod tests {
         let const_src =
             "const WARMUP_TIMEOUT: Duration = Duration::ZERO; // replint: allow(RL010)\n";
         assert!(scan_file("crates/runtime/src/proc.rs", const_src).is_empty());
+    }
+
+    #[test]
+    fn lock_manager_flagged_in_mvcc_files() {
+        let src = "use crate::lock::LockManager;\nfn f(locks: &LockManager) { locks.request(t, i, LockMode::Shared); }\n";
+        for path in ["crates/storage/src/mvcc.rs", "crates/storage/src/snapshot.rs"] {
+            let codes: Vec<_> = scan_file(path, src).into_iter().map(|d| d.code).collect();
+            assert_eq!(codes, vec!["RL011", "RL011"], "{path}");
+        }
+        // Doc comments may *discuss* the lock manager (this is how the
+        // real files document the rule itself).
+        let doc = "//! The read path never touches the LockManager.\nfn f() {}\n";
+        assert!(scan_file("crates/storage/src/mvcc.rs", doc).is_empty());
+        // The same tokens in any other determinism-class file are fine.
+        assert!(scan_file("crates/storage/src/lock.rs", src).is_empty());
+        assert!(scan_file("crates/sim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn store_rl011_scoped_to_read_snapshot() {
+        let src = "\
+impl Store {
+    pub fn commit(&mut self) {
+        self.locks.release_all(t);
+    }
+    pub fn read_snapshot(&self, snap: SnapshotId, item: ItemId) -> R {
+        let g = self.locks.request(t, item, LockMode::Shared);
+        g
+    }
+    pub fn abort(&mut self) {
+        self.locks.release_all(t);
+    }
+}
+";
+        let diags = scan_file("crates/storage/src/store.rs", src);
+        let flagged: Vec<u32> = diags
+            .iter()
+            .map(|d| match &d.witness {
+                Witness::Source { line, .. } => *line,
+                _ => 0,
+            })
+            .collect();
+        // Only the access inside `fn read_snapshot` (line 6) is flagged;
+        // the 2PL commit/abort paths keep their lock manager.
+        assert_eq!(flagged, vec![6]);
+        assert_eq!(diags[0].code, "RL011");
+    }
+
+    #[test]
+    fn rl011_allow_comment_and_cfg_test_honored() {
+        let src = "// replint: allow(RL011) -- asserting lock-freedom via the trace\nfn f(m: &LockManager) {}\n";
+        assert!(scan_file("crates/storage/src/snapshot.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t(m: &LockManager) {}\n}\n";
+        assert!(scan_file("crates/storage/src/mvcc.rs", test_src).is_empty());
     }
 }

@@ -16,8 +16,13 @@
 //! 1000 connections — producing the paper-style comparison in one file.
 //!
 //! ```text
-//! loadgen [--conns N] [--txns N] [--reactor threads|epoll] [--out FILE]
+//! loadgen [--conns N] [--txns N] [--read-pct P] [--reactor threads|epoll]
+//!         [--out FILE]
 //! ```
+//!
+//! `--read-pct` sets the probability that a generated op is a read
+//! (default 0.9), so the fleet can reproduce the paper's
+//! read-probability sweep against a live cluster.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -32,12 +37,14 @@ use repl_runtime::{ProcCluster, RuntimeProtocol};
 use repl_types::{Op, SiteId};
 
 const USAGE: &str = "\
-usage: loadgen [--conns N] [--txns N] [--reactor threads|epoll] [--out FILE]
+usage: loadgen [--conns N] [--txns N] [--read-pct P] [--reactor threads|epoll]
+               [--out FILE]
 
-Defaults: --txns 10, --out BENCH_reactor.json. Without --reactor, both
-drivers are benchmarked in one invocation (threads at 64 connections,
-epoll at 1000); --conns overrides the connection count for whichever
-runs.";
+Defaults: --txns 10, --read-pct 0.9, --out BENCH_reactor.json. Without
+--reactor, both drivers are benchmarked in one invocation (threads at 64
+connections, epoll at 1000); --conns overrides the connection count for
+whichever runs; --read-pct (0..=1) is the probability a generated op is
+a read.";
 
 /// Default connection counts per driver: the threaded `repld` spends
 /// one OS thread per connection, so its default stays thread-friendly;
@@ -45,9 +52,10 @@ runs.";
 const DEFAULT_CONNS_THREADS: usize = 64;
 const DEFAULT_CONNS_EPOLL: usize = 1000;
 const DEFAULT_TXNS: u32 = 10;
-/// Probability that a generated op is a read (the workload is
-/// read-heavy, as client traffic against a replicated database is).
-const READ_PERMILLE: u64 = 900;
+/// Default probability (in permille) that a generated op is a read (the
+/// workload is read-heavy, as client traffic against a replicated
+/// database is); `--read-pct` overrides it.
+const DEFAULT_READ_PERMILLE: u64 = 900;
 const OPS_PER_TXN: usize = 4;
 
 fn main() {
@@ -64,6 +72,7 @@ fn main() {
 struct Config {
     conns: Option<usize>,
     txns: u32,
+    read_permille: u64,
     reactor: Option<ReactorKind>,
     out: String,
 }
@@ -72,6 +81,7 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     let mut cfg = Config {
         conns: None,
         txns: DEFAULT_TXNS,
+        read_permille: DEFAULT_READ_PERMILLE,
         reactor: None,
         out: "BENCH_reactor.json".to_string(),
     };
@@ -86,6 +96,15 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
             }
             "--txns" => {
                 cfg.txns = value("--txns")?.parse().map_err(|_| "--txns must be an integer")?;
+            }
+            "--read-pct" => {
+                let pct: f64 = value("--read-pct")?
+                    .parse()
+                    .map_err(|_| "--read-pct must be a number in 0..=1")?;
+                if !(0.0..=1.0).contains(&pct) {
+                    return Err("--read-pct must be a number in 0..=1".into());
+                }
+                cfg.read_permille = (pct * 1000.0).round() as u64;
             }
             "--reactor" => cfg.reactor = Some(ReactorKind::parse(value("--reactor")?)?),
             "--out" => cfg.out = value("--out")?.clone(),
@@ -110,7 +129,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut reports = Vec::new();
     for (kind, conns) in runs {
         eprintln!("loadgen: {} reactor, {conns} connections x {} txns each", kind.name(), cfg.txns);
-        let report = bench_one(&placement, kind, conns, cfg.txns).map_err(|e| e.to_string())?;
+        let report = bench_one(&placement, kind, conns, cfg.txns, cfg.read_permille)
+            .map_err(|e| e.to_string())?;
         eprintln!(
             "loadgen: {}: {:.0} txn/s, p50 {:.3} ms, p99 {:.3} ms",
             kind.name(),
@@ -121,7 +141,7 @@ fn run(args: &[String]) -> Result<(), String> {
         reports.push(report);
     }
 
-    let json = render_json(&reports, cfg.txns);
+    let json = render_json(&reports, cfg.txns, cfg.read_permille);
     std::fs::write(&cfg.out, &json).map_err(|e| format!("cannot write {}: {e}", cfg.out))?;
     println!("{json}");
     eprintln!("loadgen: wrote {}", cfg.out);
@@ -171,6 +191,7 @@ fn bench_one(
     kind: ReactorKind,
     conns: usize,
     txns: u32,
+    read_permille: u64,
 ) -> io::Result<RunReport> {
     let cluster = ProcCluster::launch_reactor(placement, RuntimeProtocol::DagWt, kind)?;
     let addrs: Vec<String> = cluster.addrs().to_vec();
@@ -201,7 +222,7 @@ fn bench_one(
     for (i, c) in clients.iter_mut().enumerate() {
         use std::os::fd::AsRawFd;
         epoll.add(c.stream.as_raw_fd(), i as u64, Interest::READ)?;
-        submit_next(c, placement);
+        submit_next(c, placement, read_permille);
         flush_client(c, &epoll, i as u64)?;
     }
 
@@ -219,7 +240,7 @@ fn bench_one(
                 flush_client(c, &epoll, ev.token)?;
             }
             if ev.readable || ev.error {
-                if drain_replies(c, placement, &mut latencies, txns)? {
+                if drain_replies(c, placement, read_permille, &mut latencies, txns)? {
                     // Client finished its quota (or the server dropped
                     // it — treated as fatal below).
                     use std::os::fd::AsRawFd;
@@ -253,8 +274,8 @@ fn bench_one(
 }
 
 /// Queue the client's next transaction request and stamp its start.
-fn submit_next(c: &mut Client, placement: &DataPlacement) {
-    let ops = gen_txn(&mut c.rng, placement, c.site);
+fn submit_next(c: &mut Client, placement: &DataPlacement, read_permille: u64) {
+    let ops = gen_txn(&mut c.rng, placement, c.site, read_permille);
     let frame = encode_framed(&WireMsg::Client(ClientMsg::Execute(ops)));
     debug_assert!(c.wbuf.len() == c.woff, "one outstanding request per connection");
     c.wbuf.clear();
@@ -265,13 +286,13 @@ fn submit_next(c: &mut Client, placement: &DataPlacement) {
 
 /// Read-heavy transaction: reads of random local copies, occasional
 /// writes of the site's own primaries (conflict-free across sites).
-fn gen_txn(rng: &mut u64, placement: &DataPlacement, site: SiteId) -> Vec<Op> {
+fn gen_txn(rng: &mut u64, placement: &DataPlacement, site: SiteId, read_permille: u64) -> Vec<Op> {
     let copies = placement.items_at(site);
     let primaries = placement.primaries_at(site);
     let mut ops = Vec::with_capacity(OPS_PER_TXN);
     for _ in 0..OPS_PER_TXN {
         let roll = splitmix64(rng);
-        if primaries.is_empty() || roll % 1000 < READ_PERMILLE {
+        if primaries.is_empty() || roll % 1000 < read_permille {
             let item = copies[(splitmix64(rng) % copies.len() as u64) as usize];
             if !ops.iter().any(|o: &Op| o.item == item) {
                 ops.push(Op::read(item));
@@ -313,6 +334,7 @@ fn flush_client(c: &mut Client, epoll: &Epoll, token: u64) -> io::Result<()> {
 fn drain_replies(
     c: &mut Client,
     placement: &DataPlacement,
+    read_permille: u64,
     latencies: &mut Vec<f64>,
     txns: u32,
 ) -> io::Result<bool> {
@@ -333,7 +355,7 @@ fn drain_replies(
                     if c.done >= txns {
                         return Ok(true);
                     }
-                    submit_next(c, placement);
+                    submit_next(c, placement, read_permille);
                 }
                 Ok(Some(other)) => {
                     return Err(io::Error::other(format!("unexpected reply: {other:?}")))
@@ -367,13 +389,14 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[rank - 1]
 }
 
-fn render_json(reports: &[RunReport], txns: u32) -> String {
+fn render_json(reports: &[RunReport], txns: u32, read_permille: u64) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"reactor_loadgen\",\n");
     out.push_str("  \"placement\": \"example_1_1\",\n");
     out.push_str("  \"protocol\": \"dagwt\",\n");
     out.push_str(&format!("  \"txns_per_conn\": {txns},\n"));
+    out.push_str(&format!("  \"read_pct\": {:.3},\n", read_permille as f64 / 1000.0));
     out.push_str("  \"runs\": [\n");
     for (i, r) in reports.iter().enumerate() {
         out.push_str(&format!(

@@ -272,6 +272,16 @@ pub struct SimParams {
     pub faults: FaultPlan,
     /// CPU cost of replaying one WAL record during crash recovery.
     pub replay_cpu: SimDuration,
+    /// Run read-only transactions as lock-free MVCC snapshot reads
+    /// instead of 2PL S-lock reads (the snapshot-read protocol-matrix
+    /// dimension).
+    pub snapshot_reads: bool,
+    /// Group-commit batch size: one fsync-equivalent is paid per this
+    /// many commits at a site (1 = classic per-commit durability).
+    pub group_commit_batch: u32,
+    /// CPU cost of the fsync-equivalent a WAL batch flush pays (0 keeps
+    /// the historical in-memory-log cost model).
+    pub fsync_cpu: SimDuration,
 }
 
 impl Default for SimParams {
@@ -296,6 +306,9 @@ impl Default for SimParams {
             max_virtual_time: SimDuration::secs(36_000),
             faults: FaultPlan::none(),
             replay_cpu: SimDuration::micros(50),
+            snapshot_reads: false,
+            group_commit_batch: 1,
+            fsync_cpu: SimDuration::micros(0),
         }
     }
 }
@@ -333,6 +346,9 @@ impl StableHash for SimParams {
             max_virtual_time,
             faults,
             replay_cpu,
+            snapshot_reads,
+            group_commit_batch,
+            fsync_cpu,
         } = self;
         protocol.stable_hash(h);
         tree.stable_hash(h);
@@ -353,6 +369,9 @@ impl StableHash for SimParams {
         max_virtual_time.stable_hash(h);
         faults.stable_hash(h);
         replay_cpu.stable_hash(h);
+        h.write_bool(*snapshot_reads);
+        h.write_u32(*group_commit_batch);
+        fsync_cpu.stable_hash(h);
     }
 }
 
@@ -400,6 +419,9 @@ mod tests {
                 ..base.clone()
             },
             SimParams { replay_cpu: SimDuration::micros(51), ..base.clone() },
+            SimParams { snapshot_reads: true, ..base.clone() },
+            SimParams { group_commit_batch: 8, ..base.clone() },
+            SimParams { fsync_cpu: SimDuration::micros(100), ..base.clone() },
         ];
         for v in &variants {
             assert_ne!(digest(&base), digest(v), "digest blind to a field: {v:?}");

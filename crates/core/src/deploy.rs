@@ -87,6 +87,12 @@ pub struct DeployConfig {
     pub eager_timeout_ms: Option<u64>,
     /// Per-link outbox high-water mark override, in frames.
     pub outbox_high_water: Option<u64>,
+    /// Serve all-read transactions from MVCC snapshots (lock-free
+    /// version-chain reads) instead of 2PL store transactions.
+    pub mvcc: Option<bool>,
+    /// Group-commit batch size: WAL commit records are flushed every
+    /// this-many update commits (1 = per-commit, the default).
+    pub group_commit: Option<u64>,
     /// Site id → dial address for every peer. May be left empty when a
     /// launcher pushes the map over the client protocol instead.
     pub peers: AddressMap,
@@ -181,6 +187,19 @@ impl DeployConfig {
                         format!("line {lineno}: outbox_high_water must be an integer")
                     })?);
                 }
+                "mvcc" => {
+                    cfg.mvcc = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("line {lineno}: mvcc must be true or false"))?,
+                    );
+                }
+                "group_commit" => {
+                    cfg.group_commit =
+                        Some(value.parse().map_err(|_| {
+                            format!("line {lineno}: group_commit must be an integer")
+                        })?);
+                }
                 other => return Err(format!("line {lineno}: unknown key {other:?}")),
             }
         }
@@ -216,6 +235,12 @@ impl DeployConfig {
         }
         if flags.outbox_high_water.is_some() {
             self.outbox_high_water = flags.outbox_high_water;
+        }
+        if flags.mvcc.is_some() {
+            self.mvcc = flags.mvcc;
+        }
+        if flags.group_commit.is_some() {
+            self.group_commit = flags.group_commit;
         }
         for (site, addr) in flags.peers.entries() {
             self.peers.insert(*site, addr.clone());
@@ -264,6 +289,8 @@ mod tests {
             nemesis = "seed=7;part=0-1@100..400"
             eager_timeout_ms = 250
             outbox_high_water = 4096
+            mvcc = true
+            group_commit = 8
 
             [peers]
             0 = "127.0.0.1:7100"
@@ -279,6 +306,8 @@ mod tests {
         assert_eq!(cfg.nemesis.as_deref(), Some("seed=7;part=0-1@100..400"));
         assert_eq!(cfg.eager_timeout_ms, Some(250));
         assert_eq!(cfg.outbox_high_water, Some(4096));
+        assert_eq!(cfg.mvcc, Some(true));
+        assert_eq!(cfg.group_commit, Some(8));
         assert_eq!(cfg.peers.len(), 3);
         assert_eq!(cfg.peers.get(SiteId(2)), Some("127.0.0.1:7102"));
     }
@@ -298,6 +327,8 @@ mod tests {
             ("nemesis = seed=1", "quoted"),
             ("eager_timeout_ms = \"soon\"", "integer"),
             ("outbox_high_water = lots", "integer"),
+            ("mvcc = \"yes\"", "true or false"),
+            ("group_commit = \"many\"", "integer"),
         ] {
             let err = DeployConfig::parse(text).unwrap_err();
             assert!(err.contains(needle), "{text:?} → {err:?} missing {needle:?}");

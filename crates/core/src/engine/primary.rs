@@ -12,6 +12,21 @@ use super::site::{ActivePrimary, Owner, PrimaryPhase};
 use super::Engine;
 
 impl Engine {
+    /// True when the thread's current transaction may run as a lock-free
+    /// MVCC snapshot read: the option is on and every operation is a read
+    /// of an item with a local copy (remote reads still go through PSL's
+    /// proxy path, which needs real locks).
+    fn snapshot_eligible(&self, site: SiteId, thread: u32) -> bool {
+        if !self.params.snapshot_reads {
+            return false;
+        }
+        let ops = self.sites[site.index()].threads[thread as usize].current_ops();
+        !ops.is_empty()
+            && ops
+                .iter()
+                .all(|op| op.kind == OpKind::Read && self.placement.has_copy(site, op.item))
+    }
+
     pub(crate) fn start_thread_txn(&mut self, now: SimTime, site: SiteId, thread: u32) {
         let st = &mut self.sites[site.index()];
         let ts = &mut st.threads[thread as usize];
@@ -19,6 +34,9 @@ impl Engine {
         if ts.finished() {
             return;
         }
+        let snapshot = self
+            .snapshot_eligible(site, thread)
+            .then(|| self.sites[site.index()].store.begin_snapshot());
         let gid = self.sites[site.index()].fresh_gid();
         let local = self.sites[site.index()].store.begin();
         self.sites[site.index()].owner.insert(local, Owner::Primary { thread });
@@ -31,6 +49,8 @@ impl Engine {
             wait_seq: 0,
             remote_reads: Vec::new(),
             proxy_sites: Vec::new(),
+            snapshot,
+            snap_reads: Vec::new(),
         });
         self.try_op(now, site, thread);
     }
@@ -47,7 +67,10 @@ impl Engine {
         let gid = st.fresh_gid();
         let local = st.store.begin();
         st.owner.insert(local, Owner::Primary { thread });
-        st.threads[thread as usize].active = Some(ActivePrimary {
+        let snapshot = self
+            .snapshot_eligible(site, thread)
+            .then(|| self.sites[site.index()].store.begin_snapshot());
+        self.sites[site.index()].threads[thread as usize].active = Some(ActivePrimary {
             gid,
             local,
             pc: 0,
@@ -56,6 +79,8 @@ impl Engine {
             wait_seq: 0,
             remote_reads: Vec::new(),
             proxy_sites: Vec::new(),
+            snapshot,
+            snap_reads: Vec::new(),
         });
         self.try_op(now, site, thread);
     }
@@ -78,6 +103,17 @@ impl Engine {
         let op = self.sites[site.index()].threads[thread as usize].current_ops()[pc].clone();
         match op.kind {
             OpKind::Read => {
+                if let Some(snap) = self.active(site, thread).unwrap().snapshot {
+                    // MVCC: serve from the pinned snapshot — never blocks,
+                    // takes no locks (eligibility checked at txn start).
+                    let writer = match self.sites[site.index()].store.read_snapshot(snap, op.item) {
+                        Ok(r) => r.writer,
+                        Err(e) => panic!("snapshot read failed at {site}: {e}"),
+                    };
+                    self.active_mut(site, thread).unwrap().snap_reads.push((op.item, writer));
+                    self.schedule_op_cpu(now, site, thread, gid);
+                    return;
+                }
                 let is_remote = self.params.protocol == ProtocolKind::Psl
                     && self.placement.primary_of(op.item) != site;
                 if is_remote {
@@ -228,7 +264,23 @@ impl Engine {
             a.wait_seq += 1;
             a.gid
         };
-        let at = self.sites[site.index()].cpu.run(now, self.params.commit_cpu);
+        // Group commit: only update transactions append WAL records, and
+        // every `group_commit_batch`-th one at a site pays the batch's
+        // fsync-equivalent (batch size 1 = classic per-commit durability).
+        let updates = self.sites[site.index()].threads[thread as usize]
+            .current_ops()
+            .iter()
+            .any(|op| op.kind == OpKind::Write);
+        let mut cost = self.params.commit_cpu;
+        if updates {
+            let st = &mut self.sites[site.index()];
+            st.commits_since_fsync += 1;
+            if st.commits_since_fsync >= self.params.group_commit_batch.max(1) {
+                st.commits_since_fsync = 0;
+                cost = cost + self.params.fsync_cpu;
+            }
+        }
+        let at = self.sites[site.index()].cpu.run(now, cost);
         self.queue.push_at(at, Event::PrimaryCommitDone { site, thread, gid });
     }
 
@@ -255,10 +307,15 @@ impl Engine {
         let (info, granted) =
             self.sites[site.index()].store.commit(a.local).expect("commit of live txn");
         self.resume_granted(now, site, granted);
+        if let Some(snap) = a.snapshot {
+            self.sites[site.index()].store.end_snapshot(snap);
+        }
 
-        // History: local reads plus remotely served reads (PSL).
+        // History: local reads plus remotely served reads (PSL) plus
+        // MVCC snapshot reads.
         let mut reads = info.reads.clone();
         reads.extend(a.remote_reads.iter().copied());
+        reads.extend(a.snap_reads.iter().copied());
         let writes = info.write_set();
         self.history.record_commit(gid, reads, writes.iter().map(|(i, _)| *i).collect());
         self.metrics.on_commit(site, now, a.first_started);
@@ -306,6 +363,9 @@ impl Engine {
         self.sites[site.index()].owner.remove(&a.local);
         let granted = self.sites[site.index()].store.abort(a.local).expect("abort of live txn");
         self.resume_granted(now, site, granted);
+        if let Some(snap) = a.snapshot {
+            self.sites[site.index()].store.end_snapshot(snap);
+        }
         // Tell remote proxies (PSL/Eager) to abort.
         for proxy_site in a.proxy_sites.iter().copied() {
             self.send(now, site, proxy_site, Message::ProxyRelease { gid: a.gid, commit: false });

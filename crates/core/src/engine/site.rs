@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use repl_protocol::SiteMachine;
 use repl_sim::{CpuQueue, SimTime};
-use repl_storage::{Store, TxnId};
+use repl_storage::{SnapshotId, Store, TxnId};
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId};
 
 use super::event::Message;
@@ -72,6 +72,12 @@ pub struct ActivePrimary {
     pub remote_reads: Vec<(ItemId, Option<GlobalTxnId>)>,
     /// Sites where a proxy holds locks for this attempt.
     pub proxy_sites: Vec<SiteId>,
+    /// MVCC: the snapshot this read-only transaction reads from. `Some`
+    /// only when `SimParams::snapshot_reads` is on and every operation
+    /// is a read with a local copy; such attempts take zero locks.
+    pub snapshot: Option<SnapshotId>,
+    /// MVCC: reads served from the snapshot, as `(item, version writer)`.
+    pub snap_reads: Vec<(ItemId, Option<GlobalTxnId>)>,
 }
 
 /// The program a worker thread executes: a fixed list of transactions,
@@ -222,6 +228,9 @@ pub struct SiteState {
     /// bumped at crash so pre-crash ticks die and the restart can re-arm
     /// exactly one chain of each.
     pub tick_gen: u64,
+    /// Update commits since the last fsync-equivalent (group commit):
+    /// every `SimParams::group_commit_batch`-th one pays `fsync_cpu`.
+    pub commits_since_fsync: u32,
 }
 
 impl SiteState {
@@ -252,6 +261,7 @@ impl SiteState {
             replay_done: SimTime::ZERO,
             recovering: false,
             tick_gen: 0,
+            commits_since_fsync: 0,
         }
     }
 

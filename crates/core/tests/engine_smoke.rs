@@ -233,6 +233,78 @@ fn backedge_example_4_1_resolves_global_deadlock() {
     assert_eq!(report.summary.incomplete_propagations, 0);
 }
 
+/// MVCC snapshot reads: read-only transactions served from version
+/// chains (zero locks) must stay one-copy serializable and must not
+/// perturb convergence, on every lazy protocol of the matrix.
+#[test]
+fn snapshot_reads_serializable_and_converge() {
+    for (proto, cyclic) in
+        [(ProtocolKind::DagWt, false), (ProtocolKind::DagT, false), (ProtocolKind::BackEdge, true)]
+    {
+        let p = if cyclic { cyclic_placement() } else { dag_placement() };
+        let mut params = quick(proto);
+        params.snapshot_reads = true;
+        let programs = scenario::generate_programs(
+            &p,
+            &WorkloadMix { ops_per_txn: 6, read_txn_prob: 0.6, read_op_prob: 0.5 },
+            params.threads_per_site,
+            params.txns_per_thread,
+            21,
+        );
+        let mut engine = Engine::new(&p, &params, programs).unwrap();
+        let report = engine.run();
+        assert_complete(&report, &params, &p);
+        assert!(report.serializable, "{proto:?} snapshot reads: cycle {:?}", report.cycle);
+        assert_converged(&engine, &p);
+    }
+}
+
+/// Snapshot reads must not change what commits — only how reads are
+/// served. Same seed, same placement, same programs: commit counts and
+/// propagation totals match the 2PL run.
+#[test]
+fn snapshot_reads_commit_the_same_workload() {
+    let p = dag_placement();
+    let programs = scenario::generate_programs(
+        &p,
+        &WorkloadMix { ops_per_txn: 6, read_txn_prob: 0.7, read_op_prob: 0.5 },
+        2,
+        30,
+        23,
+    );
+    let locked = quick(ProtocolKind::DagWt);
+    let mut mvcc = locked.clone();
+    mvcc.snapshot_reads = true;
+    let r1 = Engine::new(&p, &locked, programs.clone()).unwrap().run();
+    let r2 = Engine::new(&p, &mvcc, programs).unwrap().run();
+    assert_eq!(r1.summary.commits, r2.summary.commits);
+    assert_eq!(r1.summary.incomplete_propagations, r2.summary.incomplete_propagations);
+    assert!(r2.serializable, "cycle: {:?}", r2.cycle);
+}
+
+/// Group commit: with a nonzero fsync cost, batching 8 commits per flush
+/// must finish the same workload in less virtual time than flushing every
+/// commit, and batch size 1 must price every update commit.
+#[test]
+fn group_commit_amortizes_fsync_cost() {
+    use repl_sim::SimDuration;
+    let p = dag_placement();
+    let mut per_commit = quick(ProtocolKind::DagWt);
+    per_commit.fsync_cpu = SimDuration::micros(2_000);
+    let mut batched = per_commit.clone();
+    batched.group_commit_batch = 8;
+    let (r1, _) = run(&p, &per_commit, 24);
+    let (r2, _) = run(&p, &batched, 24);
+    assert_complete(&r1, &per_commit, &p);
+    assert_complete(&r2, &batched, &p);
+    assert!(
+        r2.summary.virtual_duration < r1.summary.virtual_duration,
+        "batched {:?} not faster than per-commit {:?}",
+        r2.summary.virtual_duration,
+        r1.summary.virtual_duration
+    );
+}
+
 #[test]
 fn runs_are_deterministic() {
     let p = dag_placement();

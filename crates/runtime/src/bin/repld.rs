@@ -38,6 +38,7 @@ usage: repld [--config FILE] [--site N] [--listen HOST:PORT]
              [--protocol dagwt|dagt|backedge|naive] [--placement SPEC]
              [--reactor threads|epoll] [--peer N=HOST:PORT]...
              [--nemesis SPEC] [--eager-timeout-ms N] [--outbox-high-water N]
+             [--mvcc] [--group-commit N]
 
 Flags override --config values. --listen HOST:0 picks an ephemeral port
 and announces it on stdout as `repld: site N listening on ADDR`.
@@ -47,7 +48,9 @@ nonblocking readiness loop. --nemesis injects a deterministic network
 fault schedule (see NetFaultPlan::parse; give every site the same spec);
 --eager-timeout-ms bounds a BackEdge eager phase before it aborts;
 --outbox-high-water caps per-link outbox growth before writes are
-refused with a backpressure error.";
+refused with a backpressure error. --mvcc serves all-read transactions
+from lock-free MVCC snapshots; --group-commit batches N update commits
+per WAL flush (default 1).";
 
 fn main() -> ExitCode {
     match run() {
@@ -88,6 +91,12 @@ fn run() -> Result<(), String> {
     }
     if let Some(hw) = cfg.outbox_high_water {
         options.outbox_high_water = hw as usize;
+    }
+    if let Some(mvcc) = cfg.mvcc {
+        options.mvcc_reads = mvcc;
+    }
+    if let Some(batch) = cfg.group_commit {
+        options.group_commit_batch = batch.max(1) as usize;
     }
 
     let serve_cfg =
@@ -133,6 +142,14 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<DeployConfig, String
                     value("--outbox-high-water")?
                         .parse()
                         .map_err(|_| "outbox high water must be an integer (frames)")?,
+                );
+            }
+            "--mvcc" => flags.mvcc = Some(true),
+            "--group-commit" => {
+                flags.group_commit = Some(
+                    value("--group-commit")?
+                        .parse()
+                        .map_err(|_| "group commit batch must be an integer")?,
                 );
             }
             "--peer" => {

@@ -300,7 +300,9 @@ impl Cluster {
         let mut cluster = Cluster {
             routes,
             net,
-            durables: (0..n).map(|_| Arc::new(Mutex::new(DurableSite::new(n)))).collect(),
+            durables: (0..n)
+                .map(|_| Arc::new(Mutex::new(DurableSite::new(n, opts.group_commit_batch))))
+                .collect(),
             crash_flags: (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect(),
             threads: (0..n).map(|_| None).collect(),
             history: Arc::new(Mutex::new(History::new())),
@@ -350,7 +352,11 @@ impl Cluster {
                     // owner (the replacement store has a fresh trace
                     // scope; replay writes from another thread would be
                     // unordered with the thread's own first accesses).
-                    let store = recovered_store(&placement, site, &durable.lock().wal);
+                    let store = {
+                        let mut d = durable.lock();
+                        d.flush_log();
+                        recovered_store(&placement, site, &d.wal)
+                    };
                     setup
                         .into_runtime(
                             store,

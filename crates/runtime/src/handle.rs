@@ -56,6 +56,19 @@ pub trait ClusterHandle {
     /// Execute a transaction at `site`, blocking until it commits.
     fn execute(&self, site: SiteId, ops: Vec<Op>) -> Result<GlobalTxnId, ClusterError>;
 
+    /// Execute a read-only transaction over `items` at `site`. Plain
+    /// sugar over [`ClusterHandle::execute`] with all-read op lists —
+    /// the op shape deployments serve from a lock-free MVCC snapshot
+    /// when launched with MVCC reads enabled (`--mvcc` /
+    /// `RuntimeOptions::mvcc_reads`).
+    fn execute_read_only(
+        &self,
+        site: SiteId,
+        items: &[ItemId],
+    ) -> Result<GlobalTxnId, ClusterError> {
+        self.execute(site, items.iter().copied().map(Op::read).collect())
+    }
+
     /// Non-transactional read of one copy (`None`: site down or no
     /// copy).
     fn peek(&self, site: SiteId, item: ItemId) -> Option<(Value, Option<GlobalTxnId>)>;

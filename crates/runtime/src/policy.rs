@@ -112,6 +112,15 @@ pub struct RuntimeOptions {
     /// Deterministic network-fault injection at the transport seam;
     /// `None` runs the wire clean.
     pub nemesis: Option<NetFaultPlan>,
+    /// Serve all-read client transactions from an MVCC snapshot of the
+    /// local store (lock-free version-chain reads) instead of running
+    /// them through the 2PL store transaction.
+    pub mvcc_reads: bool,
+    /// Group-commit batch size for the redo WAL: commit records are
+    /// staged in a [`repl_storage::CommitPipeline`] and flushed to the
+    /// log every this-many update commits (1 = append per commit,
+    /// byte-identical to the historical behaviour).
+    pub group_commit_batch: usize,
 }
 
 impl Default for RuntimeOptions {
@@ -124,6 +133,8 @@ impl Default for RuntimeOptions {
             suspect_after: Duration::from_millis(150),
             down_after: Duration::from_secs(1),
             nemesis: None,
+            mvcc_reads: false,
+            group_commit_batch: 1,
         }
     }
 }

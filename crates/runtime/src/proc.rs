@@ -47,6 +47,12 @@ pub struct LaunchOptions {
     /// Override for the per-link outbox high-water mark
     /// (`--outbox-high-water`).
     pub outbox_high_water: Option<u64>,
+    /// Serve all-read transactions from lock-free MVCC snapshots
+    /// (`--mvcc`).
+    pub mvcc: bool,
+    /// Group-commit batch size: update commits per WAL flush
+    /// (`--group-commit`).
+    pub group_commit: Option<u64>,
 }
 
 /// Locate the `repld` binary: `$REPLD_BIN` if set, else next to the
@@ -175,6 +181,13 @@ impl ProcCluster {
             if let Some(hw) = options.outbox_high_water {
                 args.push("--outbox-high-water".into());
                 args.push(hw.to_string());
+            }
+            if options.mvcc {
+                args.push("--mvcc".into());
+            }
+            if let Some(batch) = options.group_commit {
+                args.push("--group-commit".into());
+                args.push(batch.to_string());
             }
             let mut child = Command::new(bin).args(&args).stdout(Stdio::piped()).spawn()?;
             // replint: allow(RL008) -- stdout is piped two lines up

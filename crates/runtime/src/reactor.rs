@@ -295,7 +295,7 @@ pub fn serve_epoll(cfg: ServeConfig) -> io::Result<()> {
         raw = Box::new(ChaosWire::new(raw, plan.clone(), n));
     }
     let net = Arc::new(Net::new(links, raw));
-    let durable = Arc::new(Mutex::new(DurableSite::new(n)));
+    let durable = Arc::new(Mutex::new(DurableSite::new(n, opts.group_commit_batch)));
     let history = Arc::new(Mutex::new(repl_core::history::History::new()));
     let outstanding = Arc::new(std::sync::atomic::AtomicI64::new(0));
     let placement = Arc::new(cfg.placement.clone());
@@ -308,7 +308,11 @@ pub fn serve_epoll(cfg: ServeConfig) -> io::Result<()> {
         structure.tree.clone(),
     )
     .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-    let store = recovered_store(&placement, cfg.site, &durable.lock().wal);
+    let store = {
+        let mut d = durable.lock();
+        d.flush_log();
+        recovered_store(&placement, cfg.site, &d.wal)
+    };
     let core = setup.into_core(store, net, placement, history, outstanding, durable, opts.clone());
 
     let listener = TcpListener::bind(&cfg.listen)?;

@@ -240,6 +240,10 @@ impl SiteCore {
     /// driver measures idleness and period expiry, the machine decides
     /// what (if anything) to send.
     pub fn tick(&mut self) {
+        // Group commit: a partially filled batch must not wait for more
+        // traffic forever — drain it whenever the site comes up for air
+        // (a no-op when the pipeline is empty or the batch size is 1).
+        self.durable.lock().flush_log();
         self.retransmit_tick();
         let Some(t) = self.timers.as_mut() else { return };
         let now = Instant::now();
@@ -396,9 +400,17 @@ impl SiteCore {
 
     /// Finish a started transaction: run it against the store, record
     /// WAL/history/outstanding, and hand the committed write set to the
-    /// machine for propagation.
+    /// machine for propagation. All-read transactions are served from an
+    /// MVCC snapshot when the deployment enables it — same gid, same
+    /// machine inputs, but the store's lock manager is never touched.
     pub fn complete_txn(&mut self, gid: GlobalTxnId, ops: &[Op]) {
-        let (writes, reads) = self.run_local_txn(ops, gid);
+        let mvcc =
+            self.opts.mvcc_reads && !ops.is_empty() && ops.iter().all(|op| op.kind == OpKind::Read);
+        let (writes, reads) = if mvcc {
+            (Vec::new(), self.run_snapshot_txn(ops))
+        } else {
+            self.run_local_txn(ops, gid)
+        };
         self.finish_commit(gid, reads, &writes);
         let cmds = self.machine_input(Input::Committed { gid, writes });
         self.run_commands(cmds);
@@ -409,9 +421,12 @@ impl SiteCore {
         self.store.peek(item).map(|r| (r.value, r.writer))
     }
 
-    /// The serialized redo log (crash-recovery image).
+    /// The serialized redo log (crash-recovery image). Staged group
+    /// commits are flushed first so the image holds every commit.
     pub fn snapshot_wal(&self) -> bytes::Bytes {
-        self.durable.lock().wal.encode()
+        let mut d = self.durable.lock();
+        d.flush_log();
+        d.wal.encode()
     }
 
     /// Id allocation is durable: a restarted site must never reuse a
@@ -509,8 +524,25 @@ impl SiteCore {
         }
         // replint: allow(RL008) -- same single-txn invariant
         self.store.commit(txn).expect("commit secondary");
-        self.durable.lock().wal.append_commit(gid, writes);
+        self.durable.lock().log_commit(gid, writes);
         self.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Run an all-read transaction against an MVCC snapshot: pin the
+    /// committed state, read every item's visible version, release the
+    /// snapshot. No store transaction is opened and no locks are taken.
+    fn run_snapshot_txn(&mut self, ops: &[Op]) -> Reads {
+        let snap = self.store.begin_snapshot();
+        let reads = ops
+            .iter()
+            .map(|op| {
+                // replint: allow(RL008) -- ops validated against the placement in start_txn
+                let r = self.store.read_snapshot(snap, op.item).expect("validated read");
+                (op.item, r.writer)
+            })
+            .collect();
+        self.store.end_snapshot(snap);
+        reads
     }
 
     /// Run `ops` as one local transaction; returns the write set and
@@ -540,7 +572,7 @@ impl SiteCore {
     /// commit. The commit is recorded *before* any subtransaction can
     /// be applied elsewhere, so readers-from always find the writer.
     fn finish_commit(&mut self, gid: GlobalTxnId, reads: Reads, writes: &[(ItemId, Value)]) {
-        self.durable.lock().wal.append_commit(gid, writes);
+        self.durable.lock().log_commit(gid, writes);
         let dests = destinations(&self.placement, self.id, writes);
         {
             let mut h = self.history.lock();

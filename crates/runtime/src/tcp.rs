@@ -187,7 +187,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
         raw = Box::new(ChaosWire::new(raw, plan.clone(), n));
     }
     let net = Arc::new(Net::new(links, raw));
-    let durable = Arc::new(Mutex::new(DurableSite::new(n)));
+    let durable = Arc::new(Mutex::new(DurableSite::new(n, opts.group_commit_batch)));
     let history = Arc::new(Mutex::new(History::new()));
     let outstanding = Arc::new(AtomicI64::new(0));
     let crashed = Arc::new(AtomicBool::new(false));
@@ -217,7 +217,11 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
         std::thread::Builder::new()
             .name(format!("site-{}", site.0))
             .spawn(move || {
-                let store = recovered_store(&placement, site, &durable.lock().wal);
+                let store = {
+                    let mut d = durable.lock();
+                    d.flush_log();
+                    recovered_store(&placement, site, &d.wal)
+                };
                 setup
                     .into_runtime(
                         store,

@@ -118,6 +118,55 @@ fn programs(placement: &DataPlacement, txns_per_site: u32, seed: u64) -> Vec<Vec
         .collect()
 }
 
+/// Like [`programs`], but every third transaction is read-only over one
+/// or two items with a copy at the site. Reads never conflict and never
+/// write, so the workload stays order-equivalent across deployments —
+/// while still consuming gids and exercising the snapshot-read path
+/// when MVCC is enabled.
+fn mixed_programs(
+    placement: &DataPlacement,
+    txns_per_site: u32,
+    seed: u64,
+) -> Vec<Vec<Vec<Vec<Op>>>> {
+    let mut state = seed;
+    (0..placement.num_sites())
+        .map(|s| {
+            let site = SiteId(s);
+            let primaries = placement.primaries_at(site);
+            let local: Vec<ItemId> = placement.items_at(site).to_vec();
+            let txns: Vec<Vec<Op>> = if primaries.is_empty() || local.is_empty() {
+                Vec::new()
+            } else {
+                (0..txns_per_site)
+                    .map(|t| {
+                        let width = 1 + (splitmix64(&mut state) % 2) as usize;
+                        let mut ops: Vec<Op> = Vec::new();
+                        if t % 3 == 2 {
+                            for _ in 0..width {
+                                let item = local[splitmix64(&mut state) as usize % local.len()];
+                                if !ops.iter().any(|o| o.item == item) {
+                                    ops.push(Op::read(item));
+                                }
+                            }
+                        } else {
+                            for _ in 0..width {
+                                let item =
+                                    primaries[splitmix64(&mut state) as usize % primaries.len()];
+                                let value = (splitmix64(&mut state) % 100_000) as i64;
+                                if !ops.iter().any(|o| o.item == item) {
+                                    ops.push(Op::write(item, value));
+                                }
+                            }
+                        }
+                        ops
+                    })
+                    .collect()
+            };
+            vec![txns]
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------
 // The three deployments.
 // ---------------------------------------------------------------------
@@ -131,9 +180,22 @@ fn sim_final_state(
     progs: &[Vec<Vec<Vec<Op>>>],
     txns_per_site: u32,
 ) -> Vec<bytes::Bytes> {
+    sim_final_state_opts(placement, protocol, progs, txns_per_site, false)
+}
+
+/// [`sim_final_state`] with the MVCC snapshot-read dimension, asserting
+/// one-copy serializability of the simulated history as well.
+fn sim_final_state_opts(
+    placement: &DataPlacement,
+    protocol: ProtocolKind,
+    progs: &[Vec<Vec<Vec<Op>>>],
+    txns_per_site: u32,
+    snapshot_reads: bool,
+) -> Vec<bytes::Bytes> {
     let mut params = SimParams::quick_test(protocol);
     params.threads_per_site = 1;
     params.txns_per_thread = txns_per_site;
+    params.snapshot_reads = snapshot_reads;
     // The runtime's `wait_for_home` has no timeout, so a sim-side eager
     // timeout (which retries under a fresh gid) would skew the writer
     // ids. The workload is conflict-free; the timeout can never be
@@ -144,6 +206,9 @@ fn sim_final_state(
     assert!(!report.stalled, "{protocol:?} sim stalled");
     assert_eq!(report.summary.incomplete_propagations, 0);
     assert_eq!(report.summary.aborts, 0, "{protocol:?}: conflict-free workload aborted");
+    if snapshot_reads {
+        assert!(report.serializable, "{protocol:?} MVCC sim not 1SR: {:?}", report.cycle);
+    }
     (0..placement.num_sites())
         .map(|s| {
             let site = SiteId(s);
@@ -256,6 +321,73 @@ fn assert_matrix_cell(
     assert_states_identical(label, "TCP cluster (epoll)", &sim_state, &epoll_state);
     // Non-degenerate: the workload must actually have written something.
     assert!(sim_state.iter().any(|b| b.len() > 4), "{label}: empty workload");
+}
+
+/// Replay a deployment's merged history through the one-copy
+/// serializability checker, and require that read-only transactions
+/// actually committed reads (the MVCC column must not be degenerate).
+fn assert_history_1sr(label: &str, cluster: &dyn ClusterHandle) {
+    let mut history = repl_core::History::new();
+    for (gid, reads, writes) in cluster.history().expect("history") {
+        history.record_commit(gid, reads, writes);
+    }
+    assert!(history.check_serializability().is_ok(), "{label}: live history is not 1SR");
+    assert!(
+        history.txns().iter().any(|t| t.writes.is_empty() && !t.reads.is_empty()),
+        "{label}: no read-only transactions reached the history"
+    );
+}
+
+/// The MVCC column: a mixed read/write workload with snapshot reads
+/// enabled in every deployment — the simulator runs with
+/// `SimParams::snapshot_reads`, the channel cluster with
+/// `RuntimeOptions::mvcc_reads`, and both `repld` reactors with
+/// `--mvcc`. Final copy state must stay byte-identical to the simulator
+/// and every live history must be one-copy serializable.
+#[test]
+fn mvcc_snapshot_read_matrix() {
+    let txns = txns_per_site();
+    for (label, placement, sim, runtime, seed) in [
+        ("mvcc/dag-wt/fan", fan_placement(), ProtocolKind::DagWt, RuntimeProtocol::DagWt, 0xD1FA),
+        (
+            "mvcc/dag-t/diamond",
+            diamond_placement(),
+            ProtocolKind::DagT,
+            RuntimeProtocol::DagT,
+            0xD1FB,
+        ),
+        (
+            "mvcc/backedge/cyclic",
+            cyclic_placement(),
+            ProtocolKind::BackEdge,
+            RuntimeProtocol::BackEdge,
+            0xD1FC,
+        ),
+    ] {
+        let progs = mixed_programs(&placement, txns, seed);
+        let sim_state = sim_final_state_opts(&placement, sim, &progs, txns, true);
+
+        let options = RuntimeOptions { mvcc_reads: true, ..RuntimeOptions::default() };
+        let cluster = Cluster::start_with(&placement, runtime, options).expect("cluster starts");
+        let chan_state = drive_final_state(&cluster, &progs);
+        assert_history_1sr(label, &cluster);
+        cluster.shutdown();
+        assert_states_identical(label, "MVCC channel cluster", &sim_state, &chan_state);
+
+        for (reactor, col) in [
+            (ReactorKind::Threads, "MVCC TCP cluster (threads)"),
+            (ReactorKind::Epoll, "MVCC TCP cluster (epoll)"),
+        ] {
+            let launch = LaunchOptions { reactor, mvcc: true, ..LaunchOptions::default() };
+            let cluster = ProcCluster::launch_with_options(repld(), &placement, runtime, &launch)
+                .expect("launch repld");
+            let state = drive_final_state(&cluster, &progs);
+            assert_history_1sr(label, &cluster);
+            cluster.shutdown();
+            assert_states_identical(label, col, &sim_state, &state);
+        }
+        assert!(sim_state.iter().any(|b| b.len() > 4), "{label}: empty workload");
+    }
 }
 
 /// The nemesis column: the same seeded workload driven through a

@@ -28,13 +28,19 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod commit_pipeline;
 pub mod hash_index;
 pub mod lock;
+pub mod mvcc;
+pub mod snapshot;
 pub mod store;
 pub mod undo;
 pub mod wal;
 
+pub use commit_pipeline::{CommitBatch, CommitPipeline, PipelineStats};
 pub use lock::{LockManager, LockMode, LockOutcome};
+pub use mvcc::{Version, VersionChain, VersionChains};
+pub use snapshot::{SnapshotId, SnapshotManager};
 pub use store::{CommitInfo, ReadResult, Store, TxnStatus};
 pub use wal::{checkpoint, recover, Checkpoint, LogRecord, WriteAheadLog};
 

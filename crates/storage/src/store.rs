@@ -21,6 +21,8 @@ use repl_types::{GlobalTxnId, ItemId, StorageError, TxnId, Value};
 
 use crate::hash_index::HashIndex;
 use crate::lock::{LockManager, LockMode, LockOutcome};
+use crate::mvcc::VersionChains;
+use crate::snapshot::{SnapshotId, SnapshotManager};
 use crate::undo::{UndoEntry, UndoLog};
 
 /// One item copy stored at a site.
@@ -60,6 +62,9 @@ struct TxnState {
     reads: Vec<(ItemId, Option<GlobalTxnId>)>,
     /// `(item, value)` pairs in write order (may repeat items).
     writes: Vec<(ItemId, Value)>,
+    /// Logical writer of this transaction's writes (set on the first
+    /// write), stamped onto the versions installed at commit.
+    writer: Option<GlobalTxnId>,
 }
 
 /// Read/write sets returned by [`Store::commit`].
@@ -100,6 +105,12 @@ pub struct Store {
     locks: LockManager,
     txns: HashMap<TxnId, TxnState>,
     next_txn: u64,
+    /// Per-item committed version chains (MVCC snapshot reads).
+    mvcc: VersionChains,
+    /// Active read-only snapshots and the GC low-water mark.
+    snapshots: SnapshotManager,
+    /// Monotone commit timestamp, bumped by every writing commit.
+    commit_ts: u64,
 }
 
 impl Store {
@@ -111,6 +122,7 @@ impl Store {
     /// Install a copy of `item` with its initial value. Non-transactional;
     /// used during database population.
     pub fn create_item(&mut self, item: ItemId, value: Value) {
+        self.mvcc.seed(item, value.clone(), None);
         self.cells.insert(item, Cell { value, writer: None, version: 0 });
     }
 
@@ -155,6 +167,7 @@ impl Store {
                 undo: UndoLog::new(),
                 reads: Vec::new(),
                 writes: Vec::new(),
+                writer: None,
             },
         );
         id
@@ -238,6 +251,7 @@ impl Store {
                 let state = self.txns.get_mut(&txn).expect("checked active");
                 state.undo.push(entry);
                 state.writes.push((item, value));
+                state.writer = Some(writer);
                 if trace::is_enabled() {
                     trace::record(TraceEvent::Access {
                         scope: self.locks.trace_scope(),
@@ -263,10 +277,28 @@ impl Store {
 
     /// Commit `txn`: release all locks (strict 2PL) and return its
     /// read/write sets plus the transactions unblocked by the release.
+    ///
+    /// A writing commit additionally installs one new version per
+    /// written item, stamped with a fresh site-local commit timestamp —
+    /// the versions snapshot reads resolve against. While no snapshot is
+    /// open the chains are trimmed back to their newest version, so
+    /// pure-2PL workloads pay O(1) space per item.
     pub fn commit(&mut self, txn: TxnId) -> Result<(CommitInfo, Vec<TxnId>), StorageError> {
         let state = self.txns.remove(&txn).ok_or(StorageError::NoSuchTxn(txn))?;
         let granted = self.locks.release_all(txn);
-        Ok((CommitInfo { reads: state.reads, writes: state.writes }, granted))
+        let info = CommitInfo { reads: state.reads, writes: state.writes };
+        if !info.writes.is_empty() {
+            self.commit_ts += 1;
+            let ts = self.commit_ts;
+            let trim = self.snapshots.active_count() == 0;
+            for (item, value) in info.write_set() {
+                self.mvcc.install(item, ts, value, state.writer);
+                if trim {
+                    self.mvcc.trim_to_latest(item);
+                }
+            }
+        }
+        Ok((info, granted))
     }
 
     /// Abort `txn`: roll back its writes from the undo log, release all
@@ -293,6 +325,75 @@ impl Store {
             }
         }
         Ok(self.locks.release_all(txn))
+    }
+
+    /// The store's current commit timestamp (what a snapshot opened now
+    /// would read at).
+    pub fn current_commit_ts(&self) -> u64 {
+        self.commit_ts
+    }
+
+    /// Open a read-only snapshot at the current commit timestamp.
+    ///
+    /// Every subsequent [`Store::read_snapshot`] through the returned
+    /// handle observes exactly the committed prefix up to this point —
+    /// later commits are invisible, aborted writes never were. The
+    /// handle must be closed with [`Store::end_snapshot`] so version
+    /// garbage collection can advance.
+    pub fn begin_snapshot(&mut self) -> SnapshotId {
+        self.snapshots.begin(self.commit_ts)
+    }
+
+    /// Close `snap` and garbage-collect versions below the new low-water
+    /// mark (the oldest still-open snapshot, or the current commit
+    /// timestamp when none remains). Closing twice is harmless.
+    pub fn end_snapshot(&mut self, snap: SnapshotId) {
+        if self.snapshots.end(snap).is_some() {
+            let low_water = self.snapshots.low_water(self.commit_ts);
+            self.mvcc.gc_below(low_water);
+        }
+    }
+
+    /// Number of snapshots currently open.
+    pub fn active_snapshots(&self) -> usize {
+        self.snapshots.active_count()
+    }
+
+    /// Total versions retained across all chains (observability for GC
+    /// tests and benches).
+    pub fn version_count(&self) -> usize {
+        self.mvcc.total_versions()
+    }
+
+    /// Lock-free snapshot read: the version of `item` visible at
+    /// `snap`'s timestamp.
+    ///
+    /// This path never touches the lock manager (pinned by replint
+    /// RL011 and the lock-trace test): it cannot block, cannot deadlock,
+    /// and cannot be aborted. Reads-from edges for the serializability
+    /// checker come from the returned `writer`.
+    pub fn read_snapshot(
+        &self,
+        snap: SnapshotId,
+        item: ItemId,
+    ) -> Result<ReadResult, StorageError> {
+        let ts = self.snapshots.ts_of(snap).ok_or(StorageError::NoSuchSnapshot(snap.0))?;
+        let version = self.mvcc.visible_at(item, ts).ok_or(StorageError::NoSuchItem(item))?;
+        if trace::is_enabled() {
+            trace::record(TraceEvent::Access {
+                scope: self.trace_scope(),
+                item,
+                txn: trace::NO_TXN,
+                write: false,
+            });
+        }
+        Ok(ReadResult { value: version.value.clone(), writer: version.writer })
+    }
+
+    /// The store's trace scope identity (shared with its lock scope so
+    /// snapshot reads and locked accesses land in one scope).
+    fn trace_scope(&self) -> u64 {
+        self.locks.trace_scope()
     }
 }
 
@@ -423,5 +524,191 @@ mod tests {
         let r = s.peek(ItemId(0)).unwrap();
         assert_eq!(r.value, Value::int(1));
         assert_eq!(r.writer, Some(gid(1)));
+    }
+
+    #[test]
+    fn snapshot_pins_its_begin_prefix() {
+        let mut s = store_with_items(2);
+        let t = s.begin();
+        s.write(t, ItemId(0), Value::int(1), gid(1)).unwrap();
+        s.commit(t).unwrap();
+
+        let snap = s.begin_snapshot();
+        // Commits after the snapshot began are invisible to it.
+        let t = s.begin();
+        s.write(t, ItemId(0), Value::int(2), gid(2)).unwrap();
+        s.write(t, ItemId(1), Value::int(3), gid(2)).unwrap();
+        s.commit(t).unwrap();
+
+        let r = s.read_snapshot(snap, ItemId(0)).unwrap();
+        assert_eq!((r.value, r.writer), (Value::int(1), Some(gid(1))));
+        let r = s.read_snapshot(snap, ItemId(1)).unwrap();
+        assert_eq!((r.value, r.writer), (Value::Initial, None));
+        // The live state moved on.
+        assert_eq!(s.peek(ItemId(0)).unwrap().value, Value::int(2));
+        s.end_snapshot(snap);
+        // A closed snapshot is refused, not misread.
+        assert_eq!(s.read_snapshot(snap, ItemId(0)), Err(StorageError::NoSuchSnapshot(snap.0)));
+    }
+
+    #[test]
+    fn snapshot_ignores_uncommitted_and_aborted_writes() {
+        let mut s = store_with_items(1);
+        // An active writer holds the X lock...
+        let writer = s.begin();
+        s.write(writer, ItemId(0), Value::int(99), gid(9)).unwrap();
+        // ...but the snapshot read neither blocks nor sees the dirty value.
+        let snap = s.begin_snapshot();
+        let r = s.read_snapshot(snap, ItemId(0)).unwrap();
+        assert_eq!(r.value, Value::Initial);
+        s.abort(writer).unwrap();
+        // Aborted versions never reach a chain.
+        let r = s.read_snapshot(snap, ItemId(0)).unwrap();
+        assert_eq!(r.value, Value::Initial);
+        s.end_snapshot(snap);
+        let snap = s.begin_snapshot();
+        assert_eq!(s.read_snapshot(snap, ItemId(0)).unwrap().value, Value::Initial);
+        s.end_snapshot(snap);
+    }
+
+    #[test]
+    fn snapshot_gc_reclaims_below_low_water() {
+        let mut s = store_with_items(1);
+        let snap = s.begin_snapshot();
+        for i in 1..=5u64 {
+            let t = s.begin();
+            s.write(t, ItemId(0), Value::int(i as i64), gid(i)).unwrap();
+            s.commit(t).unwrap();
+        }
+        // The open snapshot pins the whole chain (initial + 5 versions).
+        assert_eq!(s.version_count(), 6);
+        assert_eq!(s.read_snapshot(snap, ItemId(0)).unwrap().value, Value::Initial);
+        s.end_snapshot(snap);
+        // Low water advanced to the current commit ts: one version left.
+        assert_eq!(s.version_count(), 1);
+        assert_eq!(s.active_snapshots(), 0);
+        // And with no snapshot open, commits trim as they go.
+        let t = s.begin();
+        s.write(t, ItemId(0), Value::int(42), gid(7)).unwrap();
+        s.commit(t).unwrap();
+        assert_eq!(s.version_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_reads_take_zero_locks() {
+        let mut s = store_with_items(1);
+        let t = s.begin();
+        s.write(t, ItemId(0), Value::int(7), gid(1)).unwrap();
+        s.commit(t).unwrap();
+        let scope = s.locks().trace_scope();
+        let in_scope = |ev: &TraceEvent| match *ev {
+            TraceEvent::LockAcquire { scope: sc, .. }
+            | TraceEvent::LockRelease { scope: sc, .. } => sc == scope,
+            _ => false,
+        };
+
+        // Control: a 2PL read of the same item does acquire a lock.
+        trace::enable();
+        let t = s.begin();
+        s.read(t, ItemId(0)).unwrap();
+        s.commit(t).unwrap();
+        trace::disable();
+        let control = trace::take();
+        assert!(
+            control.iter().any(|e| in_scope(&e.event)),
+            "2PL control read recorded no lock event"
+        );
+
+        // The MVCC path: same read, zero lock events in this scope.
+        trace::enable();
+        let snap = s.begin_snapshot();
+        let r = s.read_snapshot(snap, ItemId(0)).unwrap();
+        s.end_snapshot(snap);
+        trace::disable();
+        let events = trace::take();
+        assert_eq!(r.value, Value::int(7));
+        assert!(
+            events.iter().all(|e| !in_scope(&e.event)),
+            "snapshot read touched the lock manager: {events:?}"
+        );
+        // The access itself is still visible to the race detector.
+        assert!(events.iter().any(|e| matches!(
+            e.event,
+            TraceEvent::Access { scope: sc, txn, write: false, .. }
+                if sc == scope && txn == trace::NO_TXN
+        )));
+    }
+
+    mod snapshot_props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BTreeMap;
+
+        const ITEMS: u32 = 6;
+
+        type ModelState = BTreeMap<u32, (Value, Option<GlobalTxnId>)>;
+
+        fn initial_model() -> ModelState {
+            (0..ITEMS).map(|i| (i, (Value::Initial, None))).collect()
+        }
+
+        proptest! {
+            /// Snapshot reads observe exactly the committed prefix at
+            /// their begin point: whole transactions or nothing (no torn
+            /// reads), never an aborted write, regardless of how commits,
+            /// aborts and snapshot lifetimes interleave.
+            #[test]
+            fn snapshots_observe_a_committed_prefix(
+                script in prop::collection::vec(
+                    (prop::collection::vec((0u32..ITEMS, 0i64..1000), 1..4), prop::bool::ANY),
+                    1..24,
+                ),
+                snap_raw in prop::collection::vec(0usize..24, 0..4),
+            ) {
+                let snap_points: std::collections::BTreeSet<usize> =
+                    snap_raw.into_iter().collect();
+                let mut s = store_with_items(ITEMS);
+                let mut model = initial_model();
+                let mut open: Vec<(crate::snapshot::SnapshotId, ModelState)> = Vec::new();
+                for (i, (writes, commits)) in script.iter().enumerate() {
+                    if snap_points.contains(&i) {
+                        open.push((s.begin_snapshot(), model.clone()));
+                    }
+                    let w = gid(i as u64 + 1);
+                    let t = s.begin();
+                    for (item, v) in writes {
+                        s.write(t, ItemId(*item), Value::int(*v), w).unwrap();
+                    }
+                    if *commits {
+                        s.commit(t).unwrap();
+                        for (item, v) in writes {
+                            model.insert(*item, (Value::int(*v), Some(w)));
+                        }
+                    } else {
+                        s.abort(t).unwrap();
+                    }
+                    // Every open snapshot still reads its own prefix —
+                    // all items, atomically per transaction.
+                    for (snap, expected) in &open {
+                        for item in 0..ITEMS {
+                            let r = s.read_snapshot(*snap, ItemId(item)).unwrap();
+                            let (ev, ew) = &expected[&item];
+                            prop_assert_eq!(&r.value, ev, "torn/aborted read at item {}", item);
+                            prop_assert_eq!(&r.writer, ew);
+                        }
+                    }
+                }
+                // The live state matches the full committed history.
+                for item in 0..ITEMS {
+                    let (ev, _) = &model[&item];
+                    prop_assert_eq!(&s.peek(ItemId(item)).unwrap().value, ev);
+                }
+                for (snap, _) in open {
+                    s.end_snapshot(snap);
+                }
+                // With every snapshot closed, GC leaves one version per item.
+                prop_assert_eq!(s.version_count(), ITEMS as usize);
+            }
+        }
     }
 }

@@ -106,6 +106,21 @@ impl WriteAheadLog {
         &self.records
     }
 
+    /// Drop the first `n` records — everything already covered by a
+    /// [`Checkpoint`] taken after they committed.
+    ///
+    /// Without truncation the in-memory log grows without bound for the
+    /// lifetime of a site. Dropping a checkpointed prefix is safe
+    /// because recovery replays *absolute* values over the checkpoint
+    /// image: [`recover`]`(checkpoint, truncated)` is identical to
+    /// replaying the full log (pinned by
+    /// `truncated_log_recovers_identically`). `n` larger than the log
+    /// clears it.
+    pub fn truncate_prefix(&mut self, n: usize) {
+        let n = n.min(self.records.len());
+        self.records.drain(..n);
+    }
+
     /// Serialize the whole log.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.records.len() * 32);
@@ -253,6 +268,45 @@ mod tests {
         assert_eq!(recovered.peek(ItemId(0)).unwrap().writer, Some(gid(0, 3)));
         assert_eq!(recovered.peek(ItemId(1)).unwrap().value, Value::int(11));
         assert_eq!(recovered.peek(ItemId(2)).unwrap().value, Value::Initial);
+    }
+
+    #[test]
+    fn truncated_log_recovers_identically() {
+        // Run a store forward, checkpointing mid-stream; recovery from
+        // (checkpoint, truncated suffix) must equal recovery from
+        // (boot image, full log).
+        let mut store = Store::new();
+        let mut wal = WriteAheadLog::new();
+        for i in 0..4u32 {
+            store.create_item(ItemId(i), Value::Initial);
+        }
+        let boot = checkpoint(&store, (0..4).map(ItemId));
+        for seq in 0..10u64 {
+            let w = gid(0, seq);
+            let t = store.begin();
+            store.write(t, ItemId((seq % 4) as u32), Value::int(seq as i64 * 3), w).unwrap();
+            let (info, _) = store.commit(t).unwrap();
+            wal.append_commit(w, &info.write_set());
+        }
+        // Checkpoint after the first six records; truncate them away.
+        let full = recover(&boot, &wal);
+        let mid_wal = WriteAheadLog { records: wal.records()[..6].to_vec() };
+        let mid_store = recover(&boot, &mid_wal);
+        let cp = checkpoint(&mid_store, (0..4).map(ItemId));
+        let mut truncated = wal.clone();
+        truncated.truncate_prefix(6);
+        assert_eq!(truncated.len(), 4);
+        let from_truncated = recover(&cp, &truncated);
+        for i in 0..4u32 {
+            assert_eq!(
+                from_truncated.peek(ItemId(i)),
+                full.peek(ItemId(i)),
+                "item {i} diverged after prefix truncation"
+            );
+        }
+        // Over-truncation clears without panicking.
+        truncated.truncate_prefix(999);
+        assert!(truncated.is_empty());
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub enum StorageError {
     /// An operation was attempted on a transaction that is not active
     /// (e.g. writing after commit was initiated).
     InvalidState(TxnId),
+    /// The snapshot handle is unknown or already closed (MVCC read-only
+    /// transactions).
+    NoSuchSnapshot(u64),
 }
 
 impl fmt::Display for StorageError {
@@ -30,6 +33,7 @@ impl fmt::Display for StorageError {
             StorageError::WouldBlock(i) => write!(f, "lock on {i} not available; enqueued"),
             StorageError::Deadlock(t) => write!(f, "transaction {t:?} chosen as deadlock victim"),
             StorageError::InvalidState(t) => write!(f, "transaction {t:?} is not active"),
+            StorageError::NoSuchSnapshot(s) => write!(f, "unknown or closed snapshot {s}"),
         }
     }
 }

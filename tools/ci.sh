@@ -22,8 +22,12 @@ cargo test -q
 echo "==> mc_smoke (exhaustive bounded model check, 3 sites / 2 txns, all four protocols)"
 ./target/release/replmc --stats --max-states 2000000
 
-echo "==> differential matrix gate (sim vs channel vs TCP threads vs TCP epoll, quick)"
+echo "==> differential matrix gate (sim vs channel vs TCP threads vs TCP epoll, incl. MVCC column, quick)"
 DIFF_MATRIX_TXNS=6 cargo test -q -p repl-runtime --test differential_matrix
+
+echo "==> MVCC smoke gate (quick read-heavy sweep; exits 1 unless MVCC beats 2PL at read-pct >= 0.8)"
+REPRO_SCALE=quick REPRO_WORKERS=4 REPRO_NO_CACHE=1 ./target/release/read_sweep \
+    --out /tmp/bench_mvcc_smoke.json > /dev/null
 
 echo "==> smoke sweep (quick fig2a on the 4-worker pool, cache off)"
 REPRO_SCALE=quick REPRO_WORKERS=4 REPRO_NO_CACHE=1 ./target/release/fig2a > /dev/null
