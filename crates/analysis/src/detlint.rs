@@ -20,6 +20,7 @@
 //! | RL009 | blocking socket call patterns inside the epoll reactor |
 //! | RL010 | bare `thread::sleep` or hardcoded retry-duration consts in `crates/runtime` outside the policy module |
 //! | RL011 | lock-manager access on the MVCC snapshot-read path (storage `mvcc.rs`/`snapshot.rs`, and the `read_snapshot` body in `store.rs`) |
+//! | RL012 | raw `Transport::try_send`/`try_send_batch` calls in `crates/runtime` outside `transport.rs`/`nemesis.rs` (bypassing the per-link outbox) |
 //!
 //! Files are classified by path ([`FileClass`]): paths under
 //! `crates/runtime` or `crates/net` get the panic-freedom rule
@@ -79,6 +80,19 @@
 //! ban covers the body of `fn read_snapshot`, tracked by brace depth.
 //! The rest of `store.rs` legitimately owns the 2PL path; `#[cfg(test)]`
 //! regions are skipped the same way RL008 skips them.
+//!
+//! RL012 pins the propagation send funnel: every frame leaving a site
+//! must route through `Net::send`/`Net::send_batch` in
+//! `runtime/src/transport.rs`, which assigns the per-link sequence
+//! number and enrolls the payload in the unacked outbox *under one lane
+//! lock* — a raw `Transport::try_send` anywhere else would emit frames
+//! with no replay entry (lost on the first drop) or out of sequence
+//! (gap-dropped by the receiver's dedup discipline). `transport.rs`
+//! itself and the fault-injection shim `nemesis.rs` (which wraps the
+//! raw transport *below* the outbox) are the two sanctioned homes;
+//! trait-impl forwarding elsewhere carries `// replint: allow(RL012)`
+//! justifications. `#[cfg(test)]` regions are skipped the same way
+//! RL008 skips them.
 //!
 //! Any rule is silenced for one finding with a suppression comment on
 //! the same line or the line above: `// replint: allow(RL004)` (several
@@ -211,6 +225,13 @@ pub fn scan_file(path_label: &str, src: &str) -> Vec<Diagnostic> {
                     || path_label.contains("runtime\\src\\policy.rs");
                 if in_runtime && !is_policy {
                     scan_timing(src, &mut |c, m, l, t| emit(&mut diags, c, m, l, t));
+                }
+                let is_send_funnel = path_label.contains("runtime/src/transport.rs")
+                    || path_label.contains("runtime\\src\\transport.rs")
+                    || path_label.contains("runtime/src/nemesis.rs")
+                    || path_label.contains("runtime\\src\\nemesis.rs");
+                if in_runtime && !is_send_funnel {
+                    scan_raw_transport_send(src, &mut |c, m, l, t| emit(&mut diags, c, m, l, t));
                 }
             }
             FileClass::Exempt => return Vec::new(),
@@ -551,6 +572,67 @@ fn hardcoded_retry_const(code: &str) -> Option<String> {
         Some(ident)
     } else {
         None
+    }
+}
+
+/// Raw transport send patterns banned outside the outbox funnel.
+const RAW_SEND_PATTERNS: &[&str] = &[".try_send(", ".try_send_batch("];
+
+/// RL012: propagation sends route through the per-link outbox. A raw
+/// `Transport::try_send`/`try_send_batch` call anywhere in
+/// `crates/runtime` outside `transport.rs` (where `Net::send` and
+/// `Net::send_batch` assign sequence numbers and enroll payloads in the
+/// unacked outbox under one lane lock) and `nemesis.rs` (the fault shim
+/// wrapping the raw transport below the outbox) emits frames that the
+/// replay/dedup discipline never sees. `#[cfg(test)]` regions are
+/// skipped the same way RL008 skips them.
+fn scan_raw_transport_send(src: &str, emit: &mut dyn FnMut(&'static str, &str, u32, &str)) {
+    let mut region = TestRegion::Outside;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx as u32 + 1;
+        if line.starts_with("//") {
+            continue;
+        }
+        let code_part = strip_line_comment(raw);
+        let (opens, closes) = brace_count(code_part);
+        match region {
+            TestRegion::Outside => {
+                if code_part.contains("#[cfg(test)]") {
+                    region = TestRegion::AwaitBrace;
+                    continue;
+                }
+            }
+            TestRegion::AwaitBrace => {
+                if opens > 0 {
+                    let depth = opens - closes;
+                    region =
+                        if depth > 0 { TestRegion::Inside(depth) } else { TestRegion::Outside };
+                }
+                continue;
+            }
+            TestRegion::Inside(depth) => {
+                let depth = depth + opens - closes;
+                region = if depth > 0 { TestRegion::Inside(depth) } else { TestRegion::Outside };
+                continue;
+            }
+        }
+        for pat in RAW_SEND_PATTERNS {
+            if code_part.contains(pat) {
+                emit(
+                    "RL012",
+                    &format!(
+                        "raw transport send ({pat}) outside the outbox funnel: \
+                         frames sent here bypass sequence assignment and the \
+                         unacked replay buffer; route through Net::send / \
+                         Net::send_batch or justify with `// replint: allow(RL012)`"
+                    ),
+                    lineno,
+                    line,
+                );
+                break;
+            }
+        }
     }
 }
 
@@ -1183,5 +1265,37 @@ impl Store {
         assert!(scan_file("crates/storage/src/snapshot.rs", src).is_empty());
         let test_src = "#[cfg(test)]\nmod tests {\n    fn t(m: &LockManager) {}\n}\n";
         assert!(scan_file("crates/storage/src/mvcc.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn raw_transport_send_flagged_outside_funnel() {
+        let src = "let s = self.raw.try_send(from, to, seq, &payload);\n\
+                   let b = wire.try_send_batch(from, to, first, &payloads);\n";
+        let codes: Vec<_> =
+            scan_file("crates/runtime/src/site.rs", src).into_iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["RL012", "RL012"]);
+        let codes: Vec<_> =
+            scan_file("crates/runtime/src/reactor.rs", src).into_iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["RL012", "RL012"]);
+    }
+
+    #[test]
+    fn raw_transport_send_sanctioned_in_funnel_files() {
+        let src = "let s = self.raw.try_send(from, to, seq, &payload);\n";
+        // The outbox funnel itself and the fault shim below it.
+        assert!(scan_file("crates/runtime/src/transport.rs", src).is_empty());
+        assert!(scan_file("crates/runtime/src/nemesis.rs", src).is_empty());
+        // Other crates (the channel cluster's mpsc try_send, say) are
+        // out of RL012's scope entirely.
+        assert!(scan_file("crates/core/src/engine/mod.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rl012_allow_comment_and_cfg_test_honored() {
+        let src = "// replint: allow(RL012) -- trait forwarding, no outbox here\n\
+                   (**self).try_send(from, to, seq, payload)\n";
+        assert!(scan_file("crates/runtime/src/reactor.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { raw.try_send(f, t, s, &p); }\n}\n";
+        assert!(scan_file("crates/runtime/src/tcp.rs", test_src).is_empty());
     }
 }

@@ -526,6 +526,20 @@ impl World {
                         self.links.entry((site, to)).or_default().push_back(payload);
                     }
                 }
+                // A batch is definitionally the same payload sequence as
+                // the serial sends; the checker runs the default serial
+                // window, so seeing one at all is a machine bug — let
+                // the per-payload link checks judge it either way.
+                Command::SendBatch { to, payloads } => {
+                    for payload in payloads {
+                        if let Some(d) = self.check_link(site, to, &payload) {
+                            self.poisoned = true;
+                            diags.push(d);
+                        } else {
+                            self.links.entry((site, to)).or_default().push_back(payload);
+                        }
+                    }
+                }
                 Command::CommitLocal { gid } => self.commit_local(site, gid, diags),
                 Command::Apply { gid, writes } => {
                     if self.applier[site.index()].is_some() {
@@ -538,6 +552,26 @@ impl World {
                         continue;
                     }
                     self.applier[site.index()] = Some(PendingApply { gid, writes, prepare: false });
+                }
+                // The checker never widens the apply window, so a
+                // multi-admission is a protocol bug: unrolling it trips
+                // the single-slot oracle above on the second entry.
+                Command::ApplyMany { subs } => {
+                    for (gid, writes) in subs {
+                        if self.applier[site.index()].is_some() {
+                            self.poisoned = true;
+                            diags.push(Diagnostic::error(
+                                "MC006",
+                                format!(
+                                    "{site} issued ApplyMany({gid}) while its applier slot is busy"
+                                ),
+                                Witness::None,
+                            ));
+                            continue;
+                        }
+                        self.applier[site.index()] =
+                            Some(PendingApply { gid, writes, prepare: false });
+                    }
                 }
                 Command::Prepare { gid, writes, queued, .. } => {
                     if queued {

@@ -21,7 +21,7 @@ use repl_sim::SimDuration;
 
 /// Bump when an engine/workload change alters what a `(Params, seed)`
 /// point computes; every cached result is invalidated at once.
-pub const CACHE_VERSION: u32 = 4;
+pub const CACHE_VERSION: u32 = 5;
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 

@@ -93,6 +93,14 @@ pub struct DeployConfig {
     /// Group-commit batch size: WAL commit records are flushed every
     /// this-many update commits (1 = per-commit, the default).
     pub group_commit: Option<u64>,
+    /// Link-batching bound: coalesce up to this many same-destination
+    /// propagation payloads into one wire frame (1 = a frame per
+    /// payload, the default).
+    pub link_batch: Option<u64>,
+    /// Secondary apply-window width: how many non-conflicting replica
+    /// subtransactions one scheduling pass may admit together (1 = the
+    /// serial applier, the default).
+    pub apply_pool: Option<u64>,
     /// Site id → dial address for every peer. May be left empty when a
     /// launcher pushes the map over the client protocol instead.
     pub peers: AddressMap,
@@ -200,6 +208,18 @@ impl DeployConfig {
                             format!("line {lineno}: group_commit must be an integer")
                         })?);
                 }
+                "link_batch" => {
+                    cfg.link_batch =
+                        Some(value.parse().map_err(|_| {
+                            format!("line {lineno}: link_batch must be an integer")
+                        })?);
+                }
+                "apply_pool" => {
+                    cfg.apply_pool =
+                        Some(value.parse().map_err(|_| {
+                            format!("line {lineno}: apply_pool must be an integer")
+                        })?);
+                }
                 other => return Err(format!("line {lineno}: unknown key {other:?}")),
             }
         }
@@ -241,6 +261,12 @@ impl DeployConfig {
         }
         if flags.group_commit.is_some() {
             self.group_commit = flags.group_commit;
+        }
+        if flags.link_batch.is_some() {
+            self.link_batch = flags.link_batch;
+        }
+        if flags.apply_pool.is_some() {
+            self.apply_pool = flags.apply_pool;
         }
         for (site, addr) in flags.peers.entries() {
             self.peers.insert(*site, addr.clone());
@@ -291,6 +317,8 @@ mod tests {
             outbox_high_water = 4096
             mvcc = true
             group_commit = 8
+            link_batch = 8
+            apply_pool = 4
 
             [peers]
             0 = "127.0.0.1:7100"
@@ -308,6 +336,8 @@ mod tests {
         assert_eq!(cfg.outbox_high_water, Some(4096));
         assert_eq!(cfg.mvcc, Some(true));
         assert_eq!(cfg.group_commit, Some(8));
+        assert_eq!(cfg.link_batch, Some(8));
+        assert_eq!(cfg.apply_pool, Some(4));
         assert_eq!(cfg.peers.len(), 3);
         assert_eq!(cfg.peers.get(SiteId(2)), Some("127.0.0.1:7102"));
     }
@@ -329,6 +359,8 @@ mod tests {
             ("outbox_high_water = lots", "integer"),
             ("mvcc = \"yes\"", "true or false"),
             ("group_commit = \"many\"", "integer"),
+            ("link_batch = lots", "integer"),
+            ("apply_pool = wide", "integer"),
         ] {
             let err = DeployConfig::parse(text).unwrap_err();
             assert!(err.contains(needle), "{text:?} → {err:?} missing {needle:?}");

@@ -205,10 +205,12 @@ impl Engine {
         };
         if let Some(pid) = machine_protocol {
             for s in &mut sites {
-                s.machine = Some(
+                let mut m =
                     SiteMachine::new(s.id, pid, placement.clone(), graph.clone(), tree.clone())
-                        .expect("engine builds a tree for tree-routed protocols"),
-                );
+                        .expect("engine builds a tree for tree-routed protocols");
+                m.set_apply_window(params.apply_pool.max(1) as usize);
+                m.set_send_coalescing(params.batch_size > 1);
+                s.machine = Some(m);
             }
         }
 
@@ -365,6 +367,7 @@ impl Engine {
             Event::BackedgeStepDone { site, gid, idx } => {
                 self.backedge_step_done(now, site, gid, idx)
             }
+            Event::LinkFlush { from, to, gen } => self.link_flush(now, from, to, gen),
             Event::SiteCrash { .. } | Event::SiteRestart { .. } => unreachable!("handled above"),
         }
     }
@@ -377,6 +380,14 @@ impl Engine {
             Message::Link { from, payload } => {
                 let cmds = self.machine_input(to, Input::Deliver { from, payload });
                 self.run_commands(now, to, cmds);
+            }
+            Message::LinkBatch { from, payloads } => {
+                // One msg_cpu slice (charged above) covers the whole
+                // frame — the batching win on the receive path.
+                for payload in payloads {
+                    let cmds = self.machine_input(to, Input::Deliver { from, payload });
+                    self.run_commands(now, to, cmds);
+                }
             }
             Message::BackedgeAbortReq { gid } => self.recv_backedge_abort_req(now, to, gid),
             Message::RemoteLockReq { item, exclusive, value, gid, origin_site, origin_thread } => {
@@ -419,12 +430,24 @@ impl Engine {
         for cmd in cmds {
             match cmd {
                 ProtoCommand::Send { to, payload } => {
-                    self.note_sent(now, site, to, &payload);
-                    self.send(now, site, to, Message::Link { from: site, payload });
+                    self.queue_link(now, site, to, payload);
+                }
+                ProtoCommand::SendBatch { to, payloads } => {
+                    for payload in payloads {
+                        self.queue_link(now, site, to, payload);
+                    }
                 }
                 ProtoCommand::CommitLocal { gid } => self.commit_local_ready(now, site, gid),
                 ProtoCommand::Apply { gid, writes } => {
                     self.start_applier(now, site, gid, writes, false)
+                }
+                ProtoCommand::ApplyMany { subs } => {
+                    // Admission order = serial order; the appliers run
+                    // concurrently (write-disjoint) but commit in this
+                    // exact order, front-of-window first.
+                    for (gid, writes) in subs {
+                        self.start_applier(now, site, gid, writes, false);
+                    }
                 }
                 ProtoCommand::Prepare { gid, origin, writes, queued } => {
                     if queued {
@@ -453,6 +476,60 @@ impl Engine {
         }
     }
 
+    /// Route one machine-emitted link payload: straight onto the wire at
+    /// `batch_size = 1` (the seed path, byte-identical), otherwise into
+    /// the per-destination outbox lane, which flushes when it reaches
+    /// `batch_size` payloads or its `batch_linger` deadline fires.
+    fn queue_link(&mut self, now: SimTime, site: SiteId, to: SiteId, payload: Payload) {
+        self.note_sent(now, site, to, &payload);
+        if self.params.batch_size <= 1 {
+            self.send(now, site, to, Message::Link { from: site, payload });
+            return;
+        }
+        let lane = self.sites[site.index()].outbox.entry(to).or_default();
+        lane.payloads.push(payload);
+        let (len, gen) = (lane.payloads.len(), lane.gen);
+        if len >= self.params.batch_size as usize {
+            self.flush_lane(now, site, to);
+        } else if len == 1 {
+            // First payload into an empty lane: arm its linger deadline.
+            // A by-size flush bumps the gen, killing this event; the
+            // next fill arms a fresh one, so a non-empty lane always has
+            // exactly one live flush pending.
+            self.queue
+                .push_at(now + self.params.batch_linger, Event::LinkFlush { from: site, to, gen });
+        }
+    }
+
+    /// A lane's linger deadline fired.
+    pub(crate) fn link_flush(&mut self, now: SimTime, from: SiteId, to: SiteId, gen: u64) {
+        let live = self.sites[from.index()]
+            .outbox
+            .get(&to)
+            .map(|lane| lane.gen == gen && !lane.payloads.is_empty())
+            .unwrap_or(false);
+        if live {
+            self.flush_lane(now, from, to);
+        }
+    }
+
+    /// Put a lane's contents on the wire as one frame (a single payload
+    /// degrades to a plain [`Message::Link`] for parity with the unbatched
+    /// path) and bump its generation.
+    pub(crate) fn flush_lane(&mut self, now: SimTime, from: SiteId, to: SiteId) {
+        let Some(lane) = self.sites[from.index()].outbox.get_mut(&to) else { return };
+        let payloads = std::mem::take(&mut lane.payloads);
+        lane.gen += 1;
+        match payloads.len() {
+            0 => {}
+            1 => {
+                let payload = payloads.into_iter().next().expect("len checked");
+                self.send(now, from, to, Message::Link { from, payload });
+            }
+            _ => self.send(now, from, to, Message::LinkBatch { from, payloads }),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Shared helpers used by the protocol submodules.
     // ------------------------------------------------------------------
@@ -470,7 +547,7 @@ impl Engine {
             let owner = self.sites[site.index()].owner.get(&txn).copied();
             match owner {
                 Some(Owner::Primary { thread }) => self.resume_primary(now, site, thread),
-                Some(Owner::Secondary) => self.resume_secondary(now, site),
+                Some(Owner::Secondary) => self.resume_secondary(now, site, txn),
                 Some(Owner::Proxy { gid }) => self.resume_proxy(now, site, gid),
                 Some(Owner::Backedge { gid }) => self.resume_backedge_exec(now, site, gid),
                 None => {
@@ -538,7 +615,16 @@ impl Engine {
         let owner = self.sites[site.index()].owner.get(&victim).copied();
         match owner {
             Some(Owner::Primary { thread }) => self.abort_primary(now, site, thread, true),
-            Some(Owner::Secondary) => self.abort_and_resubmit_secondary(now, site),
+            Some(Owner::Secondary) => {
+                let gen = self.sites[site.index()]
+                    .appliers
+                    .iter()
+                    .find(|a| a.local == victim)
+                    .map(|a| a.gen);
+                if let Some(gen) = gen {
+                    self.abort_and_resubmit_secondary(now, site, gen);
+                }
+            }
             Some(Owner::Proxy { gid }) => self.deny_proxy(now, site, gid),
             Some(Owner::Backedge { .. }) | None => {
                 // Prepared backedge subtransactions never *wait*, so they
@@ -604,9 +690,12 @@ impl Engine {
                 .map(|m| m.queue_summary().iter().map(|(from, n)| format!("{from}:{n}")).collect())
                 .unwrap_or_default();
             eprintln!(
-                "site {}: applier={:?} queues=[{}] backedge_txns={:?} blocked_locks={}",
+                "site {}: appliers={:?} queues=[{}] backedge_txns={:?} blocked_locks={}",
                 st.id,
-                st.applier.as_ref().map(|a| (a.gid, a.special, a.blocked)),
+                st.appliers
+                    .iter()
+                    .map(|a| (a.gid, a.special, a.blocked, a.exec_done))
+                    .collect::<Vec<_>>(),
                 queues.join(","),
                 st.backedge_txns
                     .iter()

@@ -1,12 +1,18 @@
-//! The per-site applier: the driver half of secondary subtransactions.
+//! The per-site applier pool: the driver half of secondary
+//! subtransactions.
 //!
-//! Which subtransaction runs next — queue admission, DAG(T)'s
+//! Which subtransactions run next — queue admission, DAG(T)'s
 //! minimum-timestamp rule, dummy consumption, forwarding — is decided by
-//! the shared [`repl_protocol::SiteMachine`]. This module executes the
-//! machine's `Apply` commands against the simulated store: one secondary
-//! at a time (§3.2.3's simplifying assumption, also what FIFO commit
-//! order in DAG(WT) requires), CPU-costed per item write, blocking on
-//! the local lock manager.
+//! the shared [`repl_protocol::SiteMachine`] and its `ApplyScheduler`.
+//! This module executes the machine's `Apply`/`ApplyMany` commands
+//! against the simulated store: up to `SimParams::apply_pool`
+//! write-disjoint secondaries execute concurrently (their CPU slices
+//! interleave on the site CPU), but **commits happen strictly in
+//! admission order** — only the front of the window may commit, and
+//! 2PL holds every applier's locks until its commit — so the site's
+//! commit order equals the serial order the paper's protocols require
+//! (§2 FIFO, §3.2.3 minimum timestamp). At `apply_pool = 1` this is
+//! byte-identical to the classic one-at-a-time applier.
 //!
 //! A secondary aborted by a local deadlock is resubmitted until it
 //! succeeds, keeping its original arrival ordinal so the fair victim
@@ -16,6 +22,7 @@
 
 use repl_protocol::Input;
 use repl_sim::SimTime;
+use repl_storage::TxnId;
 use repl_types::{GlobalTxnId, ItemId, SiteId, StorageError, Value};
 
 use crate::config::{DeadlockMode, ProtocolKind};
@@ -26,8 +33,10 @@ use super::Engine;
 
 impl Engine {
     /// Execute a machine-issued `Apply` (or queued `Prepare`) command:
-    /// open a storage transaction in the applier slot and start writing.
-    /// The writes are already filtered to this site's copies.
+    /// open a storage transaction in an applier slot and start writing.
+    /// The writes are already filtered to this site's copies, and the
+    /// machine's scheduler guarantees everything concurrently admitted
+    /// is write-disjoint (specials only enter an empty window).
     pub(crate) fn start_applier(
         &mut self,
         now: SimTime,
@@ -37,7 +46,10 @@ impl Engine {
         special: bool,
     ) {
         let st = &mut self.sites[site.index()];
-        debug_assert!(st.applier.is_none(), "machine issued Apply while the applier is busy");
+        debug_assert!(
+            !special || st.appliers.is_empty(),
+            "machine admitted a special into a non-empty window"
+        );
         let local = st.store.begin();
         st.owner.insert(local, Owner::Secondary);
         let arrival_ord = st.next_arrival;
@@ -45,7 +57,7 @@ impl Engine {
         st.store.locks_mut().set_arrival(local, arrival_ord);
         st.applier_gen += 1;
         let gen = st.applier_gen;
-        st.applier = Some(ActiveSecondary {
+        st.appliers.push(ActiveSecondary {
             gid,
             writes,
             special,
@@ -54,16 +66,19 @@ impl Engine {
             arrival_ord,
             gen,
             blocked: false,
+            exec_done: false,
+            committing: false,
+            wait_seq: 0,
         });
-        self.exec_secondary_step(now, site);
+        self.exec_secondary_step(now, site, gen);
     }
 
-    /// Apply the next item write of the active secondary, or move to
-    /// commit/prepare when all writes are in.
-    fn exec_secondary_step(&mut self, now: SimTime, site: SiteId) {
-        let (local, gid, next, gen, special) = {
-            let a = self.sites[site.index()].applier.as_ref().expect("applier active");
-            (a.local, a.gid, a.writes.get(a.write_idx).cloned(), a.gen, a.special)
+    /// Apply the next item write of applier `gen`, or mark it executed
+    /// (commit happens when it reaches the front of the window).
+    fn exec_secondary_step(&mut self, now: SimTime, site: SiteId, gen: u64) {
+        let (local, gid, next, special) = {
+            let a = self.sites[site.index()].applier_by_gen(gen).expect("applier active");
+            (a.local, a.gid, a.writes.get(a.write_idx).cloned(), a.special)
         };
         match next {
             Some((item, value)) => {
@@ -74,9 +89,11 @@ impl Engine {
                     }
                     Err(StorageError::WouldBlock(_)) => {
                         let st = &mut self.sites[site.index()];
-                        st.applier.as_mut().unwrap().blocked = true;
                         st.sec_wait_seq += 1;
                         let seq = st.sec_wait_seq;
+                        let a = st.applier_by_gen(gen).expect("applier active");
+                        a.blocked = true;
+                        a.wait_seq = seq;
                         // Timeout in both modes (global-deadlock backstop).
                         self.schedule_timeout(now, site, TimeoutScope::Secondary, seq);
                         if self.params.deadlock_mode == DeadlockMode::WaitsFor {
@@ -91,112 +108,139 @@ impl Engine {
                     // BackEdge: prepare + forward, never commit here.
                     self.special_executed(now, site);
                 } else {
-                    let at = self.sites[site.index()].cpu.run(now, self.params.commit_cpu);
-                    self.queue.push_at(at, Event::SecondaryCommitDone { site, gen });
+                    let a = self.sites[site.index()].applier_by_gen(gen).expect("applier active");
+                    a.exec_done = true;
+                    self.maybe_commit_front(now, site);
                 }
             }
         }
     }
 
+    /// Start the commit CPU slice for the front applier if it has
+    /// finished executing. Commits are admission-order only: a later
+    /// applier that finished first parks (holding its locks) until it
+    /// becomes the front.
+    fn maybe_commit_front(&mut self, now: SimTime, site: SiteId) {
+        let gen = {
+            let Some(a) = self.sites[site.index()].appliers.first_mut() else { return };
+            if !a.exec_done || a.committing {
+                return;
+            }
+            a.committing = true;
+            a.gen
+        };
+        let at = self.sites[site.index()].cpu.run(now, self.params.commit_cpu);
+        self.queue.push_at(at, Event::SecondaryCommitDone { site, gen });
+    }
+
     pub(crate) fn secondary_step_done(&mut self, now: SimTime, site: SiteId, gen: u64) {
         let valid = self.sites[site.index()]
-            .applier
-            .as_ref()
-            .map(|a| a.gen == gen && !a.blocked)
+            .applier_by_gen(gen)
+            .map(|a| !a.blocked && !a.exec_done)
             .unwrap_or(false);
         if !valid {
             return;
         }
-        self.sites[site.index()].applier.as_mut().unwrap().write_idx += 1;
-        self.exec_secondary_step(now, site);
+        self.sites[site.index()].applier_by_gen(gen).expect("validated").write_idx += 1;
+        self.exec_secondary_step(now, site, gen);
     }
 
-    /// The applier's blocked lock request was granted.
-    pub(crate) fn resume_secondary(&mut self, now: SimTime, site: SiteId) {
-        let resumable = self.sites[site.index()]
-            .applier
-            .as_mut()
-            .map(|a| {
-                let was = a.blocked;
-                a.blocked = false;
-                was
-            })
-            .unwrap_or(false);
-        if resumable {
-            self.sites[site.index()].sec_wait_seq += 1;
-            self.exec_secondary_step(now, site);
-        }
+    /// The blocked lock request of the applier running transaction `txn`
+    /// was granted.
+    pub(crate) fn resume_secondary(&mut self, now: SimTime, site: SiteId, txn: TxnId) {
+        let gen = {
+            let st = &mut self.sites[site.index()];
+            let Some(a) = st.appliers.iter_mut().find(|a| a.local == txn) else { return };
+            if !a.blocked {
+                return;
+            }
+            a.blocked = false;
+            a.gen
+        };
+        self.exec_secondary_step(now, site, gen);
     }
 
     pub(crate) fn secondary_timeout(&mut self, now: SimTime, site: SiteId, wait_seq: u64) {
-        let blocked = self.sites[site.index()]
-            .applier
-            .as_ref()
-            .map(|a| a.blocked && self.sites[site.index()].sec_wait_seq == wait_seq)
-            .unwrap_or(false);
-        if !blocked {
-            return;
-        }
+        let Some(gen) = self.sites[site.index()]
+            .appliers
+            .iter()
+            .find(|a| a.blocked && a.wait_seq == wait_seq)
+            .map(|a| a.gen)
+        else {
+            return; // resumed or resubmitted since; the timeout is stale
+        };
         if self.params.protocol == ProtocolKind::BackEdge {
             // §4.1: if the blocker is an eager-phase participant, that
             // participant is the deadlock victim, not this secondary.
-            let local = self.sites[site.index()].applier.as_ref().unwrap().local;
+            let local = self.sites[site.index()].applier_by_gen(gen).expect("found above").local;
             self.break_backedge_blockers(now, site, local);
             let still_blocked =
-                self.sites[site.index()].applier.as_ref().map(|a| a.blocked).unwrap_or(false);
+                self.sites[site.index()].applier_by_gen(gen).map(|a| a.blocked).unwrap_or(false);
             if !still_blocked {
                 return;
             }
         }
-        self.abort_and_resubmit_secondary(now, site);
+        self.abort_and_resubmit_secondary(now, site, gen);
     }
 
-    /// Deadlock-abort the active secondary and immediately resubmit it
-    /// (§2: "repeatedly resubmitted until it succeeds"), keeping its
-    /// arrival ordinal for fair victim selection. The machine's `Apply`
-    /// stays outstanding across resubmissions, so it needs no input here.
-    pub(crate) fn abort_and_resubmit_secondary(&mut self, now: SimTime, site: SiteId) {
-        let (old_local, arrival_ord) = {
-            let st = &mut self.sites[site.index()];
-            let a = st.applier.as_mut().expect("resubmit without applier");
-            (a.local, a.arrival_ord)
-        };
-        self.sites[site.index()].owner.remove(&old_local);
-        let granted =
-            self.sites[site.index()].store.abort(old_local).expect("abort live secondary");
-        self.resume_granted(now, site, granted);
+    /// Deadlock-abort applier `gen` and immediately resubmit it (§2:
+    /// "repeatedly resubmitted until it succeeds"), keeping its arrival
+    /// ordinal for fair victim selection. Every applier admitted *after*
+    /// it is aborted and resubmitted too: later appliers hold their
+    /// locks while waiting for the front to commit, an edge the lock
+    /// waits-for graph cannot see, so releasing the whole tail is what
+    /// guarantees the cycle is broken. At `apply_pool = 1` this is
+    /// exactly the classic single-applier resubmit. The machine's
+    /// `Apply` commands stay outstanding across resubmissions, so it
+    /// needs no input here.
+    pub(crate) fn abort_and_resubmit_secondary(&mut self, now: SimTime, site: SiteId, gen: u64) {
         let st = &mut self.sites[site.index()];
-        if st.applier.is_none() {
-            return;
+        let Some(start) = st.appliers.iter().position(|a| a.gen == gen) else { return };
+        let tail_gens: Vec<u64> = st.appliers[start..].iter().map(|a| a.gen).collect();
+        let mut granted_all = Vec::new();
+        for k in (start..st.appliers.len()).rev() {
+            let local = st.appliers[k].local;
+            st.owner.remove(&local);
+            let granted = st.store.abort(local).expect("abort live secondary");
+            granted_all.extend(granted);
         }
-        let local = st.store.begin();
-        st.owner.insert(local, Owner::Secondary);
-        st.store.locks_mut().set_arrival(local, arrival_ord);
-        st.applier_gen += 1;
-        let gen = st.applier_gen;
-        let a = st.applier.as_mut().unwrap();
-        a.local = local;
-        a.write_idx = 0;
-        a.blocked = false;
-        a.gen = gen;
-        st.sec_wait_seq += 1;
-        self.exec_secondary_step(now, site);
+        self.resume_granted(now, site, granted_all);
+        for g in tail_gens {
+            let st = &mut self.sites[site.index()];
+            // The applier can vanish while earlier grants cascade (e.g.
+            // a BackEdge decision clearing a prepared special).
+            let Some(idx) = st.appliers.iter().position(|a| a.gen == g) else { continue };
+            let arrival_ord = st.appliers[idx].arrival_ord;
+            let local = st.store.begin();
+            st.owner.insert(local, Owner::Secondary);
+            st.store.locks_mut().set_arrival(local, arrival_ord);
+            st.applier_gen += 1;
+            let new_gen = st.applier_gen;
+            let a = &mut st.appliers[idx];
+            a.local = local;
+            a.write_idx = 0;
+            a.blocked = false;
+            a.exec_done = false;
+            a.committing = false;
+            a.gen = new_gen;
+            a.wait_seq = 0;
+            self.exec_secondary_step(now, site, new_gen);
+        }
     }
 
-    /// The active secondary committed: free the applier, record metrics,
-    /// and tell the machine — it merges timestamps, forwards down the
-    /// tree, and pumps the next subtransaction.
+    /// The front applier committed: pop it from the window, record
+    /// metrics, and tell the machine — it merges timestamps, forwards
+    /// down the tree, and pumps the next subtransactions.
     pub(crate) fn secondary_commit_done(&mut self, now: SimTime, site: SiteId, gen: u64) {
         let valid = self.sites[site.index()]
-            .applier
-            .as_ref()
-            .map(|a| a.gen == gen && !a.blocked)
+            .appliers
+            .first()
+            .map(|a| a.gen == gen && a.committing)
             .unwrap_or(false);
         if !valid {
             return;
         }
-        let a = self.sites[site.index()].applier.take().expect("validated");
-        self.sites[site.index()].applier_gen += 1;
+        let a = self.sites[site.index()].appliers.remove(0);
         self.sites[site.index()].owner.remove(&a.local);
         let (_, granted) =
             self.sites[site.index()].store.commit(a.local).expect("commit live secondary");
@@ -207,8 +251,11 @@ impl Engine {
             self.sites[site.index()].wal_len += a.writes.len() as u64;
         }
 
+        // Applied is fed in admission order because only the front ever
+        // commits — exactly the serial order the machine expects.
         let cmds = self.machine_input(site, Input::Applied { gid: a.gid });
         self.run_commands(now, site, cmds);
+        self.maybe_commit_front(now, site);
     }
 
     // ------------------------------------------------------------------

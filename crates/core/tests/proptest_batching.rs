@@ -1,0 +1,218 @@
+//! Property-based batching-identity tests: coalescing propagation
+//! payloads into link batches and applying write-disjoint secondary
+//! subtransactions through a parallel apply window is a pure
+//! *scheduling* optimization — for conflict-free workloads (the final
+//! image is fixed by per-site submission order alone) the batched
+//! engine must end in **byte-identical** final copy state to the
+//! serial `batch_size = 1, apply_pool = 1` control, per value *and*
+//! per writer transaction id, on every copy of every item, for all
+//! four propagation protocols.
+
+use proptest::prelude::*;
+
+use repl_copygraph::{CopyGraph, DataPlacement};
+use repl_core::config::{ProtocolKind, SimParams};
+use repl_core::engine::Engine;
+use repl_sim::SimDuration;
+use repl_types::{Op, SiteId};
+
+/// A generated placement: site count plus per-item (primary, replica
+/// bitmask) pairs — the same shape `proptest_protocols.rs` sweeps.
+#[derive(Debug, Clone)]
+struct ArbPlacement {
+    num_sites: u32,
+    items: Vec<(u32, u32)>,
+    forward_only: bool,
+}
+
+impl ArbPlacement {
+    fn build(&self) -> DataPlacement {
+        let mut p = DataPlacement::new(self.num_sites);
+        for &(primary, mask) in &self.items {
+            let primary = primary % self.num_sites;
+            let replicas: Vec<SiteId> = (0..self.num_sites)
+                .filter(|&s| {
+                    s != primary && mask & (1 << s) != 0 && (!self.forward_only || s > primary)
+                })
+                .map(SiteId)
+                .collect();
+            p.add_item(SiteId(primary), &replicas);
+        }
+        p
+    }
+}
+
+fn arb_placement(forward_only: bool) -> impl Strategy<Value = ArbPlacement> {
+    (2u32..=5, prop::collection::vec((0u32..5, 0u32..32), 4..16))
+        .prop_map(move |(num_sites, items)| ArbPlacement { num_sites, items, forward_only })
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One thread per site, each transaction writing one or two of the
+/// site's *own* primary items with seed-derived values — the
+/// differential matrix's conflict-free construction, under which the
+/// final image is independent of lock schedules and message timing.
+fn conflict_free_programs(
+    placement: &DataPlacement,
+    txns_per_site: u32,
+    seed: u64,
+) -> Vec<Vec<Vec<Vec<Op>>>> {
+    let mut state = seed;
+    (0..placement.num_sites())
+        .map(|s| {
+            let primaries = placement.primaries_at(SiteId(s));
+            let txns: Vec<Vec<Op>> = if primaries.is_empty() {
+                Vec::new()
+            } else {
+                (0..txns_per_site)
+                    .map(|_| {
+                        let width = 1 + (splitmix64(&mut state) % 2) as usize;
+                        let mut ops: Vec<Op> = Vec::new();
+                        for _ in 0..width {
+                            let item = primaries[splitmix64(&mut state) as usize % primaries.len()];
+                            let value = (splitmix64(&mut state) % 100_000) as i64;
+                            if !ops.iter().any(|o| o.item == item) {
+                                ops.push(Op::write(item, value));
+                            }
+                        }
+                        ops
+                    })
+                    .collect()
+            };
+            vec![txns]
+        })
+        .collect()
+}
+
+/// One copy's final state: `((site, item), (value, writer))`.
+type CopyImage =
+    Vec<((u32, repl_types::ItemId), (repl_types::Value, Option<repl_types::GlobalTxnId>))>;
+
+/// Run the programs under `params` and return every copy's final
+/// `(value, writer)` image, site-major then item order.
+fn run_image(
+    placement: &DataPlacement,
+    params: &SimParams,
+    progs: &[Vec<Vec<Vec<Op>>>],
+) -> Result<CopyImage, TestCaseError> {
+    let mut engine = Engine::new(placement, params, progs.to_vec())
+        .map_err(|e| TestCaseError::fail(format!("build failed: {e}")))?;
+    let report = engine.run();
+    prop_assert!(!report.stalled, "{:?} stalled", params.protocol);
+    prop_assert_eq!(report.summary.incomplete_propagations, 0);
+    prop_assert_eq!(
+        report.summary.aborts,
+        0,
+        "{:?}: conflict-free workload aborted",
+        params.protocol
+    );
+    let mut image = Vec::new();
+    for s in 0..placement.num_sites() {
+        let site = SiteId(s);
+        let mut items = placement.items_at(site).to_vec();
+        items.sort_unstable();
+        for item in items {
+            let cell = engine.value_at(site, item).expect("copy exists");
+            image.push(((s, item), cell));
+        }
+    }
+    Ok(image)
+}
+
+fn check_batched_matches_serial(
+    protocol: ProtocolKind,
+    placement: &DataPlacement,
+    batch_size: u32,
+    apply_pool: u32,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let mut serial = SimParams::quick_test(protocol);
+    serial.threads_per_site = 1;
+    serial.txns_per_thread = 8;
+    // The sim-side eager timeout retries under a fresh gid, which would
+    // skew writer ids between runs; it can never fire on a
+    // conflict-free workload.
+    serial.eager_wait_timeout_factor = 1_000_000;
+    let mut batched = serial.clone();
+    batched.batch_size = batch_size;
+    batched.apply_pool = apply_pool;
+    batched.batch_linger = SimDuration::millis(1);
+
+    let progs = conflict_free_programs(placement, 8, seed);
+    let serial_image = run_image(placement, &serial, &progs)?;
+    let batched_image = run_image(placement, &batched, &progs)?;
+    prop_assert_eq!(
+        serial_image,
+        batched_image,
+        "{:?}: batch {} x pool {} diverged from serial",
+        protocol,
+        batch_size,
+        apply_pool
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// DAG(WT): coalesced FIFO-per-parent streams with a parallel apply
+    /// window end byte-identical to the serial applier.
+    #[test]
+    fn dag_wt_batched_matches_serial(
+        p in arb_placement(true),
+        batch in 2u32..=16,
+        pool in 2u32..=4,
+        seed in 0u64..1000,
+    ) {
+        let placement = p.build();
+        prop_assume!(CopyGraph::from_placement(&placement).is_dag());
+        check_batched_matches_serial(ProtocolKind::DagWt, &placement, batch, pool, seed)?;
+    }
+
+    /// DAG(T): batching must not reorder the timestamp merge — dummies
+    /// and epoch barriers stay barriers inside the apply window.
+    #[test]
+    fn dag_t_batched_matches_serial(
+        p in arb_placement(true),
+        batch in 2u32..=16,
+        pool in 2u32..=4,
+        seed in 0u64..1000,
+    ) {
+        let placement = p.build();
+        prop_assume!(CopyGraph::from_placement(&placement).is_dag());
+        check_batched_matches_serial(ProtocolKind::DagT, &placement, batch, pool, seed)?;
+    }
+
+    /// BackEdge: the eager special phase and the lazy tree phase both
+    /// survive coalescing, on cyclic placements too.
+    #[test]
+    fn backedge_batched_matches_serial(
+        p in arb_placement(false),
+        batch in 2u32..=16,
+        pool in 2u32..=4,
+        seed in 0u64..1000,
+    ) {
+        let placement = p.build();
+        check_batched_matches_serial(ProtocolKind::BackEdge, &placement, batch, pool, seed)?;
+    }
+
+    /// NaiveLazy: even the strawman's indiscriminate propagation is
+    /// batched without changing its (per-link FIFO) outcome.
+    #[test]
+    fn naive_lazy_batched_matches_serial(
+        p in arb_placement(false),
+        batch in 2u32..=16,
+        pool in 2u32..=4,
+        seed in 0u64..1000,
+    ) {
+        let placement = p.build();
+        check_batched_matches_serial(ProtocolKind::NaiveLazy, &placement, batch, pool, seed)?;
+    }
+}

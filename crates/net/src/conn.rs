@@ -17,8 +17,19 @@ pub const MAGIC: u32 = 0x5250_4C4E;
 /// Lowest wire-protocol version this build speaks.
 pub const VERSION_MIN: u16 = 1;
 
-/// Highest wire-protocol version this build speaks.
-pub const VERSION_MAX: u16 = 1;
+/// Highest wire-protocol version this build speaks. Version 2 adds the
+/// [`WireMsg::Batch`] frame (coalesced link payloads, one cumulative ack
+/// per batch); a version-1 peer never receives one.
+///
+/// [`WireMsg::Batch`]: crate::msg::WireMsg::Batch
+pub const VERSION_MAX: u16 = 2;
+
+/// First protocol version that understands [`WireMsg::Batch`]; a
+/// connection negotiated below this must carry one `Link` frame per
+/// payload.
+///
+/// [`WireMsg::Batch`]: crate::msg::WireMsg::Batch
+pub const VERSION_BATCH: u16 = 2;
 
 /// Why a handshake failed.
 #[derive(Debug)]

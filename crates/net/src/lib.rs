@@ -32,11 +32,14 @@ pub mod conn;
 pub mod frame;
 pub mod msg;
 
-pub use conn::{client_handshake, negotiate, HandshakeError, MAGIC, VERSION_MAX, VERSION_MIN};
+pub use conn::{
+    client_handshake, negotiate, HandshakeError, MAGIC, VERSION_BATCH, VERSION_MAX, VERSION_MIN,
+};
 pub use frame::{
     decode_framed, encode_framed, read_msg, write_msg, FrameReader, ReadError, MAX_FRAME_LEN,
 };
 pub use msg::{
-    cluster_fingerprint, decode_cells, encode_cells, ClientMsg, ClientReply, ExecError, Hello,
-    HelloAck, HistoryTxn, NetError, Payload, Subtxn, SubtxnKind, WireMsg,
+    batch_messages, cluster_fingerprint, decode_cells, encode_cells, ClientMsg, ClientReply,
+    ExecError, Hello, HelloAck, HistoryTxn, NetError, Payload, Subtxn, SubtxnKind, WireMsg,
+    MAX_BATCH_PAYLOADS,
 };

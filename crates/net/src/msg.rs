@@ -14,6 +14,7 @@
 //! | 5 | `Ack` (seq) | accepter → dialer |
 //! | 6 | [`ClientMsg`] | client → repld |
 //! | 7 | [`ClientReply`] | repld → client |
+//! | 8 | `Batch` (first_seq + N [`Payload`]s) | dialer → accepter, version ≥ 2 |
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -207,11 +208,24 @@ pub enum WireMsg {
         /// The payload.
         payload: Payload,
     },
-    /// Cumulative acknowledgement: every `Link` frame with sequence ≤
-    /// `seq` received on this connection has been accepted durably.
+    /// Cumulative acknowledgement: every link sequence ≤ `seq` received
+    /// on this connection has been accepted durably (one ack covers a
+    /// whole [`WireMsg::Batch`]).
     Ack {
         /// The acknowledged high-water mark.
         seq: u64,
+    },
+    /// Several consecutive link messages coalesced into one frame
+    /// (negotiated version ≥ 2 only): the payloads carry sequence
+    /// numbers `first_seq`, `first_seq + 1`, …, `first_seq + N - 1`, and
+    /// the receiver answers with a single cumulative [`WireMsg::Ack`]
+    /// for the last of them. Decoding caps `N` at
+    /// [`MAX_BATCH_PAYLOADS`]; senders must split, not hope.
+    Batch {
+        /// Sequence number of the first payload on the link.
+        first_seq: u64,
+        /// The coalesced payloads, in sequence order (≥ 1).
+        payloads: Vec<Payload>,
     },
     /// A client request.
     Client(ClientMsg),
@@ -230,9 +244,16 @@ impl WireMsg {
             WireMsg::Ack { .. } => "Ack",
             WireMsg::Client(_) => "Client",
             WireMsg::Reply(_) => "Reply",
+            WireMsg::Batch { .. } => "Batch",
         }
     }
 }
+
+/// Hard cap on the payload count of one [`WireMsg::Batch`]. A decoded
+/// count past this is rejected as [`NetError::Oversized`] before any
+/// payload is parsed, bounding allocation from hostile length prefixes;
+/// senders split batches at this count (and at the frame cap) instead.
+pub const MAX_BATCH_PAYLOADS: usize = 4096;
 
 // ---------------------------------------------------------------------
 // Encoding
@@ -661,6 +682,18 @@ impl WireMsg {
                 buf.put_u8(7);
                 put_reply(&mut buf, reply);
             }
+            WireMsg::Batch { first_seq, payloads } => {
+                debug_assert!(
+                    !payloads.is_empty() && payloads.len() <= MAX_BATCH_PAYLOADS,
+                    "batch senders split before encoding"
+                );
+                buf.put_u8(8);
+                buf.put_u64(*first_seq);
+                buf.put_u32(payloads.len() as u32);
+                for payload in payloads {
+                    put_payload(&mut buf, payload);
+                }
+            }
         }
         buf.freeze()
     }
@@ -702,6 +735,21 @@ impl WireMsg {
             5 => WireMsg::Ack { seq: codec::get_u64(&mut buf)? },
             6 => WireMsg::Client(get_client(&mut buf)?),
             7 => WireMsg::Reply(get_reply(&mut buf)?),
+            8 => {
+                let first_seq = codec::get_u64(&mut buf)?;
+                let n = codec::get_u32(&mut buf)? as usize;
+                if n == 0 || n > MAX_BATCH_PAYLOADS {
+                    // An oversized count is rejected outright — not
+                    // silently split — so both ends keep identical
+                    // sequence accounting.
+                    return Err(NetError::Oversized(n as u64));
+                }
+                let mut payloads = Vec::with_capacity(n.min(buf.len() / 8).max(1));
+                for _ in 0..n {
+                    payloads.push(get_payload(&mut buf)?);
+                }
+                WireMsg::Batch { first_seq, payloads }
+            }
             t => return Err(NetError::BadTag(t)),
         };
         if !buf.is_empty() {
@@ -710,6 +758,49 @@ impl WireMsg {
             return Err(NetError::BadTag(0));
         }
         Ok(msg)
+    }
+}
+
+/// Pack a run of consecutive link payloads (first one carrying sequence
+/// `first_seq`) into wire messages for a version ≥ 2 connection: a run
+/// of one stays a plain [`WireMsg::Link`]; longer runs become
+/// [`WireMsg::Batch`] frames, split so no batch holds more than
+/// [`MAX_BATCH_PAYLOADS`] payloads or encodes past the frame cap.
+pub fn batch_messages(first_seq: u64, payloads: Vec<Payload>) -> Vec<WireMsg> {
+    // Tag + first_seq + count; what the batch wrapper itself costs.
+    const BATCH_HEADER: usize = 1 + 8 + 4;
+    let budget = crate::frame::MAX_FRAME_LEN as usize - BATCH_HEADER;
+    let mut out = Vec::new();
+    let mut seq = first_seq;
+    let mut run: Vec<Payload> = Vec::new();
+    let mut run_bytes = 0usize;
+    for payload in payloads {
+        let mut scratch = BytesMut::new();
+        put_payload(&mut scratch, &payload);
+        let sz = scratch.len();
+        if !run.is_empty() && (run_bytes + sz > budget || run.len() >= MAX_BATCH_PAYLOADS) {
+            seq = flush_run(&mut out, seq, std::mem::take(&mut run));
+            run_bytes = 0;
+        }
+        run.push(payload);
+        run_bytes += sz;
+    }
+    flush_run(&mut out, seq, run);
+    out
+}
+
+fn flush_run(out: &mut Vec<WireMsg>, seq: u64, mut run: Vec<Payload>) -> u64 {
+    match run.len() {
+        0 => seq,
+        1 => {
+            // replint: allow(RL008) -- len matched as 1 on the arm above
+            out.push(WireMsg::Link { seq, payload: run.pop().expect("len checked") });
+            seq + 1
+        }
+        n => {
+            out.push(WireMsg::Batch { first_seq: seq, payloads: run });
+            seq + n as u64
+        }
     }
 }
 
@@ -796,6 +887,38 @@ mod tests {
     }
 
     #[test]
+    fn batch_roundtrips() {
+        roundtrip(WireMsg::Batch {
+            first_seq: 41,
+            payloads: vec![
+                Payload::Subtxn(Subtxn {
+                    gid: GlobalTxnId::new(SiteId(1), 44),
+                    origin: SiteId(1),
+                    kind: SubtxnKind::Normal,
+                    ts: None,
+                    writes: vec![(ItemId(0), Value::int(7))],
+                    dest_sites: vec![SiteId(0)],
+                }),
+                Payload::Decision { gid: GlobalTxnId::new(SiteId(0), 7), commit: false },
+            ],
+        });
+    }
+
+    #[test]
+    fn oversized_or_empty_batch_rejected() {
+        for n in [0u32, (MAX_BATCH_PAYLOADS + 1) as u32] {
+            let mut raw = BytesMut::new();
+            raw.put_u8(8);
+            raw.put_u64(5);
+            raw.put_u32(n);
+            assert!(matches!(
+                WireMsg::decode(raw.freeze()),
+                Err(NetError::Oversized(m)) if m == u64::from(n)
+            ));
+        }
+    }
+
+    #[test]
     fn client_roundtrips() {
         roundtrip(WireMsg::Client(ClientMsg::Execute(vec![
             Op::write(ItemId(1), 9),
@@ -865,6 +988,33 @@ mod tests {
         let mut raw = WireMsg::Ack { seq: 1 }.encode().to_vec();
         raw.push(0);
         assert!(WireMsg::decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn batch_messages_split_and_keep_sequences_contiguous() {
+        let decision =
+            |n: u64| Payload::Decision { gid: GlobalTxnId::new(SiteId(0), n), commit: true };
+        // A run of one degrades to a plain Link.
+        let msgs = batch_messages(7, vec![decision(0)]);
+        assert!(matches!(msgs.as_slice(), [WireMsg::Link { seq: 7, .. }]));
+        // A run past the payload cap splits; sequences stay contiguous.
+        let n = MAX_BATCH_PAYLOADS + 3;
+        let msgs = batch_messages(100, (0..n as u64).map(decision).collect());
+        assert_eq!(msgs.len(), 2);
+        match (&msgs[0], &msgs[1]) {
+            (
+                WireMsg::Batch { first_seq: a, payloads: pa },
+                WireMsg::Batch { first_seq: b, payloads: pb },
+            ) => {
+                assert_eq!((*a, pa.len()), (100, MAX_BATCH_PAYLOADS));
+                assert_eq!((*b, pb.len()), (100 + MAX_BATCH_PAYLOADS as u64, 3));
+            }
+            other => panic!("unexpected split: {other:?}"),
+        }
+        // Every emitted frame fits the frame cap.
+        for m in &msgs {
+            assert!(m.encode().len() <= crate::frame::MAX_FRAME_LEN as usize);
+        }
     }
 
     #[test]

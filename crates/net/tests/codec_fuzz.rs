@@ -6,8 +6,8 @@ use bytes::{BufMut, Bytes, BytesMut};
 use proptest::prelude::*;
 
 use repl_net::{
-    decode_framed, encode_framed, ClientMsg, ClientReply, ExecError, Hello, HelloAck, Payload,
-    Subtxn, SubtxnKind, WireMsg, MAX_FRAME_LEN,
+    batch_messages, decode_framed, encode_framed, ClientMsg, ClientReply, ExecError, Hello,
+    HelloAck, NetError, Payload, Subtxn, SubtxnKind, WireMsg, MAX_BATCH_PAYLOADS, MAX_FRAME_LEN,
 };
 use repl_protocol::timestamp::Timestamp;
 use repl_types::{GlobalTxnId, ItemId, Op, SiteId, Value};
@@ -75,6 +75,12 @@ fn arb_msg() -> BoxedStrategy<WireMsg> {
             WireMsg::Link { seq, payload: Payload::Decision { gid, commit } }
         }),
         (0u64..u64::MAX).prop_map(|seq| WireMsg::Ack { seq }),
+        (0u64..u64::MAX, prop::collection::vec(arb_subtxn(), 1..5)).prop_map(
+            |(first_seq, subs)| WireMsg::Batch {
+                first_seq,
+                payloads: subs.into_iter().map(Payload::Subtxn).collect(),
+            }
+        ),
         prop::collection::vec((0u32..16, i64::MIN..i64::MAX), 0..4).prop_map(|ws| {
             WireMsg::Client(ClientMsg::Execute(
                 ws.into_iter().map(|(i, v)| Op::write(ItemId(i), v)).collect(),
@@ -178,6 +184,64 @@ fn inner_count_headers_are_distrusted() {
     buf.put_u8(0); // ts None
     buf.put_u32(u32::MAX); // writes count — hostile
     assert!(WireMsg::decode(buf.freeze()).is_err());
+}
+
+#[test]
+fn hostile_batch_counts_are_rejected_not_split() {
+    // A Batch claiming more payloads than the cap must be refused as
+    // Oversized before any payload parses — never silently truncated or
+    // split, which would desynchronize the two ends' sequence counters.
+    let mut buf = BytesMut::new();
+    buf.put_u8(8); // Batch
+    buf.put_u64(9); // first_seq
+    buf.put_u32((MAX_BATCH_PAYLOADS as u32) + 1); // hostile count
+    for _ in 0..8 {
+        buf.put_u8(2); // a few plausible decision payload bytes
+    }
+    assert!(matches!(WireMsg::decode(buf.freeze()), Err(NetError::Oversized(_))));
+
+    // A truncated but in-cap count fails as Truncated, still no panic.
+    let mut buf = BytesMut::new();
+    buf.put_u8(8);
+    buf.put_u64(9);
+    buf.put_u32(3);
+    assert!(WireMsg::decode(buf.freeze()).is_err());
+}
+
+#[test]
+fn batch_messages_never_emit_over_cap_frames() {
+    // The sender-side splitter must keep every frame under both caps
+    // even for bulky payloads.
+    let bulky: Vec<Payload> = (0..64)
+        .map(|i| {
+            Payload::Subtxn(Subtxn {
+                gid: GlobalTxnId::new(SiteId(0), i),
+                origin: SiteId(0),
+                kind: SubtxnKind::Normal,
+                ts: None,
+                writes: (0..2048).map(|j| (ItemId(j), Value::Bytes(vec![7u8; 16]))).collect(),
+                dest_sites: vec![SiteId(1)],
+            })
+        })
+        .collect();
+    let msgs = batch_messages(5, bulky);
+    let mut next_seq = 5;
+    for m in &msgs {
+        assert!(m.encode().len() <= MAX_FRAME_LEN as usize, "frame over cap");
+        match m {
+            WireMsg::Link { seq, .. } => {
+                assert_eq!(*seq, next_seq);
+                next_seq += 1;
+            }
+            WireMsg::Batch { first_seq, payloads } => {
+                assert_eq!(*first_seq, next_seq);
+                assert!(payloads.len() <= MAX_BATCH_PAYLOADS);
+                next_seq += payloads.len() as u64;
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+    }
+    assert_eq!(next_seq, 5 + 64);
 }
 
 #[test]

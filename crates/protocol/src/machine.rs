@@ -38,6 +38,7 @@ use repl_types::{GlobalTxnId, ItemId, SiteId, Value};
 use crate::digest::StableDigest;
 use crate::digest::{digest_gid, digest_site, digest_subtxn, digest_timestamp, digest_writes};
 use crate::route::{destinations, dummy_gid, writes_for_site};
+use crate::sched::{ApplyScheduler, InFlight};
 use crate::timestamp::Timestamp;
 use crate::wire::{Payload, Subtxn, SubtxnKind};
 
@@ -244,6 +245,30 @@ pub enum Command {
         /// The payload to ship.
         payload: Payload,
     },
+    /// Ship `payloads` on the reliable FIFO link to `to`, in order, as
+    /// one coalesced batch (one link frame, one Ack). Equivalent to the
+    /// same sequence of [`Command::Send`]s; emitted only when the driver
+    /// opted in via [`SiteMachine::set_send_coalescing`], and only for
+    /// runs of at least two payloads.
+    SendBatch {
+        /// The destination site.
+        to: SiteId,
+        /// The payloads to ship, in send order.
+        payloads: Vec<Payload>,
+    },
+    /// Apply several non-conflicting secondary subtransactions whose
+    /// executions may overlap. Admission (vector) order is the serial
+    /// order: the driver must commit them in that order and feed back
+    /// one [`Input::Applied`] per entry, in that order, even if the
+    /// executions themselves ran in parallel. Emitted only when the
+    /// driver widened the apply window past 1
+    /// ([`SiteMachine::set_apply_window`]), and only for at least two
+    /// admissions in one scheduling pass.
+    ApplyMany {
+        /// `(gid, site-filtered writes)` per admitted subtransaction,
+        /// in admission order.
+        subs: Vec<(GlobalTxnId, Vec<(ItemId, Value)>)>,
+    },
     /// Arm a safety timeout for the eager phase of `gid` (drivers
     /// without timeout machinery may ignore this).
     ArmEagerTimeout {
@@ -274,14 +299,6 @@ pub enum SeededBug {
     SkipForward,
 }
 
-/// The subtransaction currently occupying the single applier slot.
-#[derive(Clone)]
-struct InFlight {
-    sub: Subtxn,
-    queue: usize,
-    prepare: bool,
-}
-
 /// The pure protocol state machine for one site. See the module docs for
 /// the machine/driver split.
 #[derive(Clone)]
@@ -291,14 +308,15 @@ pub struct SiteMachine {
     placement: Arc<DataPlacement>,
     graph: Arc<CopyGraph>,
     tree: Option<Arc<PropagationTree>>,
-    /// Incoming subtransaction queues, keyed by sender. NaiveLazy: one
-    /// arrival-ordered catch-all (keyed by `me`). DAG(WT)/BackEdge: the
-    /// tree parent's queue. DAG(T): one per copy-graph parent.
-    queues: Vec<(SiteId, VecDeque<Subtxn>)>,
-    /// The applier slot: at most one subtransaction applies at a time
-    /// (§3.2.3's simplifying assumption; what FIFO commit order in
-    /// DAG(WT) requires).
-    busy: Option<InFlight>,
+    /// The partial-order apply scheduler: owns the incoming per-parent
+    /// queues and the in-flight window. With the default window of 1 it
+    /// is exactly the seed's single applier slot (§3.2.3's simplifying
+    /// assumption; what FIFO commit order in DAG(WT) requires).
+    sched: ApplyScheduler,
+    /// Merge adjacent same-destination sends into [`Command::SendBatch`]
+    /// (driver opt-in; off by default so existing drivers see an
+    /// unchanged command stream).
+    coalesce_sends: bool,
     /// DAG(T) local transaction counter (§3.1).
     lts: u64,
     /// DAG(T) site timestamp (§3.2).
@@ -326,6 +344,7 @@ impl fmt::Debug for SiteMachine {
             .field("protocol", &self.protocol)
             .field("queues", &self.queue_summary())
             .field("busy", &self.busy_gid())
+            .field("window", &self.sched.window())
             .field("site_ts", &self.site_ts)
             .finish_non_exhaustive()
     }
@@ -364,8 +383,8 @@ impl SiteMachine {
             placement,
             graph,
             tree,
-            queues,
-            busy: None,
+            sched: ApplyScheduler::new(queues),
+            coalesce_sends: false,
             lts: 0,
             site_ts: Timestamp::initial(me),
             preparing: BTreeMap::new(),
@@ -397,27 +416,55 @@ impl SiteMachine {
         &self.site_ts
     }
 
-    /// True when the applier slot is free and every incoming queue is
+    /// Widen the apply window to `window` concurrent secondary
+    /// subtransactions (clamped to at least 1). With a window above 1
+    /// the machine may emit [`Command::ApplyMany`]; the driver must then
+    /// overlap executions but commit — and report
+    /// [`Input::Applied`] — in admission order. Call once at
+    /// construction time, before any input: the window is driver
+    /// configuration, not protocol state.
+    pub fn set_apply_window(&mut self, window: usize) {
+        self.sched.set_window(window);
+    }
+
+    /// The configured apply window.
+    pub fn apply_window(&self) -> usize {
+        self.sched.window()
+    }
+
+    /// Opt in to [`Command::SendBatch`]: adjacent same-destination sends
+    /// in one input's command list are merged into a single batch
+    /// command. Off by default.
+    pub fn set_send_coalescing(&mut self, on: bool) {
+        self.coalesce_sends = on;
+    }
+
+    /// True when the apply window is empty and every incoming queue is
     /// empty (the quiescence test drivers poll).
     pub fn secondaries_idle(&self) -> bool {
-        self.busy.is_none() && self.queues.iter().all(|(_, q)| q.is_empty())
+        self.sched.idle()
     }
 
     /// True when nothing but DAG(T) dummies is queued and nothing is
     /// applying: a recovering site with this property has caught up.
     pub fn no_pending_updates(&self) -> bool {
-        self.busy.is_none()
-            && self.queues.iter().all(|(_, q)| q.iter().all(|sub| sub.kind == SubtxnKind::Dummy))
+        self.sched.only_dummies_queued()
     }
 
     /// Queue occupancy by sender, for stall diagnostics.
     pub fn queue_summary(&self) -> Vec<(SiteId, usize)> {
-        self.queues.iter().map(|(s, q)| (*s, q.len())).collect()
+        self.sched.queue_summary()
     }
 
-    /// The subtransaction occupying the applier slot, if any.
+    /// The oldest in-flight subtransaction, if any (the only one, under
+    /// the default window of 1).
     pub fn busy_gid(&self) -> Option<GlobalTxnId> {
-        self.busy.as_ref().map(|b| b.sub.gid)
+        self.sched.front_gid()
+    }
+
+    /// Number of subtransactions currently occupying apply-window slots.
+    pub fn inflight_len(&self) -> usize {
+        self.sched.inflight_len()
     }
 
     /// Absorb this machine's full protocol state into `d`, canonically.
@@ -442,23 +489,7 @@ impl SiteMachine {
             ProtocolId::DagT => 2,
             ProtocolId::BackEdge => 3,
         });
-        d.write_usize(self.queues.len());
-        for (sender, q) in &self.queues {
-            digest_site(d, *sender);
-            d.write_usize(q.len());
-            for sub in q {
-                digest_subtxn(d, sub);
-            }
-        }
-        match &self.busy {
-            None => d.write_u8(0),
-            Some(inflight) => {
-                d.write_u8(1);
-                digest_subtxn(d, &inflight.sub);
-                d.write_usize(inflight.queue);
-                d.write_u8(u8::from(inflight.prepare));
-            }
-        }
+        self.sched.fingerprint(d);
         d.write_u64(self.lts);
         digest_timestamp(d, &self.site_ts);
         d.write_usize(self.preparing.len());
@@ -499,6 +530,9 @@ impl SiteMachine {
             Input::HeartbeatTick { idle_children } => self.heartbeat(&idle_children, &mut out),
             Input::EpochTick => self.site_ts.epoch += 1,
             Input::Crashed => self.crashed(),
+        }
+        if self.coalesce_sends {
+            out = coalesce_send_runs(out);
         }
         Ok(out)
     }
@@ -668,18 +702,17 @@ impl SiteMachine {
                 // A special arriving from anywhere but our queue parent is
                 // the origin's direct send to its farthest ancestor
                 // (§4.1 step 1): prepare it without the applier slot.
-                if sub.kind == SubtxnKind::Special && !self.queues.iter().any(|(s, _)| *s == from) {
+                if sub.kind == SubtxnKind::Special && self.sched.queue_index(from).is_none() {
                     return self.direct_special(sub, out);
                 }
                 let qi = match self.protocol {
                     ProtocolId::NaiveLazy => 0,
                     _ => self
-                        .queues
-                        .iter()
-                        .position(|(s, _)| *s == from)
+                        .sched
+                        .queue_index(from)
                         .ok_or(ProtocolError::UnknownLink { at: self.me, from })?,
                 };
-                self.queues[qi].1.push_back(sub);
+                self.sched.enqueue(qi, sub);
                 self.pump(out)
             }
         }
@@ -705,9 +738,8 @@ impl SiteMachine {
             // special coming home, which requires our forward first).
             debug_assert!(!commit, "commit decision for a special not yet prepared");
             out.push(Command::AbortPrepared { gid });
-        } else if self.busy.as_ref().is_some_and(|b| b.prepare && b.sub.gid == gid) {
+        } else if self.sched.take_prepare(gid).is_some() {
             debug_assert!(!commit, "commit decision for a special not yet prepared");
-            self.busy = None;
             out.push(Command::AbortPrepared { gid });
             // The applier slot is free again; schedule the next arrival.
             self.pump(out)?;
@@ -740,9 +772,8 @@ impl SiteMachine {
         gid: GlobalTxnId,
         out: &mut Vec<Command>,
     ) -> Result<(), ProtocolError> {
-        let (sub, from_queue) = if self.busy.as_ref().is_some_and(|b| b.prepare && b.sub.gid == gid)
-        {
-            (self.busy.take().expect("just checked").sub, true)
+        let (sub, from_queue) = if let Some(inflight) = self.sched.take_prepare(gid) {
+            (inflight.sub, true)
         } else if let Some(sub) = self.preparing.remove(&gid) {
             (sub, false)
         } else {
@@ -766,11 +797,13 @@ impl SiteMachine {
     /// forward (DAG(WT)/BackEdge) or merge the timestamp (DAG(T)), then
     /// schedule the next one.
     fn applied(&mut self, gid: GlobalTxnId, out: &mut Vec<Command>) -> Result<(), ProtocolError> {
-        let Some(inflight) = self.busy.take() else {
-            debug_assert!(false, "Applied {gid} with an idle applier");
+        // Completions are released in admission order: the driver
+        // commits overlapped applies in admission order, so the front of
+        // the window is always the next legal completion.
+        let Some(inflight) = self.sched.complete_front(gid) else {
+            debug_assert!(false, "Applied {gid} does not match the apply-window front");
             return Ok(());
         };
-        debug_assert_eq!(inflight.sub.gid, gid, "Applied gid does not match the applier slot");
         match self.protocol {
             ProtocolId::DagWt | ProtocolId::BackEdge => {
                 // §2: committed secondaries are forwarded to relevant
@@ -790,20 +823,22 @@ impl SiteMachine {
     // Queue scheduling.
     // ------------------------------------------------------------------
 
-    /// If the applier slot is free and the protocol's scheduling rule
-    /// admits a subtransaction, start it. Dummies and home-coming
+    /// While the scheduler admits something — window capacity free, the
+    /// protocol's ordering rule picks a queue head, and (past the first
+    /// slot) write sets are disjoint — start it. Dummies and home-coming
     /// specials are consumed inline (they occupy no applier time), so
-    /// this loops until a real subtransaction starts or nothing is
-    /// admissible.
+    /// this loops until nothing is admissible.
+    ///
+    /// With a window above 1 a single pass may admit several
+    /// non-conflicting normals; those are emitted as one
+    /// [`Command::ApplyMany`] so the driver can overlap their
+    /// executions. A single admission stays a plain [`Command::Apply`],
+    /// which keeps the default window's command stream byte-identical to
+    /// the seed's single-slot machine.
     fn pump(&mut self, out: &mut Vec<Command>) -> Result<(), ProtocolError> {
-        while self.busy.is_none() {
-            let picked = match self.protocol {
-                ProtocolId::DagT => self.pick_min_timestamp()?,
-                // First (only) non-empty queue, strict FIFO.
-                _ => self.queues.iter().position(|(_, q)| !q.is_empty()),
-            };
-            let Some(qi) = picked else { return Ok(()) };
-            let sub = self.queues[qi].1.pop_front().expect("picked queue is non-empty");
+        let mut admitted: Vec<(GlobalTxnId, Vec<(ItemId, Value)>)> = Vec::new();
+        while let Some(qi) = self.sched.pick(self.protocol, self.bug)? {
+            let sub = self.sched.admit(qi);
             match sub.kind {
                 SubtxnKind::Dummy => {
                     // §3.3: dummies only push the site timestamp forward.
@@ -829,42 +864,26 @@ impl SiteMachine {
                     let writes = writes_for_site(&self.placement, self.me, &sub.writes);
                     let gid = sub.gid;
                     let origin = sub.origin;
-                    self.busy = Some(InFlight { sub, queue: qi, prepare: true });
+                    self.sched.begin(InFlight { sub, queue: qi, prepare: true });
                     out.push(Command::Prepare { gid, origin, writes, queued: true });
                 }
                 SubtxnKind::Normal => {
                     let writes = writes_for_site(&self.placement, self.me, &sub.writes);
                     let gid = sub.gid;
-                    self.busy = Some(InFlight { sub, queue: qi, prepare: false });
-                    out.push(Command::Apply { gid, writes });
+                    self.sched.begin(InFlight { sub, queue: qi, prepare: false });
+                    admitted.push((gid, writes));
                 }
             }
         }
-        Ok(())
-    }
-
-    /// DAG(T) §3.2.3: only when every incoming queue is non-empty, pick
-    /// the minimum-timestamp head (ties to the lowest queue index).
-    fn pick_min_timestamp(&self) -> Result<Option<usize>, ProtocolError> {
-        if self.queues.is_empty() {
-            return Ok(None);
-        }
-        if self.bug == Some(SeededBug::SkipMinTimestamp) {
-            // Seeded bug: greedy FIFO without the wait-for-all-queues
-            // minimum rule (what the checker must catch).
-            return Ok(self.queues.iter().position(|(_, q)| !q.is_empty()));
-        }
-        let mut best: Option<(usize, &Timestamp)> = None;
-        for (i, (_, q)) in self.queues.iter().enumerate() {
-            // Any empty queue ⇒ wait (progress via dummies, §3.3).
-            let Some(head) = q.front() else { return Ok(None) };
-            let ts = head.ts.as_ref().ok_or(ProtocolError::MissingTimestamp { gid: head.gid })?;
-            match best {
-                Some((_, bts)) if ts >= bts => {}
-                _ => best = Some((i, ts)),
+        match admitted.len() {
+            0 => {}
+            1 => {
+                let (gid, writes) = admitted.pop().expect("len checked");
+                out.push(Command::Apply { gid, writes });
             }
+            _ => out.push(Command::ApplyMany { subs: admitted }),
         }
-        Ok(best.map(|(i, _)| i))
+        Ok(())
     }
 
     /// §3.2.3: merge a subtransaction's timestamp into the site
@@ -912,21 +931,53 @@ impl SiteMachine {
         }
     }
 
-    /// Crash semantics: the in-flight subtransaction goes back to the
-    /// front of its queue (the driver's store rolled it back; the link
-    /// layer's durable high-water mark means it will not be redelivered,
-    /// so the machine must keep it). All prepare/eager bookkeeping is
-    /// volatile and lost. Queue contents and the site timestamp survive:
-    /// the former are re-fed by the reliable link layer's replay against
-    /// the durable applied marks, the latter is reconstructed by WAL
-    /// replay before the machine is consulted again. Tombstones persist
-    /// so a post-restart special arrival is still dropped.
+    /// Crash semantics: every in-flight subtransaction goes back to the
+    /// front of its queue (the driver's store rolled them back; the link
+    /// layer's durable high-water mark means they will not be
+    /// redelivered, so the machine must keep them). All prepare/eager
+    /// bookkeeping is volatile and lost. Queue contents and the site
+    /// timestamp survive: the former are re-fed by the reliable link
+    /// layer's replay against the durable applied marks, the latter is
+    /// reconstructed by WAL replay before the machine is consulted
+    /// again. Tombstones persist so a post-restart special arrival is
+    /// still dropped.
     fn crashed(&mut self) {
-        if let Some(inflight) = self.busy.take() {
-            self.queues[inflight.queue].1.push_front(inflight.sub);
-        }
+        self.sched.crashed();
         self.preparing.clear();
         self.prepared.clear();
         self.pending_eager.clear();
     }
+}
+
+/// Merge adjacent runs of [`Command::Send`] to the same destination into
+/// one [`Command::SendBatch`] per run. Non-send commands and singleton
+/// runs pass through untouched, and relative order is preserved — the
+/// batch is exactly the same payload sequence the serial commands would
+/// have shipped.
+fn coalesce_send_runs(cmds: Vec<Command>) -> Vec<Command> {
+    let mut out: Vec<Command> = Vec::with_capacity(cmds.len());
+    for cmd in cmds {
+        let Command::Send { to, payload } = cmd else {
+            out.push(cmd);
+            continue;
+        };
+        // Extend a batch already forming for this destination, or start
+        // one by folding in the previous single send.
+        let same_dest_batch =
+            matches!(out.last(), Some(Command::SendBatch { to: prev, .. }) if *prev == to);
+        let same_dest_single =
+            matches!(out.last(), Some(Command::Send { to: prev, .. }) if *prev == to);
+        if same_dest_batch {
+            if let Some(Command::SendBatch { payloads, .. }) = out.last_mut() {
+                payloads.push(payload);
+            }
+        } else if same_dest_single {
+            if let Some(Command::Send { payload: first, .. }) = out.pop() {
+                out.push(Command::SendBatch { to, payloads: vec![first, payload] });
+            }
+        } else {
+            out.push(Command::Send { to, payload });
+        }
+    }
+    out
 }

@@ -244,6 +244,22 @@ impl Model {
                     self.check_link(site, to, &payload)?;
                     self.links.entry((site, to)).or_default().push_back(payload);
                 }
+                Command::SendBatch { to, payloads } => {
+                    // Definitionally the same payload sequence as serial
+                    // sends; the model runs the default configuration, so
+                    // the machine should never emit one here, but the
+                    // link discipline holds for each payload regardless.
+                    prop_assert!(
+                        payloads.len() >= 2,
+                        "machine coalesced a batch of {} at {}",
+                        payloads.len(),
+                        site
+                    );
+                    for payload in payloads {
+                        self.check_link(site, to, &payload)?;
+                        self.links.entry((site, to)).or_default().push_back(payload);
+                    }
+                }
                 Command::CommitLocal { gid } => {
                     let writes =
                         self.writes_of.get(&gid).cloned().expect("CommitLocal for unknown gid");
@@ -269,6 +285,17 @@ impl Model {
                         );
                     }
                     self.applier[site.index()] = Some(PendingApply { gid, writes, prepare: false });
+                }
+                Command::ApplyMany { subs } => {
+                    // Never legal at the default window of 1: the model
+                    // drives unmodified machines, so any multi-admission
+                    // is a scheduler bug.
+                    prop_assert!(
+                        false,
+                        "machine issued ApplyMany({}) at {} with the serial window",
+                        subs.len(),
+                        site
+                    );
                 }
                 Command::Prepare { gid, writes, queued, .. } => {
                     if queued {

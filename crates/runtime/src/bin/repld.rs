@@ -38,7 +38,7 @@ usage: repld [--config FILE] [--site N] [--listen HOST:PORT]
              [--protocol dagwt|dagt|backedge|naive] [--placement SPEC]
              [--reactor threads|epoll] [--peer N=HOST:PORT]...
              [--nemesis SPEC] [--eager-timeout-ms N] [--outbox-high-water N]
-             [--mvcc] [--group-commit N]
+             [--mvcc] [--group-commit N] [--link-batch N] [--apply-pool N]
 
 Flags override --config values. --listen HOST:0 picks an ephemeral port
 and announces it on stdout as `repld: site N listening on ADDR`.
@@ -50,7 +50,10 @@ fault schedule (see NetFaultPlan::parse; give every site the same spec);
 --outbox-high-water caps per-link outbox growth before writes are
 refused with a backpressure error. --mvcc serves all-read transactions
 from lock-free MVCC snapshots; --group-commit batches N update commits
-per WAL flush (default 1).";
+per WAL flush (default 1). --link-batch coalesces up to N
+same-destination propagation payloads per wire frame (default 1);
+--apply-pool admits up to N non-conflicting replica applications per
+scheduling pass (default 1).";
 
 fn main() -> ExitCode {
     match run() {
@@ -97,6 +100,12 @@ fn run() -> Result<(), String> {
     }
     if let Some(batch) = cfg.group_commit {
         options.group_commit_batch = batch.max(1) as usize;
+    }
+    if let Some(batch) = cfg.link_batch {
+        options.batch_size = batch.max(1) as usize;
+    }
+    if let Some(pool) = cfg.apply_pool {
+        options.apply_pool = pool.max(1) as usize;
     }
 
     let serve_cfg =
@@ -150,6 +159,20 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<DeployConfig, String
                     value("--group-commit")?
                         .parse()
                         .map_err(|_| "group commit batch must be an integer")?,
+                );
+            }
+            "--link-batch" => {
+                flags.link_batch = Some(
+                    value("--link-batch")?
+                        .parse()
+                        .map_err(|_| "link batch size must be an integer")?,
+                );
+            }
+            "--apply-pool" => {
+                flags.apply_pool = Some(
+                    value("--apply-pool")?
+                        .parse()
+                        .map_err(|_| "apply pool width must be an integer")?,
                 );
             }
             "--peer" => {

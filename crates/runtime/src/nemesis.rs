@@ -427,6 +427,41 @@ impl Transport for ChaosWire {
         self.inner.try_send(from, to, seq, payload)
     }
 
+    fn try_send_batch(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        first_seq: u64,
+        payloads: &[Payload],
+    ) -> SendStatus {
+        self.pump();
+        if self.plan.cuts(from, to, self.elapsed().as_millis() as u64) {
+            // A cut swallows the whole batch — one wire message, one
+            // loss. The outbox keeps every payload; replay after heal.
+            return SendStatus::Sent;
+        }
+        let per_frame_faults = self.plan.drop_permille > 0
+            || self.plan.dup_permille > 0
+            || self.plan.corrupt_permille > 0
+            || self.plan.truncate_permille > 0
+            || self.plan.max_jitter_ms > 0;
+        let held_behind = !self.lanes[from.index()][to.index()].lock().held.is_empty();
+        if !per_frame_faults && !held_behind {
+            return self.inner.try_send_batch(from, to, first_seq, payloads);
+        }
+        // Probabilistic faults and jitter are drawn per frame: route
+        // each payload through the single-frame path so the seeded draw
+        // streams (and the hold queue's per-link FIFO) behave exactly as
+        // they would for the unbatched frames.
+        for (i, payload) in payloads.iter().enumerate() {
+            let status = self.try_send(from, to, first_seq + i as u64, payload);
+            if status != SendStatus::Sent {
+                return status;
+            }
+        }
+        SendStatus::Sent
+    }
+
     fn send_ack(&self, from: SiteId, me: SiteId, seq: u64) -> SendStatus {
         self.pump();
         // The ack physically travels me → from. Only a cut loses acks:

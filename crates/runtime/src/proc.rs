@@ -53,6 +53,12 @@ pub struct LaunchOptions {
     /// Group-commit batch size: update commits per WAL flush
     /// (`--group-commit`).
     pub group_commit: Option<u64>,
+    /// Link batch size: same-destination propagation payloads coalesced
+    /// per wire frame (`--link-batch`).
+    pub link_batch: Option<u64>,
+    /// Apply pool width: non-conflicting replica applications admitted
+    /// per scheduling pass (`--apply-pool`).
+    pub apply_pool: Option<u64>,
 }
 
 /// Locate the `repld` binary: `$REPLD_BIN` if set, else next to the
@@ -188,6 +194,14 @@ impl ProcCluster {
             if let Some(batch) = options.group_commit {
                 args.push("--group-commit".into());
                 args.push(batch.to_string());
+            }
+            if let Some(batch) = options.link_batch {
+                args.push("--link-batch".into());
+                args.push(batch.to_string());
+            }
+            if let Some(pool) = options.apply_pool {
+                args.push("--apply-pool".into());
+                args.push(pool.to_string());
             }
             let mut child = Command::new(bin).args(&args).stdout(Stdio::piped()).spawn()?;
             // replint: allow(RL008) -- stdout is piped two lines up

@@ -62,8 +62,9 @@ use epoll::{Epoll, Interest};
 use parking_lot::Mutex;
 
 use repl_net::{
-    cluster_fingerprint, encode_framed, negotiate, ClientMsg, ClientReply, FrameReader, Hello,
-    HelloAck, NetError, Payload, WireMsg, VERSION_MAX, VERSION_MIN,
+    batch_messages, cluster_fingerprint, encode_framed, negotiate, ClientMsg, ClientReply,
+    FrameReader, Hello, HelloAck, NetError, Payload, WireMsg, VERSION_BATCH, VERSION_MAX,
+    VERSION_MIN,
 };
 use repl_types::{AddressMap, GlobalTxnId, Op, SiteId};
 
@@ -151,6 +152,9 @@ struct OutLane {
     /// A `try_send` was refused for want of buffer space; the next
     /// sub-half-cap drain triggers an outbox replay.
     stalled: bool,
+    /// Protocol version the connection's handshake negotiated; decides
+    /// whether coalesced sends may ride a [`WireMsg::Batch`] frame.
+    version: u16,
     buf: WriteBuf,
 }
 
@@ -196,6 +200,41 @@ impl Transport for ReactorWire {
         SendStatus::Sent
     }
 
+    fn try_send_batch(
+        &self,
+        _from: SiteId,
+        to: SiteId,
+        first_seq: u64,
+        payloads: &[Payload],
+    ) -> SendStatus {
+        let mut lane = self.lanes[to.index()].lock();
+        if !lane.connected {
+            return SendStatus::Down;
+        }
+        // The cap is checked once for the whole run: a partially
+        // buffered batch would be pointless (the receiver gap-drops
+        // after a hole), so the run goes in atomically or not at all.
+        if lane.buf.len() >= LANE_BUF_CAP {
+            lane.stalled = true;
+            return SendStatus::Backpressure;
+        }
+        // A version-1 peer never sees a Batch frame; the run degrades to
+        // one Link frame per payload in the same order.
+        let msgs: Vec<WireMsg> = if lane.version >= VERSION_BATCH {
+            batch_messages(first_seq, payloads.to_vec())
+        } else {
+            payloads
+                .iter()
+                .enumerate()
+                .map(|(i, p)| WireMsg::Link { seq: first_seq + i as u64, payload: p.clone() })
+                .collect()
+        };
+        for msg in &msgs {
+            lane.buf.push_bytes(&encode_framed(msg));
+        }
+        SendStatus::Sent
+    }
+
     fn send_ack(&self, from: SiteId, _me: SiteId, seq: u64) -> SendStatus {
         let mut lane = self.ack_lanes[from.index()].lock();
         if !lane.connected {
@@ -217,7 +256,19 @@ impl Transport for ReactorWire {
 
 impl Transport for Arc<ReactorWire> {
     fn try_send(&self, from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> SendStatus {
+        // replint: allow(RL012) -- trait forwarding through the Arc, no outbox here
         (**self).try_send(from, to, seq, payload)
+    }
+
+    fn try_send_batch(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        first_seq: u64,
+        payloads: &[Payload],
+    ) -> SendStatus {
+        // replint: allow(RL012) -- trait forwarding through the Arc, no outbox here
+        (**self).try_send_batch(from, to, first_seq, payloads)
     }
 
     fn send_ack(&self, from: SiteId, me: SiteId, seq: u64) -> SendStatus {
@@ -538,6 +589,14 @@ impl Reactor {
                     self.wire.inbox.lock().push_back(TransportEvent::Frame { from, seq, payload });
                     true
                 }
+                WireMsg::Batch { first_seq, payloads } => {
+                    self.wire.inbox.lock().push_back(TransportEvent::Batch {
+                        from,
+                        first_seq,
+                        payloads,
+                    });
+                    true
+                }
                 _ => {
                     // Protocol violation; drop the link, let it re-dial.
                     self.close_conn(tok);
@@ -617,6 +676,11 @@ impl Reactor {
             self.close_conn(tok);
             return false;
         }
+        if ack.version < VERSION_MIN || ack.version > VERSION_MAX {
+            // The accepter chose a version outside our advertised range.
+            self.close_conn(tok);
+            return false;
+        }
         if let Some(conn) = self.conns[tok].as_mut() {
             conn.role = Role::PeerOut { peer };
         }
@@ -624,6 +688,7 @@ impl Reactor {
             let mut lane = self.wire.lanes[peer.index()].lock();
             lane.connected = true;
             lane.stalled = false;
+            lane.version = ack.version;
             lane.buf.clear();
         }
         self.core.net.resume(self.me, peer, ack.resume_seq);

@@ -36,8 +36,9 @@ use parking_lot::Mutex;
 use repl_copygraph::DataPlacement;
 use repl_core::history::History;
 use repl_net::{
-    client_handshake, cluster_fingerprint, negotiate, read_msg, write_msg, ClientMsg, ClientReply,
-    ExecError, Hello, HelloAck, Payload, ReadError, WireMsg, VERSION_MAX, VERSION_MIN,
+    batch_messages, client_handshake, cluster_fingerprint, negotiate, read_msg, write_msg,
+    ClientMsg, ClientReply, ExecError, Hello, HelloAck, Payload, ReadError, WireMsg, VERSION_BATCH,
+    VERSION_MAX, VERSION_MIN,
 };
 use repl_types::{AddressMap, SiteId};
 
@@ -50,12 +51,20 @@ use crate::policy::{self, RuntimeOptions};
 use crate::site::{Command, SiteSetup};
 use crate::transport::{Net, SendStatus, Transport, TransportEvent};
 
+/// An established outgoing connection: the write half plus the
+/// protocol version the handshake negotiated (which decides whether
+/// coalesced sends may ride a [`WireMsg::Batch`] frame).
+struct OutConn {
+    stream: TcpStream,
+    version: u16,
+}
+
 /// Per-peer socket slots. `out[p]` is the connection *we* dialed to
 /// `p` (we write `Link` frames, a reader thread consumes `p`'s acks);
 /// `acks[p]` is the write half of the connection `p` dialed to us (we
 /// write `Ack` frames back on it).
 pub(crate) struct TcpRaw {
-    out: Vec<Mutex<Option<TcpStream>>>,
+    out: Vec<Mutex<Option<OutConn>>>,
     /// Generation counter per out-slot, so a stale connection's reader
     /// thread does not clear a successor connection on its way out.
     out_gen: Vec<AtomicU64>,
@@ -81,8 +90,8 @@ impl TcpRaw {
     /// the dead sockets fail, readers on both ends unblock with errors,
     /// and the two dialers re-establish and replay.
     fn kill_conn(&self, peer: SiteId) {
-        if let Some(s) = self.out[peer.index()].lock().take() {
-            let _ = s.shutdown(Shutdown::Both);
+        if let Some(c) = self.out[peer.index()].lock().take() {
+            let _ = c.stream.shutdown(Shutdown::Both);
         }
         if let Some(s) = self.acks[peer.index()].lock().take() {
             let _ = s.shutdown(Shutdown::Both);
@@ -103,11 +112,41 @@ struct TcpWire(Arc<TcpRaw>);
 impl Transport for TcpWire {
     fn try_send(&self, _from: SiteId, to: SiteId, seq: u64, payload: &Payload) -> SendStatus {
         let mut slot = self.0.out[to.index()].lock();
-        let Some(stream) = slot.as_mut() else { return SendStatus::Down };
+        let Some(conn) = slot.as_mut() else { return SendStatus::Down };
         let msg = WireMsg::Link { seq, payload: payload.clone() };
-        if write_msg(stream, &msg).is_err() {
+        if write_msg(&mut conn.stream, &msg).is_err() {
             *slot = None;
             return SendStatus::Down;
+        }
+        SendStatus::Sent
+    }
+
+    fn try_send_batch(
+        &self,
+        _from: SiteId,
+        to: SiteId,
+        first_seq: u64,
+        payloads: &[Payload],
+    ) -> SendStatus {
+        let mut slot = self.0.out[to.index()].lock();
+        let Some(conn) = slot.as_mut() else { return SendStatus::Down };
+        // A version-1 peer never sees a Batch frame: the run degrades to
+        // one Link frame per payload on the same connection, preserving
+        // the sequence order the batch carried.
+        let msgs: Vec<WireMsg> = if conn.version >= VERSION_BATCH {
+            batch_messages(first_seq, payloads.to_vec())
+        } else {
+            payloads
+                .iter()
+                .enumerate()
+                .map(|(i, p)| WireMsg::Link { seq: first_seq + i as u64, payload: p.clone() })
+                .collect()
+        };
+        for msg in &msgs {
+            if write_msg(&mut conn.stream, msg).is_err() {
+                *slot = None;
+                return SendStatus::Down;
+            }
         }
         SendStatus::Sent
     }
@@ -346,7 +385,7 @@ fn dial_peer(shared: &Arc<Shared>, peer: SiteId, addr: &str) -> bool {
     let Ok(write_half) = stream.try_clone() else { return false };
     let generation = {
         let mut slot = shared.tcp.out[peer.index()].lock();
-        *slot = Some(write_half);
+        *slot = Some(OutConn { stream: write_half, version: ack.version });
         shared.tcp.out_gen[peer.index()].fetch_add(1, Ordering::SeqCst) + 1
     };
     // Prune + replay under the lane lock; a racing fresh send either
@@ -416,9 +455,17 @@ fn handle_peer(shared: &Arc<Shared>, stream: TcpStream, mut reader: TcpStream, h
     // Future acks for this link go out on this connection. A superseded
     // connection's stale entry is cleared by its first failing write.
     *shared.tcp.acks[from.index()].lock() = Some(writer);
-    // Any non-Link frame is a protocol violation and also ends the loop.
-    while let Ok(WireMsg::Link { seq, payload }) = read_msg(&mut reader) {
-        shared.tcp.inbox.lock().push_back(TransportEvent::Frame { from, seq, payload });
+    // Any frame other than Link/Batch is a protocol violation and also
+    // ends the loop.
+    loop {
+        let event = match read_msg(&mut reader) {
+            Ok(WireMsg::Link { seq, payload }) => TransportEvent::Frame { from, seq, payload },
+            Ok(WireMsg::Batch { first_seq, payloads }) => {
+                TransportEvent::Batch { from, first_seq, payloads }
+            }
+            _ => break,
+        };
+        shared.tcp.inbox.lock().push_back(event);
         if shared.site_tx.send(Command::Wake).is_err() {
             break;
         }

@@ -192,6 +192,20 @@ fn sim_final_state_opts(
     txns_per_site: u32,
     snapshot_reads: bool,
 ) -> Vec<bytes::Bytes> {
+    sim_final_state_tuned(placement, protocol, progs, txns_per_site, snapshot_reads, |_| {})
+}
+
+/// [`sim_final_state_opts`] with an arbitrary engine-parameter tweak —
+/// the batching column runs the simulator with its propagation batching
+/// and apply-window knobs set.
+fn sim_final_state_tuned(
+    placement: &DataPlacement,
+    protocol: ProtocolKind,
+    progs: &[Vec<Vec<Vec<Op>>>],
+    txns_per_site: u32,
+    snapshot_reads: bool,
+    tune: impl FnOnce(&mut SimParams),
+) -> Vec<bytes::Bytes> {
     let mut params = SimParams::quick_test(protocol);
     params.threads_per_site = 1;
     params.txns_per_thread = txns_per_site;
@@ -201,6 +215,7 @@ fn sim_final_state_opts(
     // ids. The workload is conflict-free; the timeout can never be
     // load-bearing here.
     params.eager_wait_timeout_factor = 1_000_000;
+    tune(&mut params);
     let mut engine = Engine::new(placement, &params, progs.to_vec()).expect("engine builds");
     let report = engine.run();
     assert!(!report.stalled, "{protocol:?} sim stalled");
@@ -387,6 +402,79 @@ fn mvcc_snapshot_read_matrix() {
             assert_states_identical(label, col, &sim_state, &state);
         }
         assert!(sim_state.iter().any(|b| b.len() > 4), "{label}: empty workload");
+    }
+}
+
+/// The batching column: the same mixed workload with propagation
+/// batching and the parallel apply window enabled in every deployment —
+/// the simulator runs with `SimParams::{batch_size, apply_pool}`, the
+/// channel cluster with `RuntimeOptions::{batch_size, apply_pool}`, and
+/// both `repld` reactors with `--link-batch`/`--apply-pool` (riding the
+/// version-2 `WireMsg::Batch` frame with one cumulative ack each).
+/// Batching is a pure scheduling optimization, so final copy state must
+/// stay byte-identical to the **serial** `batch_size = 1` simulator
+/// control and every live history must be one-copy serializable.
+#[test]
+fn batched_propagation_matrix() {
+    let txns = txns_per_site();
+    for (label, placement, sim, runtime, seed) in [
+        (
+            "batched/dag-wt/fan",
+            fan_placement(),
+            ProtocolKind::DagWt,
+            RuntimeProtocol::DagWt,
+            0xBA01,
+        ),
+        (
+            "batched/dag-t/diamond",
+            diamond_placement(),
+            ProtocolKind::DagT,
+            RuntimeProtocol::DagT,
+            0xBA02,
+        ),
+        (
+            "batched/backedge/cyclic",
+            cyclic_placement(),
+            ProtocolKind::BackEdge,
+            RuntimeProtocol::BackEdge,
+            0xBA03,
+        ),
+    ] {
+        let progs = mixed_programs(&placement, txns, seed);
+        // Serial control: the seed's one-frame-per-payload path.
+        let serial_state = sim_final_state(&placement, sim, &progs, txns);
+        // Batched simulator: must coalesce and overlap to the same bytes.
+        let batched_sim = sim_final_state_tuned(&placement, sim, &progs, txns, false, |p| {
+            p.batch_size = 8;
+            p.apply_pool = 4;
+        });
+        assert_states_identical(label, "batched simulator", &serial_state, &batched_sim);
+
+        let options = RuntimeOptions { batch_size: 8, apply_pool: 4, ..RuntimeOptions::default() };
+        let cluster = Cluster::start_with(&placement, runtime, options).expect("cluster starts");
+        let chan_state = drive_final_state(&cluster, &progs);
+        assert_history_1sr(label, &cluster);
+        cluster.shutdown();
+        assert_states_identical(label, "batched channel cluster", &serial_state, &chan_state);
+
+        for (reactor, col) in [
+            (ReactorKind::Threads, "batched TCP cluster (threads)"),
+            (ReactorKind::Epoll, "batched TCP cluster (epoll)"),
+        ] {
+            let launch = LaunchOptions {
+                reactor,
+                link_batch: Some(8),
+                apply_pool: Some(4),
+                ..LaunchOptions::default()
+            };
+            let cluster = ProcCluster::launch_with_options(repld(), &placement, runtime, &launch)
+                .expect("launch repld");
+            let state = drive_final_state(&cluster, &progs);
+            assert_history_1sr(label, &cluster);
+            cluster.shutdown();
+            assert_states_identical(label, col, &serial_state, &state);
+        }
+        assert!(serial_state.iter().any(|b| b.len() > 4), "{label}: empty workload");
     }
 }
 

@@ -29,6 +29,10 @@ echo "==> MVCC smoke gate (quick read-heavy sweep; exits 1 unless MVCC beats 2PL
 REPRO_SCALE=quick REPRO_WORKERS=4 REPRO_NO_CACHE=1 ./target/release/read_sweep \
     --out /tmp/bench_mvcc_smoke.json > /dev/null
 
+echo "==> batching smoke gate (batch {1,8}; exits 1 unless batched+parallel beats serial for both DAG protocols; byte-identity at batch 8 is in the matrix gate above)"
+REPRO_SCALE=quick REPRO_WORKERS=4 REPRO_NO_CACHE=1 ./target/release/prop_sweep \
+    --smoke --out /tmp/bench_propagation_smoke.json > /dev/null
+
 echo "==> smoke sweep (quick fig2a on the 4-worker pool, cache off)"
 REPRO_SCALE=quick REPRO_WORKERS=4 REPRO_NO_CACHE=1 ./target/release/fig2a > /dev/null
 
